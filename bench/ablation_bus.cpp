@@ -1,0 +1,61 @@
+// Address-bus encoding study (extension; the paper's future-work "bus
+// architecture" axis): transition counts of binary / gray / t0 / bus-invert
+// encodings over every workload's instruction and data address streams.
+// Expected shape: t0 and gray dominate on instruction buses (sequential
+// fetch), bus-invert is the only one that helps on data buses with random
+// traffic.
+//
+// Flags: --width=24  --kind=instr|data|both
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "bus/activity.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+void EmitTable(const std::vector<ces::bench::BenchmarkTraces>& all,
+               bool instruction, std::uint32_t width) {
+  ces::AsciiTable table({"Benchmark", "Binary tog/word", "Gray", "T0",
+                         "Bus-invert", "Best"});
+  char buf[32];
+  for (const auto& traces : all) {
+    const auto reports = ces::bus::AnalyzeBusActivity(
+        instruction ? traces.instruction : traces.data, width);
+    std::vector<std::string> row = {traces.name};
+    const ces::bus::ActivityReport* best = &reports[0];
+    std::snprintf(buf, sizeof(buf), "%.3f", reports[0].average_per_word);
+    row.emplace_back(buf);
+    for (std::size_t i = 1; i < reports.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%+.1f%%",
+                    reports[i].savings_vs_binary * 100.0);
+      row.emplace_back(buf);
+      if (reports[i].transitions < best->transitions) best = &reports[i];
+    }
+    row.emplace_back(ces::bus::ToString(best->encoding));
+    table.AddRow(std::move(row));
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ces::ArgParser args(argc, argv);
+  const auto width = static_cast<std::uint32_t>(args.GetInt("width", 24));
+  const std::string kind = args.GetString("kind", "both");
+  const auto all = ces::bench::CollectAllTraces();
+
+  if (kind != "data") {
+    std::printf("instruction address bus (%u lines), savings vs binary:\n",
+                width);
+    EmitTable(all, /*instruction=*/true, width);
+    std::fputc('\n', stdout);
+  }
+  if (kind != "instr") {
+    std::printf("data address bus (%u lines), savings vs binary:\n", width);
+    EmitTable(all, /*instruction=*/false, width);
+  }
+  return 0;
+}

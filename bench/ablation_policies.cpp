@@ -1,0 +1,81 @@
+// Replacement-policy ablation (extension; the paper fixes LRU and calls
+// policy exploration future work): take the LRU-optimal instances the
+// analytical explorer returns at a 5% miss budget, then re-simulate each
+// under FIFO, PLRU and Random replacement. The output quantifies how far
+// the LRU-exact guarantee transfers: the budget is guaranteed only for LRU,
+// and the table shows by how much the other policies overshoot.
+//
+// Flags: --benchmark=<name> (default: a representative subset)
+//        --fraction=0.05
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analytic/explorer.hpp"
+#include "bench_util.hpp"
+#include "cache/opt.hpp"
+#include "cache/sim.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "trace/strip.hpp"
+
+namespace {
+
+void EmitStudy(const std::string& name, const ces::trace::Trace& trace,
+               double fraction) {
+  const ces::analytic::Explorer explorer(trace);
+  const ces::analytic::ExplorationResult result =
+      explorer.SolveFraction(fraction);
+  std::printf("-- %s data trace, K=%llu (%.0f%%) --\n", name.c_str(),
+              static_cast<unsigned long long>(result.k), fraction * 100);
+
+  const ces::trace::StrippedTrace stripped = ces::trace::Strip(trace);
+  ces::AsciiTable table({"Depth", "Assoc", "LRU misses", "OPT", "FIFO",
+                         "PLRU", "Random", "FIFO meets K?"});
+  for (const auto& point : result.points) {
+    auto misses_with = [&](ces::cache::ReplacementPolicy policy) {
+      ces::cache::CacheConfig config;
+      config.depth = point.depth;
+      config.assoc = point.assoc;
+      config.replacement = policy;
+      if (!config.IsValid()) return std::string("-");
+      return std::to_string(
+          ces::cache::SimulateTrace(trace, config).warm_misses());
+    };
+    const std::string fifo = misses_with(ces::cache::ReplacementPolicy::kFifo);
+    std::uint32_t bits = 0;
+    while ((1u << bits) < point.depth) ++bits;
+    const std::uint64_t opt =
+        ces::cache::OptWarmMisses(stripped, bits, point.assoc);
+    table.AddRow({std::to_string(point.depth), std::to_string(point.assoc),
+                  std::to_string(point.warm_misses), std::to_string(opt), fifo,
+                  misses_with(ces::cache::ReplacementPolicy::kPlru),
+                  misses_with(ces::cache::ReplacementPolicy::kRandom),
+                  (fifo != "-" &&
+                   std::stoull(fifo) <= result.k)
+                      ? "yes"
+                      : "no"});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ces::ArgParser args(argc, argv);
+  const std::string only = args.GetString("benchmark", "");
+  const double fraction = args.GetDouble("fraction", 0.05);
+  const std::vector<std::string> subset = {"crc", "engine", "qurt", "adpcm"};
+
+  for (const auto& traces : ces::bench::CollectAllTraces()) {
+    const bool selected =
+        only.empty()
+            ? std::find(subset.begin(), subset.end(), traces.name) !=
+                  subset.end()
+            : traces.name == only;
+    if (selected) EmitStudy(traces.name, traces.data, fraction);
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Shared helpers for the experiment harnesses: run every workload once and
+// cache its traces so multi-table benches do not re-simulate per table.
+#pragma once
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ces::bench {
+
+struct BenchmarkTraces {
+  std::string name;
+  trace::Trace instruction;
+  trace::Trace data;
+};
+
+// Runs the 12 PowerStone-like workloads on the MR32 simulator (verifying
+// each against its golden model) and returns their traces in paper order.
+inline std::vector<BenchmarkTraces> CollectAllTraces(
+    bool verbose = true, workloads::Scale scale = workloads::Scale::kDefault) {
+  std::vector<BenchmarkTraces> all;
+  for (const workloads::Workload& workload : workloads::AllWorkloads(scale)) {
+    if (verbose) {
+      std::fprintf(stderr, "[setup] running %s on MR32...\n",
+                   workload.name.c_str());
+    }
+    workloads::WorkloadRun run = workloads::Run(workload);
+    if (run.stop != sim::StopReason::kHalted || !run.output_matches) {
+      throw std::runtime_error("workload failed: " + workload.name);
+    }
+    BenchmarkTraces traces;
+    traces.name = workload.name;
+    traces.instruction = std::move(run.instruction_trace);
+    traces.data = std::move(run.data_trace);
+    all.push_back(std::move(traces));
+  }
+  return all;
+}
+
+}  // namespace ces::bench

@@ -1,0 +1,82 @@
+// Supporting micro-benchmarks (google-benchmark): throughput of the cache
+// simulator substrate across organisations and replacement policies, and of
+// the Mattson stack pass across depths. These quantify the per-reference
+// cost that makes the traditional flow expensive.
+#include <benchmark/benchmark.h>
+
+#include "cache/sim.hpp"
+#include "cache/stack.hpp"
+#include "support/rng.hpp"
+#include "trace/strip.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+const ces::trace::Trace& MicroTrace() {
+  static const ces::trace::Trace trace = [] {
+    ces::Rng rng(777);
+    return ces::trace::LocalityMix(rng, 512, 4096, 100000);
+  }();
+  return trace;
+}
+
+void BM_CacheSimulate(benchmark::State& state) {
+  const auto& trace = MicroTrace();
+  ces::cache::CacheConfig config;
+  config.depth = static_cast<std::uint32_t>(state.range(0));
+  config.assoc = static_cast<std::uint32_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ces::cache::SimulateTrace(trace, config).misses);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_CacheSimulate)
+    ->Args({64, 1})
+    ->Args({64, 4})
+    ->Args({256, 2})
+    ->Args({1024, 1})
+    ->Args({1, 64})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReplacementPolicies(benchmark::State& state) {
+  const auto& trace = MicroTrace();
+  ces::cache::CacheConfig config;
+  config.depth = 128;
+  config.assoc = 4;
+  config.replacement =
+      static_cast<ces::cache::ReplacementPolicy>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ces::cache::SimulateTrace(trace, config).misses);
+  }
+  state.SetLabel(ces::cache::ToString(config.replacement));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_ReplacementPolicies)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+void BM_StackProfile(benchmark::State& state) {
+  static const ces::trace::StrippedTrace stripped =
+      ces::trace::Strip(MicroTrace());
+  const auto bits = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ces::cache::ComputeStackProfile(stripped, bits));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stripped.size()));
+}
+BENCHMARK(BM_StackProfile)->DenseRange(0, 10, 2)->Unit(benchmark::kMillisecond);
+
+void BM_TraceStrip(benchmark::State& state) {
+  const auto& trace = MicroTrace();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ces::trace::Strip(trace).unique_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_TraceStrip)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Energy-aware selection (the paper's future-work direction): among all
+// (depth, assoc) instances meeting the miss budget, rank by estimated total
+// energy (CACTI-lite dynamic energy + off-chip miss penalty) and show the
+// size/miss Pareto front.
+//
+// Usage: energy_aware [--benchmark=engine] [--fraction=0.10]
+#include <cstdio>
+#include <string>
+
+#include "analytic/explorer.hpp"
+#include "explore/pareto.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "workloads/workloads.hpp"
+
+int main(int argc, char** argv) {
+  const ces::ArgParser args(argc, argv);
+  const std::string name = args.GetString("benchmark", "engine");
+  const double fraction = args.GetDouble("fraction", 0.10);
+
+  const ces::workloads::Workload* workload =
+      ces::workloads::FindWorkload(name);
+  if (workload == nullptr) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
+    return 1;
+  }
+  const ces::workloads::WorkloadRun run = ces::workloads::Run(*workload);
+  const ces::analytic::Explorer explorer(run.data_trace);
+  const ces::analytic::ExplorationResult result =
+      explorer.SolveFraction(fraction);
+  std::printf("%s data trace, K=%llu (%.0f%% of max misses)\n\n", name.c_str(),
+              static_cast<unsigned long long>(result.k), fraction * 100);
+
+  const auto ranked = ces::explore::RankByEnergy(
+      result.points, explorer.stats().n, explorer.stats().n_unique);
+  ces::AsciiTable table({"Rank", "Depth", "Assoc", "Size (words)",
+                         "Warm misses", "Energy/access (nJ)", "Total (uJ)",
+                         "Access (ns)"});
+  char buf[32];
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const auto& entry = ranked[i];
+    std::vector<std::string> row = {std::to_string(i + 1),
+                                    std::to_string(entry.point.depth),
+                                    std::to_string(entry.point.assoc),
+                                    std::to_string(entry.point.size_words()),
+                                    std::to_string(entry.point.warm_misses)};
+    std::snprintf(buf, sizeof(buf), "%.3f", entry.estimate.read_energy_nj);
+    row.emplace_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.2f", entry.total_energy_nj / 1000.0);
+    row.emplace_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.2f", entry.estimate.access_time_ns);
+    row.emplace_back(buf);
+    table.AddRow(std::move(row));
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+
+  std::puts("\nPareto front over (size, warm misses):");
+  ces::AsciiTable front({"Depth", "Assoc", "Size (words)", "Warm misses"});
+  for (const auto& point : ces::explore::ParetoFront(result.points)) {
+    front.AddRow({std::to_string(point.depth), std::to_string(point.assoc),
+                  std::to_string(point.size_words()),
+                  std::to_string(point.warm_misses)});
+  }
+  std::fputs(front.ToString().c_str(), stdout);
+  return 0;
+}

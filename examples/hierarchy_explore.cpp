@@ -1,0 +1,84 @@
+// Two-level hierarchy exploration (extension): use the analytical explorer
+// to pick the L1 instruction and data caches (smallest instances meeting a
+// miss budget), then sweep the unified L2 over the merged program-order
+// reference stream and report AMAT and energy-ish cost per configuration.
+//
+// Usage: hierarchy_explore [--benchmark=compress] [--fraction=0.10]
+#include <cstdio>
+#include <string>
+
+#include "analytic/explorer.hpp"
+#include "cache/hierarchy.hpp"
+#include "isa/assembler.hpp"
+#include "sim/cpu.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+ces::cache::CacheConfig PickL1(const ces::trace::Trace& trace,
+                               double fraction) {
+  const ces::analytic::Explorer explorer(trace);
+  const auto result = explorer.SolveFraction(fraction);
+  const ces::analytic::DesignPoint* best = result.SmallestCache();
+  ces::cache::CacheConfig config;
+  config.depth = best->depth;
+  config.assoc = best->assoc;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ces::ArgParser args(argc, argv);
+  const std::string name = args.GetString("benchmark", "compress");
+  const double fraction = args.GetDouble("fraction", 0.10);
+
+  const ces::workloads::Workload* workload =
+      ces::workloads::FindWorkload(name);
+  if (workload == nullptr) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
+    return 1;
+  }
+  const ces::isa::Program program = ces::isa::Assemble(workload->assembly);
+  const ces::sim::RunResult run =
+      ces::sim::RunProgram(program, name, 200'000'000, /*keep_combined=*/true);
+  if (run.stop != ces::sim::StopReason::kHalted ||
+      run.output != workload->expected_output) {
+    std::fprintf(stderr, "workload failed verification\n");
+    return 1;
+  }
+
+  ces::cache::HierarchyConfig config;
+  config.l1i = PickL1(run.instruction_trace, fraction);
+  config.l1d = PickL1(run.data_trace, fraction);
+  std::printf(
+      "analytically chosen L1s (smallest meeting %.0f%% budget):\n"
+      "  L1I: %s\n  L1D: %s\n\n",
+      fraction * 100, config.l1i.ToString().c_str(),
+      config.l1d.ToString().c_str());
+
+  ces::AsciiTable table({"L2 depth", "L2 assoc", "L2 size (words)",
+                         "L2 miss rate", "Memory accesses", "AMAT (ns)"});
+  char buf[32];
+  for (std::uint32_t depth = 128; depth <= 4096; depth *= 2) {
+    for (std::uint32_t assoc : {1u, 4u}) {
+      config.l2.depth = depth;
+      config.l2.assoc = assoc;
+      const ces::cache::HierarchyStats stats =
+          ces::cache::SimulateHierarchy(run.combined, config);
+      std::vector<std::string> row = {std::to_string(depth),
+                                      std::to_string(assoc),
+                                      std::to_string(config.l2.size_words())};
+      std::snprintf(buf, sizeof(buf), "%.4f", stats.l2.miss_rate());
+      row.emplace_back(buf);
+      row.push_back(ces::FormatWithThousands(stats.memory_accesses));
+      std::snprintf(buf, sizeof(buf), "%.3f", stats.Amat());
+      row.emplace_back(buf);
+      table.AddRow(std::move(row));
+    }
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Trace tooling: generate, convert and inspect reference traces.
+//
+//   trace_inspect gen --benchmark=crc --out=traces/      (workload traces)
+//   trace_inspect stats --trace=foo.ctr                  (Table 5/6 row)
+//   trace_inspect convert --trace=foo.ctr --out=foo.trc  (binary <-> text)
+//   trace_inspect profile --trace=foo.ctr --depth=64     (miss histogram)
+#include <cstdio>
+#include <string>
+
+#include "cache/stack.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "trace/strip.hpp"
+#include "trace/trace_io.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: trace_inspect <gen|stats|convert|profile> [flags]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ces::ArgParser args(argc, argv);
+  if (args.positional().empty()) return Usage();
+  const std::string command = args.positional()[0];
+
+  if (command == "gen") {
+    const std::string name = args.GetString("benchmark", "crc");
+    const std::string out = args.GetString("out", ".");
+    const auto* workload = ces::workloads::FindWorkload(name);
+    if (workload == nullptr) {
+      std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
+      return 1;
+    }
+    const auto run = ces::workloads::Run(*workload);
+    if (!run.output_matches) {
+      std::fprintf(stderr, "golden-model mismatch\n");
+      return 1;
+    }
+    ces::trace::SaveToFile(out + "/" + name + ".instr.ctr",
+                           run.instruction_trace);
+    ces::trace::SaveToFile(out + "/" + name + ".data.ctr", run.data_trace);
+    std::printf("wrote %s/%s.{instr,data}.ctr\n", out.c_str(), name.c_str());
+    return 0;
+  }
+
+  const std::string path = args.GetString("trace", "");
+  if (path.empty()) return Usage();
+  const ces::trace::Trace trace = ces::trace::LoadFromFile(path);
+
+  if (command == "stats") {
+    const auto stats = ces::trace::ComputeStats(trace);
+    std::printf("%-12s N=%-10llu N'=%-8llu max-misses=%llu\n",
+                trace.name.empty() ? path.c_str() : trace.name.c_str(),
+                static_cast<unsigned long long>(stats.n),
+                static_cast<unsigned long long>(stats.n_unique),
+                static_cast<unsigned long long>(stats.max_misses));
+    return 0;
+  }
+  if (command == "convert") {
+    const std::string out = args.GetString("out", "");
+    if (out.empty()) return Usage();
+    ces::trace::SaveToFile(out, trace);
+    std::printf("wrote %s\n", out.c_str());
+    return 0;
+  }
+  if (command == "profile") {
+    const auto depth = static_cast<std::uint32_t>(args.GetInt("depth", 64));
+    std::uint32_t bits = 0;
+    while ((1u << bits) < depth) ++bits;
+    const auto profile =
+        ces::cache::ComputeStackProfile(ces::trace::Strip(trace), bits);
+    std::printf("depth %u: cold=%llu\n", 1u << bits,
+                static_cast<unsigned long long>(profile.cold));
+    ces::AsciiTable table({"Stack distance", "Accesses", "Misses at A=d"});
+    for (std::size_t d = 0; d < profile.hist.size() && d <= 16; ++d) {
+      table.AddRow({std::to_string(d), std::to_string(profile.hist[d]),
+                    d == 0 ? "-" : std::to_string(profile.MissesAtAssoc(
+                                       static_cast<std::uint32_t>(d)))});
+    }
+    std::fputs(table.ToString().c_str(), stdout);
+    return 0;
+  }
+  return Usage();
+}

@@ -1,0 +1,66 @@
+// Compares the traditional design-simulate-analyze loop (Figure 1a) against
+// the analytical flow (Figure 1b) on one workload: same answers, very
+// different costs. This is the paper's motivating experiment in miniature.
+//
+// Usage: tuning_compare [--benchmark=fir] [--fraction=0.05] [--max-bits=10]
+#include <cstdio>
+#include <string>
+
+#include "explore/strategy.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "trace/strip.hpp"
+#include "workloads/workloads.hpp"
+
+int main(int argc, char** argv) {
+  const ces::ArgParser args(argc, argv);
+  const std::string name = args.GetString("benchmark", "fir");
+  const double fraction = args.GetDouble("fraction", 0.05);
+  const auto max_bits = static_cast<std::uint32_t>(args.GetInt("max-bits", 10));
+
+  const ces::workloads::Workload* workload =
+      ces::workloads::FindWorkload(name);
+  if (workload == nullptr) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
+    return 1;
+  }
+  const ces::workloads::WorkloadRun run = ces::workloads::Run(*workload);
+  const ces::trace::Trace& trace = run.data_trace;
+  const ces::trace::TraceStats stats = ces::trace::ComputeStats(trace);
+  const auto k = static_cast<std::uint64_t>(
+      fraction * static_cast<double>(stats.max_misses));
+  std::printf("%s data trace: N=%llu N'=%llu, K=%llu (%.0f%% of max misses)\n\n",
+              name.c_str(), static_cast<unsigned long long>(stats.n),
+              static_cast<unsigned long long>(stats.n_unique),
+              static_cast<unsigned long long>(k), fraction * 100);
+
+  ces::AsciiTable table(
+      {"Strategy", "Time", "Simulated refs", "Agrees"});
+  std::vector<ces::analytic::DesignPoint> reference_points;
+  for (const auto& strategy : ces::explore::AllStrategies()) {
+    const ces::explore::StrategyResult result =
+        strategy->Explore(trace, k, max_bits);
+    bool agrees = true;
+    if (reference_points.empty()) {
+      reference_points = result.points;
+    } else {
+      agrees = result.points.size() == reference_points.size();
+      for (std::size_t i = 0; agrees && i < result.points.size(); ++i) {
+        agrees = result.points[i].assoc == reference_points[i].assoc;
+      }
+    }
+    table.AddRow({strategy->name(), ces::FormatSeconds(result.seconds),
+                  ces::FormatWithThousands(result.simulated_references),
+                  agrees ? "yes" : "NO"});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+
+  std::puts("\nOptimal instances (all strategies agree):");
+  ces::AsciiTable points({"Depth", "Assoc", "Warm misses"});
+  for (const auto& point : reference_points) {
+    points.AddRow({std::to_string(point.depth), std::to_string(point.assoc),
+                   std::to_string(point.warm_misses)});
+  }
+  std::fputs(points.ToString().c_str(), stdout);
+  return 0;
+}

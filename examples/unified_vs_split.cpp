@@ -1,0 +1,96 @@
+// Unified vs split L1 organisation study: at equal total capacity, compare
+// (a) split instruction/data caches — each sized by simulating the two
+// streams — against (b) one unified cache fed the merged program-order
+// stream. Reports misses and the CPI estimate of the in-order performance
+// model. The expected embedded-systems shape: split wins once the capacity
+// is large enough for both working sets; tiny unified caches can win by
+// letting the dominant stream take more than half.
+//
+// Usage: unified_vs_split [--benchmark=des] [--assoc=2]
+#include <cstdio>
+#include <string>
+
+#include "cache/sim.hpp"
+#include "explore/performance.hpp"
+#include "isa/assembler.hpp"
+#include "sim/cpu.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "workloads/workloads.hpp"
+
+int main(int argc, char** argv) {
+  const ces::ArgParser args(argc, argv);
+  const std::string name = args.GetString("benchmark", "des");
+  const auto assoc = static_cast<std::uint32_t>(args.GetInt("assoc", 2));
+
+  const ces::workloads::Workload* workload =
+      ces::workloads::FindWorkload(name);
+  if (workload == nullptr) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
+    return 1;
+  }
+  const ces::isa::Program program = ces::isa::Assemble(workload->assembly);
+  const ces::sim::RunResult run =
+      ces::sim::RunProgram(program, name, 200'000'000, /*keep_combined=*/true);
+  if (run.stop != ces::sim::StopReason::kHalted ||
+      run.output != workload->expected_output) {
+    std::fprintf(stderr, "workload failed verification\n");
+    return 1;
+  }
+
+  std::printf("%s: %llu instructions, %llu data accesses, %u-way caches\n\n",
+              name.c_str(), static_cast<unsigned long long>(run.retired),
+              static_cast<unsigned long long>(run.data_trace.size()), assoc);
+
+  ces::AsciiTable table({"Total words", "Split I+D misses", "Split CPI",
+                         "Unified misses", "Unified CPI", "Winner"});
+  char buf[32];
+  for (std::uint32_t total_words = 64; total_words <= 4096; total_words *= 2) {
+    // Split: half the capacity each.
+    ces::cache::CacheConfig half;
+    half.depth = total_words / 2 / assoc;
+    half.assoc = assoc;
+    if (half.depth == 0 || !half.IsValid()) continue;
+    const auto i_stats = ces::cache::SimulateTrace(run.instruction_trace, half);
+    const auto d_stats = ces::cache::SimulateTrace(run.data_trace, half);
+    const auto split = ces::explore::EstimatePerformance(
+        run.retired, i_stats.misses, d_stats.accesses, d_stats.misses);
+
+    // Unified: all capacity in one cache fed in program order.
+    ces::cache::CacheConfig whole;
+    whole.depth = total_words / assoc;
+    whole.assoc = assoc;
+    ces::cache::Cache unified(whole);
+    std::uint64_t unified_i_misses = 0;
+    std::uint64_t unified_d_misses = 0;
+    for (const ces::trace::Access& access : run.combined) {
+      const auto outcome = unified.Access(access.addr, access.is_write);
+      if (outcome != ces::cache::AccessOutcome::kHit) {
+        if (access.kind == ces::trace::StreamKind::kInstruction) {
+          ++unified_i_misses;
+        } else {
+          ++unified_d_misses;
+        }
+      }
+    }
+    const auto unified_perf = ces::explore::EstimatePerformance(
+        run.retired, unified_i_misses, run.data_trace.size(),
+        unified_d_misses);
+
+    const std::uint64_t split_misses = i_stats.misses + d_stats.misses;
+    const std::uint64_t unified_misses = unified_i_misses + unified_d_misses;
+    std::vector<std::string> row = {
+        std::to_string(total_words), ces::FormatWithThousands(split_misses)};
+    std::snprintf(buf, sizeof(buf), "%.3f", split.cpi);
+    row.emplace_back(buf);
+    row.push_back(ces::FormatWithThousands(unified_misses));
+    std::snprintf(buf, sizeof(buf), "%.3f", unified_perf.cpi);
+    row.emplace_back(buf);
+    row.emplace_back(split.cpi < unified_perf.cpi        ? "split"
+                     : unified_perf.cpi < split.cpi ? "unified"
+                                                    : "tie");
+    table.AddRow(std::move(row));
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
+}

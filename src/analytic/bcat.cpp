@@ -1,0 +1,77 @@
+#include "analytic/bcat.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace ces::analytic {
+
+const std::vector<std::int32_t> Bcat::kEmptyLevel = {};
+
+Bcat Bcat::Build(const ZeroOneSets& sets, std::size_t unique_count,
+                 std::uint32_t max_levels) {
+  max_levels = std::min(max_levels, sets.bit_count());
+  Bcat tree;
+
+  Node root;
+  root.refs = DynamicBitset(unique_count);
+  for (std::size_t id = 0; id < unique_count; ++id) root.refs.Set(id);
+  tree.nodes_.push_back(std::move(root));
+  tree.levels_.push_back({0});
+
+  // Worklist expansion in level order; Algorithm 1's recursion made
+  // iterative so deep trees cannot overflow the call stack.
+  std::vector<std::int32_t> frontier = {0};
+  for (std::uint32_t level = 0; level < max_levels && !frontier.empty();
+       ++level) {
+    std::vector<std::int32_t> next;
+    for (std::int32_t index : frontier) {
+      // Split only nodes that can still conflict (cardinality >= 2).
+      if (tree.nodes_[static_cast<std::size_t>(index)].refs.Count() < 2) continue;
+      const DynamicBitset parent_refs =
+          tree.nodes_[static_cast<std::size_t>(index)].refs;
+      const std::uint32_t parent_path =
+          tree.nodes_[static_cast<std::size_t>(index)].path;
+
+      Node left;
+      left.refs = DynamicBitset::Intersection(parent_refs, sets.zero[level]);
+      left.level = level + 1;
+      left.path = parent_path;  // bit B_level = 0
+
+      Node right;
+      right.refs = DynamicBitset::Intersection(parent_refs, sets.one[level]);
+      right.level = level + 1;
+      right.path = parent_path | (1u << level);  // bit B_level = 1
+
+      const auto left_index = static_cast<std::int32_t>(tree.nodes_.size());
+      tree.nodes_.push_back(std::move(left));
+      const auto right_index = static_cast<std::int32_t>(tree.nodes_.size());
+      tree.nodes_.push_back(std::move(right));
+      tree.nodes_[static_cast<std::size_t>(index)].left = left_index;
+      tree.nodes_[static_cast<std::size_t>(index)].right = right_index;
+      next.push_back(left_index);
+      next.push_back(right_index);
+    }
+    if (!next.empty()) tree.levels_.push_back(next);
+    frontier = std::move(next);
+  }
+  return tree;
+}
+
+const std::vector<std::int32_t>& Bcat::LevelNodes(std::uint32_t level) const {
+  if (level >= levels_.size()) return kEmptyLevel;
+  return levels_[level];
+}
+
+std::uint32_t Bcat::MaxCardinalityAtLevel(std::uint32_t level) const {
+  // Rows pruned from the tree hold at most one reference, so the floor is 1
+  // whenever any reference exists at all.
+  std::size_t max_cardinality = nodes_.empty() ? 0 : 1;
+  for (std::int32_t index : LevelNodes(level)) {
+    max_cardinality =
+        std::max(max_cardinality, node(index).refs.Count());
+  }
+  return static_cast<std::uint32_t>(max_cardinality);
+}
+
+}  // namespace ces::analytic

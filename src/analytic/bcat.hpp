@@ -1,0 +1,58 @@
+// Binary Cache Allocation Tree (paper section 2.2, Algorithm 1, Figure 3).
+//
+// Level l of the tree corresponds to a cache of depth 2^l indexed by address
+// bits B_0..B_{l-1}; the nodes at level l hold the sets of unique-reference
+// ids mapping to each of the 2^l cache rows. The root (level 0) is the full
+// reference set — a depth-1, fully shared cache row. Growth stops below
+// nodes with fewer than two references, since such rows can never conflict.
+//
+// This is the explicit, paper-faithful data structure; the fused engine in
+// fast.hpp traverses the same tree implicitly in linear space (section 2.4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analytic/zeroone.hpp"
+#include "support/bitset.hpp"
+
+namespace ces::analytic {
+
+class Bcat {
+ public:
+  struct Node {
+    DynamicBitset refs;        // unique-reference ids mapping to this row
+    std::uint32_t level = 0;   // depth = 2^level
+    std::uint32_t path = 0;    // value of bits B_0..B_{level-1} for this row
+    std::int32_t left = -1;    // child where B_level = 0
+    std::int32_t right = -1;   // child where B_level = 1
+  };
+
+  // Builds the tree over `unique_count` references using at most
+  // `max_levels` index bits (Algorithm 1, iteratively).
+  static Bcat Build(const ZeroOneSets& sets, std::size_t unique_count,
+                    std::uint32_t max_levels);
+
+  const Node& node(std::int32_t index) const { return nodes_[static_cast<std::size_t>(index)]; }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  // Node indices present at a level. Rows whose ancestors were pruned have
+  // no node; they hold at most one reference and never miss.
+  const std::vector<std::int32_t>& LevelNodes(std::uint32_t level) const;
+
+  // Number of levels with at least one node (root level included).
+  std::uint32_t level_count() const {
+    return static_cast<std::uint32_t>(levels_.size());
+  }
+
+  // Max node cardinality per level: the associativity guaranteeing zero
+  // misses at that depth (paper's A_zero discussion).
+  std::uint32_t MaxCardinalityAtLevel(std::uint32_t level) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<std::vector<std::int32_t>> levels_;
+  static const std::vector<std::int32_t> kEmptyLevel;
+};
+
+}  // namespace ces::analytic

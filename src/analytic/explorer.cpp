@@ -1,0 +1,78 @@
+#include "analytic/explorer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analytic/bcat.hpp"
+#include "analytic/fast.hpp"
+#include "analytic/mrct.hpp"
+#include "analytic/postlude.hpp"
+#include "analytic/zeroone.hpp"
+#include "support/timer.hpp"
+
+namespace ces::analytic {
+
+const DesignPoint* ExplorationResult::SmallestCache() const {
+  const DesignPoint* best = nullptr;
+  for (const DesignPoint& point : points) {
+    if (best == nullptr || point.size_words() < best->size_words()) {
+      best = &point;
+    }
+  }
+  return best;
+}
+
+Explorer::Explorer(const trace::Trace& trace, ExplorerOptions options) {
+  Stopwatch watch;
+  const trace::StrippedTrace stripped =
+      options.line_words == 1
+          ? trace::Strip(trace)
+          : trace::Strip(trace::WithLineSize(trace, options.line_words));
+  stats_ = trace::ComputeStats(stripped);
+  max_index_bits_ =
+      std::min(options.max_index_bits, trace::SignificantAddressBits(stripped));
+
+  if (options.engine == Engine::kFused) {
+    profiles_ = ComputeMissProfilesFused(stripped, max_index_bits_);
+  } else if (options.engine == Engine::kFusedTree) {
+    profiles_ = ComputeMissProfilesFusedTree(stripped, max_index_bits_);
+  } else {
+    const ZeroOneSets sets = BuildZeroOneSets(stripped, max_index_bits_);
+    const Bcat bcat = Bcat::Build(sets, stripped.unique_count(),
+                                  max_index_bits_);
+    const Mrct mrct = Mrct::Build(stripped);
+    profiles_ = ComputeMissProfiles(bcat, mrct, stripped.warm_count(),
+                                    stripped.unique_count(), max_index_bits_);
+  }
+  prelude_seconds_ = watch.ElapsedSeconds();
+}
+
+ExplorationResult Explorer::Solve(std::uint64_t k) const {
+  Stopwatch watch;
+  ExplorationResult result;
+  result.k = k;
+  result.points.reserve(profiles_.size());
+  for (const cache::StackProfile& profile : profiles_) {
+    DesignPoint point;
+    point.depth = profile.depth();
+    point.assoc = profile.MinAssocFor(k);
+    point.warm_misses = profile.MissesAtAssoc(point.assoc);
+    result.points.push_back(point);
+  }
+  result.prelude_seconds = prelude_seconds_;
+  result.solve_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+ExplorationResult Explorer::SolveFraction(double fraction) const {
+  const auto k = static_cast<std::uint64_t>(
+      std::floor(fraction * static_cast<double>(stats_.max_misses)));
+  return Solve(k);
+}
+
+ExplorationResult Explore(const trace::Trace& trace, std::uint64_t k,
+                          ExplorerOptions options) {
+  return Explorer(trace, options).Solve(k);
+}
+
+}  // namespace ces::analytic

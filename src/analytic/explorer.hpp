@@ -1,0 +1,84 @@
+// Public API of the analytical cache design-space explorer (Figure 1b).
+//
+// Typical use:
+//   ces::analytic::Explorer explorer(trace);
+//   auto result = explorer.SolveFraction(0.05);  // K = 5% of max misses
+//   for (const auto& p : result.points) { ... p.depth, p.assoc ... }
+//
+// Construction runs the prelude once (trace stripping + miss-histogram
+// computation); each Solve call is then a cheap histogram query, so any
+// number of miss budgets K can be explored without touching the trace again.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analytic/model.hpp"
+#include "cache/stack.hpp"
+#include "trace/strip.hpp"
+#include "trace/trace.hpp"
+
+namespace ces::analytic {
+
+enum class Engine : std::uint8_t {
+  // Explicit BCAT + MRCT data structures, as presented in sections 2.2-2.3.
+  // Memory grows with the sum of reuse distances; intended for moderate
+  // traces and for validating the fused engine.
+  kReference = 0,
+  // Fused depth-first engine of section 2.4: linear space, the default.
+  kFused = 1,
+  // Fused engine with Bennett-Kruskal Fenwick-tree scans per node:
+  // O(n log n) per node independent of stack depth. Same results.
+  kFusedTree = 2,
+};
+
+struct ExplorerOptions {
+  Engine engine = Engine::kFused;
+  // Largest depth explored is 2^max_index_bits; automatically lowered to the
+  // number of address bits that actually vary in the trace (deeper caches
+  // cannot reduce misses further).
+  std::uint32_t max_index_bits = 16;
+  // Cache line size in words (power of two). The paper fixes this at one
+  // word; larger values re-block the trace first (the future-work line-size
+  // axis), after which depths/misses are in units of lines.
+  std::uint32_t line_words = 1;
+};
+
+struct ExplorationResult {
+  std::uint64_t k = 0;               // the miss budget used
+  std::vector<DesignPoint> points;   // one per depth 2^0..2^max
+  double prelude_seconds = 0.0;      // one-off analysis time
+  double solve_seconds = 0.0;        // per-query time
+
+  // Smallest cache (in words) among the points, the natural pick when all
+  // depths are otherwise equal.
+  const DesignPoint* SmallestCache() const;
+};
+
+class Explorer {
+ public:
+  explicit Explorer(const trace::Trace& trace, ExplorerOptions options = {});
+
+  // Optimal (D, A) pairs with non-cold misses <= k.
+  ExplorationResult Solve(std::uint64_t k) const;
+
+  // k = floor(fraction * max_misses); the paper's 5/10/15/20% sweeps.
+  ExplorationResult SolveFraction(double fraction) const;
+
+  const trace::TraceStats& stats() const { return stats_; }
+  const std::vector<cache::StackProfile>& profiles() const { return profiles_; }
+  std::uint32_t max_index_bits() const { return max_index_bits_; }
+  double prelude_seconds() const { return prelude_seconds_; }
+
+ private:
+  trace::TraceStats stats_;
+  std::vector<cache::StackProfile> profiles_;
+  std::uint32_t max_index_bits_ = 0;
+  double prelude_seconds_ = 0.0;
+};
+
+// One-shot convenience wrapper.
+ExplorationResult Explore(const trace::Trace& trace, std::uint64_t k,
+                          ExplorerOptions options = {});
+
+}  // namespace ces::analytic

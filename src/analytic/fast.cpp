@@ -1,0 +1,185 @@
+#include "analytic/fast.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/check.hpp"
+#include "support/fenwick.hpp"
+
+namespace ces::analytic {
+namespace {
+
+struct FusedState {
+  const trace::StrippedTrace* stripped = nullptr;
+  std::vector<cache::StackProfile>* profiles = nullptr;
+  std::uint32_t max_index_bits = 0;
+  // Scratch: d-distance tallies per level are written straight into the
+  // profiles; warm totals are fixed up by the caller afterwards.
+  std::vector<std::uint64_t> counted_per_level;
+};
+
+// Processes one implicit BCAT node at `level` whose subsequence of the trace
+// is `sequence` (reference ids in trace order, containing every occurrence
+// of every reference mapping to this row). Records distances >= 1 and
+// recurses on the two children.
+void VisitNode(FusedState& state, std::uint32_t level,
+               std::vector<std::uint32_t> sequence) {
+  cache::StackProfile& profile = (*state.profiles)[level];
+
+  // Move-to-front scan: stack position == number of distinct references of
+  // this row touched since the previous occurrence.
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t id : sequence) {
+    const auto it = std::find(stack.begin(), stack.end(), id);
+    if (it == stack.end()) {
+      stack.insert(stack.begin(), id);  // cold occurrence
+      continue;
+    }
+    const auto distance = static_cast<std::size_t>(it - stack.begin());
+    if (distance >= 1) {
+      if (distance >= profile.hist.size()) profile.hist.resize(distance + 1, 0);
+      ++profile.hist[distance];
+      ++state.counted_per_level[level];
+    }
+    std::rotate(stack.begin(), it, it + 1);
+  }
+
+  // Rows with fewer than two distinct references can never conflict at any
+  // deeper level either (their subsets only shrink) — prune, as Algorithm 1
+  // does for BCAT growth.
+  if (stack.size() < 2 || level >= state.max_index_bits) return;
+
+  std::vector<std::uint32_t> left;   // bit B_level == 0
+  std::vector<std::uint32_t> right;  // bit B_level == 1
+  const auto& unique = state.stripped->unique;
+  for (std::uint32_t id : sequence) {
+    if ((unique[id] >> level) & 1u) {
+      right.push_back(id);
+    } else {
+      left.push_back(id);
+    }
+  }
+  sequence.clear();
+  sequence.shrink_to_fit();  // keep the DFS footprint linear
+
+  VisitNode(state, level + 1, std::move(left));
+  VisitNode(state, level + 1, std::move(right));
+}
+
+// Tree-scan variant: identical traversal, but the per-node distances come
+// from a Fenwick tree over the node subsequence (Bennett-Kruskal) rather
+// than a move-to-front scan. Node-local "seen" state uses epoch stamping so
+// no per-node allocation beyond the tree itself is needed.
+struct TreeState {
+  const trace::StrippedTrace* stripped = nullptr;
+  std::vector<cache::StackProfile>* profiles = nullptr;
+  std::uint32_t max_index_bits = 0;
+  std::vector<std::uint64_t> counted_per_level;
+  std::vector<std::uint32_t> epoch_of;   // per id: epoch of last sighting
+  std::vector<std::size_t> last_pos;     // per id: position within the node
+  std::uint32_t epoch = 0;
+};
+
+void VisitNodeTree(TreeState& state, std::uint32_t level,
+                   std::vector<std::uint32_t> sequence) {
+  cache::StackProfile& profile = (*state.profiles)[level];
+  ++state.epoch;
+
+  FenwickTree marks(sequence.size());
+  std::size_t distinct = 0;
+  for (std::size_t t = 0; t < sequence.size(); ++t) {
+    const std::uint32_t id = sequence[t];
+    if (state.epoch_of[id] == state.epoch) {
+      const std::size_t p = state.last_pos[id];
+      const auto distance = static_cast<std::size_t>(
+          t >= p + 2 ? marks.RangeSum(p + 1, t - 1) : 0);
+      if (distance >= 1) {
+        if (distance >= profile.hist.size()) profile.hist.resize(distance + 1, 0);
+        ++profile.hist[distance];
+        ++state.counted_per_level[level];
+      }
+      marks.Add(p, -1);
+    } else {
+      state.epoch_of[id] = state.epoch;
+      ++distinct;
+    }
+    marks.Add(t, +1);
+    state.last_pos[id] = t;
+  }
+
+  if (distinct < 2 || level >= state.max_index_bits) return;
+
+  std::vector<std::uint32_t> left;
+  std::vector<std::uint32_t> right;
+  const auto& unique = state.stripped->unique;
+  for (std::uint32_t id : sequence) {
+    if ((unique[id] >> level) & 1u) {
+      right.push_back(id);
+    } else {
+      left.push_back(id);
+    }
+  }
+  sequence.clear();
+  sequence.shrink_to_fit();
+
+  VisitNodeTree(state, level + 1, std::move(left));
+  VisitNodeTree(state, level + 1, std::move(right));
+}
+
+}  // namespace
+
+std::vector<cache::StackProfile> ComputeMissProfilesFusedTree(
+    const trace::StrippedTrace& stripped, std::uint32_t max_index_bits) {
+  std::vector<cache::StackProfile> profiles(max_index_bits + 1);
+  for (std::uint32_t level = 0; level <= max_index_bits; ++level) {
+    profiles[level].index_bits = level;
+    profiles[level].cold = stripped.unique_count();
+  }
+
+  TreeState state;
+  state.stripped = &stripped;
+  state.profiles = &profiles;
+  state.max_index_bits = max_index_bits;
+  state.counted_per_level.assign(max_index_bits + 1, 0);
+  state.epoch_of.assign(stripped.unique_count(), 0);
+  state.last_pos.assign(stripped.unique_count(), 0);
+
+  VisitNodeTree(state, 0, stripped.ids);
+
+  const std::uint64_t warm_total = stripped.warm_count();
+  for (std::uint32_t level = 0; level <= max_index_bits; ++level) {
+    CES_CHECK(state.counted_per_level[level] <= warm_total);
+    if (profiles[level].hist.empty()) profiles[level].hist.resize(1, 0);
+    profiles[level].hist[0] = warm_total - state.counted_per_level[level];
+  }
+  return profiles;
+}
+
+std::vector<cache::StackProfile> ComputeMissProfilesFused(
+    const trace::StrippedTrace& stripped, std::uint32_t max_index_bits) {
+  std::vector<cache::StackProfile> profiles(max_index_bits + 1);
+  for (std::uint32_t level = 0; level <= max_index_bits; ++level) {
+    profiles[level].index_bits = level;
+    profiles[level].cold = stripped.unique_count();
+  }
+
+  FusedState state;
+  state.stripped = &stripped;
+  state.profiles = &profiles;
+  state.max_index_bits = max_index_bits;
+  state.counted_per_level.assign(max_index_bits + 1, 0);
+
+  VisitNode(state, 0, stripped.ids);
+
+  // Distance-0 bucket: every non-cold occurrence not tallied above hits at
+  // any associativity (distance zero in its row, or the row was pruned).
+  const std::uint64_t warm_total = stripped.warm_count();
+  for (std::uint32_t level = 0; level <= max_index_bits; ++level) {
+    CES_CHECK(state.counted_per_level[level] <= warm_total);
+    if (profiles[level].hist.empty()) profiles[level].hist.resize(1, 0);
+    profiles[level].hist[0] = warm_total - state.counted_per_level[level];
+  }
+  return profiles;
+}
+
+}  // namespace ces::analytic

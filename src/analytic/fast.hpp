@@ -1,0 +1,39 @@
+// Fused prelude/postlude engine (paper section 2.4).
+//
+// The paper notes that a real implementation combines Algorithms 1 and 3:
+// the BCAT is traversed depth-first without ever being materialised, which
+// drops the space complexity from exponential in the tree depth to linear in
+// the trace. This engine does exactly that. At each implicit tree node it
+// scans the node's subsequence of the trace once with a move-to-front stack,
+// recording the per-set LRU stack distance of every non-cold occurrence
+// (= |S n C| of the explicit formulation) into the per-level histogram, then
+// splits the subsequence on the next index bit and recurses.
+//
+// The result is the same vector of per-depth miss histograms the reference
+// engine produces, from which the optimal (D, A) set for ANY miss budget K
+// follows in O(levels * max distance) — an "all K" capability the explicit
+// engine shares but at far higher cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/stack.hpp"
+#include "trace/strip.hpp"
+
+namespace ces::analytic {
+
+// Histograms for depths 2^0 .. 2^max_index_bits, identical (including the
+// distance-0 bucket and cold counts) to cache::ComputeAllDepthProfiles and
+// to the reference ComputeMissProfiles.
+std::vector<cache::StackProfile> ComputeMissProfilesFused(
+    const trace::StrippedTrace& stripped, std::uint32_t max_index_bits);
+
+// Same traversal with the per-node scan done by the Bennett-Kruskal Fenwick
+// algorithm (O(n log n) per node) instead of the move-to-front stack
+// (O(n * stack depth)). Wins when reuse distances are long; the ablation
+// bench quantifies the crossover. Results are bit-identical.
+std::vector<cache::StackProfile> ComputeMissProfilesFusedTree(
+    const trace::StrippedTrace& stripped, std::uint32_t max_index_bits);
+
+}  // namespace ces::analytic

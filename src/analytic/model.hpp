@@ -1,0 +1,57 @@
+// Result types of the analytical design-space exploration.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace ces::analytic {
+
+// One optimal cache instance: for depth D, the minimum associativity A whose
+// non-cold miss count on the trace is <= K (paper's output pairs (D, A)).
+struct DesignPoint {
+  std::uint32_t depth = 1;
+  std::uint32_t assoc = 1;
+  // The exact non-cold miss count this (depth, assoc) incurs on the trace.
+  std::uint64_t warm_misses = 0;
+
+  // Cache capacity in words (line size fixed at one word): 2^log2(D) * A.
+  std::uint64_t size_words() const {
+    return static_cast<std::uint64_t>(depth) * assoc;
+  }
+
+  friend bool operator==(const DesignPoint&, const DesignPoint&) = default;
+};
+
+// Physical-feasibility constraints a designer may impose on the result set:
+// silicon budget (total words), timing-driven associativity cap, and a depth
+// window (e.g. the index bits the memory controller supports).
+struct InstanceConstraints {
+  std::uint64_t max_size_words = ~std::uint64_t{0};
+  std::uint32_t max_assoc = ~std::uint32_t{0};
+  std::uint32_t min_depth = 1;
+  std::uint32_t max_depth = ~std::uint32_t{0};
+
+  bool Admits(const DesignPoint& point) const {
+    return point.size_words() <= max_size_words &&
+           point.assoc <= max_assoc && point.depth >= min_depth &&
+           point.depth <= max_depth;
+  }
+};
+
+// The admissible subset of an exploration result, original order preserved.
+// Every surviving point still meets the miss budget it was solved for; an
+// empty result means no instance satisfies both the budget and the
+// constraints (raise K, the size budget, or the depth window).
+inline std::vector<DesignPoint> FilterPoints(
+    const std::vector<DesignPoint>& points,
+    const InstanceConstraints& constraints) {
+  std::vector<DesignPoint> admitted;
+  std::copy_if(points.begin(), points.end(), std::back_inserter(admitted),
+               [&constraints](const DesignPoint& point) {
+                 return constraints.Admits(point);
+               });
+  return admitted;
+}
+
+}  // namespace ces::analytic

@@ -1,0 +1,63 @@
+#include "analytic/postlude.hpp"
+
+#include "support/check.hpp"
+
+namespace ces::analytic {
+
+std::vector<cache::StackProfile> ComputeMissProfiles(
+    const Bcat& bcat, const Mrct& mrct, std::uint64_t warm_total,
+    std::uint64_t cold_total, std::uint32_t max_index_bits) {
+  std::vector<cache::StackProfile> profiles(max_index_bits + 1);
+
+  for (std::uint32_t level = 0; level <= max_index_bits; ++level) {
+    cache::StackProfile& profile = profiles[level];
+    profile.index_bits = level;
+    profile.cold = cold_total;
+
+    std::uint64_t counted = 0;
+    for (std::int32_t index : bcat.LevelNodes(level)) {
+      const Bcat::Node& node = bcat.node(index);
+      if (node.refs.Count() < 2) continue;  // conflict-free row
+      node.refs.ForEachSetBit([&](std::size_t id) {
+        for (const Mrct::ConflictSet& conflict :
+             mrct.ConflictsOf(static_cast<std::uint32_t>(id))) {
+          // |S n C|: C is small and sorted; S is a bitset.
+          std::size_t distance = 0;
+          for (std::uint32_t c : conflict) {
+            if (node.refs.Test(c)) ++distance;
+          }
+          if (distance >= 1) {
+            if (distance >= profile.hist.size()) {
+              profile.hist.resize(distance + 1, 0);
+            }
+            ++profile.hist[distance];
+            ++counted;
+          }
+        }
+      });
+    }
+
+    // Occurrences not counted above hit at any associativity: either their
+    // |S n C| was zero or their row was pruned from the tree.
+    CES_CHECK(counted <= warm_total);
+    if (profile.hist.empty()) profile.hist.resize(1, 0);
+    profile.hist[0] = warm_total - counted;
+  }
+  return profiles;
+}
+
+std::vector<DesignPoint> OptimalSet(
+    const std::vector<cache::StackProfile>& profiles, std::uint64_t k) {
+  std::vector<DesignPoint> points;
+  points.reserve(profiles.size());
+  for (const cache::StackProfile& profile : profiles) {
+    DesignPoint point;
+    point.depth = profile.depth();
+    point.assoc = profile.MinAssocFor(k);
+    point.warm_misses = profile.MissesAtAssoc(point.assoc);
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace ces::analytic

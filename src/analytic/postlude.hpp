@@ -1,0 +1,32 @@
+// Postlude phase (paper section 2.3, Algorithm 3).
+//
+// Operating on the BCAT and MRCT, computes for every cache depth D = 2^l the
+// per-associativity non-cold miss counts, and from them the minimum
+// associativity meeting a miss budget K. The per-level result is expressed
+// as a cache::StackProfile so it can be compared bit-for-bit against the
+// one-pass Mattson simulator and the fused engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analytic/bcat.hpp"
+#include "analytic/model.hpp"
+#include "analytic/mrct.hpp"
+#include "cache/stack.hpp"
+
+namespace ces::analytic {
+
+// Miss histograms for depths 2^0 .. 2^max_index_bits. `warm_total` is the
+// number of non-cold trace positions (StrippedTrace::warm_count), needed to
+// account for occurrences living in pruned (conflict-free) BCAT rows.
+std::vector<cache::StackProfile> ComputeMissProfiles(
+    const Bcat& bcat, const Mrct& mrct, std::uint64_t warm_total,
+    std::uint64_t cold_total, std::uint32_t max_index_bits);
+
+// The paper's final output: for each depth the smallest associativity whose
+// non-cold miss count is <= k (one DesignPoint per depth).
+std::vector<DesignPoint> OptimalSet(
+    const std::vector<cache::StackProfile>& profiles, std::uint64_t k);
+
+}  // namespace ces::analytic

@@ -1,0 +1,28 @@
+#include "analytic/zeroone.hpp"
+
+namespace ces::analytic {
+
+ZeroOneSets BuildZeroOneSets(const trace::StrippedTrace& stripped,
+                             std::uint32_t bit_count) {
+  ZeroOneSets sets;
+  const std::size_t n_unique = stripped.unique_count();
+  sets.zero.reserve(bit_count);
+  sets.one.reserve(bit_count);
+  for (std::uint32_t bit = 0; bit < bit_count; ++bit) {
+    sets.zero.emplace_back(n_unique);
+    sets.one.emplace_back(n_unique);
+  }
+  for (std::size_t id = 0; id < n_unique; ++id) {
+    const std::uint32_t addr = stripped.unique[id];
+    for (std::uint32_t bit = 0; bit < bit_count; ++bit) {
+      if ((addr >> bit) & 1u) {
+        sets.one[bit].Set(id);
+      } else {
+        sets.zero[bit].Set(id);
+      }
+    }
+  }
+  return sets;
+}
+
+}  // namespace ces::analytic

@@ -1,0 +1,32 @@
+// Zero/one set construction (paper section 2.2, Table 3).
+//
+// For every address bit B_i two sets are formed over the unique-reference
+// identifiers: Z_i holds the references with bit value 0 at B_i and O_i the
+// ones with bit value 1. Set intersections against these define how
+// references distribute over cache rows, which is what the BCAT encodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bitset.hpp"
+#include "trace/strip.hpp"
+
+namespace ces::analytic {
+
+struct ZeroOneSets {
+  // zero[i] / one[i] correspond to bit B_i (B_0 = least significant bit).
+  std::vector<DynamicBitset> zero;
+  std::vector<DynamicBitset> one;
+
+  std::uint32_t bit_count() const {
+    return static_cast<std::uint32_t>(zero.size());
+  }
+};
+
+// Builds the pair of sets for bits B_0 .. B_{bit_count-1}. Identifiers are
+// the 0-based ids assigned by trace::Strip.
+ZeroOneSets BuildZeroOneSets(const trace::StrippedTrace& stripped,
+                             std::uint32_t bit_count);
+
+}  // namespace ces::analytic

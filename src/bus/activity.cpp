@@ -1,0 +1,29 @@
+#include "bus/activity.hpp"
+
+namespace ces::bus {
+
+std::vector<ActivityReport> AnalyzeBusActivity(const trace::Trace& trace,
+                                               std::uint32_t bus_width) {
+  const Encoding encodings[] = {Encoding::kBinary, Encoding::kGray,
+                                Encoding::kT0, Encoding::kBusInvert};
+  std::vector<ActivityReport> reports;
+  reports.reserve(4);
+  for (Encoding encoding : encodings) {
+    BusEncoder encoder(encoding, bus_width);
+    for (std::uint32_t ref : trace.refs) encoder.Send(ref);
+    ActivityReport report;
+    report.encoding = encoding;
+    report.transitions = encoder.total_transitions();
+    report.average_per_word = encoder.AverageTransitions();
+    reports.push_back(report);
+  }
+  const auto binary = static_cast<double>(reports.front().transitions);
+  for (ActivityReport& report : reports) {
+    report.savings_vs_binary =
+        binary == 0 ? 0.0
+                    : 1.0 - static_cast<double>(report.transitions) / binary;
+  }
+  return reports;
+}
+
+}  // namespace ces::bus

@@ -1,0 +1,23 @@
+// Trace-level bus activity analysis: runs a reference trace through each
+// encoding and reports transition counts and savings relative to binary.
+#pragma once
+
+#include <vector>
+
+#include "bus/encoding.hpp"
+#include "trace/trace.hpp"
+
+namespace ces::bus {
+
+struct ActivityReport {
+  Encoding encoding = Encoding::kBinary;
+  std::uint64_t transitions = 0;
+  double average_per_word = 0.0;
+  double savings_vs_binary = 0.0;  // fraction in [0, 1); negative = worse
+};
+
+// One report per encoding, binary first.
+std::vector<ActivityReport> AnalyzeBusActivity(const trace::Trace& trace,
+                                               std::uint32_t bus_width = 32);
+
+}  // namespace ces::bus

@@ -1,0 +1,98 @@
+#include "bus/encoding.hpp"
+
+#include <bit>
+
+#include "support/check.hpp"
+
+namespace ces::bus {
+
+const char* ToString(Encoding encoding) {
+  switch (encoding) {
+    case Encoding::kBinary: return "binary";
+    case Encoding::kGray: return "gray";
+    case Encoding::kT0: return "t0";
+    case Encoding::kBusInvert: return "bus-invert";
+  }
+  return "?";
+}
+
+std::uint32_t BinaryToGray(std::uint32_t value) { return value ^ (value >> 1); }
+
+std::uint32_t GrayToBinary(std::uint32_t gray) {
+  std::uint32_t value = gray;
+  for (std::uint32_t shift = 1; shift < 32; shift <<= 1) {
+    value ^= value >> shift;
+  }
+  return value;
+}
+
+BusEncoder::BusEncoder(Encoding encoding, std::uint32_t bus_width)
+    : encoding_(encoding), bus_width_(bus_width) {
+  CES_CHECK(bus_width >= 1 && bus_width <= 32);
+  mask_ = bus_width == 32 ? 0xffffffffu : (1u << bus_width) - 1;
+}
+
+std::uint32_t BusEncoder::Send(std::uint32_t address) {
+  address &= mask_;
+  std::uint32_t lines = 0;
+  std::uint32_t extra = 0;  // transitions on redundant control lines
+
+  switch (encoding_) {
+    case Encoding::kBinary:
+      lines = address;
+      break;
+    case Encoding::kGray:
+      lines = BinaryToGray(address) & mask_;
+      break;
+    case Encoding::kT0: {
+      // Redundant INC line: while the stream is sequential the address lines
+      // freeze (the receiver increments locally); the INC line toggles on
+      // entering/leaving a sequential run.
+      const bool sequential =
+          !first_ && address == ((last_address_ + 1) & mask_);
+      extra = (!first_ && sequential != t0_inc_) ? 1u : 0u;
+      t0_inc_ = sequential;
+      lines = sequential ? last_lines_ : address;
+      break;
+    }
+    case Encoding::kBusInvert: {
+      const std::uint32_t plain = address;
+      const std::uint32_t inverted = ~address & mask_;
+      if (first_) {
+        lines = plain;
+        invert_state_ = false;
+        break;
+      }
+      const auto cost_plain = static_cast<std::uint32_t>(
+          std::popcount((plain ^ last_lines_) & mask_) +
+          (invert_state_ ? 1 : 0));
+      const auto cost_inverted = static_cast<std::uint32_t>(
+          std::popcount((inverted ^ last_lines_) & mask_) +
+          (invert_state_ ? 0 : 1));
+      if (cost_inverted < cost_plain) {
+        extra = invert_state_ ? 0 : 1;
+        invert_state_ = true;
+        lines = inverted;
+      } else {
+        extra = invert_state_ ? 1 : 0;
+        invert_state_ = false;
+        lines = plain;
+      }
+      break;
+    }
+  }
+
+  std::uint32_t transitions = extra;
+  if (!first_) {
+    transitions += static_cast<std::uint32_t>(
+        std::popcount((lines ^ last_lines_) & mask_));
+  }
+  last_lines_ = lines;
+  last_address_ = address;
+  first_ = false;
+  total_transitions_ += transitions;
+  ++words_sent_;
+  return transitions;
+}
+
+}  // namespace ces::bus

@@ -1,0 +1,69 @@
+// Address-bus encodings (extension).
+//
+// The paper closes with "bus architecture and other system-on-a-chip
+// artifacts" as the next exploration axis: off-chip address buses burn
+// energy per toggled line, so the reference stream that decides cache misses
+// also decides bus power. This module provides the classic low-power
+// encodings evaluated over the same traces:
+//   * binary    — the address as-is,
+//   * gray      — adjacent addresses differ in one bit (sequential fetch),
+//   * t0        — sequential addresses send no transition at all (an extra
+//                 INC line tells the receiver to increment; Benini et al.),
+//   * bus-invert— send the complement (plus one INVERT line) whenever that
+//                 halves the Hamming distance (Stan & Burleson).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ces::bus {
+
+enum class Encoding : std::uint8_t {
+  kBinary = 0,
+  kGray = 1,
+  kT0 = 2,
+  kBusInvert = 3,
+};
+
+const char* ToString(Encoding encoding);
+
+// Binary <-> Gray code.
+std::uint32_t BinaryToGray(std::uint32_t value);
+std::uint32_t GrayToBinary(std::uint32_t gray);
+
+// Stateful encoder: feeds addresses in trace order, accumulating the number
+// of bus-line transitions the chosen encoding would cause (including the
+// redundant INC / INVERT lines where applicable).
+class BusEncoder {
+ public:
+  explicit BusEncoder(Encoding encoding, std::uint32_t bus_width = 32);
+
+  // Encodes the next address; returns the number of lines that toggled.
+  std::uint32_t Send(std::uint32_t address);
+
+  std::uint64_t total_transitions() const { return total_transitions_; }
+  std::uint64_t words_sent() const { return words_sent_; }
+  Encoding encoding() const { return encoding_; }
+
+  // Mean toggled lines per word.
+  double AverageTransitions() const {
+    return words_sent_ == 0
+               ? 0.0
+               : static_cast<double>(total_transitions_) /
+                     static_cast<double>(words_sent_);
+  }
+
+ private:
+  Encoding encoding_;
+  std::uint32_t bus_width_;
+  std::uint32_t mask_;
+  std::uint32_t last_lines_ = 0;     // current physical line values
+  std::uint32_t last_address_ = 0;   // last logical address (for t0)
+  bool invert_state_ = false;        // bus-invert polarity line
+  bool t0_inc_ = false;              // t0 INC line state
+  bool first_ = true;
+  std::uint64_t total_transitions_ = 0;
+  std::uint64_t words_sent_ = 0;
+};
+
+}  // namespace ces::bus

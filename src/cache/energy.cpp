@@ -1,0 +1,49 @@
+#include "cache/energy.hpp"
+
+#include <cmath>
+
+namespace ces::cache {
+namespace {
+
+// Generic 180 nm calibration constants. Only ratios matter.
+constexpr double kEnergyBase_nJ = 0.05;
+constexpr double kEnergyPerSqrtBit_nJ = 0.002;
+constexpr double kEnergyPerWay_nJ = 0.015;
+constexpr double kLeakagePerKbit_mW = 0.08;
+constexpr double kTimeBase_ns = 0.8;
+constexpr double kTimePerDecodeLevel_ns = 0.12;
+constexpr double kTimePerWay_ns = 0.1;
+constexpr double kAreaPerKbit_mm2 = 0.011;
+
+}  // namespace
+
+EnergyEstimate EstimateEnergy(const CacheConfig& config,
+                              std::uint32_t address_bits) {
+  const double data_bits =
+      static_cast<double>(config.size_words()) * 32.0;
+  const std::uint32_t offset_bits = config.line_bits() + config.index_bits();
+  const std::uint32_t tag_width =
+      address_bits > offset_bits ? address_bits - offset_bits : 1;
+  const double tag_bits = static_cast<double>(config.depth) * config.assoc *
+                          (tag_width + 2.0);  // +valid +dirty
+  const double total_bits = data_bits + tag_bits;
+
+  EnergyEstimate estimate;
+  estimate.read_energy_nj = kEnergyBase_nJ +
+                            kEnergyPerSqrtBit_nJ * std::sqrt(total_bits) +
+                            kEnergyPerWay_nJ * config.assoc;
+  estimate.leakage_mw = kLeakagePerKbit_mW * total_bits / 1024.0;
+  estimate.access_time_ns = kTimeBase_ns +
+                            kTimePerDecodeLevel_ns * config.index_bits() +
+                            kTimePerWay_ns * config.assoc;
+  estimate.area_mm2 = kAreaPerKbit_mm2 * total_bits / 1024.0;
+  return estimate;
+}
+
+double TotalEnergyNj(const EnergyEstimate& estimate, std::uint64_t accesses,
+                     std::uint64_t misses, double miss_penalty_nj) {
+  return estimate.read_energy_nj * static_cast<double>(accesses) +
+         miss_penalty_nj * static_cast<double>(misses);
+}
+
+}  // namespace ces::cache

@@ -1,0 +1,37 @@
+// CACTI-lite: closed-form energy / area / access-time estimates.
+//
+// The paper cites CACTI [11] as the standard cache cost model and lists
+// energy-aware exploration as future work. We do not have CACTI's
+// technology files, so this module provides a small analytical fit with the
+// same qualitative behaviour (documented in DESIGN.md):
+//   * dynamic access energy grows with sqrt(capacity) (bitline/wordline
+//     halves) plus a per-way term for the parallel tag compares,
+//   * leakage grows linearly with capacity,
+//   * access time grows with log2(depth) (decoder depth) plus a way-mux term.
+// Constants are calibrated to a generic 180 nm node (the paper's era) and
+// only relative comparisons between configurations are meaningful.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/config.hpp"
+
+namespace ces::cache {
+
+struct EnergyEstimate {
+  double read_energy_nj = 0.0;   // per access
+  double leakage_mw = 0.0;       // static power
+  double access_time_ns = 0.0;   // critical path
+  double area_mm2 = 0.0;         // data + tag arrays
+};
+
+// `address_bits` sizes the tag array. line size comes from the config.
+EnergyEstimate EstimateEnergy(const CacheConfig& config,
+                              std::uint32_t address_bits = 32);
+
+// Total energy (nJ) of running `accesses` accesses with `misses` misses,
+// charging `miss_penalty_nj` per off-chip refill.
+double TotalEnergyNj(const EnergyEstimate& estimate, std::uint64_t accesses,
+                     std::uint64_t misses, double miss_penalty_nj = 10.0);
+
+}  // namespace ces::cache

@@ -1,0 +1,55 @@
+#include "cache/hierarchy.hpp"
+
+namespace ces::cache {
+
+double HierarchyStats::Amat(const LatencyModel& latency) const {
+  const std::uint64_t l1_accesses = TotalL1Accesses();
+  if (l1_accesses == 0) return 0.0;
+  const double total =
+      latency.l1_ns * static_cast<double>(l1_accesses) +
+      latency.l2_ns * static_cast<double>(l2.accesses) +
+      latency.memory_ns * static_cast<double>(memory_accesses);
+  return total / static_cast<double>(l1_accesses);
+}
+
+TwoLevelCache::TwoLevelCache(const HierarchyConfig& config)
+    : l1i_(config.l1i), l1d_(config.l1d), l2_(config.l2) {}
+
+void TwoLevelCache::AccessL2(std::uint32_t addr, bool is_write) {
+  Eviction eviction;
+  const AccessOutcome outcome = l2_.Access(addr, is_write, &eviction);
+  if (outcome != AccessOutcome::kHit) ++extra_memory_accesses_;
+  if (eviction.valid && eviction.dirty) ++extra_memory_accesses_;
+}
+
+void TwoLevelCache::Access(const trace::Access& access) {
+  Cache& l1 =
+      access.kind == trace::StreamKind::kInstruction ? l1i_ : l1d_;
+  Eviction eviction;
+  const AccessOutcome outcome = l1.Access(access.addr, access.is_write,
+                                          &eviction);
+  if (outcome != AccessOutcome::kHit) {
+    AccessL2(access.addr, /*is_write=*/false);  // refill
+  }
+  if (eviction.valid && eviction.dirty) {
+    AccessL2(eviction.addr, /*is_write=*/true);  // write-back of the victim
+  }
+}
+
+HierarchyStats TwoLevelCache::stats() const {
+  HierarchyStats stats;
+  stats.l1i = l1i_.stats();
+  stats.l1d = l1d_.stats();
+  stats.l2 = l2_.stats();
+  stats.memory_accesses = extra_memory_accesses_;
+  return stats;
+}
+
+HierarchyStats SimulateHierarchy(const trace::AccessSequence& accesses,
+                                 const HierarchyConfig& config) {
+  TwoLevelCache hierarchy(config);
+  for (const trace::Access& access : accesses) hierarchy.Access(access);
+  return hierarchy.stats();
+}
+
+}  // namespace ces::cache

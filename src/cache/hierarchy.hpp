@@ -1,0 +1,62 @@
+// Two-level memory hierarchy simulator (extension).
+//
+// The paper's future work lists deeper memory-system exploration; this
+// module provides the substrate: split L1 instruction/data caches backed by
+// a unified L2, driven by the merged program-order access stream the CPU
+// simulator records. L1 misses and L1 dirty-line evictions propagate to L2;
+// L2 misses count as main-memory accesses. A simple additive latency model
+// turns the counts into an average memory access time.
+#pragma once
+
+#include "cache/cache.hpp"
+#include "trace/trace.hpp"
+
+namespace ces::cache {
+
+struct HierarchyConfig {
+  CacheConfig l1i{.depth = 64, .assoc = 1};
+  CacheConfig l1d{.depth = 64, .assoc = 2};
+  CacheConfig l2{.depth = 1024, .assoc = 4};
+};
+
+struct LatencyModel {
+  double l1_ns = 1.0;
+  double l2_ns = 8.0;
+  double memory_ns = 60.0;
+};
+
+struct HierarchyStats {
+  CacheStats l1i;
+  CacheStats l1d;
+  CacheStats l2;
+  std::uint64_t memory_accesses = 0;  // L2 misses + L2 writebacks
+
+  std::uint64_t TotalL1Accesses() const {
+    return l1i.accesses + l1d.accesses;
+  }
+
+  // Average memory access time over all L1 accesses.
+  double Amat(const LatencyModel& latency = {}) const;
+};
+
+class TwoLevelCache {
+ public:
+  explicit TwoLevelCache(const HierarchyConfig& config);
+
+  void Access(const trace::Access& access);
+  HierarchyStats stats() const;
+
+ private:
+  // Forwards one reference to L2, recording a memory access on an L2 miss.
+  void AccessL2(std::uint32_t addr, bool is_write);
+
+  Cache l1i_;
+  Cache l1d_;
+  Cache l2_;
+  std::uint64_t extra_memory_accesses_ = 0;
+};
+
+HierarchyStats SimulateHierarchy(const trace::AccessSequence& accesses,
+                                 const HierarchyConfig& config);
+
+}  // namespace ces::cache

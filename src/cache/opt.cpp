@@ -1,0 +1,69 @@
+#include "cache/opt.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace ces::cache {
+
+std::uint64_t OptWarmMisses(const trace::StrippedTrace& stripped,
+                            std::uint32_t index_bits, std::uint32_t assoc) {
+  CES_CHECK(assoc >= 1);
+  constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+  const std::size_t n = stripped.ids.size();
+
+  // next_use[j] = next position of the same reference after j (kNever if
+  // none), built with one backward sweep.
+  std::vector<std::size_t> next_use(n, kNever);
+  {
+    std::vector<std::size_t> upcoming(stripped.unique_count(), kNever);
+    for (std::size_t j = n; j-- > 0;) {
+      const std::uint32_t id = stripped.ids[j];
+      next_use[j] = upcoming[id];
+      upcoming[id] = j;
+    }
+  }
+
+  const std::uint32_t mask = (1u << index_bits) - 1;
+  struct Way {
+    std::uint32_t id = 0;
+    std::size_t next = kNever;
+    bool valid = false;
+  };
+  std::vector<Way> ways(static_cast<std::size_t>(1u << index_bits) * assoc);
+
+  std::uint64_t warm_misses = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t id = stripped.ids[j];
+    const std::size_t base =
+        static_cast<std::size_t>(stripped.unique[id] & mask) * assoc;
+
+    std::size_t hit_way = kNever;
+    std::size_t victim = base;          // way to fill on a miss
+    std::size_t farthest = 0;           // victim's next use
+    for (std::size_t w = base; w < base + assoc; ++w) {
+      if (ways[w].valid && ways[w].id == id) {
+        hit_way = w;
+        break;
+      }
+      if (!ways[w].valid) {
+        victim = w;
+        farthest = kNever;  // empty way always wins
+      } else if (farthest != kNever && ways[w].next >= farthest) {
+        victim = w;
+        farthest = ways[w].next;
+      }
+    }
+
+    if (hit_way != kNever) {
+      ways[hit_way].next = next_use[j];
+      continue;
+    }
+    if (!stripped.is_first[j]) ++warm_misses;
+    ways[victim] = Way{.id = id, .next = next_use[j], .valid = true};
+  }
+  return warm_misses;
+}
+
+}  // namespace ces::cache

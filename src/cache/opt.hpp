@@ -1,0 +1,23 @@
+// Belady's optimal (OPT/MIN) replacement analysis.
+//
+// OPT evicts the resident line whose next use lies farthest in the future —
+// unrealisable in hardware, but the gold standard a policy study compares
+// against. Since the LRU-exact analytical explorer picks instances by LRU
+// misses, the OPT gap quantifies how much of the remaining headroom any
+// smarter replacement policy could still claim at those instances.
+//
+// Computed offline per set from the trace with precomputed next-use chains;
+// cost O(N * assoc) per configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/strip.hpp"
+
+namespace ces::cache {
+
+// Non-cold misses of a (2^index_bits, assoc) cache under OPT replacement.
+std::uint64_t OptWarmMisses(const trace::StrippedTrace& stripped,
+                            std::uint32_t index_bits, std::uint32_t assoc);
+
+}  // namespace ces::cache

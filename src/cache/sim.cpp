@@ -1,0 +1,23 @@
+#include "cache/sim.hpp"
+
+namespace ces::cache {
+
+CacheStats SimulateTrace(const trace::Trace& trace,
+                         const CacheConfig& config) {
+  Cache cache(config);
+  for (std::uint32_t ref : trace.refs) {
+    cache.Access(ref, /*is_write=*/false);
+  }
+  return cache.stats();
+}
+
+std::uint64_t WarmMisses(const trace::Trace& trace, std::uint32_t depth,
+                         std::uint32_t assoc) {
+  CacheConfig config;
+  config.depth = depth;
+  config.assoc = assoc;
+  config.replacement = ReplacementPolicy::kLru;
+  return SimulateTrace(trace, config).warm_misses();
+}
+
+}  // namespace ces::cache

@@ -1,0 +1,19 @@
+// Trace-driven cache simulation (the traditional flow's inner loop).
+#pragma once
+
+#include "cache/cache.hpp"
+#include "trace/trace.hpp"
+
+namespace ces::cache {
+
+// Runs every reference of `trace` through a fresh cache with `config` and
+// returns the final statistics. All references are treated as reads; the
+// paper's miss analysis is read/write agnostic (fixed write-back policy).
+CacheStats SimulateTrace(const trace::Trace& trace, const CacheConfig& config);
+
+// Convenience: non-cold miss count for (depth, assoc) under LRU — the
+// quantity the analytical algorithm predicts exactly.
+std::uint64_t WarmMisses(const trace::Trace& trace, std::uint32_t depth,
+                         std::uint32_t assoc);
+
+}  // namespace ces::cache

@@ -1,0 +1,126 @@
+#include "cache/stack.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/fenwick.hpp"
+
+namespace ces::cache {
+
+std::uint64_t StackProfile::MissesAtAssoc(std::uint32_t assoc) const {
+  CES_CHECK(assoc >= 1);
+  std::uint64_t misses = 0;
+  for (std::size_t d = assoc; d < hist.size(); ++d) misses += hist[d];
+  return misses;
+}
+
+std::uint32_t StackProfile::MinAssocFor(std::uint64_t k) const {
+  // Walk the histogram tail from the largest distance down, accumulating the
+  // miss count a given associativity would leave; stop at the first A whose
+  // tail exceeds k.
+  std::uint64_t tail = 0;
+  std::uint32_t assoc = hist.empty() ? 1 : static_cast<std::uint32_t>(hist.size());
+  for (std::size_t d = hist.size(); d-- > 1;) {
+    tail += hist[d];
+    if (tail > k) return static_cast<std::uint32_t>(d + 1);
+    assoc = static_cast<std::uint32_t>(d);
+  }
+  return std::max(assoc, 1u);
+}
+
+std::uint64_t StackProfile::WarmAccesses() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t h : hist) total += h;
+  return total;
+}
+
+StackProfile ComputeStackProfile(const trace::StrippedTrace& stripped,
+                                 std::uint32_t index_bits) {
+  StackProfile profile;
+  profile.index_bits = index_bits;
+  const std::uint32_t sets = 1u << index_bits;
+  const std::uint32_t mask = sets - 1;
+
+  // One move-to-front stack of reference ids per set. Distances in embedded
+  // traces are small, so the linear scan beats an order-statistics tree.
+  std::vector<std::vector<std::uint32_t>> stacks(sets);
+  for (std::size_t j = 0; j < stripped.ids.size(); ++j) {
+    const std::uint32_t id = stripped.ids[j];
+    auto& stack = stacks[stripped.unique[id] & mask];
+    if (stripped.is_first[j]) {
+      ++profile.cold;
+      stack.insert(stack.begin(), id);
+      continue;
+    }
+    const auto it = std::find(stack.begin(), stack.end(), id);
+    CES_DCHECK(it != stack.end());
+    const auto distance = static_cast<std::size_t>(it - stack.begin());
+    if (distance >= profile.hist.size()) profile.hist.resize(distance + 1, 0);
+    ++profile.hist[distance];
+    std::rotate(stack.begin(), it, it + 1);
+  }
+  // Canonical form: hist always has at least the distance-0 bucket so that
+  // profiles from different engines compare equal structurally.
+  if (profile.hist.empty()) profile.hist.resize(1, 0);
+  return profile;
+}
+
+StackProfile ComputeStackProfileTree(const trace::StrippedTrace& stripped,
+                                     std::uint32_t index_bits) {
+  StackProfile profile;
+  profile.index_bits = index_bits;
+  const std::uint32_t sets = 1u << index_bits;
+  const std::uint32_t mask = sets - 1;
+
+  // Partition the id sequence by set, then run Bennett-Kruskal on each
+  // subsequence: a Fenwick tree marks the most recent position of every
+  // distinct reference, so the number of distinct references between two
+  // occurrences is a range sum.
+  std::vector<std::vector<std::uint32_t>> sequences(sets);
+  for (std::size_t j = 0; j < stripped.ids.size(); ++j) {
+    const std::uint32_t id = stripped.ids[j];
+    sequences[stripped.unique[id] & mask].push_back(id);
+  }
+
+  std::vector<std::size_t> last(stripped.unique_count(), 0);
+  std::vector<bool> seen(stripped.unique_count(), false);
+  for (const auto& sequence : sequences) {
+    if (sequence.empty()) continue;
+    FenwickTree marks(sequence.size());
+    for (std::size_t t = 0; t < sequence.size(); ++t) {
+      const std::uint32_t id = sequence[t];
+      if (seen[id]) {
+        const std::size_t p = last[id];
+        const auto distance = static_cast<std::size_t>(
+            t >= p + 2 ? marks.RangeSum(p + 1, t - 1) : 0);
+        if (distance >= profile.hist.size()) profile.hist.resize(distance + 1, 0);
+        ++profile.hist[distance];
+        marks.Add(p, -1);
+      } else {
+        ++profile.cold;
+        seen[id] = true;
+      }
+      marks.Add(t, +1);
+      last[id] = t;
+    }
+    // Reset the per-reference state touched by this set (ids are disjoint
+    // across sets, so a full clear is unnecessary).
+    for (std::uint32_t id : sequence) seen[id] = false;
+  }
+  // Restore `cold` semantics: the loop above cleared seen[], but cold was
+  // already counted exactly once per unique reference.
+  if (profile.hist.empty()) profile.hist.resize(1, 0);
+  return profile;
+}
+
+std::vector<StackProfile> ComputeAllDepthProfiles(
+    const trace::StrippedTrace& stripped, std::uint32_t max_index_bits) {
+  std::vector<StackProfile> profiles;
+  profiles.reserve(max_index_bits + 1);
+  for (std::uint32_t bits = 0; bits <= max_index_bits; ++bits) {
+    profiles.push_back(ComputeStackProfile(stripped, bits));
+  }
+  return profiles;
+}
+
+}  // namespace ces::cache

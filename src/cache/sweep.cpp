@@ -1,0 +1,50 @@
+#include "cache/sweep.hpp"
+
+#include "cache/sim.hpp"
+
+namespace ces::cache {
+
+std::vector<SweepPoint> ExhaustiveSweep(const trace::Trace& trace,
+                                        std::uint32_t max_index_bits,
+                                        std::uint32_t max_assoc,
+                                        ReplacementPolicy policy,
+                                        bool stop_at_zero) {
+  std::vector<SweepPoint> points;
+  for (std::uint32_t bits = 0; bits <= max_index_bits; ++bits) {
+    for (std::uint32_t assoc = 1; assoc <= max_assoc; ++assoc) {
+      CacheConfig config;
+      config.depth = 1u << bits;
+      config.assoc = assoc;
+      config.replacement = policy;
+      if (!config.IsValid()) continue;
+      SweepPoint point;
+      point.depth = config.depth;
+      point.assoc = assoc;
+      point.stats = SimulateTrace(trace, config);
+      const bool done = stop_at_zero && point.stats.warm_misses() == 0;
+      points.push_back(point);
+      if (done) break;
+    }
+  }
+  return points;
+}
+
+IterativeResult IterativeSearch(const trace::Trace& trace,
+                                std::uint32_t depth, std::uint64_t k,
+                                std::uint32_t max_assoc) {
+  IterativeResult result;
+  for (std::uint32_t assoc = 1; assoc <= max_assoc; ++assoc) {
+    ++result.simulations;
+    const std::uint64_t misses = WarmMisses(trace, depth, assoc);
+    if (misses <= k) {
+      result.assoc = assoc;
+      result.warm_misses = misses;
+      return result;
+    }
+  }
+  result.assoc = max_assoc;
+  result.warm_misses = WarmMisses(trace, depth, max_assoc);
+  return result;
+}
+
+}  // namespace ces::cache

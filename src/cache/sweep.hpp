@@ -1,0 +1,46 @@
+// Design-space sweeps over (depth, associativity) using the simulator.
+//
+// These are the "traditional approach" engines of Figure 1a: every candidate
+// configuration is simulated in full. They exist (a) as baselines for the
+// run-time comparison and (b) as oracles for the analytical engine's results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "trace/trace.hpp"
+
+namespace ces::cache {
+
+struct SweepPoint {
+  std::uint32_t depth = 1;
+  std::uint32_t assoc = 1;
+  CacheStats stats;
+};
+
+// Simulates every depth in {2^0..2^max_index_bits} x assoc in {1..max_assoc}.
+// If stop_at_zero is set, stops raising the associativity for a depth once a
+// configuration reaches zero non-cold misses (larger A cannot help).
+std::vector<SweepPoint> ExhaustiveSweep(const trace::Trace& trace,
+                                        std::uint32_t max_index_bits,
+                                        std::uint32_t max_assoc,
+                                        ReplacementPolicy policy =
+                                            ReplacementPolicy::kLru,
+                                        bool stop_at_zero = true);
+
+// For one depth, finds the smallest associativity with warm misses <= k by
+// linearly raising A and re-simulating — one turn of the traditional
+// design-simulate-analyze crank. Returns the chosen A and the number of
+// simulator passes spent.
+struct IterativeResult {
+  std::uint32_t assoc = 1;
+  std::uint64_t warm_misses = 0;
+  std::uint32_t simulations = 0;
+};
+
+IterativeResult IterativeSearch(const trace::Trace& trace,
+                                std::uint32_t depth, std::uint64_t k,
+                                std::uint32_t max_assoc);
+
+}  // namespace ces::cache

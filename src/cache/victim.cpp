@@ -1,0 +1,57 @@
+#include "cache/victim.hpp"
+
+namespace ces::cache {
+
+VictimCache::VictimCache(const CacheConfig& config,
+                         std::uint32_t victim_entries)
+    : main_(config),
+      line_bits_(config.line_bits()),
+      entries_(victim_entries) {}
+
+bool VictimCache::ProbeAndRemove(std::uint32_t line) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].valid && entries_[i].line == line) {
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      entries_.push_back(Entry{});  // keep the capacity constant
+      return true;
+    }
+  }
+  return false;
+}
+
+void VictimCache::Insert(std::uint32_t line) {
+  if (entries_.empty()) return;
+  entries_.pop_back();  // drop the LRU (or a spare invalid) entry
+  entries_.insert(entries_.begin(), Entry{.line = line, .valid = true});
+}
+
+void VictimCache::Access(std::uint32_t addr, bool is_write) {
+  Eviction eviction;
+  const AccessOutcome outcome = main_.Access(addr, is_write, &eviction);
+  // On a miss, probe for the requested line BEFORE buffering the new victim:
+  // with the swap semantics the victim takes the slot the requested line
+  // frees, so a one-entry buffer must still catch a two-line ping-pong.
+  bool victim_hit = false;
+  if (outcome != AccessOutcome::kHit) {
+    victim_hit = ProbeAndRemove(addr >> line_bits_);
+  }
+  if (eviction.valid) Insert(eviction.addr >> line_bits_);
+  if (outcome != AccessOutcome::kHit) {
+    if (victim_hit) {
+      ++stats_.victim_hits;
+    } else {
+      ++stats_.memory_fetches;
+    }
+  }
+  stats_.main = main_.stats();
+}
+
+VictimStats SimulateVictim(const trace::Trace& trace,
+                           const CacheConfig& config,
+                           std::uint32_t victim_entries) {
+  VictimCache cache(config, victim_entries);
+  for (std::uint32_t ref : trace.refs) cache.Access(ref);
+  return cache.stats();
+}
+
+}  // namespace ces::cache

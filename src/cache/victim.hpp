@@ -1,0 +1,59 @@
+// Victim buffer (Jouppi-style victim cache) extension.
+//
+// A small fully associative buffer that catches lines evicted from the main
+// cache; a main-cache miss that hits the buffer swaps the line back at
+// buffer-hit cost instead of paying the memory penalty. The classic result —
+// a direct-mapped cache plus a few victim entries rivals a 2-way cache —
+// is exactly the kind of organisation trade-off the paper's exploration
+// methodology targets, and bench/ablation_victim reproduces it on the
+// PowerStone-like workloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "trace/trace.hpp"
+
+namespace ces::cache {
+
+struct VictimStats {
+  CacheStats main;                 // stats of the primary cache
+  std::uint64_t victim_hits = 0;   // main-cache misses served by the buffer
+  std::uint64_t memory_fetches = 0;  // misses that reached memory
+
+  // Non-cold misses that actually cost a memory access.
+  std::uint64_t EffectiveWarmMisses() const {
+    return main.warm_misses() - victim_hits;
+  }
+};
+
+class VictimCache {
+ public:
+  // `victim_entries` may be zero (plain cache).
+  VictimCache(const CacheConfig& config, std::uint32_t victim_entries);
+
+  void Access(std::uint32_t addr, bool is_write = false);
+  const VictimStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::uint32_t line = 0;
+    bool valid = false;
+  };
+
+  // Returns true (and removes the entry) if `line` is buffered.
+  bool ProbeAndRemove(std::uint32_t line);
+  void Insert(std::uint32_t line);
+
+  Cache main_;
+  std::uint32_t line_bits_;
+  std::vector<Entry> entries_;  // LRU order, most recent first
+  VictimStats stats_;
+};
+
+VictimStats SimulateVictim(const trace::Trace& trace,
+                           const CacheConfig& config,
+                           std::uint32_t victim_entries);
+
+}  // namespace ces::cache

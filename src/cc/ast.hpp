@@ -1,0 +1,84 @@
+// MiniC abstract syntax tree.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ces::cc {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : std::uint8_t {
+  kNumber,      // value
+  kVariable,    // name
+  kIndex,       // name[index]
+  kUnary,       // op operand        (-, !, ~)
+  kBinary,      // lhs op rhs        (arithmetic/logic/compare; && || lower)
+  kAssign,      // target = value    (target: variable or index)
+  kCall,        // name(args...)     (user function or builtin out/outb)
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kNumber;
+  int line = 0;
+  std::int64_t number = 0;     // kNumber
+  std::string name;            // kVariable / kIndex / kCall
+  std::string op;              // kUnary / kBinary
+  ExprPtr lhs;                 // kBinary lhs, kUnary operand, kIndex index,
+                               // kAssign target
+  ExprPtr rhs;                 // kBinary rhs, kAssign value
+  std::vector<ExprPtr> args;   // kCall
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : std::uint8_t {
+  kExpr,        // expression;
+  kDecl,        // int name; / int name = expr; / int name[size];
+  kBlock,       // { ... }
+  kIf,          // if (cond) then [else otherwise]
+  kWhile,       // while (cond) body
+  kFor,         // for (init; cond; step) body
+  kReturn,      // return [expr];
+  kBreak,
+  kContinue,
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kExpr;
+  int line = 0;
+  ExprPtr expr;                 // kExpr, kReturn (optional), kIf/kWhile cond,
+                                // kDecl initialiser (optional)
+  std::string name;             // kDecl
+  std::int64_t array_size = 0;  // kDecl: > 0 for arrays
+  std::vector<StmtPtr> body;    // kBlock stmts; kIf then@0 else@1;
+                                // kWhile body@0; kFor init@0 step@1 body@2
+  ExprPtr cond;                 // kFor condition (optional)
+};
+
+struct Function {
+  std::string name;
+  std::vector<std::string> params;  // ints only, max 4 (a0..a3)
+  StmtPtr body;                     // kBlock
+  int line = 0;
+};
+
+struct GlobalVar {
+  std::string name;
+  std::int64_t array_size = 0;           // 0 = scalar
+  std::int64_t initial = 0;              // scalars only
+  std::vector<std::int64_t> elements;    // array initialiser (may be shorter
+                                         // than array_size; rest is zero)
+  int line = 0;
+};
+
+struct Program {
+  std::vector<GlobalVar> globals;
+  std::vector<Function> functions;
+};
+
+}  // namespace ces::cc

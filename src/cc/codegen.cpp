@@ -1,0 +1,481 @@
+#include "cc/codegen.hpp"
+
+#include <map>
+#include <vector>
+
+#include "cc/lexer.hpp"  // CompileError
+#include "support/check.hpp"
+
+namespace ces::cc {
+namespace {
+
+struct VarInfo {
+  bool is_global = false;
+  bool is_array = false;
+  std::int64_t offset = 0;  // locals: fp - offset points at element 0
+};
+
+class CodeGenerator {
+ public:
+  explicit CodeGenerator(const Program& program) : program_(program) {}
+
+  std::string Generate() {
+    CollectSignatures();
+    if (!signatures_.contains("main")) {
+      throw CompileError(1, "program has no main()");
+    }
+
+    Emit("        .text");
+    // main first so the entry label is the first function emitted.
+    for (const Function& function : program_.functions) {
+      if (function.name == "main") GenerateFunction(function);
+    }
+    for (const Function& function : program_.functions) {
+      if (function.name != "main") GenerateFunction(function);
+    }
+
+    Emit("");
+    Emit("        .data");
+    for (const GlobalVar& global : program_.globals) {
+      if (global.array_size > 0) {
+        if (global.elements.empty()) {
+          Emit(global.name + ": .space " +
+               std::to_string(global.array_size * 4));
+        } else {
+          std::string line = global.name + ": .word ";
+          for (std::size_t i = 0; i < global.elements.size(); ++i) {
+            if (i != 0) line += ", ";
+            line += std::to_string(global.elements[i]);
+          }
+          Emit(line);
+          const std::int64_t rest =
+              global.array_size -
+              static_cast<std::int64_t>(global.elements.size());
+          if (rest > 0) Emit("        .space " + std::to_string(rest * 4));
+        }
+      } else {
+        Emit(global.name + ": .word " + std::to_string(global.initial));
+      }
+    }
+    return out_;
+  }
+
+ private:
+  // ---- bookkeeping ---------------------------------------------------------
+
+  void CollectSignatures() {
+    for (const GlobalVar& global : program_.globals) {
+      VarInfo info;
+      info.is_global = true;
+      info.is_array = global.array_size > 0;
+      if (!globals_.emplace(global.name, info).second) {
+        throw CompileError(global.line,
+                           "duplicate global '" + global.name + "'");
+      }
+    }
+    for (const Function& function : program_.functions) {
+      if (!signatures_.emplace(function.name, function.params.size()).second) {
+        throw CompileError(function.line,
+                           "duplicate function '" + function.name + "'");
+      }
+    }
+  }
+
+  void Emit(const std::string& line) {
+    out_ += line;
+    out_ += '\n';
+  }
+
+  std::string NewLabel(const std::string& hint) {
+    return ".L" + std::to_string(label_counter_++) + "_" + hint;
+  }
+
+  // Total frame words a function needs (all declarations, no slot reuse).
+  static std::int64_t CountFrameWords(const Stmt& stmt) {
+    std::int64_t words = 0;
+    if (stmt.kind == StmtKind::kDecl) {
+      words += stmt.array_size > 0 ? stmt.array_size : 1;
+    }
+    for (const StmtPtr& child : stmt.body) words += CountFrameWords(*child);
+    return words;
+  }
+
+  // ---- functions -----------------------------------------------------------
+
+  void GenerateFunction(const Function& function) {
+    scopes_.clear();
+    scopes_.emplace_back();
+    next_offset_ = 0;
+    current_is_main_ = function.name == "main";
+    epilogue_label_ = NewLabel(function.name + "_end");
+
+    const std::int64_t frame_words =
+        CountFrameWords(*function.body) +
+        static_cast<std::int64_t>(function.params.size());
+
+    Emit("");
+    Emit(function.name + ":");
+    Emit("        push ra");
+    Emit("        push fp");
+    Emit("        mv   fp, sp");
+    if (frame_words > 0) {
+      Emit("        addi sp, sp, -" + std::to_string(frame_words * 4));
+    }
+    // Spill parameters into frame slots so they behave like locals.
+    static const char* kArgRegs[] = {"a0", "a1", "a2", "a3"};
+    for (std::size_t i = 0; i < function.params.size(); ++i) {
+      const std::int64_t offset = Allocate(function.params[i], 1,
+                                           function.line);
+      Emit("        sw   " + std::string(kArgRegs[i]) + ", -" +
+           std::to_string(offset) + "(fp)");
+    }
+
+    GenerateStmt(*function.body);
+
+    Emit(epilogue_label_ + ":");
+    if (current_is_main_) {
+      Emit("        halt");
+    } else {
+      Emit("        mv   sp, fp");
+      Emit("        pop  fp");
+      Emit("        pop  ra");
+      Emit("        ret");
+    }
+  }
+
+  std::int64_t Allocate(const std::string& name, std::int64_t words,
+                        int line) {
+    auto& scope = scopes_.back();
+    if (scope.contains(name)) {
+      throw CompileError(line, "duplicate declaration of '" + name + "'");
+    }
+    next_offset_ += words * 4;
+    VarInfo info;
+    info.is_array = words > 1;
+    // fp - offset addresses element 0; elements grow toward fp.
+    info.offset = next_offset_;
+    scope.emplace(name, info);
+    return info.offset;
+  }
+
+  const VarInfo* Lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    const auto global = globals_.find(name);
+    return global != globals_.end() ? &global->second : nullptr;
+  }
+
+  // ---- statements -----------------------------------------------------------
+
+  void GenerateStmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kBlock: {
+        scopes_.emplace_back();
+        for (const StmtPtr& child : stmt.body) GenerateStmt(*child);
+        scopes_.pop_back();
+        break;
+      }
+      case StmtKind::kDecl: {
+        const std::int64_t words = stmt.array_size > 0 ? stmt.array_size : 1;
+        const std::int64_t offset = Allocate(stmt.name, words, stmt.line);
+        if (stmt.expr != nullptr) {
+          GenerateExpr(*stmt.expr);
+          Emit("        sw   t0, -" + std::to_string(offset) + "(fp)");
+        }
+        break;
+      }
+      case StmtKind::kExpr:
+        if (stmt.expr != nullptr) GenerateExpr(*stmt.expr);
+        break;
+      case StmtKind::kIf: {
+        const std::string else_label = NewLabel("else");
+        const std::string end_label = NewLabel("endif");
+        GenerateExpr(*stmt.expr);
+        Emit("        beqz t0, " + else_label);
+        GenerateStmt(*stmt.body[0]);
+        Emit("        b    " + end_label);
+        Emit(else_label + ":");
+        if (stmt.body.size() > 1) GenerateStmt(*stmt.body[1]);
+        Emit(end_label + ":");
+        break;
+      }
+      case StmtKind::kWhile: {
+        const std::string head = NewLabel("while");
+        const std::string end = NewLabel("endwhile");
+        break_labels_.push_back(end);
+        continue_labels_.push_back(head);
+        Emit(head + ":");
+        GenerateExpr(*stmt.expr);
+        Emit("        beqz t0, " + end);
+        GenerateStmt(*stmt.body[0]);
+        Emit("        b    " + head);
+        Emit(end + ":");
+        break_labels_.pop_back();
+        continue_labels_.pop_back();
+        break;
+      }
+      case StmtKind::kFor: {
+        const std::string head = NewLabel("for");
+        const std::string step_label = NewLabel("forstep");
+        const std::string end = NewLabel("endfor");
+        scopes_.emplace_back();  // the init declaration scopes to the loop
+        GenerateStmt(*stmt.body[0]);
+        break_labels_.push_back(end);
+        continue_labels_.push_back(step_label);
+        Emit(head + ":");
+        if (stmt.cond != nullptr) {
+          GenerateExpr(*stmt.cond);
+          Emit("        beqz t0, " + end);
+        }
+        GenerateStmt(*stmt.body[2]);
+        Emit(step_label + ":");
+        GenerateStmt(*stmt.body[1]);
+        Emit("        b    " + head);
+        Emit(end + ":");
+        break_labels_.pop_back();
+        continue_labels_.pop_back();
+        scopes_.pop_back();
+        break;
+      }
+      case StmtKind::kReturn:
+        if (stmt.expr != nullptr) {
+          GenerateExpr(*stmt.expr);
+          Emit("        mv   v0, t0");
+        } else {
+          Emit("        li   v0, 0");
+        }
+        Emit("        b    " + epilogue_label_);
+        break;
+      case StmtKind::kBreak:
+        if (break_labels_.empty()) {
+          throw CompileError(stmt.line, "break outside a loop");
+        }
+        Emit("        b    " + break_labels_.back());
+        break;
+      case StmtKind::kContinue:
+        if (continue_labels_.empty()) {
+          throw CompileError(stmt.line, "continue outside a loop");
+        }
+        Emit("        b    " + continue_labels_.back());
+        break;
+    }
+  }
+
+  // ---- expressions (result in t0) -------------------------------------------
+
+  void GenerateExpr(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kNumber:
+        Emit("        li   t0, " + std::to_string(expr.number));
+        break;
+      case ExprKind::kVariable: {
+        const VarInfo* info = RequireVar(expr.name, expr.line);
+        if (info->is_array) {
+          // Arrays decay to their base address.
+          EmitAddressOf(*info, expr.name);
+        } else if (info->is_global) {
+          Emit("        lw   t0, " + expr.name);
+        } else {
+          Emit("        lw   t0, -" + std::to_string(info->offset) + "(fp)");
+        }
+        break;
+      }
+      case ExprKind::kIndex: {
+        EmitElementAddress(expr);  // address in t0
+        Emit("        lw   t0, 0(t0)");
+        break;
+      }
+      case ExprKind::kUnary:
+        GenerateExpr(*expr.lhs);
+        if (expr.op == "-") {
+          Emit("        neg  t0, t0");
+        } else if (expr.op == "!") {
+          Emit("        sltiu t0, t0, 1");
+        } else {
+          Emit("        not  t0, t0");
+        }
+        break;
+      case ExprKind::kBinary:
+        GenerateBinary(expr);
+        break;
+      case ExprKind::kAssign:
+        GenerateAssign(expr);
+        break;
+      case ExprKind::kCall:
+        GenerateCall(expr);
+        break;
+    }
+  }
+
+  const VarInfo* RequireVar(const std::string& name, int line) const {
+    const VarInfo* info = Lookup(name);
+    if (info == nullptr) {
+      throw CompileError(line, "unknown variable '" + name + "'");
+    }
+    return info;
+  }
+
+  void EmitAddressOf(const VarInfo& info, const std::string& name) {
+    if (info.is_global) {
+      Emit("        la   t0, " + name);
+    } else {
+      Emit("        addi t0, fp, -" + std::to_string(info.offset));
+    }
+  }
+
+  // Leaves the address of name[index] in t0.
+  void EmitElementAddress(const Expr& expr) {
+    const VarInfo* info = RequireVar(expr.name, expr.line);
+    GenerateExpr(*expr.lhs);  // index in t0
+    Emit("        sll  t0, t0, 2");
+    Emit("        push t0");
+    EmitAddressOf(*info, expr.name);
+    if (!info->is_array && !info->is_global) {
+      throw CompileError(expr.line, "'" + expr.name + "' is not an array");
+    }
+    Emit("        pop  t1");
+    Emit("        add  t0, t0, t1");
+  }
+
+  void GenerateBinary(const Expr& expr) {
+    const std::string& op = expr.op;
+    if (op == "&&" || op == "||") {
+      const std::string short_label = NewLabel("sc");
+      const std::string end = NewLabel("scend");
+      GenerateExpr(*expr.lhs);
+      if (op == "&&") {
+        Emit("        beqz t0, " + short_label);  // lhs false -> 0
+      } else {
+        Emit("        bnez t0, " + short_label);  // lhs true -> 1
+      }
+      GenerateExpr(*expr.rhs);
+      Emit("        sltu t0, zero, t0");  // normalise rhs to 0/1
+      Emit("        b    " + end);
+      Emit(short_label + ":");
+      Emit(op == "&&" ? "        li   t0, 0" : "        li   t0, 1");
+      Emit(end + ":");
+      return;
+    }
+
+    GenerateExpr(*expr.lhs);
+    Emit("        push t0");
+    GenerateExpr(*expr.rhs);
+    Emit("        pop  t1");  // t1 = lhs, t0 = rhs
+    if (op == "+") {
+      Emit("        add  t0, t1, t0");
+    } else if (op == "-") {
+      Emit("        sub  t0, t1, t0");
+    } else if (op == "*") {
+      Emit("        mul  t0, t1, t0");
+    } else if (op == "/") {
+      Emit("        div  t0, t1, t0");
+    } else if (op == "%") {
+      Emit("        rem  t0, t1, t0");
+    } else if (op == "&") {
+      Emit("        and  t0, t1, t0");
+    } else if (op == "|") {
+      Emit("        or   t0, t1, t0");
+    } else if (op == "^") {
+      Emit("        xor  t0, t1, t0");
+    } else if (op == "<<") {
+      Emit("        sllv t0, t1, t0");
+    } else if (op == ">>") {
+      Emit("        srav t0, t1, t0");  // arithmetic, as C ints
+    } else if (op == "<") {
+      Emit("        slt  t0, t1, t0");
+    } else if (op == ">") {
+      Emit("        slt  t0, t0, t1");
+    } else if (op == "<=") {  // !(rhs < lhs)
+      Emit("        slt  t0, t0, t1");
+      Emit("        xori t0, t0, 1");
+    } else if (op == ">=") {  // !(lhs < rhs)
+      Emit("        slt  t0, t1, t0");
+      Emit("        xori t0, t0, 1");
+    } else if (op == "==") {
+      Emit("        xor  t0, t1, t0");
+      Emit("        sltiu t0, t0, 1");
+    } else if (op == "!=") {
+      Emit("        xor  t0, t1, t0");
+      Emit("        sltu t0, zero, t0");
+    } else {
+      throw CompileError(expr.line, "unsupported operator '" + op + "'");
+    }
+  }
+
+  void GenerateAssign(const Expr& expr) {
+    const Expr& target = *expr.lhs;
+    if (target.kind == ExprKind::kVariable) {
+      const VarInfo* info = RequireVar(target.name, target.line);
+      if (info->is_array) {
+        throw CompileError(target.line, "cannot assign to an array");
+      }
+      GenerateExpr(*expr.rhs);
+      if (info->is_global) {
+        Emit("        sw   t0, " + target.name);
+      } else {
+        Emit("        sw   t0, -" + std::to_string(info->offset) + "(fp)");
+      }
+      return;
+    }
+    // target is name[index]
+    EmitElementAddress(target);
+    Emit("        push t0");
+    GenerateExpr(*expr.rhs);
+    Emit("        pop  t1");
+    Emit("        sw   t0, 0(t1)");
+  }
+
+  void GenerateCall(const Expr& expr) {
+    if (expr.name == "out" || expr.name == "outb") {
+      if (expr.args.size() != 1) {
+        throw CompileError(expr.line, expr.name + " takes one argument");
+      }
+      GenerateExpr(*expr.args[0]);
+      Emit(expr.name == "out" ? "        outw t0" : "        outb t0");
+      Emit("        li   t0, 0");  // builtins return 0
+      return;
+    }
+    const auto it = signatures_.find(expr.name);
+    if (it == signatures_.end()) {
+      throw CompileError(expr.line, "unknown function '" + expr.name + "'");
+    }
+    if (it->second != expr.args.size()) {
+      throw CompileError(expr.line,
+                         "'" + expr.name + "' expects " +
+                             std::to_string(it->second) + " arguments, got " +
+                             std::to_string(expr.args.size()));
+    }
+    for (const ExprPtr& arg : expr.args) {
+      GenerateExpr(*arg);
+      Emit("        push t0");
+    }
+    static const char* kArgRegs[] = {"a0", "a1", "a2", "a3"};
+    for (std::size_t i = expr.args.size(); i-- > 0;) {
+      Emit("        pop  " + std::string(kArgRegs[i]));
+    }
+    Emit("        call " + expr.name);
+    Emit("        mv   t0, v0");
+  }
+
+  const Program& program_;
+  std::string out_;
+  int label_counter_ = 0;
+  std::map<std::string, VarInfo> globals_;
+  std::map<std::string, std::size_t> signatures_;  // name -> arity
+  std::vector<std::map<std::string, VarInfo>> scopes_;
+  std::int64_t next_offset_ = 0;
+  bool current_is_main_ = false;
+  std::string epilogue_label_;
+  std::vector<std::string> break_labels_;
+  std::vector<std::string> continue_labels_;
+};
+
+}  // namespace
+
+std::string GenerateAssembly(const Program& program) {
+  return CodeGenerator(program).Generate();
+}
+
+}  // namespace ces::cc

@@ -1,0 +1,25 @@
+// MiniC code generation: AST -> MR32 assembly text (assembled by the
+// repository's own assembler, so the compiler output runs on the traced CPU
+// simulator directly).
+//
+// Conventions:
+//   * expression results in t0, binary left operands restored into t1 from
+//     a memory operand stack (push/pop), so nested calls cannot clobber
+//     partial results;
+//   * locals (and spilled parameters) live in an fp-anchored frame, one
+//     4-byte slot per scalar, contiguous blocks for arrays;
+//   * arguments pass in a0..a3 (max 4), return value in v0;
+//   * main's epilogue is `halt`; other functions return through ra.
+#pragma once
+
+#include <string>
+
+#include "cc/ast.hpp"
+
+namespace ces::cc {
+
+// Throws CompileError on semantic problems (unknown identifier, arity
+// mismatch, break outside a loop, missing main, duplicate definitions).
+std::string GenerateAssembly(const Program& program);
+
+}  // namespace ces::cc

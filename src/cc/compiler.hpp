@@ -1,0 +1,33 @@
+// MiniC compiler facade: source -> MR32 assembly -> loadable Program.
+//
+// Completes the paper's toolchain substrate (they compile PowerStone with a
+// MIPS compiler; we provide MiniC for the same purpose):
+//
+//   const isa::Program program = cc::CompileToProgram(R"(
+//     int main() { out(6 * 7); return 0; }
+//   )");
+//   sim::RunResult run = sim::RunProgram(program, "answer");
+#pragma once
+
+#include <string>
+
+#include "cc/codegen.hpp"
+#include "cc/lexer.hpp"
+#include "cc/parser.hpp"
+#include "isa/assembler.hpp"
+
+namespace ces::cc {
+
+// Source -> assembly text. Throws CompileError.
+inline std::string Compile(const std::string& source) {
+  return GenerateAssembly(Parse(Lex(source)));
+}
+
+// Source -> assembled program. Throws CompileError or isa::AssemblyError
+// (the latter indicates a code-generator bug; the tests assert it never
+// happens for accepted inputs).
+inline isa::Program CompileToProgram(const std::string& source) {
+  return isa::Assemble(Compile(source));
+}
+
+}  // namespace ces::cc

@@ -1,0 +1,142 @@
+#include "cc/lexer.hpp"
+
+#include <cctype>
+
+namespace ces::cc {
+namespace {
+
+bool IsKeyword(const std::string& word) {
+  static const char* kKeywords[] = {"int",    "if",    "else",     "while",
+                                    "for",    "return", "break",   "continue"};
+  for (const char* keyword : kKeywords) {
+    if (word == keyword) return true;
+  }
+  return false;
+}
+
+// Multi-character operators, longest first so maximal munch works.
+const char* kOperators[] = {"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+                            "+",  "-",  "*",  "/",  "%",  "<",  ">",  "=",
+                            "!",  "~",  "&",  "|",  "^",  "(",  ")",  "{",
+                            "}",  "[",  "]",  ";",  ","};
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& source) {
+  std::vector<Token> tokens;
+  std::size_t pos = 0;
+  int line = 1;
+
+  const auto peek = [&](std::size_t offset = 0) -> char {
+    return pos + offset < source.size() ? source[pos + offset] : '\0';
+  };
+
+  while (pos < source.size()) {
+    const char c = source[pos];
+    if (c == '\n') {
+      ++line;
+      ++pos;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    // Comments: // to end of line, /* */ nestable-unaware (C semantics).
+    if (c == '/' && peek(1) == '/') {
+      while (pos < source.size() && source[pos] != '\n') ++pos;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const int start_line = line;
+      pos += 2;
+      while (pos < source.size() &&
+             !(source[pos] == '*' && peek(1) == '/')) {
+        if (source[pos] == '\n') ++line;
+        ++pos;
+      }
+      if (pos >= source.size()) {
+        throw CompileError(start_line, "unterminated comment");
+      }
+      pos += 2;
+      continue;
+    }
+
+    Token token;
+    token.line = line;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (pos < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[pos])) ||
+              source[pos] == '_')) {
+        word += source[pos++];
+      }
+      token.kind = IsKeyword(word) ? TokenKind::kKeyword
+                                   : TokenKind::kIdentifier;
+      token.text = std::move(word);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      char* end = nullptr;
+      token.kind = TokenKind::kNumber;
+      token.value = std::strtoll(source.c_str() + pos, &end, 0);
+      token.text = source.substr(pos, static_cast<std::size_t>(
+                                          end - (source.c_str() + pos)));
+      pos += token.text.size();
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (c == '\'') {
+      if (pos + 2 < source.size() && source[pos + 1] == '\\' &&
+          source[pos + 3] == '\'') {
+        char value = 0;
+        switch (source[pos + 2]) {
+          case 'n': value = '\n'; break;
+          case 't': value = '\t'; break;
+          case '0': value = '\0'; break;
+          case '\\': value = '\\'; break;
+          default: throw CompileError(line, "bad escape");
+        }
+        token.kind = TokenKind::kNumber;
+        token.value = value;
+        pos += 4;
+      } else if (pos + 2 < source.size() && source[pos + 2] == '\'') {
+        token.kind = TokenKind::kNumber;
+        token.value = source[pos + 1];
+        pos += 3;
+      } else {
+        throw CompileError(line, "bad character literal");
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    bool matched = false;
+    for (const char* op : kOperators) {
+      const std::size_t length = std::char_traits<char>::length(op);
+      if (source.compare(pos, length, op) == 0) {
+        token.kind = TokenKind::kPunct;
+        token.text = op;
+        pos += length;
+        tokens.push_back(std::move(token));
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      throw CompileError(line, std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace ces::cc

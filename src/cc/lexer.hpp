@@ -1,0 +1,48 @@
+// MiniC lexer.
+//
+// MiniC is the repository's small C subset for writing workloads without
+// hand-assembling MR32 (the paper's flow compiles its benchmarks; this
+// completes that substrate). The language: `int` scalars and 1-D arrays,
+// functions, full C expression operators with precedence and short-circuit
+// && / ||, if/else, while, for, break/continue/return, and the builtins
+// out(x) / outb(x) that map to the CPU's output instructions.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ces::cc {
+
+enum class TokenKind : std::uint8_t {
+  kEnd,
+  kIdentifier,
+  kNumber,
+  kKeyword,     // int, if, else, while, for, return, break, continue
+  kPunct,       // operators and separators
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  std::int64_t value = 0;  // for kNumber
+  int line = 0;
+};
+
+class CompileError : public std::runtime_error {
+ public:
+  CompileError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+// Throws CompileError on malformed input (bad characters, unterminated
+// comments). Numbers: decimal, 0x hex, and 'c' character literals.
+std::vector<Token> Lex(const std::string& source);
+
+}  // namespace ces::cc

@@ -1,0 +1,374 @@
+#include "cc/parser.hpp"
+
+namespace ces::cc {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::vector<Token>& tokens) : tokens_(tokens) {}
+
+  Program ParseProgram() {
+    Program program;
+    while (!AtEnd()) {
+      Expect("int", "top-level declarations start with 'int'");
+      const Token name = ExpectIdentifier();
+      if (Check("(")) {
+        program.functions.push_back(ParseFunction(name));
+      } else {
+        program.globals.push_back(ParseGlobal(name));
+      }
+    }
+    return program;
+  }
+
+ private:
+  // ---- token plumbing ----------------------------------------------------
+
+  const Token& Peek(std::size_t offset = 0) const {
+    const std::size_t index = pos_ + offset;
+    return index < tokens_.size() ? tokens_[index] : tokens_.back();
+  }
+
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Check(const std::string& text) const {
+    const Token& token = Peek();
+    return (token.kind == TokenKind::kPunct ||
+            token.kind == TokenKind::kKeyword) &&
+           token.text == text;
+  }
+
+  bool Match(const std::string& text) {
+    if (!Check(text)) return false;
+    Advance();
+    return true;
+  }
+
+  void Expect(const std::string& text, const std::string& context) {
+    if (!Match(text)) {
+      throw CompileError(Peek().line, "expected '" + text + "' (" + context +
+                                          "), got '" + Peek().text + "'");
+    }
+  }
+
+  Token ExpectIdentifier() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      throw CompileError(Peek().line,
+                         "expected identifier, got '" + Peek().text + "'");
+    }
+    return Advance();
+  }
+
+  std::int64_t ExpectNumber() {
+    if (Peek().kind != TokenKind::kNumber) {
+      throw CompileError(Peek().line,
+                         "expected number, got '" + Peek().text + "'");
+    }
+    return Advance().value;
+  }
+
+  // ---- declarations --------------------------------------------------------
+
+  GlobalVar ParseGlobal(const Token& name) {
+    GlobalVar global;
+    global.name = name.text;
+    global.line = name.line;
+    if (Match("[")) {
+      global.array_size = ExpectNumber();
+      if (global.array_size <= 0) {
+        throw CompileError(name.line, "array size must be positive");
+      }
+      Expect("]", "global array");
+      if (Match("=")) {
+        Expect("{", "array initialiser");
+        if (!Check("}")) {
+          do {
+            const bool negative = Match("-");
+            std::int64_t value = ExpectNumber();
+            if (negative) value = -value;
+            global.elements.push_back(value);
+          } while (Match(","));
+        }
+        Expect("}", "array initialiser");
+        if (static_cast<std::int64_t>(global.elements.size()) >
+            global.array_size) {
+          throw CompileError(name.line, "too many initialisers for '" +
+                                            name.text + "'");
+        }
+      }
+    } else if (Match("=")) {
+      // Constant initialiser only (optionally negated).
+      const bool negative = Match("-");
+      global.initial = ExpectNumber();
+      if (negative) global.initial = -global.initial;
+    }
+    Expect(";", "global declaration");
+    return global;
+  }
+
+  Function ParseFunction(const Token& name) {
+    Function function;
+    function.name = name.text;
+    function.line = name.line;
+    Expect("(", "function parameters");
+    if (!Check(")")) {
+      do {
+        Expect("int", "parameter type");
+        function.params.push_back(ExpectIdentifier().text);
+      } while (Match(","));
+    }
+    Expect(")", "function parameters");
+    if (function.params.size() > 4) {
+      throw CompileError(name.line,
+                         "at most 4 parameters are supported (a0..a3)");
+    }
+    function.body = ParseBlock();
+    return function;
+  }
+
+  // ---- statements ----------------------------------------------------------
+
+  StmtPtr ParseBlock() {
+    auto block = std::make_unique<Stmt>();
+    block->kind = StmtKind::kBlock;
+    block->line = Peek().line;
+    Expect("{", "block");
+    while (!Check("}")) {
+      if (AtEnd()) throw CompileError(block->line, "unterminated block");
+      block->body.push_back(ParseStatement());
+    }
+    Expect("}", "block");
+    return block;
+  }
+
+  StmtPtr ParseStatement() {
+    const int line = Peek().line;
+    if (Check("{")) return ParseBlock();
+
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = line;
+
+    if (Match("int")) {
+      stmt->kind = StmtKind::kDecl;
+      stmt->name = ExpectIdentifier().text;
+      if (Match("[")) {
+        stmt->array_size = ExpectNumber();
+        if (stmt->array_size <= 0) {
+          throw CompileError(line, "array size must be positive");
+        }
+        Expect("]", "local array");
+      } else if (Match("=")) {
+        stmt->expr = ParseExpr();
+      }
+      Expect(";", "declaration");
+      return stmt;
+    }
+    if (Match("if")) {
+      stmt->kind = StmtKind::kIf;
+      Expect("(", "if");
+      stmt->expr = ParseExpr();
+      Expect(")", "if");
+      stmt->body.push_back(ParseStatement());
+      if (Match("else")) stmt->body.push_back(ParseStatement());
+      return stmt;
+    }
+    if (Match("while")) {
+      stmt->kind = StmtKind::kWhile;
+      Expect("(", "while");
+      stmt->expr = ParseExpr();
+      Expect(")", "while");
+      stmt->body.push_back(ParseStatement());
+      return stmt;
+    }
+    if (Match("for")) {
+      stmt->kind = StmtKind::kFor;
+      Expect("(", "for");
+      // init: declaration, expression, or empty
+      auto init = std::make_unique<Stmt>();
+      init->line = line;
+      if (Match("int")) {
+        init->kind = StmtKind::kDecl;
+        init->name = ExpectIdentifier().text;
+        if (Match("=")) init->expr = ParseExpr();
+        Expect(";", "for initialiser");
+      } else if (Match(";")) {
+        init->kind = StmtKind::kBlock;  // empty
+      } else {
+        init->kind = StmtKind::kExpr;
+        init->expr = ParseExpr();
+        Expect(";", "for initialiser");
+      }
+      stmt->body.push_back(std::move(init));
+      // condition (optional)
+      if (!Check(";")) stmt->cond = ParseExpr();
+      Expect(";", "for condition");
+      // step (optional)
+      auto step = std::make_unique<Stmt>();
+      step->line = line;
+      if (!Check(")")) {
+        step->kind = StmtKind::kExpr;
+        step->expr = ParseExpr();
+      } else {
+        step->kind = StmtKind::kBlock;  // empty
+      }
+      stmt->body.push_back(std::move(step));
+      Expect(")", "for");
+      stmt->body.push_back(ParseStatement());
+      return stmt;
+    }
+    if (Match("return")) {
+      stmt->kind = StmtKind::kReturn;
+      if (!Check(";")) stmt->expr = ParseExpr();
+      Expect(";", "return");
+      return stmt;
+    }
+    if (Match("break")) {
+      stmt->kind = StmtKind::kBreak;
+      Expect(";", "break");
+      return stmt;
+    }
+    if (Match("continue")) {
+      stmt->kind = StmtKind::kContinue;
+      Expect(";", "continue");
+      return stmt;
+    }
+
+    stmt->kind = StmtKind::kExpr;
+    stmt->expr = ParseExpr();
+    Expect(";", "expression statement");
+    return stmt;
+  }
+
+  // ---- expressions (precedence climbing) -----------------------------------
+
+  ExprPtr ParseExpr() { return ParseAssignment(); }
+
+  ExprPtr ParseAssignment() {
+    ExprPtr lhs = ParseBinary(0);
+    if (Check("=")) {
+      if (lhs->kind != ExprKind::kVariable && lhs->kind != ExprKind::kIndex) {
+        throw CompileError(Peek().line, "invalid assignment target");
+      }
+      const int line = Advance().line;  // consume '='
+      auto assign = std::make_unique<Expr>();
+      assign->kind = ExprKind::kAssign;
+      assign->line = line;
+      assign->lhs = std::move(lhs);
+      assign->rhs = ParseAssignment();  // right associative
+      return assign;
+    }
+    return lhs;
+  }
+
+  // Precedence table, loosest first.
+  static int Precedence(const std::string& op) {
+    if (op == "||") return 1;
+    if (op == "&&") return 2;
+    if (op == "|") return 3;
+    if (op == "^") return 4;
+    if (op == "&") return 5;
+    if (op == "==" || op == "!=") return 6;
+    if (op == "<" || op == "<=" || op == ">" || op == ">=") return 7;
+    if (op == "<<" || op == ">>") return 8;
+    if (op == "+" || op == "-") return 9;
+    if (op == "*" || op == "/" || op == "%") return 10;
+    return -1;
+  }
+
+  ExprPtr ParseBinary(int min_precedence) {
+    ExprPtr lhs = ParseUnary();
+    for (;;) {
+      const Token& token = Peek();
+      if (token.kind != TokenKind::kPunct) break;
+      const int precedence = Precedence(token.text);
+      if (precedence < 0 || precedence < min_precedence) break;
+      const std::string op = Advance().text;
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBinary;
+      node->line = token.line;
+      node->op = op;
+      node->lhs = std::move(lhs);
+      node->rhs = ParseBinary(precedence + 1);  // left associative
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseUnary() {
+    const Token& token = Peek();
+    if (Check("-") || Check("!") || Check("~")) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kUnary;
+      node->line = token.line;
+      node->op = Advance().text;
+      node->lhs = ParseUnary();
+      return node;
+    }
+    return ParsePostfix();
+  }
+
+  ExprPtr ParsePostfix() {
+    ExprPtr primary = ParsePrimary();
+    if (primary->kind == ExprKind::kVariable && Match("[")) {
+      auto index = std::make_unique<Expr>();
+      index->kind = ExprKind::kIndex;
+      index->line = primary->line;
+      index->name = primary->name;
+      index->lhs = ParseExpr();
+      Expect("]", "array index");
+      return index;
+    }
+    return primary;
+  }
+
+  ExprPtr ParsePrimary() {
+    const Token& token = Peek();
+    auto node = std::make_unique<Expr>();
+    node->line = token.line;
+    if (token.kind == TokenKind::kNumber) {
+      node->kind = ExprKind::kNumber;
+      node->number = Advance().value;
+      return node;
+    }
+    if (token.kind == TokenKind::kIdentifier) {
+      const Token name = Advance();
+      if (Match("(")) {
+        node->kind = ExprKind::kCall;
+        node->name = name.text;
+        if (!Check(")")) {
+          do {
+            node->args.push_back(ParseExpr());
+          } while (Match(","));
+        }
+        Expect(")", "call");
+        if (node->args.size() > 4) {
+          throw CompileError(name.line, "at most 4 arguments are supported");
+        }
+        return node;
+      }
+      node->kind = ExprKind::kVariable;
+      node->name = name.text;
+      return node;
+    }
+    if (Match("(")) {
+      ExprPtr inner = ParseExpr();
+      Expect(")", "parenthesised expression");
+      return inner;
+    }
+    throw CompileError(token.line,
+                       "expected expression, got '" + token.text + "'");
+  }
+
+  const std::vector<Token>& tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program Parse(const std::vector<Token>& tokens) {
+  return Parser(tokens).ParseProgram();
+}
+
+}  // namespace ces::cc

@@ -1,0 +1,12 @@
+// MiniC recursive-descent parser. Throws CompileError with a line number on
+// any syntax problem.
+#pragma once
+
+#include "cc/ast.hpp"
+#include "cc/lexer.hpp"
+
+namespace ces::cc {
+
+Program Parse(const std::vector<Token>& tokens);
+
+}  // namespace ces::cc

@@ -1,0 +1,52 @@
+#include "explore/pareto.hpp"
+
+#include <algorithm>
+
+namespace ces::explore {
+
+std::vector<analytic::DesignPoint> ParetoFront(
+    std::vector<analytic::DesignPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const analytic::DesignPoint& a, const analytic::DesignPoint& b) {
+              if (a.size_words() != b.size_words()) {
+                return a.size_words() < b.size_words();
+              }
+              return a.warm_misses < b.warm_misses;
+            });
+  std::vector<analytic::DesignPoint> front;
+  std::uint64_t best_misses = ~std::uint64_t{0};
+  for (const analytic::DesignPoint& point : points) {
+    if (point.warm_misses < best_misses) {
+      front.push_back(point);
+      best_misses = point.warm_misses;
+    }
+  }
+  return front;
+}
+
+std::vector<EnergyRankedPoint> RankByEnergy(
+    const std::vector<analytic::DesignPoint>& points,
+    std::uint64_t trace_length, std::uint64_t cold_misses,
+    double miss_penalty_nj) {
+  std::vector<EnergyRankedPoint> ranked;
+  ranked.reserve(points.size());
+  for (const analytic::DesignPoint& point : points) {
+    cache::CacheConfig config;
+    config.depth = point.depth;
+    config.assoc = point.assoc;
+    EnergyRankedPoint entry;
+    entry.point = point;
+    entry.estimate = cache::EstimateEnergy(config);
+    entry.total_energy_nj =
+        cache::TotalEnergyNj(entry.estimate, trace_length,
+                             point.warm_misses + cold_misses, miss_penalty_nj);
+    ranked.push_back(entry);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const EnergyRankedPoint& a, const EnergyRankedPoint& b) {
+              return a.total_energy_nj < b.total_energy_nj;
+            });
+  return ranked;
+}
+
+}  // namespace ces::explore

@@ -1,0 +1,34 @@
+// Pareto analysis and energy-aware selection over exploration results
+// (extension; the paper's future-work direction toward energy/size trade-offs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analytic/explorer.hpp"
+#include "analytic/model.hpp"
+#include "cache/energy.hpp"
+
+namespace ces::explore {
+
+// Filters (depth, assoc, misses) points to the Pareto front over
+// (capacity in words, non-cold misses): a point survives iff no other point
+// is at most as large AND has at most as many misses (with one strict).
+std::vector<analytic::DesignPoint> ParetoFront(
+    std::vector<analytic::DesignPoint> points);
+
+// Among points meeting the budget (they all do, by construction), picks the
+// configuration with the least total energy for the trace: per-access
+// dynamic energy plus a fixed off-chip penalty per miss (cold + warm).
+struct EnergyRankedPoint {
+  analytic::DesignPoint point;
+  cache::EnergyEstimate estimate;
+  double total_energy_nj = 0.0;
+};
+
+std::vector<EnergyRankedPoint> RankByEnergy(
+    const std::vector<analytic::DesignPoint>& points,
+    std::uint64_t trace_length, std::uint64_t cold_misses,
+    double miss_penalty_nj = 10.0);
+
+}  // namespace ces::explore

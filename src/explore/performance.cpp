@@ -1,0 +1,25 @@
+#include "explore/performance.hpp"
+
+namespace ces::explore {
+
+PerformanceEstimate EstimatePerformance(std::uint64_t instructions,
+                                        std::uint64_t instruction_misses,
+                                        std::uint64_t data_accesses,
+                                        std::uint64_t data_misses,
+                                        const PerformanceParams& params) {
+  PerformanceEstimate estimate;
+  if (instructions == 0) return estimate;
+  const double fetch_cycles =
+      params.hit_cycles * static_cast<double>(instructions) +
+      params.miss_penalty_cycles * static_cast<double>(instruction_misses);
+  // Data accesses overlap the fetch pipeline on hits; only misses stall.
+  const double data_cycles =
+      params.miss_penalty_cycles * static_cast<double>(data_misses);
+  (void)data_accesses;
+  estimate.cycles = fetch_cycles + data_cycles;
+  estimate.cpi = estimate.cycles / static_cast<double>(instructions);
+  estimate.seconds = estimate.cycles / (params.clock_mhz * 1e6);
+  return estimate;
+}
+
+}  // namespace ces::explore

@@ -1,0 +1,35 @@
+// In-order CPI / runtime estimation from cache statistics.
+//
+// The paper frames cache tuning as a performance problem ("eliminate the
+// time overhead of fetching instruction and data words from main memory");
+// this model closes the loop: given instruction and data access/miss counts,
+// estimate cycles per instruction and wall-clock time for a simple in-order
+// embedded core (every instruction fetches; loads/stores add a data access;
+// every miss stalls for the memory penalty).
+#pragma once
+
+#include <cstdint>
+
+namespace ces::explore {
+
+struct PerformanceParams {
+  double hit_cycles = 1.0;           // L1 hit, pipelined
+  double miss_penalty_cycles = 20.0; // refill from the next level
+  double clock_mhz = 200.0;
+};
+
+struct PerformanceEstimate {
+  double cpi = 0.0;
+  double cycles = 0.0;
+  double seconds = 0.0;
+};
+
+// `instructions` is the retired count; instruction fetches == instructions
+// on MR32 (no prefetch modelled).
+PerformanceEstimate EstimatePerformance(std::uint64_t instructions,
+                                        std::uint64_t instruction_misses,
+                                        std::uint64_t data_accesses,
+                                        std::uint64_t data_misses,
+                                        const PerformanceParams& params = {});
+
+}  // namespace ces::explore

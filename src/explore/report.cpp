@@ -1,0 +1,97 @@
+#include "explore/report.hpp"
+
+#include <cstdio>
+
+#include "support/table.hpp"
+
+namespace ces::explore {
+
+OptimalTable BuildOptimalTable(const std::string& benchmark,
+                               const std::string& kind,
+                               const analytic::Explorer& explorer,
+                               const std::vector<double>& fractions) {
+  OptimalTable table;
+  table.benchmark = benchmark;
+  table.kind = kind;
+  table.fractions = fractions;
+
+  for (const cache::StackProfile& profile : explorer.profiles()) {
+    table.depths.push_back(profile.depth());
+  }
+  table.assoc.assign(table.depths.size(), {});
+
+  for (double fraction : fractions) {
+    const analytic::ExplorationResult result =
+        explorer.SolveFraction(fraction);
+    table.budgets.push_back(result.k);
+    for (std::size_t row = 0; row < result.points.size(); ++row) {
+      table.assoc[row].push_back(result.points[row].assoc);
+    }
+  }
+  return table;
+}
+
+std::string RenderOptimalTable(const OptimalTable& table) {
+  std::vector<std::string> headers = {"Depth"};
+  for (std::size_t col = 0; col < table.fractions.size(); ++col) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.0f%% (K=%llu)",
+                  table.fractions[col] * 100.0,
+                  static_cast<unsigned long long>(table.budgets[col]));
+    headers.emplace_back(buf);
+  }
+  AsciiTable ascii(std::move(headers));
+  for (std::size_t row = 0; row < table.depths.size(); ++row) {
+    std::vector<std::string> cells = {std::to_string(table.depths[row])};
+    for (std::uint32_t a : table.assoc[row]) cells.push_back(std::to_string(a));
+    ascii.AddRow(std::move(cells));
+  }
+  std::string out = "Optimal " + table.kind + " cache instances for " +
+                    table.benchmark + "\n";
+  out += ascii.ToString();
+  return out;
+}
+
+std::string OptimalTableToCsv(const OptimalTable& table) {
+  std::string out = "benchmark,kind,depth";
+  char buf[48];
+  for (std::size_t col = 0; col < table.fractions.size(); ++col) {
+    std::snprintf(buf, sizeof(buf), ",assoc_at_%.0f%%",
+                  table.fractions[col] * 100.0);
+    out += buf;
+  }
+  out += '\n';
+  for (std::size_t row = 0; row < table.depths.size(); ++row) {
+    out += table.benchmark + "," + table.kind + "," +
+           std::to_string(table.depths[row]);
+    for (std::uint32_t a : table.assoc[row]) {
+      out += ',' + std::to_string(a);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string PointsToCsv(const std::vector<analytic::DesignPoint>& points) {
+  std::string out = "depth,assoc,size_words,warm_misses\n";
+  for (const analytic::DesignPoint& point : points) {
+    out += std::to_string(point.depth) + ',' + std::to_string(point.assoc) +
+           ',' + std::to_string(point.size_words()) + ',' +
+           std::to_string(point.warm_misses) + '\n';
+  }
+  return out;
+}
+
+std::string RenderStatsTable(
+    const std::vector<std::pair<std::string, trace::TraceStats>>& rows,
+    const std::string& kind) {
+  AsciiTable ascii({"Benchmark", "Size N", "Unique N'", "Max Misses"});
+  for (const auto& [name, stats] : rows) {
+    ascii.AddRow({name, FormatWithThousands(stats.n),
+                  FormatWithThousands(stats.n_unique),
+                  FormatWithThousands(stats.max_misses)});
+  }
+  return kind + " trace statistics\n" + ascii.ToString();
+}
+
+}  // namespace ces::explore

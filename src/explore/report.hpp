@@ -1,0 +1,53 @@
+// Paper-style result rendering.
+//
+// Tables 7-30 of the paper have one row per cache depth and one column per
+// miss budget (5/10/15/20% of the max miss count); the cell is the minimum
+// associativity. These helpers render that layout (plus the trace-statistics
+// and run-time tables) from exploration results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analytic/explorer.hpp"
+#include "trace/strip.hpp"
+
+namespace ces::explore {
+
+// The paper's four budgets, as fractions of the max miss count.
+inline constexpr double kPaperFractions[] = {0.05, 0.10, 0.15, 0.20};
+
+// One benchmark's optimal-instance table (Tables 7-30): columns{f} holds the
+// per-depth result for miss budget fraction f.
+struct OptimalTable {
+  std::string benchmark;
+  std::string kind;                        // "data" or "instruction"
+  std::vector<double> fractions;           // column headers
+  std::vector<std::uint64_t> budgets;      // absolute K per column
+  std::vector<std::uint32_t> depths;       // row headers
+  // assoc[row][col]; rows follow `depths`, columns follow `fractions`.
+  std::vector<std::vector<std::uint32_t>> assoc;
+};
+
+// Builds the table from one pre-analysed explorer (one prelude, four solves).
+OptimalTable BuildOptimalTable(const std::string& benchmark,
+                               const std::string& kind,
+                               const analytic::Explorer& explorer,
+                               const std::vector<double>& fractions = {
+                                   0.05, 0.10, 0.15, 0.20});
+
+std::string RenderOptimalTable(const OptimalTable& table);
+
+// Tables 5-6 row: benchmark, N, N', max misses.
+std::string RenderStatsTable(
+    const std::vector<std::pair<std::string, trace::TraceStats>>& rows,
+    const std::string& kind);
+
+// Machine-readable exports for downstream tooling (spreadsheets, plotting):
+// header row + one line per depth. RFC-4180-plain (no quoting needed: all
+// cells are identifiers or numbers).
+std::string OptimalTableToCsv(const OptimalTable& table);
+std::string PointsToCsv(const std::vector<analytic::DesignPoint>& points);
+
+}  // namespace ces::explore

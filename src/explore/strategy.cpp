@@ -1,0 +1,138 @@
+#include "explore/strategy.hpp"
+
+#include <algorithm>
+
+#include "analytic/explorer.hpp"
+#include "cache/sim.hpp"
+#include "cache/stack.hpp"
+#include "support/timer.hpp"
+#include "trace/strip.hpp"
+
+namespace ces::explore {
+namespace {
+
+std::uint32_t CappedMaxBits(const trace::Trace& trace,
+                            std::uint32_t max_index_bits) {
+  return std::min(max_index_bits,
+                  trace::SignificantAddressBits(trace::Strip(trace)));
+}
+
+}  // namespace
+
+StrategyResult ExhaustiveSimulationStrategy::Explore(
+    const trace::Trace& trace, std::uint64_t k,
+    std::uint32_t max_index_bits) const {
+  Stopwatch watch;
+  StrategyResult result;
+  const std::uint32_t max_bits = CappedMaxBits(trace, max_index_bits);
+  for (std::uint32_t bits = 0; bits <= max_bits; ++bits) {
+    const std::uint32_t depth = 1u << bits;
+    analytic::DesignPoint point;
+    point.depth = depth;
+    for (std::uint32_t assoc = 1;; ++assoc) {
+      const std::uint64_t misses = cache::WarmMisses(trace, depth, assoc);
+      result.simulated_references += trace.size();
+      if (misses <= k) {
+        point.assoc = assoc;
+        point.warm_misses = misses;
+        break;
+      }
+    }
+    result.points.push_back(point);
+  }
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+StrategyResult IterativeSimulationStrategy::Explore(
+    const trace::Trace& trace, std::uint64_t k,
+    std::uint32_t max_index_bits) const {
+  Stopwatch watch;
+  StrategyResult result;
+  const std::uint32_t max_bits = CappedMaxBits(trace, max_index_bits);
+  for (std::uint32_t bits = 0; bits <= max_bits; ++bits) {
+    const std::uint32_t depth = 1u << bits;
+
+    // Exponential probe to bracket a feasible associativity, then binary
+    // search for the smallest one — each probe is one full simulation.
+    std::uint32_t hi = 1;
+    std::uint64_t hi_misses;
+    for (;;) {
+      hi_misses = cache::WarmMisses(trace, depth, hi);
+      result.simulated_references += trace.size();
+      if (hi_misses <= k) break;
+      hi *= 2;
+    }
+    std::uint32_t lo = hi / 2;  // infeasible (or 0 when hi == 1)
+    std::uint32_t best = hi;
+    std::uint64_t best_misses = hi_misses;
+    while (lo + 1 < best) {
+      const std::uint32_t mid = lo + (best - lo) / 2;
+      const std::uint64_t misses = cache::WarmMisses(trace, depth, mid);
+      result.simulated_references += trace.size();
+      if (misses <= k) {
+        best = mid;
+        best_misses = misses;
+      } else {
+        lo = mid;
+      }
+    }
+
+    analytic::DesignPoint point;
+    point.depth = depth;
+    point.assoc = best;
+    point.warm_misses = best_misses;
+    result.points.push_back(point);
+  }
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+StrategyResult OnePassStackStrategy::Explore(
+    const trace::Trace& trace, std::uint64_t k,
+    std::uint32_t max_index_bits) const {
+  Stopwatch watch;
+  StrategyResult result;
+  const trace::StrippedTrace stripped = trace::Strip(trace);
+  const std::uint32_t max_bits =
+      std::min(max_index_bits, trace::SignificantAddressBits(stripped));
+  for (std::uint32_t bits = 0; bits <= max_bits; ++bits) {
+    const cache::StackProfile profile =
+        cache::ComputeStackProfile(stripped, bits);
+    result.simulated_references += trace.size();
+    analytic::DesignPoint point;
+    point.depth = profile.depth();
+    point.assoc = profile.MinAssocFor(k);
+    point.warm_misses = profile.MissesAtAssoc(point.assoc);
+    result.points.push_back(point);
+  }
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+StrategyResult AnalyticalStrategy::Explore(const trace::Trace& trace,
+                                           std::uint64_t k,
+                                           std::uint32_t max_index_bits) const {
+  Stopwatch watch;
+  analytic::ExplorerOptions options;
+  options.engine = use_reference_engine_ ? analytic::Engine::kReference
+                                         : analytic::Engine::kFused;
+  options.max_index_bits = max_index_bits;
+  const analytic::ExplorationResult solved =
+      analytic::Explore(trace, k, options);
+  StrategyResult result;
+  result.points = solved.points;
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+std::vector<std::unique_ptr<Strategy>> AllStrategies() {
+  std::vector<std::unique_ptr<Strategy>> strategies;
+  strategies.push_back(std::make_unique<ExhaustiveSimulationStrategy>());
+  strategies.push_back(std::make_unique<IterativeSimulationStrategy>());
+  strategies.push_back(std::make_unique<OnePassStackStrategy>());
+  strategies.push_back(std::make_unique<AnalyticalStrategy>());
+  return strategies;
+}
+
+}  // namespace ces::explore

@@ -1,0 +1,89 @@
+// Design-space exploration strategies.
+//
+// The paper contrasts two flows (Figure 1):
+//  (a) traditional: pick a configuration, simulate, compare against the miss
+//      budget, adjust, repeat — here as ExhaustiveSimulationStrategy (try
+//      every configuration) and IterativeSimulationStrategy (raise the
+//      associativity until the budget is met);
+//  (b) proposed: run the analytical algorithm once — AnalyticalStrategy.
+// OnePassStackStrategy is the strongest conventional baseline: one Mattson
+// stack simulation per depth, all associativities at once ([16][17]).
+//
+// All strategies answer the same question and must return identical
+// (depth, assoc) sets; they differ only in cost, which is exactly what the
+// run-time experiments measure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analytic/model.hpp"
+#include "trace/trace.hpp"
+
+namespace ces::explore {
+
+struct StrategyResult {
+  std::vector<analytic::DesignPoint> points;  // one per depth 2^0..2^max
+  double seconds = 0.0;
+  std::uint64_t simulated_references = 0;  // total refs pushed through a
+                                           // functional cache model (cost
+                                           // proxy of the traditional flow)
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  virtual std::string name() const = 0;
+  // Finds, for each depth 2^0..2^max_index_bits, the minimum associativity
+  // with non-cold misses <= k.
+  virtual StrategyResult Explore(const trace::Trace& trace, std::uint64_t k,
+                                 std::uint32_t max_index_bits) const = 0;
+};
+
+// Figure 1a, exhaustive flavour: simulate (D, A) for A = 1,2,... until the
+// budget is met, for every depth.
+class ExhaustiveSimulationStrategy : public Strategy {
+ public:
+  std::string name() const override { return "exhaustive-simulation"; }
+  StrategyResult Explore(const trace::Trace& trace, std::uint64_t k,
+                         std::uint32_t max_index_bits) const override;
+};
+
+// Figure 1a, tuned flavour: per depth, binary-search the associativity in
+// [1, A_zero] with one full simulation per probe.
+class IterativeSimulationStrategy : public Strategy {
+ public:
+  std::string name() const override { return "iterative-simulation"; }
+  StrategyResult Explore(const trace::Trace& trace, std::uint64_t k,
+                         std::uint32_t max_index_bits) const override;
+};
+
+// One Mattson stack pass per depth.
+class OnePassStackStrategy : public Strategy {
+ public:
+  std::string name() const override { return "one-pass-stack"; }
+  StrategyResult Explore(const trace::Trace& trace, std::uint64_t k,
+                         std::uint32_t max_index_bits) const override;
+};
+
+// The paper's proposed flow (Figure 1b).
+class AnalyticalStrategy : public Strategy {
+ public:
+  explicit AnalyticalStrategy(bool use_reference_engine = false)
+      : use_reference_engine_(use_reference_engine) {}
+  std::string name() const override {
+    return use_reference_engine_ ? "analytical-reference" : "analytical-fused";
+  }
+  StrategyResult Explore(const trace::Trace& trace, std::uint64_t k,
+                         std::uint32_t max_index_bits) const override;
+
+ private:
+  bool use_reference_engine_;
+};
+
+// All four, in comparison order.
+std::vector<std::unique_ptr<Strategy>> AllStrategies();
+
+}  // namespace ces::explore

@@ -1,0 +1,702 @@
+#include "isa/assembler.hpp"
+
+#include <cctype>
+#include <optional>
+
+#include "isa/isa.hpp"
+
+namespace ces::isa {
+namespace {
+
+constexpr std::uint8_t kAtRegister = 1;  // assembler temporary
+constexpr std::uint8_t kRa = 31;
+constexpr std::uint8_t kSp = 29;
+
+struct SourceLine {
+  int number = 0;
+  std::string label;
+  std::string mnemonic;
+  std::vector<std::string> operands;
+};
+
+std::string Trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+  return s.substr(begin, end - begin);
+}
+
+// Splits operand lists on commas that are not inside quotes.
+std::vector<std::string> SplitOperands(const std::string& s, int line) {
+  std::vector<std::string> out;
+  std::string current;
+  bool in_quote = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '"' && (i == 0 || s[i - 1] != '\\')) in_quote = !in_quote;
+    if (c == ',' && !in_quote) {
+      out.push_back(Trim(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (in_quote) throw AssemblyError(line, "unterminated string");
+  if (!Trim(current).empty() || !out.empty()) out.push_back(Trim(current));
+  return out;
+}
+
+std::vector<SourceLine> Tokenize(const std::string& source) {
+  std::vector<SourceLine> lines;
+  std::size_t pos = 0;
+  int number = 0;
+  while (pos <= source.size()) {
+    const std::size_t eol = source.find('\n', pos);
+    std::string raw = source.substr(
+        pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    pos = eol == std::string::npos ? source.size() + 1 : eol + 1;
+    ++number;
+
+    // Strip comments, respecting string literals.
+    bool in_quote = false;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      const char c = raw[i];
+      if (c == '"' && (i == 0 || raw[i - 1] != '\\')) in_quote = !in_quote;
+      if (!in_quote && (c == '#' || c == ';' ||
+                        (c == '/' && i + 1 < raw.size() && raw[i + 1] == '/'))) {
+        raw.erase(i);
+        break;
+      }
+    }
+    raw = Trim(raw);
+    if (raw.empty()) continue;
+
+    SourceLine line;
+    line.number = number;
+    const std::size_t colon = raw.find(':');
+    if (colon != std::string::npos &&
+        raw.find('"') > colon) {  // `label:` prefix (not inside a string)
+      line.label = Trim(raw.substr(0, colon));
+      raw = Trim(raw.substr(colon + 1));
+    }
+    if (!raw.empty()) {
+      const std::size_t space = raw.find_first_of(" \t");
+      line.mnemonic = raw.substr(0, space);
+      if (space != std::string::npos) {
+        line.operands = SplitOperands(Trim(raw.substr(space + 1)), number);
+      }
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+struct Assembler {
+  const std::vector<SourceLine>& lines;
+  Program program;
+  std::map<std::string, std::int64_t> constants;  // .equ values
+
+  explicit Assembler(const std::vector<SourceLine>& source_lines)
+      : lines(source_lines) {}
+
+  // ---- operand helpers -------------------------------------------------
+
+  static bool LooksNumeric(const std::string& s) {
+    if (s.empty()) return false;
+    const char c = s[0];
+    return std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+           c == '+' || c == '\'';
+  }
+
+  std::int64_t ParseNumber(const std::string& s, int line) const {
+    if (s.size() >= 3 && s[0] == '\'') {
+      if (s.back() != '\'') throw AssemblyError(line, "bad char literal " + s);
+      if (s[1] == '\\') {
+        switch (s[2]) {
+          case 'n': return '\n';
+          case 't': return '\t';
+          case '0': return 0;
+          case '\\': return '\\';
+          default: throw AssemblyError(line, "bad escape in " + s);
+        }
+      }
+      return s[1];
+    }
+    char* end = nullptr;
+    const std::int64_t value = std::strtoll(s.c_str(), &end, 0);
+    if (end == s.c_str() || *end != '\0') {
+      throw AssemblyError(line, "bad number '" + s + "'");
+    }
+    return value;
+  }
+
+  // Symbol, symbol+off, symbol-off, .equ constant, or plain number.
+  std::int64_t ResolveValue(const std::string& expr, int line) const {
+    if (LooksNumeric(expr)) return ParseNumber(expr, line);
+    std::size_t split = expr.find_last_of("+-");
+    if (split == 0 || split == std::string::npos) split = expr.size();
+    const std::string name = Trim(expr.substr(0, split));
+    std::int64_t offset = 0;
+    if (split < expr.size()) offset = ParseNumber(expr.substr(split), line);
+
+    if (const auto it = constants.find(name); it != constants.end()) {
+      return it->second + offset;
+    }
+    if (const auto it = program.symbols.find(name);
+        it != program.symbols.end()) {
+      return static_cast<std::int64_t>(it->second) + offset;
+    }
+    throw AssemblyError(line, "undefined symbol '" + name + "'");
+  }
+
+  std::uint8_t ParseRegister(const std::string& s, int line) const {
+    const int index = RegisterIndex(s);
+    if (index < 0) throw AssemblyError(line, "unknown register '" + s + "'");
+    return static_cast<std::uint8_t>(index);
+  }
+
+  bool IsRegister(const std::string& s) const { return RegisterIndex(s) >= 0; }
+
+  // `imm(reg)` / `symbol(reg)` memory operand.
+  struct MemOperand {
+    std::uint8_t base = 0;
+    std::string displacement;  // resolved lazily (pass 2)
+  };
+
+  static std::optional<MemOperand> ParseMemOperand(const std::string& s) {
+    const std::size_t open = s.rfind('(');
+    if (open == std::string::npos || s.back() != ')') return std::nullopt;
+    MemOperand mem;
+    const std::string reg = s.substr(open + 1, s.size() - open - 2);
+    const int index = RegisterIndex(Trim(reg));
+    if (index < 0) return std::nullopt;
+    mem.base = static_cast<std::uint8_t>(index);
+    std::string displacement = Trim(s.substr(0, open));
+    if (displacement.empty()) displacement = "0";
+    mem.displacement = std::move(displacement);
+    return mem;
+  }
+
+  // ---- size accounting (pass 1) -----------------------------------------
+
+  // Number of real instructions a (pseudo-)instruction expands to.
+  std::uint32_t ExpansionSize(const SourceLine& line) const {
+    const std::string& m = line.mnemonic;
+    const auto& ops = line.operands;
+    if (m == "nop" || m == "mv" || m == "not" || m == "neg" || m == "b" ||
+        m == "beqz" || m == "bnez" || m == "bgt" || m == "ble" ||
+        m == "bgtu" || m == "bleu" || m == "ret" || m == "call") {
+      return 1;
+    }
+    if (m == "la") return 2;
+    if (m == "push" || m == "pop") return 2;
+    if (m == "li") {
+      if (ops.size() != 2) throw AssemblyError(line.number, "li needs 2 operands");
+      // Constants must be known by pass 1 to fix the size; labels are not
+      // allowed in li (use la).
+      const std::int64_t value = LooksNumeric(ops[1])
+                                     ? ParseNumber(ops[1], line.number)
+                                     : LookupConstant(ops[1], line.number);
+      return (value >= -32768 && value <= 32767) ? 1u : 2u;
+    }
+    // Loads/stores with a bare symbol operand: lui+ori+mem.
+    if (IsMemoryMnemonic(m) && ops.size() == 2 && !ParseMemOperand(ops[1])) {
+      return 3;
+    }
+    return 1;
+  }
+
+  std::int64_t LookupConstant(const std::string& name, int line) const {
+    const auto it = constants.find(name);
+    if (it == constants.end()) {
+      throw AssemblyError(line, "li needs a numeric or .equ constant, got '" +
+                                    name + "' (use la for labels)");
+    }
+    return it->second;
+  }
+
+  static bool IsMemoryMnemonic(const std::string& m) {
+    return m == "lw" || m == "sw" || m == "lb" || m == "lbu" || m == "sb" ||
+           m == "lh" || m == "lhu" || m == "sh";
+  }
+
+  // ---- emission (pass 2) -------------------------------------------------
+
+  std::vector<Instruction> out;
+
+  void Emit(Opcode op, std::uint8_t rd = 0, std::uint8_t rs = 0,
+            std::uint8_t rt = 0, std::int32_t imm = 0, std::uint8_t shamt = 0,
+            std::uint32_t target = 0) {
+    Instruction instruction;
+    instruction.op = op;
+    instruction.rd = rd;
+    instruction.rs = rs;
+    instruction.rt = rt;
+    instruction.imm = imm;
+    instruction.shamt = shamt;
+    instruction.target = target;
+    out.push_back(instruction);
+  }
+
+  void CheckSigned16(std::int64_t value, int line) const {
+    if (value < -32768 || value > 32767) {
+      throw AssemblyError(line, "immediate out of signed 16-bit range: " +
+                                    std::to_string(value));
+    }
+  }
+
+  void CheckUnsigned16(std::int64_t value, int line) const {
+    if (value < 0 || value > 0xffff) {
+      throw AssemblyError(line, "immediate out of unsigned 16-bit range: " +
+                                    std::to_string(value));
+    }
+  }
+
+  void EmitLoadAddress(std::uint8_t rd, std::uint32_t address) {
+    Emit(Opcode::kLui, rd, 0, 0, static_cast<std::int32_t>(address >> 16));
+    Emit(Opcode::kOri, rd, rd, 0,
+         static_cast<std::int32_t>(address & 0xffff));
+  }
+
+  // ---- driver ------------------------------------------------------------
+
+  std::uint32_t expected_text_words = 0;
+
+  void RunPassOne() {
+    bool in_text = true;
+    std::uint32_t text_words = 0;
+    std::uint32_t data_bytes = 0;
+    for (const SourceLine& line : lines) {
+      if (!line.label.empty()) {
+        const std::uint32_t address =
+            in_text ? program.text_base + text_words * 4
+                    : program.data_base + data_bytes;
+        if (!program.symbols.try_emplace(line.label, address).second) {
+          throw AssemblyError(line.number, "duplicate label " + line.label);
+        }
+      }
+      if (line.mnemonic.empty()) continue;
+      if (line.mnemonic[0] == '.') {
+        HandleDirectiveSize(line, in_text, data_bytes);
+        continue;
+      }
+      if (!in_text) {
+        throw AssemblyError(line.number, "instruction in .data section");
+      }
+      text_words += ExpansionSize(line);
+    }
+    expected_text_words = text_words;
+  }
+
+  void HandleDirectiveSize(const SourceLine& line, bool& in_text,
+                           std::uint32_t& data_bytes) {
+    const std::string& d = line.mnemonic;
+    if (d == ".text") {
+      in_text = true;
+    } else if (d == ".data") {
+      in_text = false;
+    } else if (d == ".equ") {
+      if (line.operands.size() != 2) {
+        throw AssemblyError(line.number, ".equ needs name, value");
+      }
+      constants[line.operands[0]] = ResolveValue(line.operands[1], line.number);
+    } else if (d == ".word") {
+      data_bytes = Align(data_bytes, 4);
+      // Re-register the label at the aligned address.
+      ReanchorLabel(line, data_bytes);
+      data_bytes += 4 * static_cast<std::uint32_t>(line.operands.size());
+    } else if (d == ".half") {
+      data_bytes = Align(data_bytes, 2);
+      ReanchorLabel(line, data_bytes);
+      data_bytes += 2 * static_cast<std::uint32_t>(line.operands.size());
+    } else if (d == ".byte") {
+      data_bytes += static_cast<std::uint32_t>(line.operands.size());
+    } else if (d == ".space") {
+      data_bytes += SpaceSize(line);
+    } else if (d == ".align") {
+      data_bytes = Align(data_bytes, AlignBoundary(line));
+      ReanchorLabel(line, data_bytes);
+    } else if (d == ".ascii" || d == ".asciiz") {
+      data_bytes += static_cast<std::uint32_t>(
+          DecodeString(Operand(line, 0), line.number).size());
+      if (d == ".asciiz") ++data_bytes;
+    } else {
+      throw AssemblyError(line.number, "unknown directive " + d);
+    }
+  }
+
+  void ReanchorLabel(const SourceLine& line, std::uint32_t data_bytes) {
+    if (!line.label.empty()) {
+      program.symbols[line.label] = program.data_base + data_bytes;
+    }
+  }
+
+
+  // Bounds-checked directive operand access.
+  const std::string& Operand(const SourceLine& line, std::size_t index) const {
+    if (index >= line.operands.size()) {
+      throw AssemblyError(line.number,
+                          line.mnemonic + " is missing an operand");
+    }
+    return line.operands[index];
+  }
+  static std::uint32_t Align(std::uint32_t value, std::uint32_t boundary) {
+    return (value + boundary - 1) & ~(boundary - 1);
+  }
+
+  // Bounds-checked .space size (a data segment larger than 16 MiB is a
+  // typo, not a program).
+  std::uint32_t SpaceSize(const SourceLine& line) const {
+    const std::int64_t size =
+        ResolveValue(Operand(line, 0), line.number);
+    if (size < 0 || size > (1 << 24)) {
+      throw AssemblyError(line.number,
+                          ".space size out of range: " + std::to_string(size));
+    }
+    return static_cast<std::uint32_t>(size);
+  }
+
+  std::uint32_t AlignBoundary(const SourceLine& line) const {
+    const std::int64_t log2 =
+        ResolveValue(Operand(line, 0), line.number);
+    if (log2 < 0 || log2 > 16) {
+      throw AssemblyError(line.number,
+                          ".align out of range: " + std::to_string(log2));
+    }
+    return 1u << static_cast<std::uint32_t>(log2);
+  }
+
+  static std::string DecodeString(const std::string& operand, int line) {
+    if (operand.size() < 2 || operand.front() != '"' || operand.back() != '"') {
+      throw AssemblyError(line, "expected string literal");
+    }
+    std::string out;
+    for (std::size_t i = 1; i + 1 < operand.size(); ++i) {
+      char c = operand[i];
+      if (c == '\\' && i + 2 < operand.size()) {
+        ++i;
+        switch (operand[i]) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '0': c = '\0'; break;
+          case '\\': c = '\\'; break;
+          case '"': c = '"'; break;
+          default: throw AssemblyError(line, "bad escape");
+        }
+      }
+      out += c;
+    }
+    return out;
+  }
+
+  void RunPassTwo() {
+    bool in_text = true;
+    for (const SourceLine& line : lines) {
+      if (line.mnemonic.empty()) continue;
+      if (line.mnemonic[0] == '.') {
+        HandleDirectiveEmit(line, in_text);
+        continue;
+      }
+      EmitInstruction(line);
+    }
+  }
+
+  void HandleDirectiveEmit(const SourceLine& line, bool& in_text) {
+    const std::string& d = line.mnemonic;
+    auto& data = program.data;
+    if (d == ".text") {
+      in_text = true;
+    } else if (d == ".data") {
+      in_text = false;
+    } else if (d == ".equ") {
+      // handled in pass 1
+    } else if (d == ".word") {
+      while (data.size() % 4 != 0) data.push_back(0);
+      for (const std::string& op : line.operands) {
+        const auto value =
+            static_cast<std::uint32_t>(ResolveValue(op, line.number));
+        for (int b = 0; b < 4; ++b) {
+          data.push_back(static_cast<std::uint8_t>((value >> (8 * b)) & 0xff));
+        }
+      }
+    } else if (d == ".half") {
+      while (data.size() % 2 != 0) data.push_back(0);
+      for (const std::string& op : line.operands) {
+        const auto value =
+            static_cast<std::uint32_t>(ResolveValue(op, line.number));
+        data.push_back(static_cast<std::uint8_t>(value & 0xff));
+        data.push_back(static_cast<std::uint8_t>((value >> 8) & 0xff));
+      }
+    } else if (d == ".byte") {
+      for (const std::string& op : line.operands) {
+        data.push_back(
+            static_cast<std::uint8_t>(ResolveValue(op, line.number) & 0xff));
+      }
+    } else if (d == ".space") {
+      data.insert(data.end(), SpaceSize(line), 0);
+    } else if (d == ".align") {
+      const std::uint32_t boundary = AlignBoundary(line);
+      while (data.size() % boundary != 0) data.push_back(0);
+    } else if (d == ".ascii" || d == ".asciiz") {
+      const std::string s = DecodeString(Operand(line, 0), line.number);
+      data.insert(data.end(), s.begin(), s.end());
+      if (d == ".asciiz") data.push_back(0);
+    }
+  }
+
+  void EmitInstruction(const SourceLine& line);
+
+  Program Finish() {
+    RunPassOne();
+    RunPassTwo();
+    if (out.size() != expected_text_words) {
+      // Pass-1 size accounting anchors every label; a mismatch means the
+      // emitted stream silently disagrees with the symbol table.
+      throw AssemblyError(0, "internal: pass-1/pass-2 size mismatch");
+    }
+    program.text.reserve(out.size());
+    for (const Instruction& instruction : out) {
+      program.text.push_back(Encode(instruction));
+    }
+    const auto main_it = program.symbols.find("main");
+    program.entry =
+        main_it != program.symbols.end() ? main_it->second : program.text_base;
+    return std::move(program);
+  }
+};
+
+void Assembler::EmitInstruction(const SourceLine& line) {
+  const std::string& m = line.mnemonic;
+  const auto& ops = line.operands;
+  const int ln = line.number;
+  const std::uint32_t pc_word =
+      program.text_base / 4 + static_cast<std::uint32_t>(out.size());
+
+  auto need = [&](std::size_t count) {
+    if (ops.size() != count) {
+      throw AssemblyError(ln, m + " needs " + std::to_string(count) +
+                                  " operands, got " +
+                                  std::to_string(ops.size()));
+    }
+  };
+  auto reg = [&](std::size_t i) { return ParseRegister(ops[i], ln); };
+  auto branch_offset = [&](const std::string& target) {
+    const std::int64_t address = ResolveValue(target, ln);
+    if (address % 4 != 0) throw AssemblyError(ln, "misaligned branch target");
+    const std::int64_t offset =
+        address / 4 - (static_cast<std::int64_t>(pc_word) + 1);
+    CheckSigned16(offset, ln);
+    return static_cast<std::int32_t>(offset);
+  };
+
+  // --- R-type three-register ops ---
+  static const std::map<std::string, Opcode> kThreeReg = {
+      {"add", Opcode::kAdd},   {"sub", Opcode::kSub},  {"and", Opcode::kAnd},
+      {"or", Opcode::kOr},     {"xor", Opcode::kXor},  {"nor", Opcode::kNor},
+      {"slt", Opcode::kSlt},   {"sltu", Opcode::kSltu},{"sllv", Opcode::kSllv},
+      {"srlv", Opcode::kSrlv}, {"srav", Opcode::kSrav},{"mul", Opcode::kMul},
+      {"mulh", Opcode::kMulh}, {"div", Opcode::kDiv},  {"rem", Opcode::kRem}};
+  if (const auto it = kThreeReg.find(m); it != kThreeReg.end()) {
+    need(3);
+    Emit(it->second, reg(0), reg(1), reg(2));
+    return;
+  }
+
+  // --- I-type ALU ---
+  static const std::map<std::string, Opcode> kImmAlu = {
+      {"addi", Opcode::kAddi}, {"andi", Opcode::kAndi}, {"ori", Opcode::kOri},
+      {"xori", Opcode::kXori}, {"slti", Opcode::kSlti},
+      {"sltiu", Opcode::kSltiu}};
+  if (const auto it = kImmAlu.find(m); it != kImmAlu.end()) {
+    need(3);
+    const std::int64_t value = ResolveValue(ops[2], ln);
+    if (m == "andi" || m == "ori" || m == "xori") {
+      CheckUnsigned16(value, ln);
+    } else {
+      CheckSigned16(value, ln);
+    }
+    Emit(it->second, reg(0), reg(1), 0,
+         static_cast<std::int32_t>(value & 0xffff));
+    return;
+  }
+
+  static const std::map<std::string, Opcode> kShift = {
+      {"sll", Opcode::kSll}, {"srl", Opcode::kSrl}, {"sra", Opcode::kSra}};
+  if (const auto it = kShift.find(m); it != kShift.end()) {
+    need(3);
+    const std::int64_t shamt = ResolveValue(ops[2], ln);
+    if (shamt < 0 || shamt > 31) throw AssemblyError(ln, "shift out of range");
+    Emit(it->second, reg(0), reg(1), 0, static_cast<std::int32_t>(shamt));
+    return;
+  }
+
+  if (m == "lui") {
+    need(2);
+    const std::int64_t value = ResolveValue(ops[1], ln);
+    CheckUnsigned16(value, ln);
+    Emit(Opcode::kLui, reg(0), 0, 0, static_cast<std::int32_t>(value));
+    return;
+  }
+
+  // --- memory ---
+  static const std::map<std::string, Opcode> kMem = {
+      {"lw", Opcode::kLw},   {"sw", Opcode::kSw},  {"lb", Opcode::kLb},
+      {"lbu", Opcode::kLbu}, {"sb", Opcode::kSb},  {"lh", Opcode::kLh},
+      {"lhu", Opcode::kLhu}, {"sh", Opcode::kSh}};
+  if (const auto it = kMem.find(m); it != kMem.end()) {
+    need(2);
+    if (const auto mem = ParseMemOperand(ops[1])) {
+      const std::int64_t disp = ResolveValue(mem->displacement, ln);
+      CheckSigned16(disp, ln);
+      Emit(it->second, reg(0), mem->base, 0, static_cast<std::int32_t>(disp));
+    } else {
+      // Bare symbol: go through the assembler temporary.
+      const auto address =
+          static_cast<std::uint32_t>(ResolveValue(ops[1], ln));
+      EmitLoadAddress(kAtRegister, address);
+      Emit(it->second, reg(0), kAtRegister, 0, 0);
+    }
+    return;
+  }
+
+  // --- branches ---
+  static const std::map<std::string, Opcode> kBranches = {
+      {"beq", Opcode::kBeq},   {"bne", Opcode::kBne}, {"blt", Opcode::kBlt},
+      {"bge", Opcode::kBge},   {"bltu", Opcode::kBltu},
+      {"bgeu", Opcode::kBgeu}};
+  if (const auto it = kBranches.find(m); it != kBranches.end()) {
+    need(3);
+    Emit(it->second, reg(0), reg(1), 0, branch_offset(ops[2]));
+    return;
+  }
+  if (m == "bgt" || m == "ble" || m == "bgtu" || m == "bleu") {
+    need(3);
+    const Opcode op = (m == "bgt")   ? Opcode::kBlt
+                      : (m == "ble") ? Opcode::kBge
+                      : (m == "bgtu") ? Opcode::kBltu
+                                      : Opcode::kBgeu;
+    Emit(op, reg(1), reg(0), 0, branch_offset(ops[2]));  // swapped operands
+    return;
+  }
+  if (m == "beqz" || m == "bnez") {
+    need(2);
+    Emit(m == "beqz" ? Opcode::kBeq : Opcode::kBne, reg(0), 0, 0,
+         branch_offset(ops[1]));
+    return;
+  }
+  if (m == "b") {
+    need(1);
+    Emit(Opcode::kBeq, 0, 0, 0, branch_offset(ops[0]));
+    return;
+  }
+
+  // --- jumps ---
+  if (m == "j" || m == "jal" || m == "call") {
+    need(1);
+    const auto address = static_cast<std::uint32_t>(ResolveValue(ops[0], ln));
+    if (address % 4 != 0) throw AssemblyError(ln, "misaligned jump target");
+    Emit(m == "j" ? Opcode::kJ : Opcode::kJal, 0, 0, 0, 0, 0, address / 4);
+    return;
+  }
+  if (m == "jr") {
+    need(1);
+    Emit(Opcode::kJr, 0, reg(0));
+    return;
+  }
+  if (m == "jalr") {
+    need(2);
+    Emit(Opcode::kJalr, reg(0), reg(1));
+    return;
+  }
+  if (m == "ret") {
+    need(0);
+    Emit(Opcode::kJr, 0, kRa);
+    return;
+  }
+
+  // --- pseudo-instructions ---
+  if (m == "li") {
+    need(2);
+    const std::int64_t value = LooksNumeric(ops[1])
+                                   ? ParseNumber(ops[1], ln)
+                                   : LookupConstant(ops[1], ln);
+    if (value >= -32768 && value <= 32767) {
+      Emit(Opcode::kAddi, reg(0), 0, 0,
+           static_cast<std::int32_t>(value & 0xffff));
+    } else {
+      const auto u = static_cast<std::uint32_t>(value);
+      Emit(Opcode::kLui, reg(0), 0, 0, static_cast<std::int32_t>(u >> 16));
+      Emit(Opcode::kOri, reg(0), reg(0), 0,
+           static_cast<std::int32_t>(u & 0xffff));
+    }
+    return;
+  }
+  if (m == "la") {
+    need(2);
+    EmitLoadAddress(reg(0),
+                    static_cast<std::uint32_t>(ResolveValue(ops[1], ln)));
+    return;
+  }
+  if (m == "mv") {
+    need(2);
+    Emit(Opcode::kAdd, reg(0), reg(1), 0);
+    return;
+  }
+  if (m == "not") {
+    need(2);
+    Emit(Opcode::kNor, reg(0), reg(1), 0);
+    return;
+  }
+  if (m == "neg") {
+    need(2);
+    Emit(Opcode::kSub, reg(0), 0, reg(1));
+    return;
+  }
+  if (m == "nop") {
+    need(0);
+    Emit(Opcode::kAdd, 0, 0, 0);
+    return;
+  }
+  if (m == "push") {
+    need(1);
+    Emit(Opcode::kAddi, kSp, kSp, 0, -4);
+    Emit(Opcode::kSw, reg(0), kSp, 0, 0);
+    return;
+  }
+  if (m == "pop") {
+    need(1);
+    Emit(Opcode::kLw, reg(0), kSp, 0, 0);
+    Emit(Opcode::kAddi, kSp, kSp, 0, 4);
+    return;
+  }
+
+  // --- misc ---
+  if (m == "outb") {
+    need(1);
+    Emit(Opcode::kOutb, 0, reg(0));
+    return;
+  }
+  if (m == "outw") {
+    need(1);
+    Emit(Opcode::kOutw, 0, reg(0));
+    return;
+  }
+  if (m == "halt") {
+    need(0);
+    Emit(Opcode::kHalt);
+    return;
+  }
+
+  throw AssemblyError(ln, "unknown mnemonic '" + m + "'");
+}
+
+}  // namespace
+
+Program Assemble(const std::string& source) {
+  const std::vector<SourceLine> lines = Tokenize(source);
+  Assembler assembler(lines);
+  return assembler.Finish();
+}
+
+}  // namespace ces::isa

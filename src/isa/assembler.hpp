@@ -1,0 +1,50 @@
+// Two-pass assembler for MR32.
+//
+// Supported syntax (MIPS-flavoured):
+//   # comment        ; comment        // comment
+//   label:  mnemonic op1, op2, op3
+//           .text / .data
+//           .word v[, v...]   .half ...   .byte ...
+//           .space n          .align log2   .ascii "s"   .asciiz "s"
+//           .equ NAME, value
+// Operands: registers ($n, rn, ABI names), immediates (decimal, 0x hex,
+// 'c' char), symbols (optionally symbol+off / symbol-off), and memory
+// operands imm(reg) / symbol(reg).
+//
+// Pseudo-instructions: li, la, mv, b, beqz, bnez, bgt, ble, bgtu, bleu,
+// not, neg, nop, ret, call, push, pop, and load/store with a bare symbol
+// operand (expands through the assembler register at).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ces::isa {
+
+struct Program {
+  std::vector<std::uint32_t> text;  // encoded instructions
+  std::vector<std::uint8_t> data;   // initialised data image
+  std::uint32_t text_base = 0x0;
+  std::uint32_t data_base = 0x10000;
+  std::uint32_t entry = 0;          // byte address; label `main` if present
+  std::map<std::string, std::uint32_t> symbols;  // label -> byte address
+};
+
+class AssemblyError : public std::runtime_error {
+ public:
+  AssemblyError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+// Throws AssemblyError on any syntax or range problem.
+Program Assemble(const std::string& source);
+
+}  // namespace ces::isa

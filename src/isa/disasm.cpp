@@ -1,0 +1,65 @@
+#include "isa/disasm.hpp"
+
+#include <cstdio>
+
+namespace ces::isa {
+
+std::string Disassemble(const Instruction& instruction, std::uint32_t pc) {
+  char buf[96];
+  const Opcode op = instruction.op;
+  const char* mnemonic = Mnemonic(op);
+  if (IsJType(op)) {
+    std::snprintf(buf, sizeof(buf), "%s 0x%x", mnemonic,
+                  instruction.target * 4);
+  } else if (IsBranch(op)) {
+    const std::uint32_t target =
+        pc + 4 + static_cast<std::uint32_t>(instruction.imm * 4);
+    std::snprintf(buf, sizeof(buf), "%s %s, %s, 0x%x", mnemonic,
+                  RegisterName(instruction.rd), RegisterName(instruction.rs),
+                  target);
+  } else if (IsLoad(op) || IsStore(op)) {
+    std::snprintf(buf, sizeof(buf), "%s %s, %d(%s)", mnemonic,
+                  RegisterName(instruction.rd), instruction.imm,
+                  RegisterName(instruction.rs));
+  } else if (op == Opcode::kSll || op == Opcode::kSrl || op == Opcode::kSra) {
+    std::snprintf(buf, sizeof(buf), "%s %s, %s, %d", mnemonic,
+                  RegisterName(instruction.rd), RegisterName(instruction.rs),
+                  instruction.imm);
+  } else if (op == Opcode::kLui) {
+    std::snprintf(buf, sizeof(buf), "%s %s, 0x%x", mnemonic,
+                  RegisterName(instruction.rd),
+                  static_cast<unsigned>(instruction.imm) & 0xffff);
+  } else if (IsIType(op)) {
+    std::snprintf(buf, sizeof(buf), "%s %s, %s, %d", mnemonic,
+                  RegisterName(instruction.rd), RegisterName(instruction.rs),
+                  instruction.imm);
+  } else if (op == Opcode::kJr) {
+    std::snprintf(buf, sizeof(buf), "%s %s", mnemonic,
+                  RegisterName(instruction.rs));
+  } else if (op == Opcode::kJalr) {
+    std::snprintf(buf, sizeof(buf), "%s %s, %s", mnemonic,
+                  RegisterName(instruction.rd), RegisterName(instruction.rs));
+  } else if (op == Opcode::kOutb || op == Opcode::kOutw) {
+    std::snprintf(buf, sizeof(buf), "%s %s", mnemonic,
+                  RegisterName(instruction.rs));
+  } else if (op == Opcode::kHalt) {
+    std::snprintf(buf, sizeof(buf), "%s", mnemonic);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s %s, %s, %s", mnemonic,
+                  RegisterName(instruction.rd), RegisterName(instruction.rs),
+                  RegisterName(instruction.rt));
+  }
+  return buf;
+}
+
+std::string DisassembleWord(std::uint32_t word, std::uint32_t pc) {
+  Instruction instruction;
+  if (!Decode(word, instruction)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), ".word 0x%08x", word);
+    return buf;
+  }
+  return Disassemble(instruction, pc);
+}
+
+}  // namespace ces::isa

@@ -1,0 +1,17 @@
+// MR32 disassembler; used by the CPU's error reporting and the round-trip
+// tests of the encoder/assembler.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/isa.hpp"
+
+namespace ces::isa {
+
+// One instruction. `pc` (byte address) resolves branch targets to absolute
+// addresses in the listing.
+std::string Disassemble(const Instruction& instruction, std::uint32_t pc = 0);
+std::string DisassembleWord(std::uint32_t word, std::uint32_t pc = 0);
+
+}  // namespace ces::isa

@@ -1,0 +1,185 @@
+#include "isa/isa.hpp"
+
+#include <array>
+
+#include "support/check.hpp"
+
+namespace ces::isa {
+namespace {
+
+constexpr std::uint32_t kOpShift = 26;
+constexpr std::uint32_t kRdShift = 21;
+constexpr std::uint32_t kRsShift = 16;
+constexpr std::uint32_t kRtShift = 11;
+constexpr std::uint32_t kShamtShift = 6;
+constexpr std::uint32_t kRegMask = 0x1f;
+constexpr std::uint32_t kImmMask = 0xffff;
+constexpr std::uint32_t kTargetMask = 0x03ffffff;
+
+const std::array<const char*, 32> kRegisterNames = {
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2",
+    "t3",   "t4", "t5", "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5",
+    "s6",   "s7", "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra"};
+
+}  // namespace
+
+bool IsRType(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kAnd: case Opcode::kOr:
+    case Opcode::kXor: case Opcode::kNor: case Opcode::kSlt: case Opcode::kSltu:
+    case Opcode::kSllv: case Opcode::kSrlv: case Opcode::kSrav:
+    case Opcode::kMul: case Opcode::kMulh: case Opcode::kDiv: case Opcode::kRem:
+    case Opcode::kJr: case Opcode::kJalr:
+    case Opcode::kOutb: case Opcode::kOutw: case Opcode::kHalt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsJType(Opcode op) { return op == Opcode::kJ || op == Opcode::kJal; }
+
+bool IsIType(Opcode op) {
+  return !IsRType(op) && !IsJType(op) && op != Opcode::kOpcodeCount;
+}
+
+bool IsLoad(Opcode op) {
+  switch (op) {
+    case Opcode::kLw: case Opcode::kLb: case Opcode::kLbu:
+    case Opcode::kLh: case Opcode::kLhu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsStore(Opcode op) {
+  return op == Opcode::kSw || op == Opcode::kSb || op == Opcode::kSh;
+}
+
+bool IsBranch(Opcode op) {
+  switch (op) {
+    case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
+    case Opcode::kBge: case Opcode::kBltu: case Opcode::kBgeu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::uint32_t Encode(const Instruction& instruction) {
+  const auto op = static_cast<std::uint32_t>(instruction.op);
+  CES_CHECK(op < static_cast<std::uint32_t>(Opcode::kOpcodeCount));
+  std::uint32_t word = op << kOpShift;
+  if (IsJType(instruction.op)) {
+    CES_CHECK(instruction.target <= kTargetMask);
+    return word | instruction.target;
+  }
+  word |= (instruction.rd & kRegMask) << kRdShift;
+  word |= (instruction.rs & kRegMask) << kRsShift;
+  if (IsRType(instruction.op)) {
+    word |= (instruction.rt & kRegMask) << kRtShift;
+    word |= (instruction.shamt & kRegMask) << kShamtShift;
+  } else {
+    word |= static_cast<std::uint32_t>(instruction.imm) & kImmMask;
+  }
+  return word;
+}
+
+bool Decode(std::uint32_t word, Instruction& out) {
+  const std::uint32_t op = word >> kOpShift;
+  if (op >= static_cast<std::uint32_t>(Opcode::kOpcodeCount)) return false;
+  out = Instruction{};
+  out.op = static_cast<Opcode>(op);
+  if (IsJType(out.op)) {
+    out.target = word & kTargetMask;
+    return true;
+  }
+  out.rd = static_cast<std::uint8_t>((word >> kRdShift) & kRegMask);
+  out.rs = static_cast<std::uint8_t>((word >> kRsShift) & kRegMask);
+  if (IsRType(out.op)) {
+    out.rt = static_cast<std::uint8_t>((word >> kRtShift) & kRegMask);
+    out.shamt = static_cast<std::uint8_t>((word >> kShamtShift) & kRegMask);
+  } else {
+    // Stored as the raw 16-bit field; sign-extended here, and opcodes with
+    // zero-extended semantics (andi/ori/xori/sltiu) mask in the executor.
+    const auto raw = static_cast<std::uint16_t>(word & kImmMask);
+    out.imm = static_cast<std::int16_t>(raw);
+  }
+  return true;
+}
+
+const char* Mnemonic(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kNor: return "nor";
+    case Opcode::kSlt: return "slt";
+    case Opcode::kSltu: return "sltu";
+    case Opcode::kSllv: return "sllv";
+    case Opcode::kSrlv: return "srlv";
+    case Opcode::kSrav: return "srav";
+    case Opcode::kMul: return "mul";
+    case Opcode::kMulh: return "mulh";
+    case Opcode::kDiv: return "div";
+    case Opcode::kRem: return "rem";
+    case Opcode::kJr: return "jr";
+    case Opcode::kJalr: return "jalr";
+    case Opcode::kAddi: return "addi";
+    case Opcode::kAndi: return "andi";
+    case Opcode::kOri: return "ori";
+    case Opcode::kXori: return "xori";
+    case Opcode::kSlti: return "slti";
+    case Opcode::kSltiu: return "sltiu";
+    case Opcode::kLui: return "lui";
+    case Opcode::kSll: return "sll";
+    case Opcode::kSrl: return "srl";
+    case Opcode::kSra: return "sra";
+    case Opcode::kLw: return "lw";
+    case Opcode::kSw: return "sw";
+    case Opcode::kLb: return "lb";
+    case Opcode::kLbu: return "lbu";
+    case Opcode::kSb: return "sb";
+    case Opcode::kLh: return "lh";
+    case Opcode::kLhu: return "lhu";
+    case Opcode::kSh: return "sh";
+    case Opcode::kBeq: return "beq";
+    case Opcode::kBne: return "bne";
+    case Opcode::kBlt: return "blt";
+    case Opcode::kBge: return "bge";
+    case Opcode::kBltu: return "bltu";
+    case Opcode::kBgeu: return "bgeu";
+    case Opcode::kJ: return "j";
+    case Opcode::kJal: return "jal";
+    case Opcode::kOutb: return "outb";
+    case Opcode::kOutw: return "outw";
+    case Opcode::kHalt: return "halt";
+    case Opcode::kOpcodeCount: break;
+  }
+  return "?";
+}
+
+int RegisterIndex(const std::string& name) {
+  for (int i = 0; i < 32; ++i) {
+    if (name == kRegisterNames[static_cast<std::size_t>(i)]) return i;
+  }
+  if (name == "s8") return 30;
+  if ((name[0] == '$' || name[0] == 'r') && name.size() > 1) {
+    int value = 0;
+    for (std::size_t i = 1; i < name.size(); ++i) {
+      if (name[i] < '0' || name[i] > '9') return -1;
+      value = value * 10 + (name[i] - '0');
+    }
+    return value < 32 ? value : -1;
+  }
+  return -1;
+}
+
+const char* RegisterName(std::uint8_t index) {
+  return kRegisterNames[index & 0x1f];
+}
+
+}  // namespace ces::isa

@@ -1,0 +1,82 @@
+// MR32: a MIPS-R3000-flavoured 32-bit load/store ISA.
+//
+// The paper generates its traces by running the PowerStone suite on an
+// instrumented MIPS R3000 simulator. PowerStone binaries and a MIPS
+// toolchain are not redistributable here, so the repository ships its own
+// small RISC target: 32 general registers (r0 hard-wired to zero), 32-bit
+// fixed-width instructions, byte-addressed memory, delayed nothing (no
+// branch delay slots — they would only complicate the assembler without
+// changing the reference streams we care about).
+//
+// Encodings:
+//   R-type  op(6) rd(5) rs(5) rt(5) shamt(5) pad(6)
+//   I-type  op(6) rd(5) rs(5) imm(16)            imm sign- or zero-extended
+//   J-type  op(6) target(26)                     absolute word index
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ces::isa {
+
+enum class Opcode : std::uint8_t {
+  // R-type: rd <- rs OP rt (shifts use shamt or rt for the *V forms).
+  kAdd, kSub, kAnd, kOr, kXor, kNor, kSlt, kSltu,
+  kSllv, kSrlv, kSrav, kMul, kMulh, kDiv, kRem,
+  kJr,    // pc <- rs
+  kJalr,  // rd <- pc + 4; pc <- rs
+
+  // I-type.
+  kAddi,  // rd <- rs + signext(imm)
+  kAndi, kOri, kXori,  // zero-extended immediates, as in MIPS
+  kSlti, kSltiu,
+  kLui,  // rd <- imm << 16
+  kSll, kSrl, kSra,  // rd <- rs shifted by shamt (kept in imm)
+  kLw, kSw, kLb, kLbu, kSb, kLh, kLhu, kSh,  // rd <-> mem[rs + signext(imm)]
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,  // compare rd, rs; branch by imm words
+
+  // J-type.
+  kJ, kJal,  // jal: ra <- pc + 4
+
+  // Misc (R-type encoding, operands mostly unused).
+  kOutb,  // append low byte of rs to the CPU output stream
+  kOutw,  // append rs (4 bytes, little-endian) to the output stream
+  kHalt,
+
+  kOpcodeCount,
+};
+
+// Decoded instruction. Field use depends on the opcode; unused fields are 0.
+struct Instruction {
+  Opcode op = Opcode::kHalt;
+  std::uint8_t rd = 0;
+  std::uint8_t rs = 0;
+  std::uint8_t rt = 0;
+  std::uint8_t shamt = 0;
+  std::int32_t imm = 0;       // I-type immediate (already sign/zero handled
+                              // by the executor per opcode semantics)
+  std::uint32_t target = 0;   // J-type absolute word index
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+// Raw 32-bit encodings. Decode returns false on an unknown opcode.
+std::uint32_t Encode(const Instruction& instruction);
+bool Decode(std::uint32_t word, Instruction& out);
+
+const char* Mnemonic(Opcode op);
+
+// Register name <-> index. Accepts $n, rn and the MIPS ABI names (zero, at,
+// v0-v1, a0-a3, t0-t9, s0-s8/fp, k0-k1, gp, sp, ra). Returns -1 if unknown.
+int RegisterIndex(const std::string& name);
+const char* RegisterName(std::uint8_t index);
+
+// Classifies field use for encode/decode/disasm.
+bool IsRType(Opcode op);
+bool IsIType(Opcode op);
+bool IsJType(Opcode op);
+bool IsLoad(Opcode op);
+bool IsStore(Opcode op);
+bool IsBranch(Opcode op);
+
+}  // namespace ces::isa

@@ -1,0 +1,132 @@
+// MR32 functional simulator with memory-reference instrumentation.
+//
+// This is the repository's stand-in for the paper's instrumented MIPS R3000
+// simulator: it executes an assembled Program and reports every instruction
+// fetch and every data access to an attached MemoryObserver, from which
+// TraceCollector builds the separate instruction and data traces the
+// exploration experiments consume (word addresses, matching the fixed
+// one-word line size of the analysis).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hpp"
+#include "isa/isa.hpp"
+#include "trace/trace.hpp"
+
+namespace ces::sim {
+
+class MemoryObserver {
+ public:
+  virtual ~MemoryObserver() = default;
+  virtual void OnInstructionFetch(std::uint32_t byte_address) = 0;
+  virtual void OnDataAccess(std::uint32_t byte_address, bool is_write) = 0;
+};
+
+// Collects word-granular instruction and data traces, plus the merged
+// program-order stream the hierarchy simulator consumes.
+class TraceCollector : public MemoryObserver {
+ public:
+  // Merged-stream capture costs memory; off by default.
+  explicit TraceCollector(bool keep_combined = false)
+      : keep_combined_(keep_combined) {}
+
+  void OnInstructionFetch(std::uint32_t byte_address) override {
+    instruction_.refs.push_back(byte_address >> 2);
+    if (keep_combined_) {
+      combined_.push_back({byte_address >> 2,
+                           trace::StreamKind::kInstruction, false});
+    }
+  }
+  void OnDataAccess(std::uint32_t byte_address, bool is_write) override {
+    data_.refs.push_back(byte_address >> 2);
+    if (keep_combined_) {
+      combined_.push_back({byte_address >> 2, trace::StreamKind::kData,
+                           is_write});
+    }
+  }
+
+  // Finalised traces; `name` labels them for the reports.
+  trace::Trace TakeInstructionTrace(const std::string& name);
+  trace::Trace TakeDataTrace(const std::string& name);
+  trace::AccessSequence TakeCombined() { return std::move(combined_); }
+
+ private:
+  bool keep_combined_ = false;
+  trace::AccessSequence combined_;
+  trace::Trace instruction_{.refs = {}, .address_bits = 32,
+                            .kind = trace::StreamKind::kInstruction,
+                            .name = {}};
+  trace::Trace data_{.refs = {}, .address_bits = 32,
+                     .kind = trace::StreamKind::kData, .name = {}};
+};
+
+enum class StopReason : std::uint8_t {
+  kHalted,        // executed halt
+  kStepLimit,     // ran out of the step budget
+  kBadAccess,     // memory access out of range or misaligned
+  kBadInstruction // undecodable opcode
+};
+
+class Cpu {
+ public:
+  // `memory_bytes` must cover text, data and stack; sp starts at the top.
+  explicit Cpu(const isa::Program& program,
+               std::size_t memory_bytes = 1u << 20);
+
+  void set_observer(MemoryObserver* observer) { observer_ = observer; }
+
+  // Executes until halt or the step limit; returns why it stopped.
+  StopReason Run(std::uint64_t max_steps = 200'000'000);
+
+  std::uint32_t reg(std::uint8_t index) const { return regs_[index]; }
+  void set_reg(std::uint8_t index, std::uint32_t value) {
+    if (index != 0) regs_[index] = value;
+  }
+  std::uint32_t pc() const { return pc_; }
+  std::uint64_t retired() const { return retired_; }
+  const std::string& error() const { return error_; }
+
+  // Little-endian memory access helpers (for test setup / verification;
+  // not observed by the tracer).
+  std::uint32_t ReadWord(std::uint32_t byte_address) const;
+  void WriteWord(std::uint32_t byte_address, std::uint32_t value);
+  std::uint8_t ReadByte(std::uint32_t byte_address) const;
+  std::vector<std::uint8_t> ReadBlock(std::uint32_t byte_address,
+                                      std::size_t length) const;
+
+  // Bytes emitted by outb/outw, in order.
+  const std::vector<std::uint8_t>& output() const { return output_; }
+
+ private:
+  bool CheckAccess(std::uint32_t byte_address, std::uint32_t size);
+
+  std::vector<std::uint8_t> memory_;
+  std::array<std::uint32_t, 32> regs_{};
+  std::uint32_t pc_ = 0;
+  std::uint32_t text_base_ = 0;
+  std::uint32_t text_limit_ = 0;
+  std::uint64_t retired_ = 0;
+  std::vector<std::uint8_t> output_;
+  MemoryObserver* observer_ = nullptr;
+  std::string error_;
+};
+
+// Convenience: assemble, run, and return the collected traces.
+struct RunResult {
+  StopReason stop = StopReason::kHalted;
+  trace::Trace instruction_trace;
+  trace::Trace data_trace;
+  trace::AccessSequence combined;  // filled only when requested
+  std::vector<std::uint8_t> output;
+  std::uint64_t retired = 0;
+};
+
+RunResult RunProgram(const isa::Program& program, const std::string& name,
+                     std::uint64_t max_steps = 200'000'000,
+                     bool keep_combined = false);
+
+}  // namespace ces::sim

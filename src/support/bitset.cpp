@@ -1,0 +1,86 @@
+#include "support/bitset.hpp"
+
+#include <bit>
+
+#include "support/check.hpp"
+
+namespace ces {
+
+DynamicBitset::DynamicBitset(std::size_t bit_count)
+    : bit_count_(bit_count),
+      words_((bit_count + kBitsPerWord - 1) / kBitsPerWord, 0) {}
+
+void DynamicBitset::Set(std::size_t pos) {
+  CES_DCHECK(pos < bit_count_);
+  words_[pos / kBitsPerWord] |= std::uint64_t{1} << (pos % kBitsPerWord);
+}
+
+void DynamicBitset::Reset(std::size_t pos) {
+  CES_DCHECK(pos < bit_count_);
+  words_[pos / kBitsPerWord] &= ~(std::uint64_t{1} << (pos % kBitsPerWord));
+}
+
+bool DynamicBitset::Test(std::size_t pos) const {
+  CES_DCHECK(pos < bit_count_);
+  return (words_[pos / kBitsPerWord] >> (pos % kBitsPerWord)) & 1u;
+}
+
+std::size_t DynamicBitset::Count() const {
+  std::size_t total = 0;
+  for (std::uint64_t word : words_) {
+    total += static_cast<std::size_t>(std::popcount(word));
+  }
+  return total;
+}
+
+bool DynamicBitset::Any() const {
+  for (std::uint64_t word : words_) {
+    if (word != 0) return true;
+  }
+  return false;
+}
+
+void DynamicBitset::Clear() {
+  for (std::uint64_t& word : words_) word = 0;
+}
+
+void DynamicBitset::IntersectWith(const DynamicBitset& other) {
+  CES_CHECK(bit_count_ == other.bit_count_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void DynamicBitset::UnionWith(const DynamicBitset& other) {
+  CES_CHECK(bit_count_ == other.bit_count_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+std::size_t DynamicBitset::IntersectionSize(const DynamicBitset& a,
+                                            const DynamicBitset& b) {
+  CES_CHECK(a.bit_count_ == b.bit_count_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < a.words_.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(a.words_[i] & b.words_[i]));
+  }
+  return total;
+}
+
+DynamicBitset DynamicBitset::Intersection(const DynamicBitset& a,
+                                          const DynamicBitset& b) {
+  DynamicBitset out = a;
+  out.IntersectWith(b);
+  return out;
+}
+
+std::vector<std::uint32_t> DynamicBitset::ToVector() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(Count());
+  ForEachSetBit(
+      [&out](std::size_t pos) { out.push_back(static_cast<std::uint32_t>(pos)); });
+  return out;
+}
+
+int DynamicBitset::CountTrailingZeros(std::uint64_t word) {
+  return std::countr_zero(word);
+}
+
+}  // namespace ces

@@ -1,0 +1,78 @@
+// Dynamic bitset tuned for the set algebra of the analytical cache explorer.
+//
+// The paper (section 2.4) notes that "sets are efficient to represent, store,
+// and manipulate on a computer system using bit vectors"; zero/one sets and
+// BCAT node sets are represented with this class. The operations that matter
+// are intersection, intersection cardinality, and iteration over members.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ces {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  // Creates a bitset able to hold bits [0, bit_count), all clear.
+  explicit DynamicBitset(std::size_t bit_count);
+
+  // Number of addressable bits.
+  std::size_t size() const { return bit_count_; }
+
+  void Set(std::size_t pos);
+  void Reset(std::size_t pos);
+  bool Test(std::size_t pos) const;
+
+  // Number of set bits.
+  std::size_t Count() const;
+
+  bool Any() const;
+  bool None() const { return !Any(); }
+
+  // Clears every bit, keeping the size.
+  void Clear();
+
+  // this &= other / this |= other. Sizes must match.
+  void IntersectWith(const DynamicBitset& other);
+  void UnionWith(const DynamicBitset& other);
+
+  // Returns popcount(a & b) without materialising the intersection.
+  static std::size_t IntersectionSize(const DynamicBitset& a,
+                                      const DynamicBitset& b);
+
+  // Returns a & b.
+  static DynamicBitset Intersection(const DynamicBitset& a,
+                                    const DynamicBitset& b);
+
+  // Calls fn(index) for every set bit in ascending order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = CountTrailingZeros(word);
+        fn(w * kBitsPerWord + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  // Ascending list of set-bit indices.
+  std::vector<std::uint32_t> ToVector() const;
+
+  friend bool operator==(const DynamicBitset& a,
+                         const DynamicBitset& b) = default;
+
+ private:
+  static constexpr std::size_t kBitsPerWord = 64;
+
+  static int CountTrailingZeros(std::uint64_t word);
+
+  std::size_t bit_count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ces

@@ -1,0 +1,34 @@
+// Lightweight invariant checking used across the library.
+//
+// CES_CHECK is active in all build types: violated preconditions in an EDA
+// flow are almost always data-corruption bugs whose cost dwarfs the check.
+// CES_DCHECK compiles away in release builds and is meant for hot loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ces::detail {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "CES_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace ces::detail
+
+#define CES_CHECK(expr)                                     \
+  do {                                                      \
+    if (!(expr)) {                                          \
+      ::ces::detail::CheckFailed(#expr, __FILE__, __LINE__); \
+    }                                                       \
+  } while (false)
+
+#ifdef NDEBUG
+#define CES_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#else
+#define CES_DCHECK(expr) CES_CHECK(expr)
+#endif

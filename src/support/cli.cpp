@@ -1,0 +1,53 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+
+namespace ces {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+bool ArgParser::Has(const std::string& name) const {
+  return flags_.contains(name);
+}
+
+std::string ArgParser::GetString(const std::string& name,
+                                 const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t ArgParser::GetInt(const std::string& name,
+                               std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double ArgParser::GetDouble(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool ArgParser::GetBool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return it->second != "false" && it->second != "0";
+}
+
+}  // namespace ces

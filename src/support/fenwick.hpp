@@ -1,0 +1,51 @@
+// Fenwick (binary indexed) tree over a fixed range of positions.
+//
+// Used by the tree-based stack-distance engine (Bennett-Kruskal algorithm):
+// marking each reference's most recent position and prefix-summing gives the
+// number of distinct references in a window in O(log n) instead of the
+// move-to-front scan's O(stack depth).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace ces {
+
+class FenwickTree {
+ public:
+  explicit FenwickTree(std::size_t size) : tree_(size + 1, 0) {}
+
+  std::size_t size() const { return tree_.size() - 1; }
+
+  // Adds `delta` at position `pos` (0-based).
+  void Add(std::size_t pos, std::int64_t delta) {
+    CES_DCHECK(pos < size());
+    for (std::size_t i = pos + 1; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  // Sum of positions [0, pos] (0-based, inclusive).
+  std::int64_t PrefixSum(std::size_t pos) const {
+    CES_DCHECK(pos < size());
+    std::int64_t sum = 0;
+    for (std::size_t i = pos + 1; i > 0; i -= i & (~i + 1)) {
+      sum += tree_[i];
+    }
+    return sum;
+  }
+
+  // Sum of positions [lo, hi] inclusive; 0 when the range is empty (lo > hi).
+  std::int64_t RangeSum(std::size_t lo, std::size_t hi) const {
+    if (lo > hi) return 0;
+    return PrefixSum(hi) - (lo == 0 ? 0 : PrefixSum(lo - 1));
+  }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+
+}  // namespace ces

@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic pieces of the library (synthetic trace generators, random
+// replacement policy, property tests) draw from this generator so that runs
+// are reproducible bit-for-bit across platforms; std::mt19937 distributions
+// are implementation-defined, which is why we roll our own bounded draw.
+#pragma once
+
+#include <cstdint>
+
+namespace ces {
+
+// xoshiro256** by Blackman & Vigna (public domain reference implementation),
+// seeded through SplitMix64 so that nearby seeds give unrelated streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform draw in [0, bound). bound must be non-zero.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    // Rejection sampling on the top bits to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform draw in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(NextBounded(span));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli draw.
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace ces

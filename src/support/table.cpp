@@ -1,0 +1,88 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+#include "support/check.hpp"
+
+namespace ces {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  CES_CHECK(!headers_.empty());
+}
+
+void AsciiTable::AddRow(std::vector<std::string> cells) {
+  CES_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto append_cell = [](std::string& out, const std::string& cell,
+                        std::size_t width, bool left) {
+    const std::string pad(width - cell.size(), ' ');
+    if (left) {
+      out += cell;
+      out += pad;
+    } else {
+      out += pad;
+      out += cell;
+    }
+  };
+
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out += "  ";
+      append_cell(out, row[c], widths[c], c == 0);
+    }
+    out += '\n';
+  };
+
+  append_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out += std::string(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+std::string FormatWithThousands(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds < 0.001) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  }
+  return buf;
+}
+
+}  // namespace ces

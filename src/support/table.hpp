@@ -1,0 +1,34 @@
+// Plain-text table rendering for the experiment harnesses. Every bench binary
+// prints its results in the row/column layout of the corresponding paper
+// table, and this class does the alignment work.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ces {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  // Adds one row; it must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  // Renders with column alignment; first column left-aligned, the rest
+  // right-aligned (the paper's tables put the benchmark/depth label first).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Convenience numeric formatting used by the tables.
+std::string FormatWithThousands(std::uint64_t value);
+std::string FormatSeconds(double seconds);
+
+}  // namespace ces

@@ -1,0 +1,49 @@
+#include "trace/dinero.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace ces::trace {
+
+Trace ReadDinero(std::istream& is, StreamKind select) {
+  Trace trace;
+  trace.kind = select;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    char* cursor = nullptr;
+    const long label = std::strtol(line.c_str(), &cursor, 10);
+    if (cursor == line.c_str() || label < 0 || label > 2) {
+      throw std::runtime_error("dinero: bad label at line " +
+                               std::to_string(line_number));
+    }
+    char* end = nullptr;
+    const unsigned long address = std::strtoul(cursor, &end, 16);
+    if (end == cursor) {
+      throw std::runtime_error("dinero: bad address at line " +
+                               std::to_string(line_number));
+    }
+    const bool is_fetch = label == static_cast<long>(DineroLabel::kInstructionFetch);
+    if (is_fetch != (select == StreamKind::kInstruction)) continue;
+    trace.refs.push_back(static_cast<std::uint32_t>(address >> 2));
+  }
+  return trace;
+}
+
+void WriteDinero(std::ostream& os, const Trace& trace) {
+  const int label = trace.kind == StreamKind::kInstruction
+                        ? static_cast<int>(DineroLabel::kInstructionFetch)
+                        : static_cast<int>(DineroLabel::kRead);
+  char buf[32];
+  for (std::uint32_t ref : trace.refs) {
+    std::snprintf(buf, sizeof(buf), "%d %x\n", label, ref << 2);
+    os << buf;
+  }
+}
+
+}  // namespace ces::trace

@@ -1,0 +1,34 @@
+// Dinero III trace format interoperability.
+//
+// Dinero ("din") input is the lingua franca of classic cache studies — the
+// same ecosystem the paper's one-pass baselines ([16][17], Cheetah/Dinero)
+// live in. Each line is `label address` with label 0 = data read, 1 = data
+// write, 2 = instruction fetch, and a hex byte address.
+//
+// This library analyses word-granular streams (fixed one-word lines), so
+// reading converts byte addresses to word addresses (>> 2) and writing
+// converts back (<< 2).
+#pragma once
+
+#include <iosfwd>
+
+#include "trace/trace.hpp"
+
+namespace ces::trace {
+
+enum class DineroLabel : int {
+  kRead = 0,
+  kWrite = 1,
+  kInstructionFetch = 2,
+};
+
+// Reads a din stream, keeping only the records matching `select`
+// (instruction fetches, or reads+writes for data). Throws std::runtime_error
+// on malformed lines.
+Trace ReadDinero(std::istream& is, StreamKind select);
+
+// Writes the trace as din records (label 2 for instruction traces, label 0
+// for data traces — read/write distinction is not tracked internally).
+void WriteDinero(std::ostream& os, const Trace& trace);
+
+}  // namespace ces::trace

@@ -1,0 +1,70 @@
+#include "trace/strip.hpp"
+
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace ces::trace {
+
+Trace WithLineSize(const Trace& trace, std::uint32_t words_per_line) {
+  CES_CHECK(words_per_line != 0);
+  CES_CHECK((words_per_line & (words_per_line - 1)) == 0);
+  std::uint32_t shift = 0;
+  while ((1u << shift) < words_per_line) ++shift;
+
+  Trace out;
+  out.kind = trace.kind;
+  out.name = trace.name;
+  out.address_bits = trace.address_bits > shift ? trace.address_bits - shift : 1;
+  out.refs.reserve(trace.refs.size());
+  for (std::uint32_t ref : trace.refs) out.refs.push_back(ref >> shift);
+  return out;
+}
+
+StrippedTrace Strip(const Trace& trace) {
+  StrippedTrace out;
+  out.address_bits = trace.address_bits;
+  out.ids.reserve(trace.refs.size());
+  out.is_first.reserve(trace.refs.size());
+
+  std::unordered_map<std::uint32_t, std::uint32_t> id_of;
+  id_of.reserve(trace.refs.size() / 4 + 16);
+  for (std::uint32_t ref : trace.refs) {
+    const auto [it, inserted] =
+        id_of.try_emplace(ref, static_cast<std::uint32_t>(out.unique.size()));
+    if (inserted) out.unique.push_back(ref);
+    out.ids.push_back(it->second);
+    out.is_first.push_back(inserted);
+  }
+  return out;
+}
+
+TraceStats ComputeStats(const Trace& trace) {
+  return ComputeStats(Strip(trace));
+}
+
+TraceStats ComputeStats(const StrippedTrace& stripped) {
+  TraceStats stats;
+  stats.n = stripped.size();
+  stats.n_unique = stripped.unique_count();
+  // A direct-mapped cache of depth 1 holds exactly the last reference, so a
+  // non-cold access hits iff it repeats its immediate predecessor.
+  for (std::size_t j = 1; j < stripped.ids.size(); ++j) {
+    if (!stripped.is_first[j] && stripped.ids[j] != stripped.ids[j - 1]) {
+      ++stats.max_misses;
+    }
+  }
+  return stats;
+}
+
+std::uint32_t SignificantAddressBits(const StrippedTrace& stripped) {
+  if (stripped.unique.empty()) return 0;
+  std::uint32_t differing = 0;
+  const std::uint32_t base = stripped.unique.front();
+  for (std::uint32_t addr : stripped.unique) differing |= addr ^ base;
+  std::uint32_t bits = 0;
+  while (differing >> bits) ++bits;
+  return bits;
+}
+
+}  // namespace ces::trace

@@ -1,0 +1,92 @@
+#include "trace/synthetic.hpp"
+
+#include "support/check.hpp"
+
+namespace ces::trace {
+
+Trace PaperExampleTrace() {
+  // Table 1 of the paper, reconstructed from the stripped trace (Table 2),
+  // the zero/one sets (Table 3) and the MRCT (Table 4):
+  //   ids       1    2    3    4    1    5    2    4    1    3
+  //   A3..A0  1011 1100 0110 0011 1011 0100 1100 0011 1011 0110
+  Trace trace;
+  trace.refs = {0xB, 0xC, 0x6, 0x3, 0xB, 0x4, 0xC, 0x3, 0xB, 0x6};
+  trace.address_bits = 4;
+  trace.kind = StreamKind::kData;
+  trace.name = "paper-example";
+  return trace;
+}
+
+Trace SequentialLoop(std::uint32_t base, std::uint32_t length,
+                     std::uint32_t iterations) {
+  CES_CHECK(length > 0);
+  Trace trace;
+  trace.name = "sequential-loop";
+  trace.refs.reserve(static_cast<std::size_t>(length) * iterations);
+  for (std::uint32_t pass = 0; pass < iterations; ++pass) {
+    for (std::uint32_t i = 0; i < length; ++i) {
+      trace.refs.push_back(base + i);
+    }
+  }
+  return trace;
+}
+
+Trace StridedSweep(std::uint32_t base, std::uint32_t stride,
+                   std::uint32_t count, std::uint32_t passes) {
+  CES_CHECK(count > 0);
+  Trace trace;
+  trace.name = "strided-sweep";
+  trace.refs.reserve(static_cast<std::size_t>(count) * passes);
+  for (std::uint32_t pass = 0; pass < passes; ++pass) {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      trace.refs.push_back(base + i * stride);
+    }
+  }
+  return trace;
+}
+
+Trace RandomWorkingSet(Rng& rng, std::uint32_t working_set,
+                       std::uint32_t length, std::uint32_t base) {
+  CES_CHECK(working_set > 0);
+  Trace trace;
+  trace.name = "random-working-set";
+  trace.refs.reserve(length);
+  for (std::uint32_t i = 0; i < length; ++i) {
+    trace.refs.push_back(
+        base + static_cast<std::uint32_t>(rng.NextBounded(working_set)));
+  }
+  return trace;
+}
+
+Trace LocalityMix(Rng& rng, std::uint32_t hot_size, std::uint32_t cold_size,
+                  std::uint32_t length, double hot_fraction) {
+  CES_CHECK(hot_size > 0);
+  CES_CHECK(cold_size > 0);
+  Trace trace;
+  trace.name = "locality-mix";
+  trace.refs.reserve(length);
+  const std::uint32_t cold_base = hot_size + 1024;
+  std::uint32_t cursor = 0;
+  std::uint32_t run_left = 0;
+  bool in_hot = true;
+  for (std::uint32_t i = 0; i < length; ++i) {
+    if (run_left == 0) {
+      in_hot = rng.NextBool(hot_fraction);
+      if (in_hot) {
+        cursor = static_cast<std::uint32_t>(rng.NextBounded(hot_size));
+        run_left = 4 + static_cast<std::uint32_t>(rng.NextBounded(28));
+      } else {
+        cursor = cold_base +
+                 static_cast<std::uint32_t>(rng.NextBounded(cold_size));
+        run_left = 1 + static_cast<std::uint32_t>(rng.NextBounded(7));
+      }
+    }
+    trace.refs.push_back(cursor);
+    const std::uint32_t limit = in_hot ? hot_size : cold_base + cold_size;
+    if (cursor + 1 < limit || !in_hot) ++cursor;
+    --run_left;
+  }
+  return trace;
+}
+
+}  // namespace ces::trace

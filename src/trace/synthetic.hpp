@@ -1,0 +1,40 @@
+// Synthetic reference-stream generators.
+//
+// Used by the property tests and micro-benchmarks to cover trace shapes the
+// workload suite may not hit (pathological conflict patterns, tiny working
+// sets, pure randomness). Every generator is deterministic given its Rng.
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+#include "trace/trace.hpp"
+
+namespace ces::trace {
+
+// The paper's running example (Table 1): ten 4-bit references over five
+// unique addresses. Golden input for the unit tests.
+Trace PaperExampleTrace();
+
+// `iterations` passes over a contiguous loop of `length` word addresses
+// starting at `base` — the classic embedded instruction-fetch pattern.
+Trace SequentialLoop(std::uint32_t base, std::uint32_t length,
+                     std::uint32_t iterations);
+
+// Strided sweep: `passes` passes over `count` addresses spaced by `stride`.
+// With stride a multiple of the cache depth this is the worst-case conflict
+// generator.
+Trace StridedSweep(std::uint32_t base, std::uint32_t stride,
+                   std::uint32_t count, std::uint32_t passes);
+
+// Uniform random references over a working set of `working_set` addresses.
+Trace RandomWorkingSet(Rng& rng, std::uint32_t working_set,
+                       std::uint32_t length, std::uint32_t base = 0);
+
+// Locality mix modelling an embedded kernel: mostly short sequential runs
+// inside a hot region, with occasional jumps to a cold region.
+// `hot_fraction` of references land in the hot region.
+Trace LocalityMix(Rng& rng, std::uint32_t hot_size, std::uint32_t cold_size,
+                  std::uint32_t length, double hot_fraction = 0.9);
+
+}  // namespace ces::trace

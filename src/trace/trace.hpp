@@ -1,0 +1,53 @@
+// Memory-reference traces.
+//
+// A trace is the sequence of memory references produced by running the target
+// application on an instrumented processor simulator (paper section 2.2). The
+// analytical explorer fixes the cache line size at one word, so references
+// are stored as *word* addresses; `WithLineSize` re-blocks a trace for the
+// line-size extension.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ces::trace {
+
+enum class StreamKind : std::uint8_t {
+  kInstruction = 0,
+  kData = 1,
+};
+
+inline const char* ToString(StreamKind kind) {
+  return kind == StreamKind::kInstruction ? "instruction" : "data";
+}
+
+struct Trace {
+  std::vector<std::uint32_t> refs;  // word addresses, in program order
+  std::uint32_t address_bits = 32;  // significant low bits of each reference
+  StreamKind kind = StreamKind::kData;
+  std::string name;  // benchmark name, used in reports
+
+  std::size_t size() const { return refs.size(); }
+  bool empty() const { return refs.empty(); }
+};
+
+// Re-blocks a trace for a cache line of `words_per_line` words (a power of
+// two): each reference becomes its line address. With words_per_line == 1
+// this is the identity. This implements the paper's future-work line-size
+// axis without touching the core algorithm.
+Trace WithLineSize(const Trace& trace, std::uint32_t words_per_line);
+
+// One record of the merged (program-order) reference stream: instruction
+// fetches and data accesses interleaved exactly as the CPU issued them.
+// Used by the memory-hierarchy simulator, where the interleaving decides
+// what the shared L2 sees.
+struct Access {
+  std::uint32_t addr = 0;  // word address
+  StreamKind kind = StreamKind::kInstruction;
+  bool is_write = false;
+};
+
+using AccessSequence = std::vector<Access>;
+
+}  // namespace ces::trace

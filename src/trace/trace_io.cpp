@@ -1,0 +1,205 @@
+#include "trace/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ces::trace {
+namespace {
+
+constexpr char kMagic[4] = {'C', 'T', 'R', 'C'};
+constexpr char kMagicCompressed[4] = {'C', 'T', 'R', 'Z'};
+constexpr std::uint32_t kVersion = 1;
+
+std::uint64_t ZigZag(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+std::int64_t UnZigZag(std::uint64_t encoded) {
+  return static_cast<std::int64_t>(encoded >> 1) ^
+         -static_cast<std::int64_t>(encoded & 1);
+}
+
+void WriteVarint(std::ostream& os, std::uint64_t value) {
+  while (value >= 0x80) {
+    os.put(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  os.put(static_cast<char>(value));
+}
+
+std::uint64_t ReadVarint(std::istream& is) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (;;) {
+    const int byte = is.get();
+    if (byte == std::char_traits<char>::eof() || shift > 63) {
+      throw std::runtime_error("trace: truncated varint");
+    }
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+void WriteU32(std::ostream& os, std::uint32_t value) {
+  const std::array<unsigned char, 4> bytes = {
+      static_cast<unsigned char>(value & 0xff),
+      static_cast<unsigned char>((value >> 8) & 0xff),
+      static_cast<unsigned char>((value >> 16) & 0xff),
+      static_cast<unsigned char>((value >> 24) & 0xff)};
+  os.write(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+std::uint32_t ReadU32(std::istream& is) {
+  std::array<unsigned char, 4> bytes;
+  is.read(reinterpret_cast<char*>(bytes.data()), bytes.size());
+  if (!is) throw std::runtime_error("trace: truncated binary stream");
+  return static_cast<std::uint32_t>(bytes[0]) |
+         (static_cast<std::uint32_t>(bytes[1]) << 8) |
+         (static_cast<std::uint32_t>(bytes[2]) << 16) |
+         (static_cast<std::uint32_t>(bytes[3]) << 24);
+}
+
+}  // namespace
+
+void WriteText(std::ostream& os, const Trace& trace) {
+  os << "# ces trace v1\n";
+  os << "# name " << (trace.name.empty() ? "-" : trace.name) << "\n";
+  os << "# kind " << ToString(trace.kind) << "\n";
+  os << "# address_bits " << trace.address_bits << "\n";
+  char buf[16];
+  for (std::uint32_t ref : trace.refs) {
+    std::snprintf(buf, sizeof(buf), "%x\n", ref);
+    os << buf;
+  }
+}
+
+Trace ReadText(std::istream& is) {
+  Trace trace;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream header(line.substr(1));
+      std::string key;
+      header >> key;
+      if (key == "name") {
+        header >> trace.name;
+        if (trace.name == "-") trace.name.clear();
+      } else if (key == "kind") {
+        std::string kind;
+        header >> kind;
+        trace.kind = kind == "instruction" ? StreamKind::kInstruction
+                                           : StreamKind::kData;
+      } else if (key == "address_bits") {
+        header >> trace.address_bits;
+      }
+      continue;
+    }
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(line.c_str(), &end, 16);
+    if (end == line.c_str()) {
+      throw std::runtime_error("trace: malformed line '" + line + "'");
+    }
+    trace.refs.push_back(static_cast<std::uint32_t>(value));
+  }
+  return trace;
+}
+
+void WriteBinary(std::ostream& os, const Trace& trace) {
+  os.write(kMagic, sizeof(kMagic));
+  WriteU32(os, kVersion);
+  WriteU32(os, static_cast<std::uint32_t>(trace.kind));
+  WriteU32(os, trace.address_bits);
+  WriteU32(os, static_cast<std::uint32_t>(trace.refs.size()));
+  for (std::uint32_t ref : trace.refs) WriteU32(os, ref);
+}
+
+Trace ReadBinary(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("trace: bad magic");
+  }
+  const std::uint32_t version = ReadU32(is);
+  if (version != kVersion) throw std::runtime_error("trace: bad version");
+  Trace trace;
+  trace.kind = static_cast<StreamKind>(ReadU32(is));
+  trace.address_bits = ReadU32(is);
+  const std::uint32_t count = ReadU32(is);
+  trace.refs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) trace.refs.push_back(ReadU32(is));
+  return trace;
+}
+
+void WriteCompressed(std::ostream& os, const Trace& trace) {
+  os.write(kMagicCompressed, sizeof(kMagicCompressed));
+  WriteU32(os, kVersion);
+  WriteU32(os, static_cast<std::uint32_t>(trace.kind));
+  WriteU32(os, trace.address_bits);
+  WriteU32(os, static_cast<std::uint32_t>(trace.refs.size()));
+  std::uint32_t previous = 0;
+  for (std::uint32_t ref : trace.refs) {
+    const std::int64_t delta =
+        static_cast<std::int64_t>(ref) - static_cast<std::int64_t>(previous);
+    WriteVarint(os, ZigZag(delta));
+    previous = ref;
+  }
+}
+
+Trace ReadCompressed(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagicCompressed, sizeof(magic)) != 0) {
+    throw std::runtime_error("trace: bad compressed magic");
+  }
+  if (ReadU32(is) != kVersion) throw std::runtime_error("trace: bad version");
+  Trace trace;
+  trace.kind = static_cast<StreamKind>(ReadU32(is));
+  trace.address_bits = ReadU32(is);
+  const std::uint32_t count = ReadU32(is);
+  trace.refs.reserve(count);
+  std::int64_t previous = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    previous += UnZigZag(ReadVarint(is));
+    trace.refs.push_back(static_cast<std::uint32_t>(previous));
+  }
+  return trace;
+}
+
+void SaveToFile(const std::string& path, const Trace& trace) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("trace: cannot open " + path);
+  if (path.size() >= 4 && path.substr(path.size() - 4) == ".trc") {
+    WriteText(os, trace);
+  } else if (path.size() >= 5 && path.substr(path.size() - 5) == ".ctrz") {
+    WriteCompressed(os, trace);
+  } else {
+    WriteBinary(os, trace);
+  }
+}
+
+Trace LoadFromFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("trace: cannot open " + path);
+  if (path.size() >= 4 && path.substr(path.size() - 4) == ".trc") {
+    return ReadText(is);
+  }
+  // Dispatch raw vs compressed by magic, not extension.
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is) throw std::runtime_error("trace: truncated file " + path);
+  is.seekg(0);
+  if (std::memcmp(magic, kMagicCompressed, sizeof(magic)) == 0) {
+    return ReadCompressed(is);
+  }
+  return ReadBinary(is);
+}
+
+}  // namespace ces::trace

@@ -1,0 +1,37 @@
+// Trace serialisation.
+//
+// Two interchangeable formats:
+//  * Text (.trc): '#'-prefixed header lines, then one lower-case hex word
+//    address per line. Human-readable, diff-friendly, Dinero-style.
+//  * Binary (.ctr): magic "CTRC", version, kind, address bits, count, then a
+//    little-endian u32 array. Compact for the large workload traces.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace ces::trace {
+
+void WriteText(std::ostream& os, const Trace& trace);
+// Throws std::runtime_error on malformed input.
+Trace ReadText(std::istream& is);
+
+void WriteBinary(std::ostream& os, const Trace& trace);
+Trace ReadBinary(std::istream& is);
+
+// Compressed binary (.ctrz): magic "CTRZ", then zigzag-encoded address
+// deltas as LEB128 varints. Reference streams are delta-friendly
+// (instruction fetch is mostly +1), so this typically shrinks instruction
+// traces by ~4x over the raw format.
+void WriteCompressed(std::ostream& os, const Trace& trace);
+Trace ReadCompressed(std::istream& is);
+
+// File helpers; format chosen by extension: ".trc" text, ".ctrz" compressed
+// binary, anything else raw binary. Loading detects raw-vs-compressed by
+// magic regardless of extension. Throw std::runtime_error on IO failure.
+void SaveToFile(const std::string& path, const Trace& trace);
+Trace LoadFromFile(const std::string& path);
+
+}  // namespace ces::trace

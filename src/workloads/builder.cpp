@@ -1,0 +1,105 @@
+#include "workloads/builder.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/rng.hpp"
+
+namespace ces::workloads::detail {
+namespace {
+
+template <typename T>
+std::string FormatArray(const std::string& name, const char* directive,
+                        const std::vector<T>& values) {
+  std::string out = name + ":";
+  char buf[24];
+  constexpr std::size_t kPerLine = 12;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i % kPerLine == 0) {
+      out += i == 0 ? " " : "\n        ";
+      out += directive;
+      out += " ";
+    } else {
+      out += ", ";
+    }
+    std::snprintf(buf, sizeof(buf), "0x%x",
+                  static_cast<std::uint32_t>(values[i]));
+    out += buf;
+  }
+  if (values.empty()) out += std::string(" ") + directive + " 0";
+  out += "\n";
+  return out;
+}
+
+}  // namespace
+
+std::string WordArray(const std::string& name,
+                      const std::vector<std::uint32_t>& values) {
+  return FormatArray(name, ".word", values);
+}
+
+std::string ByteArray(const std::string& name,
+                      const std::vector<std::uint8_t>& values) {
+  return FormatArray(name, ".byte", values);
+}
+
+std::vector<std::uint32_t> RandomWords(std::uint64_t seed, std::size_t count,
+                                       std::uint32_t bound) {
+  Rng rng(seed);
+  std::vector<std::uint32_t> out(count);
+  for (auto& value : out) {
+    value = static_cast<std::uint32_t>(rng.NextBounded(bound));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> RandomBytes(std::uint64_t seed, std::size_t count) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> out(count);
+  for (auto& value : out) {
+    value = static_cast<std::uint8_t>(rng.NextBounded(256));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> MarkovText(std::uint64_t seed, std::size_t count) {
+  Rng rng(seed);
+  // Skewed alphabet with word-ish structure: repeated fragments make the
+  // stream compressible the way real text is.
+  static const char* kFragments[] = {"the ",  "and ",   "cache ", "miss ",
+                                     "rate ", "embed ", "core ",  "chip ",
+                                     "bus ",  "trace "};
+  std::vector<std::uint8_t> out;
+  out.reserve(count + 8);
+  while (out.size() < count) {
+    const char* fragment = kFragments[rng.NextBounded(10)];
+    for (const char* p = fragment; *p != '\0'; ++p) {
+      out.push_back(static_cast<std::uint8_t>(*p));
+    }
+    if (rng.NextBool(0.12)) out.push_back('\n');
+  }
+  out.resize(count);
+  return out;
+}
+
+std::vector<std::uint32_t> Waveform(std::size_t count) {
+  // Two mixed sinusoids quantised to 16-bit, stored sign-extended. Computed
+  // with integer-safe rounding so that the values are platform-stable.
+  std::vector<std::uint32_t> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double phase = static_cast<double>(i);
+    const double value = 9000.0 * std::sin(phase * 0.12) +
+                         4000.0 * std::sin(phase * 0.031 + 0.5);
+    const auto sample = static_cast<std::int32_t>(std::lround(value));
+    out[i] = static_cast<std::uint32_t>(sample);
+  }
+  return out;
+}
+
+void AppendWord(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  for (int b = 0; b < 4; ++b) {
+    out.push_back(static_cast<std::uint8_t>((value >> (8 * b)) & 0xff));
+  }
+}
+
+}  // namespace ces::workloads::detail

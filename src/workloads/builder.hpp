@@ -1,0 +1,32 @@
+// Helpers shared by the workload definitions: deterministic input
+// generation and formatting of data arrays as assembler directives.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ces::workloads::detail {
+
+// `.data`-section array: "name: .word v0, v1, ..." wrapped at a sane width.
+std::string WordArray(const std::string& name,
+                      const std::vector<std::uint32_t>& values);
+std::string ByteArray(const std::string& name,
+                      const std::vector<std::uint8_t>& values);
+
+// Deterministic pseudo-random inputs (one seed per workload keeps them
+// independent).
+std::vector<std::uint32_t> RandomWords(std::uint64_t seed, std::size_t count,
+                                       std::uint32_t bound);
+std::vector<std::uint8_t> RandomBytes(std::uint64_t seed, std::size_t count);
+
+// Synthetic "text" with letter-frequency skew; gives LZW something to chew.
+std::vector<std::uint8_t> MarkovText(std::uint64_t seed, std::size_t count);
+
+// Synthetic waveform of 16-bit samples stored as sign-extended words.
+std::vector<std::uint32_t> Waveform(std::size_t count);
+
+// Little-endian byte emission mirroring the CPU's outw.
+void AppendWord(std::vector<std::uint8_t>& out, std::uint32_t value);
+
+}  // namespace ces::workloads::detail

@@ -1,0 +1,181 @@
+// adpcm: IMA ADPCM speech encoder — step-size table lookups, predictor and
+// quantiser index updates per sample, as in the PowerStone kernel.
+#include "workloads/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ces::workloads::detail {
+namespace {
+
+constexpr std::int32_t kStepTable[89] = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,
+    19,    21,    23,    25,    28,    31,    34,    37,    41,    45,
+    50,    55,    60,    66,    73,    80,    88,    97,    107,   118,
+    130,   143,   157,   173,   190,   209,   230,   253,   279,   307,
+    337,   371,   408,   449,   494,   544,   598,   658,   724,   796,
+    876,   963,   1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,
+    2272,  2499,  2749,  3024,  3327,  3660,  4026,  4428,  4871,  5358,
+    5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+constexpr std::int32_t kIndexTable[8] = {-1, -1, -1, -1, 2, 4, 6, 8};
+
+std::vector<std::uint8_t> Golden(const std::vector<std::uint32_t>& samples,
+                                 std::uint32_t passes) {
+  std::vector<std::uint8_t> out;
+  for (std::uint32_t pass = 0; pass < passes; ++pass) {
+    std::int32_t predicted = 0;
+    std::int32_t index = 0;
+    for (std::uint32_t raw : samples) {
+      const auto sample = static_cast<std::int32_t>(raw);
+      std::int32_t diff = sample - predicted;
+      std::uint32_t code = 0;
+      if (diff < 0) {
+        code = 8;
+        diff = -diff;
+      }
+      const std::int32_t step = kStepTable[index];
+      if (diff >= step) {
+        code |= 4;
+        diff -= step;
+      }
+      if (diff >= (step >> 1)) {
+        code |= 2;
+        diff -= step >> 1;
+      }
+      if (diff >= (step >> 2)) code |= 1;
+
+      std::int32_t delta = step >> 3;
+      if (code & 4) delta += step;
+      if (code & 2) delta += step >> 1;
+      if (code & 1) delta += step >> 2;
+      predicted += (code & 8) ? -delta : delta;
+      if (predicted > 32767) predicted = 32767;
+      if (predicted < -32768) predicted = -32768;
+
+      index += kIndexTable[code & 7];
+      if (index < 0) index = 0;
+      if (index > 88) index = 88;
+
+      out.push_back(static_cast<std::uint8_t>(code));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload MakeAdpcm(Scale scale) {
+  const std::size_t sample_count = BySize<std::size_t>(scale, 128, 512, 2048);
+  const std::uint32_t passes = BySize<std::uint32_t>(scale, 2, 6, 12);
+  const std::vector<std::uint32_t> samples = Waveform(sample_count);
+
+  std::vector<std::uint32_t> steps(std::begin(kStepTable),
+                                   std::end(kStepTable));
+  std::vector<std::uint32_t> index_deltas;
+  for (std::int32_t v : kIndexTable) {
+    index_deltas.push_back(static_cast<std::uint32_t>(v));
+  }
+
+  Workload workload;
+  workload.name = "adpcm";
+  workload.description = "IMA ADPCM speech encoder";
+  workload.expected_output = Golden(samples, passes);
+  workload.assembly = R"(
+        .equ SAMPLES, )" + std::to_string(sample_count) + R"(
+        .equ PASSES, )" + std::to_string(passes) + R"(
+
+        .text
+main:
+        li   s7, 0              # s7 = pass
+pass_loop:
+        li   s2, 0              # s2 = predicted
+        li   s3, 0              # s3 = index
+        la   s0, samples        # s0 = cursor
+        li   s1, SAMPLES        # s1 = samples left
+sample_loop:
+        lw   t0, 0(s0)          # t0 = sample
+        sub  t1, t0, s2         # t1 = diff
+        li   t2, 0              # t2 = code
+        bge  t1, zero, diff_pos
+        li   t2, 8
+        neg  t1, t1
+diff_pos:
+        # t3 = step = steptable[index]
+        sll  t4, s3, 2
+        la   t5, steptable
+        add  t4, t4, t5
+        lw   t3, 0(t4)
+        blt  t1, t3, q_half
+        ori  t2, t2, 4
+        sub  t1, t1, t3
+q_half:
+        sra  t4, t3, 1
+        blt  t1, t4, q_quarter
+        ori  t2, t2, 2
+        sub  t1, t1, t4
+q_quarter:
+        sra  t4, t3, 2
+        blt  t1, t4, q_done
+        ori  t2, t2, 1
+q_done:
+        # delta = step>>3 (+ step if bit2, + step>>1 if bit1, + step>>2 if bit0)
+        sra  t5, t3, 3          # t5 = delta
+        andi t6, t2, 4
+        beqz t6, d_half
+        add  t5, t5, t3
+d_half:
+        andi t6, t2, 2
+        beqz t6, d_quarter
+        sra  t7, t3, 1
+        add  t5, t5, t7
+d_quarter:
+        andi t6, t2, 1
+        beqz t6, d_apply
+        sra  t7, t3, 2
+        add  t5, t5, t7
+d_apply:
+        andi t6, t2, 8
+        beqz t6, d_add
+        sub  s2, s2, t5
+        b    d_clamp
+d_add:
+        add  s2, s2, t5
+d_clamp:
+        li   t6, 32767
+        ble  s2, t6, c_low
+        mv   s2, t6
+c_low:
+        li   t6, -32768
+        bge  s2, t6, c_done
+        mv   s2, t6
+c_done:
+        # index += indextable[code & 7], clamped to [0, 88]
+        andi t6, t2, 7
+        sll  t6, t6, 2
+        la   t7, indextable
+        add  t6, t6, t7
+        lw   t7, 0(t6)
+        add  s3, s3, t7
+        bge  s3, zero, i_high
+        li   s3, 0
+i_high:
+        li   t6, 88
+        ble  s3, t6, i_done
+        mv   s3, t6
+i_done:
+        outb t2                 # emit the 4-bit code (one byte per sample)
+        addi s0, s0, 4
+        addi s1, s1, -1
+        bnez s1, sample_loop
+        addi s7, s7, 1
+        li   t6, PASSES
+        blt  s7, t6, pass_loop
+        halt
+
+        .data
+)" + WordArray("steptable", steps) + WordArray("indextable", index_deltas) +
+                      WordArray("samples", samples);
+  return workload;
+}
+
+}  // namespace ces::workloads::detail

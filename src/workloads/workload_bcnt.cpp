@@ -1,0 +1,107 @@
+// bcnt: bit counting over a word array via a 256-entry byte-popcount lookup
+// table, the classic PowerStone kernel. The table itself is built at run
+// time (table initialisation is part of the reference stream).
+#include "workloads/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ces::workloads::detail {
+namespace {
+
+constexpr std::uint64_t kSeed = 0xbc47;
+
+std::vector<std::uint8_t> Golden(const std::vector<std::uint32_t>& words,
+                                 std::uint32_t passes) {
+  std::vector<std::uint8_t> out;
+  std::uint32_t total = 0;
+  for (std::uint32_t pass = 0; pass < passes; ++pass) {
+    for (std::uint32_t word : words) {
+      std::uint32_t count = 0;
+      for (int b = 0; b < 32; ++b) count += (word >> b) & 1u;
+      total += count;
+    }
+    AppendWord(out, total);
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload MakeBcnt(Scale scale) {
+  const std::size_t word_count = BySize<std::size_t>(scale, 256, 1024, 4096);
+  const std::uint32_t passes = BySize<std::uint32_t>(scale, 6, 24, 48);
+  const std::vector<std::uint32_t> input =
+      RandomWords(kSeed, word_count, 0xffffffffu);
+
+  Workload workload;
+  workload.name = "bcnt";
+  workload.description = "bit counting with a byte lookup table";
+  workload.expected_output = Golden(input, passes);
+  workload.assembly = R"(
+        .equ WORDS, )" + std::to_string(word_count) + R"(
+        .equ PASSES, )" + std::to_string(passes) + R"(
+
+        .text
+main:
+        # ---- build the 256-entry popcount table ----
+        la   s0, table          # s0 = &table
+        li   t0, 0              # t0 = byte value
+tbl_loop:
+        mv   t1, t0             # t1 = working copy
+        li   t2, 0              # t2 = popcount
+tbl_bits:
+        beqz t1, tbl_store
+        andi t3, t1, 1
+        add  t2, t2, t3
+        srl  t1, t1, 1
+        b    tbl_bits
+tbl_store:
+        add  t4, s0, t0
+        sb   t2, 0(t4)
+        addi t0, t0, 1
+        li   t5, 256
+        blt  t0, t5, tbl_loop
+
+        # ---- count bits of every input word, PASSES times ----
+        li   s5, 0              # s5 = running total
+        li   s4, 0              # s4 = pass counter
+pass_loop:
+        la   s1, input          # s1 = cursor
+        li   s2, WORDS          # s2 = words left
+word_loop:
+        lw   t0, 0(s1)
+        # table[b0] + table[b1] + table[b2] + table[b3]
+        andi t1, t0, 0xff
+        add  t1, s0, t1
+        lbu  t2, 0(t1)
+        srl  t3, t0, 8
+        andi t3, t3, 0xff
+        add  t3, s0, t3
+        lbu  t4, 0(t3)
+        add  t2, t2, t4
+        srl  t3, t0, 16
+        andi t3, t3, 0xff
+        add  t3, s0, t3
+        lbu  t4, 0(t3)
+        add  t2, t2, t4
+        srl  t3, t0, 24
+        add  t3, s0, t3
+        lbu  t4, 0(t3)
+        add  t2, t2, t4
+        add  s5, s5, t2
+        addi s1, s1, 4
+        addi s2, s2, -1
+        bnez s2, word_loop
+        outw s5
+        addi s4, s4, 1
+        li   t6, PASSES
+        blt  s4, t6, pass_loop
+        halt
+
+        .data
+table:  .space 256
+        .align 2
+)" + WordArray("input", input);
+  return workload;
+}
+
+}  // namespace ces::workloads::detail

@@ -1,0 +1,126 @@
+// blit: bit-block transfer — copies a 64x64-bit source bitmap into a wider
+// destination at increasing horizontal bit offsets, with the word-straddling
+// shift/mask work every graphics blitter does.
+#include "workloads/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ces::workloads::detail {
+namespace {
+
+constexpr std::uint32_t kRows = 64;
+constexpr std::uint32_t kSrcWordsPerRow = 2;   // 64 px
+constexpr std::uint32_t kDstWordsPerRow = 3;   // 96 px
+constexpr std::uint64_t kSeed = 0xb117;
+
+std::vector<std::uint8_t> Golden(const std::vector<std::uint32_t>& src,
+                                 std::uint32_t passes) {
+  std::vector<std::uint8_t> out;
+  std::vector<std::uint32_t> dst(kRows * kDstWordsPerRow);
+  for (std::uint32_t pass = 0; pass < passes; ++pass) {
+    const std::uint32_t shift = pass + 1;
+    for (auto& w : dst) w = 0;
+    for (std::uint32_t row = 0; row < kRows; ++row) {
+      std::uint32_t carry = 0;
+      for (std::uint32_t j = 0; j < kSrcWordsPerRow; ++j) {
+        const std::uint32_t w = src[row * kSrcWordsPerRow + j];
+        dst[row * kDstWordsPerRow + j] |= (w << shift) | carry;
+        carry = w >> (32 - shift);
+      }
+      dst[row * kDstWordsPerRow + kSrcWordsPerRow] |= carry;
+    }
+    std::uint32_t checksum = 0;
+    for (std::uint32_t w : dst) checksum = checksum * 31 + w;
+    AppendWord(out, checksum);
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload MakeBlit(Scale scale) {
+  const std::uint32_t passes = BySize<std::uint32_t>(scale, 4, 10, 16);
+  const std::vector<std::uint32_t> src =
+      RandomWords(kSeed, kRows * kSrcWordsPerRow, 0xffffffffu);
+
+  Workload workload;
+  workload.name = "blit";
+  workload.description = "bit-block transfer with shifts and masks";
+  workload.expected_output = Golden(src, passes);
+  workload.assembly = R"(
+        .equ ROWS, )" + std::to_string(kRows) + R"(
+        .equ DSTWORDS, )" + std::to_string(kRows * kDstWordsPerRow) + R"(
+        .equ PASSES, )" + std::to_string(passes) + R"(
+
+        .text
+main:
+        li   s7, 1              # s7 = shift (1..PASSES)
+pass_loop:
+        # ---- clear the destination ----
+        la   t0, dst
+        li   t1, DSTWORDS
+clr_loop:
+        sw   zero, 0(t0)
+        addi t0, t0, 4
+        addi t1, t1, -1
+        bnez t1, clr_loop
+
+        # ---- blit all rows ----
+        la   s0, src            # s0 = src cursor
+        la   s1, dst            # s1 = dst cursor
+        li   s2, ROWS           # s2 = rows left
+        li   s6, 32
+        sub  s6, s6, s7         # s6 = 32 - shift
+row_loop:
+        li   t5, 0              # t5 = carry
+        # word 0
+        lw   t0, 0(s0)
+        sllv t1, t0, s7
+        or   t1, t1, t5
+        lw   t2, 0(s1)
+        or   t2, t2, t1
+        sw   t2, 0(s1)
+        srlv t5, t0, s6
+        # word 1
+        lw   t0, 4(s0)
+        sllv t1, t0, s7
+        or   t1, t1, t5
+        lw   t2, 4(s1)
+        or   t2, t2, t1
+        sw   t2, 4(s1)
+        srlv t5, t0, s6
+        # spill word
+        lw   t2, 8(s1)
+        or   t2, t2, t5
+        sw   t2, 8(s1)
+        addi s0, s0, 8
+        addi s1, s1, 12
+        addi s2, s2, -1
+        bnez s2, row_loop
+
+        # ---- checksum the destination ----
+        la   t0, dst
+        li   t1, DSTWORDS
+        li   t2, 0              # t2 = checksum
+        li   t3, 31
+cks_loop:
+        lw   t4, 0(t0)
+        mul  t2, t2, t3
+        add  t2, t2, t4
+        addi t0, t0, 4
+        addi t1, t1, -1
+        bnez t1, cks_loop
+        outw t2
+
+        addi s7, s7, 1
+        li   t6, PASSES
+        ble  s7, t6, pass_loop
+        halt
+
+        .data
+dst:    .space )" + std::to_string(kRows * kDstWordsPerRow * 4) + R"(
+        .align 2
+)" + WordArray("src", src);
+  return workload;
+}
+
+}  // namespace ces::workloads::detail

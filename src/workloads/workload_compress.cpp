@@ -1,0 +1,131 @@
+// compress: LZW compression with a 4096-entry open-addressing dictionary —
+// the algorithmic core of the UNIX compress utility PowerStone ships.
+// The golden model mirrors the hash function and probe order exactly, so the
+// emitted code stream must match byte for byte.
+#include "workloads/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ces::workloads::detail {
+namespace {
+
+constexpr std::uint32_t kTableSize = 4096;  // power of two
+constexpr std::uint32_t kMaxCode = 4096;
+constexpr std::uint64_t kSeed = 0xc0de;
+
+std::uint32_t Hash(std::uint32_t prefix, std::uint32_t ch) {
+  return ((prefix << 5) ^ ch) & (kTableSize - 1);
+}
+
+std::vector<std::uint8_t> Golden(const std::vector<std::uint8_t>& input) {
+  std::vector<std::uint8_t> out;
+  // keys[h] = ((prefix << 8) | ch) + 1, 0 meaning empty; codes[h] = code.
+  std::vector<std::uint32_t> keys(kTableSize, 0);
+  std::vector<std::uint32_t> codes(kTableSize, 0);
+  std::uint32_t next_code = 256;
+  std::uint32_t w = input[0];
+  for (std::size_t i = 1; i < input.size(); ++i) {
+    const std::uint32_t c = input[i];
+    const std::uint32_t key = ((w << 8) | c) + 1;
+    std::uint32_t h = Hash(w, c);
+    bool found = false;
+    while (keys[h] != 0) {
+      if (keys[h] == key) {
+        found = true;
+        break;
+      }
+      h = (h + 1) & (kTableSize - 1);
+    }
+    if (found) {
+      w = codes[h];
+    } else {
+      AppendWord(out, w);
+      if (next_code < kMaxCode) {
+        keys[h] = key;
+        codes[h] = next_code++;
+      }
+      w = c;
+    }
+  }
+  AppendWord(out, w);
+  return out;
+}
+
+}  // namespace
+
+Workload MakeCompress(Scale scale) {
+  const std::size_t input_bytes = BySize<std::size_t>(scale, 512, 2048, 8192);
+  const std::vector<std::uint8_t> input = MarkovText(kSeed, input_bytes);
+
+  Workload workload;
+  workload.name = "compress";
+  workload.description = "LZW compression with a hashed dictionary";
+  workload.expected_output = Golden(input);
+  workload.assembly = R"(
+        .equ INLEN, )" + std::to_string(input_bytes) + R"(
+        .equ TABMASK, )" + std::to_string(kTableSize - 1) + R"(
+        .equ MAXCODE, )" + std::to_string(kMaxCode) + R"(
+
+        .text
+main:
+        # keys/codes tables are zero-initialised .space memory.
+        li   s5, 256            # s5 = next_code
+        la   s0, input
+        lbu  s1, 0(s0)          # s1 = w = input[0]
+        addi s0, s0, 1
+        li   s2, INLEN
+        addi s2, s2, -1         # s2 = bytes left
+sym_loop:
+        lbu  t0, 0(s0)          # t0 = c
+        # key = ((w << 8) | c) + 1
+        sll  t1, s1, 8
+        or   t1, t1, t0
+        addi t1, t1, 1          # t1 = key
+        # h = ((w << 5) ^ c) & TABMASK
+        sll  t2, s1, 5
+        xor  t2, t2, t0
+        andi t2, t2, TABMASK    # t2 = h
+probe:
+        sll  t3, t2, 2
+        la   t4, keys
+        add  t4, t4, t3
+        lw   t5, 0(t4)          # t5 = keys[h]
+        beqz t5, miss
+        beq  t5, t1, hit
+        addi t2, t2, 1
+        andi t2, t2, TABMASK
+        b    probe
+hit:
+        # w = codes[h]
+        sll  t3, t2, 2
+        la   t4, codes
+        add  t4, t4, t3
+        lw   s1, 0(t4)
+        b    advance
+miss:
+        outw s1                 # emit code for w
+        li   t6, MAXCODE
+        bge  s5, t6, no_insert
+        sw   t1, 0(t4)          # keys[h] = key (t4 still &keys[h])
+        sll  t3, t2, 2
+        la   t7, codes
+        add  t7, t7, t3
+        sw   s5, 0(t7)          # codes[h] = next_code
+        addi s5, s5, 1
+no_insert:
+        mv   s1, t0             # w = c
+advance:
+        addi s0, s0, 1
+        addi s2, s2, -1
+        bnez s2, sym_loop
+        outw s1                 # flush the final code
+        halt
+
+        .data
+keys:   .space )" + std::to_string(kTableSize * 4) + R"(
+codes:  .space )" + std::to_string(kTableSize * 4) + R"(
+        .align 2
+)" + ByteArray("input", input);
+  return workload;
+}
+
+}  // namespace ces::workloads::detail

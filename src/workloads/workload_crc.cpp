@@ -1,0 +1,106 @@
+// crc: table-driven CRC-32 (reflected, polynomial 0xEDB88320) over a message
+// buffer. The 256-entry table is generated at run time, as the PowerStone
+// kernel does; each pass checksums the message from a different offset.
+#include "workloads/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ces::workloads::detail {
+namespace {
+
+constexpr std::uint64_t kSeed = 0xc4c;
+
+std::vector<std::uint8_t> Golden(const std::vector<std::uint8_t>& message,
+                                 std::uint32_t passes) {
+  std::uint32_t table[256];
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (c >> 1) ^ 0xEDB88320u : c >> 1;
+    }
+    table[i] = c;
+  }
+  std::vector<std::uint8_t> out;
+  for (std::uint32_t pass = 0; pass < passes; ++pass) {
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::size_t i = pass; i < message.size(); ++i) {
+      crc = (crc >> 8) ^ table[(crc ^ message[i]) & 0xffu];
+    }
+    AppendWord(out, crc ^ 0xFFFFFFFFu);
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload MakeCrc(Scale scale) {
+  const std::size_t message_bytes = BySize<std::size_t>(scale, 512, 2048, 8192);
+  const std::uint32_t passes = BySize<std::uint32_t>(scale, 3, 8, 12);
+  const std::vector<std::uint8_t> message = RandomBytes(kSeed, message_bytes);
+
+  Workload workload;
+  workload.name = "crc";
+  workload.description = "table-driven CRC-32 checksum";
+  workload.expected_output = Golden(message, passes);
+  workload.assembly = R"(
+        .equ MSGLEN, )" + std::to_string(message_bytes) + R"(
+        .equ PASSES, )" + std::to_string(passes) + R"(
+
+        .text
+main:
+        # ---- build the CRC table ----
+        la   s0, table
+        li   s1, 0xEDB88320     # polynomial (expands to lui/ori)
+        li   t0, 0              # t0 = i
+tbl_loop:
+        mv   t1, t0             # t1 = c
+        li   t2, 8              # t2 = k
+tbl_bits:
+        andi t3, t1, 1
+        srl  t1, t1, 1
+        beqz t3, tbl_next
+        xor  t1, t1, s1
+tbl_next:
+        addi t2, t2, -1
+        bnez t2, tbl_bits
+        sll  t4, t0, 2
+        add  t4, s0, t4
+        sw   t1, 0(t4)
+        addi t0, t0, 1
+        li   t5, 256
+        blt  t0, t5, tbl_loop
+
+        # ---- checksum the message, PASSES times ----
+        li   s4, 0              # s4 = pass
+pass_loop:
+        li   t0, -1             # t0 = crc = 0xFFFFFFFF
+        la   s2, message
+        add  s2, s2, s4         # start at offset `pass`
+        li   s3, MSGLEN
+        sub  s3, s3, s4         # bytes left
+byte_loop:
+        lbu  t1, 0(s2)
+        xor  t2, t0, t1
+        andi t2, t2, 0xff
+        sll  t2, t2, 2
+        add  t2, s0, t2
+        lw   t3, 0(t2)
+        srl  t0, t0, 8
+        xor  t0, t0, t3
+        addi s2, s2, 1
+        addi s3, s3, -1
+        bnez s3, byte_loop
+        not  t4, t0
+        outw t4
+        addi s4, s4, 1
+        li   t5, PASSES
+        blt  s4, t5, pass_loop
+        halt
+
+        .data
+table:  .space 1024
+        .align 2
+)" + ByteArray("message", message);
+  return workload;
+}
+
+}  // namespace ces::workloads::detail

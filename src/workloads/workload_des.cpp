@@ -1,0 +1,137 @@
+// des: DES-like 16-round Feistel block cipher with eight 64-entry S-boxes
+// and a rotate in place of the bit-level P permutation (see DESIGN.md —
+// table-lookup pressure and round structure are what matter to the memory
+// reference stream, not cryptographic fidelity).
+#include "workloads/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ces::workloads::detail {
+namespace {
+
+constexpr std::uint32_t kRounds = 16;
+constexpr std::uint64_t kSboxSeed = 0xde5b0;
+constexpr std::uint64_t kKeySeed = 0xde5c1;
+constexpr std::uint64_t kDataSeed = 0xde5d2;
+
+std::uint32_t Feistel(std::uint32_t r, std::uint32_t key,
+                      const std::vector<std::uint8_t>& sboxes) {
+  const std::uint32_t t = r ^ key;
+  std::uint32_t f = 0;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const std::uint32_t six = (t >> (4 * i)) & 0x3f;
+    f += static_cast<std::uint32_t>(sboxes[i * 64 + six]) << (2 * i);
+  }
+  return (f << 3) | (f >> 29);  // rotate-left 3: the P-permutation proxy
+}
+
+std::vector<std::uint8_t> Golden(const std::vector<std::uint8_t>& sboxes,
+                                 const std::vector<std::uint32_t>& keys,
+                                 const std::vector<std::uint32_t>& blocks) {
+  std::vector<std::uint8_t> out;
+  std::uint32_t checksum = 0;
+  const auto block_count = static_cast<std::uint32_t>(blocks.size() / 2);
+  for (std::uint32_t b = 0; b < block_count; ++b) {
+    std::uint32_t left = blocks[2 * b];
+    std::uint32_t right = blocks[2 * b + 1];
+    for (std::uint32_t round = 0; round < kRounds; ++round) {
+      const std::uint32_t f = Feistel(right, keys[round], sboxes);
+      const std::uint32_t new_right = left ^ f;
+      left = right;
+      right = new_right;
+    }
+    checksum = checksum * 33 + left;
+    checksum = checksum * 33 + right;
+    if ((b & 15) == 15) AppendWord(out, checksum);
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload MakeDes(Scale scale) {
+  const std::uint32_t block_count = BySize<std::uint32_t>(scale, 32, 96, 384);
+  const std::vector<std::uint8_t> sboxes = RandomBytes(kSboxSeed, 8 * 64);
+  const std::vector<std::uint32_t> keys =
+      RandomWords(kKeySeed, kRounds, 0xffffffffu);
+  const std::vector<std::uint32_t> blocks =
+      RandomWords(kDataSeed, 2 * block_count, 0xffffffffu);
+
+  Workload workload;
+  workload.name = "des";
+  workload.description = "16-round Feistel block cipher with S-box lookups";
+  workload.expected_output = Golden(sboxes, keys, blocks);
+  workload.assembly = R"(
+        .equ ROUNDS, )" + std::to_string(kRounds) + R"(
+        .equ BLOCKS, )" + std::to_string(block_count) + R"(
+
+        .text
+main:
+        li   s7, 0              # s7 = block index
+        li   s6, 0              # s6 = checksum
+block_loop:
+        # load L, R
+        sll  t0, s7, 3
+        la   t1, blocks
+        add  t1, t1, t0
+        lw   s0, 0(t1)          # s0 = L
+        lw   s1, 4(t1)          # s1 = R
+        li   s2, 0              # s2 = round
+round_loop:
+        # t = R ^ key[round]
+        sll  t0, s2, 2
+        la   t1, keys
+        add  t1, t1, t0
+        lw   t2, 0(t1)
+        xor  t2, s1, t2         # t2 = t
+        # f = sum_i sbox[i*64 + ((t >> 4i) & 0x3f)] << 2i
+        li   t3, 0              # t3 = f
+        li   t4, 0              # t4 = i
+sbox_loop:
+        sll  t5, t4, 2          # 4*i
+        srlv t5, t2, t5
+        andi t5, t5, 0x3f
+        sll  t6, t4, 6          # i*64
+        add  t6, t6, t5
+        la   t7, sboxes
+        add  t7, t7, t6
+        lbu  t8, 0(t7)
+        sll  t5, t4, 1          # 2*i
+        sllv t8, t8, t5
+        add  t3, t3, t8
+        addi t4, t4, 1
+        li   t9, 8
+        blt  t4, t9, sbox_loop
+        # f = rotl(f, 3)
+        sll  t5, t3, 3
+        srl  t6, t3, 29
+        or   t3, t5, t6
+        # (L, R) = (R, L ^ f)
+        xor  t5, s0, t3
+        mv   s0, s1
+        mv   s1, t5
+        addi s2, s2, 1
+        li   t9, ROUNDS
+        blt  s2, t9, round_loop
+        # checksum = (checksum*33 + L)*33 + R
+        li   t9, 33
+        mul  s6, s6, t9
+        add  s6, s6, s0
+        mul  s6, s6, t9
+        add  s6, s6, s1
+        andi t0, s7, 15
+        li   t1, 15
+        bne  t0, t1, no_emit
+        outw s6
+no_emit:
+        addi s7, s7, 1
+        li   t9, BLOCKS
+        blt  s7, t9, block_loop
+        halt
+
+        .data
+)" + ByteArray("sboxes", sboxes) + R"(        .align 2
+)" + WordArray("keys", keys) + WordArray("blocks", blocks);
+  return workload;
+}
+
+}  // namespace ces::workloads::detail

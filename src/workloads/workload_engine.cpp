@@ -1,0 +1,136 @@
+// engine: engine-controller kernel — spark-advance table lookups driven by
+// sensor streams plus an integer PI speed governor, the control-loop shape
+// of the PowerStone benchmark.
+#include "workloads/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ces::workloads::detail {
+namespace {
+
+constexpr std::size_t kSteps = 512;
+constexpr std::int32_t kTargetRpm = 9000;
+constexpr std::uint64_t kRpmSeed = 0xe61;
+constexpr std::uint64_t kLoadSeed = 0xe62;
+constexpr std::uint64_t kTableSeed = 0xe63;
+
+std::vector<std::uint8_t> Golden(const std::vector<std::uint32_t>& rpm_in,
+                                 const std::vector<std::uint32_t>& load_in,
+                                 const std::vector<std::uint8_t>& advance,
+                                 std::uint32_t passes) {
+  std::vector<std::uint8_t> out;
+  for (std::uint32_t pass = 0; pass < passes; ++pass) {
+    std::int32_t integral = 0;
+    std::uint32_t checksum = 0;
+    for (std::size_t i = 0; i < kSteps; ++i) {
+      const auto rpm = static_cast<std::int32_t>(rpm_in[i]);
+      const auto load = static_cast<std::int32_t>(load_in[i]);
+      const std::int32_t row = rpm >> 10;    // 0..15
+      const std::int32_t column = load >> 10;
+      const std::int32_t adv = advance[row * 16 + column];
+      const std::int32_t error = kTargetRpm - rpm;
+      integral += error;
+      if (integral > (1 << 20)) integral = 1 << 20;
+      if (integral < -(1 << 20)) integral = -(1 << 20);
+      std::int32_t u = ((error * 3) >> 4) + (integral >> 10) + adv;
+      if (u < 0) u = 0;
+      if (u > 255) u = 255;
+      checksum = checksum * 31 + static_cast<std::uint32_t>(u);
+      if ((i & 127) == 127) AppendWord(out, checksum);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload MakeEngine(Scale scale) {
+  const std::uint32_t passes = BySize<std::uint32_t>(scale, 3, 8, 16);
+  const std::vector<std::uint32_t> rpm_in = RandomWords(kRpmSeed, kSteps, 16384);
+  const std::vector<std::uint32_t> load_in =
+      RandomWords(kLoadSeed, kSteps, 16384);
+  std::vector<std::uint8_t> advance = RandomBytes(kTableSeed, 256);
+  for (auto& v : advance) v = static_cast<std::uint8_t>(v % 60);
+
+  Workload workload;
+  workload.name = "engine";
+  workload.description = "spark-advance table lookup + integer PI governor";
+  workload.expected_output = Golden(rpm_in, load_in, advance, passes);
+  workload.assembly = R"(
+        .equ STEPS, )" + std::to_string(kSteps) + R"(
+        .equ PASSES, )" + std::to_string(passes) + R"(
+        .equ TARGET, )" + std::to_string(kTargetRpm) + R"(
+        .equ ICLAMP, 1048576
+
+        .text
+main:
+        li   s7, 0              # s7 = pass
+pass_loop:
+        li   s4, 0              # s4 = integral
+        li   s5, 0              # s5 = checksum
+        li   s0, 0              # s0 = step i
+step_loop:
+        sll  t0, s0, 2
+        la   t1, rpm_in
+        add  t1, t1, t0
+        lw   t2, 0(t1)          # t2 = rpm
+        la   t1, load_in
+        add  t1, t1, t0
+        lw   t3, 0(t1)          # t3 = load
+        # adv = advance[(rpm>>10)*16 + (load>>10)]
+        sra  t4, t2, 10
+        sll  t4, t4, 4
+        sra  t5, t3, 10
+        add  t4, t4, t5
+        la   t1, advance
+        add  t1, t1, t4
+        lbu  t6, 0(t1)          # t6 = adv
+        # error = TARGET - rpm; integral += error, clamped
+        li   t7, TARGET
+        sub  t7, t7, t2         # t7 = error
+        add  s4, s4, t7
+        li   t8, ICLAMP
+        ble  s4, t8, i_low
+        mv   s4, t8
+i_low:
+        neg  t8, t8
+        bge  s4, t8, i_done
+        mv   s4, t8
+i_done:
+        # u = ((error*3) >> 4) + (integral >> 10) + adv, clamped to [0,255]
+        li   t8, 3
+        mul  t8, t7, t8
+        sra  t8, t8, 4
+        sra  t9, s4, 10
+        add  t8, t8, t9
+        add  t8, t8, t6
+        bge  t8, zero, u_high
+        li   t8, 0
+u_high:
+        li   t9, 255
+        ble  t8, t9, u_done
+        mv   t8, t9
+u_done:
+        # checksum = checksum*31 + u; emit every 128 steps
+        li   t9, 31
+        mul  s5, s5, t9
+        add  s5, s5, t8
+        andi t9, s0, 127
+        li   t0, 127
+        bne  t9, t0, no_emit
+        outw s5
+no_emit:
+        addi s0, s0, 1
+        li   t9, STEPS
+        blt  s0, t9, step_loop
+        addi s7, s7, 1
+        li   t9, PASSES
+        blt  s7, t9, pass_loop
+        halt
+
+        .data
+)" + ByteArray("advance", advance) + R"(        .align 2
+)" + WordArray("rpm_in", rpm_in) + WordArray("load_in", load_in);
+  return workload;
+}
+
+}  // namespace ces::workloads::detail

@@ -1,0 +1,104 @@
+// fir: 32-tap integer FIR filter over a synthetic waveform — the PowerStone
+// DSP kernel. y[n] = (sum_k h[k] * x[n-k]) >> 8 over multiple passes with
+// rotating coefficient sets.
+#include "workloads/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ces::workloads::detail {
+namespace {
+
+constexpr std::size_t kTaps = 32;
+
+std::vector<std::uint8_t> Golden(const std::vector<std::uint32_t>& samples,
+                                 const std::vector<std::uint32_t>& coeffs,
+                                 std::uint32_t passes) {
+  std::vector<std::uint8_t> out;
+  for (std::uint32_t pass = 0; pass < passes; ++pass) {
+    std::uint32_t checksum = 0;
+    for (std::size_t n = kTaps - 1; n < samples.size(); ++n) {
+      std::int32_t acc = 0;
+      for (std::size_t k = 0; k < kTaps; ++k) {
+        const auto h = static_cast<std::int32_t>(
+            coeffs[(k + pass) % kTaps]);
+        const auto x = static_cast<std::int32_t>(samples[n - k]);
+        acc += h * x;
+      }
+      const std::int32_t y = acc >> 8;
+      checksum = checksum * 31 + static_cast<std::uint32_t>(y);
+    }
+    AppendWord(out, checksum);
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload MakeFir(Scale scale) {
+  const std::size_t sample_count = BySize<std::size_t>(scale, 512, 1536, 6144);
+  const std::uint32_t passes = BySize<std::uint32_t>(scale, 3, 6, 10);
+  const std::vector<std::uint32_t> samples = Waveform(sample_count);
+  // Small symmetric-ish coefficients in [-64, 63].
+  std::vector<std::uint32_t> coeffs = RandomWords(0xf17, kTaps, 128);
+  for (auto& c : coeffs) {
+    c = static_cast<std::uint32_t>(static_cast<std::int32_t>(c) - 64);
+  }
+
+  Workload workload;
+  workload.name = "fir";
+  workload.description = "32-tap integer FIR filter";
+  workload.expected_output = Golden(samples, coeffs, passes);
+  workload.assembly = R"(
+        .equ TAPS, )" + std::to_string(kTaps) + R"(
+        .equ SAMPLES, )" + std::to_string(sample_count) + R"(
+        .equ PASSES, )" + std::to_string(passes) + R"(
+
+        .text
+main:
+        li   s7, 0              # s7 = pass
+pass_loop:
+        li   s6, 0              # s6 = checksum
+        li   s0, TAPS
+        addi s0, s0, -1         # s0 = n = TAPS-1
+n_loop:
+        li   t0, 0              # t0 = acc
+        li   t1, 0              # t1 = k
+k_loop:
+        # h = coeffs[(k + pass) % TAPS]
+        add  t2, t1, s7
+        li   t3, TAPS
+        rem  t2, t2, t3
+        sll  t2, t2, 2
+        la   t3, coeffs
+        add  t3, t3, t2
+        lw   t4, 0(t3)
+        # x = samples[n - k]
+        sub  t5, s0, t1
+        sll  t5, t5, 2
+        la   t6, samples
+        add  t6, t6, t5
+        lw   t7, 0(t6)
+        mul  t4, t4, t7
+        add  t0, t0, t4
+        addi t1, t1, 1
+        li   t8, TAPS
+        blt  t1, t8, k_loop
+        sra  t0, t0, 8          # y = acc >> 8
+        # checksum = checksum * 31 + y
+        li   t9, 31
+        mul  s6, s6, t9
+        add  s6, s6, t0
+        addi s0, s0, 1
+        li   t8, SAMPLES
+        blt  s0, t8, n_loop
+        outw s6
+        addi s7, s7, 1
+        li   t8, PASSES
+        blt  s7, t8, pass_loop
+        halt
+
+        .data
+)" + WordArray("coeffs", coeffs) + WordArray("samples", samples);
+  return workload;
+}
+
+}  // namespace ces::workloads::detail

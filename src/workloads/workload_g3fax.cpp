@@ -1,0 +1,170 @@
+// g3fax: Group-3 fax scanline decoder — expands run-length coded lines into
+// a 1728-pixel-wide bitmap, toggling white/black runs and doing the per-bit
+// buffer writes a fax decoder performs.
+#include "workloads/builder.hpp"
+#include "workloads/workloads.hpp"
+
+#include "support/rng.hpp"
+
+namespace ces::workloads::detail {
+namespace {
+
+constexpr std::uint32_t kLineWidth = 1728;  // standard G3 width in pixels
+constexpr std::uint8_t kEndOfLine = 0;      // run terminator
+constexpr std::uint64_t kSeed = 0x63fa;
+
+// Run-length pairs per line: byte values 1..63, alternating white/black,
+// summing exactly to kLineWidth; a zero byte ends the line.
+std::vector<std::uint8_t> MakeRuns(std::uint32_t lines) {
+  Rng rng(kSeed);
+  std::vector<std::uint8_t> runs;
+  for (std::uint32_t line = 0; line < lines; ++line) {
+    std::uint32_t remaining = kLineWidth;
+    while (remaining > 0) {
+      auto run = static_cast<std::uint32_t>(1 + rng.NextBounded(63));
+      if (run > remaining) run = remaining;
+      runs.push_back(static_cast<std::uint8_t>(run));
+      remaining -= run;
+    }
+    runs.push_back(kEndOfLine);
+  }
+  return runs;
+}
+
+std::vector<std::uint8_t> Golden(const std::vector<std::uint8_t>& runs,
+                                 std::uint32_t lines) {
+  std::vector<std::uint8_t> out;
+  std::vector<std::uint8_t> bitmap(kLineWidth / 8 * lines, 0);
+  std::size_t cursor = 0;
+  for (std::uint32_t line = 0; line < lines; ++line) {
+    std::uint32_t position = line * kLineWidth;
+    std::uint32_t black = 0;  // lines start white
+    while (runs[cursor] != kEndOfLine) {
+      const std::uint32_t run = runs[cursor++];
+      if (black != 0) {
+        for (std::uint32_t p = position; p < position + run; ++p) {
+          bitmap[p >> 3] = static_cast<std::uint8_t>(
+              bitmap[p >> 3] | (1u << (p & 7)));
+        }
+      }
+      position += run;
+      black ^= 1;
+    }
+    ++cursor;
+  }
+  std::uint32_t checksum = 0;
+  for (std::uint8_t byte : bitmap) checksum = checksum * 31 + byte;
+  AppendWord(out, checksum);
+  // Also emit one probe word per 8 lines so intermediate state is verified.
+  for (std::uint32_t line = 0; line < lines; line += 8) {
+    std::uint32_t probe = 0;
+    for (std::uint32_t b = 0; b < 4; ++b) {
+      probe |= static_cast<std::uint32_t>(
+                   bitmap[line * (kLineWidth / 8) + 17 + b])
+               << (8 * b);
+    }
+    AppendWord(out, probe);
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload MakeG3fax(Scale scale) {
+  const std::uint32_t lines = BySize<std::uint32_t>(scale, 16, 48, 128);
+  const std::vector<std::uint8_t> runs = MakeRuns(lines);
+
+  Workload workload;
+  workload.name = "g3fax";
+  workload.description = "run-length fax scanline decoder";
+  workload.expected_output = Golden(runs, lines);
+  workload.assembly = R"(
+        .equ LINES, )" + std::to_string(lines) + R"(
+        .equ WIDTH, )" + std::to_string(kLineWidth) + R"(
+        .equ BYTESPERLINE, )" + std::to_string(kLineWidth / 8) + R"(
+        .equ BITMAPBYTES, )" + std::to_string(kLineWidth / 8 * lines) + R"(
+
+        .text
+main:
+        la   s0, runs           # s0 = run cursor
+        li   s1, 0              # s1 = line
+line_loop:
+        # position = line * WIDTH
+        li   t0, WIDTH
+        mul  s2, s1, t0         # s2 = position (bit index)
+        li   s3, 0              # s3 = black flag
+run_loop:
+        lbu  t0, 0(s0)
+        addi s0, s0, 1
+        beqz t0, line_done      # 0 terminates the line
+        beqz s3, advance        # white run: just advance
+        # black run: set bits [position, position+run)
+        mv   t1, s2             # t1 = p
+        add  t2, s2, t0         # t2 = end
+bit_loop:
+        srl  t3, t1, 3
+        la   t4, bitmap
+        add  t4, t4, t3
+        lbu  t5, 0(t4)
+        andi t6, t1, 7
+        li   t7, 1
+        sllv t7, t7, t6
+        or   t5, t5, t7
+        sb   t5, 0(t4)
+        addi t1, t1, 1
+        blt  t1, t2, bit_loop
+advance:
+        add  s2, s2, t0
+        xori s3, s3, 1
+        b    run_loop
+line_done:
+        addi s1, s1, 1
+        li   t0, LINES
+        blt  s1, t0, line_loop
+
+        # ---- checksum the bitmap ----
+        la   t0, bitmap
+        li   t1, BITMAPBYTES
+        li   t2, 0
+        li   t3, 31
+cks_loop:
+        lbu  t4, 0(t0)
+        mul  t2, t2, t3
+        add  t2, t2, t4
+        addi t0, t0, 1
+        addi t1, t1, -1
+        bnez t1, cks_loop
+        outw t2
+
+        # ---- probe words, one per 8 lines ----
+        li   s1, 0
+probe_loop:
+        li   t0, BYTESPERLINE
+        mul  t1, s1, t0
+        addi t1, t1, 17
+        la   t2, bitmap
+        add  t2, t2, t1
+        lbu  t3, 0(t2)
+        lbu  t4, 1(t2)
+        sll  t4, t4, 8
+        or   t3, t3, t4
+        lbu  t4, 2(t2)
+        sll  t4, t4, 16
+        or   t3, t3, t4
+        lbu  t4, 3(t2)
+        sll  t4, t4, 24
+        or   t3, t3, t4
+        outw t3
+        addi s1, s1, 8
+        li   t0, LINES
+        blt  s1, t0, probe_loop
+        halt
+
+        .data
+bitmap: .space )" + std::to_string(kLineWidth / 8 * lines) + R"(
+        .align 2
+)" + ByteArray("runs", runs);
+  return workload;
+}
+
+}  // namespace ces::workloads::detail

@@ -1,0 +1,206 @@
+// pocsag: POCSAG pager protocol kernel — BCH(31,21) syndrome computation by
+// polynomial division, table-driven even-parity checking (byte popcount
+// table, as fielded decoders do), and accumulation of accepted 21-bit
+// payloads into a message buffer, over several batches of codewords.
+#include "workloads/builder.hpp"
+#include "workloads/workloads.hpp"
+
+#include "support/rng.hpp"
+
+namespace ces::workloads::detail {
+namespace {
+
+constexpr std::uint32_t kCodewords = 512;
+constexpr std::uint32_t kGenerator = 0x769;  // x^10+x^9+x^8+x^6+x^5+x^3+1
+constexpr std::uint64_t kSeed = 0x90c5;
+
+std::uint32_t BchRemainder(std::uint32_t value31) {
+  std::uint32_t r = value31;
+  for (int i = 30; i >= 10; --i) {
+    if ((r >> i) & 1u) r ^= kGenerator << (i - 10);
+  }
+  return r;  // 10-bit remainder
+}
+
+std::uint32_t Popcount8(std::uint32_t byte) {
+  std::uint32_t count = 0;
+  for (int b = 0; b < 8; ++b) count += (byte >> b) & 1u;
+  return count;
+}
+
+std::uint32_t Parity(std::uint32_t word) {
+  return (Popcount8(word & 0xff) + Popcount8((word >> 8) & 0xff) +
+          Popcount8((word >> 16) & 0xff) + Popcount8(word >> 24)) &
+         1u;
+}
+
+// Codewords: 21-bit message, 10 BCH check bits, 1 even-parity bit; about a
+// third are corrupted with a random bit flip.
+std::vector<std::uint32_t> MakeCodewords() {
+  Rng rng(kSeed);
+  std::vector<std::uint32_t> words;
+  words.reserve(kCodewords);
+  for (std::uint32_t i = 0; i < kCodewords; ++i) {
+    const auto message = static_cast<std::uint32_t>(rng.NextBounded(1u << 21));
+    const std::uint32_t shifted = message << 10;
+    std::uint32_t word = (shifted | BchRemainder(shifted)) << 1;
+    word |= Parity(word);
+    if (rng.NextBool(0.34)) {
+      word ^= 1u << rng.NextBounded(32);  // channel error
+    }
+    words.push_back(word);
+  }
+  return words;
+}
+
+std::vector<std::uint8_t> Golden(const std::vector<std::uint32_t>& words,
+                                 std::uint32_t passes) {
+  std::vector<std::uint8_t> out;
+  for (std::uint32_t pass = 0; pass < passes; ++pass) {
+    std::uint32_t bad = 0;
+    std::uint32_t accepted = 0;
+    std::uint32_t checksum = pass;
+    for (std::uint32_t i = 0; i < kCodewords; ++i) {
+      const std::uint32_t word = words[i];
+      const std::uint32_t syndrome = BchRemainder(word >> 1);
+      const std::uint32_t parity = Parity(word);
+      if (syndrome != 0 || parity != 0) {
+        ++bad;
+      } else {
+        checksum = checksum * 37 + (word >> 11);  // 21-bit payload
+        ++accepted;
+      }
+      if ((i & 63) == 63) {
+        AppendWord(out, checksum);
+        AppendWord(out, bad);
+      }
+    }
+    AppendWord(out, accepted);
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload MakePocsag(Scale scale) {
+  const std::uint32_t passes = BySize<std::uint32_t>(scale, 1, 3, 8);
+  const std::vector<std::uint32_t> words = MakeCodewords();
+
+  Workload workload;
+  workload.name = "pocsag";
+  workload.description = "POCSAG BCH(31,21) syndrome and parity decoder";
+  workload.expected_output = Golden(words, passes);
+  workload.assembly = R"(
+        .equ CODEWORDS, )" + std::to_string(kCodewords) + R"(
+        .equ PASSES, )" + std::to_string(passes) + R"(
+        .equ GENERATOR, )" + std::to_string(kGenerator) + R"(
+
+        .text
+main:
+        # ---- build the byte-popcount table used for parity ----
+        la   s6, pctable
+        li   t0, 0
+tbl_loop:
+        mv   t1, t0
+        li   t2, 0
+tbl_bits:
+        beqz t1, tbl_store
+        andi t3, t1, 1
+        add  t2, t2, t3
+        srl  t1, t1, 1
+        b    tbl_bits
+tbl_store:
+        add  t4, s6, t0
+        sb   t2, 0(t4)
+        addi t0, t0, 1
+        li   t5, 256
+        blt  t0, t5, tbl_loop
+
+        li   s7, 0              # s7 = pass
+pass_loop:
+        li   s4, 0              # s4 = bad count
+        mv   s5, s7             # s5 = checksum = pass
+        li   s3, 0              # s3 = accepted count
+        li   s0, 0              # s0 = index
+word_loop:
+        sll  t0, s0, 2
+        la   t1, words
+        add  t1, t1, t0
+        lw   s1, 0(t1)          # s1 = codeword
+
+        # ---- BCH remainder of the upper 31 bits ----
+        srl  t0, s1, 1          # t0 = r
+        li   t1, 30             # t1 = i
+bch_loop:
+        srlv t2, t0, t1
+        andi t2, t2, 1
+        beqz t2, bch_next
+        li   t3, GENERATOR
+        addi t4, t1, -10
+        sllv t3, t3, t4
+        xor  t0, t0, t3
+bch_next:
+        addi t1, t1, -1
+        li   t5, 10
+        bge  t1, t5, bch_loop
+
+        # ---- table-driven even parity over all 32 bits ----
+        andi t2, s1, 0xff
+        add  t2, s6, t2
+        lbu  t3, 0(t2)
+        srl  t2, s1, 8
+        andi t2, t2, 0xff
+        add  t2, s6, t2
+        lbu  t4, 0(t2)
+        add  t3, t3, t4
+        srl  t2, s1, 16
+        andi t2, t2, 0xff
+        add  t2, s6, t2
+        lbu  t4, 0(t2)
+        add  t3, t3, t4
+        srl  t2, s1, 24
+        add  t2, s6, t2
+        lbu  t4, 0(t2)
+        add  t3, t3, t4
+        andi t3, t3, 1          # t3 = parity
+
+        or   t4, t0, t3         # non-zero => corrupted
+        beqz t4, accept
+        addi s4, s4, 1
+        b    tally
+accept:
+        li   t5, 37
+        mul  s5, s5, t5
+        srl  t6, s1, 11
+        add  s5, s5, t6
+        # store the accepted payload into the message buffer
+        sll  t7, s3, 2
+        la   t8, msgbuf
+        add  t8, t8, t7
+        sw   t6, 0(t8)
+        addi s3, s3, 1
+tally:
+        andi t5, s0, 63
+        li   t6, 63
+        bne  t5, t6, no_emit
+        outw s5
+        outw s4
+no_emit:
+        addi s0, s0, 1
+        li   t5, CODEWORDS
+        blt  s0, t5, word_loop
+        outw s3
+        addi s7, s7, 1
+        li   t5, PASSES
+        blt  s7, t5, pass_loop
+        halt
+
+        .data
+pctable: .space 256
+msgbuf:  .space )" + std::to_string(kCodewords * 4) + R"(
+        .align 2
+)" + WordArray("words", words);
+  return workload;
+}
+
+}  // namespace ces::workloads::detail

@@ -1,0 +1,167 @@
+// qurt: quadratic-equation root finder over coefficient triples using an
+// integer Newton square root — the all-integer arithmetic kernel of the
+// PowerStone qurt benchmark.
+#include "workloads/builder.hpp"
+#include "workloads/workloads.hpp"
+
+#include "support/rng.hpp"
+
+namespace ces::workloads::detail {
+namespace {
+
+constexpr std::uint32_t kTriples = 512;
+constexpr std::uint64_t kSeed = 0x9047;
+
+struct Triple {
+  std::int32_t a, b, c;
+};
+
+std::vector<Triple> MakeTriples() {
+  Rng rng(kSeed);
+  std::vector<Triple> triples;
+  triples.reserve(kTriples);
+  for (std::uint32_t i = 0; i < kTriples; ++i) {
+    Triple t;
+    t.a = static_cast<std::int32_t>(1 + rng.NextBounded(20));
+    t.b = static_cast<std::int32_t>(rng.NextBounded(201)) - 100;
+    t.c = static_cast<std::int32_t>(rng.NextBounded(201)) - 100;
+    triples.push_back(t);
+  }
+  return triples;
+}
+
+// Newton integer sqrt, matching the assembly loop exactly (d >= 1).
+std::uint32_t Isqrt(std::uint32_t d) {
+  std::uint32_t x = d;
+  std::uint32_t y = (x + 1) / 2;
+  while (y < x) {
+    x = y;
+    y = (x + d / x) / 2;
+  }
+  return x;
+}
+
+std::vector<std::uint8_t> Golden(const std::vector<Triple>& triples,
+                                 std::uint32_t passes) {
+  std::vector<std::uint8_t> out;
+  for (std::uint32_t pass = 0; pass < passes; ++pass) {
+    std::uint32_t checksum = pass;
+    std::uint32_t imaginary = 0;
+    for (std::uint32_t i = 0; i < kTriples; ++i) {
+      const Triple& t = triples[i];
+      const std::int32_t disc = t.b * t.b - 4 * t.a * t.c;
+      if (disc < 0) {
+        ++imaginary;
+      } else {
+        const auto s =
+            static_cast<std::int32_t>(disc == 0 ? 0
+                                                : Isqrt(static_cast<std::uint32_t>(disc)));
+        const std::int32_t r1 = (-t.b + s) / (2 * t.a);
+        const std::int32_t r2 = (-t.b - s) / (2 * t.a);
+        checksum = checksum * 31 + static_cast<std::uint32_t>(r1);
+        checksum = checksum * 31 + static_cast<std::uint32_t>(r2);
+      }
+      if ((i & 63) == 63) {
+        AppendWord(out, checksum);
+        AppendWord(out, imaginary);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Workload MakeQurt(Scale scale) {
+  const std::uint32_t passes = BySize<std::uint32_t>(scale, 1, 4, 10);
+  const std::vector<Triple> triples = MakeTriples();
+  std::vector<std::uint32_t> flat;
+  flat.reserve(triples.size() * 3);
+  for (const Triple& t : triples) {
+    flat.push_back(static_cast<std::uint32_t>(t.a));
+    flat.push_back(static_cast<std::uint32_t>(t.b));
+    flat.push_back(static_cast<std::uint32_t>(t.c));
+  }
+
+  Workload workload;
+  workload.name = "qurt";
+  workload.description = "quadratic roots via integer Newton sqrt";
+  workload.expected_output = Golden(triples, passes);
+  workload.assembly = R"(
+        .equ TRIPLES, )" + std::to_string(kTriples) + R"(
+        .equ PASSES, )" + std::to_string(passes) + R"(
+
+        .text
+main:
+        li   s7, 0              # s7 = pass
+pass_loop:
+        mv   s5, s7             # s5 = checksum = pass
+        li   s4, 0              # s4 = imaginary count
+        li   s0, 0              # s0 = triple index
+triple_loop:
+        # load a, b, c
+        li   t0, 12
+        mul  t0, s0, t0
+        la   t1, triples
+        add  t1, t1, t0
+        lw   s1, 0(t1)          # s1 = a
+        lw   s2, 4(t1)          # s2 = b
+        lw   s3, 8(t1)          # s3 = c
+        # disc = b*b - 4*a*c
+        mul  t2, s2, s2
+        mul  t3, s1, s3
+        sll  t3, t3, 2
+        sub  t2, t2, t3         # t2 = disc
+        bge  t2, zero, real_roots
+        addi s4, s4, 1
+        b    tally
+real_roots:
+        # s = isqrt(disc) by Newton iteration (s = 0 when disc == 0)
+        li   t6, 0
+        beqz t2, have_sqrt
+        mv   t4, t2             # t4 = x
+        addi t5, t2, 1
+        srl  t5, t5, 1          # t5 = y = (d+1)/2
+newton:
+        bgeu t5, t4, newton_done
+        mv   t4, t5
+        div  t6, t2, t4
+        add  t6, t4, t6
+        srl  t5, t6, 1
+        b    newton
+newton_done:
+        mv   t6, t4             # t6 = s
+have_sqrt:
+        # r1 = (-b + s) / (2a); r2 = (-b - s) / (2a)
+        sll  t7, s1, 1          # t7 = 2a
+        neg  t8, s2
+        add  t9, t8, t6
+        div  t9, t9, t7         # r1
+        li   t0, 31
+        mul  s5, s5, t0
+        add  s5, s5, t9
+        sub  t9, t8, t6
+        div  t9, t9, t7         # r2
+        mul  s5, s5, t0
+        add  s5, s5, t9
+tally:
+        andi t0, s0, 63
+        li   t1, 63
+        bne  t0, t1, no_emit
+        outw s5
+        outw s4
+no_emit:
+        addi s0, s0, 1
+        li   t0, TRIPLES
+        blt  s0, t0, triple_loop
+        addi s7, s7, 1
+        li   t0, PASSES
+        blt  s7, t0, pass_loop
+        halt
+
+        .data
+)" + WordArray("triples", flat);
+  return workload;
+}
+
+}  // namespace ces::workloads::detail

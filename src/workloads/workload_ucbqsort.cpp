@@ -1,0 +1,134 @@
+// ucbqsort: iterative quicksort (Lomuto partition, explicit segment stack)
+// over a pseudo-random word array — the pointer-and-compare reference
+// pattern of the Berkeley qsort kernel PowerStone ships.
+#include <algorithm>
+
+#include "workloads/builder.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ces::workloads::detail {
+namespace {
+
+constexpr std::uint64_t kSeed = 0x4507;
+
+std::vector<std::uint8_t> Golden(std::vector<std::uint32_t> values) {
+  std::sort(values.begin(), values.end());
+  std::vector<std::uint8_t> out;
+  std::uint32_t checksum = 0;
+  for (std::uint32_t value : values) checksum = checksum * 31 + value;
+  AppendWord(out, checksum);
+  AppendWord(out, values.front());
+  AppendWord(out, values[values.size() / 2]);
+  AppendWord(out, values.back());
+  return out;
+}
+
+}  // namespace
+
+Workload MakeUcbqsort(Scale scale) {
+  const std::uint32_t elements = BySize<std::uint32_t>(scale, 512, 2048, 8192);
+  const std::vector<std::uint32_t> values =
+      RandomWords(kSeed, elements, 100000);
+
+  Workload workload;
+  workload.name = "ucbqsort";
+  workload.description = "iterative quicksort with an explicit segment stack";
+  workload.expected_output = Golden(values);
+  workload.assembly = R"(
+        .equ COUNT, )" + std::to_string(elements) + R"(
+
+        .text
+main:
+        # ---- push the initial segment [0, COUNT-1] ----
+        la   s0, segstack       # s0 = stack pointer (grows upward)
+        sw   zero, 0(s0)
+        li   t0, COUNT
+        addi t0, t0, -1
+        sw   t0, 4(s0)
+        addi s0, s0, 8
+
+        la   s1, array          # s1 = array base
+seg_loop:
+        la   t0, segstack
+        beq  s0, t0, sorted     # stack empty
+        addi s0, s0, -8
+        lw   s2, 0(s0)          # s2 = lo
+        lw   s3, 4(s0)          # s3 = hi
+part_loop:
+        bge  s2, s3, seg_loop   # segment of length <= 1
+
+        # ---- Lomuto partition with arr[hi] as pivot ----
+        sll  t0, s3, 2
+        add  t0, s1, t0
+        lw   t1, 0(t0)          # t1 = pivot
+        addi t2, s2, -1         # t2 = i
+        mv   t3, s2             # t3 = j
+scan:
+        sll  t4, t3, 2
+        add  t4, s1, t4
+        lw   t5, 0(t4)
+        bgeu t5, t1, no_swap    # proceed when arr[j] < pivot (unsigned)
+        addi t2, t2, 1
+        sll  t6, t2, 2
+        add  t6, s1, t6
+        lw   t7, 0(t6)
+        sw   t5, 0(t6)          # swap arr[i] <-> arr[j]
+        sw   t7, 0(t4)
+no_swap:
+        addi t3, t3, 1
+        blt  t3, s3, scan
+        # place the pivot at p = i + 1
+        addi t2, t2, 1
+        sll  t4, t2, 2
+        add  t4, s1, t4
+        lw   t5, 0(t4)
+        sw   t5, 0(t0)
+        sw   t1, 0(t4)          # t2 = p
+
+        # ---- push the right segment [p+1, hi], keep left inline ----
+        addi t6, t2, 1
+        sw   t6, 0(s0)
+        sw   s3, 4(s0)
+        addi s0, s0, 8
+        addi s3, t2, -1         # hi = p - 1, continue with the left part
+        b    part_loop
+
+sorted:
+        # ---- checksum + probes ----
+        li   t0, 0              # index
+        li   t1, 0              # checksum
+        li   t2, 31
+cks_loop:
+        sll  t3, t0, 2
+        add  t3, s1, t3
+        lw   t4, 0(t3)
+        mul  t1, t1, t2
+        add  t1, t1, t4
+        addi t0, t0, 1
+        li   t5, COUNT
+        blt  t0, t5, cks_loop
+        outw t1
+        lw   t4, 0(s1)
+        outw t4
+        li   t0, COUNT
+        srl  t0, t0, 1
+        sll  t0, t0, 2
+        add  t0, s1, t0
+        lw   t4, 0(t0)
+        outw t4
+        li   t0, COUNT
+        addi t0, t0, -1
+        sll  t0, t0, 2
+        add  t0, s1, t0
+        lw   t4, 0(t0)
+        outw t4
+        halt
+
+        .data
+segstack: .space )" + std::to_string(elements * 8) + R"(  # one pair per element bounds the path
+        .align 2
+)" + WordArray("array", values);
+  return workload;
+}
+
+}  // namespace ces::workloads::detail

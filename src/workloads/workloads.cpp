@@ -1,0 +1,60 @@
+#include "workloads/workloads.hpp"
+
+#include <array>
+
+#include "isa/assembler.hpp"
+#include "support/check.hpp"
+
+namespace ces::workloads {
+
+const char* ToString(Scale scale) {
+  switch (scale) {
+    case Scale::kSmall: return "small";
+    case Scale::kDefault: return "default";
+    case Scale::kLarge: return "large";
+  }
+  return "?";
+}
+
+const std::vector<Workload>& AllWorkloads(Scale scale) {
+  static std::array<std::vector<Workload>, 3> cache;
+  auto& workloads = cache[static_cast<std::size_t>(scale)];
+  if (workloads.empty()) {
+    using namespace detail;
+    workloads.push_back(MakeAdpcm(scale));
+    workloads.push_back(MakeBcnt(scale));
+    workloads.push_back(MakeBlit(scale));
+    workloads.push_back(MakeCompress(scale));
+    workloads.push_back(MakeCrc(scale));
+    workloads.push_back(MakeDes(scale));
+    workloads.push_back(MakeEngine(scale));
+    workloads.push_back(MakeFir(scale));
+    workloads.push_back(MakeG3fax(scale));
+    workloads.push_back(MakePocsag(scale));
+    workloads.push_back(MakeQurt(scale));
+    workloads.push_back(MakeUcbqsort(scale));
+    CES_CHECK(workloads.size() == 12);
+  }
+  return workloads;
+}
+
+const Workload* FindWorkload(const std::string& name, Scale scale) {
+  for (const Workload& workload : AllWorkloads(scale)) {
+    if (workload.name == name) return &workload;
+  }
+  return nullptr;
+}
+
+WorkloadRun Run(const Workload& workload) {
+  const isa::Program program = isa::Assemble(workload.assembly);
+  sim::RunResult result = sim::RunProgram(program, workload.name);
+  WorkloadRun run;
+  run.stop = result.stop;
+  run.output_matches = result.output == workload.expected_output;
+  run.instruction_trace = std::move(result.instruction_trace);
+  run.data_trace = std::move(result.data_trace);
+  run.retired = result.retired;
+  return run;
+}
+
+}  // namespace ces::workloads

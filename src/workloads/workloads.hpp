@@ -1,0 +1,90 @@
+// PowerStone-like benchmark workloads.
+//
+// The paper's experiments run 12 PowerStone applications (adpcm, bcnt, blit,
+// compress, crc, des, engine, fir, g3fax, pocsag, qurt, ucbqsort) on an
+// instrumented MIPS R3000 simulator. PowerStone itself is not
+// redistributable, so this module provides 12 workloads with the same names
+// and the same algorithmic content, written in MR32 assembly and executed on
+// the repository's CPU simulator (see DESIGN.md, "Substitutions").
+//
+// Every workload carries a C++ golden model producing the exact byte stream
+// the assembly emits through outb/outw; the test suite runs both and
+// compares, so the traces fed to the cache experiments come from verified
+// computations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cpu.hpp"
+#include "trace/trace.hpp"
+
+namespace ces::workloads {
+
+struct Workload {
+  std::string name;
+  std::string description;
+  std::string assembly;                       // MR32 source
+  std::vector<std::uint8_t> expected_output;  // golden model's byte stream
+};
+
+// Input-size / iteration-count scaling. kDefault matches the pinned
+// statistics in tests/workload_stats_test.cpp and all recorded experiments;
+// kSmall is for quick smoke runs, kLarge stretches the Figure 4 x-axis.
+enum class Scale : std::uint8_t {
+  kSmall = 0,
+  kDefault = 1,
+  kLarge = 2,
+};
+
+const char* ToString(Scale scale);
+
+// The 12 benchmarks, in the paper's order, built once per scale.
+const std::vector<Workload>& AllWorkloads(Scale scale = Scale::kDefault);
+
+// nullptr when the name is unknown.
+const Workload* FindWorkload(const std::string& name,
+                             Scale scale = Scale::kDefault);
+
+struct WorkloadRun {
+  sim::StopReason stop = sim::StopReason::kHalted;
+  bool output_matches = false;  // CPU output == golden model output
+  trace::Trace instruction_trace;
+  trace::Trace data_trace;
+  std::uint64_t retired = 0;
+};
+
+// Assembles, runs, verifies the output and returns the traces.
+WorkloadRun Run(const Workload& workload);
+
+}  // namespace ces::workloads
+
+namespace ces::workloads::detail {
+
+// One factory per benchmark (defined in workload_<name>.cpp).
+Workload MakeAdpcm(Scale scale);
+Workload MakeBcnt(Scale scale);
+Workload MakeBlit(Scale scale);
+Workload MakeCompress(Scale scale);
+Workload MakeCrc(Scale scale);
+Workload MakeDes(Scale scale);
+Workload MakeEngine(Scale scale);
+Workload MakeFir(Scale scale);
+Workload MakeG3fax(Scale scale);
+Workload MakePocsag(Scale scale);
+Workload MakeQurt(Scale scale);
+Workload MakeUcbqsort(Scale scale);
+
+// Convenience selector: value for (small, default, large).
+template <typename T>
+T BySize(Scale scale, T small, T normal, T large) {
+  switch (scale) {
+    case Scale::kSmall: return small;
+    case Scale::kLarge: return large;
+    case Scale::kDefault: break;
+  }
+  return normal;
+}
+
+}  // namespace ces::workloads::detail

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "bus/activity.hpp"
+#include "bus/encoding.hpp"
+#include "support/rng.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+using namespace ces::bus;
+
+TEST(GrayCode, RoundTripsAndSingleSteps) {
+  for (std::uint32_t v = 0; v < 1024; ++v) {
+    EXPECT_EQ(GrayToBinary(BinaryToGray(v)), v);
+    // Consecutive values differ in exactly one gray bit.
+    const std::uint32_t diff = BinaryToGray(v) ^ BinaryToGray(v + 1);
+    EXPECT_EQ(std::popcount(diff), 1) << v;
+  }
+  EXPECT_EQ(GrayToBinary(BinaryToGray(0xdeadbeef)), 0xdeadbeefu);
+}
+
+TEST(BusEncoderTest, BinaryCountsHammingDistances) {
+  BusEncoder encoder(Encoding::kBinary);
+  EXPECT_EQ(encoder.Send(0b0000), 0u);  // first word: lines settle, free
+  EXPECT_EQ(encoder.Send(0b1010), 2u);
+  EXPECT_EQ(encoder.Send(0b1010), 0u);
+  EXPECT_EQ(encoder.Send(0b0101), 4u);
+  EXPECT_EQ(encoder.total_transitions(), 6u);
+  EXPECT_EQ(encoder.words_sent(), 4u);
+  EXPECT_DOUBLE_EQ(encoder.AverageTransitions(), 1.5);
+}
+
+TEST(BusEncoderTest, GrayMakesSequentialCostOne) {
+  BusEncoder binary(Encoding::kBinary);
+  BusEncoder gray(Encoding::kGray);
+  for (std::uint32_t a = 0; a < 64; ++a) {
+    binary.Send(a);
+    const std::uint32_t toggles = gray.Send(a);
+    if (a > 0) EXPECT_EQ(toggles, 1u) << a;
+  }
+  // Binary pays the carry ripple (e.g. 7->8 toggles 4 lines).
+  EXPECT_GT(binary.total_transitions(), gray.total_transitions());
+  EXPECT_EQ(gray.total_transitions(), 63u);
+}
+
+TEST(BusEncoderTest, T0MakesSequentialFree) {
+  BusEncoder t0(Encoding::kT0);
+  t0.Send(100);
+  std::uint64_t run_cost = 0;
+  for (std::uint32_t a = 101; a < 132; ++a) run_cost += t0.Send(a);
+  // One INC-line toggle to enter the run, nothing after.
+  EXPECT_EQ(run_cost, 1u);
+  // Leaving the run costs the INC toggle plus the new address.
+  const std::uint32_t exit_cost = t0.Send(0x5555);
+  EXPECT_GE(exit_cost, 2u);
+}
+
+TEST(BusEncoderTest, BusInvertNeverTogglesMoreThanHalfPlusOne) {
+  ces::Rng rng(5);
+  BusEncoder encoder(Encoding::kBusInvert, 16);
+  for (int i = 0; i < 5000; ++i) {
+    const auto addr = static_cast<std::uint32_t>(rng.NextBounded(1u << 16));
+    EXPECT_LE(encoder.Send(addr), 16u / 2 + 1) << i;
+  }
+}
+
+TEST(BusEncoderTest, BusInvertBeatsBinaryOnRandomTraffic) {
+  ces::Rng rng(6);
+  BusEncoder binary(Encoding::kBinary, 16);
+  BusEncoder invert(Encoding::kBusInvert, 16);
+  for (int i = 0; i < 20000; ++i) {
+    const auto addr = static_cast<std::uint32_t>(rng.NextBounded(1u << 16));
+    binary.Send(addr);
+    invert.Send(addr);
+  }
+  EXPECT_LT(invert.total_transitions(), binary.total_transitions());
+}
+
+TEST(BusEncoderTest, WidthMasksHighBits) {
+  BusEncoder encoder(Encoding::kBinary, 8);
+  encoder.Send(0x000000ff);
+  // Only the low 8 lines exist; the high bits of the next address are cut.
+  EXPECT_EQ(encoder.Send(0xffffff00), 8u);
+}
+
+TEST(ActivityReportTest, InstructionTracesFavourT0AndGray) {
+  // An instruction-fetch-like trace: long sequential runs.
+  const ces::trace::Trace trace = ces::trace::SequentialLoop(0x4000, 256, 20);
+  const auto reports = AnalyzeBusActivity(trace, 16);
+  ASSERT_EQ(reports.size(), 4u);
+  EXPECT_EQ(reports[0].encoding, Encoding::kBinary);
+  EXPECT_DOUBLE_EQ(reports[0].savings_vs_binary, 0.0);
+  const auto& gray = reports[1];
+  const auto& t0 = reports[2];
+  EXPECT_GT(gray.savings_vs_binary, 0.4);  // ~1 toggle vs ~2 average
+  EXPECT_GT(t0.savings_vs_binary, 0.9);    // sequential fetch is nearly free
+}
+
+TEST(ActivityReportTest, SavingsAreConsistentWithTransitionCounts) {
+  ces::Rng rng(7);
+  const ces::trace::Trace trace = ces::trace::RandomWorkingSet(rng, 512, 4000);
+  const auto reports = AnalyzeBusActivity(trace, 20);
+  for (const auto& report : reports) {
+    EXPECT_NEAR(report.savings_vs_binary,
+                1.0 - static_cast<double>(report.transitions) /
+                          static_cast<double>(reports[0].transitions),
+                1e-12);
+    EXPECT_NEAR(report.average_per_word,
+                static_cast<double>(report.transitions) /
+                    static_cast<double>(trace.size()),
+                1e-12);
+  }
+}
+
+}  // namespace

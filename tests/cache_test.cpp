@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+#include "cache/sim.hpp"
+#include "cache/sweep.hpp"
+#include "trace/strip.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+using namespace ces::cache;
+using ces::trace::Trace;
+
+CacheConfig Make(std::uint32_t depth, std::uint32_t assoc,
+                 ReplacementPolicy policy = ReplacementPolicy::kLru,
+                 std::uint32_t line_words = 1) {
+  CacheConfig config;
+  config.depth = depth;
+  config.assoc = assoc;
+  config.line_words = line_words;
+  config.replacement = policy;
+  return config;
+}
+
+TEST(CacheConfigTest, Validity) {
+  EXPECT_TRUE(Make(1, 1).IsValid());
+  EXPECT_TRUE(Make(64, 3).IsValid());  // non-power-of-two assoc is fine (LRU)
+  EXPECT_FALSE(Make(3, 1).IsValid());  // depth must be a power of two
+  EXPECT_FALSE(Make(4, 0).IsValid());
+  EXPECT_FALSE(Make(4, 3, ReplacementPolicy::kPlru).IsValid());
+  EXPECT_TRUE(Make(4, 4, ReplacementPolicy::kPlru).IsValid());
+  EXPECT_EQ(Make(16, 2, ReplacementPolicy::kLru, 4).size_words(), 128u);
+  EXPECT_EQ(Make(16, 2).index_bits(), 4u);
+}
+
+TEST(CacheTest, ColdMissesThenHits) {
+  Cache cache(Make(4, 2));
+  EXPECT_EQ(cache.Access(0), AccessOutcome::kColdMiss);
+  EXPECT_EQ(cache.Access(0), AccessOutcome::kHit);
+  EXPECT_EQ(cache.Access(1), AccessOutcome::kColdMiss);
+  EXPECT_EQ(cache.Access(0), AccessOutcome::kHit);
+  EXPECT_EQ(cache.stats().accesses, 4u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().cold_misses, 2u);
+  EXPECT_EQ(cache.stats().warm_misses(), 0u);
+}
+
+TEST(CacheTest, DirectMappedConflicts) {
+  // Addresses 0 and 4 map to the same set in a depth-4 direct-mapped cache.
+  Cache cache(Make(4, 1));
+  cache.Access(0);
+  cache.Access(4);
+  EXPECT_EQ(cache.Access(0), AccessOutcome::kConflictMiss);
+  EXPECT_EQ(cache.Access(4), AccessOutcome::kConflictMiss);
+  EXPECT_EQ(cache.stats().evictions, 3u);
+}
+
+TEST(CacheTest, TwoWayLruKeepsBothConflicting) {
+  Cache cache(Make(4, 2));
+  cache.Access(0);
+  cache.Access(4);
+  EXPECT_EQ(cache.Access(0), AccessOutcome::kHit);
+  EXPECT_EQ(cache.Access(4), AccessOutcome::kHit);
+  // A third conflicting line evicts the LRU one (0 was touched before 4...
+  // after the hits above, 4 is MRU, so 0 is the victim).
+  cache.Access(8);
+  EXPECT_EQ(cache.Access(4), AccessOutcome::kHit);
+  EXPECT_EQ(cache.Access(0), AccessOutcome::kConflictMiss);
+}
+
+TEST(CacheTest, LruEvictionOrderExact) {
+  Cache cache(Make(1, 3));
+  cache.Access(10);
+  cache.Access(20);
+  cache.Access(30);
+  cache.Access(10);  // order now: 10, 30, 20 (MRU first)
+  cache.Access(40);  // evicts 20
+  EXPECT_EQ(cache.Access(10), AccessOutcome::kHit);
+  EXPECT_EQ(cache.Access(30), AccessOutcome::kHit);
+  EXPECT_EQ(cache.Access(40), AccessOutcome::kHit);
+  EXPECT_EQ(cache.Access(20), AccessOutcome::kConflictMiss);
+}
+
+TEST(CacheTest, FifoIgnoresHits) {
+  Cache cache(Make(1, 2, ReplacementPolicy::kFifo));
+  cache.Access(1);
+  cache.Access(2);
+  cache.Access(1);  // hit; FIFO order unchanged: 1 is still oldest
+  cache.Access(3);  // evicts 1
+  EXPECT_EQ(cache.Access(2), AccessOutcome::kHit);
+  EXPECT_EQ(cache.Access(1), AccessOutcome::kConflictMiss);
+}
+
+TEST(CacheTest, LruVsFifoDiffer) {
+  // Same pattern as above under LRU keeps 1 (it was freshened).
+  Cache cache(Make(1, 2, ReplacementPolicy::kLru));
+  cache.Access(1);
+  cache.Access(2);
+  cache.Access(1);
+  cache.Access(3);  // evicts 2
+  EXPECT_EQ(cache.Access(1), AccessOutcome::kHit);
+}
+
+TEST(CacheTest, PlruCoversAllWays) {
+  Cache cache(Make(1, 4, ReplacementPolicy::kPlru));
+  for (std::uint32_t a = 0; a < 4; ++a) cache.Access(a);
+  for (std::uint32_t a = 0; a < 4; ++a) {
+    EXPECT_EQ(cache.Access(a), AccessOutcome::kHit) << a;
+  }
+}
+
+TEST(CacheTest, RandomPolicyIsDeterministicPerConstruction) {
+  const Trace trace = ces::trace::StridedSweep(0, 8, 64, 50);
+  const CacheStats a = SimulateTrace(trace, Make(8, 2, ReplacementPolicy::kRandom));
+  const CacheStats b = SimulateTrace(trace, Make(8, 2, ReplacementPolicy::kRandom));
+  EXPECT_EQ(a.misses, b.misses);
+}
+
+TEST(CacheTest, WritebacksOnlyForDirtyEvictions) {
+  Cache cache(Make(1, 1));
+  cache.Access(0, /*is_write=*/true);
+  cache.Access(1);  // evicts dirty line 0
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+  cache.Access(2);  // evicts clean line 1
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(CacheTest, LineSizeExploitsSpatialLocality) {
+  Trace trace;
+  for (std::uint32_t i = 0; i < 64; ++i) trace.refs.push_back(i);
+  const CacheStats one_word = SimulateTrace(trace, Make(16, 1, ReplacementPolicy::kLru, 1));
+  const CacheStats four_word = SimulateTrace(trace, Make(16, 1, ReplacementPolicy::kLru, 4));
+  EXPECT_EQ(one_word.misses, 64u);
+  EXPECT_EQ(four_word.misses, 16u);  // one per line
+  EXPECT_EQ(four_word.hits, 48u);
+}
+
+TEST(CacheTest, ResetClearsEverything) {
+  Cache cache(Make(4, 2));
+  cache.Access(0);
+  cache.Access(1);
+  cache.Reset();
+  EXPECT_EQ(cache.stats().accesses, 0u);
+  EXPECT_EQ(cache.Access(0), AccessOutcome::kColdMiss);
+}
+
+TEST(CacheTest, TwoWayPlruIsExactlyLru) {
+  // With two ways the PLRU tree is a single bit pointing at the least
+  // recently used way, so the policies coincide exactly.
+  ces::Rng rng(42);
+  const Trace trace = ces::trace::RandomWorkingSet(rng, 64, 4000);
+  for (std::uint32_t depth : {1u, 4u, 16u}) {
+    const CacheStats lru =
+        SimulateTrace(trace, Make(depth, 2, ReplacementPolicy::kLru));
+    const CacheStats plru =
+        SimulateTrace(trace, Make(depth, 2, ReplacementPolicy::kPlru));
+    EXPECT_EQ(lru.misses, plru.misses) << depth;
+    EXPECT_EQ(lru.hits, plru.hits) << depth;
+  }
+}
+
+TEST(CacheTest, StatsInvariantsHoldAcrossPolicies) {
+  ces::Rng rng(43);
+  const Trace trace = ces::trace::LocalityMix(rng, 40, 400, 3000);
+  const auto unique = ces::trace::ComputeStats(trace).n_unique;
+  for (ReplacementPolicy policy :
+       {ReplacementPolicy::kLru, ReplacementPolicy::kFifo,
+        ReplacementPolicy::kRandom, ReplacementPolicy::kPlru}) {
+    const CacheStats stats = SimulateTrace(trace, Make(16, 4, policy));
+    EXPECT_EQ(stats.hits + stats.misses, stats.accesses);
+    EXPECT_EQ(stats.accesses, trace.size());
+    EXPECT_EQ(stats.cold_misses, unique);  // every line is touched once cold
+    EXPECT_LE(stats.writebacks, stats.evictions);
+    EXPECT_LE(stats.evictions, stats.misses);
+  }
+}
+
+TEST(CacheTest, EvictionReportsVictimLine) {
+  Cache cache(Make(4, 1));
+  Eviction eviction;
+  cache.Access(3, /*is_write=*/true, &eviction);
+  EXPECT_FALSE(eviction.valid);  // empty way, nothing displaced
+  cache.Access(3 + 4, false, &eviction);  // same set, different tag
+  ASSERT_TRUE(eviction.valid);
+  EXPECT_TRUE(eviction.dirty);
+  EXPECT_EQ(eviction.addr, 3u);
+  cache.Access(3 + 8, false, &eviction);
+  ASSERT_TRUE(eviction.valid);
+  EXPECT_FALSE(eviction.dirty);
+  EXPECT_EQ(eviction.addr, 7u);
+}
+
+TEST(SimulateTraceTest, DepthOneMatchesMaxMissStatistic) {
+  ces::Rng rng(21);
+  const Trace trace = ces::trace::RandomWorkingSet(rng, 64, 5000);
+  const auto stats = ces::trace::ComputeStats(trace);
+  EXPECT_EQ(WarmMisses(trace, 1, 1), stats.max_misses);
+}
+
+TEST(SweepTest, ExhaustiveSweepStopsAtZero) {
+  const Trace trace = ces::trace::SequentialLoop(0, 16, 10);
+  const auto points = ExhaustiveSweep(trace, 2, 32);
+  // For every depth the last point must be the first zero-warm-miss assoc.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i + 1 == points.size() || points[i + 1].depth != points[i].depth) {
+      EXPECT_EQ(points[i].stats.warm_misses(), 0u) << "depth " << points[i].depth;
+    } else {
+      EXPECT_GT(points[i].stats.warm_misses(), 0u);
+    }
+  }
+}
+
+TEST(SweepTest, IterativeSearchFindsMinimalAssoc) {
+  const Trace trace = ces::trace::StridedSweep(0, 16, 6, 20);  // 6-way conflict
+  const IterativeResult result = IterativeSearch(trace, 16, 0, 16);
+  EXPECT_EQ(result.assoc, 6u);
+  EXPECT_EQ(result.warm_misses, 0u);
+  // One fewer way must violate the budget.
+  EXPECT_GT(WarmMisses(trace, 16, 5), 0u);
+}
+
+}  // namespace

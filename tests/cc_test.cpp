@@ -1,0 +1,324 @@
+// MiniC compiler tests: lexer/parser units, then compile-and-run end-to-end
+// checks on the MR32 simulator (the compiler's output is real assembled
+// machine code; `out(x)` writes little-endian words we compare against).
+#include <gtest/gtest.h>
+
+#include "cc/compiler.hpp"
+#include "sim/cpu.hpp"
+
+namespace {
+
+using namespace ces::cc;
+
+// Compiles, runs, and returns the sequence of out() words.
+std::vector<std::uint32_t> RunMiniC(const std::string& source) {
+  const ces::isa::Program program = CompileToProgram(source);
+  ces::sim::Cpu cpu(program);
+  EXPECT_EQ(cpu.Run(50'000'000), ces::sim::StopReason::kHalted);
+  const auto& bytes = cpu.output();
+  EXPECT_EQ(bytes.size() % 4, 0u);
+  std::vector<std::uint32_t> words;
+  for (std::size_t i = 0; i + 3 < bytes.size(); i += 4) {
+    words.push_back(static_cast<std::uint32_t>(bytes[i]) |
+                    (static_cast<std::uint32_t>(bytes[i + 1]) << 8) |
+                    (static_cast<std::uint32_t>(bytes[i + 2]) << 16) |
+                    (static_cast<std::uint32_t>(bytes[i + 3]) << 24));
+  }
+  return words;
+}
+
+// ---- lexer ------------------------------------------------------------
+
+TEST(Lexer, TokenisesEverything) {
+  const auto tokens = Lex("int x = 0x10 + 'A'; // comment\nif (x<=2) {}");
+  ASSERT_GE(tokens.size(), 12u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ(tokens[0].text, "int");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[3].value, 16);
+  EXPECT_EQ(tokens[5].value, 'A');
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, TracksLinesAndComments) {
+  const auto tokens = Lex("int a;\n/* multi\nline */ int b;");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[3].line, 3);  // `int` after the comment
+}
+
+TEST(Lexer, RejectsBadInput) {
+  EXPECT_THROW(Lex("int a @ b;"), CompileError);
+  EXPECT_THROW(Lex("/* never closed"), CompileError);
+  EXPECT_THROW(Lex("'ab'"), CompileError);
+}
+
+// ---- parser ------------------------------------------------------------
+
+TEST(Parser, BuildsFunctionsAndGlobals) {
+  const Program program = Parse(Lex(R"(
+    int g = -7;
+    int table[16];
+    int add(int a, int b) { return a + b; }
+    int main() { return 0; }
+  )"));
+  ASSERT_EQ(program.globals.size(), 2u);
+  EXPECT_EQ(program.globals[0].initial, -7);
+  EXPECT_EQ(program.globals[1].array_size, 16);
+  ASSERT_EQ(program.functions.size(), 2u);
+  EXPECT_EQ(program.functions[0].params.size(), 2u);
+}
+
+TEST(Parser, PrecedenceShapesTheTree) {
+  const Program program = Parse(Lex("int main() { return 1 + 2 * 3; }"));
+  const Stmt& ret = *program.functions[0].body->body[0];
+  ASSERT_EQ(ret.kind, StmtKind::kReturn);
+  EXPECT_EQ(ret.expr->op, "+");          // * binds tighter
+  EXPECT_EQ(ret.expr->rhs->op, "*");
+}
+
+TEST(Parser, Diagnostics) {
+  EXPECT_THROW(Parse(Lex("int main() { return 1 }")), CompileError);   // ;
+  EXPECT_THROW(Parse(Lex("int main() { 1 = 2; }")), CompileError);     // lvalue
+  EXPECT_THROW(Parse(Lex("int f(int a, int b, int c, int d, int e){}")),
+               CompileError);                                          // arity
+  EXPECT_THROW(Parse(Lex("int a[0];")), CompileError);                 // size
+  EXPECT_THROW(Parse(Lex("int main() {")), CompileError);              // block
+}
+
+// ---- end-to-end -----------------------------------------------------------
+
+TEST(MiniC, ArithmeticAndPrecedence) {
+  EXPECT_EQ(RunMiniC("int main() { out(6 * 7); return 0; }"),
+            (std::vector<std::uint32_t>{42}));
+  EXPECT_EQ(RunMiniC(R"(int main() {
+    out(2 + 3 * 4);
+    out((2 + 3) * 4);
+    out(100 / 7);
+    out(100 % 7);
+    out(1 << 10);
+    out(-24 >> 2);
+    out(0xF0 | 0x0F);
+    out(0xFF & 0x3C);
+    out(0xFF ^ 0x0F);
+    return 0;
+  })"),
+            (std::vector<std::uint32_t>{14, 20, 14, 2, 1024,
+                                        static_cast<std::uint32_t>(-6), 0xFF,
+                                        0x3C, 0xF0}));
+}
+
+TEST(MiniC, ComparisonsAndLogic) {
+  EXPECT_EQ(RunMiniC(R"(int main() {
+    out(3 < 5); out(5 < 3); out(3 <= 3); out(4 >= 5);
+    out(7 == 7); out(7 != 7); out(!0); out(!9);
+    out(-1 < 0);               // signed compare
+    out(1 && 2); out(1 && 0); out(0 || 0); out(0 || 5);
+    return 0;
+  })"),
+            (std::vector<std::uint32_t>{1, 0, 1, 0, 1, 0, 1, 0, 1, 1, 0, 0,
+                                        1}));
+}
+
+TEST(MiniC, ShortCircuitSkipsSideEffects) {
+  EXPECT_EQ(RunMiniC(R"(
+    int hits = 0;
+    int bump() { hits = hits + 1; return 1; }
+    int main() {
+      int r = 0 && bump();
+      r = 1 || bump();
+      out(hits);          // bump never ran
+      r = 1 && bump();
+      r = 0 || bump();
+      out(hits);          // bump ran twice
+      return 0;
+    }
+  )"),
+            (std::vector<std::uint32_t>{0, 2}));
+}
+
+TEST(MiniC, ControlFlow) {
+  EXPECT_EQ(RunMiniC(R"(int main() {
+    int sum = 0;
+    int i;
+    for (i = 1; i <= 10; i = i + 1) sum = sum + i;
+    out(sum);
+    while (sum > 40) sum = sum - 7;   // 55 -> 48 -> 41 -> 34
+    out(sum);
+    if (sum == 34) out(1); else out(2);
+    for (i = 0; ; i = i + 1) {
+      if (i == 3) continue;
+      if (i > 5) break;
+      out(i);
+    }
+    return 0;
+  })"),
+            (std::vector<std::uint32_t>{55, 34, 1, 0, 1, 2, 4, 5}));
+}
+
+TEST(MiniC, FunctionsAndRecursion) {
+  EXPECT_EQ(RunMiniC(R"(
+    int fib(int n) {
+      if (n < 2) return n;
+      return fib(n - 1) + fib(n - 2);
+    }
+    int gcd(int a, int b) {
+      while (b != 0) { int t = a % b; a = b; b = t; }
+      return a;
+    }
+    int main() {
+      out(fib(15));
+      out(gcd(462, 1071));
+      return 0;
+    }
+  )"),
+            (std::vector<std::uint32_t>{610, 21}));
+}
+
+TEST(MiniC, GlobalsAndArrays) {
+  EXPECT_EQ(RunMiniC(R"(
+    int counter = 5;
+    int table[8];
+    int main() {
+      int i;
+      for (i = 0; i < 8; i = i + 1) table[i] = i * i;
+      out(table[7]);
+      counter = counter + table[2];
+      out(counter);
+      int local[4];
+      local[0] = 10; local[1] = 20; local[2] = local[0] + local[1];
+      out(local[2]);
+      table[counter % 8] = 99;
+      out(table[1]);
+      return 0;
+    }
+  )"),
+            (std::vector<std::uint32_t>{49, 9, 30, 99}));
+}
+
+TEST(MiniC, ScopingAndShadowing) {
+  EXPECT_EQ(RunMiniC(R"(int main() {
+    int x = 1;
+    {
+      int x = 2;
+      out(x);
+    }
+    out(x);
+    for (int i = 0; i < 2; i = i + 1) { int x = 7; out(x + i); }
+    out(x);
+    return 0;
+  })"),
+            (std::vector<std::uint32_t>{2, 1, 7, 8, 1}));
+}
+
+TEST(MiniC, GlobalArrayInitialisers) {
+  EXPECT_EQ(RunMiniC(R"(
+    int primes[8] = {2, 3, 5, 7, 11, 13};
+    int offsets[3] = {-4, 0, 4};
+    int main() {
+      out(primes[0] + primes[5]);   // 2 + 13
+      out(primes[6]);               // tail is zero-filled
+      out(offsets[0] + offsets[2]); // -4 + 4
+      return 0;
+    }
+  )"),
+            (std::vector<std::uint32_t>{15, 0, 0}));
+  EXPECT_THROW(CompileToProgram("int a[2] = {1, 2, 3}; int main() {return 0;}"),
+               CompileError);
+}
+
+TEST(MiniC, SemanticDiagnostics) {
+  EXPECT_THROW(CompileToProgram("int main() { return y; }"), CompileError);
+  EXPECT_THROW(CompileToProgram("int main() { frob(1); }"), CompileError);
+  EXPECT_THROW(CompileToProgram(
+                   "int f(int a) { return a; } int main() { return f(); }"),
+               CompileError);
+  EXPECT_THROW(CompileToProgram("int main() { break; }"), CompileError);
+  EXPECT_THROW(CompileToProgram("int f() { return 0; }"), CompileError);
+  EXPECT_THROW(CompileToProgram("int main() { int a; int a; }"),
+               CompileError);
+  EXPECT_THROW(CompileToProgram("int g; int g; int main() { return 0; }"),
+               CompileError);
+  EXPECT_THROW(CompileToProgram("int a[4]; int main() { a = 3; }"),
+               CompileError);
+}
+
+TEST(MiniC, NestedCallsAndEvaluationOrder) {
+  EXPECT_EQ(RunMiniC(R"(
+    int twice(int x) { return x * 2; }
+    int sum3(int a, int b, int c) { return a + b + c; }
+    int main() {
+      out(sum3(twice(1), twice(2), twice(3)));        // 12
+      out(twice(twice(twice(5))));                    // 40
+      out(sum3(1, sum3(2, 3, 4), sum3(5, 6, 7)));     // 28
+      return 0;
+    }
+  )"),
+            (std::vector<std::uint32_t>{12, 40, 28}));
+}
+
+TEST(MiniC, SignedDivisionTruncatesTowardZero) {
+  EXPECT_EQ(RunMiniC(R"(int main() {
+    out((0 - 7) / 2);
+    out((0 - 7) % 3);
+    out(7 / (0 - 2));
+    return 0;
+  })"),
+            (std::vector<std::uint32_t>{static_cast<std::uint32_t>(-3),
+                                        static_cast<std::uint32_t>(-1),
+                                        static_cast<std::uint32_t>(-3)}));
+}
+
+TEST(MiniC, DeepExpressionNestingSurvivesTheOperandStack) {
+  // 16 levels of parenthesised additions exercise push/pop balance.
+  std::string expr = "1";
+  for (int i = 2; i <= 16; ++i) {
+    expr = "(" + expr + " + " + std::to_string(i) + ")";
+  }
+  EXPECT_EQ(RunMiniC("int main() { out(" + expr + "); return 0; }"),
+            (std::vector<std::uint32_t>{136}));
+}
+
+TEST(MiniC, ArrayArgumentsViaGlobals) {
+  // No pointers in MiniC: kernels share data through globals, like the
+  // compiled workloads do.
+  EXPECT_EQ(RunMiniC(R"(
+    int data[5] = {3, 1, 4, 1, 5};
+    int sum(int n) {
+      int total = 0;
+      int i;
+      for (i = 0; i < n; i = i + 1) total = total + data[i];
+      return total;
+    }
+    int main() { out(sum(5)); out(sum(2)); return 0; }
+  )"),
+            (std::vector<std::uint32_t>{14, 4}));
+}
+
+TEST(MiniC, ComputesRealChecksum) {
+  // A MiniC CRC-8 over bytes 0..63 cross-checked against the C++ value.
+  std::uint32_t expected = 0;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    expected ^= i;
+    for (int b = 0; b < 8; ++b) {
+      expected = (expected & 0x80u) ? ((expected << 1) ^ 0x07u) & 0xffu
+                                    : (expected << 1) & 0xffu;
+    }
+  }
+  EXPECT_EQ(RunMiniC(R"(int main() {
+    int crc = 0;
+    int i;
+    for (i = 0; i < 64; i = i + 1) {
+      crc = crc ^ i;
+      int b;
+      for (b = 0; b < 8; b = b + 1) {
+        if (crc & 0x80) crc = ((crc << 1) ^ 0x07) & 0xff;
+        else crc = (crc << 1) & 0xff;
+      }
+    }
+    out(crc);
+    return 0;
+  })"),
+            (std::vector<std::uint32_t>{expected}));
+}
+
+}  // namespace

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "cache/energy.hpp"
+
+namespace {
+
+using namespace ces::cache;
+
+CacheConfig Make(std::uint32_t depth, std::uint32_t assoc) {
+  CacheConfig config;
+  config.depth = depth;
+  config.assoc = assoc;
+  return config;
+}
+
+TEST(EnergyModel, AllOutputsPositive) {
+  const EnergyEstimate estimate = EstimateEnergy(Make(64, 2));
+  EXPECT_GT(estimate.read_energy_nj, 0.0);
+  EXPECT_GT(estimate.leakage_mw, 0.0);
+  EXPECT_GT(estimate.access_time_ns, 0.0);
+  EXPECT_GT(estimate.area_mm2, 0.0);
+}
+
+TEST(EnergyModel, GrowsWithCapacity) {
+  const EnergyEstimate small = EstimateEnergy(Make(64, 1));
+  const EnergyEstimate large = EstimateEnergy(Make(1024, 1));
+  EXPECT_LT(small.read_energy_nj, large.read_energy_nj);
+  EXPECT_LT(small.leakage_mw, large.leakage_mw);
+  EXPECT_LT(small.access_time_ns, large.access_time_ns);
+  EXPECT_LT(small.area_mm2, large.area_mm2);
+}
+
+TEST(EnergyModel, GrowsWithAssociativityAtFixedCapacity) {
+  // Same capacity (256 words), more ways -> more tag compares and muxing.
+  const EnergyEstimate direct = EstimateEnergy(Make(256, 1));
+  const EnergyEstimate four_way = EstimateEnergy(Make(64, 4));
+  EXPECT_LT(direct.read_energy_nj, four_way.read_energy_nj);
+  EXPECT_GT(direct.access_time_ns, four_way.access_time_ns - 1.0);
+}
+
+TEST(EnergyModel, TotalEnergyChargesMisses) {
+  const EnergyEstimate estimate = EstimateEnergy(Make(64, 2));
+  const double no_misses = TotalEnergyNj(estimate, 1000, 0);
+  const double some_misses = TotalEnergyNj(estimate, 1000, 100);
+  EXPECT_GT(some_misses, no_misses);
+  EXPECT_DOUBLE_EQ(some_misses - no_misses, 100 * 10.0);
+}
+
+TEST(EnergyModel, LineSizeEntersCapacity) {
+  CacheConfig wide = Make(64, 1);
+  wide.line_words = 8;
+  EXPECT_GT(EstimateEnergy(wide).area_mm2, EstimateEnergy(Make(64, 1)).area_mm2);
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "explore/pareto.hpp"
+#include "explore/performance.hpp"
+#include "explore/report.hpp"
+#include "explore/strategy.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+using namespace ces::explore;
+using ces::analytic::DesignPoint;
+using ces::trace::Trace;
+
+Trace TestTrace(int seed) {
+  ces::Rng rng(9000 + static_cast<std::uint64_t>(seed));
+  return ces::trace::LocalityMix(rng, 48, 300, 3000);
+}
+
+TEST(Strategies, AllFourAgreeOnTheOptimalSet) {
+  const Trace trace = TestTrace(0);
+  const auto strategies = AllStrategies();
+  ASSERT_EQ(strategies.size(), 4u);
+  for (std::uint64_t k : {0ull, 10ull, 100ull}) {
+    std::vector<std::vector<DesignPoint>> results;
+    for (const auto& strategy : strategies) {
+      StrategyResult result = strategy->Explore(trace, k, 6);
+      results.push_back(std::move(result.points));
+    }
+    for (std::size_t s = 1; s < results.size(); ++s) {
+      ASSERT_EQ(results[s].size(), results[0].size());
+      for (std::size_t i = 0; i < results[0].size(); ++i) {
+        EXPECT_EQ(results[s][i].depth, results[0][i].depth);
+        EXPECT_EQ(results[s][i].assoc, results[0][i].assoc)
+            << strategies[s]->name() << " depth " << results[0][i].depth
+            << " k " << k;
+        EXPECT_EQ(results[s][i].warm_misses, results[0][i].warm_misses);
+      }
+    }
+  }
+}
+
+TEST(Strategies, SimulationCostAccounting) {
+  const Trace trace = TestTrace(1);
+  const ExhaustiveSimulationStrategy exhaustive;
+  const IterativeSimulationStrategy iterative;
+  const StrategyResult a = exhaustive.Explore(trace, 5, 5);
+  const StrategyResult b = iterative.Explore(trace, 5, 5);
+  EXPECT_GT(a.simulated_references, 0u);
+  EXPECT_GT(b.simulated_references, 0u);
+  // Binary search never simulates more than the linear scan.
+  EXPECT_LE(b.simulated_references, a.simulated_references);
+  // The analytical strategy does not simulate at all.
+  const AnalyticalStrategy analytical;
+  EXPECT_EQ(analytical.Explore(trace, 5, 5).simulated_references, 0u);
+}
+
+TEST(Report, OptimalTableHasPaperLayout) {
+  const Trace trace = ces::trace::PaperExampleTrace();
+  const ces::analytic::Explorer explorer(trace);
+  const OptimalTable table = BuildOptimalTable("paper-example", "data",
+                                               explorer);
+  EXPECT_EQ(table.fractions.size(), 4u);
+  EXPECT_EQ(table.budgets.size(), 4u);
+  ASSERT_EQ(table.depths.size(), explorer.profiles().size());
+  ASSERT_EQ(table.assoc.size(), table.depths.size());
+  for (const auto& row : table.assoc) EXPECT_EQ(row.size(), 4u);
+  const std::string rendered = RenderOptimalTable(table);
+  EXPECT_NE(rendered.find("paper-example"), std::string::npos);
+  EXPECT_NE(rendered.find("Depth"), std::string::npos);
+  EXPECT_NE(rendered.find("5%"), std::string::npos);
+  EXPECT_NE(rendered.find("20%"), std::string::npos);
+}
+
+TEST(Report, StatsTableRendersRows) {
+  std::vector<std::pair<std::string, ces::trace::TraceStats>> rows;
+  rows.push_back({"crc", {.n = 12345, .n_unique = 678, .max_misses = 9012}});
+  const std::string rendered = RenderStatsTable(rows, "Data");
+  EXPECT_NE(rendered.find("crc"), std::string::npos);
+  EXPECT_NE(rendered.find("12,345"), std::string::npos);
+  EXPECT_NE(rendered.find("9,012"), std::string::npos);
+}
+
+TEST(Performance, CpiFollowsMissRates) {
+  using ces::explore::EstimatePerformance;
+  // No misses: CPI is the hit cost.
+  const auto ideal = EstimatePerformance(1000, 0, 400, 0);
+  EXPECT_DOUBLE_EQ(ideal.cpi, 1.0);
+  // Every fetch misses: CPI = 1 + penalty.
+  const auto thrash = EstimatePerformance(1000, 1000, 0, 0);
+  EXPECT_DOUBLE_EQ(thrash.cpi, 21.0);
+  // Data misses stall too.
+  const auto data_bound = EstimatePerformance(1000, 0, 400, 100);
+  EXPECT_DOUBLE_EQ(data_bound.cpi, 1.0 + 20.0 * 100 / 1000);
+  // Runtime follows the clock.
+  EXPECT_NEAR(ideal.seconds, 1000.0 / 200e6, 1e-12);
+  // Degenerate input.
+  EXPECT_DOUBLE_EQ(EstimatePerformance(0, 0, 0, 0).cpi, 0.0);
+}
+
+TEST(Performance, MonotoneInMisses) {
+  using ces::explore::EstimatePerformance;
+  double previous = 0.0;
+  for (std::uint64_t misses : {0ull, 10ull, 100ull, 1000ull}) {
+    const double cpi = EstimatePerformance(10000, misses, 3000, misses).cpi;
+    EXPECT_GT(cpi, previous);
+    previous = cpi;
+  }
+}
+
+TEST(Pareto, FrontIsMinimalAndDominating) {
+  std::vector<DesignPoint> points = {
+      {.depth = 1, .assoc = 8, .warm_misses = 10},   // 8 words
+      {.depth = 4, .assoc = 1, .warm_misses = 40},   // 4 words
+      {.depth = 4, .assoc = 2, .warm_misses = 10},   // 8 words, ties first
+      {.depth = 8, .assoc = 1, .warm_misses = 12},   // 8 words, dominated
+      {.depth = 16, .assoc = 1, .warm_misses = 0},   // 16 words
+      {.depth = 32, .assoc = 1, .warm_misses = 0},   // dominated (bigger)
+  };
+  const auto front = ParetoFront(points);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0].size_words(), 4u);
+  EXPECT_EQ(front[1].size_words(), 8u);
+  EXPECT_EQ(front[1].warm_misses, 10u);
+  EXPECT_EQ(front[2].size_words(), 16u);
+}
+
+TEST(Pareto, EnergyRankingPrefersSmallWhenMissesEqual) {
+  std::vector<DesignPoint> points = {
+      {.depth = 256, .assoc = 4, .warm_misses = 5},
+      {.depth = 64, .assoc = 1, .warm_misses = 5},
+  };
+  const auto ranked = RankByEnergy(points, 100000, 50);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].point.depth, 64u);
+  EXPECT_LT(ranked[0].total_energy_nj, ranked[1].total_energy_nj);
+}
+
+}  // namespace

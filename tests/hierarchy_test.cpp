@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hpp"
+#include "isa/assembler.hpp"
+#include "sim/cpu.hpp"
+
+namespace {
+
+using namespace ces::cache;
+using ces::trace::Access;
+using ces::trace::AccessSequence;
+using ces::trace::StreamKind;
+
+Access Instr(std::uint32_t addr) {
+  return {addr, StreamKind::kInstruction, false};
+}
+Access Read(std::uint32_t addr) { return {addr, StreamKind::kData, false}; }
+Access Write(std::uint32_t addr) { return {addr, StreamKind::kData, true}; }
+
+TEST(Hierarchy, L2SeesOnlyL1Misses) {
+  HierarchyConfig config;
+  config.l1i = {.depth = 16, .assoc = 4};
+  config.l1d = {.depth = 16, .assoc = 4};
+  config.l2 = {.depth = 256, .assoc = 4};
+  AccessSequence accesses;
+  for (int pass = 0; pass < 10; ++pass) {
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      accesses.push_back(Instr(i));
+      accesses.push_back(Read(1000 + i));
+    }
+  }
+  const HierarchyStats stats = SimulateHierarchy(accesses, config);
+  // Working sets fit L1: only the cold pass reaches L2.
+  EXPECT_EQ(stats.l1i.misses, 8u);
+  EXPECT_EQ(stats.l1d.misses, 8u);
+  EXPECT_EQ(stats.l2.accesses, 16u);
+  EXPECT_EQ(stats.l2.misses, 16u);
+  EXPECT_EQ(stats.memory_accesses, 16u);
+}
+
+TEST(Hierarchy, DirtyL1VictimsWriteBackToL2) {
+  HierarchyConfig config;
+  config.l1d = {.depth = 1, .assoc = 1};  // every conflicting access evicts
+  config.l1i = {.depth = 16, .assoc = 1};
+  config.l2 = {.depth = 64, .assoc = 4};
+  AccessSequence accesses = {Write(0), Read(1), Read(0)};
+  const HierarchyStats stats = SimulateHierarchy(accesses, config);
+  // Read(1) evicts dirty line 0 -> one L2 write beyond the three refills.
+  EXPECT_EQ(stats.l1d.writebacks, 1u);
+  EXPECT_EQ(stats.l2.accesses, 4u);
+  // Both the write-back of line 0 and its later refill hit in L2.
+  EXPECT_EQ(stats.l2.hits, 2u);
+}
+
+TEST(Hierarchy, MemoryAccessesCountL2DirtyVictims) {
+  HierarchyConfig config;
+  config.l1d = {.depth = 1, .assoc = 1};
+  config.l1i = {.depth = 1, .assoc = 1};
+  config.l2 = {.depth = 1, .assoc = 1};  // pathological: L2 thrashes too
+  const AccessSequence accesses = {Write(0), Read(64), Read(128)};
+  const HierarchyStats stats = SimulateHierarchy(accesses, config);
+  // Refills of 0, 64, 128 and the write-back of 0 all miss the one-line L2
+  // (4 memory reads); evicting the dirty line 0 from L2 adds a memory write.
+  EXPECT_EQ(stats.l2.misses, 4u);
+  EXPECT_EQ(stats.l2.writebacks, 1u);
+  EXPECT_EQ(stats.memory_accesses, 5u);
+}
+
+TEST(Hierarchy, AmatImprovesWithBiggerL2) {
+  AccessSequence accesses;
+  // Data working set of 512 words: too big for L1 (64 words), fits a 1024-
+  // word L2 but not a 64-word one.
+  for (int pass = 0; pass < 20; ++pass) {
+    for (std::uint32_t i = 0; i < 512; ++i) accesses.push_back(Read(i * 7));
+  }
+  HierarchyConfig small;
+  small.l1d = {.depth = 32, .assoc = 2};
+  small.l2 = {.depth = 64, .assoc = 1};
+  HierarchyConfig big = small;
+  big.l2 = {.depth = 1024, .assoc = 4};
+  const double amat_small = SimulateHierarchy(accesses, small).Amat();
+  const double amat_big = SimulateHierarchy(accesses, big).Amat();
+  EXPECT_LT(amat_big, amat_small);
+  EXPECT_GT(amat_big, 1.0);  // cannot beat the L1 latency floor
+}
+
+TEST(Hierarchy, AmatIsZeroOnEmptyStream) {
+  EXPECT_EQ(SimulateHierarchy({}, HierarchyConfig{}).Amat(), 0.0);
+}
+
+TEST(Hierarchy, CombinedStreamFromCpuDrivesHierarchy) {
+  const ces::isa::Program program = ces::isa::Assemble(R"(
+        .text
+main:   li   t0, 64
+loop:   lw   t1, counter
+        addi t1, t1, 1
+        sw   t1, counter
+        addi t0, t0, -1
+        bnez t0, loop
+        halt
+        .data
+counter: .word 0
+)");
+  const ces::sim::RunResult run =
+      ces::sim::RunProgram(program, "combined", 1'000'000,
+                           /*keep_combined=*/true);
+  ASSERT_EQ(run.stop, ces::sim::StopReason::kHalted);
+  // Merged stream holds both kinds, in program order (fetch precedes the
+  // data access its instruction performs).
+  ASSERT_EQ(run.combined.size(),
+            run.instruction_trace.size() + run.data_trace.size());
+  EXPECT_EQ(run.combined.front().kind, StreamKind::kInstruction);
+  std::uint64_t writes = 0;
+  for (const Access& access : run.combined) {
+    writes += access.kind == StreamKind::kData && access.is_write;
+  }
+  EXPECT_EQ(writes, 64u);  // one sw per loop iteration
+
+  const HierarchyStats stats =
+      SimulateHierarchy(run.combined, HierarchyConfig{});
+  EXPECT_EQ(stats.TotalL1Accesses(), run.combined.size());
+  // Tiny loop: everything fits, misses are compulsory only.
+  EXPECT_EQ(stats.l1i.warm_misses(), 0u);
+  EXPECT_EQ(stats.l1d.warm_misses(), 0u);
+}
+
+}  // namespace

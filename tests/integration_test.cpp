@@ -1,0 +1,108 @@
+// End-to-end integration: the complete paper pipeline on real workload
+// traces — run the benchmark on the CPU simulator, explore analytically,
+// re-simulate every returned instance (Figure 1b's "==" box), and check the
+// auxiliary APIs (constraints, CSV export) on the same results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analytic/explorer.hpp"
+#include "cache/sim.hpp"
+#include "explore/report.hpp"
+#include "trace/synthetic.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace ces::analytic;
+
+class PipelineTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PipelineTest, Figure1bHoldsOnRealTraces) {
+  const ces::workloads::Workload* workload =
+      ces::workloads::FindWorkload(GetParam());
+  ASSERT_NE(workload, nullptr);
+  const ces::workloads::WorkloadRun run = ces::workloads::Run(*workload);
+  ASSERT_TRUE(run.output_matches);
+
+  for (const ces::trace::Trace* trace :
+       {&run.data_trace, &run.instruction_trace}) {
+    const Explorer explorer(*trace);
+    for (double fraction : {0.05, 0.20}) {
+      const ExplorationResult result = explorer.SolveFraction(fraction);
+      ASSERT_FALSE(result.points.empty());
+      for (const DesignPoint& point : result.points) {
+        const std::uint64_t simulated =
+            ces::cache::WarmMisses(*trace, point.depth, point.assoc);
+        EXPECT_EQ(simulated, point.warm_misses)
+            << GetParam() << " " << ces::trace::ToString(trace->kind)
+            << " D=" << point.depth;
+        EXPECT_LE(simulated, result.k);
+        if (point.assoc > 1) {
+          EXPECT_GT(
+              ces::cache::WarmMisses(*trace, point.depth, point.assoc - 1),
+              result.k);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, PipelineTest,
+                         ::testing::Values("crc", "qurt", "compress"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST(ConstraintsTest, FilterRespectsEveryAxis) {
+  const std::vector<DesignPoint> points = {
+      {.depth = 1, .assoc = 64, .warm_misses = 0},    // 64 words
+      {.depth = 16, .assoc = 4, .warm_misses = 1},    // 64 words
+      {.depth = 64, .assoc = 1, .warm_misses = 9},    // 64 words
+      {.depth = 256, .assoc = 2, .warm_misses = 0},   // 512 words
+  };
+  InstanceConstraints constraints;
+  constraints.max_assoc = 8;
+  EXPECT_EQ(FilterPoints(points, constraints).size(), 3u);
+  constraints.max_size_words = 64;
+  EXPECT_EQ(FilterPoints(points, constraints).size(), 2u);
+  constraints.min_depth = 32;
+  ASSERT_EQ(FilterPoints(points, constraints).size(), 1u);
+  EXPECT_EQ(FilterPoints(points, constraints)[0].depth, 64u);
+  constraints.max_depth = 32;
+  EXPECT_TRUE(FilterPoints(points, constraints).empty());
+}
+
+TEST(ConstraintsTest, UnconstrainedAdmitsEverything) {
+  const ces::workloads::Workload* workload =
+      ces::workloads::FindWorkload("crc");
+  const ces::workloads::WorkloadRun run = ces::workloads::Run(*workload);
+  const ExplorationResult result =
+      Explorer(run.data_trace).SolveFraction(0.10);
+  EXPECT_EQ(FilterPoints(result.points, {}).size(), result.points.size());
+}
+
+TEST(CsvExport, PointsRoundTripStructure) {
+  const std::vector<DesignPoint> points = {
+      {.depth = 4, .assoc = 2, .warm_misses = 17},
+      {.depth = 8, .assoc = 1, .warm_misses = 3},
+  };
+  const std::string csv = ces::explore::PointsToCsv(points);
+  EXPECT_EQ(csv,
+            "depth,assoc,size_words,warm_misses\n"
+            "4,2,8,17\n"
+            "8,1,8,3\n");
+}
+
+TEST(CsvExport, OptimalTableHasHeaderAndAllRows) {
+  const ces::analytic::Explorer explorer(ces::trace::PaperExampleTrace());
+  const ces::explore::OptimalTable table =
+      ces::explore::BuildOptimalTable("paper", "data", explorer);
+  const std::string csv = ces::explore::OptimalTableToCsv(table);
+  EXPECT_NE(csv.find("benchmark,kind,depth,assoc_at_5%"), std::string::npos);
+  // header + one line per depth
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            table.depths.size() + 1);
+  EXPECT_NE(csv.find("paper,data,16,"), std::string::npos);
+}
+
+}  // namespace

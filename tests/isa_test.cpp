@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/disasm.hpp"
+#include "isa/isa.hpp"
+
+namespace {
+
+using namespace ces::isa;
+
+TEST(Encoding, RoundTripsEveryOpcode) {
+  for (std::uint8_t op = 0; op < static_cast<std::uint8_t>(Opcode::kOpcodeCount);
+       ++op) {
+    Instruction instruction;
+    instruction.op = static_cast<Opcode>(op);
+    if (IsJType(instruction.op)) {
+      instruction.target = 0x123456;
+    } else if (IsRType(instruction.op)) {
+      instruction.rd = 3;
+      instruction.rs = 17;
+      instruction.rt = 31;
+      instruction.shamt = 13;
+    } else {
+      instruction.rd = 3;
+      instruction.rs = 17;
+      instruction.imm = -1234;
+    }
+    Instruction decoded;
+    ASSERT_TRUE(Decode(Encode(instruction), decoded)) << Mnemonic(instruction.op);
+    EXPECT_EQ(decoded, instruction) << Mnemonic(instruction.op);
+  }
+}
+
+TEST(Encoding, RejectsUnknownOpcode) {
+  Instruction decoded;
+  EXPECT_FALSE(Decode(0xffffffffu, decoded));
+}
+
+TEST(Registers, NamesAndAliases) {
+  EXPECT_EQ(RegisterIndex("zero"), 0);
+  EXPECT_EQ(RegisterIndex("ra"), 31);
+  EXPECT_EQ(RegisterIndex("sp"), 29);
+  EXPECT_EQ(RegisterIndex("t0"), 8);
+  EXPECT_EQ(RegisterIndex("s0"), 16);
+  EXPECT_EQ(RegisterIndex("$5"), 5);
+  EXPECT_EQ(RegisterIndex("r31"), 31);
+  EXPECT_EQ(RegisterIndex("s8"), 30);
+  EXPECT_EQ(RegisterIndex("bogus"), -1);
+  EXPECT_EQ(RegisterIndex("$32"), -1);
+  EXPECT_STREQ(RegisterName(29), "sp");
+}
+
+TEST(Assembler, MinimalProgram) {
+  const Program program = Assemble(R"(
+        .text
+main:   li   t0, 5
+        halt
+)");
+  EXPECT_EQ(program.text.size(), 2u);
+  EXPECT_EQ(program.entry, 0u);
+  EXPECT_TRUE(program.symbols.contains("main"));
+}
+
+TEST(Assembler, LiExpansionDependsOnRange) {
+  const Program small = Assemble(".text\n li t0, 100\n halt\n");
+  EXPECT_EQ(small.text.size(), 2u);
+  const Program large = Assemble(".text\n li t0, 0x12345678\n halt\n");
+  EXPECT_EQ(large.text.size(), 3u);  // lui + ori
+  const Program negative = Assemble(".text\n li t0, -5\n halt\n");
+  EXPECT_EQ(negative.text.size(), 2u);
+}
+
+TEST(Assembler, LiBoundaryValues) {
+  // 16-bit signed boundary decides the 1- vs 2-instruction expansion.
+  EXPECT_EQ(Assemble(".text\n li t0, 32767\n halt\n").text.size(), 2u);
+  EXPECT_EQ(Assemble(".text\n li t0, -32768\n halt\n").text.size(), 2u);
+  EXPECT_EQ(Assemble(".text\n li t0, 32768\n halt\n").text.size(), 3u);
+  EXPECT_EQ(Assemble(".text\n li t0, -32769\n halt\n").text.size(), 3u);
+}
+
+TEST(Assembler, DirectiveRangeValidation) {
+  EXPECT_THROW(Assemble(".data\nx: .space -4\n"), AssemblyError);
+  EXPECT_THROW(Assemble(".data\nx: .space 99999999\n"), AssemblyError);
+  EXPECT_THROW(Assemble(".data\nx: .align 20\n"), AssemblyError);
+  EXPECT_THROW(Assemble(".data\nx: .space\n"), AssemblyError);  // no operand
+}
+
+TEST(Assembler, DataDirectivesAndSymbols) {
+  const Program program = Assemble(R"(
+        .text
+main:   la   t0, table
+        lw   t1, 4(t0)
+        halt
+        .data
+scalar: .word 7
+table:  .word 1, 2, 3
+bytes:  .byte 1, 2
+text:   .asciiz "hi"
+aligned: .align 2
+tail:   .word 9
+)");
+  EXPECT_EQ(program.symbols.at("scalar"), program.data_base);
+  EXPECT_EQ(program.symbols.at("table"), program.data_base + 4);
+  EXPECT_EQ(program.symbols.at("bytes"), program.data_base + 16);
+  EXPECT_EQ(program.symbols.at("text"), program.data_base + 18);
+  // "hi\0" ends at 21; .align 2 pads to 24.
+  EXPECT_EQ(program.symbols.at("tail"), program.data_base + 24);
+  // data image: 7, 1, 2, 3 little-endian words
+  EXPECT_EQ(program.data[0], 7u);
+  EXPECT_EQ(program.data[4], 1u);
+  EXPECT_EQ(program.data[16], 1u);
+  EXPECT_EQ(program.data[18], 'h');
+  EXPECT_EQ(program.data[20], 0u);
+}
+
+TEST(Assembler, EquConstants) {
+  const Program program = Assemble(R"(
+        .equ SIZE, 48
+        .equ BIG, 0x10000
+        .text
+main:   li t0, SIZE
+        li t1, BIG
+        halt
+)");
+  EXPECT_EQ(program.text.size(), 4u);  // addi + lui/ori + halt
+}
+
+TEST(Assembler, BranchOffsetsResolve) {
+  const Program program = Assemble(R"(
+        .text
+main:   li   t0, 3
+loop:   addi t0, t0, -1
+        bnez t0, loop
+        beq  zero, zero, end
+        halt
+end:    halt
+)");
+  Instruction bnez;
+  ASSERT_TRUE(Decode(program.text[2], bnez));
+  EXPECT_EQ(bnez.op, Opcode::kBne);
+  EXPECT_EQ(bnez.imm, -2);  // back to `loop`
+  Instruction beq;
+  ASSERT_TRUE(Decode(program.text[3], beq));
+  EXPECT_EQ(beq.imm, 1);  // skip the halt
+}
+
+TEST(Assembler, SymbolArithmetic) {
+  const Program program = Assemble(R"(
+        .text
+main:   la t0, arr+8
+        halt
+        .data
+arr:    .word 1, 2, 3, 4
+)");
+  Instruction ori;
+  ASSERT_TRUE(Decode(program.text[1], ori));
+  EXPECT_EQ(static_cast<std::uint32_t>(ori.imm) & 0xffff,
+            (program.data_base + 8) & 0xffff);
+}
+
+TEST(Assembler, MemoryOperandForms) {
+  const Program program = Assemble(R"(
+        .text
+main:   lw  t0, 8(sp)
+        lw  t1, value     # bare symbol -> lui/ori/lw through at
+        sw  t1, -4(sp)
+        halt
+        .data
+value:  .word 42
+)");
+  EXPECT_EQ(program.text.size(), 6u);
+}
+
+TEST(Assembler, ErrorsAreDiagnosed) {
+  EXPECT_THROW(Assemble(".text\n frobnicate t0\n"), AssemblyError);
+  EXPECT_THROW(Assemble(".text\n addi t0, t9, 99999\n"), AssemblyError);
+  EXPECT_THROW(Assemble(".text\n add t0, t1\n"), AssemblyError);       // arity
+  EXPECT_THROW(Assemble(".text\n add t0, t1, qq\n"), AssemblyError);   // reg
+  EXPECT_THROW(Assemble(".text\n j nowhere\n"), AssemblyError);
+  EXPECT_THROW(Assemble(".text\nx: halt\nx: halt\n"), AssemblyError);  // dup
+  EXPECT_THROW(Assemble(".data\n add t0, t1, t2\n"), AssemblyError);
+  EXPECT_THROW(Assemble(".text\n li t0, somewhere\n"), AssemblyError);
+  try {
+    Assemble(".text\n halt\n bad t0\n");
+    FAIL() << "expected AssemblyError";
+  } catch (const AssemblyError& e) {
+    EXPECT_EQ(e.line(), 3);
+  }
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const Program program = Assemble(R"(
+# full-line comment
+        .text      ; trailing comment
+main:   li t0, 1   // c++ style
+        halt
+)");
+  EXPECT_EQ(program.text.size(), 2u);
+}
+
+TEST(Disassembler, ReadableOutput) {
+  const Program program = Assemble(R"(
+        .text
+main:   addi t0, zero, 7
+        lw   t1, 4(sp)
+        beq  t0, t1, main
+        jal  main
+        halt
+)");
+  EXPECT_EQ(DisassembleWord(program.text[0], 0), "addi t0, zero, 7");
+  EXPECT_EQ(DisassembleWord(program.text[1], 4), "lw t1, 4(sp)");
+  EXPECT_EQ(DisassembleWord(program.text[2], 8), "beq t0, t1, 0x0");
+  EXPECT_EQ(DisassembleWord(program.text[3], 12), "jal 0x0");
+  EXPECT_EQ(DisassembleWord(program.text[4], 16), "halt");
+}
+
+}  // namespace

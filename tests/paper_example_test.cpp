@@ -1,0 +1,195 @@
+// Pins the paper's running example end-to-end: Table 1 (trace), Table 2
+// (stripped trace), Table 3 (zero/one sets), Table 4 (MRCT), Figure 3
+// (BCAT), and the worked postlude numbers of section 2.3.
+//
+// The paper numbers references 1..5; the library's ids are 0-based, so every
+// expectation below is the paper value minus one.
+#include <gtest/gtest.h>
+
+#include "analytic/bcat.hpp"
+#include "analytic/explorer.hpp"
+#include "analytic/fast.hpp"
+#include "analytic/mrct.hpp"
+#include "analytic/postlude.hpp"
+#include "analytic/zeroone.hpp"
+#include "cache/sim.hpp"
+#include "cache/stack.hpp"
+#include "trace/strip.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+using ces::DynamicBitset;
+using namespace ces::analytic;
+using namespace ces::trace;
+
+StrippedTrace PaperStripped() { return Strip(PaperExampleTrace()); }
+
+std::vector<std::uint32_t> Ids(const DynamicBitset& set) {
+  return set.ToVector();
+}
+
+TEST(PaperExample, Table1Trace) {
+  const Trace trace = PaperExampleTrace();
+  ASSERT_EQ(trace.size(), 10u);
+  EXPECT_EQ(trace.address_bits, 4u);
+}
+
+TEST(PaperExample, Table2StrippedTrace) {
+  const StrippedTrace stripped = PaperStripped();
+  EXPECT_EQ(stripped.unique_count(), 5u);
+  // Unique references in first-appearance order: 1011 1100 0110 0011 0100.
+  const std::vector<std::uint32_t> expected_unique = {0xB, 0xC, 0x6, 0x3, 0x4};
+  EXPECT_EQ(stripped.unique, expected_unique);
+  // Identifier sequence (paper ids minus one).
+  const std::vector<std::uint32_t> expected_ids = {0, 1, 2, 3, 0,
+                                                   4, 1, 3, 0, 2};
+  EXPECT_EQ(stripped.ids, expected_ids);
+}
+
+TEST(PaperExample, Table3ZeroOneSets) {
+  const StrippedTrace stripped = PaperStripped();
+  const ZeroOneSets sets = BuildZeroOneSets(stripped, 4);
+  ASSERT_EQ(sets.bit_count(), 4u);
+  // Paper ids {2,3,5} -> 0-based {1,2,4}, etc.
+  EXPECT_EQ(Ids(sets.zero[0]), (std::vector<std::uint32_t>{1, 2, 4}));
+  EXPECT_EQ(Ids(sets.one[0]), (std::vector<std::uint32_t>{0, 3}));
+  EXPECT_EQ(Ids(sets.zero[1]), (std::vector<std::uint32_t>{1, 4}));
+  EXPECT_EQ(Ids(sets.one[1]), (std::vector<std::uint32_t>{0, 2, 3}));
+  EXPECT_EQ(Ids(sets.zero[2]), (std::vector<std::uint32_t>{0, 3}));
+  EXPECT_EQ(Ids(sets.one[2]), (std::vector<std::uint32_t>{1, 2, 4}));
+  EXPECT_EQ(Ids(sets.zero[3]), (std::vector<std::uint32_t>{2, 3, 4}));
+  EXPECT_EQ(Ids(sets.one[3]), (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(PaperExample, Table4Mrct) {
+  const Mrct mrct = Mrct::Build(PaperStripped());
+  ASSERT_EQ(mrct.unique_count(), 5u);
+  // Reference 1 (id 0): {{2,3,4},{2,4,5}} -> {{1,2,3},{1,3,4}}.
+  ASSERT_EQ(mrct.ConflictsOf(0).size(), 2u);
+  EXPECT_EQ(mrct.ConflictsOf(0)[0], (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_EQ(mrct.ConflictsOf(0)[1], (std::vector<std::uint32_t>{1, 3, 4}));
+  // Reference 2 (id 1): {{1,3,4,5}} -> {{0,2,3,4}}.
+  ASSERT_EQ(mrct.ConflictsOf(1).size(), 1u);
+  EXPECT_EQ(mrct.ConflictsOf(1)[0], (std::vector<std::uint32_t>{0, 2, 3, 4}));
+  // Reference 3 (id 2): {{1,2,4,5}} -> {{0,1,3,4}}.
+  ASSERT_EQ(mrct.ConflictsOf(2).size(), 1u);
+  EXPECT_EQ(mrct.ConflictsOf(2)[0], (std::vector<std::uint32_t>{0, 1, 3, 4}));
+  // Reference 4 (id 3): {{1,2,5}} -> {{0,1,4}}.
+  ASSERT_EQ(mrct.ConflictsOf(3).size(), 1u);
+  EXPECT_EQ(mrct.ConflictsOf(3)[0], (std::vector<std::uint32_t>{0, 1, 4}));
+  // Reference 5 (id 4): no non-cold occurrence.
+  EXPECT_TRUE(mrct.ConflictsOf(4).empty());
+}
+
+TEST(PaperExample, MrctNaiveMatchesStackBuild) {
+  const StrippedTrace stripped = PaperStripped();
+  EXPECT_EQ(Mrct::Build(stripped), Mrct::BuildNaive(stripped));
+}
+
+TEST(PaperExample, Figure3Bcat) {
+  const StrippedTrace stripped = PaperStripped();
+  const ZeroOneSets sets = BuildZeroOneSets(stripped, 4);
+  const Bcat bcat = Bcat::Build(sets, stripped.unique_count(), 4);
+
+  // Root: all five references.
+  const Bcat::Node& root = bcat.node(0);
+  EXPECT_EQ(Ids(root.refs), (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+
+  // Level 1: {2,3,5} and {1,4} (paper ids).
+  ASSERT_EQ(bcat.LevelNodes(1).size(), 2u);
+  EXPECT_EQ(Ids(bcat.node(root.left).refs),
+            (std::vector<std::uint32_t>{1, 2, 4}));
+  EXPECT_EQ(Ids(bcat.node(root.right).refs),
+            (std::vector<std::uint32_t>{0, 3}));
+
+  // Level 2: L00={2,5}, L01={3}, L10={}, L11={1,4}.
+  const Bcat::Node& left = bcat.node(root.left);
+  const Bcat::Node& right = bcat.node(root.right);
+  EXPECT_EQ(Ids(bcat.node(left.left).refs),
+            (std::vector<std::uint32_t>{1, 4}));
+  EXPECT_EQ(Ids(bcat.node(left.right).refs),
+            (std::vector<std::uint32_t>{2}));
+  EXPECT_TRUE(bcat.node(right.left).refs.None());
+  EXPECT_EQ(Ids(bcat.node(right.right).refs),
+            (std::vector<std::uint32_t>{0, 3}));
+
+  // Zero-miss associativities per level (paper: A=3 at depth 2, A=2 at 4).
+  EXPECT_EQ(bcat.MaxCardinalityAtLevel(0), 5u);
+  EXPECT_EQ(bcat.MaxCardinalityAtLevel(1), 3u);
+  EXPECT_EQ(bcat.MaxCardinalityAtLevel(2), 2u);
+  EXPECT_EQ(bcat.MaxCardinalityAtLevel(3), 2u);
+  EXPECT_EQ(bcat.MaxCardinalityAtLevel(4), 1u);
+}
+
+TEST(PaperExample, Section23WorkedMissCounts) {
+  // The paper counts, for node S={1,4} at level 2 with A=1, one miss per
+  // conflict-set intersection: three in total (two for reference 1, one for
+  // reference 4). With the sibling {2,5} contributing one more, depth 4 at
+  // A=1 has 4 non-cold misses.
+  const StrippedTrace stripped = PaperStripped();
+  const ZeroOneSets sets = BuildZeroOneSets(stripped, 4);
+  const Bcat bcat = Bcat::Build(sets, stripped.unique_count(), 4);
+  const Mrct mrct = Mrct::Build(stripped);
+  const auto profiles = ComputeMissProfiles(bcat, mrct, stripped.warm_count(),
+                                            stripped.unique_count(), 4);
+  ASSERT_EQ(profiles.size(), 5u);
+
+  // Depth 1 (fully shared row): every warm access with >= 1 distinct
+  // intervening reference misses at A=1: all five of them.
+  EXPECT_EQ(profiles[0].MissesAtAssoc(1), 5u);
+  // Depth 2: 3 misses from {1,4}-node accesses + 2 from {2,3,5} at A=1.
+  EXPECT_EQ(profiles[1].MissesAtAssoc(1), 5u);
+  EXPECT_EQ(profiles[1].MissesAtAssoc(2), 2u);
+  EXPECT_EQ(profiles[1].MissesAtAssoc(3), 0u);
+  // Depth 4: 4 misses at A=1 (worked example), zero at A=2.
+  EXPECT_EQ(profiles[2].MissesAtAssoc(1), 4u);
+  EXPECT_EQ(profiles[2].MissesAtAssoc(2), 0u);
+  // Depth 8 keeps both pairs together; depth 16 isolates everything.
+  EXPECT_EQ(profiles[3].MissesAtAssoc(1), 4u);
+  EXPECT_EQ(profiles[4].MissesAtAssoc(1), 0u);
+}
+
+TEST(PaperExample, OptimalSetForZeroMisses) {
+  const Explorer explorer(PaperExampleTrace(),
+                          {.engine = Engine::kReference, .max_index_bits = 4});
+  const ExplorationResult result = explorer.Solve(0);
+  ASSERT_EQ(result.points.size(), 5u);
+  const std::vector<std::uint32_t> expected_assoc = {5, 3, 2, 2, 1};
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    EXPECT_EQ(result.points[i].depth, 1u << i);
+    EXPECT_EQ(result.points[i].assoc, expected_assoc[i]) << "depth " << (1 << i);
+    EXPECT_EQ(result.points[i].warm_misses, 0u);
+  }
+}
+
+TEST(PaperExample, OptimalSetForRelaxedBudgets) {
+  const Explorer explorer(PaperExampleTrace(),
+                          {.engine = Engine::kFused, .max_index_bits = 4});
+  // K=2 admits A=2 at depth 2 (exactly two leftover misses).
+  EXPECT_EQ(explorer.Solve(2).points[1].assoc, 2u);
+  EXPECT_EQ(explorer.Solve(2).points[1].warm_misses, 2u);
+  // K=1 does not.
+  EXPECT_EQ(explorer.Solve(1).points[1].assoc, 3u);
+  // K >= 5 (every warm reference may miss) admits direct-mapped everywhere.
+  for (const DesignPoint& point : explorer.Solve(5).points) {
+    EXPECT_EQ(point.assoc, 1u);
+  }
+}
+
+TEST(PaperExample, AllEnginesAgreeWithSimulator) {
+  const Trace trace = PaperExampleTrace();
+  const StrippedTrace stripped = Strip(trace);
+  const auto fused = ComputeMissProfilesFused(stripped, 4);
+  for (std::uint32_t bits = 0; bits <= 4; ++bits) {
+    const auto mattson = ces::cache::ComputeStackProfile(stripped, bits);
+    EXPECT_EQ(fused[bits].hist, mattson.hist) << "depth " << (1 << bits);
+    for (std::uint32_t assoc = 1; assoc <= 5; ++assoc) {
+      EXPECT_EQ(fused[bits].MissesAtAssoc(assoc),
+                ces::cache::WarmMisses(trace, 1u << bits, assoc))
+          << "depth " << (1 << bits) << " assoc " << assoc;
+    }
+  }
+}
+
+}  // namespace

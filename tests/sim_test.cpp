@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "sim/cpu.hpp"
+
+namespace {
+
+using namespace ces::sim;
+using ces::isa::Assemble;
+using ces::isa::Program;
+
+Cpu RunSource(const std::string& source, StopReason expected = StopReason::kHalted) {
+  Cpu cpu(Assemble(source));
+  EXPECT_EQ(cpu.Run(), expected);
+  return cpu;
+}
+
+TEST(CpuTest, ArithmeticSemantics) {
+  const Cpu cpu = RunSource(R"(
+        .text
+main:   li   t0, 7
+        li   t1, -3
+        add  s0, t0, t1        # 4
+        sub  s1, t0, t1        # 10
+        mul  s2, t0, t1        # -21
+        div  s3, t1, t0        # -3/7 = 0 (truncating)
+        rem  s4, t1, t0        # -3
+        li   t2, -8
+        div  s5, t2, t1        # -8/-3 = 2
+        rem  s6, t2, t1        # -2
+        halt
+)");
+  EXPECT_EQ(cpu.reg(16), 4u);
+  EXPECT_EQ(cpu.reg(17), 10u);
+  EXPECT_EQ(static_cast<std::int32_t>(cpu.reg(18)), -21);
+  EXPECT_EQ(cpu.reg(19), 0u);
+  EXPECT_EQ(static_cast<std::int32_t>(cpu.reg(20)), -3);
+  EXPECT_EQ(cpu.reg(21), 2u);
+  EXPECT_EQ(static_cast<std::int32_t>(cpu.reg(22)), -2);
+}
+
+TEST(CpuTest, DivisionByZeroIsDefined) {
+  const Cpu cpu = RunSource(R"(
+        .text
+main:   li   t0, 9
+        li   t1, 0
+        div  s0, t0, t1
+        rem  s1, t0, t1
+        halt
+)");
+  EXPECT_EQ(cpu.reg(16), 0u);  // quotient defined as 0
+  EXPECT_EQ(cpu.reg(17), 9u);  // remainder defined as the numerator
+}
+
+TEST(CpuTest, ShiftsAndLogic) {
+  const Cpu cpu = RunSource(R"(
+        .text
+main:   li   t0, -16
+        sra  s0, t0, 2         # -4
+        srl  s1, t0, 28        # 0xf
+        sll  s2, t0, 1         # -32
+        li   t1, 5
+        sllv s3, t1, t1        # 5 << 5 = 160
+        nor  s4, zero, zero    # 0xffffffff
+        slt  s5, t0, t1        # 1 (signed)
+        sltu s6, t0, t1        # 0 (unsigned: big)
+        halt
+)");
+  EXPECT_EQ(static_cast<std::int32_t>(cpu.reg(16)), -4);
+  EXPECT_EQ(cpu.reg(17), 0xfu);
+  EXPECT_EQ(static_cast<std::int32_t>(cpu.reg(18)), -32);
+  EXPECT_EQ(cpu.reg(19), 160u);
+  EXPECT_EQ(cpu.reg(20), 0xffffffffu);
+  EXPECT_EQ(cpu.reg(21), 1u);
+  EXPECT_EQ(cpu.reg(22), 0u);
+}
+
+TEST(CpuTest, MulhHighBits) {
+  const Cpu cpu = RunSource(R"(
+        .text
+main:   li   t0, 0x10000      # 65536
+        li   t1, 0x20000      # 131072
+        mul  s0, t0, t1       # low 32 bits: 0
+        mulh s1, t0, t1       # high 32 bits: 2
+        halt
+)");
+  EXPECT_EQ(cpu.reg(16), 0u);
+  EXPECT_EQ(cpu.reg(17), 2u);
+}
+
+TEST(CpuTest, MemoryBytesHalvesWords) {
+  const Cpu cpu = RunSource(R"(
+        .text
+main:   la   t0, buf
+        li   t1, 0x1234ABCD
+        sw   t1, 0(t0)
+        lb   s0, 0(t0)         # 0xCD sign-extended = -51
+        lbu  s1, 0(t0)         # 0xCD
+        lh   s2, 2(t0)         # 0x1234
+        lhu  s3, 0(t0)         # 0xABCD
+        li   t2, 0x77
+        sb   t2, 1(t0)
+        lw   s4, 0(t0)         # 0x123477CD
+        li   t3, 0xBEEF
+        sh   t3, 2(t0)
+        lw   s5, 0(t0)         # 0xBEEF77CD
+        halt
+        .data
+buf:    .word 0
+)");
+  EXPECT_EQ(static_cast<std::int32_t>(cpu.reg(16)), -51);
+  EXPECT_EQ(cpu.reg(17), 0xCDu);
+  EXPECT_EQ(cpu.reg(18), 0x1234u);
+  EXPECT_EQ(cpu.reg(19), 0xABCDu);
+  EXPECT_EQ(cpu.reg(20), 0x123477CDu);
+  EXPECT_EQ(cpu.reg(21), 0xBEEF77CDu);
+}
+
+TEST(CpuTest, BranchesAndLoops) {
+  const Cpu cpu = RunSource(R"(
+        .text
+main:   li   t0, 0             # sum
+        li   t1, 1             # i
+loop:   add  t0, t0, t1
+        addi t1, t1, 1
+        li   t2, 11
+        blt  t1, t2, loop
+        mv   s0, t0            # 55
+        halt
+)");
+  EXPECT_EQ(cpu.reg(16), 55u);
+}
+
+TEST(CpuTest, CallAndReturn) {
+  const Cpu cpu = RunSource(R"(
+        .text
+main:   li   a0, 6
+        jal  square
+        mv   s0, v0
+        halt
+square: mul  v0, a0, a0
+        ret
+)");
+  EXPECT_EQ(cpu.reg(16), 36u);
+}
+
+TEST(CpuTest, PushPopUseStack) {
+  const Cpu cpu = RunSource(R"(
+        .text
+main:   li   t0, 111
+        li   t1, 222
+        push t0
+        push t1
+        pop  s0                # 222
+        pop  s1                # 111
+        halt
+)");
+  EXPECT_EQ(cpu.reg(16), 222u);
+  EXPECT_EQ(cpu.reg(17), 111u);
+}
+
+TEST(CpuTest, RegisterZeroIsImmutable) {
+  const Cpu cpu = RunSource(R"(
+        .text
+main:   li   t0, 9
+        add  zero, t0, t0
+        mv   s0, zero
+        halt
+)");
+  EXPECT_EQ(cpu.reg(16), 0u);
+}
+
+TEST(CpuTest, OutputStream) {
+  const Cpu cpu = RunSource(R"(
+        .text
+main:   li   t0, 0x41
+        outb t0
+        li   t1, 0x11223344
+        outw t1
+        halt
+)");
+  const std::vector<std::uint8_t> expected = {0x41, 0x44, 0x33, 0x22, 0x11};
+  EXPECT_EQ(cpu.output(), expected);
+}
+
+TEST(CpuTest, FallingOffMainHalts) {
+  Cpu cpu(Assemble(".text\nmain: li t0, 1\n"));
+  EXPECT_EQ(cpu.Run(), StopReason::kHalted);
+}
+
+TEST(CpuTest, StepLimitStops) {
+  Cpu cpu(Assemble(".text\nmain: b main\n"));
+  EXPECT_EQ(cpu.Run(1000), StopReason::kStepLimit);
+}
+
+TEST(CpuTest, MisalignedAccessFails) {
+  Cpu cpu(Assemble(R"(
+        .text
+main:   li  t0, 2
+        lw  t1, 0(t0)
+        halt
+)"));
+  EXPECT_EQ(cpu.Run(), StopReason::kBadAccess);
+  EXPECT_FALSE(cpu.error().empty());
+}
+
+TEST(CpuTest, WildJumpFails) {
+  Cpu cpu(Assemble(R"(
+        .text
+main:   li  t0, 0x90000
+        jr  t0
+)"));
+  EXPECT_EQ(cpu.Run(), StopReason::kBadAccess);
+}
+
+TEST(TracerTest, CollectsInstructionAndDataStreams) {
+  const Program program = Assemble(R"(
+        .text
+main:   la   t0, buf           # 2 instructions, no data refs
+        lw   t1, 0(t0)
+        sw   t1, 4(t0)
+        halt
+        .data
+buf:    .word 5, 0
+)");
+  const RunResult result = RunProgram(program, "t");
+  // Fetches: la(2) + lw + sw + halt = 5 instruction references at words 0..4.
+  ASSERT_EQ(result.instruction_trace.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(result.instruction_trace.refs[i], i);
+  }
+  // Data: load at buf, store at buf+4 (word addresses).
+  ASSERT_EQ(result.data_trace.size(), 2u);
+  EXPECT_EQ(result.data_trace.refs[0], program.data_base / 4);
+  EXPECT_EQ(result.data_trace.refs[1], program.data_base / 4 + 1);
+  EXPECT_EQ(result.instruction_trace.kind,
+            ces::trace::StreamKind::kInstruction);
+  EXPECT_EQ(result.data_trace.kind, ces::trace::StreamKind::kData);
+  EXPECT_EQ(result.instruction_trace.name, "t");
+}
+
+TEST(TracerTest, DeterministicAcrossRuns) {
+  const Program program = Assemble(R"(
+        .text
+main:   li   t0, 50
+loop:   lw   t1, counter
+        addi t1, t1, 1
+        sw   t1, counter
+        addi t0, t0, -1
+        bnez t0, loop
+        halt
+        .data
+counter: .word 0
+)");
+  const RunResult a = RunProgram(program, "x");
+  const RunResult b = RunProgram(program, "x");
+  EXPECT_EQ(a.instruction_trace.refs, b.instruction_trace.refs);
+  EXPECT_EQ(a.data_trace.refs, b.data_trace.refs);
+  EXPECT_GT(a.retired, 50u * 5);
+}
+
+}  // namespace

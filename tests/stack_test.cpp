@@ -1,0 +1,130 @@
+// Mattson stack-distance analysis: hand-checked histograms plus the
+// inclusion property (one pass == simulation at every associativity).
+#include <gtest/gtest.h>
+
+#include "cache/sim.hpp"
+#include "cache/stack.hpp"
+#include "trace/strip.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+using namespace ces::cache;
+using ces::trace::Strip;
+using ces::trace::StrippedTrace;
+using ces::trace::Trace;
+
+Trace FromRefs(std::vector<std::uint32_t> refs) {
+  Trace trace;
+  trace.refs = std::move(refs);
+  return trace;
+}
+
+TEST(StackProfileTest, FullyAssociativeHistogram) {
+  // a b a b a: distances 0-based -> a@2: {b}=1, b@3: {a}=1, a@4: {b}=1.
+  const StrippedTrace stripped = Strip(FromRefs({1, 2, 1, 2, 1}));
+  const StackProfile profile = ComputeStackProfile(stripped, 0);
+  EXPECT_EQ(profile.cold, 2u);
+  ASSERT_EQ(profile.hist.size(), 2u);
+  EXPECT_EQ(profile.hist[0], 0u);
+  EXPECT_EQ(profile.hist[1], 3u);
+  EXPECT_EQ(profile.MissesAtAssoc(1), 3u);
+  EXPECT_EQ(profile.MissesAtAssoc(2), 0u);
+  EXPECT_EQ(profile.MinAssocFor(0), 2u);
+  EXPECT_EQ(profile.MinAssocFor(3), 1u);
+  EXPECT_EQ(profile.MinAssocFor(2), 2u);
+  EXPECT_EQ(profile.ZeroMissAssoc(), 2u);
+}
+
+TEST(StackProfileTest, Distance0Repeats) {
+  const StrippedTrace stripped = Strip(FromRefs({5, 5, 5, 5}));
+  const StackProfile profile = ComputeStackProfile(stripped, 0);
+  EXPECT_EQ(profile.cold, 1u);
+  EXPECT_EQ(profile.hist[0], 3u);
+  EXPECT_EQ(profile.MissesAtAssoc(1), 0u);
+  EXPECT_EQ(profile.MinAssocFor(0), 1u);
+}
+
+TEST(StackProfileTest, SetPartitioningSeparatesConflicts) {
+  // 0 and 4 share a set at depth 4; 1 does not interfere with them.
+  const StrippedTrace stripped = Strip(FromRefs({0, 4, 1, 0, 4, 1}));
+  const StackProfile depth1 = ComputeStackProfile(stripped, 0);
+  EXPECT_EQ(depth1.MissesAtAssoc(1), 3u);   // everything conflicts
+  EXPECT_EQ(depth1.MissesAtAssoc(2), 3u);   // distances are all 2
+  EXPECT_EQ(depth1.MissesAtAssoc(3), 0u);
+  const StackProfile depth4 = ComputeStackProfile(stripped, 2);
+  EXPECT_EQ(depth4.MissesAtAssoc(1), 2u);   // only the 0/4 pair conflicts
+  EXPECT_EQ(depth4.MissesAtAssoc(2), 0u);
+}
+
+TEST(StackProfileTest, EmptyTrace) {
+  const StackProfile profile = ComputeStackProfile(Strip(Trace{}), 3);
+  EXPECT_EQ(profile.cold, 0u);
+  EXPECT_EQ(profile.MissesAtAssoc(1), 0u);
+  EXPECT_EQ(profile.MinAssocFor(0), 1u);
+}
+
+TEST(StackProfileTest, WarmAccessTotalIsInvariant) {
+  ces::Rng rng(5);
+  const Trace trace = ces::trace::RandomWorkingSet(rng, 100, 3000);
+  const StrippedTrace stripped = Strip(trace);
+  for (std::uint32_t bits = 0; bits <= 6; ++bits) {
+    const StackProfile profile = ComputeStackProfile(stripped, bits);
+    EXPECT_EQ(profile.WarmAccesses(), stripped.warm_count()) << bits;
+    EXPECT_EQ(profile.cold, stripped.unique_count());
+  }
+}
+
+// Property sweep: the one-pass histogram predicts the simulator exactly for
+// every (depth, assoc), across trace shapes.
+class StackVsSimulator : public ::testing::TestWithParam<int> {};
+
+Trace MakeTraceVariant(int variant) {
+  ces::Rng rng(1000 + static_cast<std::uint64_t>(variant));
+  switch (variant % 5) {
+    case 0: return ces::trace::SequentialLoop(17, 50, 8);
+    case 1: return ces::trace::StridedSweep(3, 32, 24, 12);
+    case 2: return ces::trace::RandomWorkingSet(rng, 75, 4000);
+    case 3: return ces::trace::LocalityMix(rng, 48, 512, 4000);
+    default: return ces::trace::PaperExampleTrace();
+  }
+}
+
+TEST_P(StackVsSimulator, TreeScanMatchesMtfScan) {
+  const Trace trace = MakeTraceVariant(GetParam());
+  const StrippedTrace stripped = Strip(trace);
+  for (std::uint32_t bits = 0; bits <= 6; ++bits) {
+    const StackProfile mtf = ComputeStackProfile(stripped, bits);
+    const StackProfile tree = ComputeStackProfileTree(stripped, bits);
+    EXPECT_EQ(mtf.hist, tree.hist)
+        << "variant " << GetParam() << " bits " << bits;
+    EXPECT_EQ(mtf.cold, tree.cold);
+  }
+}
+
+TEST_P(StackVsSimulator, HistogramTailEqualsWarmMisses) {
+  const Trace trace = MakeTraceVariant(GetParam());
+  const StrippedTrace stripped = Strip(trace);
+  for (std::uint32_t bits = 0; bits <= 5; ++bits) {
+    const StackProfile profile = ComputeStackProfile(stripped, bits);
+    for (std::uint32_t assoc : {1u, 2u, 3u, 4u, 8u}) {
+      EXPECT_EQ(profile.MissesAtAssoc(assoc),
+                WarmMisses(trace, 1u << bits, assoc))
+          << "variant " << GetParam() << " depth " << (1u << bits)
+          << " assoc " << assoc;
+    }
+    // MinAssocFor is minimal and feasible for a spread of budgets.
+    for (std::uint64_t k : {0ull, 1ull, 5ull, 50ull, 1000ull}) {
+      const std::uint32_t assoc = profile.MinAssocFor(k);
+      EXPECT_LE(profile.MissesAtAssoc(assoc), k);
+      if (assoc > 1) {
+        EXPECT_GT(profile.MissesAtAssoc(assoc - 1), k);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, StackVsSimulator,
+                         ::testing::Range(0, 10));
+
+}  // namespace

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "support/bitset.hpp"
+#include "support/cli.hpp"
+#include "support/fenwick.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using ces::ArgParser;
+using ces::AsciiTable;
+using ces::DynamicBitset;
+using ces::Rng;
+
+TEST(DynamicBitset, StartsEmpty) {
+  DynamicBitset bits(100);
+  EXPECT_EQ(bits.size(), 100u);
+  EXPECT_EQ(bits.Count(), 0u);
+  EXPECT_TRUE(bits.None());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(bits.Test(i));
+}
+
+TEST(DynamicBitset, SetResetTest) {
+  DynamicBitset bits(130);  // spans three 64-bit words
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(129);
+  EXPECT_EQ(bits.Count(), 4u);
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(64));
+  bits.Reset(63);
+  EXPECT_FALSE(bits.Test(63));
+  EXPECT_EQ(bits.Count(), 3u);
+}
+
+TEST(DynamicBitset, IntersectionAndCount) {
+  DynamicBitset a(200);
+  DynamicBitset b(200);
+  for (std::size_t i = 0; i < 200; i += 2) a.Set(i);   // evens
+  for (std::size_t i = 0; i < 200; i += 3) b.Set(i);   // multiples of 3
+  EXPECT_EQ(DynamicBitset::IntersectionSize(a, b), 34u);  // multiples of 6
+  const DynamicBitset c = DynamicBitset::Intersection(a, b);
+  EXPECT_EQ(c.Count(), 34u);
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(c.Test(i), i % 6 == 0) << i;
+  }
+}
+
+TEST(DynamicBitset, UnionWith) {
+  DynamicBitset a(70);
+  DynamicBitset b(70);
+  a.Set(1);
+  b.Set(69);
+  a.UnionWith(b);
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_TRUE(a.Test(69));
+  EXPECT_EQ(a.Count(), 2u);
+}
+
+TEST(DynamicBitset, IterationIsAscendingAndComplete) {
+  DynamicBitset bits(300);
+  const std::set<std::size_t> expected = {0, 1, 63, 64, 65, 127, 128, 299};
+  for (std::size_t i : expected) bits.Set(i);
+  std::vector<std::size_t> seen;
+  bits.ForEachSetBit([&seen](std::size_t pos) { seen.push_back(pos); });
+  EXPECT_EQ(seen, std::vector<std::size_t>(expected.begin(), expected.end()));
+  EXPECT_EQ(bits.ToVector().size(), expected.size());
+}
+
+TEST(DynamicBitset, ClearAndEquality) {
+  DynamicBitset a(40);
+  DynamicBitset b(40);
+  a.Set(5);
+  EXPECT_NE(a, b);
+  a.Clear();
+  EXPECT_EQ(a, b);
+}
+
+TEST(FenwickTreeTest, PrefixAndRangeSums) {
+  ces::FenwickTree tree(10);
+  tree.Add(0, 5);
+  tree.Add(3, 2);
+  tree.Add(9, 1);
+  EXPECT_EQ(tree.PrefixSum(0), 5);
+  EXPECT_EQ(tree.PrefixSum(2), 5);
+  EXPECT_EQ(tree.PrefixSum(3), 7);
+  EXPECT_EQ(tree.PrefixSum(9), 8);
+  EXPECT_EQ(tree.RangeSum(1, 3), 2);
+  EXPECT_EQ(tree.RangeSum(4, 8), 0);
+  EXPECT_EQ(tree.RangeSum(0, 9), 8);
+  EXPECT_EQ(tree.RangeSum(5, 4), 0);  // empty range
+}
+
+TEST(FenwickTreeTest, NegativeDeltasAndUpdates) {
+  ces::FenwickTree tree(8);
+  for (std::size_t i = 0; i < 8; ++i) tree.Add(i, 1);
+  EXPECT_EQ(tree.PrefixSum(7), 8);
+  tree.Add(2, -1);
+  tree.Add(5, -1);
+  EXPECT_EQ(tree.RangeSum(0, 7), 6);
+  EXPECT_EQ(tree.RangeSum(2, 2), 0);
+  EXPECT_EQ(tree.RangeSum(3, 5), 2);
+}
+
+TEST(FenwickTreeTest, MatchesNaiveOnRandomOps) {
+  ces::Rng rng(31);
+  ces::FenwickTree tree(64);
+  std::vector<std::int64_t> naive(64, 0);
+  for (int step = 0; step < 2000; ++step) {
+    const auto pos = static_cast<std::size_t>(rng.NextBounded(64));
+    const auto delta = rng.NextInRange(-3, 3);
+    tree.Add(pos, delta);
+    naive[pos] += delta;
+    const auto lo = static_cast<std::size_t>(rng.NextBounded(64));
+    const auto hi = static_cast<std::size_t>(rng.NextBounded(64));
+    if (lo <= hi) {
+      std::int64_t expected = 0;
+      for (std::size_t i = lo; i <= hi; ++i) expected += naive[i];
+      ASSERT_EQ(tree.RangeSum(lo, hi), expected) << "step " << step;
+    }
+  }
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BoundedStaysInBounds) {
+  Rng rng(7);
+  std::array<int, 10> buckets{};
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t value = rng.NextBounded(10);
+    ASSERT_LT(value, 10u);
+    ++buckets[value];
+  }
+  for (int count : buckets) EXPECT_GT(count, 700);  // roughly uniform
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t value = rng.NextInRange(-3, 3);
+    ASSERT_GE(value, -3);
+    ASSERT_LE(value, 3);
+    saw_lo |= value == -3;
+    saw_hi |= value == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(AsciiTableTest, AlignsColumns) {
+  AsciiTable table({"Name", "Value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "23456"});
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("Name"), std::string::npos);
+  EXPECT_NE(rendered.find("longer"), std::string::npos);
+  // All lines equal width.
+  std::size_t width = std::string::npos;
+  std::size_t start = 0;
+  while (start < rendered.size()) {
+    const std::size_t eol = rendered.find('\n', start);
+    const std::size_t len = eol - start;
+    if (width == std::string::npos) width = len;
+    EXPECT_EQ(len, width);
+    start = eol + 1;
+  }
+}
+
+TEST(Format, Thousands) {
+  EXPECT_EQ(ces::FormatWithThousands(0), "0");
+  EXPECT_EQ(ces::FormatWithThousands(999), "999");
+  EXPECT_EQ(ces::FormatWithThousands(1000), "1,000");
+  EXPECT_EQ(ces::FormatWithThousands(1234567), "1,234,567");
+}
+
+TEST(Format, Seconds) {
+  EXPECT_NE(ces::FormatSeconds(0.0000005).find("us"), std::string::npos);
+  EXPECT_NE(ces::FormatSeconds(0.5).find("ms"), std::string::npos);
+  EXPECT_NE(ces::FormatSeconds(2.0).find("s"), std::string::npos);
+}
+
+TEST(ArgParserTest, ParsesAllForms) {
+  const char* argv[] = {"prog",         "--alpha=3",  "--beta", "7",
+                        "--gamma",      "positional", "--flag"};
+  ArgParser args(7, argv);
+  EXPECT_EQ(args.GetInt("alpha", 0), 3);
+  EXPECT_EQ(args.GetInt("beta", 0), 7);
+  EXPECT_EQ(args.GetString("gamma", ""), "positional");
+  EXPECT_TRUE(args.GetBool("flag", false));
+  EXPECT_EQ(args.GetInt("missing", 42), 42);
+  EXPECT_FALSE(args.Has("missing"));
+}
+
+TEST(ArgParserTest, BoolFalseValues) {
+  const char* argv[] = {"prog", "--a=false", "--b=0", "--c=yes"};
+  ArgParser args(4, argv);
+  EXPECT_FALSE(args.GetBool("a", true));
+  EXPECT_FALSE(args.GetBool("b", true));
+  EXPECT_TRUE(args.GetBool("c", false));
+}
+
+}  // namespace

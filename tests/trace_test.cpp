@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/rng.hpp"
+#include "trace/dinero.hpp"
+#include "trace/strip.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+using namespace ces::trace;
+
+TEST(Strip, AssignsIdsInFirstAppearanceOrder) {
+  Trace trace;
+  trace.refs = {7, 7, 3, 7, 9, 3};
+  const StrippedTrace stripped = Strip(trace);
+  EXPECT_EQ(stripped.unique, (std::vector<std::uint32_t>{7, 3, 9}));
+  EXPECT_EQ(stripped.ids, (std::vector<std::uint32_t>{0, 0, 1, 0, 2, 1}));
+  EXPECT_EQ(stripped.is_first,
+            (std::vector<bool>{true, false, true, false, true, false}));
+  EXPECT_EQ(stripped.warm_count(), 3u);
+}
+
+TEST(Strip, EmptyTrace) {
+  const StrippedTrace stripped = Strip(Trace{});
+  EXPECT_EQ(stripped.size(), 0u);
+  EXPECT_EQ(stripped.unique_count(), 0u);
+  const TraceStats stats = ComputeStats(stripped);
+  EXPECT_EQ(stats.n, 0u);
+  EXPECT_EQ(stats.max_misses, 0u);
+}
+
+TEST(Stats, MaxMissesIsDepthOneDirectMapped) {
+  // 5 5 5 -> two warm hits; 5 6 5 6 -> two warm misses.
+  Trace trace;
+  trace.refs = {5, 5, 5, 6, 5, 6};
+  const TraceStats stats = ComputeStats(trace);
+  EXPECT_EQ(stats.n, 6u);
+  EXPECT_EQ(stats.n_unique, 2u);
+  // Warm accesses: positions 1,2 (hit), 4 (miss), 5 (miss), and position 3 is
+  // cold. Position 4 and 5 alternate -> misses.
+  EXPECT_EQ(stats.max_misses, 2u);
+}
+
+TEST(Stats, MatchesPaperExampleShape) {
+  const TraceStats stats = ComputeStats(PaperExampleTrace());
+  EXPECT_EQ(stats.n, 10u);
+  EXPECT_EQ(stats.n_unique, 5u);
+  EXPECT_EQ(stats.max_misses, 5u);  // no adjacent repeats in the example
+}
+
+TEST(WithLineSizeTest, ReblocksAddresses) {
+  Trace trace;
+  trace.refs = {0, 1, 2, 3, 4, 8};
+  trace.address_bits = 8;
+  const Trace blocked = WithLineSize(trace, 4);
+  EXPECT_EQ(blocked.refs, (std::vector<std::uint32_t>{0, 0, 0, 0, 1, 2}));
+  EXPECT_EQ(blocked.address_bits, 6u);
+  // Identity for one-word lines.
+  EXPECT_EQ(WithLineSize(trace, 1).refs, trace.refs);
+}
+
+TEST(SignificantBits, ReflectsVaryingBitsOnly) {
+  Trace trace;
+  trace.refs = {0x1000, 0x1004, 0x1006};
+  EXPECT_EQ(SignificantAddressBits(Strip(trace)), 3u);  // bits 0..2 vary
+  Trace single;
+  single.refs = {0x42, 0x42};
+  EXPECT_EQ(SignificantAddressBits(Strip(single)), 0u);
+  EXPECT_EQ(SignificantAddressBits(Strip(Trace{})), 0u);
+}
+
+TEST(TraceIo, TextRoundTrip) {
+  Trace trace = PaperExampleTrace();
+  trace.kind = StreamKind::kInstruction;
+  std::stringstream stream;
+  WriteText(stream, trace);
+  const Trace loaded = ReadText(stream);
+  EXPECT_EQ(loaded.refs, trace.refs);
+  EXPECT_EQ(loaded.kind, trace.kind);
+  EXPECT_EQ(loaded.address_bits, trace.address_bits);
+  EXPECT_EQ(loaded.name, trace.name);
+}
+
+TEST(TraceIo, BinaryRoundTrip) {
+  ces::Rng rng(3);
+  const Trace trace = RandomWorkingSet(rng, 500, 4096);
+  std::stringstream stream;
+  WriteBinary(stream, trace);
+  const Trace loaded = ReadBinary(stream);
+  EXPECT_EQ(loaded.refs, trace.refs);
+  EXPECT_EQ(loaded.kind, trace.kind);
+}
+
+TEST(TraceIo, CompressedRoundTrip) {
+  ces::Rng rng(17);
+  Trace trace = LocalityMix(rng, 300, 3000, 20000);
+  trace.kind = StreamKind::kInstruction;
+  trace.address_bits = 24;
+  std::stringstream stream;
+  WriteCompressed(stream, trace);
+  const Trace loaded = ReadCompressed(stream);
+  EXPECT_EQ(loaded.refs, trace.refs);
+  EXPECT_EQ(loaded.kind, trace.kind);
+  EXPECT_EQ(loaded.address_bits, trace.address_bits);
+}
+
+TEST(TraceIo, CompressionShrinksSequentialStreams) {
+  // Instruction-fetch-like trace: deltas are mostly +1 -> one byte each.
+  const Trace trace = SequentialLoop(0x100000, 512, 40);
+  std::stringstream raw;
+  WriteBinary(raw, trace);
+  std::stringstream packed;
+  WriteCompressed(packed, trace);
+  EXPECT_LT(packed.str().size() * 3, raw.str().size());
+  EXPECT_EQ(ReadCompressed(packed).refs, trace.refs);
+}
+
+TEST(TraceIo, CompressedHandlesExtremeDeltas) {
+  Trace trace;
+  trace.refs = {0, 0xffffffff, 0, 0x80000000, 0x7fffffff, 1};
+  std::stringstream stream;
+  WriteCompressed(stream, trace);
+  EXPECT_EQ(ReadCompressed(stream).refs, trace.refs);
+}
+
+TEST(TraceIo, FileDispatchByMagicAndExtension) {
+  const Trace trace = PaperExampleTrace();
+  const std::string dir = ::testing::TempDir();
+  for (const std::string name :
+       {std::string("t.trc"), std::string("t.ctr"), std::string("t.ctrz")}) {
+    const std::string path = dir + "/" + name;
+    SaveToFile(path, trace);
+    EXPECT_EQ(LoadFromFile(path).refs, trace.refs) << name;
+  }
+}
+
+TEST(TraceIo, RejectsGarbage) {
+  std::stringstream binary("not a trace at all");
+  EXPECT_THROW(ReadBinary(binary), std::runtime_error);
+  std::stringstream text("zzz-not-hex");
+  EXPECT_THROW(ReadText(text), std::runtime_error);
+}
+
+TEST(Dinero, ReadsSelectedStream) {
+  std::stringstream din(
+      "# comment\n"
+      "2 400\n"   // ifetch at byte 0x400 -> word 0x100
+      "0 1000\n"  // read
+      "1 1004\n"  // write
+      "2 404\n");
+  const Trace instr = ReadDinero(din, StreamKind::kInstruction);
+  EXPECT_EQ(instr.refs, (std::vector<std::uint32_t>{0x100, 0x101}));
+  din.clear();
+  din.seekg(0);
+  const Trace data = ReadDinero(din, StreamKind::kData);
+  EXPECT_EQ(data.refs, (std::vector<std::uint32_t>{0x400, 0x401}));
+}
+
+TEST(Dinero, RoundTrip) {
+  Trace trace = PaperExampleTrace();
+  trace.kind = StreamKind::kData;
+  std::stringstream stream;
+  WriteDinero(stream, trace);
+  const Trace loaded = ReadDinero(stream, StreamKind::kData);
+  EXPECT_EQ(loaded.refs, trace.refs);
+
+  Trace instr = PaperExampleTrace();
+  instr.kind = StreamKind::kInstruction;
+  std::stringstream istream2;
+  WriteDinero(istream2, instr);
+  EXPECT_EQ(ReadDinero(istream2, StreamKind::kInstruction).refs, instr.refs);
+}
+
+TEST(Dinero, RejectsMalformedInput) {
+  std::stringstream bad_label("7 400\n");
+  EXPECT_THROW(ReadDinero(bad_label, StreamKind::kData), std::runtime_error);
+  std::stringstream bad_address("0 zz\n");
+  EXPECT_THROW(ReadDinero(bad_address, StreamKind::kData), std::runtime_error);
+}
+
+TEST(Synthetic, SequentialLoopShape) {
+  const Trace trace = SequentialLoop(100, 8, 3);
+  EXPECT_EQ(trace.size(), 24u);
+  const TraceStats stats = ComputeStats(trace);
+  EXPECT_EQ(stats.n_unique, 8u);
+  EXPECT_EQ(trace.refs.front(), 100u);
+  EXPECT_EQ(trace.refs.back(), 107u);
+}
+
+TEST(Synthetic, StridedSweepAddresses) {
+  const Trace trace = StridedSweep(0, 64, 4, 2);
+  EXPECT_EQ(trace.refs, (std::vector<std::uint32_t>{0, 64, 128, 192, 0, 64,
+                                                    128, 192}));
+}
+
+TEST(Synthetic, RandomWorkingSetBounds) {
+  ces::Rng rng(11);
+  const Trace trace = RandomWorkingSet(rng, 32, 1000, 500);
+  EXPECT_EQ(trace.size(), 1000u);
+  for (std::uint32_t ref : trace.refs) {
+    EXPECT_GE(ref, 500u);
+    EXPECT_LT(ref, 532u);
+  }
+  EXPECT_LE(ComputeStats(trace).n_unique, 32u);
+}
+
+TEST(Synthetic, LocalityMixMostlyHot) {
+  ces::Rng rng(13);
+  const Trace trace = LocalityMix(rng, 64, 4096, 20000, 0.9);
+  std::size_t hot = 0;
+  for (std::uint32_t ref : trace.refs) hot += ref < 64;
+  // Hot runs are longer than cold runs, so well over half the references
+  // land in the hot region.
+  EXPECT_GT(hot, trace.size() / 2);
+}
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  ces::Rng a(99);
+  ces::Rng b(99);
+  EXPECT_EQ(LocalityMix(a, 128, 1024, 5000).refs,
+            LocalityMix(b, 128, 1024, 5000).refs);
+}
+
+}  // namespace

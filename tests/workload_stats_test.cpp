@@ -1,0 +1,72 @@
+// Regression pins for the workload traces: the exact N / N' / max-miss
+// numbers behind Tables 5-6 of EXPERIMENTS.md. Workloads are fully
+// deterministic, so any drift here means a workload, the assembler, or the
+// CPU simulator changed behaviour — which silently invalidates every
+// recorded experiment.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "trace/strip.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+struct PinnedStats {
+  std::uint64_t n;
+  std::uint64_t n_unique;
+  std::uint64_t max_misses;
+};
+
+const std::map<std::string, PinnedStats>& PinnedData() {
+  static const std::map<std::string, PinnedStats> pinned = {
+      {"adpcm", {9216, 554, 8662}},      {"bcnt", {123136, 1088, 120416}},
+      {"blit", {8960, 320, 6720}},       {"compress", {6764, 1532, 4721}},
+      {"crc", {32968, 768, 32200}},      {"des", {14016, 324, 13692}},
+      {"engine", {12288, 1088, 11200}},  {"fir", {577920, 1568, 576352}},
+      {"g3fax", {95507, 3266, 3515}},    {"pocsag", {8932, 908, 7757}},
+      {"qurt", {6144, 1536, 4608}},      {"ucbqsort", {81214, 2084, 59533}},
+  };
+  return pinned;
+}
+
+const std::map<std::string, PinnedStats>& PinnedInstruction() {
+  static const std::map<std::string, PinnedStats> pinned = {
+      {"adpcm", {147776, 66, 147710}},   {"bcnt", {551859, 47, 551812}},
+      {"blit", {33472, 53, 33419}},      {"compress", {50250, 46, 50204}},
+      {"crc", {193323, 43, 193280}},     {"des", {212169, 54, 212115}},
+      {"engine", {179970, 54, 179916}},  {"fir", {5571554, 37, 5571517}},
+      {"g3fax", {578448, 64, 578384}},   {"pocsag", {330890, 82, 330808}},
+      {"qurt", {145810, 54, 145756}},    {"ucbqsort", {288000, 72, 287928}},
+  };
+  return pinned;
+}
+
+class WorkloadStats : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkloadStats, MatchesPinnedTable5And6Values) {
+  const ces::workloads::Workload& workload =
+      ces::workloads::AllWorkloads()[static_cast<std::size_t>(GetParam())];
+  const ces::workloads::WorkloadRun run = ces::workloads::Run(workload);
+
+  const auto data = ces::trace::ComputeStats(run.data_trace);
+  const PinnedStats& pinned_data = PinnedData().at(workload.name);
+  EXPECT_EQ(data.n, pinned_data.n) << workload.name;
+  EXPECT_EQ(data.n_unique, pinned_data.n_unique) << workload.name;
+  EXPECT_EQ(data.max_misses, pinned_data.max_misses) << workload.name;
+
+  const auto instr = ces::trace::ComputeStats(run.instruction_trace);
+  const PinnedStats& pinned_instr = PinnedInstruction().at(workload.name);
+  EXPECT_EQ(instr.n, pinned_instr.n) << workload.name;
+  EXPECT_EQ(instr.n_unique, pinned_instr.n_unique) << workload.name;
+  EXPECT_EQ(instr.max_misses, pinned_instr.max_misses) << workload.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadStats, ::testing::Range(0, 12),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return ces::workloads::AllWorkloads()
+                               [static_cast<std::size_t>(info.param)]
+                                   .name;
+                         });
+
+}  // namespace

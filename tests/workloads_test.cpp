@@ -1,0 +1,132 @@
+// Every workload must assemble, run to a clean halt, reproduce its C++
+// golden model's output byte-for-byte, and emit deterministic, non-trivial
+// instruction/data reference streams — these are the traces all paper
+// experiments run on.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/disasm.hpp"
+#include "trace/strip.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace ces::workloads;
+
+class WorkloadCase : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkloadCase, RunsAndMatchesGoldenModel) {
+  const Workload& workload =
+      AllWorkloads()[static_cast<std::size_t>(GetParam())];
+  const WorkloadRun run = ces::workloads::Run(workload);
+  EXPECT_EQ(run.stop, ces::sim::StopReason::kHalted) << workload.name;
+  EXPECT_TRUE(run.output_matches) << workload.name;
+  EXPECT_FALSE(workload.expected_output.empty()) << workload.name;
+}
+
+TEST_P(WorkloadCase, ProducesSubstantialTraces) {
+  const Workload& workload =
+      AllWorkloads()[static_cast<std::size_t>(GetParam())];
+  const WorkloadRun run = ces::workloads::Run(workload);
+  // Enough references for meaningful cache statistics...
+  EXPECT_GT(run.instruction_trace.size(), 10'000u) << workload.name;
+  EXPECT_GT(run.data_trace.size(), 1'000u) << workload.name;
+  // ...with a working set that is neither trivial nor unbounded.
+  const auto istats = ces::trace::ComputeStats(run.instruction_trace);
+  const auto dstats = ces::trace::ComputeStats(run.data_trace);
+  EXPECT_GT(istats.n_unique, 30u) << workload.name;
+  EXPECT_GT(dstats.n_unique, 50u) << workload.name;
+  EXPECT_GT(istats.max_misses, 0u) << workload.name;
+}
+
+TEST_P(WorkloadCase, TracesAreDeterministic) {
+  const Workload& workload =
+      AllWorkloads()[static_cast<std::size_t>(GetParam())];
+  const WorkloadRun a = ces::workloads::Run(workload);
+  const WorkloadRun b = ces::workloads::Run(workload);
+  EXPECT_EQ(a.instruction_trace.refs, b.instruction_trace.refs);
+  EXPECT_EQ(a.data_trace.refs, b.data_trace.refs);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadCase, ::testing::Range(0, 12),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return AllWorkloads()[static_cast<std::size_t>(
+                                                     info.param)]
+                               .name;
+                         });
+
+TEST(WorkloadPrograms, EveryInstructionDisassembles) {
+  for (const Workload& workload : AllWorkloads()) {
+    const ces::isa::Program program = ces::isa::Assemble(workload.assembly);
+    ASSERT_FALSE(program.text.empty()) << workload.name;
+    for (std::size_t i = 0; i < program.text.size(); ++i) {
+      const std::string text = ces::isa::DisassembleWord(
+          program.text[i], static_cast<std::uint32_t>(i * 4));
+      EXPECT_EQ(text.find('?'), std::string::npos)
+          << workload.name << " word " << i << ": " << text;
+      EXPECT_EQ(text.find(".word"), std::string::npos)
+          << workload.name << " word " << i << " failed to decode";
+    }
+  }
+}
+
+TEST(WorkloadPrograms, SymbolTablesExposeEntryAndData) {
+  for (const Workload& workload : AllWorkloads()) {
+    const ces::isa::Program program = ces::isa::Assemble(workload.assembly);
+    EXPECT_TRUE(program.symbols.contains("main")) << workload.name;
+    EXPECT_EQ(program.entry, program.symbols.at("main")) << workload.name;
+    EXPECT_FALSE(program.data.empty()) << workload.name;
+  }
+}
+
+class ScaledWorkloadCase : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScaledWorkloadCase, SmallScaleStillMatchesGoldenModel) {
+  const Workload& workload =
+      AllWorkloads(Scale::kSmall)[static_cast<std::size_t>(GetParam())];
+  const WorkloadRun run = ces::workloads::Run(workload);
+  EXPECT_EQ(run.stop, ces::sim::StopReason::kHalted) << workload.name;
+  EXPECT_TRUE(run.output_matches) << workload.name;
+  // Small must genuinely be smaller than default.
+  const WorkloadRun normal = ces::workloads::Run(
+      AllWorkloads(Scale::kDefault)[static_cast<std::size_t>(GetParam())]);
+  EXPECT_LT(run.instruction_trace.size(), normal.instruction_trace.size())
+      << workload.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ScaledWorkloadCase, ::testing::Range(0, 12),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return AllWorkloads()[static_cast<std::size_t>(
+                                                     info.param)]
+                               .name;
+                         });
+
+TEST(WorkloadScales, LargeScaleSpotChecks) {
+  // Large runs are expensive; verify two representative kernels only.
+  for (const char* name : {"crc", "ucbqsort"}) {
+    const Workload* workload = FindWorkload(name, Scale::kLarge);
+    ASSERT_NE(workload, nullptr);
+    const WorkloadRun run = ces::workloads::Run(*workload);
+    EXPECT_TRUE(run.output_matches) << name;
+    const Workload* normal = FindWorkload(name, Scale::kDefault);
+    EXPECT_GT(run.instruction_trace.size(),
+              ces::workloads::Run(*normal).instruction_trace.size())
+        << name;
+  }
+}
+
+TEST(WorkloadRegistry, HasThePowerStoneTwelve) {
+  const auto& all = AllWorkloads();
+  ASSERT_EQ(all.size(), 12u);
+  const std::vector<std::string> expected = {
+      "adpcm", "bcnt",   "blit",   "compress", "crc",  "des",
+      "engine", "fir",   "g3fax",  "pocsag",   "qurt", "ucbqsort"};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(all[i].name, expected[i]);
+    EXPECT_FALSE(all[i].description.empty());
+  }
+  EXPECT_NE(FindWorkload("crc"), nullptr);
+  EXPECT_EQ(FindWorkload("doom"), nullptr);
+}
+
+}  // namespace

@@ -1,0 +1,245 @@
+// cachedse — unified command-line front end to the library.
+//
+//   cachedse explore  --trace=app.ctr [--k=N | --fraction=0.05]
+//                     [--engine=fused|fused-tree|reference] [--line-words=1]
+//   cachedse stats    --trace=app.ctr
+//   cachedse compare  --trace=app.ctr [--fraction=0.05] [--max-bits=12]
+//   cachedse workload --benchmark=crc --out=dir   (generate + save traces)
+//   cachedse convert  --trace=in.{ctr,trc,din} --out=out.{ctr,trc,din}
+//                     [--kind=data|instr]         (din needs --kind on read)
+//   cachedse compile  --source=prog.mc [--out=prog.s | --run]
+//                     (MiniC -> MR32 assembly; --run executes and prints
+//                      the out() words)
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "analytic/explorer.hpp"
+#include "cc/compiler.hpp"
+#include "explore/strategy.hpp"
+#include "sim/cpu.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "trace/dinero.hpp"
+#include "trace/strip.hpp"
+#include "trace/trace_io.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: cachedse <explore|stats|compare|workload|convert> [flags]\n"
+      "  explore  --trace=F [--k=N|--fraction=0.05] [--engine=fused|"
+      "fused-tree|reference] [--line-words=1]\n"
+      "  stats    --trace=F\n"
+      "  compare  --trace=F [--fraction=0.05] [--max-bits=12]\n"
+      "  workload --benchmark=NAME [--out=DIR]\n"
+      "  convert  --trace=IN --out=OUT [--kind=data|instr]\n");
+  return 2;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+ces::trace::Trace LoadAnyFormat(const std::string& path,
+                                const std::string& kind_flag) {
+  if (EndsWith(path, ".din")) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("cannot open " + path);
+    return ces::trace::ReadDinero(is, kind_flag == "instr"
+                                          ? ces::trace::StreamKind::kInstruction
+                                          : ces::trace::StreamKind::kData);
+  }
+  return ces::trace::LoadFromFile(path);
+}
+
+void SaveAnyFormat(const std::string& path, const ces::trace::Trace& trace) {
+  if (EndsWith(path, ".din")) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("cannot open " + path);
+    ces::trace::WriteDinero(os, trace);
+    return;
+  }
+  ces::trace::SaveToFile(path, trace);
+}
+
+int CmdExplore(const ces::ArgParser& args) {
+  const std::string path = args.GetString("trace", "");
+  if (path.empty()) return Usage();
+  const ces::trace::Trace trace =
+      LoadAnyFormat(path, args.GetString("kind", "data"));
+
+  ces::analytic::ExplorerOptions options;
+  const std::string engine = args.GetString("engine", "fused");
+  options.engine = engine == "reference"
+                       ? ces::analytic::Engine::kReference
+                   : engine == "fused-tree"
+                       ? ces::analytic::Engine::kFusedTree
+                       : ces::analytic::Engine::kFused;
+  options.line_words =
+      static_cast<std::uint32_t>(args.GetInt("line-words", 1));
+  const ces::analytic::Explorer explorer(trace, options);
+
+  const std::uint64_t k =
+      args.Has("k") ? static_cast<std::uint64_t>(args.GetInt("k", 0))
+                    : static_cast<std::uint64_t>(
+                          args.GetDouble("fraction", 0.05) *
+                          static_cast<double>(explorer.stats().max_misses));
+  const ces::analytic::ExplorationResult result = explorer.Solve(k);
+
+  std::printf("N=%llu N'=%llu max-misses=%llu K=%llu engine=%s\n",
+              static_cast<unsigned long long>(explorer.stats().n),
+              static_cast<unsigned long long>(explorer.stats().n_unique),
+              static_cast<unsigned long long>(explorer.stats().max_misses),
+              static_cast<unsigned long long>(k), engine.c_str());
+  ces::AsciiTable table({"Depth", "Assoc", "Size (words)", "Warm misses"});
+  for (const auto& point : result.points) {
+    table.AddRow({std::to_string(point.depth), std::to_string(point.assoc),
+                  std::to_string(point.size_words()),
+                  std::to_string(point.warm_misses)});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
+}
+
+int CmdStats(const ces::ArgParser& args) {
+  const std::string path = args.GetString("trace", "");
+  if (path.empty()) return Usage();
+  const ces::trace::Trace trace =
+      LoadAnyFormat(path, args.GetString("kind", "data"));
+  const auto stats = ces::trace::ComputeStats(trace);
+  std::printf("%s: N=%llu N'=%llu max-misses=%llu kind=%s\n", path.c_str(),
+              static_cast<unsigned long long>(stats.n),
+              static_cast<unsigned long long>(stats.n_unique),
+              static_cast<unsigned long long>(stats.max_misses),
+              ces::trace::ToString(trace.kind));
+  return 0;
+}
+
+int CmdCompare(const ces::ArgParser& args) {
+  const std::string path = args.GetString("trace", "");
+  if (path.empty()) return Usage();
+  const ces::trace::Trace trace =
+      LoadAnyFormat(path, args.GetString("kind", "data"));
+  const auto stats = ces::trace::ComputeStats(trace);
+  const auto k = static_cast<std::uint64_t>(
+      args.GetDouble("fraction", 0.05) * static_cast<double>(stats.max_misses));
+  const auto max_bits =
+      static_cast<std::uint32_t>(args.GetInt("max-bits", 12));
+
+  ces::AsciiTable table({"Strategy", "Time", "Simulated refs"});
+  for (const auto& strategy : ces::explore::AllStrategies()) {
+    const auto result = strategy->Explore(trace, k, max_bits);
+    table.AddRow({strategy->name(), ces::FormatSeconds(result.seconds),
+                  ces::FormatWithThousands(result.simulated_references)});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
+}
+
+int CmdWorkload(const ces::ArgParser& args) {
+  const std::string name = args.GetString("benchmark", "");
+  const auto* workload = ces::workloads::FindWorkload(name);
+  if (workload == nullptr) {
+    std::fprintf(stderr, "unknown benchmark '%s'; known:", name.c_str());
+    for (const auto& w : ces::workloads::AllWorkloads()) {
+      std::fprintf(stderr, " %s", w.name.c_str());
+    }
+    std::fputc('\n', stderr);
+    return 2;
+  }
+  const auto run = ces::workloads::Run(*workload);
+  if (run.stop != ces::sim::StopReason::kHalted || !run.output_matches) {
+    std::fprintf(stderr, "workload verification failed\n");
+    return 1;
+  }
+  const std::string out = args.GetString("out", ".");
+  ces::trace::SaveToFile(out + "/" + name + ".instr.ctr",
+                         run.instruction_trace);
+  ces::trace::SaveToFile(out + "/" + name + ".data.ctr", run.data_trace);
+  std::printf("%s: %llu instructions retired, traces in %s/\n", name.c_str(),
+              static_cast<unsigned long long>(run.retired), out.c_str());
+  return 0;
+}
+
+int CmdCompile(const ces::ArgParser& args) {
+  const std::string path = args.GetString("source", "");
+  if (path.empty()) return Usage();
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string source((std::istreambuf_iterator<char>(file)),
+                     std::istreambuf_iterator<char>());
+  const std::string assembly = ces::cc::Compile(source);
+
+  const std::string out = args.GetString("out", "");
+  if (!out.empty()) {
+    std::ofstream os(out);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", out.c_str());
+      return 1;
+    }
+    os << assembly;
+    std::printf("wrote %s\n", out.c_str());
+  }
+  if (args.GetBool("run", out.empty())) {
+    const ces::isa::Program program = ces::isa::Assemble(assembly);
+    ces::sim::Cpu cpu(program);
+    const ces::sim::StopReason reason = cpu.Run();
+    if (reason != ces::sim::StopReason::kHalted) {
+      std::fprintf(stderr, "program stopped abnormally: %s\n",
+                   cpu.error().c_str());
+      return 1;
+    }
+    const auto& bytes = cpu.output();
+    std::printf("%llu instructions retired; out() words:",
+                static_cast<unsigned long long>(cpu.retired()));
+    for (std::size_t i = 0; i + 3 < bytes.size(); i += 4) {
+      const std::uint32_t word =
+          static_cast<std::uint32_t>(bytes[i]) |
+          (static_cast<std::uint32_t>(bytes[i + 1]) << 8) |
+          (static_cast<std::uint32_t>(bytes[i + 2]) << 16) |
+          (static_cast<std::uint32_t>(bytes[i + 3]) << 24);
+      std::printf(" %u", word);
+    }
+    std::fputc('\n', stdout);
+  }
+  return 0;
+}
+
+int CmdConvert(const ces::ArgParser& args) {
+  const std::string in = args.GetString("trace", "");
+  const std::string out = args.GetString("out", "");
+  if (in.empty() || out.empty()) return Usage();
+  SaveAnyFormat(out, LoadAnyFormat(in, args.GetString("kind", "data")));
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ces::ArgParser args(argc, argv);
+  if (args.positional().empty()) return Usage();
+  const std::string command = args.positional()[0];
+  try {
+    if (command == "explore") return CmdExplore(args);
+    if (command == "stats") return CmdStats(args);
+    if (command == "compare") return CmdCompare(args);
+    if (command == "workload") return CmdWorkload(args);
+    if (command == "convert") return CmdConvert(args);
+    if (command == "compile") return CmdCompile(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cachedse: %s\n", e.what());
+    return 1;
+  }
+  return Usage();
+}
