@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bus.dir/ablation_bus.cpp.o"
+  "CMakeFiles/ablation_bus.dir/ablation_bus.cpp.o.d"
+  "ablation_bus"
+  "ablation_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

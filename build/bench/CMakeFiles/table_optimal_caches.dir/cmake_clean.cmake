@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_optimal_caches.dir/table_optimal_caches.cpp.o"
+  "CMakeFiles/table_optimal_caches.dir/table_optimal_caches.cpp.o.d"
+  "table_optimal_caches"
+  "table_optimal_caches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_optimal_caches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_runtime.dir/table_runtime.cpp.o"
+  "CMakeFiles/table_runtime.dir/table_runtime.cpp.o.d"
+  "table_runtime"
+  "table_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_and_explore.dir/compile_and_explore.cpp.o"
+  "CMakeFiles/compile_and_explore.dir/compile_and_explore.cpp.o.d"
+  "compile_and_explore"
+  "compile_and_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_and_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_explore.dir/hierarchy_explore.cpp.o"
+  "CMakeFiles/hierarchy_explore.dir/hierarchy_explore.cpp.o.d"
+  "hierarchy_explore"
+  "hierarchy_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

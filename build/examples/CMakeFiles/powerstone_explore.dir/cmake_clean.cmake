@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerstone_explore.dir/powerstone_explore.cpp.o"
+  "CMakeFiles/powerstone_explore.dir/powerstone_explore.cpp.o.d"
+  "powerstone_explore"
+  "powerstone_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerstone_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_compare.dir/tuning_compare.cpp.o"
+  "CMakeFiles/tuning_compare.dir/tuning_compare.cpp.o.d"
+  "tuning_compare"
+  "tuning_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unified_vs_split.dir/unified_vs_split.cpp.o"
+  "CMakeFiles/unified_vs_split.dir/unified_vs_split.cpp.o.d"
+  "unified_vs_split"
+  "unified_vs_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unified_vs_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytic/bcat.cpp" "src/analytic/CMakeFiles/ces_analytic.dir/bcat.cpp.o" "gcc" "src/analytic/CMakeFiles/ces_analytic.dir/bcat.cpp.o.d"
+  "/root/repo/src/analytic/explorer.cpp" "src/analytic/CMakeFiles/ces_analytic.dir/explorer.cpp.o" "gcc" "src/analytic/CMakeFiles/ces_analytic.dir/explorer.cpp.o.d"
+  "/root/repo/src/analytic/fast.cpp" "src/analytic/CMakeFiles/ces_analytic.dir/fast.cpp.o" "gcc" "src/analytic/CMakeFiles/ces_analytic.dir/fast.cpp.o.d"
+  "/root/repo/src/analytic/mrct.cpp" "src/analytic/CMakeFiles/ces_analytic.dir/mrct.cpp.o" "gcc" "src/analytic/CMakeFiles/ces_analytic.dir/mrct.cpp.o.d"
+  "/root/repo/src/analytic/postlude.cpp" "src/analytic/CMakeFiles/ces_analytic.dir/postlude.cpp.o" "gcc" "src/analytic/CMakeFiles/ces_analytic.dir/postlude.cpp.o.d"
+  "/root/repo/src/analytic/zeroone.cpp" "src/analytic/CMakeFiles/ces_analytic.dir/zeroone.cpp.o" "gcc" "src/analytic/CMakeFiles/ces_analytic.dir/zeroone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ces_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ces_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ces_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ces_analytic.dir/bcat.cpp.o"
+  "CMakeFiles/ces_analytic.dir/bcat.cpp.o.d"
+  "CMakeFiles/ces_analytic.dir/explorer.cpp.o"
+  "CMakeFiles/ces_analytic.dir/explorer.cpp.o.d"
+  "CMakeFiles/ces_analytic.dir/fast.cpp.o"
+  "CMakeFiles/ces_analytic.dir/fast.cpp.o.d"
+  "CMakeFiles/ces_analytic.dir/mrct.cpp.o"
+  "CMakeFiles/ces_analytic.dir/mrct.cpp.o.d"
+  "CMakeFiles/ces_analytic.dir/postlude.cpp.o"
+  "CMakeFiles/ces_analytic.dir/postlude.cpp.o.d"
+  "CMakeFiles/ces_analytic.dir/zeroone.cpp.o"
+  "CMakeFiles/ces_analytic.dir/zeroone.cpp.o.d"
+  "libces_analytic.a"
+  "libces_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ces_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bus/activity.cpp" "src/bus/CMakeFiles/ces_bus.dir/activity.cpp.o" "gcc" "src/bus/CMakeFiles/ces_bus.dir/activity.cpp.o.d"
+  "/root/repo/src/bus/encoding.cpp" "src/bus/CMakeFiles/ces_bus.dir/encoding.cpp.o" "gcc" "src/bus/CMakeFiles/ces_bus.dir/encoding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ces_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ces_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

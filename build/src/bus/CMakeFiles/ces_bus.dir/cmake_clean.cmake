@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ces_bus.dir/activity.cpp.o"
+  "CMakeFiles/ces_bus.dir/activity.cpp.o.d"
+  "CMakeFiles/ces_bus.dir/encoding.cpp.o"
+  "CMakeFiles/ces_bus.dir/encoding.cpp.o.d"
+  "libces_bus.a"
+  "libces_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ces_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cpp" "src/cache/CMakeFiles/ces_cache.dir/cache.cpp.o" "gcc" "src/cache/CMakeFiles/ces_cache.dir/cache.cpp.o.d"
+  "/root/repo/src/cache/energy.cpp" "src/cache/CMakeFiles/ces_cache.dir/energy.cpp.o" "gcc" "src/cache/CMakeFiles/ces_cache.dir/energy.cpp.o.d"
+  "/root/repo/src/cache/hierarchy.cpp" "src/cache/CMakeFiles/ces_cache.dir/hierarchy.cpp.o" "gcc" "src/cache/CMakeFiles/ces_cache.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/cache/opt.cpp" "src/cache/CMakeFiles/ces_cache.dir/opt.cpp.o" "gcc" "src/cache/CMakeFiles/ces_cache.dir/opt.cpp.o.d"
+  "/root/repo/src/cache/sim.cpp" "src/cache/CMakeFiles/ces_cache.dir/sim.cpp.o" "gcc" "src/cache/CMakeFiles/ces_cache.dir/sim.cpp.o.d"
+  "/root/repo/src/cache/stack.cpp" "src/cache/CMakeFiles/ces_cache.dir/stack.cpp.o" "gcc" "src/cache/CMakeFiles/ces_cache.dir/stack.cpp.o.d"
+  "/root/repo/src/cache/sweep.cpp" "src/cache/CMakeFiles/ces_cache.dir/sweep.cpp.o" "gcc" "src/cache/CMakeFiles/ces_cache.dir/sweep.cpp.o.d"
+  "/root/repo/src/cache/victim.cpp" "src/cache/CMakeFiles/ces_cache.dir/victim.cpp.o" "gcc" "src/cache/CMakeFiles/ces_cache.dir/victim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ces_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ces_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ces_cache.dir/cache.cpp.o"
+  "CMakeFiles/ces_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/ces_cache.dir/energy.cpp.o"
+  "CMakeFiles/ces_cache.dir/energy.cpp.o.d"
+  "CMakeFiles/ces_cache.dir/hierarchy.cpp.o"
+  "CMakeFiles/ces_cache.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/ces_cache.dir/opt.cpp.o"
+  "CMakeFiles/ces_cache.dir/opt.cpp.o.d"
+  "CMakeFiles/ces_cache.dir/sim.cpp.o"
+  "CMakeFiles/ces_cache.dir/sim.cpp.o.d"
+  "CMakeFiles/ces_cache.dir/stack.cpp.o"
+  "CMakeFiles/ces_cache.dir/stack.cpp.o.d"
+  "CMakeFiles/ces_cache.dir/sweep.cpp.o"
+  "CMakeFiles/ces_cache.dir/sweep.cpp.o.d"
+  "CMakeFiles/ces_cache.dir/victim.cpp.o"
+  "CMakeFiles/ces_cache.dir/victim.cpp.o.d"
+  "libces_cache.a"
+  "libces_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ces_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

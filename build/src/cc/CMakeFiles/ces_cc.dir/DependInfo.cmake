@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/codegen.cpp" "src/cc/CMakeFiles/ces_cc.dir/codegen.cpp.o" "gcc" "src/cc/CMakeFiles/ces_cc.dir/codegen.cpp.o.d"
+  "/root/repo/src/cc/lexer.cpp" "src/cc/CMakeFiles/ces_cc.dir/lexer.cpp.o" "gcc" "src/cc/CMakeFiles/ces_cc.dir/lexer.cpp.o.d"
+  "/root/repo/src/cc/parser.cpp" "src/cc/CMakeFiles/ces_cc.dir/parser.cpp.o" "gcc" "src/cc/CMakeFiles/ces_cc.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ces_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ces_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ces_cc.dir/codegen.cpp.o"
+  "CMakeFiles/ces_cc.dir/codegen.cpp.o.d"
+  "CMakeFiles/ces_cc.dir/lexer.cpp.o"
+  "CMakeFiles/ces_cc.dir/lexer.cpp.o.d"
+  "CMakeFiles/ces_cc.dir/parser.cpp.o"
+  "CMakeFiles/ces_cc.dir/parser.cpp.o.d"
+  "libces_cc.a"
+  "libces_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ces_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explore/pareto.cpp" "src/explore/CMakeFiles/ces_explore.dir/pareto.cpp.o" "gcc" "src/explore/CMakeFiles/ces_explore.dir/pareto.cpp.o.d"
+  "/root/repo/src/explore/performance.cpp" "src/explore/CMakeFiles/ces_explore.dir/performance.cpp.o" "gcc" "src/explore/CMakeFiles/ces_explore.dir/performance.cpp.o.d"
+  "/root/repo/src/explore/report.cpp" "src/explore/CMakeFiles/ces_explore.dir/report.cpp.o" "gcc" "src/explore/CMakeFiles/ces_explore.dir/report.cpp.o.d"
+  "/root/repo/src/explore/strategy.cpp" "src/explore/CMakeFiles/ces_explore.dir/strategy.cpp.o" "gcc" "src/explore/CMakeFiles/ces_explore.dir/strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ces_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ces_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ces_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/ces_analytic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

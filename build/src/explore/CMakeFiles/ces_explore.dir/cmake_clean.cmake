@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ces_explore.dir/pareto.cpp.o"
+  "CMakeFiles/ces_explore.dir/pareto.cpp.o.d"
+  "CMakeFiles/ces_explore.dir/performance.cpp.o"
+  "CMakeFiles/ces_explore.dir/performance.cpp.o.d"
+  "CMakeFiles/ces_explore.dir/report.cpp.o"
+  "CMakeFiles/ces_explore.dir/report.cpp.o.d"
+  "CMakeFiles/ces_explore.dir/strategy.cpp.o"
+  "CMakeFiles/ces_explore.dir/strategy.cpp.o.d"
+  "libces_explore.a"
+  "libces_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ces_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ces_isa.dir/assembler.cpp.o"
+  "CMakeFiles/ces_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/ces_isa.dir/disasm.cpp.o"
+  "CMakeFiles/ces_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/ces_isa.dir/isa.cpp.o"
+  "CMakeFiles/ces_isa.dir/isa.cpp.o.d"
+  "libces_isa.a"
+  "libces_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ces_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

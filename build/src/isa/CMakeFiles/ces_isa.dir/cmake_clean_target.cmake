@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libces_isa.a"
+)

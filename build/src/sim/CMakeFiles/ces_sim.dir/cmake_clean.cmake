@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ces_sim.dir/cpu.cpp.o"
+  "CMakeFiles/ces_sim.dir/cpu.cpp.o.d"
+  "libces_sim.a"
+  "libces_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ces_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

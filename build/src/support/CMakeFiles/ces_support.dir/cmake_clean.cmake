@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ces_support.dir/bitset.cpp.o"
+  "CMakeFiles/ces_support.dir/bitset.cpp.o.d"
+  "CMakeFiles/ces_support.dir/cli.cpp.o"
+  "CMakeFiles/ces_support.dir/cli.cpp.o.d"
+  "CMakeFiles/ces_support.dir/table.cpp.o"
+  "CMakeFiles/ces_support.dir/table.cpp.o.d"
+  "libces_support.a"
+  "libces_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ces_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

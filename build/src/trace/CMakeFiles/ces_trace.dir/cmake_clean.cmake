@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ces_trace.dir/dinero.cpp.o"
+  "CMakeFiles/ces_trace.dir/dinero.cpp.o.d"
+  "CMakeFiles/ces_trace.dir/strip.cpp.o"
+  "CMakeFiles/ces_trace.dir/strip.cpp.o.d"
+  "CMakeFiles/ces_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/ces_trace.dir/synthetic.cpp.o.d"
+  "CMakeFiles/ces_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/ces_trace.dir/trace_io.cpp.o.d"
+  "libces_trace.a"
+  "libces_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ces_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

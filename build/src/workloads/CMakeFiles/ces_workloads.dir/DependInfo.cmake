@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/builder.cpp" "src/workloads/CMakeFiles/ces_workloads.dir/builder.cpp.o" "gcc" "src/workloads/CMakeFiles/ces_workloads.dir/builder.cpp.o.d"
+  "/root/repo/src/workloads/workload_adpcm.cpp" "src/workloads/CMakeFiles/ces_workloads.dir/workload_adpcm.cpp.o" "gcc" "src/workloads/CMakeFiles/ces_workloads.dir/workload_adpcm.cpp.o.d"
+  "/root/repo/src/workloads/workload_bcnt.cpp" "src/workloads/CMakeFiles/ces_workloads.dir/workload_bcnt.cpp.o" "gcc" "src/workloads/CMakeFiles/ces_workloads.dir/workload_bcnt.cpp.o.d"
+  "/root/repo/src/workloads/workload_blit.cpp" "src/workloads/CMakeFiles/ces_workloads.dir/workload_blit.cpp.o" "gcc" "src/workloads/CMakeFiles/ces_workloads.dir/workload_blit.cpp.o.d"
+  "/root/repo/src/workloads/workload_compress.cpp" "src/workloads/CMakeFiles/ces_workloads.dir/workload_compress.cpp.o" "gcc" "src/workloads/CMakeFiles/ces_workloads.dir/workload_compress.cpp.o.d"
+  "/root/repo/src/workloads/workload_crc.cpp" "src/workloads/CMakeFiles/ces_workloads.dir/workload_crc.cpp.o" "gcc" "src/workloads/CMakeFiles/ces_workloads.dir/workload_crc.cpp.o.d"
+  "/root/repo/src/workloads/workload_des.cpp" "src/workloads/CMakeFiles/ces_workloads.dir/workload_des.cpp.o" "gcc" "src/workloads/CMakeFiles/ces_workloads.dir/workload_des.cpp.o.d"
+  "/root/repo/src/workloads/workload_engine.cpp" "src/workloads/CMakeFiles/ces_workloads.dir/workload_engine.cpp.o" "gcc" "src/workloads/CMakeFiles/ces_workloads.dir/workload_engine.cpp.o.d"
+  "/root/repo/src/workloads/workload_fir.cpp" "src/workloads/CMakeFiles/ces_workloads.dir/workload_fir.cpp.o" "gcc" "src/workloads/CMakeFiles/ces_workloads.dir/workload_fir.cpp.o.d"
+  "/root/repo/src/workloads/workload_g3fax.cpp" "src/workloads/CMakeFiles/ces_workloads.dir/workload_g3fax.cpp.o" "gcc" "src/workloads/CMakeFiles/ces_workloads.dir/workload_g3fax.cpp.o.d"
+  "/root/repo/src/workloads/workload_pocsag.cpp" "src/workloads/CMakeFiles/ces_workloads.dir/workload_pocsag.cpp.o" "gcc" "src/workloads/CMakeFiles/ces_workloads.dir/workload_pocsag.cpp.o.d"
+  "/root/repo/src/workloads/workload_qurt.cpp" "src/workloads/CMakeFiles/ces_workloads.dir/workload_qurt.cpp.o" "gcc" "src/workloads/CMakeFiles/ces_workloads.dir/workload_qurt.cpp.o.d"
+  "/root/repo/src/workloads/workload_ucbqsort.cpp" "src/workloads/CMakeFiles/ces_workloads.dir/workload_ucbqsort.cpp.o" "gcc" "src/workloads/CMakeFiles/ces_workloads.dir/workload_ucbqsort.cpp.o.d"
+  "/root/repo/src/workloads/workloads.cpp" "src/workloads/CMakeFiles/ces_workloads.dir/workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/ces_workloads.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ces_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ces_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ces_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ces_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

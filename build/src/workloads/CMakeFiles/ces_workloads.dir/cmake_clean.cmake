@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ces_workloads.dir/builder.cpp.o"
+  "CMakeFiles/ces_workloads.dir/builder.cpp.o.d"
+  "CMakeFiles/ces_workloads.dir/workload_adpcm.cpp.o"
+  "CMakeFiles/ces_workloads.dir/workload_adpcm.cpp.o.d"
+  "CMakeFiles/ces_workloads.dir/workload_bcnt.cpp.o"
+  "CMakeFiles/ces_workloads.dir/workload_bcnt.cpp.o.d"
+  "CMakeFiles/ces_workloads.dir/workload_blit.cpp.o"
+  "CMakeFiles/ces_workloads.dir/workload_blit.cpp.o.d"
+  "CMakeFiles/ces_workloads.dir/workload_compress.cpp.o"
+  "CMakeFiles/ces_workloads.dir/workload_compress.cpp.o.d"
+  "CMakeFiles/ces_workloads.dir/workload_crc.cpp.o"
+  "CMakeFiles/ces_workloads.dir/workload_crc.cpp.o.d"
+  "CMakeFiles/ces_workloads.dir/workload_des.cpp.o"
+  "CMakeFiles/ces_workloads.dir/workload_des.cpp.o.d"
+  "CMakeFiles/ces_workloads.dir/workload_engine.cpp.o"
+  "CMakeFiles/ces_workloads.dir/workload_engine.cpp.o.d"
+  "CMakeFiles/ces_workloads.dir/workload_fir.cpp.o"
+  "CMakeFiles/ces_workloads.dir/workload_fir.cpp.o.d"
+  "CMakeFiles/ces_workloads.dir/workload_g3fax.cpp.o"
+  "CMakeFiles/ces_workloads.dir/workload_g3fax.cpp.o.d"
+  "CMakeFiles/ces_workloads.dir/workload_pocsag.cpp.o"
+  "CMakeFiles/ces_workloads.dir/workload_pocsag.cpp.o.d"
+  "CMakeFiles/ces_workloads.dir/workload_qurt.cpp.o"
+  "CMakeFiles/ces_workloads.dir/workload_qurt.cpp.o.d"
+  "CMakeFiles/ces_workloads.dir/workload_ucbqsort.cpp.o"
+  "CMakeFiles/ces_workloads.dir/workload_ucbqsort.cpp.o.d"
+  "CMakeFiles/ces_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/ces_workloads.dir/workloads.cpp.o.d"
+  "libces_workloads.a"
+  "libces_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ces_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachedse.dir/cachedse.cpp.o"
+  "CMakeFiles/cachedse.dir/cachedse.cpp.o.d"
+  "cachedse"
+  "cachedse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachedse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
