@@ -11,6 +11,9 @@
 //
 // Flags: --engine=reference|fused|fused-tree (default reference: the
 //        paper's explicit data structures)  --synthetic-points=6  --repeats=2
+//        --jobs=N (default 1): prelude worker threads for the fused engines
+//        (the reference engine's global structures are sequential and ignore
+//        it). Profiles are identical for every N; only the clock moves.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -37,13 +40,14 @@ struct Point {
 };
 
 Point Measure(const std::string& label, const ces::trace::Trace& trace,
-              int repeats, ces::analytic::Engine engine) {
+              int repeats, ces::analytic::Engine engine, std::uint32_t jobs) {
   const auto stats = ces::trace::ComputeStats(trace);
   double best = 1e30;
   double volume = 0;
   for (int r = 0; r < repeats; ++r) {
     ces::Stopwatch watch;
-    const ces::analytic::Explorer explorer(trace, {.engine = engine});
+    const ces::analytic::Explorer explorer(trace,
+                                           {.engine = engine, .jobs = jobs});
     (void)explorer.Solve(0);
     best = std::min(best, watch.ElapsedSeconds());
     // Conflict-set volume: the work the postlude actually performs —
@@ -86,6 +90,7 @@ int main(int argc, char** argv) {
   const int repeats = static_cast<int>(args.GetInt("repeats", 2));
   const int synthetic = static_cast<int>(args.GetInt("synthetic-points", 6));
   const std::string engine_name = args.GetString("engine", "reference");
+  const auto jobs = static_cast<std::uint32_t>(args.GetInt("jobs", 1));
   const ces::analytic::Engine engine =
       engine_name == "fused"        ? ces::analytic::Engine::kFused
       : engine_name == "fused-tree" ? ces::analytic::Engine::kFusedTree
@@ -94,9 +99,9 @@ int main(int argc, char** argv) {
   std::vector<Point> points;
   for (const auto& traces : ces::bench::CollectAllTraces()) {
     points.push_back(
-        Measure(traces.name + ".data", traces.data, repeats, engine));
+        Measure(traces.name + ".data", traces.data, repeats, engine, jobs));
     points.push_back(
-        Measure(traces.name + ".instr", traces.instruction, repeats, engine));
+        Measure(traces.name + ".instr", traces.instruction, repeats, engine, jobs));
   }
   // Small-scale variants of the same workloads give within-family scaling
   // pairs (the regime where the paper's linearity claim is cleanest).
@@ -104,9 +109,9 @@ int main(int argc, char** argv) {
     for (const auto& traces : ces::bench::CollectAllTraces(
              true, ces::workloads::Scale::kSmall)) {
       points.push_back(Measure(traces.name + ".data-small", traces.data,
-                               repeats, engine));
+                               repeats, engine, jobs));
       points.push_back(Measure(traces.name + ".instr-small",
-                               traces.instruction, repeats, engine));
+                               traces.instruction, repeats, engine, jobs));
     }
   }
   for (int i = 0; i < synthetic; ++i) {
@@ -116,7 +121,7 @@ int main(int argc, char** argv) {
     points.push_back(Measure(
         "synthetic-" + std::to_string(i),
         ces::trace::RandomWorkingSet(rng, working_set, length), repeats,
-        engine));
+        engine, jobs));
   }
 
   ces::AsciiTable table({"Trace", "N", "N*N'", "Time (s)"});
@@ -131,7 +136,8 @@ int main(int argc, char** argv) {
     row.emplace_back(buf);
     table.AddRow(std::move(row));
   }
-  std::printf("== Figure 4 series (engine: %s) ==\n", engine_name.c_str());
+  std::printf("== Figure 4 series (engine: %s, jobs=%u) ==\n",
+              engine_name.c_str(), jobs);
   std::fputs(table.ToString().c_str(), stdout);
 
   // Model (1): least squares through the origin on x = N*N'.

@@ -6,12 +6,17 @@
 //
 // Flags: --repeats=3  --with-baselines=true|false (default true)
 //        --engine=fused|reference (default fused)
+//        --jobs=N (default 1): worker threads for every timed phase; with
+//        N > 1 an extra parallel-scaling section times cache::ExhaustiveSweep
+//        at jobs=1 vs jobs=N and prints the speedup. Results are identical
+//        for every N — only the wall clock moves.
 #include <algorithm>
 #include <cstdio>
 #include <string>
 
 #include "analytic/explorer.hpp"
 #include "bench_util.hpp"
+#include "cache/sweep.hpp"
 #include "explore/strategy.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
@@ -21,11 +26,12 @@
 namespace {
 
 double TimeAnalytical(const ces::trace::Trace& trace, int repeats,
-                      ces::analytic::Engine engine) {
+                      ces::analytic::Engine engine, std::uint32_t jobs) {
   double best = 1e30;
   for (int r = 0; r < repeats; ++r) {
     ces::Stopwatch watch;
-    const ces::analytic::Explorer explorer(trace, {.engine = engine});
+    const ces::analytic::Explorer explorer(trace,
+                                           {.engine = engine, .jobs = jobs});
     const auto result = explorer.SolveFraction(0.05);
     (void)result;
     best = std::min(best, watch.ElapsedSeconds());
@@ -33,9 +39,50 @@ double TimeAnalytical(const ces::trace::Trace& trace, int repeats,
   return best;
 }
 
+// Best-of-repeats wall time of the bounded exhaustive (depth x assoc) sweep.
+// stop_at_zero is off so every depth simulates the same number of configs —
+// a near-uniform per-depth load that isolates the pool's scaling from the
+// workload's shape.
+double TimeSweep(const ces::trace::Trace& trace, int repeats,
+                 std::uint32_t max_bits, std::uint32_t max_assoc,
+                 std::uint32_t jobs) {
+  double best = 1e30;
+  for (int r = 0; r < repeats; ++r) {
+    ces::Stopwatch watch;
+    const auto points = ces::cache::ExhaustiveSweep(
+        trace, max_bits, max_assoc, ces::cache::ReplacementPolicy::kLru,
+        /*stop_at_zero=*/false, jobs);
+    (void)points;
+    best = std::min(best, watch.ElapsedSeconds());
+  }
+  return best;
+}
+
+void EmitScalingTable(const std::vector<ces::bench::BenchmarkTraces>& all,
+                      int repeats, std::uint32_t jobs) {
+  const std::uint32_t max_bits = 8;
+  const std::uint32_t max_assoc = 4;
+  ces::AsciiTable table({"Benchmark", "Sweep jobs=1", "Sweep jobs=N",
+                         "Speedup"});
+  for (const auto& traces : all) {
+    const double serial = TimeSweep(traces.data, repeats, max_bits, max_assoc, 1);
+    const double parallel =
+        TimeSweep(traces.data, repeats, max_bits, max_assoc, jobs);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fx", serial / parallel);
+    table.AddRow({traces.name, ces::FormatSeconds(serial),
+                  ces::FormatSeconds(parallel), buf});
+    std::fflush(stdout);
+  }
+  std::printf("\n== Parallel scaling: exhaustive sweep (data traces, "
+              "depth<=2^%u x assoc<=%u), jobs=%u ==\n",
+              max_bits, max_assoc, jobs);
+  std::fputs(table.ToString().c_str(), stdout);
+}
+
 void EmitTable(const std::vector<ces::bench::BenchmarkTraces>& all,
                bool data_kind, int repeats, bool with_baselines,
-               ces::analytic::Engine engine) {
+               ces::analytic::Engine engine, std::uint32_t jobs) {
   std::vector<std::string> headers = {"Benchmark", "N*N'", "Analytical"};
   if (with_baselines) {
     headers.push_back("One-pass stack");
@@ -47,21 +94,22 @@ void EmitTable(const std::vector<ces::bench::BenchmarkTraces>& all,
     const ces::trace::Trace& trace = data_kind ? traces.data
                                                : traces.instruction;
     const auto stats = ces::trace::ComputeStats(trace);
-    const double analytical = TimeAnalytical(trace, repeats, engine);
+    const double analytical = TimeAnalytical(trace, repeats, engine, jobs);
     std::vector<std::string> row = {
         traces.name, ces::FormatWithThousands(stats.n * stats.n_unique),
         ces::FormatSeconds(analytical)};
     if (with_baselines) {
       const auto k = static_cast<std::uint64_t>(0.05 * stats.max_misses);
       ces::Stopwatch watch;
-      ces::explore::OnePassStackStrategy().Explore(trace, k, 16);
+      ces::explore::OnePassStackStrategy().Explore(trace, k, 16, jobs);
       row.push_back(ces::FormatSeconds(watch.ElapsedSeconds()));
       // The traditional loop of Figure 1a: tune A per depth, one full
       // simulation per probe. (The exhaustive flavour is unbounded on
       // streaming traces whose A_zero approaches N'; the google-benchmark
-      // ablation covers it on a bounded trace.)
+      // ablation covers it on a bounded trace, and the scaling section
+      // below bounds it by max_assoc.)
       watch.Restart();
-      ces::explore::IterativeSimulationStrategy().Explore(trace, k, 16);
+      ces::explore::IterativeSimulationStrategy().Explore(trace, k, 16, jobs);
       row.push_back(ces::FormatSeconds(watch.ElapsedSeconds()));
     }
     table.AddRow(std::move(row));
@@ -80,11 +128,16 @@ int main(int argc, char** argv) {
       args.GetString("engine", "fused") == "reference"
           ? ces::analytic::Engine::kReference
           : ces::analytic::Engine::kFused;
+  const auto jobs = static_cast<std::uint32_t>(args.GetInt("jobs", 1));
 
   const auto all = ces::bench::CollectAllTraces();
-  std::puts("== Table 31: algorithm run time, data traces ==");
-  EmitTable(all, /*data_kind=*/true, repeats, with_baselines, engine);
-  std::puts("\n== Table 32: algorithm run time, instruction traces ==");
-  EmitTable(all, /*data_kind=*/false, repeats, with_baselines, engine);
+  std::printf("== Table 31: algorithm run time, data traces (jobs=%u) ==\n",
+              jobs);
+  EmitTable(all, /*data_kind=*/true, repeats, with_baselines, engine, jobs);
+  std::printf(
+      "\n== Table 32: algorithm run time, instruction traces (jobs=%u) ==\n",
+      jobs);
+  EmitTable(all, /*data_kind=*/false, repeats, with_baselines, engine, jobs);
+  if (jobs > 1) EmitScalingTable(all, repeats, jobs);
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "analytic/mrct.hpp"
 #include "analytic/postlude.hpp"
 #include "analytic/zeroone.hpp"
+#include "support/pool.hpp"
 #include "support/timer.hpp"
 
 namespace ces::analytic {
@@ -32,7 +33,18 @@ Explorer::Explorer(const trace::Trace& trace, ExplorerOptions options) {
   max_index_bits_ =
       std::min(options.max_index_bits, trace::SignificantAddressBits(stripped));
 
-  if (options.engine == Engine::kFused) {
+  const std::uint32_t jobs =
+      options.jobs == 0 ? support::HardwareConcurrency() : options.jobs;
+  if (jobs > 1 && options.engine != Engine::kReference) {
+    // Parallel prelude: per-depth Mattson passes (move-to-front or Fenwick,
+    // matching the engine) computed concurrently. Identical histograms to
+    // the fused depth-first traversal — both are exact per-set LRU stack
+    // distance counts in canonical form.
+    support::ThreadPool pool(jobs);
+    profiles_ = cache::ComputeAllDepthProfiles(
+        stripped, max_index_bits_, &pool,
+        /*use_tree=*/options.engine == Engine::kFusedTree);
+  } else if (options.engine == Engine::kFused) {
     profiles_ = ComputeMissProfilesFused(stripped, max_index_bits_);
   } else if (options.engine == Engine::kFusedTree) {
     profiles_ = ComputeMissProfilesFusedTree(stripped, max_index_bits_);

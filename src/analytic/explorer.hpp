@@ -42,6 +42,14 @@ struct ExplorerOptions {
   // word; larger values re-block the trace first (the future-work line-size
   // axis), after which depths/misses are in units of lines.
   std::uint32_t line_words = 1;
+  // Worker threads for the prelude. 1 (default) is the serial code path;
+  // 0 picks the hardware concurrency. With jobs > 1 the fused engines
+  // compute the per-depth histograms concurrently (one depth per pool
+  // index, each depth's pass serial) — the profiles are bit-identical to
+  // the serial fused traversal, which the determinism tests assert. The
+  // reference engine's global BCAT/MRCT structures are inherently
+  // sequential; it ignores this option.
+  std::uint32_t jobs = 1;
 };
 
 struct ExplorationResult {

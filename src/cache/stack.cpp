@@ -4,6 +4,7 @@
 
 #include "support/check.hpp"
 #include "support/fenwick.hpp"
+#include "support/pool.hpp"
 
 namespace ces::cache {
 
@@ -34,19 +35,22 @@ std::uint64_t StackProfile::WarmAccesses() const {
   return total;
 }
 
-StackProfile ComputeStackProfile(const trace::StrippedTrace& stripped,
-                                 std::uint32_t index_bits) {
-  StackProfile profile;
-  profile.index_bits = index_bits;
-  const std::uint32_t sets = 1u << index_bits;
-  const std::uint32_t mask = sets - 1;
+namespace {
 
+// Move-to-front pass restricted to sets in [set_begin, set_end). Every
+// reference belongs to exactly one set, so ranges partition the work: the
+// full profile is the (order-independent) sum of the range profiles.
+void ScanSetRange(const trace::StrippedTrace& stripped, std::uint32_t mask,
+                  std::size_t set_begin, std::size_t set_end,
+                  StackProfile& profile) {
   // One move-to-front stack of reference ids per set. Distances in embedded
   // traces are small, so the linear scan beats an order-statistics tree.
-  std::vector<std::vector<std::uint32_t>> stacks(sets);
+  std::vector<std::vector<std::uint32_t>> stacks(set_end - set_begin);
   for (std::size_t j = 0; j < stripped.ids.size(); ++j) {
     const std::uint32_t id = stripped.ids[j];
-    auto& stack = stacks[stripped.unique[id] & mask];
+    const std::size_t set = stripped.unique[id] & mask;
+    if (set < set_begin || set >= set_end) continue;
+    auto& stack = stacks[set - set_begin];
     if (stripped.is_first[j]) {
       ++profile.cold;
       stack.insert(stack.begin(), id);
@@ -59,31 +63,25 @@ StackProfile ComputeStackProfile(const trace::StrippedTrace& stripped,
     ++profile.hist[distance];
     std::rotate(stack.begin(), it, it + 1);
   }
-  // Canonical form: hist always has at least the distance-0 bucket so that
-  // profiles from different engines compare equal structurally.
-  if (profile.hist.empty()) profile.hist.resize(1, 0);
-  return profile;
 }
 
-StackProfile ComputeStackProfileTree(const trace::StrippedTrace& stripped,
-                                     std::uint32_t index_bits) {
-  StackProfile profile;
-  profile.index_bits = index_bits;
-  const std::uint32_t sets = 1u << index_bits;
-  const std::uint32_t mask = sets - 1;
-
-  // Partition the id sequence by set, then run Bennett-Kruskal on each
-  // subsequence: a Fenwick tree marks the most recent position of every
-  // distinct reference, so the number of distinct references between two
-  // occurrences is a range sum.
-  std::vector<std::vector<std::uint32_t>> sequences(sets);
+// Bennett-Kruskal pass restricted to sets in [set_begin, set_end): per-set
+// subsequences scanned with a Fenwick tree of "most recent occurrence"
+// marks, so the number of distinct references between two occurrences is a
+// range sum.
+void ScanSetRangeTree(const trace::StrippedTrace& stripped, std::uint32_t mask,
+                      std::size_t set_begin, std::size_t set_end,
+                      StackProfile& profile) {
+  std::vector<std::vector<std::uint32_t>> sequences(set_end - set_begin);
   for (std::size_t j = 0; j < stripped.ids.size(); ++j) {
     const std::uint32_t id = stripped.ids[j];
-    sequences[stripped.unique[id] & mask].push_back(id);
+    const std::size_t set = stripped.unique[id] & mask;
+    if (set < set_begin || set >= set_end) continue;
+    sequences[set - set_begin].push_back(id);
   }
 
   std::vector<std::size_t> last(stripped.unique_count(), 0);
-  std::vector<bool> seen(stripped.unique_count(), false);
+  std::vector<char> seen(stripped.unique_count(), 0);
   for (const auto& sequence : sequences) {
     if (sequence.empty()) continue;
     FenwickTree marks(sequence.size());
@@ -98,27 +96,87 @@ StackProfile ComputeStackProfileTree(const trace::StrippedTrace& stripped,
         marks.Add(p, -1);
       } else {
         ++profile.cold;
-        seen[id] = true;
+        seen[id] = 1;
       }
       marks.Add(t, +1);
       last[id] = t;
     }
     // Reset the per-reference state touched by this set (ids are disjoint
     // across sets, so a full clear is unnecessary).
-    for (std::uint32_t id : sequence) seen[id] = false;
+    for (std::uint32_t id : sequence) seen[id] = 0;
   }
-  // Restore `cold` semantics: the loop above cleared seen[], but cold was
-  // already counted exactly once per unique reference.
+}
+
+// Sums the per-chunk partial histograms in chunk order. uint64 addition is
+// associative and commutative, so the result is identical to the serial scan
+// for every chunk count.
+void MergePartials(const std::vector<StackProfile>& partials,
+                   StackProfile& profile) {
+  for (const StackProfile& partial : partials) {
+    profile.cold += partial.cold;
+    if (partial.hist.size() > profile.hist.size()) {
+      profile.hist.resize(partial.hist.size(), 0);
+    }
+    for (std::size_t d = 0; d < partial.hist.size(); ++d) {
+      profile.hist[d] += partial.hist[d];
+    }
+  }
+}
+
+template <typename Scan>
+StackProfile ComputeWithScan(const trace::StrippedTrace& stripped,
+                             std::uint32_t index_bits,
+                             support::ThreadPool* pool, Scan scan) {
+  StackProfile profile;
+  profile.index_bits = index_bits;
+  const std::uint32_t sets = 1u << index_bits;
+  const std::uint32_t mask = sets - 1;
+  if (pool != nullptr && pool->jobs() > 1 && sets > 1) {
+    std::vector<StackProfile> partials(pool->jobs());
+    pool->ParallelForChunks(
+        sets, [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+          scan(stripped, mask, begin, end, partials[chunk]);
+        });
+    MergePartials(partials, profile);
+  } else {
+    scan(stripped, mask, 0, sets, profile);
+  }
+  // Canonical form: hist always has at least the distance-0 bucket so that
+  // profiles from different engines compare equal structurally.
   if (profile.hist.empty()) profile.hist.resize(1, 0);
   return profile;
 }
 
+}  // namespace
+
+StackProfile ComputeStackProfile(const trace::StrippedTrace& stripped,
+                                 std::uint32_t index_bits,
+                                 support::ThreadPool* pool) {
+  return ComputeWithScan(stripped, index_bits, pool, ScanSetRange);
+}
+
+StackProfile ComputeStackProfileTree(const trace::StrippedTrace& stripped,
+                                     std::uint32_t index_bits,
+                                     support::ThreadPool* pool) {
+  return ComputeWithScan(stripped, index_bits, pool, ScanSetRangeTree);
+}
+
 std::vector<StackProfile> ComputeAllDepthProfiles(
-    const trace::StrippedTrace& stripped, std::uint32_t max_index_bits) {
-  std::vector<StackProfile> profiles;
-  profiles.reserve(max_index_bits + 1);
-  for (std::uint32_t bits = 0; bits <= max_index_bits; ++bits) {
-    profiles.push_back(ComputeStackProfile(stripped, bits));
+    const trace::StrippedTrace& stripped, std::uint32_t max_index_bits,
+    support::ThreadPool* pool, bool use_tree) {
+  std::vector<StackProfile> profiles(max_index_bits + 1);
+  const auto compute = [&](std::size_t bits) {
+    const auto index_bits = static_cast<std::uint32_t>(bits);
+    // Each depth's pass is serial: depth-level slots keep the output
+    // placement independent of scheduling, and a nested per-set split would
+    // run inline anyway.
+    profiles[bits] = use_tree ? ComputeStackProfileTree(stripped, index_bits)
+                              : ComputeStackProfile(stripped, index_bits);
+  };
+  if (pool != nullptr && pool->jobs() > 1) {
+    pool->ParallelFor(profiles.size(), compute);
+  } else {
+    for (std::size_t bits = 0; bits < profiles.size(); ++bits) compute(bits);
   }
   return profiles;
 }

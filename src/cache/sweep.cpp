@@ -1,31 +1,70 @@
 #include "cache/sweep.hpp"
 
 #include "cache/sim.hpp"
+#include "support/pool.hpp"
 
 namespace ces::cache {
+namespace {
+
+// One depth's serial associativity loop — the parallel unit. The loop stays
+// serial so the stop_at_zero early exit sees the same miss counts in the same
+// order as the all-serial sweep; each depth writes its own slot.
+void SweepOneDepth(const trace::Trace& trace, std::uint32_t bits,
+                   std::uint32_t max_assoc, ReplacementPolicy policy,
+                   bool stop_at_zero, std::vector<SweepPoint>& points,
+                   SweepCoverage& coverage) {
+  for (std::uint32_t assoc = 1; assoc <= max_assoc; ++assoc) {
+    CacheConfig config;
+    config.depth = 1u << bits;
+    config.assoc = assoc;
+    config.replacement = policy;
+    if (!config.IsValid()) {
+      ++coverage.skipped_invalid;
+      continue;
+    }
+    SweepPoint point;
+    point.depth = config.depth;
+    point.assoc = assoc;
+    point.stats = SimulateTrace(trace, config);
+    ++coverage.simulated;
+    const bool done = stop_at_zero && point.stats.warm_misses() == 0;
+    points.push_back(point);
+    if (done) {
+      coverage.pruned_by_stop += max_assoc - assoc;
+      break;
+    }
+  }
+}
+
+}  // namespace
 
 std::vector<SweepPoint> ExhaustiveSweep(const trace::Trace& trace,
                                         std::uint32_t max_index_bits,
                                         std::uint32_t max_assoc,
                                         ReplacementPolicy policy,
-                                        bool stop_at_zero) {
+                                        bool stop_at_zero, std::uint32_t jobs,
+                                        SweepCoverage* coverage) {
+  const std::size_t levels = max_index_bits + 1;
+  std::vector<std::vector<SweepPoint>> per_depth(levels);
+  std::vector<SweepCoverage> per_depth_coverage(levels);
+
+  support::ThreadPool pool(jobs == 1 ? 1 : jobs);
+  pool.ParallelFor(levels, [&](std::size_t bits) {
+    SweepOneDepth(trace, static_cast<std::uint32_t>(bits), max_assoc, policy,
+                  stop_at_zero, per_depth[bits], per_depth_coverage[bits]);
+  });
+
+  // Concatenate in depth order — the exact ordering of the serial sweep.
   std::vector<SweepPoint> points;
-  for (std::uint32_t bits = 0; bits <= max_index_bits; ++bits) {
-    for (std::uint32_t assoc = 1; assoc <= max_assoc; ++assoc) {
-      CacheConfig config;
-      config.depth = 1u << bits;
-      config.assoc = assoc;
-      config.replacement = policy;
-      if (!config.IsValid()) continue;
-      SweepPoint point;
-      point.depth = config.depth;
-      point.assoc = assoc;
-      point.stats = SimulateTrace(trace, config);
-      const bool done = stop_at_zero && point.stats.warm_misses() == 0;
-      points.push_back(point);
-      if (done) break;
-    }
+  SweepCoverage totals;
+  totals.requested = static_cast<std::uint64_t>(levels) * max_assoc;
+  for (std::size_t bits = 0; bits < levels; ++bits) {
+    points.insert(points.end(), per_depth[bits].begin(), per_depth[bits].end());
+    totals.simulated += per_depth_coverage[bits].simulated;
+    totals.skipped_invalid += per_depth_coverage[bits].skipped_invalid;
+    totals.pruned_by_stop += per_depth_coverage[bits].pruned_by_stop;
   }
+  if (coverage != nullptr) *coverage = totals;
   return points;
 }
 

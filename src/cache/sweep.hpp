@@ -11,6 +11,10 @@
 #include "cache/cache.hpp"
 #include "trace/trace.hpp"
 
+namespace ces::support {
+class ThreadPool;
+}  // namespace ces::support
+
 namespace ces::cache {
 
 struct SweepPoint {
@@ -19,15 +23,36 @@ struct SweepPoint {
   CacheStats stats;
 };
 
+// Accounting of which configurations of the requested rectangle the sweep
+// actually simulated. A config is skipped (never simulated) when it is
+// invalid for the policy — e.g. PLRU with a non-power-of-two associativity —
+// so a caller asking for max_assoc it can never reach sees it here instead
+// of silently missing points; pruned counts configs the stop_at_zero early
+// exit proved unnecessary.
+struct SweepCoverage {
+  std::uint64_t requested = 0;        // (max_index_bits + 1) * max_assoc
+  std::uint64_t simulated = 0;        // points actually simulated
+  std::uint64_t skipped_invalid = 0;  // invalid configs silently skipped
+  std::uint64_t pruned_by_stop = 0;   // cut off by the zero-miss early exit
+};
+
 // Simulates every depth in {2^0..2^max_index_bits} x assoc in {1..max_assoc}.
 // If stop_at_zero is set, stops raising the associativity for a depth once a
 // configuration reaches zero non-cold misses (larger A cannot help).
+//
+// Depths are independent (each owns its result slot and its serial assoc
+// loop, which keeps the early exit exact), so with `jobs > 1` they are
+// simulated concurrently on a support::ThreadPool; the returned points — and
+// the coverage counts — are identical for every jobs value. jobs == 0 uses
+// the hardware concurrency, jobs == 1 is the serial code path.
 std::vector<SweepPoint> ExhaustiveSweep(const trace::Trace& trace,
                                         std::uint32_t max_index_bits,
                                         std::uint32_t max_assoc,
                                         ReplacementPolicy policy =
                                             ReplacementPolicy::kLru,
-                                        bool stop_at_zero = true);
+                                        bool stop_at_zero = true,
+                                        std::uint32_t jobs = 1,
+                                        SweepCoverage* coverage = nullptr);
 
 // For one depth, finds the smallest associativity with warm misses <= k by
 // linearly raising A and re-simulating — one turn of the traditional

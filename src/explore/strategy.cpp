@@ -5,6 +5,7 @@
 #include "analytic/explorer.hpp"
 #include "cache/sim.hpp"
 #include "cache/stack.hpp"
+#include "support/pool.hpp"
 #include "support/timer.hpp"
 #include "trace/strip.hpp"
 
@@ -17,40 +18,59 @@ std::uint32_t CappedMaxBits(const trace::Trace& trace,
                   trace::SignificantAddressBits(trace::Strip(trace)));
 }
 
+// Runs `body(bits)` for every depth 2^0..2^max_bits, serially for jobs == 1
+// and on a pool otherwise. Each depth writes result.points[bits] and its
+// refs[bits] cost slot; summing refs in depth order afterwards makes the
+// accounting independent of the worker count.
+template <typename Body>
+void ForEachDepth(std::uint32_t max_bits, std::uint32_t jobs,
+                  StrategyResult& result, std::vector<std::uint64_t>& refs,
+                  Body body) {
+  const std::size_t levels = max_bits + 1;
+  result.points.resize(levels);
+  refs.assign(levels, 0);
+  support::ThreadPool pool(jobs);
+  pool.ParallelFor(levels,
+                   [&](std::size_t bits) { body(static_cast<std::uint32_t>(bits)); });
+  for (std::uint64_t r : refs) result.simulated_references += r;
+}
+
 }  // namespace
 
 StrategyResult ExhaustiveSimulationStrategy::Explore(
-    const trace::Trace& trace, std::uint64_t k,
-    std::uint32_t max_index_bits) const {
+    const trace::Trace& trace, std::uint64_t k, std::uint32_t max_index_bits,
+    std::uint32_t jobs) const {
   Stopwatch watch;
   StrategyResult result;
   const std::uint32_t max_bits = CappedMaxBits(trace, max_index_bits);
-  for (std::uint32_t bits = 0; bits <= max_bits; ++bits) {
+  std::vector<std::uint64_t> refs;
+  ForEachDepth(max_bits, jobs, result, refs, [&](std::uint32_t bits) {
     const std::uint32_t depth = 1u << bits;
     analytic::DesignPoint point;
     point.depth = depth;
     for (std::uint32_t assoc = 1;; ++assoc) {
       const std::uint64_t misses = cache::WarmMisses(trace, depth, assoc);
-      result.simulated_references += trace.size();
+      refs[bits] += trace.size();
       if (misses <= k) {
         point.assoc = assoc;
         point.warm_misses = misses;
         break;
       }
     }
-    result.points.push_back(point);
-  }
+    result.points[bits] = point;
+  });
   result.seconds = watch.ElapsedSeconds();
   return result;
 }
 
 StrategyResult IterativeSimulationStrategy::Explore(
-    const trace::Trace& trace, std::uint64_t k,
-    std::uint32_t max_index_bits) const {
+    const trace::Trace& trace, std::uint64_t k, std::uint32_t max_index_bits,
+    std::uint32_t jobs) const {
   Stopwatch watch;
   StrategyResult result;
   const std::uint32_t max_bits = CappedMaxBits(trace, max_index_bits);
-  for (std::uint32_t bits = 0; bits <= max_bits; ++bits) {
+  std::vector<std::uint64_t> refs;
+  ForEachDepth(max_bits, jobs, result, refs, [&](std::uint32_t bits) {
     const std::uint32_t depth = 1u << bits;
 
     // Exponential probe to bracket a feasible associativity, then binary
@@ -59,7 +79,7 @@ StrategyResult IterativeSimulationStrategy::Explore(
     std::uint64_t hi_misses;
     for (;;) {
       hi_misses = cache::WarmMisses(trace, depth, hi);
-      result.simulated_references += trace.size();
+      refs[bits] += trace.size();
       if (hi_misses <= k) break;
       hi *= 2;
     }
@@ -69,7 +89,7 @@ StrategyResult IterativeSimulationStrategy::Explore(
     while (lo + 1 < best) {
       const std::uint32_t mid = lo + (best - lo) / 2;
       const std::uint64_t misses = cache::WarmMisses(trace, depth, mid);
-      result.simulated_references += trace.size();
+      refs[bits] += trace.size();
       if (misses <= k) {
         best = mid;
         best_misses = misses;
@@ -82,42 +102,46 @@ StrategyResult IterativeSimulationStrategy::Explore(
     point.depth = depth;
     point.assoc = best;
     point.warm_misses = best_misses;
-    result.points.push_back(point);
-  }
+    result.points[bits] = point;
+  });
   result.seconds = watch.ElapsedSeconds();
   return result;
 }
 
-StrategyResult OnePassStackStrategy::Explore(
-    const trace::Trace& trace, std::uint64_t k,
-    std::uint32_t max_index_bits) const {
+StrategyResult OnePassStackStrategy::Explore(const trace::Trace& trace,
+                                             std::uint64_t k,
+                                             std::uint32_t max_index_bits,
+                                             std::uint32_t jobs) const {
   Stopwatch watch;
   StrategyResult result;
   const trace::StrippedTrace stripped = trace::Strip(trace);
   const std::uint32_t max_bits =
       std::min(max_index_bits, trace::SignificantAddressBits(stripped));
-  for (std::uint32_t bits = 0; bits <= max_bits; ++bits) {
+  std::vector<std::uint64_t> refs;
+  ForEachDepth(max_bits, jobs, result, refs, [&](std::uint32_t bits) {
     const cache::StackProfile profile =
         cache::ComputeStackProfile(stripped, bits);
-    result.simulated_references += trace.size();
+    refs[bits] += trace.size();
     analytic::DesignPoint point;
     point.depth = profile.depth();
     point.assoc = profile.MinAssocFor(k);
     point.warm_misses = profile.MissesAtAssoc(point.assoc);
-    result.points.push_back(point);
-  }
+    result.points[bits] = point;
+  });
   result.seconds = watch.ElapsedSeconds();
   return result;
 }
 
 StrategyResult AnalyticalStrategy::Explore(const trace::Trace& trace,
                                            std::uint64_t k,
-                                           std::uint32_t max_index_bits) const {
+                                           std::uint32_t max_index_bits,
+                                           std::uint32_t jobs) const {
   Stopwatch watch;
   analytic::ExplorerOptions options;
   options.engine = use_reference_engine_ ? analytic::Engine::kReference
                                          : analytic::Engine::kFused;
   options.max_index_bits = max_index_bits;
+  options.jobs = jobs;
   const analytic::ExplorationResult solved =
       analytic::Explore(trace, k, options);
   StrategyResult result;

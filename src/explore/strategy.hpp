@@ -38,8 +38,18 @@ class Strategy {
   virtual std::string name() const = 0;
   // Finds, for each depth 2^0..2^max_index_bits, the minimum associativity
   // with non-cold misses <= k.
+  //
+  // The per-depth searches are independent, so every strategy accepts a
+  // worker count: jobs == 1 (the default) is the serial code path, jobs == 0
+  // picks the hardware concurrency, and jobs > 1 spreads depths over a
+  // deterministic support::ThreadPool. Each depth writes a pre-sized result
+  // slot and cost counters are summed in depth order, so `points` and
+  // `simulated_references` are identical for every jobs value (only
+  // `seconds` changes). The analytical strategy forwards jobs to the
+  // explorer prelude.
   virtual StrategyResult Explore(const trace::Trace& trace, std::uint64_t k,
-                                 std::uint32_t max_index_bits) const = 0;
+                                 std::uint32_t max_index_bits,
+                                 std::uint32_t jobs = 1) const = 0;
 };
 
 // Figure 1a, exhaustive flavour: simulate (D, A) for A = 1,2,... until the
@@ -48,7 +58,8 @@ class ExhaustiveSimulationStrategy : public Strategy {
  public:
   std::string name() const override { return "exhaustive-simulation"; }
   StrategyResult Explore(const trace::Trace& trace, std::uint64_t k,
-                         std::uint32_t max_index_bits) const override;
+                         std::uint32_t max_index_bits,
+                         std::uint32_t jobs = 1) const override;
 };
 
 // Figure 1a, tuned flavour: per depth, binary-search the associativity in
@@ -57,7 +68,8 @@ class IterativeSimulationStrategy : public Strategy {
  public:
   std::string name() const override { return "iterative-simulation"; }
   StrategyResult Explore(const trace::Trace& trace, std::uint64_t k,
-                         std::uint32_t max_index_bits) const override;
+                         std::uint32_t max_index_bits,
+                         std::uint32_t jobs = 1) const override;
 };
 
 // One Mattson stack pass per depth.
@@ -65,7 +77,8 @@ class OnePassStackStrategy : public Strategy {
  public:
   std::string name() const override { return "one-pass-stack"; }
   StrategyResult Explore(const trace::Trace& trace, std::uint64_t k,
-                         std::uint32_t max_index_bits) const override;
+                         std::uint32_t max_index_bits,
+                         std::uint32_t jobs = 1) const override;
 };
 
 // The paper's proposed flow (Figure 1b).
@@ -77,7 +90,8 @@ class AnalyticalStrategy : public Strategy {
     return use_reference_engine_ ? "analytical-reference" : "analytical-fused";
   }
   StrategyResult Explore(const trace::Trace& trace, std::uint64_t k,
-                         std::uint32_t max_index_bits) const override;
+                         std::uint32_t max_index_bits,
+                         std::uint32_t jobs = 1) const override;
 
  private:
   bool use_reference_engine_;

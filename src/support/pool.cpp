@@ -1,0 +1,161 @@
+#include "support/pool.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ces::support {
+namespace {
+
+// True while this thread is executing a chunk of any pool's batch. Nested
+// ParallelFor calls observe it and run inline, so a loop body may freely call
+// parallel library routines without deadlocking the (single-batch) pool.
+thread_local bool tls_in_parallel_region = false;
+
+}  // namespace
+
+unsigned HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+struct ThreadPool::Impl {
+  using Body = std::function<void(std::size_t, std::size_t, std::size_t)>;
+
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable batch_done;
+
+  // The current batch, published under `mutex`. Workers detect a new batch by
+  // the generation counter, so a notify can never be lost.
+  std::uint64_t generation = 0;
+  std::size_t batch_n = 0;
+  const Body* body = nullptr;
+  unsigned pending = 0;                    // worker chunks still running
+  std::vector<std::exception_ptr> errors;  // one slot per chunk
+  bool shutdown = false;
+
+  std::vector<std::thread> threads;
+
+  void RunChunk(const Body& fn, std::size_t n, std::size_t chunk,
+                std::size_t chunks) {
+    const auto [begin, end] = ChunkRange(n, chunks, chunk);
+    if (begin >= end) return;
+    tls_in_parallel_region = true;
+    try {
+      fn(begin, end, chunk);
+    } catch (...) {
+      tls_in_parallel_region = false;
+      std::lock_guard<std::mutex> lock(mutex);
+      errors[chunk] = std::current_exception();
+      return;
+    }
+    tls_in_parallel_region = false;
+  }
+
+  void WorkerLoop(std::size_t chunk, std::size_t chunks) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const Body* fn;
+      std::size_t n;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_ready.wait(lock,
+                        [&] { return shutdown || generation != seen; });
+        if (shutdown) return;
+        seen = generation;
+        fn = body;
+        n = batch_n;
+      }
+      RunChunk(*fn, n, chunk, chunks);
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (--pending == 0) batch_done.notify_one();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(unsigned jobs)
+    : jobs_(jobs == 0 ? HardwareConcurrency() : jobs) {
+  if (jobs_ <= 1) return;  // fully inline; no worker state at all
+  impl_ = std::make_unique<Impl>();
+  impl_->threads.reserve(jobs_ - 1);
+  // Worker w owns chunk w + 1 forever; the caller always runs chunk 0.
+  for (unsigned w = 1; w < jobs_; ++w) {
+    impl_->threads.emplace_back(
+        [impl = impl_.get(), w, chunks = jobs_] { impl->WorkerLoop(w, chunks); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (!impl_) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->shutdown = true;
+  }
+  impl_->work_ready.notify_all();
+  for (std::thread& thread : impl_->threads) thread.join();
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::ChunkRange(std::size_t n,
+                                                           std::size_t chunks,
+                                                           std::size_t chunk) {
+  // Contiguous split with sizes differing by at most one, low chunks first;
+  // overflow-free for any n.
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
+  const std::size_t begin = chunk * base + std::min(chunk, rem);
+  const std::size_t end = begin + base + (chunk < rem ? 1 : 0);
+  return {begin, end};
+}
+
+void ThreadPool::ParallelForChunks(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (jobs_ <= 1 || tls_in_parallel_region) {
+    // Serial code path: one chunk spanning everything, on this thread.
+    fn(0, n, 0);
+    return;
+  }
+  Impl& impl = *impl_;
+  {
+    std::lock_guard<std::mutex> lock(impl.mutex);
+    impl.body = &fn;
+    impl.batch_n = n;
+    impl.pending = static_cast<unsigned>(impl.threads.size());
+    impl.errors.assign(jobs_, nullptr);
+    ++impl.generation;
+  }
+  impl.work_ready.notify_all();
+  impl.RunChunk(fn, n, 0, jobs_);
+  std::exception_ptr first;
+  {
+    std::unique_lock<std::mutex> lock(impl.mutex);
+    impl.batch_done.wait(lock, [&] { return impl.pending == 0; });
+    impl.body = nullptr;
+    // Deterministic propagation: the lowest-numbered chunk's exception wins.
+    for (const std::exception_ptr& error : impl.errors) {
+      if (error) {
+        first = error;
+        break;
+      }
+    }
+    impl.errors.clear();
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  ParallelForChunks(n, [&fn](std::size_t begin, std::size_t end,
+                             std::size_t /*chunk*/) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+}  // namespace ces::support

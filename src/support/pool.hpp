@@ -1,0 +1,73 @@
+// Deterministic fixed-size thread pool for data-parallel loops.
+//
+// Every parallel construct in the library routes through this pool, and the
+// pool is deliberately work-stealing-free: ParallelFor splits [0, n) into
+// jobs() contiguous chunks computed from (n, jobs) alone, so the mapping of
+// index to worker — and therefore which thread writes which pre-sized output
+// slot — never depends on scheduling. Callers that (a) give each index its
+// own output slot and (b) merge per-chunk partials in chunk order get results
+// that are byte-identical for every worker count, which is the contract the
+// parallel determinism tests pin down.
+//
+// Semantics:
+//  * jobs == 1 spawns no threads; every loop body runs inline on the calling
+//    thread (bit-for-bit the serial code path).
+//  * The calling thread executes chunk 0 itself; only jobs-1 workers exist.
+//  * Nested ParallelFor calls — from a loop body already running inside any
+//    pool's parallel region — execute inline on the calling thread instead of
+//    re-entering a pool, so nesting can never deadlock.
+//  * If bodies throw, the exception from the lowest-numbered chunk is
+//    rethrown on the caller after every chunk has finished (remaining indices
+//    of a throwing chunk are skipped; other chunks still run to completion).
+//    The pool remains usable afterwards.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace ces::support {
+
+// std::thread::hardware_concurrency(), clamped to at least 1.
+unsigned HardwareConcurrency();
+
+class ThreadPool {
+ public:
+  // jobs == 0 selects HardwareConcurrency(); jobs == 1 is fully inline.
+  explicit ThreadPool(unsigned jobs = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned jobs() const { return jobs_; }
+
+  // Invokes fn(i) once for every i in [0, n), statically chunked: chunk c
+  // covers a contiguous index range whose bounds depend only on (n, jobs).
+  // Blocks until all chunks have finished.
+  void ParallelFor(std::size_t n,
+                   const std::function<void(std::size_t)>& fn);
+
+  // Chunk-granular variant: fn(begin, end, chunk) once per non-empty chunk,
+  // with [begin, end) the chunk's contiguous index range and chunk in
+  // [0, jobs()). Use when each worker needs private scratch state indexed by
+  // chunk (e.g. a partial histogram merged in chunk order afterwards).
+  void ParallelForChunks(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+  // The static partition: the half-open index range of chunk c when [0, n)
+  // is split into `chunks` contiguous pieces (sizes differ by at most one).
+  // Exposed so tests and callers can reason about slot ownership.
+  static std::pair<std::size_t, std::size_t> ChunkRange(std::size_t n,
+                                                        std::size_t chunks,
+                                                        std::size_t chunk);
+
+ private:
+  struct Impl;
+  unsigned jobs_;
+  std::unique_ptr<Impl> impl_;  // null when jobs_ == 1
+};
+
+}  // namespace ces::support

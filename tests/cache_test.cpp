@@ -210,6 +210,50 @@ TEST(SweepTest, ExhaustiveSweepStopsAtZero) {
   }
 }
 
+// Regression: the sweep used to skip invalid configurations (e.g. PLRU with
+// a non-power-of-two associativity) silently, so a caller asking for
+// max_assoc=6 got fewer points than requested with no way to tell why. The
+// coverage report must account for every requested configuration.
+TEST(SweepTest, CoverageReportsSkippedInvalidConfigs) {
+  const Trace trace = ces::trace::SequentialLoop(0, 24, 4);
+  const std::uint32_t max_bits = 3;
+  const std::uint32_t max_assoc = 6;  // assocs 3, 5, 6 are invalid for PLRU
+  SweepCoverage coverage;
+  const auto points =
+      ExhaustiveSweep(trace, max_bits, max_assoc, ReplacementPolicy::kPlru,
+                      /*stop_at_zero=*/false, /*jobs=*/1, &coverage);
+  EXPECT_EQ(coverage.requested, (max_bits + 1) * std::uint64_t{max_assoc});
+  EXPECT_EQ(coverage.skipped_invalid, (max_bits + 1) * std::uint64_t{3});
+  EXPECT_EQ(coverage.simulated, (max_bits + 1) * std::uint64_t{3});
+  EXPECT_EQ(coverage.pruned_by_stop, 0u);
+  EXPECT_EQ(points.size(), coverage.simulated);
+  for (const auto& point : points) {
+    EXPECT_TRUE(point.assoc == 1 || point.assoc == 2 || point.assoc == 4)
+        << "invalid assoc " << point.assoc << " was simulated";
+  }
+  // Every requested config is accounted for exactly once.
+  EXPECT_EQ(coverage.simulated + coverage.skipped_invalid +
+                coverage.pruned_by_stop,
+            coverage.requested);
+}
+
+// With LRU everything is valid; stop_at_zero prunes, and the three buckets
+// still tile the requested rectangle.
+TEST(SweepTest, CoverageAccountsForEarlyExit) {
+  const Trace trace = ces::trace::SequentialLoop(0, 16, 10);
+  SweepCoverage coverage;
+  const auto points = ExhaustiveSweep(trace, 2, 32, ReplacementPolicy::kLru,
+                                      /*stop_at_zero=*/true, /*jobs=*/1,
+                                      &coverage);
+  EXPECT_EQ(coverage.requested, 3u * 32u);
+  EXPECT_EQ(coverage.skipped_invalid, 0u);
+  EXPECT_GT(coverage.pruned_by_stop, 0u);
+  EXPECT_EQ(coverage.simulated, points.size());
+  EXPECT_EQ(coverage.simulated + coverage.skipped_invalid +
+                coverage.pruned_by_stop,
+            coverage.requested);
+}
+
 TEST(SweepTest, IterativeSearchFindsMinimalAssoc) {
   const Trace trace = ces::trace::StridedSweep(0, 16, 6, 20);  // 6-way conflict
   const IterativeResult result = IterativeSearch(trace, 16, 0, 16);

@@ -102,6 +102,79 @@ TEST_P(CrossValidation, Figure1bEqualityCheck) {
   }
 }
 
+// Differential pass across all three engines and the simulator: ~200 seeded
+// random traces; for each, the reference, fused and fused-tree engines must
+// return identical (D, A) sets, and the functional simulator must confirm
+// every pair is feasible (warm misses <= K) and minimal (A-1 at the same
+// depth busts the budget). A disagreement pinpoints which engine diverges;
+// a simulator failure indicts all three at once.
+TEST(DifferentialTest, ThreeEnginesAgreeAndSimulatorConfirms) {
+  constexpr int kTraces = 200;
+  for (int seed = 0; seed < kTraces; ++seed) {
+    ces::Rng rng(9000 + static_cast<std::uint64_t>(seed));
+    const std::uint32_t length =
+        400 + static_cast<std::uint32_t>(rng.NextBounded(1600));
+    Trace trace;
+    switch (seed % 3) {
+      case 0:
+        trace = ces::trace::RandomWorkingSet(
+            rng, 16 + static_cast<std::uint32_t>(rng.NextBounded(240)), length);
+        break;
+      case 1:
+        trace = ces::trace::LocalityMix(
+            rng, 16 + static_cast<std::uint32_t>(rng.NextBounded(112)),
+            128 + static_cast<std::uint32_t>(rng.NextBounded(896)), length);
+        break;
+      default:
+        trace = ces::trace::StridedSweep(
+            static_cast<std::uint32_t>(rng.NextBounded(32)),
+            1 + static_cast<std::uint32_t>(rng.NextBounded(96)),
+            8 + static_cast<std::uint32_t>(rng.NextBounded(120)),
+            1 + length / 128);
+        break;
+    }
+
+    ExplorerOptions options;
+    options.max_index_bits = 4 + static_cast<std::uint32_t>(seed % 3);
+    options.engine = Engine::kReference;
+    const Explorer reference(trace, options);
+    options.engine = Engine::kFused;
+    const Explorer fused(trace, options);
+    options.engine = Engine::kFusedTree;
+    const Explorer fused_tree(trace, options);
+
+    // Budget: 0%..20% of the worst case, varied by seed.
+    const std::uint64_t k =
+        reference.stats().max_misses * static_cast<std::uint64_t>(seed % 5) /
+        20;
+    const ExplorationResult want = reference.Solve(k);
+    const ExplorationResult got_fused = fused.Solve(k);
+    const ExplorationResult got_tree = fused_tree.Solve(k);
+    ASSERT_EQ(want.points.size(), got_fused.points.size()) << "seed " << seed;
+    ASSERT_EQ(want.points.size(), got_tree.points.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < want.points.size(); ++i) {
+      EXPECT_EQ(want.points[i], got_fused.points[i])
+          << "seed " << seed << " fused diverges at depth slot " << i;
+      EXPECT_EQ(want.points[i], got_tree.points[i])
+          << "seed " << seed << " fused-tree diverges at depth slot " << i;
+    }
+
+    for (const DesignPoint& point : want.points) {
+      const std::uint64_t simulated =
+          WarmMisses(trace, point.depth, point.assoc);
+      EXPECT_EQ(simulated, point.warm_misses)
+          << "seed " << seed << " D=" << point.depth << " A=" << point.assoc;
+      EXPECT_LE(simulated, k)
+          << "seed " << seed << " D=" << point.depth << " A=" << point.assoc;
+      if (point.assoc > 1) {
+        EXPECT_GT(WarmMisses(trace, point.depth, point.assoc - 1), k)
+            << "seed " << seed << " D=" << point.depth
+            << " A-1=" << point.assoc - 1 << " should bust the budget";
+      }
+    }
+  }
+}
+
 // Line-size extension: exploring the re-blocked trace must predict a
 // simulator configured with the same line size exactly.
 TEST(LineSizeExtension, AnalyticalMatchesSimulatorAcrossLineSizes) {

@@ -1,0 +1,179 @@
+// Determinism of every parallel layer: output with jobs=4 must be
+// element-for-element identical to jobs=1 — same points, same histograms,
+// same coverage counters — on synthetic traces and a real workload trace.
+// This is the contract that lets --jobs default to the hardware concurrency
+// without perturbing any recorded experiment.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "analytic/explorer.hpp"
+#include "cache/stack.hpp"
+#include "cache/sweep.hpp"
+#include "explore/strategy.hpp"
+#include "support/check.hpp"
+#include "support/pool.hpp"
+#include "support/rng.hpp"
+#include "trace/strip.hpp"
+#include "trace/synthetic.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using ces::cache::StackProfile;
+
+std::vector<ces::trace::Trace> TestTraces() {
+  std::vector<ces::trace::Trace> traces;
+  traces.push_back(ces::trace::PaperExampleTrace());
+  traces.push_back(ces::trace::SequentialLoop(0x40, 96, 5));
+  traces.push_back(ces::trace::StridedSweep(0, 64, 48, 6));
+  {
+    ces::Rng rng(2026);
+    traces.push_back(ces::trace::RandomWorkingSet(rng, 300, 4000));
+  }
+  {
+    ces::Rng rng(7);
+    traces.push_back(ces::trace::LocalityMix(rng, 64, 2048, 3000));
+  }
+  return traces;
+}
+
+// A real workload trace (crc at the small scale), cached across tests.
+const ces::trace::Trace& WorkloadTrace() {
+  static const ces::trace::Trace trace = [] {
+    const auto* workload =
+        ces::workloads::FindWorkload("crc", ces::workloads::Scale::kSmall);
+    CES_CHECK(workload != nullptr);
+    auto run = ces::workloads::Run(*workload);
+    CES_CHECK(run.output_matches);
+    return run.data_trace;
+  }();
+  return trace;
+}
+
+void ExpectSameProfile(const StackProfile& a, const StackProfile& b) {
+  EXPECT_EQ(a.index_bits, b.index_bits);
+  EXPECT_EQ(a.cold, b.cold);
+  ASSERT_EQ(a.hist, b.hist);
+}
+
+void ExpectSamePoints(const std::vector<ces::analytic::DesignPoint>& a,
+                      const std::vector<ces::analytic::DesignPoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].depth, b[i].depth) << "depth slot " << i;
+    EXPECT_EQ(a[i].assoc, b[i].assoc) << "depth slot " << i;
+    EXPECT_EQ(a[i].warm_misses, b[i].warm_misses) << "depth slot " << i;
+  }
+}
+
+TEST(ParallelDeterminismTest, ExhaustiveSweepPointsAndCoverage) {
+  auto traces = TestTraces();
+  traces.push_back(WorkloadTrace());
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    for (const bool stop_at_zero : {true, false}) {
+      ces::cache::SweepCoverage serial_cov;
+      ces::cache::SweepCoverage parallel_cov;
+      const auto serial = ces::cache::ExhaustiveSweep(
+          traces[t], 5, 4, ces::cache::ReplacementPolicy::kLru, stop_at_zero,
+          /*jobs=*/1, &serial_cov);
+      const auto parallel = ces::cache::ExhaustiveSweep(
+          traces[t], 5, 4, ces::cache::ReplacementPolicy::kLru, stop_at_zero,
+          /*jobs=*/4, &parallel_cov);
+      ASSERT_EQ(serial.size(), parallel.size())
+          << "trace " << t << " stop_at_zero=" << stop_at_zero;
+      for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].depth, parallel[i].depth);
+        EXPECT_EQ(serial[i].assoc, parallel[i].assoc);
+        EXPECT_EQ(serial[i].stats.misses, parallel[i].stats.misses);
+        EXPECT_EQ(serial[i].stats.cold_misses, parallel[i].stats.cold_misses);
+      }
+      EXPECT_EQ(serial_cov.requested, parallel_cov.requested);
+      EXPECT_EQ(serial_cov.simulated, parallel_cov.simulated);
+      EXPECT_EQ(serial_cov.skipped_invalid, parallel_cov.skipped_invalid);
+      EXPECT_EQ(serial_cov.pruned_by_stop, parallel_cov.pruned_by_stop);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, StackProfileSetPartitioning) {
+  ces::support::ThreadPool pool(4);
+  auto traces = TestTraces();
+  traces.push_back(WorkloadTrace());
+  for (const auto& trace : traces) {
+    const auto stripped = ces::trace::Strip(trace);
+    for (std::uint32_t bits = 0; bits <= 5; ++bits) {
+      ExpectSameProfile(ces::cache::ComputeStackProfile(stripped, bits),
+                        ces::cache::ComputeStackProfile(stripped, bits, &pool));
+      ExpectSameProfile(
+          ces::cache::ComputeStackProfileTree(stripped, bits),
+          ces::cache::ComputeStackProfileTree(stripped, bits, &pool));
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, AllDepthProfilesDepthPartitioning) {
+  ces::support::ThreadPool pool(4);
+  for (const auto& trace : TestTraces()) {
+    const auto stripped = ces::trace::Strip(trace);
+    for (const bool use_tree : {false, true}) {
+      const auto serial = ces::cache::ComputeAllDepthProfiles(
+          stripped, 6, nullptr, use_tree);
+      const auto parallel = ces::cache::ComputeAllDepthProfiles(
+          stripped, 6, &pool, use_tree);
+      ASSERT_EQ(serial.size(), parallel.size());
+      for (std::size_t i = 0; i < serial.size(); ++i) {
+        ExpectSameProfile(serial[i], parallel[i]);
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, EveryStrategyIsJobsInvariant) {
+  const auto strategies = ces::explore::AllStrategies();
+  auto traces = TestTraces();
+  traces.push_back(WorkloadTrace());
+  for (const auto& trace : traces) {
+    for (const auto& strategy : strategies) {
+      const auto serial = strategy->Explore(trace, 12, 5, /*jobs=*/1);
+      const auto parallel = strategy->Explore(trace, 12, 5, /*jobs=*/4);
+      SCOPED_TRACE(strategy->name());
+      ExpectSamePoints(serial.points, parallel.points);
+      EXPECT_EQ(serial.simulated_references, parallel.simulated_references);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, ExplorerProfilesAreJobsInvariant) {
+  for (const auto& trace : TestTraces()) {
+    for (const auto engine : {ces::analytic::Engine::kFused,
+                              ces::analytic::Engine::kFusedTree,
+                              ces::analytic::Engine::kReference}) {
+      const ces::analytic::Explorer serial(
+          trace, {.engine = engine, .max_index_bits = 6, .jobs = 1});
+      const ces::analytic::Explorer parallel(
+          trace, {.engine = engine, .max_index_bits = 6, .jobs = 4});
+      ASSERT_EQ(serial.profiles().size(), parallel.profiles().size());
+      for (std::size_t i = 0; i < serial.profiles().size(); ++i) {
+        ExpectSameProfile(serial.profiles()[i], parallel.profiles()[i]);
+      }
+      for (const std::uint64_t k : {0ull, 3ull, 25ull}) {
+        ExpectSamePoints(serial.Solve(k).points, parallel.Solve(k).points);
+      }
+    }
+  }
+}
+
+// jobs=0 (hardware concurrency, whatever it is on the host) must also match.
+TEST(ParallelDeterminismTest, HardwareConcurrencyDefaultMatchesSerial) {
+  const auto& trace = WorkloadTrace();
+  const auto serial =
+      ces::explore::OnePassStackStrategy().Explore(trace, 20, 5, /*jobs=*/1);
+  const auto hw =
+      ces::explore::OnePassStackStrategy().Explore(trace, 20, 5, /*jobs=*/0);
+  ExpectSamePoints(serial.points, hw.points);
+  EXPECT_EQ(serial.simulated_references, hw.simulated_references);
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+// ThreadPool unit tests: the contract every parallel layer builds on —
+// static chunking that visits each index exactly once, inline execution at
+// jobs=1, deterministic exception propagation, and deadlock-free nesting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/pool.hpp"
+
+namespace {
+
+using ces::support::HardwareConcurrency;
+using ces::support::ThreadPool;
+
+TEST(PoolTest, HardwareConcurrencyIsAtLeastOne) {
+  EXPECT_GE(HardwareConcurrency(), 1u);
+  ThreadPool pool(0);  // 0 selects the hardware concurrency
+  EXPECT_EQ(pool.jobs(), HardwareConcurrency());
+}
+
+TEST(PoolTest, EmptyRangeNeverInvokesTheBody) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&](std::size_t) { ++calls; });
+  pool.ParallelForChunks(0, [&](std::size_t, std::size_t, std::size_t) {
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(PoolTest, EveryIndexVisitedExactlyOnce) {
+  for (unsigned jobs : {1u, 2u, 4u, 7u}) {
+    ThreadPool pool(jobs);
+    std::vector<int> visits(1000, 0);  // slot per index: no races by contract
+    pool.ParallelFor(visits.size(), [&](std::size_t i) { ++visits[i]; });
+    EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), 1000)
+        << "jobs=" << jobs;
+    for (int v : visits) ASSERT_EQ(v, 1);
+  }
+}
+
+TEST(PoolTest, FewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<int> visits(3, 0);
+  pool.ParallelFor(visits.size(), [&](std::size_t i) { ++visits[i]; });
+  for (int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(PoolTest, ChunkRangesTileTheIndexSpace) {
+  for (std::size_t n : {0u, 1u, 3u, 8u, 17u, 1000u}) {
+    for (std::size_t chunks : {1u, 2u, 4u, 5u, 16u}) {
+      std::size_t expected_begin = 0;
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const auto [begin, end] = ThreadPool::ChunkRange(n, chunks, c);
+        EXPECT_EQ(begin, expected_begin);
+        EXPECT_LE(end - begin, n / chunks + 1);  // sizes differ by at most 1
+        expected_begin = end;
+      }
+      EXPECT_EQ(expected_begin, n);  // chunks tile [0, n) exactly
+    }
+  }
+}
+
+TEST(PoolTest, ChunkIndicesMatchTheStaticPartition) {
+  ThreadPool pool(4);
+  const std::size_t n = 13;
+  std::vector<std::size_t> owner(n, ~std::size_t{0});
+  pool.ParallelForChunks(n, [&](std::size_t begin, std::size_t end,
+                                std::size_t chunk) {
+    for (std::size_t i = begin; i < end; ++i) owner[i] = chunk;
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto [begin, end] = ThreadPool::ChunkRange(n, 4, owner[i]);
+    EXPECT_LE(begin, i);
+    EXPECT_LT(i, end);
+  }
+}
+
+TEST(PoolTest, JobsOneRunsInlineOnTheCallingThread) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  pool.ParallelFor(16, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;  // safe: inline means strictly sequential
+  });
+  EXPECT_EQ(calls, 16);
+}
+
+TEST(PoolTest, WorkerExceptionPropagatesToTheCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](std::size_t i) {
+                         if (i == 37) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(PoolTest, LowestChunkExceptionWinsDeterministically) {
+  ThreadPool pool(4);
+  // Chunks 0 and 3 both throw; the caller must always see chunk 0's error.
+  try {
+    pool.ParallelForChunks(100, [&](std::size_t, std::size_t,
+                                    std::size_t chunk) {
+      if (chunk == 0) throw std::runtime_error("chunk-0");
+      if (chunk == 3) throw std::runtime_error("chunk-3");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk-0");
+  }
+}
+
+TEST(PoolTest, PoolIsReusableAfterAnException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.ParallelFor(10, [](std::size_t) { throw std::logic_error("x"); }),
+      std::logic_error);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(10, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(PoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_calls{0};
+  pool.ParallelFor(8, [&](std::size_t) {
+    // Nested region: must run inline instead of re-entering the pool.
+    pool.ParallelFor(8, [&](std::size_t) { ++inner_calls; });
+  });
+  EXPECT_EQ(inner_calls.load(), 64);
+}
+
+TEST(PoolTest, NestedCallOnASecondPoolRunsInline) {
+  ThreadPool outer(4);
+  ThreadPool inner(4);
+  std::atomic<int> calls{0};
+  outer.ParallelFor(4, [&](std::size_t) {
+    const std::thread::id body_thread = std::this_thread::get_id();
+    inner.ParallelFor(4, [&](std::size_t) {
+      EXPECT_EQ(std::this_thread::get_id(), body_thread);
+      ++calls;
+    });
+  });
+  EXPECT_EQ(calls.load(), 16);
+}
+
+}  // namespace

@@ -2,8 +2,13 @@
 //
 //   cachedse explore  --trace=app.ctr [--k=N | --fraction=0.05]
 //                     [--engine=fused|fused-tree|reference] [--line-words=1]
+//                     [--jobs=N]
 //   cachedse stats    --trace=app.ctr
-//   cachedse compare  --trace=app.ctr [--fraction=0.05] [--max-bits=12]
+//   cachedse compare  --trace=a.ctr[,b.ctr...] [--fraction=0.05[,0.10...]]
+//                     [--max-bits=12] [--jobs=N] [--timing=true]
+//                     (multiple traces/fractions are explored concurrently;
+//                      results are deterministic for every --jobs value, and
+//                      with --timing=false the output is byte-identical)
 //   cachedse workload --benchmark=crc --out=dir   (generate + save traces)
 //   cachedse convert  --trace=in.{ctr,trc,din} --out=out.{ctr,trc,din}
 //                     [--kind=data|instr]         (din needs --kind on read)
@@ -15,12 +20,14 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "analytic/explorer.hpp"
 #include "cc/compiler.hpp"
 #include "explore/strategy.hpp"
 #include "sim/cpu.hpp"
 #include "support/cli.hpp"
+#include "support/pool.hpp"
 #include "support/table.hpp"
 #include "trace/dinero.hpp"
 #include "trace/strip.hpp"
@@ -34,9 +41,10 @@ int Usage() {
       stderr,
       "usage: cachedse <explore|stats|compare|workload|convert> [flags]\n"
       "  explore  --trace=F [--k=N|--fraction=0.05] [--engine=fused|"
-      "fused-tree|reference] [--line-words=1]\n"
+      "fused-tree|reference] [--line-words=1] [--jobs=N]\n"
       "  stats    --trace=F\n"
-      "  compare  --trace=F [--fraction=0.05] [--max-bits=12]\n"
+      "  compare  --trace=F[,F2...] [--fraction=0.05[,0.10...]] "
+      "[--max-bits=12] [--jobs=N] [--timing=true]\n"
       "  workload --benchmark=NAME [--out=DIR]\n"
       "  convert  --trace=IN --out=OUT [--kind=data|instr]\n");
   return 2;
@@ -56,6 +64,19 @@ ces::trace::Trace LoadAnyFormat(const std::string& path,
                                           ? ces::trace::StreamKind::kInstruction
                                           : ces::trace::StreamKind::kData);
   }
+  // A name that is not a file on disk but matches a built-in workload runs
+  // the workload and takes its trace (--kind selects data vs instruction),
+  // so `--trace=crc` works without a generate-traces detour.
+  if (!std::ifstream(path)) {
+    if (const auto* workload = ces::workloads::FindWorkload(path)) {
+      auto run = ces::workloads::Run(*workload);
+      if (!run.output_matches) {
+        throw std::runtime_error("workload verification failed: " + path);
+      }
+      return kind_flag == "instr" ? std::move(run.instruction_trace)
+                                  : std::move(run.data_trace);
+    }
+  }
   return ces::trace::LoadFromFile(path);
 }
 
@@ -67,6 +88,26 @@ void SaveAnyFormat(const std::string& path, const ces::trace::Trace& trace) {
     return;
   }
   ces::trace::SaveToFile(path, trace);
+}
+
+// --jobs flag: absent or 0 -> hardware concurrency; 1 -> the serial code
+// path; N -> N workers. Results are identical in every case.
+std::uint32_t JobsFlag(const ces::ArgParser& args) {
+  const auto jobs = static_cast<std::uint32_t>(args.GetInt("jobs", 0));
+  return jobs == 0 ? ces::support::HardwareConcurrency() : jobs;
+}
+
+std::vector<std::string> SplitList(const std::string& list) {
+  std::vector<std::string> items;
+  std::string::size_type start = 0;
+  while (start <= list.size()) {
+    const auto comma = list.find(',', start);
+    const auto end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) items.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return items;
 }
 
 int CmdExplore(const ces::ArgParser& args) {
@@ -84,6 +125,7 @@ int CmdExplore(const ces::ArgParser& args) {
                        : ces::analytic::Engine::kFused;
   options.line_words =
       static_cast<std::uint32_t>(args.GetInt("line-words", 1));
+  options.jobs = JobsFlag(args);
   const ces::analytic::Explorer explorer(trace, options);
 
   const std::uint64_t k =
@@ -122,24 +164,111 @@ int CmdStats(const ces::ArgParser& args) {
   return 0;
 }
 
-int CmdCompare(const ces::ArgParser& args) {
-  const std::string path = args.GetString("trace", "");
-  if (path.empty()) return Usage();
-  const ces::trace::Trace trace =
-      LoadAnyFormat(path, args.GetString("kind", "data"));
+// Renders one (trace, fraction) comparison: strategy costs plus the agreed
+// optimal set. Everything except the Time column is deterministic, so
+// --timing=false output is byte-identical for every --jobs value.
+std::string CompareOneCell(const std::string& name,
+                           const ces::trace::Trace& trace, double fraction,
+                           std::uint32_t max_bits, std::uint32_t jobs,
+                           bool timing) {
   const auto stats = ces::trace::ComputeStats(trace);
   const auto k = static_cast<std::uint64_t>(
-      args.GetDouble("fraction", 0.05) * static_cast<double>(stats.max_misses));
+      fraction * static_cast<double>(stats.max_misses));
+
+  std::vector<std::string> headers = {"Strategy"};
+  if (timing) headers.push_back("Time");
+  headers.push_back("Simulated refs");
+  ces::AsciiTable table(std::move(headers));
+
+  std::vector<ces::analytic::DesignPoint> agreed;
+  bool all_agree = true;
+  for (const auto& strategy : ces::explore::AllStrategies()) {
+    const auto result = strategy->Explore(trace, k, max_bits, jobs);
+    std::vector<std::string> row = {strategy->name()};
+    if (timing) row.push_back(ces::FormatSeconds(result.seconds));
+    row.push_back(ces::FormatWithThousands(result.simulated_references));
+    table.AddRow(std::move(row));
+    if (agreed.empty()) {
+      agreed = result.points;
+    } else if (result.points.size() != agreed.size()) {
+      all_agree = false;
+    } else {
+      for (std::size_t i = 0; i < agreed.size(); ++i) {
+        all_agree = all_agree && result.points[i].depth == agreed[i].depth &&
+                    result.points[i].assoc == agreed[i].assoc &&
+                    result.points[i].warm_misses == agreed[i].warm_misses;
+      }
+    }
+  }
+
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "== %s fraction=%.2f K=%llu max-bits=%u ==\n", name.c_str(),
+                fraction, static_cast<unsigned long long>(k), max_bits);
+  std::string out = head;
+  out += table.ToString();
+  ces::AsciiTable points({"Depth", "Assoc", "Size (words)", "Warm misses"});
+  for (const auto& point : agreed) {
+    points.AddRow({std::to_string(point.depth), std::to_string(point.assoc),
+                   std::to_string(point.size_words()),
+                   std::to_string(point.warm_misses)});
+  }
+  out += points.ToString();
+  out += all_agree ? "strategies agree on the optimal set: yes\n"
+                   : "strategies agree on the optimal set: NO (BUG)\n";
+  return out;
+}
+
+int CmdCompare(const ces::ArgParser& args) {
+  const std::vector<std::string> paths =
+      SplitList(args.GetString("trace", ""));
+  if (paths.empty()) return Usage();
+  std::vector<double> fractions;
+  for (const std::string& f : SplitList(args.GetString("fraction", "0.05"))) {
+    fractions.push_back(std::stod(f));
+  }
+  if (fractions.empty()) fractions.push_back(0.05);
   const auto max_bits =
       static_cast<std::uint32_t>(args.GetInt("max-bits", 12));
+  const std::uint32_t jobs = JobsFlag(args);
+  const bool timing = args.GetBool("timing", true);
 
-  ces::AsciiTable table({"Strategy", "Time", "Simulated refs"});
-  for (const auto& strategy : ces::explore::AllStrategies()) {
-    const auto result = strategy->Explore(trace, k, max_bits);
-    table.AddRow({strategy->name(), ces::FormatSeconds(result.seconds),
-                  ces::FormatWithThousands(result.simulated_references)});
+  std::vector<ces::trace::Trace> traces;
+  traces.reserve(paths.size());
+  for (const std::string& path : paths) {
+    traces.push_back(LoadAnyFormat(path, args.GetString("kind", "data")));
   }
-  std::fputs(table.ToString().c_str(), stdout);
+
+  // One cell per (trace, fraction) pair, rendered into its own slot so the
+  // output order never depends on scheduling.
+  struct Cell {
+    std::size_t trace_index;
+    double fraction;
+  };
+  std::vector<Cell> cells;
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    for (double fraction : fractions) cells.push_back({t, fraction});
+  }
+  std::vector<std::string> rendered(cells.size());
+
+  if (cells.size() == 1) {
+    // Single cell: let the strategies parallelise across depths instead.
+    rendered[0] = CompareOneCell(paths[0], traces[0], cells[0].fraction,
+                                 max_bits, jobs, timing);
+  } else {
+    // Independent workloads and budgets run concurrently; each cell's
+    // strategies stay serial inside (nested parallelism would inline).
+    ces::support::ThreadPool pool(jobs);
+    pool.ParallelFor(cells.size(), [&](std::size_t i) {
+      rendered[i] = CompareOneCell(paths[cells[i].trace_index],
+                                   traces[cells[i].trace_index],
+                                   cells[i].fraction, max_bits, 1, timing);
+    });
+  }
+  for (std::size_t i = 0; i < rendered.size(); ++i) {
+    if (i > 0) std::fputc('\n', stdout);
+    std::fputs(rendered[i].c_str(), stdout);
+  }
   return 0;
 }
 
