@@ -8,6 +8,8 @@
 #include "analytic/mrct.hpp"
 #include "analytic/postlude.hpp"
 #include "analytic/zeroone.hpp"
+#include "support/error.hpp"
+#include "support/metrics.hpp"
 #include "support/pool.hpp"
 #include "support/timer.hpp"
 
@@ -23,7 +25,14 @@ const DesignPoint* ExplorationResult::SmallestCache() const {
   return best;
 }
 
-Explorer::Explorer(const trace::Trace& trace, ExplorerOptions options) {
+Explorer::Explorer(const trace::Trace& trace, ExplorerOptions options)
+    : metrics_(options.metrics) {
+  if (options.line_words == 0 ||
+      (options.line_words & (options.line_words - 1)) != 0) {
+    throw support::Error(support::ErrorCategory::kUsage, "explorer",
+                         "line_words " + std::to_string(options.line_words) +
+                             " is not a power of two");
+  }
   Stopwatch watch;
   const trace::StrippedTrace stripped =
       options.line_words == 1
@@ -43,11 +52,20 @@ Explorer::Explorer(const trace::Trace& trace, ExplorerOptions options) {
     support::ThreadPool pool(jobs);
     profiles_ = cache::ComputeAllDepthProfiles(
         stripped, max_index_bits_, &pool,
-        /*use_tree=*/options.engine == Engine::kFusedTree);
-  } else if (options.engine == Engine::kFused) {
-    profiles_ = ComputeMissProfilesFused(stripped, max_index_bits_);
-  } else if (options.engine == Engine::kFusedTree) {
-    profiles_ = ComputeMissProfilesFusedTree(stripped, max_index_bits_);
+        /*use_tree=*/options.engine == Engine::kFusedTree, metrics_);
+  } else if (options.engine == Engine::kFused ||
+             options.engine == Engine::kFusedTree) {
+    profiles_ = options.engine == Engine::kFused
+                    ? ComputeMissProfilesFused(stripped, max_index_bits_)
+                    : ComputeMissProfilesFusedTree(stripped, max_index_bits_);
+    // Mirror the counters ComputeAllDepthProfiles records on the pool path:
+    // the fused traversal performs the same per-depth scan work, and keeping
+    // the totals identical is what makes --metrics=json byte-identical
+    // across jobs values.
+    support::MetricsRegistry::Add(metrics_, "stack.passes", profiles_.size());
+    support::MetricsRegistry::Add(
+        metrics_, "stack.refs_scanned",
+        static_cast<std::uint64_t>(profiles_.size()) * stripped.size());
   } else {
     const ZeroOneSets sets = BuildZeroOneSets(stripped, max_index_bits_);
     const Bcat bcat = Bcat::Build(sets, stripped.unique_count(),
@@ -57,10 +75,17 @@ Explorer::Explorer(const trace::Trace& trace, ExplorerOptions options) {
                                     stripped.unique_count(), max_index_bits_);
   }
   prelude_seconds_ = watch.ElapsedSeconds();
+  support::MetricsRegistry::Add(metrics_, "explore.depths", profiles_.size());
+  support::MetricsRegistry::Add(metrics_, "explore.trace_refs", stats_.n);
+  support::MetricsRegistry::Add(metrics_, "explore.unique_refs",
+                                stats_.n_unique);
+  support::MetricsRegistry::Observe(metrics_, "explore.prelude_seconds",
+                                    prelude_seconds_);
 }
 
 ExplorationResult Explorer::Solve(std::uint64_t k) const {
   Stopwatch watch;
+  support::MetricsRegistry::Add(metrics_, "explore.solve_queries");
   ExplorationResult result;
   result.k = k;
   result.points.reserve(profiles_.size());

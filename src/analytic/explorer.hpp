@@ -18,6 +18,10 @@
 #include "trace/strip.hpp"
 #include "trace/trace.hpp"
 
+namespace ces::support {
+class MetricsRegistry;
+}  // namespace ces::support
+
 namespace ces::analytic {
 
 enum class Engine : std::uint8_t {
@@ -50,6 +54,11 @@ struct ExplorerOptions {
   // reference engine's global BCAT/MRCT structures are inherently
   // sequential; it ignores this option.
   std::uint32_t jobs = 1;
+  // Optional run-metrics sink. The prelude records "explore.depths",
+  // "explore.trace_refs", "explore.unique_refs" (deterministic counters) and
+  // the "explore.prelude_seconds" span; each Solve adds
+  // "explore.solve_queries". nullptr (default) disables collection.
+  support::MetricsRegistry* metrics = nullptr;
 };
 
 struct ExplorationResult {
@@ -65,6 +74,8 @@ struct ExplorationResult {
 
 class Explorer {
  public:
+  // Throws support::Error (kUsage) for invalid options: line_words that is
+  // zero or not a power of two.
   explicit Explorer(const trace::Trace& trace, ExplorerOptions options = {});
 
   // Optimal (D, A) pairs with non-cold misses <= k.
@@ -83,6 +94,7 @@ class Explorer {
   std::vector<cache::StackProfile> profiles_;
   std::uint32_t max_index_bits_ = 0;
   double prelude_seconds_ = 0.0;
+  support::MetricsRegistry* metrics_ = nullptr;
 };
 
 // One-shot convenience wrapper.

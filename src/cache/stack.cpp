@@ -4,6 +4,7 @@
 
 #include "support/check.hpp"
 #include "support/fenwick.hpp"
+#include "support/metrics.hpp"
 #include "support/pool.hpp"
 
 namespace ces::cache {
@@ -163,7 +164,9 @@ StackProfile ComputeStackProfileTree(const trace::StrippedTrace& stripped,
 
 std::vector<StackProfile> ComputeAllDepthProfiles(
     const trace::StrippedTrace& stripped, std::uint32_t max_index_bits,
-    support::ThreadPool* pool, bool use_tree) {
+    support::ThreadPool* pool, bool use_tree,
+    support::MetricsRegistry* metrics) {
+  support::ScopedSpan span(metrics, "stack.all_depths_seconds");
   std::vector<StackProfile> profiles(max_index_bits + 1);
   const auto compute = [&](std::size_t bits) {
     const auto index_bits = static_cast<std::uint32_t>(bits);
@@ -178,6 +181,10 @@ std::vector<StackProfile> ComputeAllDepthProfiles(
   } else {
     for (std::size_t bits = 0; bits < profiles.size(); ++bits) compute(bits);
   }
+  support::MetricsRegistry::Add(metrics, "stack.passes", profiles.size());
+  support::MetricsRegistry::Add(
+      metrics, "stack.refs_scanned",
+      static_cast<std::uint64_t>(profiles.size()) * stripped.size());
   return profiles;
 }
 

@@ -15,6 +15,7 @@
 #include "trace/strip.hpp"
 
 namespace ces::support {
+class MetricsRegistry;
 class ThreadPool;
 }  // namespace ces::support
 
@@ -71,8 +72,12 @@ StackProfile ComputeStackProfileTree(const trace::StrippedTrace& stripped,
 // pool, depths are computed concurrently (each depth's pass stays serial —
 // depth-level parallelism load-balances better than splitting the few sets
 // of the shallow depths); `use_tree` selects the Bennett-Kruskal scan.
+// When `metrics` is provided, records "stack.passes" (one per depth) and
+// "stack.refs_scanned" (trace length x depths — the work a one-pass-per-depth
+// prelude performs) plus the wall-clock span "stack.all_depths_seconds".
 std::vector<StackProfile> ComputeAllDepthProfiles(
     const trace::StrippedTrace& stripped, std::uint32_t max_index_bits,
-    support::ThreadPool* pool = nullptr, bool use_tree = false);
+    support::ThreadPool* pool = nullptr, bool use_tree = false,
+    support::MetricsRegistry* metrics = nullptr);
 
 }  // namespace ces::cache

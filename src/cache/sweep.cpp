@@ -1,6 +1,7 @@
 #include "cache/sweep.hpp"
 
 #include "cache/sim.hpp"
+#include "support/metrics.hpp"
 #include "support/pool.hpp"
 
 namespace ces::cache {
@@ -43,7 +44,9 @@ std::vector<SweepPoint> ExhaustiveSweep(const trace::Trace& trace,
                                         std::uint32_t max_assoc,
                                         ReplacementPolicy policy,
                                         bool stop_at_zero, std::uint32_t jobs,
-                                        SweepCoverage* coverage) {
+                                        SweepCoverage* coverage,
+                                        support::MetricsRegistry* metrics) {
+  support::ScopedSpan span(metrics, "sweep.seconds");
   const std::size_t levels = max_index_bits + 1;
   std::vector<std::vector<SweepPoint>> per_depth(levels);
   std::vector<SweepCoverage> per_depth_coverage(levels);
@@ -65,6 +68,13 @@ std::vector<SweepPoint> ExhaustiveSweep(const trace::Trace& trace,
     totals.pruned_by_stop += per_depth_coverage[bits].pruned_by_stop;
   }
   if (coverage != nullptr) *coverage = totals;
+  if (metrics != nullptr) {
+    metrics->Add("sweep.configs_requested", totals.requested);
+    metrics->Add("sweep.configs_simulated", totals.simulated);
+    metrics->Add("sweep.configs_skipped_invalid", totals.skipped_invalid);
+    metrics->Add("sweep.configs_pruned", totals.pruned_by_stop);
+    metrics->Add("sweep.refs_simulated", totals.simulated * trace.size());
+  }
   return points;
 }
 

@@ -12,6 +12,7 @@
 #include "trace/trace.hpp"
 
 namespace ces::support {
+class MetricsRegistry;
 class ThreadPool;
 }  // namespace ces::support
 
@@ -45,6 +46,12 @@ struct SweepCoverage {
 // simulated concurrently on a support::ThreadPool; the returned points — and
 // the coverage counts — are identical for every jobs value. jobs == 0 uses
 // the hardware concurrency, jobs == 1 is the serial code path.
+// When `metrics` is provided, records the coverage counts as counters
+// ("sweep.configs_requested", "sweep.configs_simulated",
+// "sweep.configs_skipped_invalid", "sweep.configs_pruned"), the total
+// references pushed through the simulator ("sweep.refs_simulated") and the
+// wall-clock span "sweep.seconds". The counters are deterministic for every
+// jobs value; only the span varies.
 std::vector<SweepPoint> ExhaustiveSweep(const trace::Trace& trace,
                                         std::uint32_t max_index_bits,
                                         std::uint32_t max_assoc,
@@ -52,7 +59,9 @@ std::vector<SweepPoint> ExhaustiveSweep(const trace::Trace& trace,
                                             ReplacementPolicy::kLru,
                                         bool stop_at_zero = true,
                                         std::uint32_t jobs = 1,
-                                        SweepCoverage* coverage = nullptr);
+                                        SweepCoverage* coverage = nullptr,
+                                        support::MetricsRegistry* metrics =
+                                            nullptr);
 
 // For one depth, finds the smallest associativity with warm misses <= k by
 // linearly raising A and re-simulating — one turn of the traditional

@@ -1,0 +1,83 @@
+#include "support/error.hpp"
+
+namespace ces::support {
+namespace {
+
+std::string FormatWhat(ErrorCategory category, const std::string& context,
+                       const std::string& detail, std::uint64_t line,
+                       std::uint64_t byte_offset) {
+  std::string what = "[";
+  what += ToString(category);
+  what += "] ";
+  what += context;
+  what += ": ";
+  if (line != Error::kNoLine) {
+    what += "line " + std::to_string(line) + ": ";
+  } else if (byte_offset != Error::kNoOffset) {
+    what += "byte " + std::to_string(byte_offset) + ": ";
+  }
+  what += detail;
+  return what;
+}
+
+}  // namespace
+
+const char* ToString(ErrorCategory category) {
+  switch (category) {
+    case ErrorCategory::kIo:
+      return "io";
+    case ErrorCategory::kFormat:
+      return "format";
+    case ErrorCategory::kParse:
+      return "parse";
+    case ErrorCategory::kRange:
+      return "range";
+    case ErrorCategory::kTruncated:
+      return "truncated";
+    case ErrorCategory::kUnsupported:
+      return "unsupported";
+    case ErrorCategory::kValidation:
+      return "validation";
+    case ErrorCategory::kUsage:
+      return "usage";
+    case ErrorCategory::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+int ExitCodeFor(ErrorCategory category) {
+  switch (category) {
+    case ErrorCategory::kUsage:
+      return 2;
+    case ErrorCategory::kIo:
+      return 3;
+    case ErrorCategory::kFormat:
+      return 4;
+    case ErrorCategory::kParse:
+      return 5;
+    case ErrorCategory::kRange:
+      return 6;
+    case ErrorCategory::kTruncated:
+      return 7;
+    case ErrorCategory::kUnsupported:
+      return 8;
+    case ErrorCategory::kValidation:
+      return 9;
+    case ErrorCategory::kInternal:
+      return 10;
+  }
+  return 1;
+}
+
+Error::Error(ErrorCategory category, std::string context, std::string detail,
+             std::uint64_t line, std::uint64_t byte_offset)
+    : std::runtime_error(
+          FormatWhat(category, context, detail, line, byte_offset)),
+      category_(category),
+      context_(std::move(context)),
+      detail_(std::move(detail)),
+      line_(line),
+      byte_offset_(byte_offset) {}
+
+}  // namespace ces::support

@@ -1,0 +1,69 @@
+// Structured error taxonomy for the trace-ingestion -> exploration -> report
+// path.
+//
+// Every reader and engine in the library throws ces::support::Error instead
+// of bare std::runtime_error, so callers (and the cachedse CLI) can react to
+// *what kind* of failure occurred — a truncated stream retries differently
+// from a semantic validation failure — and surface where in the input it
+// happened (line for text formats, byte offset for binary ones). Error
+// derives from std::runtime_error, so existing catch sites keep working.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ces::support {
+
+enum class ErrorCategory : std::uint8_t {
+  kIo = 0,          // cannot open / read / write a file
+  kFormat,          // structural damage: bad magic, bad version, bad header
+  kParse,           // malformed text: bad hex, bad label, trailing garbage
+  kRange,           // a value overflows its representable or declared range
+  kTruncated,       // the stream ended before the declared content did
+  kUnsupported,     // recognised but deliberately not handled here
+  kValidation,      // semantically inconsistent input (count vs stream size,
+                    // reference vs address_bits, ...)
+  kUsage,           // caller misuse: bad flag value, bad option combination
+  kInternal,        // invariant violation inside the library
+};
+
+// Stable lower-case identifier ("io", "format", ...) used in messages, the
+// metrics JSON, and docs/ERRORS.md.
+const char* ToString(ErrorCategory category);
+
+// Process exit code cachedse maps the category to. Distinct per category:
+// usage = 2, io = 3, format = 4, parse = 5, range = 6, truncated = 7,
+// unsupported = 8, validation = 9, internal = 10. (0 is success, 1 is an
+// unstructured std::exception.)
+int ExitCodeFor(ErrorCategory category);
+
+class Error : public std::runtime_error {
+ public:
+  static constexpr std::uint64_t kNoLine = 0;          // lines are 1-based
+  static constexpr std::uint64_t kNoOffset = ~std::uint64_t{0};
+
+  // `context` names the input or subsystem ("trace-text", "dinero",
+  // "trace-binary", "explorer"); `detail` describes the failure. The what()
+  // string is "[category] context: line N: detail" / "[category] context:
+  // byte B: detail" / "[category] context: detail".
+  Error(ErrorCategory category, std::string context, std::string detail,
+        std::uint64_t line = kNoLine, std::uint64_t byte_offset = kNoOffset);
+
+  ErrorCategory category() const { return category_; }
+  const std::string& context() const { return context_; }
+  const std::string& detail() const { return detail_; }
+  // 1-based line of the offending input; kNoLine when not line-oriented.
+  std::uint64_t line() const { return line_; }
+  // Byte offset of the offending input; kNoOffset when unknown.
+  std::uint64_t byte_offset() const { return byte_offset_; }
+
+ private:
+  ErrorCategory category_;
+  std::string context_;
+  std::string detail_;
+  std::uint64_t line_;
+  std::uint64_t byte_offset_;
+};
+
+}  // namespace ces::support

@@ -1,0 +1,120 @@
+#include "support/metrics.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace ces::support {
+namespace {
+
+// Minimal JSON string escaping for metric names (which are library-chosen
+// identifiers, but a registry is only as trustworthy as its serialisation).
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::Add(const std::string& name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+std::uint64_t MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::Observe(const std::string& name, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Span& span = spans_[name];
+  span.seconds += seconds;
+  ++span.count;
+}
+
+double MetricsRegistry::span_seconds(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = spans_.find(name);
+  return it == spans_.end() ? 0.0 : it->second.seconds;
+}
+
+std::string MetricsRegistry::ToJson(bool include_volatile) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {  // std::map: sorted keys
+    if (!first) out += ',';
+    first = false;
+    out += '"' + EscapeJson(name) + "\":" + std::to_string(value);
+  }
+  out += '}';
+  if (include_volatile) {
+    out += ",\"gauges\":{";
+    first = true;
+    for (const auto& [name, value] : gauges_) {
+      if (!first) out += ',';
+      first = false;
+      out += '"' + EscapeJson(name) + "\":" + std::to_string(value);
+    }
+    out += "},\"spans\":{";
+    first = true;
+    for (const auto& [name, span] : spans_) {
+      if (!first) out += ',';
+      first = false;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "{\"seconds\":%.6f,\"count\":%llu}",
+                    span.seconds,
+                    static_cast<unsigned long long>(span.count));
+      out += '"' + EscapeJson(name) + "\":" + buf;
+    }
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
+ScopedSpan::ScopedSpan(MetricsRegistry* registry, std::string name)
+    : registry_(registry), name_(std::move(name)) {}
+
+ScopedSpan::~ScopedSpan() {
+  MetricsRegistry::Observe(registry_, name_, watch_.ElapsedSeconds());
+}
+
+}  // namespace ces::support

@@ -1,0 +1,90 @@
+// Lightweight run metrics: named counters and wall-time spans.
+//
+// Every layer of the pipeline — trace readers, sweeps, Mattson scans, the
+// analytical explorer — accepts an optional MetricsRegistry* and records what
+// it did (refs parsed, lines skipped, configs swept/skipped, prelude time).
+// Passing nullptr disables collection entirely: the null-safe static helpers
+// compile to a predictable pointer test, so instrumented hot paths cost
+// nothing when metrics are off.
+//
+// Counters are deterministic by construction (they count work, which the
+// deterministic thread pool makes independent of the worker count), so
+// ToJson() without timings is byte-identical across --jobs values — the
+// property `cachedse --metrics=json` relies on. Spans (wall-clock) and
+// gauges (environment facts like the pool size) are inherently run-specific
+// and only appear when include_volatile is set.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "support/timer.hpp"
+
+namespace ces::support {
+
+class MetricsRegistry {
+ public:
+  // Counters: monotonically accumulated event counts. Dotted lower-case
+  // names by convention, e.g. "trace.refs_parsed".
+  void Add(const std::string& name, std::uint64_t delta = 1);
+  std::uint64_t counter(const std::string& name) const;
+
+  // Gauges: last-write-wins facts about the run (pool size, flag values).
+  // Volatile — excluded from deterministic JSON.
+  void SetGauge(const std::string& name, std::uint64_t value);
+  std::uint64_t gauge(const std::string& name) const;
+
+  // Spans: accumulated wall-clock seconds plus an invocation count.
+  // Volatile — excluded from deterministic JSON.
+  void Observe(const std::string& name, double seconds);
+  double span_seconds(const std::string& name) const;
+
+  // Stable JSON rendering: keys sorted, counters always present; gauges and
+  // spans only when include_volatile is true. No trailing newline.
+  std::string ToJson(bool include_volatile = false) const;
+
+  // Null-safe helpers so instrumented code never branches on its own.
+  static void Add(MetricsRegistry* metrics, const std::string& name,
+                  std::uint64_t delta = 1) {
+    if (metrics != nullptr) metrics->Add(name, delta);
+  }
+  static void SetGauge(MetricsRegistry* metrics, const std::string& name,
+                       std::uint64_t value) {
+    if (metrics != nullptr) metrics->SetGauge(name, value);
+  }
+  static void Observe(MetricsRegistry* metrics, const std::string& name,
+                      double seconds) {
+    if (metrics != nullptr) metrics->Observe(name, seconds);
+  }
+
+ private:
+  struct Span {
+    double seconds = 0.0;
+    std::uint64_t count = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::uint64_t> gauges_;
+  std::map<std::string, Span> spans_;
+};
+
+// RAII wall-time span: records the elapsed time into `registry` (if any) on
+// destruction. Safe to construct with a null registry.
+class ScopedSpan {
+ public:
+  ScopedSpan(MetricsRegistry* registry, std::string name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  MetricsRegistry* registry_;
+  std::string name_;
+  Stopwatch watch_;
+};
+
+}  // namespace ces::support

@@ -1,37 +1,77 @@
 #include "trace/dinero.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <istream>
 #include <ostream>
-#include <stdexcept>
 #include <string>
+
+#include "support/error.hpp"
+#include "support/metrics.hpp"
 
 namespace ces::trace {
 
-Trace ReadDinero(std::istream& is, StreamKind select) {
+using support::Error;
+using support::ErrorCategory;
+using support::MetricsRegistry;
+
+Trace ReadDinero(std::istream& is, StreamKind select,
+                 MetricsRegistry* metrics) {
+  constexpr const char* kContext = "dinero";
   Trace trace;
   trace.kind = select;
   std::string line;
-  std::size_t line_number = 0;
+  std::uint64_t line_number = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t filtered = 0;
   while (std::getline(is, line)) {
     ++line_number;
-    if (line.empty() || line[0] == '#') continue;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') {
+      ++skipped;
+      continue;
+    }
     char* cursor = nullptr;
     const long label = std::strtol(line.c_str(), &cursor, 10);
     if (cursor == line.c_str() || label < 0 || label > 2) {
-      throw std::runtime_error("dinero: bad label at line " +
-                               std::to_string(line_number));
+      throw Error(ErrorCategory::kParse, kContext,
+                  "bad label in '" + line + "'", line_number);
     }
+    errno = 0;
     char* end = nullptr;
-    const unsigned long address = std::strtoul(cursor, &end, 16);
+    const unsigned long long address = std::strtoull(cursor, &end, 16);
     if (end == cursor) {
-      throw std::runtime_error("dinero: bad address at line " +
-                               std::to_string(line_number));
+      throw Error(ErrorCategory::kParse, kContext,
+                  "bad address in '" + line + "'", line_number);
     }
-    const bool is_fetch = label == static_cast<long>(DineroLabel::kInstructionFetch);
-    if (is_fetch != (select == StreamKind::kInstruction)) continue;
-    trace.refs.push_back(static_cast<std::uint32_t>(address >> 2));
+    // Byte addresses up to 34 bits are legal (they are word addresses << 2);
+    // anything wider would silently wrap the 32-bit word address.
+    if (errno == ERANGE || (address >> 2) > 0xffffffffull) {
+      throw Error(ErrorCategory::kRange, kContext,
+                  "address in '" + line +
+                      "' exceeds the 32-bit word address space",
+                  line_number);
+    }
+    for (const char* p = end; *p != '\0'; ++p) {
+      if (std::isspace(static_cast<unsigned char>(*p)) == 0) {
+        throw Error(ErrorCategory::kParse, kContext,
+                    "trailing garbage in '" + line + "'", line_number);
+      }
+    }
+    const bool is_fetch =
+        label == static_cast<long>(DineroLabel::kInstructionFetch);
+    if (is_fetch != (select == StreamKind::kInstruction)) {
+      ++filtered;
+      continue;
+    }
+    trace.refs.push_back(
+        static_cast<std::uint32_t>(static_cast<std::uint64_t>(address) >> 2));
   }
+  MetricsRegistry::Add(metrics, "trace.refs_parsed", trace.refs.size());
+  MetricsRegistry::Add(metrics, "trace.lines_skipped", skipped);
+  MetricsRegistry::Add(metrics, "dinero.records_filtered", filtered);
   return trace;
 }
 
@@ -41,7 +81,11 @@ void WriteDinero(std::ostream& os, const Trace& trace) {
                         : static_cast<int>(DineroLabel::kRead);
   char buf[32];
   for (std::uint32_t ref : trace.refs) {
-    std::snprintf(buf, sizeof(buf), "%d %x\n", label, ref << 2);
+    // Widen before shifting: word -> byte addresses overflow u32 for any
+    // ref >= 2^30, which would silently corrupt high addresses.
+    const std::uint64_t byte_address = static_cast<std::uint64_t>(ref) << 2;
+    std::snprintf(buf, sizeof(buf), "%d %llx\n", label,
+                  static_cast<unsigned long long>(byte_address));
     os << buf;
   }
 }

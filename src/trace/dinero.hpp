@@ -7,12 +7,17 @@
 //
 // This library analyses word-granular streams (fixed one-word lines), so
 // reading converts byte addresses to word addresses (>> 2) and writing
-// converts back (<< 2).
+// converts back (<< 2, widened to 64 bits — word addresses above 2^30 need
+// byte addresses of up to 34 bits).
 #pragma once
 
 #include <iosfwd>
 
 #include "trace/trace.hpp"
+
+namespace ces::support {
+class MetricsRegistry;
+}  // namespace ces::support
 
 namespace ces::trace {
 
@@ -23,9 +28,13 @@ enum class DineroLabel : int {
 };
 
 // Reads a din stream, keeping only the records matching `select`
-// (instruction fetches, or reads+writes for data). Throws std::runtime_error
-// on malformed lines.
-Trace ReadDinero(std::istream& is, StreamKind select);
+// (instruction fetches, or reads+writes for data). Strict: throws
+// support::Error (kParse for bad labels/addresses/trailing garbage, kRange
+// for byte addresses whose word address exceeds 32 bits) naming the line.
+// Records "trace.refs_parsed", "trace.lines_skipped" and
+// "dinero.records_filtered" into `metrics` when provided.
+Trace ReadDinero(std::istream& is, StreamKind select,
+                 support::MetricsRegistry* metrics = nullptr);
 
 // Writes the trace as din records (label 2 for instruction traces, label 0
 // for data traces — read/write distinction is not tracked internally).

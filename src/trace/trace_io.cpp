@@ -1,19 +1,34 @@
 #include "trace/trace_io.hpp"
 
+#include <algorithm>
 #include <array>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
+
+#include "support/error.hpp"
+#include "support/metrics.hpp"
 
 namespace ces::trace {
 namespace {
 
+using support::Error;
+using support::ErrorCategory;
+using support::MetricsRegistry;
+
 constexpr char kMagic[4] = {'C', 'T', 'R', 'C'};
 constexpr char kMagicCompressed[4] = {'C', 'T', 'R', 'Z'};
 constexpr std::uint32_t kVersion = 1;
+
+// Upper bound on the refs pre-reservation. A corrupt header can declare any
+// count; reading incrementally past this cap means a 4-byte lie can cost at
+// most 4 MiB up front instead of gigabytes.
+constexpr std::uint32_t kMaxPreallocRefs = 1u << 20;
 
 std::uint64_t ZigZag(std::int64_t value) {
   return (static_cast<std::uint64_t>(value) << 1) ^
@@ -33,13 +48,18 @@ void WriteVarint(std::ostream& os, std::uint64_t value) {
   os.put(static_cast<char>(value));
 }
 
-std::uint64_t ReadVarint(std::istream& is) {
+std::uint64_t ReadVarint(std::istream& is, const char* context) {
   std::uint64_t value = 0;
   int shift = 0;
   for (;;) {
     const int byte = is.get();
-    if (byte == std::char_traits<char>::eof() || shift > 63) {
-      throw std::runtime_error("trace: truncated varint");
+    if (byte == std::char_traits<char>::eof()) {
+      throw Error(ErrorCategory::kTruncated, context,
+                  "stream ended inside a varint");
+    }
+    if (shift > 63) {
+      throw Error(ErrorCategory::kFormat, context,
+                  "varint longer than 10 bytes");
     }
     value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) return value;
@@ -56,14 +76,124 @@ void WriteU32(std::ostream& os, std::uint32_t value) {
   os.write(reinterpret_cast<const char*>(bytes.data()), bytes.size());
 }
 
-std::uint32_t ReadU32(std::istream& is) {
+std::uint32_t ReadU32(std::istream& is, const char* context) {
   std::array<unsigned char, 4> bytes;
   is.read(reinterpret_cast<char*>(bytes.data()), bytes.size());
-  if (!is) throw std::runtime_error("trace: truncated binary stream");
+  if (!is) {
+    throw Error(ErrorCategory::kTruncated, context,
+                "stream ended inside a u32 field");
+  }
   return static_cast<std::uint32_t>(bytes[0]) |
          (static_cast<std::uint32_t>(bytes[1]) << 8) |
          (static_cast<std::uint32_t>(bytes[2]) << 16) |
          (static_cast<std::uint32_t>(bytes[3]) << 24);
+}
+
+// Bytes between the current position and the end of the stream, or -1 when
+// the stream is not seekable (then readers fall back to purely incremental
+// reads; truncation still surfaces, just without the up-front count check).
+std::int64_t RemainingBytes(std::istream& is) {
+  const std::istream::pos_type here = is.tellg();
+  if (here == std::istream::pos_type(-1)) return -1;
+  is.seekg(0, std::ios::end);
+  const std::istream::pos_type end = is.tellg();
+  is.seekg(here);
+  if (end == std::istream::pos_type(-1) || !is) {
+    is.clear();
+    is.seekg(here);
+    return -1;
+  }
+  return static_cast<std::int64_t>(end - here);
+}
+
+// True when every reference must fit the declared address width.
+bool ExceedsAddressBits(std::uint32_t ref, std::uint32_t address_bits) {
+  return address_bits < 32 &&
+         (static_cast<std::uint64_t>(ref) >>
+          address_bits) != 0;
+}
+
+void ValidateAddressBits(std::uint32_t address_bits, const char* context,
+                         std::uint64_t line = Error::kNoLine) {
+  if (address_bits == 0 || address_bits > 32) {
+    throw Error(ErrorCategory::kValidation, context,
+                "address_bits " + std::to_string(address_bits) +
+                    " outside [1, 32]",
+                line);
+  }
+}
+
+void ValidateKindField(std::uint32_t raw, const char* context) {
+  if (raw > static_cast<std::uint32_t>(StreamKind::kData)) {
+    throw Error(ErrorCategory::kFormat, context,
+                "unknown stream kind " + std::to_string(raw));
+  }
+}
+
+// Shared header + payload reader for the two binary formats; `compressed`
+// selects the payload decoding. The magic has already been consumed.
+Trace ReadBinaryPayload(std::istream& is, bool compressed,
+                        MetricsRegistry* metrics) {
+  const char* context = compressed ? "trace-compressed" : "trace-binary";
+  const std::uint32_t version = ReadU32(is, context);
+  if (version != kVersion) {
+    throw Error(ErrorCategory::kFormat, context,
+                "unsupported version " + std::to_string(version) +
+                    " (expected " + std::to_string(kVersion) + ")");
+  }
+  Trace trace;
+  const std::uint32_t raw_kind = ReadU32(is, context);
+  ValidateKindField(raw_kind, context);
+  trace.kind = static_cast<StreamKind>(raw_kind);
+  trace.address_bits = ReadU32(is, context);
+  ValidateAddressBits(trace.address_bits, context);
+  const std::uint32_t count = ReadU32(is, context);
+
+  // A raw payload needs 4 bytes per reference, a compressed one at least 1
+  // (a varint is never empty). Checking the declared count against the
+  // remaining stream rejects corrupt headers before any allocation.
+  const std::int64_t remaining = RemainingBytes(is);
+  const std::uint64_t min_bytes_needed =
+      static_cast<std::uint64_t>(count) * (compressed ? 1 : 4);
+  if (remaining >= 0 &&
+      min_bytes_needed > static_cast<std::uint64_t>(remaining)) {
+    throw Error(ErrorCategory::kValidation, context,
+                "header count " + std::to_string(count) + " needs >= " +
+                    std::to_string(min_bytes_needed) + " bytes but only " +
+                    std::to_string(remaining) + " remain");
+  }
+  trace.refs.reserve(std::min(count, kMaxPreallocRefs));
+
+  std::int64_t previous = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t ref;
+    if (compressed) {
+      previous += UnZigZag(ReadVarint(is, context));
+      if (previous < 0 || previous > 0xffffffffll) {
+        throw Error(ErrorCategory::kRange, context,
+                    "reference " + std::to_string(i) +
+                        " decodes outside the 32-bit address space");
+      }
+      ref = static_cast<std::uint32_t>(previous);
+    } else {
+      ref = ReadU32(is, context);
+    }
+    if (ExceedsAddressBits(ref, trace.address_bits)) {
+      throw Error(ErrorCategory::kValidation, context,
+                  "reference " + std::to_string(i) + " exceeds address_bits=" +
+                      std::to_string(trace.address_bits));
+    }
+    trace.refs.push_back(ref);
+  }
+  MetricsRegistry::Add(metrics, "trace.refs_parsed", trace.refs.size());
+  return trace;
+}
+
+bool IsBlank(const std::string& line) {
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -80,11 +210,20 @@ void WriteText(std::ostream& os, const Trace& trace) {
   }
 }
 
-Trace ReadText(std::istream& is) {
+Trace ReadText(std::istream& is, MetricsRegistry* metrics) {
+  constexpr const char* kContext = "trace-text";
   Trace trace;
   std::string line;
+  std::uint64_t line_number = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t ignored_headers = 0;
   while (std::getline(is, line)) {
-    if (line.empty()) continue;
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
+    if (IsBlank(line)) {
+      ++skipped;
+      continue;
+    }
     if (line[0] == '#') {
       std::istringstream header(line.substr(1));
       std::string key;
@@ -95,20 +234,67 @@ Trace ReadText(std::istream& is) {
       } else if (key == "kind") {
         std::string kind;
         header >> kind;
-        trace.kind = kind == "instruction" ? StreamKind::kInstruction
-                                           : StreamKind::kData;
+        if (kind == "instruction") {
+          trace.kind = StreamKind::kInstruction;
+        } else if (kind == "data") {
+          trace.kind = StreamKind::kData;
+        } else {
+          throw Error(ErrorCategory::kParse, kContext,
+                      "unknown kind '" + kind + "'", line_number);
+        }
       } else if (key == "address_bits") {
-        header >> trace.address_bits;
+        std::uint64_t bits = 0;
+        if (!(header >> bits)) {
+          throw Error(ErrorCategory::kParse, kContext,
+                      "malformed address_bits header", line_number);
+        }
+        if (bits == 0 || bits > 32) {
+          throw Error(ErrorCategory::kValidation, kContext,
+                      "address_bits " + std::to_string(bits) +
+                          " outside [1, 32]",
+                      line_number);
+        }
+        trace.address_bits = static_cast<std::uint32_t>(bits);
+      } else if (key == "ces") {
+        // The "# ces trace v1" banner WriteText emits; nothing to record.
+      } else {
+        // Unknown header keys are tolerated for forward compatibility, but
+        // counted so an unexpected producer shows up in the run metrics.
+        ++ignored_headers;
       }
       continue;
     }
+    errno = 0;
     char* end = nullptr;
-    const unsigned long value = std::strtoul(line.c_str(), &end, 16);
+    const unsigned long long value = std::strtoull(line.c_str(), &end, 16);
     if (end == line.c_str()) {
-      throw std::runtime_error("trace: malformed line '" + line + "'");
+      throw Error(ErrorCategory::kParse, kContext,
+                  "malformed address '" + line + "'", line_number);
     }
-    trace.refs.push_back(static_cast<std::uint32_t>(value));
+    if (errno == ERANGE || value > 0xffffffffull) {
+      throw Error(ErrorCategory::kRange, kContext,
+                  "address '" + line + "' does not fit in 32 bits",
+                  line_number);
+    }
+    for (const char* p = end; *p != '\0'; ++p) {
+      if (std::isspace(static_cast<unsigned char>(*p)) == 0) {
+        throw Error(ErrorCategory::kParse, kContext,
+                    "trailing garbage after address: '" + line + "'",
+                    line_number);
+      }
+    }
+    const auto ref = static_cast<std::uint32_t>(value);
+    if (ExceedsAddressBits(ref, trace.address_bits)) {
+      throw Error(ErrorCategory::kValidation, kContext,
+                  "address '" + line + "' exceeds address_bits=" +
+                      std::to_string(trace.address_bits),
+                  line_number);
+    }
+    trace.refs.push_back(ref);
   }
+  MetricsRegistry::Add(metrics, "trace.refs_parsed", trace.refs.size());
+  MetricsRegistry::Add(metrics, "trace.lines_skipped", skipped);
+  MetricsRegistry::Add(metrics, "trace.headers_ignored", ignored_headers);
   return trace;
 }
 
@@ -121,21 +307,24 @@ void WriteBinary(std::ostream& os, const Trace& trace) {
   for (std::uint32_t ref : trace.refs) WriteU32(os, ref);
 }
 
-Trace ReadBinary(std::istream& is) {
+Trace ReadBinary(std::istream& is, MetricsRegistry* metrics) {
   char magic[4];
   is.read(magic, sizeof(magic));
-  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("trace: bad magic");
+  if (!is) {
+    throw Error(ErrorCategory::kTruncated, "trace-binary",
+                "stream shorter than the 4-byte magic", Error::kNoLine, 0);
   }
-  const std::uint32_t version = ReadU32(is);
-  if (version != kVersion) throw std::runtime_error("trace: bad version");
-  Trace trace;
-  trace.kind = static_cast<StreamKind>(ReadU32(is));
-  trace.address_bits = ReadU32(is);
-  const std::uint32_t count = ReadU32(is);
-  trace.refs.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) trace.refs.push_back(ReadU32(is));
-  return trace;
+  if (std::memcmp(magic, kMagicCompressed, sizeof(kMagicCompressed)) == 0) {
+    throw Error(ErrorCategory::kUnsupported, "trace-binary",
+                "compressed (CTRZ) stream; use ReadCompressed or "
+                "LoadFromFile",
+                Error::kNoLine, 0);
+  }
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw Error(ErrorCategory::kFormat, "trace-binary",
+                "bad magic (expected CTRC)", Error::kNoLine, 0);
+  }
+  return ReadBinaryPayload(is, /*compressed=*/false, metrics);
 }
 
 void WriteCompressed(std::ostream& os, const Trace& trace) {
@@ -153,29 +342,30 @@ void WriteCompressed(std::ostream& os, const Trace& trace) {
   }
 }
 
-Trace ReadCompressed(std::istream& is) {
+Trace ReadCompressed(std::istream& is, MetricsRegistry* metrics) {
   char magic[4];
   is.read(magic, sizeof(magic));
-  if (!is || std::memcmp(magic, kMagicCompressed, sizeof(magic)) != 0) {
-    throw std::runtime_error("trace: bad compressed magic");
+  if (!is) {
+    throw Error(ErrorCategory::kTruncated, "trace-compressed",
+                "stream shorter than the 4-byte magic", Error::kNoLine, 0);
   }
-  if (ReadU32(is) != kVersion) throw std::runtime_error("trace: bad version");
-  Trace trace;
-  trace.kind = static_cast<StreamKind>(ReadU32(is));
-  trace.address_bits = ReadU32(is);
-  const std::uint32_t count = ReadU32(is);
-  trace.refs.reserve(count);
-  std::int64_t previous = 0;
-  for (std::uint32_t i = 0; i < count; ++i) {
-    previous += UnZigZag(ReadVarint(is));
-    trace.refs.push_back(static_cast<std::uint32_t>(previous));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) == 0) {
+    throw Error(ErrorCategory::kUnsupported, "trace-compressed",
+                "raw (CTRC) stream; use ReadBinary or LoadFromFile",
+                Error::kNoLine, 0);
   }
-  return trace;
+  if (std::memcmp(magic, kMagicCompressed, sizeof(kMagicCompressed)) != 0) {
+    throw Error(ErrorCategory::kFormat, "trace-compressed",
+                "bad magic (expected CTRZ)", Error::kNoLine, 0);
+  }
+  return ReadBinaryPayload(is, /*compressed=*/true, metrics);
 }
 
 void SaveToFile(const std::string& path, const Trace& trace) {
   std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("trace: cannot open " + path);
+  if (!os) {
+    throw Error(ErrorCategory::kIo, "trace-file", "cannot open " + path);
+  }
   if (path.size() >= 4 && path.substr(path.size() - 4) == ".trc") {
     WriteText(os, trace);
   } else if (path.size() >= 5 && path.substr(path.size() - 5) == ".ctrz") {
@@ -183,23 +373,32 @@ void SaveToFile(const std::string& path, const Trace& trace) {
   } else {
     WriteBinary(os, trace);
   }
+  if (!os) {
+    throw Error(ErrorCategory::kIo, "trace-file", "write failed: " + path);
+  }
 }
 
-Trace LoadFromFile(const std::string& path) {
+Trace LoadFromFile(const std::string& path, MetricsRegistry* metrics) {
   std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("trace: cannot open " + path);
+  if (!is) {
+    throw Error(ErrorCategory::kIo, "trace-file", "cannot open " + path);
+  }
   if (path.size() >= 4 && path.substr(path.size() - 4) == ".trc") {
-    return ReadText(is);
+    return ReadText(is, metrics);
   }
   // Dispatch raw vs compressed by magic, not extension.
   char magic[4];
   is.read(magic, sizeof(magic));
-  if (!is) throw std::runtime_error("trace: truncated file " + path);
+  if (!is) {
+    throw Error(ErrorCategory::kTruncated, "trace-file",
+                "file shorter than the 4-byte magic: " + path, Error::kNoLine,
+                0);
+  }
   is.seekg(0);
   if (std::memcmp(magic, kMagicCompressed, sizeof(magic)) == 0) {
-    return ReadCompressed(is);
+    return ReadCompressed(is, metrics);
   }
-  return ReadBinary(is);
+  return ReadBinary(is, metrics);
 }
 
 }  // namespace ces::trace

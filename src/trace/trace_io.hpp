@@ -1,10 +1,23 @@
 // Trace serialisation.
 //
-// Two interchangeable formats:
+// Three interchangeable formats:
 //  * Text (.trc): '#'-prefixed header lines, then one lower-case hex word
 //    address per line. Human-readable, diff-friendly, Dinero-style.
 //  * Binary (.ctr): magic "CTRC", version, kind, address bits, count, then a
 //    little-endian u32 array. Compact for the large workload traces.
+//  * Compressed binary (.ctrz): magic "CTRZ", same header, then zigzag
+//    address deltas as LEB128 varints (see WriteCompressed below).
+//
+// All readers are strict: they throw support::Error with a stable category
+// (and the offending line or byte offset) on malformed input — trailing
+// garbage on hex lines, addresses exceeding the declared address_bits,
+// unknown `kind` headers, header counts larger than the remaining stream,
+// truncated streams. They never over-allocate on attacker-controlled counts:
+// binary payloads are read incrementally with a capped pre-reservation.
+//
+// Every reader takes an optional support::MetricsRegistry* and records
+// "trace.refs_parsed", "trace.lines_skipped", "trace.headers_ignored" (text)
+// and "trace.bytes_read" (binary); nullptr disables collection.
 #pragma once
 
 #include <iosfwd>
@@ -12,26 +25,37 @@
 
 #include "trace/trace.hpp"
 
+namespace ces::support {
+class MetricsRegistry;
+}  // namespace ces::support
+
 namespace ces::trace {
 
 void WriteText(std::ostream& os, const Trace& trace);
-// Throws std::runtime_error on malformed input.
-Trace ReadText(std::istream& is);
+// Throws support::Error (kParse/kRange/kValidation) naming the line.
+Trace ReadText(std::istream& is,
+               support::MetricsRegistry* metrics = nullptr);
 
 void WriteBinary(std::ostream& os, const Trace& trace);
-Trace ReadBinary(std::istream& is);
+// Throws support::Error: kFormat (bad magic/version/kind), kUnsupported
+// (a CTRZ stream — use ReadCompressed or LoadFromFile), kValidation
+// (impossible header count or out-of-range reference), kTruncated.
+Trace ReadBinary(std::istream& is,
+                 support::MetricsRegistry* metrics = nullptr);
 
-// Compressed binary (.ctrz): magic "CTRZ", then zigzag-encoded address
-// deltas as LEB128 varints. Reference streams are delta-friendly
-// (instruction fetch is mostly +1), so this typically shrinks instruction
-// traces by ~4x over the raw format.
+// Compressed binary (.ctrz): zigzag-encoded address deltas as LEB128
+// varints. Reference streams are delta-friendly (instruction fetch is
+// mostly +1), so this typically shrinks instruction traces by ~4x over the
+// raw format.
 void WriteCompressed(std::ostream& os, const Trace& trace);
-Trace ReadCompressed(std::istream& is);
+Trace ReadCompressed(std::istream& is,
+                     support::MetricsRegistry* metrics = nullptr);
 
 // File helpers; format chosen by extension: ".trc" text, ".ctrz" compressed
 // binary, anything else raw binary. Loading detects raw-vs-compressed by
-// magic regardless of extension. Throw std::runtime_error on IO failure.
+// magic regardless of extension. Throw support::Error (kIo) on IO failure.
 void SaveToFile(const std::string& path, const Trace& trace);
-Trace LoadFromFile(const std::string& path);
+Trace LoadFromFile(const std::string& path,
+                   support::MetricsRegistry* metrics = nullptr);
 
 }  // namespace ces::trace

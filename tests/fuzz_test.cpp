@@ -1,16 +1,23 @@
 // Robustness fuzzing (deterministic): random instruction words through the
-// decoder/disassembler/CPU, and random text through the assembler. Nothing
-// here may crash, hang, or corrupt state — errors must surface as decode
-// failures, AssemblyError, or a StopReason.
+// decoder/disassembler/CPU, random text through the assembler, and a
+// malformed-trace corpus plus mutation fuzzing through every trace reader.
+// Nothing here may crash, hang, over-allocate, or corrupt state — errors
+// must surface as decode failures, AssemblyError, a StopReason, or a
+// support::Error with a stable category.
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 
 #include "isa/assembler.hpp"
 #include "isa/disasm.hpp"
 #include "isa/isa.hpp"
 #include "sim/cpu.hpp"
+#include "support/error.hpp"
 #include "support/rng.hpp"
+#include "trace/dinero.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/trace_io.hpp"
 
 namespace {
 
@@ -82,6 +89,228 @@ TEST(FuzzAssembler, RandomTextNeverCrashes) {
       (void)program;
     } catch (const AssemblyError&) {
       // expected for most inputs
+    }
+  }
+}
+
+using ces::support::Error;
+using ces::support::ErrorCategory;
+
+namespace corpus {
+
+void AppendU32(std::string& bytes, std::uint32_t value) {
+  bytes.push_back(static_cast<char>(value & 0xff));
+  bytes.push_back(static_cast<char>((value >> 8) & 0xff));
+  bytes.push_back(static_cast<char>((value >> 16) & 0xff));
+  bytes.push_back(static_cast<char>((value >> 24) & 0xff));
+}
+
+std::string Header(const char* magic, std::uint32_t kind, std::uint32_t bits,
+                   std::uint32_t count, std::uint32_t version = 1) {
+  std::string bytes(magic, 4);
+  AppendU32(bytes, version);
+  AppendU32(bytes, kind);
+  AppendU32(bytes, bits);
+  AppendU32(bytes, count);
+  return bytes;
+}
+
+struct BinaryCase {
+  const char* name;
+  std::string bytes;
+  bool compressed;  // which reader the fixture targets
+  ErrorCategory expected;
+};
+
+std::vector<BinaryCase> BinaryCases() {
+  std::vector<BinaryCase> cases;
+  cases.push_back({"empty stream", "", false, ErrorCategory::kTruncated});
+  cases.push_back({"short magic", "CT", false, ErrorCategory::kTruncated});
+  cases.push_back({"garbage magic", "XXXXYYYYZZZZWWWW", false,
+                   ErrorCategory::kFormat});
+  cases.push_back({"ctrz into raw reader", Header("CTRZ", 0, 32, 0), false,
+                   ErrorCategory::kUnsupported});
+  cases.push_back({"ctrc into compressed reader", Header("CTRC", 0, 32, 0),
+                   true, ErrorCategory::kUnsupported});
+  cases.push_back({"bad version", Header("CTRC", 0, 32, 0, 2), false,
+                   ErrorCategory::kFormat});
+  cases.push_back({"bad kind", Header("CTRC", 9, 32, 0), false,
+                   ErrorCategory::kFormat});
+  cases.push_back({"zero address bits", Header("CTRC", 0, 0, 0), false,
+                   ErrorCategory::kValidation});
+  cases.push_back({"oversized address bits", Header("CTRC", 0, 64, 0), false,
+                   ErrorCategory::kValidation});
+  cases.push_back({"header cut mid-field", std::string("CTRC\x01\x00", 6),
+                   false, ErrorCategory::kTruncated});
+  // Oversized counts: a 4-byte lie must not drive a giant reserve.
+  cases.push_back({"oversized raw count", Header("CTRC", 0, 32, 0xffffffffu),
+                   false, ErrorCategory::kValidation});
+  {
+    std::string bytes = Header("CTRZ", 0, 32, 0xfffffff0u);
+    bytes.push_back('\x02');
+    cases.push_back({"oversized compressed count", bytes, true,
+                     ErrorCategory::kValidation});
+  }
+  {
+    std::string bytes = Header("CTRC", 0, 8, 1);
+    AppendU32(bytes, 0x1ff);  // 9 bits > declared 8
+    cases.push_back({"ref exceeds address_bits", bytes, false,
+                     ErrorCategory::kValidation});
+  }
+  {
+    std::string bytes = Header("CTRZ", 0, 32, 1);
+    bytes.push_back('\x01');  // zigzag(-1): walks below address 0
+    cases.push_back({"delta below zero", bytes, true, ErrorCategory::kRange});
+  }
+  {
+    std::string bytes = Header("CTRZ", 0, 32, 2);
+    bytes.push_back('\x02');  // +1
+    bytes.push_back('\x80');  // truncated varint (continuation, then EOF)
+    cases.push_back({"truncated varint", bytes, true,
+                     ErrorCategory::kTruncated});
+  }
+  {
+    std::string bytes = Header("CTRZ", 0, 32, 1);
+    for (int i = 0; i < 11; ++i) bytes.push_back('\x80');  // 11 continuations
+    bytes.push_back('\x01');
+    cases.push_back({"overlong varint", bytes, true, ErrorCategory::kFormat});
+  }
+  return cases;
+}
+
+struct TextCase {
+  const char* name;
+  const char* text;
+  bool dinero;
+  ErrorCategory expected;
+};
+
+constexpr TextCase kTextCases[] = {
+    {"not hex", "zzz\n", false, ErrorCategory::kParse},
+    {"trailing garbage", "12fxq\n", false, ErrorCategory::kParse},
+    {"33-bit address", "1ffffffff\n", false, ErrorCategory::kRange},
+    {"unknown kind", "# kind banana\n", false, ErrorCategory::kParse},
+    {"bad address_bits", "# address_bits 99\n", false,
+     ErrorCategory::kValidation},
+    {"address beyond declared bits", "# address_bits 4\nff\n", false,
+     ErrorCategory::kValidation},
+    {"dinero bad label", "9 400\n", true, ErrorCategory::kParse},
+    {"dinero negative label", "-1 400\n", true, ErrorCategory::kParse},
+    {"dinero bad address", "0 zz\n", true, ErrorCategory::kParse},
+    {"dinero 35-bit address", "0 7ffffffffff\n", true, ErrorCategory::kRange},
+    {"dinero trailing garbage", "0 400 junk\n", true, ErrorCategory::kParse},
+};
+
+}  // namespace corpus
+
+TEST(FuzzTraceCorpus, EveryMalformedFixtureHasAStableCategory) {
+  for (const auto& c : corpus::BinaryCases()) {
+    std::stringstream stream(c.bytes);
+    try {
+      if (c.compressed) {
+        ces::trace::ReadCompressed(stream);
+      } else {
+        ces::trace::ReadBinary(stream);
+      }
+      ADD_FAILURE() << c.name << ": expected a structured error";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.category(), c.expected) << c.name << ": " << e.what();
+    }
+  }
+  for (const auto& c : corpus::kTextCases) {
+    std::stringstream stream(c.text);
+    try {
+      if (c.dinero) {
+        ces::trace::ReadDinero(stream, ces::trace::StreamKind::kData);
+      } else {
+        ces::trace::ReadText(stream);
+      }
+      ADD_FAILURE() << c.name << ": expected a structured error";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.category(), c.expected) << c.name << ": " << e.what();
+    }
+  }
+}
+
+TEST(FuzzTraceReaders, EveryTruncationOfAValidStreamIsHandled) {
+  const ces::trace::Trace trace = ces::trace::SequentialLoop(0x4000, 64, 3);
+  for (const bool compressed : {false, true}) {
+    std::stringstream full;
+    if (compressed) {
+      ces::trace::WriteCompressed(full, trace);
+    } else {
+      ces::trace::WriteBinary(full, trace);
+    }
+    const std::string bytes = full.str();
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      std::stringstream cut(bytes.substr(0, len));
+      try {
+        if (compressed) {
+          ces::trace::ReadCompressed(cut);
+        } else {
+          ces::trace::ReadBinary(cut);
+        }
+        ADD_FAILURE() << "prefix of " << len << " bytes parsed as complete";
+      } catch (const Error&) {
+        // any structured category is fine; crashing or unstructured is not
+      }
+    }
+  }
+}
+
+TEST(FuzzTraceReaders, RandomMutationsNeverCrashOrOverAllocate) {
+  ces::Rng rng(0x7ACE);
+  const ces::trace::Trace trace = ces::trace::SequentialLoop(0x1000, 48, 2);
+  std::stringstream raw;
+  ces::trace::WriteBinary(raw, trace);
+  std::stringstream packed;
+  ces::trace::WriteCompressed(packed, trace);
+  const std::string originals[] = {raw.str(), packed.str()};
+  for (int round = 0; round < 4000; ++round) {
+    std::string bytes = originals[rng.NextBounded(2)];
+    const int flips = 1 + static_cast<int>(rng.NextBounded(8));
+    for (int f = 0; f < flips; ++f) {
+      bytes[rng.NextBounded(bytes.size())] =
+          static_cast<char>(rng.NextBounded(256));
+    }
+    std::stringstream stream(bytes);
+    try {
+      const ces::trace::Trace loaded =
+          bytes.compare(0, 4, "CTRZ") == 0
+              ? ces::trace::ReadCompressed(stream)
+              : ces::trace::ReadBinary(stream);
+      // Mutations that still parse must respect the declared address width.
+      EXPECT_LE(loaded.address_bits, 32u);
+    } catch (const Error&) {
+      // expected for most mutations
+    }
+  }
+}
+
+TEST(FuzzTraceReaders, RandomTextLinesNeverCrash) {
+  ces::Rng rng(0x7EC7);
+  static const char* kFragments[] = {
+      "#", " ", "kind", "name", "address_bits", "instruction", "data",
+      "deadbeef", "12", "ffffffffff", "zz", "-", "0", "1", "2", "7", "400",
+      "\t", "banana"};
+  for (int round = 0; round < 3000; ++round) {
+    std::string source;
+    const int tokens = 1 + static_cast<int>(rng.NextBounded(24));
+    for (int t = 0; t < tokens; ++t) {
+      source += kFragments[rng.NextBounded(std::size(kFragments))];
+      source += rng.NextBool(0.3) ? "\n" : " ";
+    }
+    for (const bool dinero : {false, true}) {
+      std::stringstream stream(source);
+      try {
+        if (dinero) {
+          ces::trace::ReadDinero(stream, ces::trace::StreamKind::kData);
+        } else {
+          ces::trace::ReadText(stream);
+        }
+      } catch (const Error&) {
+        // expected for most inputs
+      }
     }
   }
 }

@@ -5,7 +5,9 @@
 
 #include "support/bitset.hpp"
 #include "support/cli.hpp"
+#include "support/error.hpp"
 #include "support/fenwick.hpp"
+#include "support/metrics.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
@@ -216,6 +218,104 @@ TEST(ArgParserTest, BoolFalseValues) {
   EXPECT_FALSE(args.GetBool("a", true));
   EXPECT_FALSE(args.GetBool("b", true));
   EXPECT_TRUE(args.GetBool("c", false));
+}
+
+using ces::support::Error;
+using ces::support::ErrorCategory;
+using ces::support::MetricsRegistry;
+
+TEST(StructuredError, WhatIncludesCategoryContextAndLine) {
+  const Error error(ErrorCategory::kParse, "trace-text", "bad hex", 42);
+  EXPECT_STREQ(error.what(), "[parse] trace-text: line 42: bad hex");
+  EXPECT_EQ(error.category(), ErrorCategory::kParse);
+  EXPECT_EQ(error.context(), "trace-text");
+  EXPECT_EQ(error.detail(), "bad hex");
+  EXPECT_EQ(error.line(), 42u);
+  EXPECT_EQ(error.byte_offset(), Error::kNoOffset);
+}
+
+TEST(StructuredError, WhatIncludesByteOffsetWhenNoLine) {
+  const Error error(ErrorCategory::kTruncated, "trace-binary", "short read",
+                    Error::kNoLine, 16);
+  EXPECT_STREQ(error.what(), "[truncated] trace-binary: byte 16: short read");
+  EXPECT_EQ(error.byte_offset(), 16u);
+}
+
+TEST(StructuredError, IsACatchableRuntimeError) {
+  try {
+    throw Error(ErrorCategory::kIo, "trace-file", "cannot open x");
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "[io] trace-file: cannot open x");
+    return;
+  }
+  FAIL() << "Error must derive from std::runtime_error";
+}
+
+TEST(StructuredError, ExitCodesAreDistinctAndStable) {
+  const ErrorCategory all[] = {
+      ErrorCategory::kIo,          ErrorCategory::kFormat,
+      ErrorCategory::kParse,       ErrorCategory::kRange,
+      ErrorCategory::kTruncated,   ErrorCategory::kUnsupported,
+      ErrorCategory::kValidation,  ErrorCategory::kUsage,
+      ErrorCategory::kInternal};
+  std::set<int> codes;
+  for (ErrorCategory category : all) {
+    const int code = ces::support::ExitCodeFor(category);
+    EXPECT_NE(code, 0) << ces::support::ToString(category);
+    EXPECT_NE(code, 1) << ces::support::ToString(category);
+    codes.insert(code);
+  }
+  EXPECT_EQ(codes.size(), std::size(all));  // one exit code per category
+  EXPECT_EQ(ces::support::ExitCodeFor(ErrorCategory::kUsage), 2);
+  EXPECT_STREQ(ces::support::ToString(ErrorCategory::kValidation),
+               "validation");
+}
+
+TEST(Metrics, CountersAccumulateAndMissingReadsZero) {
+  MetricsRegistry metrics;
+  metrics.Add("a.b");
+  metrics.Add("a.b", 4);
+  EXPECT_EQ(metrics.counter("a.b"), 5u);
+  EXPECT_EQ(metrics.counter("never.seen"), 0u);
+}
+
+TEST(Metrics, JsonIsSortedAndCountersOnlyByDefault) {
+  MetricsRegistry metrics;
+  metrics.Add("zeta", 2);
+  metrics.Add("alpha", 1);
+  metrics.SetGauge("pool.jobs", 8);
+  metrics.Observe("span.x", 0.25);
+  EXPECT_EQ(metrics.ToJson(), "{\"counters\":{\"alpha\":1,\"zeta\":2}}");
+  const std::string full = metrics.ToJson(/*include_volatile=*/true);
+  EXPECT_NE(full.find("\"gauges\":{\"pool.jobs\":8}"), std::string::npos);
+  EXPECT_NE(full.find("\"span.x\""), std::string::npos);
+  EXPECT_NE(full.find("\"count\":1"), std::string::npos);
+}
+
+TEST(Metrics, NullSafeStaticsAreNoOps) {
+  MetricsRegistry::Add(nullptr, "a");
+  MetricsRegistry::SetGauge(nullptr, "g", 1);
+  MetricsRegistry::Observe(nullptr, "s", 1.0);
+  {
+    ces::support::ScopedSpan span(nullptr, "s");
+  }
+  MetricsRegistry metrics;
+  MetricsRegistry::Add(&metrics, "a", 3);
+  EXPECT_EQ(metrics.counter("a"), 3u);
+}
+
+TEST(Metrics, ScopedSpanRecordsElapsedTime) {
+  MetricsRegistry metrics;
+  {
+    ces::support::ScopedSpan span(&metrics, "work");
+  }
+  {
+    ces::support::ScopedSpan span(&metrics, "work");
+  }
+  EXPECT_GE(metrics.span_seconds("work"), 0.0);
+  const std::string json = metrics.ToJson(true);
+  EXPECT_NE(json.find("\"work\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
 }
 
 }  // namespace

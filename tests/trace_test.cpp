@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <sstream>
 
+#include "support/error.hpp"
+#include "support/metrics.hpp"
 #include "support/rng.hpp"
 #include "trace/dinero.hpp"
 #include "trace/strip.hpp"
@@ -12,6 +15,42 @@
 namespace {
 
 using namespace ces::trace;
+using ces::support::Error;
+using ces::support::ErrorCategory;
+using ces::support::MetricsRegistry;
+
+// Runs `body`, which must throw a structured Error, and returns its category.
+ErrorCategory CategoryOf(const std::function<void()>& body) {
+  try {
+    body();
+  } catch (const Error& e) {
+    return e.category();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "threw unstructured exception: " << e.what();
+    return ErrorCategory::kInternal;
+  }
+  ADD_FAILURE() << "no error thrown";
+  return ErrorCategory::kInternal;
+}
+
+void AppendU32(std::string& bytes, std::uint32_t value) {
+  bytes.push_back(static_cast<char>(value & 0xff));
+  bytes.push_back(static_cast<char>((value >> 8) & 0xff));
+  bytes.push_back(static_cast<char>((value >> 16) & 0xff));
+  bytes.push_back(static_cast<char>((value >> 24) & 0xff));
+}
+
+// A CTRC/CTRZ header with the given count; callers append the payload.
+std::string BinaryHeader(const char* magic, std::uint32_t kind,
+                         std::uint32_t address_bits, std::uint32_t count,
+                         std::uint32_t version = 1) {
+  std::string bytes(magic, 4);
+  AppendU32(bytes, version);
+  AppendU32(bytes, kind);
+  AppendU32(bytes, address_bits);
+  AppendU32(bytes, count);
+  return bytes;
+}
 
 TEST(Strip, AssignsIdsInFirstAppearanceOrder) {
   Trace trace;
@@ -145,6 +184,159 @@ TEST(TraceIo, RejectsGarbage) {
   EXPECT_THROW(ReadText(text), std::runtime_error);
 }
 
+TEST(TraceIo, TextRejectsTrailingGarbage) {
+  std::stringstream garbage("deadbeefZZ\n");
+  EXPECT_EQ(CategoryOf([&] { ReadText(garbage); }), ErrorCategory::kParse);
+  // ...but plain trailing whitespace and CRLF line endings are fine.
+  std::stringstream spaced("12 \r\nff\r\n");
+  EXPECT_EQ(ReadText(spaced).refs, (std::vector<std::uint32_t>{0x12, 0xff}));
+}
+
+TEST(TraceIo, TextRejectsAddressesWiderThan32Bits) {
+  std::stringstream wide("1ffffffff\n");
+  try {
+    ReadText(wide);
+    FAIL() << "33-bit address must not silently wrap";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kRange);
+    EXPECT_EQ(e.line(), 1u);  // the error names the offending line
+  }
+}
+
+TEST(TraceIo, TextRejectsUnknownKindHeader) {
+  std::stringstream bad("# kind banana\n0\n");
+  EXPECT_EQ(CategoryOf([&] { ReadText(bad); }), ErrorCategory::kParse);
+}
+
+TEST(TraceIo, TextValidatesAddressBitsHeader) {
+  std::stringstream zero("# address_bits 0\n");
+  EXPECT_EQ(CategoryOf([&] { ReadText(zero); }), ErrorCategory::kValidation);
+  std::stringstream wide("# address_bits 40\n");
+  EXPECT_EQ(CategoryOf([&] { ReadText(wide); }), ErrorCategory::kValidation);
+  std::stringstream mangled("# address_bits xyz\n");
+  EXPECT_EQ(CategoryOf([&] { ReadText(mangled); }), ErrorCategory::kParse);
+}
+
+TEST(TraceIo, TextRejectsAddressExceedingDeclaredBits) {
+  std::stringstream bad("# address_bits 8\n100\n");  // 0x100 needs 9 bits
+  EXPECT_EQ(CategoryOf([&] { ReadText(bad); }), ErrorCategory::kValidation);
+  std::stringstream ok("# address_bits 8\nff\n");
+  EXPECT_EQ(ReadText(ok).refs, (std::vector<std::uint32_t>{0xff}));
+}
+
+TEST(TraceIo, BinaryRejectsOversizedHeaderCount) {
+  // A 4-byte corrupt count must not drive a gigabyte reserve: the reader
+  // checks the declared count against the remaining stream up front.
+  std::string bytes = BinaryHeader("CTRC", 0, 32, 0xffffffffu);
+  AppendU32(bytes, 1);
+  AppendU32(bytes, 2);
+  std::stringstream stream(bytes);
+  EXPECT_EQ(CategoryOf([&] { ReadBinary(stream); }),
+            ErrorCategory::kValidation);
+}
+
+TEST(TraceIo, CompressedRejectsOversizedHeaderCount) {
+  std::string bytes = BinaryHeader("CTRZ", 0, 32, 0xffffffffu);
+  bytes.push_back('\x02');  // one varint: delta +1
+  std::stringstream stream(bytes);
+  EXPECT_EQ(CategoryOf([&] { ReadCompressed(stream); }),
+            ErrorCategory::kValidation);
+}
+
+TEST(TraceIo, BinaryRejectsBadKindAndAddressBits) {
+  std::string bad_kind = BinaryHeader("CTRC", 7, 32, 0);
+  std::stringstream kind_stream(bad_kind);
+  EXPECT_EQ(CategoryOf([&] { ReadBinary(kind_stream); }),
+            ErrorCategory::kFormat);
+  std::string bad_bits = BinaryHeader("CTRC", 0, 48, 0);
+  std::stringstream bits_stream(bad_bits);
+  EXPECT_EQ(CategoryOf([&] { ReadBinary(bits_stream); }),
+            ErrorCategory::kValidation);
+}
+
+TEST(TraceIo, BinaryRejectsRefExceedingDeclaredBits) {
+  std::string bytes = BinaryHeader("CTRC", 0, 8, 1);
+  AppendU32(bytes, 0x100);  // needs 9 bits
+  std::stringstream stream(bytes);
+  EXPECT_EQ(CategoryOf([&] { ReadBinary(stream); }),
+            ErrorCategory::kValidation);
+}
+
+TEST(TraceIo, BinaryReportsTruncationAndBadVersion) {
+  // Payload shorter than the declared count: the seekable-stream count check
+  // fires before any allocation.
+  std::string short_payload = BinaryHeader("CTRC", 0, 32, 1);
+  short_payload.push_back('\x01');  // 1 of 4 payload bytes
+  std::stringstream stream(short_payload);
+  EXPECT_EQ(CategoryOf([&] { ReadBinary(stream); }),
+            ErrorCategory::kValidation);
+
+  // Stream ends inside the header.
+  std::string header_cut("CTRC", 4);
+  AppendU32(header_cut, 1);  // version only; kind/bits/count missing
+  std::stringstream cut_stream(header_cut);
+  EXPECT_EQ(CategoryOf([&] { ReadBinary(cut_stream); }),
+            ErrorCategory::kTruncated);
+
+  std::string bad_version = BinaryHeader("CTRC", 0, 32, 0, /*version=*/9);
+  std::stringstream version_stream(bad_version);
+  EXPECT_EQ(CategoryOf([&] { ReadBinary(version_stream); }),
+            ErrorCategory::kFormat);
+
+  std::stringstream short_magic("CT");
+  EXPECT_EQ(CategoryOf([&] { ReadBinary(short_magic); }),
+            ErrorCategory::kTruncated);
+}
+
+TEST(TraceIo, CompressedMagicToRawReaderIsUnsupportedNotBadMagic) {
+  // A CTRZ stream handed to ReadBinary must explain itself, not claim the
+  // file is corrupt (and vice versa for CTRC into ReadCompressed).
+  const Trace trace = PaperExampleTrace();
+  std::stringstream packed;
+  WriteCompressed(packed, trace);
+  try {
+    ReadBinary(packed);
+    FAIL() << "CTRZ into ReadBinary must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kUnsupported);
+    EXPECT_NE(std::string(e.what()).find("CTRZ"), std::string::npos);
+  }
+  std::stringstream raw;
+  WriteBinary(raw, trace);
+  EXPECT_EQ(CategoryOf([&] { ReadCompressed(raw); }),
+            ErrorCategory::kUnsupported);
+}
+
+TEST(TraceIo, CompressedRejectsDeltaLeavingAddressSpace) {
+  std::string bytes = BinaryHeader("CTRZ", 0, 32, 1);
+  bytes.push_back('\x01');  // zigzag(-1): previous becomes -1
+  std::stringstream stream(bytes);
+  EXPECT_EQ(CategoryOf([&] { ReadCompressed(stream); }),
+            ErrorCategory::kRange);
+}
+
+TEST(TraceIo, LoadFromFileMissingIsIoError) {
+  EXPECT_EQ(
+      CategoryOf([] { LoadFromFile("/nonexistent/trace.ctr"); }),
+      ErrorCategory::kIo);
+}
+
+TEST(TraceIo, ReadersRecordMetrics) {
+  MetricsRegistry metrics;
+  std::stringstream text("# ces trace v1\n# exotic header\n\n12\n34\n");
+  EXPECT_EQ(ReadText(text, &metrics).refs.size(), 2u);
+  EXPECT_EQ(metrics.counter("trace.refs_parsed"), 2u);
+  EXPECT_EQ(metrics.counter("trace.lines_skipped"), 1u);
+  EXPECT_EQ(metrics.counter("trace.headers_ignored"), 1u);
+
+  MetricsRegistry binary_metrics;
+  const Trace trace = PaperExampleTrace();
+  std::stringstream stream;
+  WriteBinary(stream, trace);
+  ReadBinary(stream, &binary_metrics);
+  EXPECT_EQ(binary_metrics.counter("trace.refs_parsed"), trace.size());
+}
+
 TEST(Dinero, ReadsSelectedStream) {
   std::stringstream din(
       "# comment\n"
@@ -180,6 +372,46 @@ TEST(Dinero, RejectsMalformedInput) {
   EXPECT_THROW(ReadDinero(bad_label, StreamKind::kData), std::runtime_error);
   std::stringstream bad_address("0 zz\n");
   EXPECT_THROW(ReadDinero(bad_address, StreamKind::kData), std::runtime_error);
+}
+
+TEST(Dinero, RoundTripsHighAddressesWithoutOverflow) {
+  // Regression: WriteDinero used to shift the 32-bit word address left by
+  // two without widening, corrupting every ref >= 2^30.
+  Trace trace;
+  trace.kind = StreamKind::kData;
+  trace.refs = {0x3fffffffu, 0x40000000u, 0xdeadbeefu, 0xffffffffu};
+  std::stringstream stream;
+  WriteDinero(stream, trace);
+  EXPECT_EQ(ReadDinero(stream, StreamKind::kData).refs, trace.refs);
+}
+
+TEST(Dinero, RejectsAddressesBeyondWordAddressSpace) {
+  // Byte addresses up to 34 bits are word addresses; 35 bits would wrap.
+  std::stringstream wide("0 7ffffffffff\n");
+  try {
+    ReadDinero(wide, StreamKind::kData);
+    FAIL() << "wide address must not silently wrap";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kRange);
+    EXPECT_EQ(e.line(), 1u);
+  }
+  // The largest representable byte address still round-trips.
+  std::stringstream max("0 3fffffffc\n");
+  EXPECT_EQ(ReadDinero(max, StreamKind::kData).refs,
+            (std::vector<std::uint32_t>{0xffffffffu}));
+}
+
+TEST(Dinero, RejectsTrailingGarbageAndCountsFiltered) {
+  std::stringstream garbage("0 400 junk\n");
+  EXPECT_EQ(CategoryOf([&] { ReadDinero(garbage, StreamKind::kData); }),
+            ErrorCategory::kParse);
+  MetricsRegistry metrics;
+  std::stringstream din("# c\n2 400\n0 1000\n1 1004\n");
+  const Trace data = ReadDinero(din, StreamKind::kData, &metrics);
+  EXPECT_EQ(data.refs.size(), 2u);
+  EXPECT_EQ(metrics.counter("trace.refs_parsed"), 2u);
+  EXPECT_EQ(metrics.counter("dinero.records_filtered"), 1u);
+  EXPECT_EQ(metrics.counter("trace.lines_skipped"), 1u);
 }
 
 TEST(Synthetic, SequentialLoopShape) {

@@ -16,7 +16,16 @@
 //                     (MiniC -> MR32 assembly; --run executes and prints
 //                      the out() words)
 //
-// Exit codes: 0 success, 1 runtime failure, 2 usage error.
+// explore/stats/compare/convert accept --metrics=json: a final stdout line
+// with the run's counters (refs parsed, lines skipped, configs swept, ...)
+// as stable JSON — byte-identical for every --jobs value. Add
+// --metrics-timings to include wall-clock spans and environment gauges
+// (non-deterministic by nature).
+//
+// Exit codes: 0 success, 1 unstructured runtime failure, 2 usage error, and
+// one distinct code per support::ErrorCategory for structured failures —
+// 3 io, 4 format, 5 parse, 6 range, 7 truncated, 8 unsupported,
+// 9 validation, 10 internal (see docs/ERRORS.md).
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -27,6 +36,8 @@
 #include "explore/strategy.hpp"
 #include "sim/cpu.hpp"
 #include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/metrics.hpp"
 #include "support/pool.hpp"
 #include "support/table.hpp"
 #include "trace/dinero.hpp"
@@ -46,9 +57,40 @@ int Usage() {
       "  compare  --trace=F[,F2...] [--fraction=0.05[,0.10...]] "
       "[--max-bits=12] [--jobs=N] [--timing=true]\n"
       "  workload --benchmark=NAME [--out=DIR]\n"
-      "  convert  --trace=IN --out=OUT [--kind=data|instr]\n");
+      "  convert  --trace=IN --out=OUT [--kind=data|instr]\n"
+      "explore/stats/compare/convert also accept --metrics=json "
+      "[--metrics-timings]\n"
+      "exit codes: 0 ok, 1 runtime, 2 usage, 3 io, 4 format, 5 parse,\n"
+      "  6 range, 7 truncated, 8 unsupported, 9 validation, 10 internal\n");
   return 2;
 }
+
+// --metrics=json support: owns the registry, knows whether it is enabled and
+// whether the volatile (timings/gauges) section was requested. Commands pass
+// get() down the pipeline and call Emit() as their last output line.
+struct MetricsEmitter {
+  explicit MetricsEmitter(const ces::ArgParser& args) {
+    const std::string format = args.GetString("metrics", "");
+    if (format.empty()) return;
+    if (format != "json") {
+      throw ces::support::Error(
+          ces::support::ErrorCategory::kUsage, "cachedse",
+          "unknown --metrics format '" + format + "' (expected json)");
+    }
+    enabled = true;
+    timings = args.GetBool("metrics-timings", false);
+  }
+
+  ces::support::MetricsRegistry* get() { return enabled ? &registry : nullptr; }
+
+  void Emit() {
+    if (enabled) std::printf("%s\n", registry.ToJson(timings).c_str());
+  }
+
+  ces::support::MetricsRegistry registry;
+  bool enabled = false;
+  bool timings = false;
+};
 
 bool EndsWith(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
@@ -56,13 +98,20 @@ bool EndsWith(const std::string& s, const std::string& suffix) {
 }
 
 ces::trace::Trace LoadAnyFormat(const std::string& path,
-                                const std::string& kind_flag) {
+                                const std::string& kind_flag,
+                                ces::support::MetricsRegistry* metrics =
+                                    nullptr) {
   if (EndsWith(path, ".din")) {
     std::ifstream is(path);
-    if (!is) throw std::runtime_error("cannot open " + path);
-    return ces::trace::ReadDinero(is, kind_flag == "instr"
-                                          ? ces::trace::StreamKind::kInstruction
-                                          : ces::trace::StreamKind::kData);
+    if (!is) {
+      throw ces::support::Error(ces::support::ErrorCategory::kIo, "dinero",
+                                "cannot open " + path);
+    }
+    return ces::trace::ReadDinero(is,
+                                  kind_flag == "instr"
+                                      ? ces::trace::StreamKind::kInstruction
+                                      : ces::trace::StreamKind::kData,
+                                  metrics);
   }
   // A name that is not a file on disk but matches a built-in workload runs
   // the workload and takes its trace (--kind selects data vs instruction),
@@ -71,19 +120,28 @@ ces::trace::Trace LoadAnyFormat(const std::string& path,
     if (const auto* workload = ces::workloads::FindWorkload(path)) {
       auto run = ces::workloads::Run(*workload);
       if (!run.output_matches) {
-        throw std::runtime_error("workload verification failed: " + path);
+        throw ces::support::Error(ces::support::ErrorCategory::kInternal,
+                                  "workload",
+                                  "verification failed: " + path);
       }
-      return kind_flag == "instr" ? std::move(run.instruction_trace)
-                                  : std::move(run.data_trace);
+      ces::trace::Trace trace = kind_flag == "instr"
+                                    ? std::move(run.instruction_trace)
+                                    : std::move(run.data_trace);
+      ces::support::MetricsRegistry::Add(metrics, "trace.refs_generated",
+                                         trace.size());
+      return trace;
     }
   }
-  return ces::trace::LoadFromFile(path);
+  return ces::trace::LoadFromFile(path, metrics);
 }
 
 void SaveAnyFormat(const std::string& path, const ces::trace::Trace& trace) {
   if (EndsWith(path, ".din")) {
     std::ofstream os(path);
-    if (!os) throw std::runtime_error("cannot open " + path);
+    if (!os) {
+      throw ces::support::Error(ces::support::ErrorCategory::kIo, "dinero",
+                                "cannot open " + path);
+    }
     ces::trace::WriteDinero(os, trace);
     return;
   }
@@ -113,11 +171,17 @@ std::vector<std::string> SplitList(const std::string& list) {
 int CmdExplore(const ces::ArgParser& args) {
   const std::string path = args.GetString("trace", "");
   if (path.empty()) return Usage();
+  MetricsEmitter metrics(args);
   const ces::trace::Trace trace =
-      LoadAnyFormat(path, args.GetString("kind", "data"));
+      LoadAnyFormat(path, args.GetString("kind", "data"), metrics.get());
 
   ces::analytic::ExplorerOptions options;
   const std::string engine = args.GetString("engine", "fused");
+  if (engine != "fused" && engine != "fused-tree" && engine != "reference") {
+    throw ces::support::Error(ces::support::ErrorCategory::kUsage, "cachedse",
+                              "unknown --engine '" + engine +
+                                  "' (expected fused|fused-tree|reference)");
+  }
   options.engine = engine == "reference"
                        ? ces::analytic::Engine::kReference
                    : engine == "fused-tree"
@@ -126,6 +190,9 @@ int CmdExplore(const ces::ArgParser& args) {
   options.line_words =
       static_cast<std::uint32_t>(args.GetInt("line-words", 1));
   options.jobs = JobsFlag(args);
+  options.metrics = metrics.get();
+  ces::support::MetricsRegistry::SetGauge(metrics.get(), "pool.jobs",
+                                          options.jobs);
   const ces::analytic::Explorer explorer(trace, options);
 
   const std::uint64_t k =
@@ -147,20 +214,23 @@ int CmdExplore(const ces::ArgParser& args) {
                   std::to_string(point.warm_misses)});
   }
   std::fputs(table.ToString().c_str(), stdout);
+  metrics.Emit();
   return 0;
 }
 
 int CmdStats(const ces::ArgParser& args) {
   const std::string path = args.GetString("trace", "");
   if (path.empty()) return Usage();
+  MetricsEmitter metrics(args);
   const ces::trace::Trace trace =
-      LoadAnyFormat(path, args.GetString("kind", "data"));
+      LoadAnyFormat(path, args.GetString("kind", "data"), metrics.get());
   const auto stats = ces::trace::ComputeStats(trace);
   std::printf("%s: N=%llu N'=%llu max-misses=%llu kind=%s\n", path.c_str(),
               static_cast<unsigned long long>(stats.n),
               static_cast<unsigned long long>(stats.n_unique),
               static_cast<unsigned long long>(stats.max_misses),
               ces::trace::ToString(trace.kind));
+  metrics.Emit();
   return 0;
 }
 
@@ -170,7 +240,8 @@ int CmdStats(const ces::ArgParser& args) {
 std::string CompareOneCell(const std::string& name,
                            const ces::trace::Trace& trace, double fraction,
                            std::uint32_t max_bits, std::uint32_t jobs,
-                           bool timing) {
+                           bool timing,
+                           std::uint64_t* simulated_refs = nullptr) {
   const auto stats = ces::trace::ComputeStats(trace);
   const auto k = static_cast<std::uint64_t>(
       fraction * static_cast<double>(stats.max_misses));
@@ -184,6 +255,9 @@ std::string CompareOneCell(const std::string& name,
   bool all_agree = true;
   for (const auto& strategy : ces::explore::AllStrategies()) {
     const auto result = strategy->Explore(trace, k, max_bits, jobs);
+    if (simulated_refs != nullptr) {
+      *simulated_refs += result.simulated_references;
+    }
     std::vector<std::string> row = {strategy->name()};
     if (timing) row.push_back(ces::FormatSeconds(result.seconds));
     row.push_back(ces::FormatWithThousands(result.simulated_references));
@@ -223,6 +297,7 @@ int CmdCompare(const ces::ArgParser& args) {
   const std::vector<std::string> paths =
       SplitList(args.GetString("trace", ""));
   if (paths.empty()) return Usage();
+  MetricsEmitter metrics(args);
   std::vector<double> fractions;
   for (const std::string& f : SplitList(args.GetString("fraction", "0.05"))) {
     fractions.push_back(std::stod(f));
@@ -232,11 +307,13 @@ int CmdCompare(const ces::ArgParser& args) {
       static_cast<std::uint32_t>(args.GetInt("max-bits", 12));
   const std::uint32_t jobs = JobsFlag(args);
   const bool timing = args.GetBool("timing", true);
+  ces::support::MetricsRegistry::SetGauge(metrics.get(), "pool.jobs", jobs);
 
   std::vector<ces::trace::Trace> traces;
   traces.reserve(paths.size());
   for (const std::string& path : paths) {
-    traces.push_back(LoadAnyFormat(path, args.GetString("kind", "data")));
+    traces.push_back(
+        LoadAnyFormat(path, args.GetString("kind", "data"), metrics.get()));
   }
 
   // One cell per (trace, fraction) pair, rendered into its own slot so the
@@ -250,25 +327,35 @@ int CmdCompare(const ces::ArgParser& args) {
     for (double fraction : fractions) cells.push_back({t, fraction});
   }
   std::vector<std::string> rendered(cells.size());
+  std::vector<std::uint64_t> cell_refs(cells.size(), 0);
 
   if (cells.size() == 1) {
     // Single cell: let the strategies parallelise across depths instead.
     rendered[0] = CompareOneCell(paths[0], traces[0], cells[0].fraction,
-                                 max_bits, jobs, timing);
+                                 max_bits, jobs, timing, &cell_refs[0]);
   } else {
     // Independent workloads and budgets run concurrently; each cell's
     // strategies stay serial inside (nested parallelism would inline).
     ces::support::ThreadPool pool(jobs);
     pool.ParallelFor(cells.size(), [&](std::size_t i) {
-      rendered[i] = CompareOneCell(paths[cells[i].trace_index],
-                                   traces[cells[i].trace_index],
-                                   cells[i].fraction, max_bits, 1, timing);
+      rendered[i] = CompareOneCell(
+          paths[cells[i].trace_index], traces[cells[i].trace_index],
+          cells[i].fraction, max_bits, 1, timing, &cell_refs[i]);
     });
   }
   for (std::size_t i = 0; i < rendered.size(); ++i) {
     if (i > 0) std::fputc('\n', stdout);
     std::fputs(rendered[i].c_str(), stdout);
   }
+  // Per-cell counts are summed in cell order, so the totals — like the
+  // rendered tables — are independent of the worker count.
+  ces::support::MetricsRegistry::Add(metrics.get(), "compare.cells",
+                                     cells.size());
+  for (std::uint64_t refs : cell_refs) {
+    ces::support::MetricsRegistry::Add(metrics.get(),
+                                       "compare.refs_simulated", refs);
+  }
+  metrics.Emit();
   return 0;
 }
 
@@ -348,8 +435,12 @@ int CmdConvert(const ces::ArgParser& args) {
   const std::string in = args.GetString("trace", "");
   const std::string out = args.GetString("out", "");
   if (in.empty() || out.empty()) return Usage();
-  SaveAnyFormat(out, LoadAnyFormat(in, args.GetString("kind", "data")));
+  MetricsEmitter metrics(args);
+  SaveAnyFormat(out,
+                LoadAnyFormat(in, args.GetString("kind", "data"),
+                              metrics.get()));
   std::printf("wrote %s\n", out.c_str());
+  metrics.Emit();
   return 0;
 }
 
@@ -366,6 +457,9 @@ int main(int argc, char** argv) {
     if (command == "workload") return CmdWorkload(args);
     if (command == "convert") return CmdConvert(args);
     if (command == "compile") return CmdCompile(args);
+  } catch (const ces::support::Error& e) {
+    std::fprintf(stderr, "cachedse: %s\n", e.what());
+    return ces::support::ExitCodeFor(e.category());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cachedse: %s\n", e.what());
     return 1;
