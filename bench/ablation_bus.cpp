@@ -6,7 +6,9 @@
 // traffic.
 //
 // Flags: --width=24  --kind=instr|data|both
+//        --json=PATH (machine-readable results, docs/OBSERVABILITY.md)
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 #include "bus/activity.hpp"
@@ -16,7 +18,9 @@
 namespace {
 
 void EmitTable(const std::vector<ces::bench::BenchmarkTraces>& all,
-               bool instruction, std::uint32_t width) {
+               bool instruction, std::uint32_t width,
+               ces::bench::BenchReporter& reporter) {
+  const char* kind = instruction ? "instr" : "data";
   ces::AsciiTable table({"Benchmark", "Binary tog/word", "Gray", "T0",
                          "Bus-invert", "Best"});
   char buf[32];
@@ -35,6 +39,14 @@ void EmitTable(const std::vector<ces::bench::BenchmarkTraces>& all,
     }
     row.emplace_back(ces::bus::ToString(best->encoding));
     table.AddRow(std::move(row));
+    std::map<std::string, std::uint64_t> counters;
+    for (const auto& report : reports) {
+      counters[std::string("transitions_") +
+               ces::bus::ToString(report.encoding)] = report.transitions;
+    }
+    reporter.Add(traces.name + "." + kind,
+                 {{"kind", kind}, {"width", std::to_string(width)}},
+                 /*reps=*/1, /*wall_seconds=*/{}, std::move(counters));
   }
   std::fputs(table.ToString().c_str(), stdout);
 }
@@ -45,17 +57,19 @@ int main(int argc, char** argv) {
   const ces::ArgParser args(argc, argv);
   const auto width = static_cast<std::uint32_t>(args.GetInt("width", 24));
   const std::string kind = args.GetString("kind", "both");
+  ces::bench::BenchReporter reporter("ablation_bus", args);
   const auto all = ces::bench::CollectAllTraces();
 
   if (kind != "data") {
     std::printf("instruction address bus (%u lines), savings vs binary:\n",
                 width);
-    EmitTable(all, /*instruction=*/true, width);
+    EmitTable(all, /*instruction=*/true, width, reporter);
     std::fputc('\n', stdout);
   }
   if (kind != "instr") {
     std::printf("data address bus (%u lines), savings vs binary:\n", width);
-    EmitTable(all, /*instruction=*/false, width);
+    EmitTable(all, /*instruction=*/false, width, reporter);
   }
+  reporter.Write();
   return 0;
 }

@@ -7,6 +7,7 @@
 //
 // Flags: --benchmark=<name> (default: a representative subset)
 //        --fraction=0.05
+//        --json=PATH (machine-readable results, docs/OBSERVABILITY.md)
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -23,7 +24,7 @@
 namespace {
 
 void EmitStudy(const std::string& name, const ces::trace::Trace& trace,
-               double fraction) {
+               double fraction, ces::bench::BenchReporter& reporter) {
   const ces::analytic::Explorer explorer(trace);
   const ces::analytic::ExplorationResult result =
       explorer.SolveFraction(fraction);
@@ -33,6 +34,7 @@ void EmitStudy(const std::string& name, const ces::trace::Trace& trace,
   const ces::trace::StrippedTrace stripped = ces::trace::Strip(trace);
   ces::AsciiTable table({"Depth", "Assoc", "LRU misses", "OPT", "FIFO",
                          "PLRU", "Random", "FIFO meets K?"});
+  std::uint64_t fifo_within_budget = 0;
   for (const auto& point : result.points) {
     auto misses_with = [&](ces::cache::ReplacementPolicy policy) {
       ces::cache::CacheConfig config;
@@ -48,17 +50,21 @@ void EmitStudy(const std::string& name, const ces::trace::Trace& trace,
     while ((1u << bits) < point.depth) ++bits;
     const std::uint64_t opt =
         ces::cache::OptWarmMisses(stripped, bits, point.assoc);
+    const bool fifo_ok = fifo != "-" && std::stoull(fifo) <= result.k;
+    if (fifo_ok) ++fifo_within_budget;
     table.AddRow({std::to_string(point.depth), std::to_string(point.assoc),
                   std::to_string(point.warm_misses), std::to_string(opt), fifo,
                   misses_with(ces::cache::ReplacementPolicy::kPlru),
                   misses_with(ces::cache::ReplacementPolicy::kRandom),
-                  (fifo != "-" &&
-                   std::stoull(fifo) <= result.k)
-                      ? "yes"
-                      : "no"});
+                  fifo_ok ? "yes" : "no"});
   }
   std::fputs(table.ToString().c_str(), stdout);
   std::fputc('\n', stdout);
+  reporter.Add(name, {{"fraction", std::to_string(fraction)}}, /*reps=*/1,
+               /*wall_seconds=*/{},
+               {{"k", result.k},
+                {"points", result.points.size()},
+                {"fifo_within_budget", fifo_within_budget}});
 }
 
 }  // namespace
@@ -68,6 +74,7 @@ int main(int argc, char** argv) {
   const std::string only = args.GetString("benchmark", "");
   const double fraction = args.GetDouble("fraction", 0.05);
   const std::vector<std::string> subset = {"crc", "engine", "qurt", "adpcm"};
+  ces::bench::BenchReporter reporter("ablation_policies", args);
 
   for (const auto& traces : ces::bench::CollectAllTraces()) {
     const bool selected =
@@ -75,7 +82,8 @@ int main(int argc, char** argv) {
             ? std::find(subset.begin(), subset.end(), traces.name) !=
                   subset.end()
             : traces.name == only;
-    if (selected) EmitStudy(traces.name, traces.data, fraction);
+    if (selected) EmitStudy(traces.name, traces.data, fraction, reporter);
   }
+  reporter.Write();
   return 0;
 }

@@ -6,7 +6,9 @@
 // instead of an extra way.
 //
 // Flags: --depth=64  --entries=4  --benchmark=<name>
+//        --json=PATH (machine-readable results, docs/OBSERVABILITY.md)
 #include <cstdio>
+#include <map>
 #include <string>
 
 #include "bench_util.hpp"
@@ -20,6 +22,9 @@ int main(int argc, char** argv) {
   const auto depth = static_cast<std::uint32_t>(args.GetInt("depth", 64));
   const auto entries = static_cast<std::uint32_t>(args.GetInt("entries", 4));
   const std::string only = args.GetString("benchmark", "");
+  ces::bench::BenchReporter reporter("ablation_victim", args);
+  const std::map<std::string, std::string> params = {
+      {"depth", std::to_string(depth)}, {"entries", std::to_string(entries)}};
 
   ces::cache::CacheConfig direct;
   direct.depth = depth;
@@ -51,7 +56,13 @@ int main(int argc, char** argv) {
                   ces::FormatWithThousands(with_victim),
                   ces::FormatWithThousands(two),
                   ces::FormatWithThousands(victim.victim_hits), recovered});
+    reporter.Add(traces.name, params, /*reps=*/1, /*wall_seconds=*/{},
+                 {{"dm_warm_misses", dm},
+                  {"victim_warm_misses", with_victim},
+                  {"two_way_warm_misses", two},
+                  {"victim_hits", victim.victim_hits}});
   }
   std::fputs(table.ToString().c_str(), stdout);
+  reporter.Write();
   return 0;
 }

@@ -1,12 +1,19 @@
 // Shared helpers for the experiment harnesses: run every workload once and
-// cache its traces so multi-table benches do not re-simulate per table.
+// cache its traces so multi-table benches do not re-simulate per table, and
+// a machine-readable result reporter every bench exposes as --json=PATH.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <map>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "support/cli.hpp"
+#include "support/json.hpp"
 #include "trace/trace.hpp"
 #include "workloads/workloads.hpp"
 
@@ -40,5 +47,97 @@ inline std::vector<BenchmarkTraces> CollectAllTraces(
   }
   return all;
 }
+
+// Machine-readable bench results behind the shared --json=PATH flag, so CI
+// can archive every harness's numbers without scraping ASCII tables. The
+// schema ("ces-bench-v1", see docs/OBSERVABILITY.md) is stable:
+//
+//   {"schema":"ces-bench-v1","bench":NAME,"results":[
+//     {"name":...,"params":{...},"reps":N,
+//      "wall_seconds":{"min":...,"median":...},   // omitted when untimed
+//      "counters":{...}}]}                        // omitted when empty
+//
+// Keys are sorted (std::map) and strings escaped via support::JsonQuote, so
+// the output is deterministic given deterministic inputs; wall times are the
+// only inherently volatile fields. When --json is absent every call is a
+// no-op, so benches can report unconditionally.
+class BenchReporter {
+ public:
+  BenchReporter(std::string bench_name, const ArgParser& args)
+      : bench_(std::move(bench_name)), path_(args.GetString("json", "")) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(const std::string& name,
+           std::map<std::string, std::string> params, int reps,
+           std::vector<double> wall_seconds,
+           std::map<std::string, std::uint64_t> counters = {}) {
+    if (!enabled()) return;
+    results_.push_back(Result{name, std::move(params), reps,
+                              std::move(wall_seconds), std::move(counters)});
+  }
+
+  // Serialises all results to --json=PATH. Call once, at the end of main.
+  void Write() const {
+    if (!enabled()) return;
+    std::ofstream os(path_);
+    if (!os) throw std::runtime_error("cannot open " + path_);
+    os << "{\"schema\":\"ces-bench-v1\",\"bench\":"
+       << support::JsonQuote(bench_) << ",\"results\":[";
+    bool first_result = true;
+    for (const Result& result : results_) {
+      if (!first_result) os << ',';
+      first_result = false;
+      os << "{\"name\":" << support::JsonQuote(result.name) << ",\"params\":{";
+      bool first = true;
+      for (const auto& [key, value] : result.params) {
+        if (!first) os << ',';
+        first = false;
+        os << support::JsonQuote(key) << ':' << support::JsonQuote(value);
+      }
+      os << "},\"reps\":" << result.reps;
+      if (!result.wall_seconds.empty()) {
+        std::vector<double> sorted = result.wall_seconds;
+        std::sort(sorted.begin(), sorted.end());
+        const std::size_t mid = sorted.size() / 2;
+        const double median = sorted.size() % 2 == 1
+                                  ? sorted[mid]
+                                  : (sorted[mid - 1] + sorted[mid]) / 2.0;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf),
+                      "\"wall_seconds\":{\"min\":%.9g,\"median\":%.9g}",
+                      sorted.front(), median);
+        os << ',' << buf;
+      }
+      if (!result.counters.empty()) {
+        os << ",\"counters\":{";
+        first = true;
+        for (const auto& [key, value] : result.counters) {
+          if (!first) os << ',';
+          first = false;
+          os << support::JsonQuote(key) << ':' << value;
+        }
+        os << '}';
+      }
+      os << '}';
+    }
+    os << "]}\n";
+    if (!os) throw std::runtime_error("write failed: " + path_);
+    std::fprintf(stderr, "[bench] wrote %s\n", path_.c_str());
+  }
+
+ private:
+  struct Result {
+    std::string name;
+    std::map<std::string, std::string> params;
+    int reps = 0;
+    std::vector<double> wall_seconds;
+    std::map<std::string, std::uint64_t> counters;
+  };
+
+  std::string bench_;
+  std::string path_;
+  std::vector<Result> results_;
+};
 
 }  // namespace ces::bench

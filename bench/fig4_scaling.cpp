@@ -14,6 +14,7 @@
 //        --jobs=N (default 1): prelude worker threads for the fused engines
 //        (the reference engine's global structures are sequential and ignore
 //        it). Profiles are identical for every N; only the clock moves.
+//        --json=PATH (machine-readable results, docs/OBSERVABILITY.md)
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -123,6 +124,17 @@ int main(int argc, char** argv) {
         ces::trace::RandomWorkingSet(rng, working_set, length), repeats,
         engine, jobs));
   }
+
+  ces::bench::BenchReporter reporter("fig4_scaling", args);
+  for (const Point& point : points) {
+    reporter.Add(point.label,
+                 {{"engine", engine_name}, {"jobs", std::to_string(jobs)}},
+                 repeats, {point.y},
+                 {{"n", static_cast<std::uint64_t>(point.n)},
+                  {"n_times_nu", static_cast<std::uint64_t>(point.x)},
+                  {"conflict_volume", static_cast<std::uint64_t>(point.w)}});
+  }
+  reporter.Write();
 
   ces::AsciiTable table({"Trace", "N", "N*N'", "Time (s)"});
   char buf[40];

@@ -9,6 +9,7 @@
 //
 // Flags: --kind=data|instr|both (default both)  --benchmark=<name>
 //        --verify=true|false (default true)
+//        --json=PATH (machine-readable results, docs/OBSERVABILITY.md)
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -18,19 +19,37 @@
 #include "cache/sim.hpp"
 #include "explore/report.hpp"
 #include "support/cli.hpp"
+#include "support/timer.hpp"
 
 namespace {
 
 int g_table_number = 7;
 
 void EmitTable(const std::string& name, const ces::trace::Trace& trace,
-               const char* kind, bool verify) {
+               const char* kind, bool verify,
+               ces::bench::BenchReporter& reporter) {
+  ces::Stopwatch watch;
   const ces::analytic::Explorer explorer(trace);
+  const double prelude_seconds = watch.ElapsedSeconds();
   std::printf("== Table %d ==\n", g_table_number++);
   const ces::explore::OptimalTable table =
       ces::explore::BuildOptimalTable(name, kind, explorer);
   std::fputs(ces::explore::RenderOptimalTable(table).c_str(), stdout);
   std::fputc('\n', stdout);
+
+  // One result per printed table: the prelude wall time plus the instance
+  // counts CI diffs between runs (any change to the explored set shows up
+  // as a counter change, not just a table diff).
+  std::uint64_t assoc_sum = 0;
+  for (const auto& row : table.assoc) {
+    for (std::uint32_t assoc : row) assoc_sum += assoc;
+  }
+  reporter.Add(name + "." + kind, {{"kind", kind}}, /*reps=*/1,
+               {prelude_seconds},
+               {{"depths", table.depths.size()},
+                {"budgets", table.fractions.size()},
+                {"assoc_sum", assoc_sum},
+                {"max_misses", explorer.stats().max_misses}});
 
   if (!verify) return;
   for (std::size_t col = 0; col < table.fractions.size(); ++col) {
@@ -57,6 +76,7 @@ int main(int argc, char** argv) {
   const std::string kind = args.GetString("kind", "both");
   const std::string only = args.GetString("benchmark", "");
   const bool verify = args.GetBool("verify", true);
+  ces::bench::BenchReporter reporter("table_optimal_caches", args);
 
   const auto all = ces::bench::CollectAllTraces();
 
@@ -66,7 +86,7 @@ int main(int argc, char** argv) {
         ++g_table_number;
         continue;
       }
-      EmitTable(traces.name, traces.data, "data", verify);
+      EmitTable(traces.name, traces.data, "data", verify, reporter);
     }
   } else {
     g_table_number = 19;
@@ -78,11 +98,13 @@ int main(int argc, char** argv) {
         ++g_table_number;
         continue;
       }
-      EmitTable(traces.name, traces.instruction, "instruction", verify);
+      EmitTable(traces.name, traces.instruction, "instruction", verify,
+                reporter);
     }
   }
   if (verify) {
     std::puts("all printed instances verified against the cache simulator");
   }
+  reporter.Write();
   return 0;
 }

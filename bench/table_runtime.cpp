@@ -10,9 +10,12 @@
 //        N > 1 an extra parallel-scaling section times cache::ExhaustiveSweep
 //        at jobs=1 vs jobs=N and prints the speedup. Results are identical
 //        for every N — only the wall clock moves.
+//        --json=PATH (machine-readable results, docs/OBSERVABILITY.md)
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "analytic/explorer.hpp"
 #include "bench_util.hpp"
@@ -25,18 +28,19 @@
 
 namespace {
 
-double TimeAnalytical(const ces::trace::Trace& trace, int repeats,
-                      ces::analytic::Engine engine, std::uint32_t jobs) {
-  double best = 1e30;
+std::vector<double> TimeAnalytical(const ces::trace::Trace& trace, int repeats,
+                                   ces::analytic::Engine engine,
+                                   std::uint32_t jobs) {
+  std::vector<double> samples;
   for (int r = 0; r < repeats; ++r) {
     ces::Stopwatch watch;
     const ces::analytic::Explorer explorer(trace,
                                            {.engine = engine, .jobs = jobs});
     const auto result = explorer.SolveFraction(0.05);
     (void)result;
-    best = std::min(best, watch.ElapsedSeconds());
+    samples.push_back(watch.ElapsedSeconds());
   }
-  return best;
+  return samples;
 }
 
 // Best-of-repeats wall time of the bounded exhaustive (depth x assoc) sweep.
@@ -82,7 +86,9 @@ void EmitScalingTable(const std::vector<ces::bench::BenchmarkTraces>& all,
 
 void EmitTable(const std::vector<ces::bench::BenchmarkTraces>& all,
                bool data_kind, int repeats, bool with_baselines,
-               ces::analytic::Engine engine, std::uint32_t jobs) {
+               ces::analytic::Engine engine, std::uint32_t jobs,
+               ces::bench::BenchReporter& reporter,
+               const std::map<std::string, std::string>& params) {
   std::vector<std::string> headers = {"Benchmark", "N*N'", "Analytical"};
   if (with_baselines) {
     headers.push_back("One-pass stack");
@@ -94,7 +100,13 @@ void EmitTable(const std::vector<ces::bench::BenchmarkTraces>& all,
     const ces::trace::Trace& trace = data_kind ? traces.data
                                                : traces.instruction;
     const auto stats = ces::trace::ComputeStats(trace);
-    const double analytical = TimeAnalytical(trace, repeats, engine, jobs);
+    const std::vector<double> samples =
+        TimeAnalytical(trace, repeats, engine, jobs);
+    const double analytical =
+        *std::min_element(samples.begin(), samples.end());
+    reporter.Add(traces.name + (data_kind ? ".data" : ".instr"), params,
+                 repeats, samples,
+                 {{"n", stats.n}, {"n_unique", stats.n_unique}});
     std::vector<std::string> row = {
         traces.name, ces::FormatWithThousands(stats.n * stats.n_unique),
         ces::FormatSeconds(analytical)};
@@ -129,15 +141,22 @@ int main(int argc, char** argv) {
           ? ces::analytic::Engine::kReference
           : ces::analytic::Engine::kFused;
   const auto jobs = static_cast<std::uint32_t>(args.GetInt("jobs", 1));
+  ces::bench::BenchReporter reporter("table_runtime", args);
+  const std::map<std::string, std::string> params = {
+      {"engine", args.GetString("engine", "fused")},
+      {"jobs", std::to_string(jobs)}};
 
   const auto all = ces::bench::CollectAllTraces();
   std::printf("== Table 31: algorithm run time, data traces (jobs=%u) ==\n",
               jobs);
-  EmitTable(all, /*data_kind=*/true, repeats, with_baselines, engine, jobs);
+  EmitTable(all, /*data_kind=*/true, repeats, with_baselines, engine, jobs,
+            reporter, params);
   std::printf(
       "\n== Table 32: algorithm run time, instruction traces (jobs=%u) ==\n",
       jobs);
-  EmitTable(all, /*data_kind=*/false, repeats, with_baselines, engine, jobs);
+  EmitTable(all, /*data_kind=*/false, repeats, with_baselines, engine, jobs,
+            reporter, params);
   if (jobs > 1) EmitScalingTable(all, repeats, jobs);
+  reporter.Write();
   return 0;
 }

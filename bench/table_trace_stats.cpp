@@ -2,21 +2,36 @@
 // trace size N, unique references N', and the maximum number of warm misses
 // (direct-mapped cache of depth 1) — for the data and instruction traces of
 // all 12 PowerStone-like workloads.
+//
+// Flags: --json=PATH (machine-readable results, docs/OBSERVABILITY.md)
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "explore/report.hpp"
+#include "support/cli.hpp"
 #include "trace/strip.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const ces::ArgParser args(argc, argv);
+  ces::bench::BenchReporter reporter("table_trace_stats", args);
   const auto all = ces::bench::CollectAllTraces();
 
   std::vector<std::pair<std::string, ces::trace::TraceStats>> data_rows;
   std::vector<std::pair<std::string, ces::trace::TraceStats>> instr_rows;
+  const auto report = [&](const std::string& name, const char* kind,
+                          const ces::trace::TraceStats& stats) {
+    reporter.Add(name + "." + kind, {{"kind", kind}}, /*reps=*/1,
+                 /*wall_seconds=*/{},
+                 {{"n", stats.n},
+                  {"n_unique", stats.n_unique},
+                  {"max_misses", stats.max_misses}});
+  };
   for (const auto& traces : all) {
     data_rows.emplace_back(traces.name, ces::trace::ComputeStats(traces.data));
     instr_rows.emplace_back(traces.name,
                             ces::trace::ComputeStats(traces.instruction));
+    report(traces.name, "data", data_rows.back().second);
+    report(traces.name, "instr", instr_rows.back().second);
   }
 
   std::puts("== Table 5 ==");
@@ -25,5 +40,6 @@ int main() {
   std::puts("\n== Table 6 ==");
   std::fputs(ces::explore::RenderStatsTable(instr_rows, "Instruction").c_str(),
              stdout);
+  reporter.Write();
   return 0;
 }

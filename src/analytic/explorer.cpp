@@ -11,9 +11,45 @@
 #include "support/error.hpp"
 #include "support/metrics.hpp"
 #include "support/pool.hpp"
+#include "support/progress.hpp"
 #include "support/timer.hpp"
+#include "support/trace_event.hpp"
 
 namespace ces::analytic {
+namespace {
+
+// Deterministic distributional metrics of the prelude, recorded once on the
+// construction thread from engine-independent inputs — every engine produces
+// identical profiles and sees the same stripped trace, so the histograms are
+// byte-identical across engines and jobs values.
+void RecordPreludeHistograms(const trace::StrippedTrace& stripped,
+                             const std::vector<cache::StackProfile>& profiles,
+                             std::uint32_t max_index_bits,
+                             support::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  // Fully-associative LRU stack distances (the profile at index_bits = 0 is
+  // the single-set pass): the classic reuse-distance spectrum.
+  if (!profiles.empty()) {
+    const cache::StackProfile& fa = profiles.front();
+    for (std::size_t d = 0; d < fa.hist.size(); ++d) {
+      metrics->ObserveHistogram("stack.distance", d, fa.hist[d]);
+    }
+  }
+  // Per-set load at the deepest explored depth: accesses and cold misses
+  // (unique lines) per set, the paper's conflict structure at a glance.
+  const std::size_t sets = std::size_t{1} << max_index_bits;
+  const std::uint32_t mask = static_cast<std::uint32_t>(sets - 1);
+  std::vector<std::uint64_t> accesses(sets, 0);
+  std::vector<std::uint64_t> cold(sets, 0);
+  for (std::uint32_t id : stripped.ids) ++accesses[stripped.unique[id] & mask];
+  for (std::uint32_t address : stripped.unique) ++cold[address & mask];
+  for (std::size_t set = 0; set < sets; ++set) {
+    metrics->ObserveHistogram("explore.set_accesses", accesses[set]);
+    metrics->ObserveHistogram("explore.set_cold_misses", cold[set]);
+  }
+}
+
+}  // namespace
 
 const DesignPoint* ExplorationResult::SmallestCache() const {
   const DesignPoint* best = nullptr;
@@ -34,27 +70,34 @@ Explorer::Explorer(const trace::Trace& trace, ExplorerOptions options)
                              " is not a power of two");
   }
   Stopwatch watch;
-  const trace::StrippedTrace stripped =
-      options.line_words == 1
-          ? trace::Strip(trace)
-          : trace::Strip(trace::WithLineSize(trace, options.line_words));
+  support::ScopedTraceSpan prelude_span("explore.prelude");
+  const trace::StrippedTrace stripped = [&] {
+    support::ScopedTraceSpan span("explore.strip");
+    return options.line_words == 1
+               ? trace::Strip(trace)
+               : trace::Strip(trace::WithLineSize(trace, options.line_words));
+  }();
   stats_ = trace::ComputeStats(stripped);
   max_index_bits_ =
       std::min(options.max_index_bits, trace::SignificantAddressBits(stripped));
 
   const std::uint32_t jobs =
       options.jobs == 0 ? support::HardwareConcurrency() : options.jobs;
+  if (auto* progress = support::ProgressReporter::Global()) {
+    progress->BeginPhase("prelude depths", max_index_bits_ + 1);
+  }
   if (jobs > 1 && options.engine != Engine::kReference) {
     // Parallel prelude: per-depth Mattson passes (move-to-front or Fenwick,
     // matching the engine) computed concurrently. Identical histograms to
     // the fused depth-first traversal — both are exact per-set LRU stack
     // distance counts in canonical form.
-    support::ThreadPool pool(jobs);
+    support::ThreadPool pool(jobs, metrics_);
     profiles_ = cache::ComputeAllDepthProfiles(
         stripped, max_index_bits_, &pool,
         /*use_tree=*/options.engine == Engine::kFusedTree, metrics_);
   } else if (options.engine == Engine::kFused ||
              options.engine == Engine::kFusedTree) {
+    support::ScopedTraceSpan span("explore.fused_traversal");
     profiles_ = options.engine == Engine::kFused
                     ? ComputeMissProfilesFused(stripped, max_index_bits_)
                     : ComputeMissProfilesFusedTree(stripped, max_index_bits_);
@@ -67,14 +110,37 @@ Explorer::Explorer(const trace::Trace& trace, ExplorerOptions options)
         metrics_, "stack.refs_scanned",
         static_cast<std::uint64_t>(profiles_.size()) * stripped.size());
   } else {
-    const ZeroOneSets sets = BuildZeroOneSets(stripped, max_index_bits_);
-    const Bcat bcat = Bcat::Build(sets, stripped.unique_count(),
-                                  max_index_bits_);
-    const Mrct mrct = Mrct::Build(stripped);
+    // The reference engine's explicit phases (sections 2.2-2.3), each its
+    // own span so a profile shows where BCAT vs MRCT construction time goes.
+    const ZeroOneSets sets = [&] {
+      support::ScopedTraceSpan span("explore.zeroone");
+      return BuildZeroOneSets(stripped, max_index_bits_);
+    }();
+    const Bcat bcat = [&] {
+      support::ScopedTraceSpan span("explore.bcat");
+      return Bcat::Build(sets, stripped.unique_count(), max_index_bits_);
+    }();
+    const Mrct mrct = [&] {
+      support::ScopedTraceSpan span("explore.mrct");
+      return Mrct::Build(stripped);
+    }();
+    support::ScopedTraceSpan span("explore.profiles");
     profiles_ = ComputeMissProfiles(bcat, mrct, stripped.warm_count(),
                                     stripped.unique_count(), max_index_bits_);
   }
+  if (auto* progress = support::ProgressReporter::Global()) {
+    // The per-depth scans tick as they finish; the fused and reference
+    // engines produce all depths in one traversal, so account for whatever
+    // the engine did not tick itself before closing the phase.
+    const std::uint64_t total = max_index_bits_ + 1;
+    if (progress->done() < total) progress->Tick(total - progress->done());
+    progress->EndPhase();
+  }
+  RecordPreludeHistograms(stripped, profiles_, max_index_bits_, metrics_);
   prelude_seconds_ = watch.ElapsedSeconds();
+  if (support::TraceSink* sink = support::TraceSink::Global()) {
+    sink->Instant("explore.prelude_done");
+  }
   support::MetricsRegistry::Add(metrics_, "explore.depths", profiles_.size());
   support::MetricsRegistry::Add(metrics_, "explore.trace_refs", stats_.n);
   support::MetricsRegistry::Add(metrics_, "explore.unique_refs",
@@ -85,6 +151,7 @@ Explorer::Explorer(const trace::Trace& trace, ExplorerOptions options)
 
 ExplorationResult Explorer::Solve(std::uint64_t k) const {
   Stopwatch watch;
+  support::ScopedTraceSpan span("explore.solve");
   support::MetricsRegistry::Add(metrics_, "explore.solve_queries");
   ExplorationResult result;
   result.k = k;

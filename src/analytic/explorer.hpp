@@ -55,9 +55,18 @@ struct ExplorerOptions {
   // sequential; it ignores this option.
   std::uint32_t jobs = 1;
   // Optional run-metrics sink. The prelude records "explore.depths",
-  // "explore.trace_refs", "explore.unique_refs" (deterministic counters) and
-  // the "explore.prelude_seconds" span; each Solve adds
-  // "explore.solve_queries". nullptr (default) disables collection.
+  // "explore.trace_refs", "explore.unique_refs" (deterministic counters),
+  // the "explore.prelude_seconds" span, and three deterministic histograms —
+  // "stack.distance" (fully-associative LRU stack distances),
+  // "explore.set_accesses" and "explore.set_cold_misses" (per-set load at
+  // the deepest explored depth); each Solve adds "explore.solve_queries".
+  // Counters and histograms are byte-identical in ToJson for every engine
+  // and jobs value. nullptr (default) disables collection.
+  //
+  // Independently, with a global support::TraceSink installed the prelude
+  // emits nested spans (explore.prelude / explore.strip / per-engine phase
+  // spans / stack.scan per depth) and with a global ProgressReporter it
+  // reports per-depth progress; see docs/OBSERVABILITY.md.
   support::MetricsRegistry* metrics = nullptr;
 };
 

@@ -1,11 +1,14 @@
 #include "cache/stack.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "support/check.hpp"
 #include "support/fenwick.hpp"
 #include "support/metrics.hpp"
 #include "support/pool.hpp"
+#include "support/progress.hpp"
+#include "support/trace_event.hpp"
 
 namespace ces::cache {
 
@@ -167,14 +170,20 @@ std::vector<StackProfile> ComputeAllDepthProfiles(
     support::ThreadPool* pool, bool use_tree,
     support::MetricsRegistry* metrics) {
   support::ScopedSpan span(metrics, "stack.all_depths_seconds");
+  support::ScopedTraceSpan trace_span("stack.all_depths");
   std::vector<StackProfile> profiles(max_index_bits + 1);
   const auto compute = [&](std::size_t bits) {
     const auto index_bits = static_cast<std::uint32_t>(bits);
+    // One profile span per depth: on the parallel path these land on the
+    // worker tracks, which is exactly the per-depth load-balance picture.
+    support::ScopedTraceSpan depth_span("stack.scan(bits=" +
+                                        std::to_string(index_bits) + ")");
     // Each depth's pass is serial: depth-level slots keep the output
     // placement independent of scheduling, and a nested per-set split would
     // run inline anyway.
     profiles[bits] = use_tree ? ComputeStackProfileTree(stripped, index_bits)
                               : ComputeStackProfile(stripped, index_bits);
+    support::ProgressReporter::GlobalTick();
   };
   if (pool != nullptr && pool->jobs() > 1) {
     pool->ParallelFor(profiles.size(), compute);

@@ -1,8 +1,12 @@
 #include "cache/sweep.hpp"
 
+#include <string>
+
 #include "cache/sim.hpp"
 #include "support/metrics.hpp"
 #include "support/pool.hpp"
+#include "support/progress.hpp"
+#include "support/trace_event.hpp"
 
 namespace ces::cache {
 namespace {
@@ -14,6 +18,8 @@ void SweepOneDepth(const trace::Trace& trace, std::uint32_t bits,
                    std::uint32_t max_assoc, ReplacementPolicy policy,
                    bool stop_at_zero, std::vector<SweepPoint>& points,
                    SweepCoverage& coverage) {
+  support::ScopedTraceSpan span("sweep.depth(bits=" + std::to_string(bits) +
+                                ")");
   for (std::uint32_t assoc = 1; assoc <= max_assoc; ++assoc) {
     CacheConfig config;
     config.depth = 1u << bits;
@@ -28,6 +34,7 @@ void SweepOneDepth(const trace::Trace& trace, std::uint32_t bits,
     point.assoc = assoc;
     point.stats = SimulateTrace(trace, config);
     ++coverage.simulated;
+    support::ProgressReporter::GlobalTick();
     const bool done = stop_at_zero && point.stats.warm_misses() == 0;
     points.push_back(point);
     if (done) {
@@ -47,15 +54,23 @@ std::vector<SweepPoint> ExhaustiveSweep(const trace::Trace& trace,
                                         SweepCoverage* coverage,
                                         support::MetricsRegistry* metrics) {
   support::ScopedSpan span(metrics, "sweep.seconds");
+  support::ScopedTraceSpan trace_span("sweep");
   const std::size_t levels = max_index_bits + 1;
+  if (auto* progress = support::ProgressReporter::Global()) {
+    progress->BeginPhase("sweep configs",
+                         static_cast<std::uint64_t>(levels) * max_assoc);
+  }
   std::vector<std::vector<SweepPoint>> per_depth(levels);
   std::vector<SweepCoverage> per_depth_coverage(levels);
 
-  support::ThreadPool pool(jobs == 1 ? 1 : jobs);
+  support::ThreadPool pool(jobs == 1 ? 1 : jobs, metrics);
   pool.ParallelFor(levels, [&](std::size_t bits) {
     SweepOneDepth(trace, static_cast<std::uint32_t>(bits), max_assoc, policy,
                   stop_at_zero, per_depth[bits], per_depth_coverage[bits]);
   });
+  if (auto* progress = support::ProgressReporter::Global()) {
+    progress->EndPhase();
+  }
 
   // Concatenate in depth order — the exact ordering of the serial sweep.
   std::vector<SweepPoint> points;
@@ -74,6 +89,17 @@ std::vector<SweepPoint> ExhaustiveSweep(const trace::Trace& trace,
     metrics->Add("sweep.configs_skipped_invalid", totals.skipped_invalid);
     metrics->Add("sweep.configs_pruned", totals.pruned_by_stop);
     metrics->Add("sweep.refs_simulated", totals.simulated * trace.size());
+    // Distributional shape of the sweep, recorded on the calling thread in
+    // depth order from the merged results, so the histograms — like the
+    // coverage counters — are identical for every jobs value.
+    for (std::size_t bits = 0; bits < levels; ++bits) {
+      metrics->ObserveHistogram("sweep.shard_configs",
+                                per_depth[bits].size());
+    }
+    for (const SweepPoint& point : points) {
+      metrics->ObserveHistogram("sweep.warm_misses",
+                                point.stats.warm_misses());
+    }
   }
   return points;
 }

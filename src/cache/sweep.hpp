@@ -49,9 +49,14 @@ struct SweepCoverage {
 // When `metrics` is provided, records the coverage counts as counters
 // ("sweep.configs_requested", "sweep.configs_simulated",
 // "sweep.configs_skipped_invalid", "sweep.configs_pruned"), the total
-// references pushed through the simulator ("sweep.refs_simulated") and the
-// wall-clock span "sweep.seconds". The counters are deterministic for every
-// jobs value; only the span varies.
+// references pushed through the simulator ("sweep.refs_simulated"), the
+// wall-clock span "sweep.seconds", and two deterministic histograms —
+// "sweep.shard_configs" (simulated configs per depth shard) and
+// "sweep.warm_misses" (warm misses per simulated config). Counters and
+// histograms are deterministic for every jobs value; only the span varies.
+// With a global TraceSink installed the sweep emits one "sweep.depth" span
+// per depth shard; with a global ProgressReporter it reports per-config
+// progress.
 std::vector<SweepPoint> ExhaustiveSweep(const trace::Trace& trace,
                                         std::uint32_t max_index_bits,
                                         std::uint32_t max_assoc,

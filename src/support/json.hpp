@@ -1,0 +1,66 @@
+// Shared JSON string escaping for every hand-rolled serialiser in the
+// repository (run metrics, Chrome trace events, the bench reporter).
+//
+// The library emits JSON from several places and none of them may trust its
+// input strings: metric names are library-chosen today but user-extensible,
+// trace-event span names embed workload names, and bench params carry raw
+// flag values. Centralising the escaping means a hostile name is handled the
+// same way everywhere — and is tested once, against the full control-char
+// range (see tests/support_test.cpp).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace ces::support {
+
+// Escapes `s` for inclusion inside a double-quoted JSON string: quote,
+// backslash, the two-character escapes JSON defines (\n \t \r \b \f) and
+// \u00xx for every remaining control character below 0x20. Bytes >= 0x20
+// pass through unchanged (UTF-8 is preserved byte-for-byte).
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Convenience: `"escaped"` with the surrounding quotes.
+inline std::string JsonQuote(const std::string& s) {
+  return '"' + JsonEscape(s) + '"';
+}
+
+}  // namespace ces::support

@@ -3,42 +3,9 @@
 #include <cstdio>
 #include <utility>
 
+#include "support/json.hpp"
+
 namespace ces::support {
-namespace {
-
-// Minimal JSON string escaping for metric names (which are library-chosen
-// identifiers, but a registry is only as trustworthy as its serialisation).
-std::string EscapeJson(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 void MetricsRegistry::Add(const std::string& name, std::uint64_t delta) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -75,6 +42,42 @@ double MetricsRegistry::span_seconds(const std::string& name) const {
   return it == spans_.end() ? 0.0 : it->second.seconds;
 }
 
+std::size_t MetricsRegistry::HistogramBucket(std::uint64_t value) {
+  std::size_t bucket = 0;
+  while (value != 0) {
+    ++bucket;
+    value >>= 1;
+  }
+  return bucket;  // 0 for 0, floor(log2(v)) + 1 otherwise
+}
+
+std::pair<std::uint64_t, std::uint64_t> MetricsRegistry::HistogramBucketRange(
+    std::size_t bucket) {
+  if (bucket == 0) return {0, 0};
+  const std::uint64_t lo = 1ull << (bucket - 1);
+  return {lo, bucket >= 64 ? ~0ull : (lo << 1) - 1};
+}
+
+void MetricsRegistry::ObserveHistogram(const std::string& name,
+                                       std::uint64_t value,
+                                       std::uint64_t weight) {
+  if (weight == 0) return;
+  const std::size_t bucket = HistogramBucket(value);
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistogramSnapshot& hist = histograms_[name];
+  if (bucket >= hist.buckets.size()) hist.buckets.resize(bucket + 1, 0);
+  hist.buckets[bucket] += weight;
+  hist.count += weight;
+  hist.sum += value * weight;
+}
+
+MetricsRegistry::HistogramSnapshot MetricsRegistry::histogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? HistogramSnapshot{} : it->second;
+}
+
 std::string MetricsRegistry::ToJson(bool include_volatile) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\"counters\":{";
@@ -82,16 +85,34 @@ std::string MetricsRegistry::ToJson(bool include_volatile) const {
   for (const auto& [name, value] : counters_) {  // std::map: sorted keys
     if (!first) out += ',';
     first = false;
-    out += '"' + EscapeJson(name) + "\":" + std::to_string(value);
+    out += JsonQuote(name) + ':' + std::to_string(value);
   }
   out += '}';
+  if (!histograms_.empty()) {
+    // Deterministic like the counters: buckets depend only on the observed
+    // values, so this section is part of the byte-stable surface.
+    out += ",\"histograms\":{";
+    first = true;
+    for (const auto& [name, hist] : histograms_) {
+      if (!first) out += ',';
+      first = false;
+      out += JsonQuote(name) + ":{\"buckets\":[";
+      for (std::size_t b = 0; b < hist.buckets.size(); ++b) {
+        if (b > 0) out += ',';
+        out += std::to_string(hist.buckets[b]);
+      }
+      out += "],\"count\":" + std::to_string(hist.count) +
+             ",\"sum\":" + std::to_string(hist.sum) + '}';
+    }
+    out += '}';
+  }
   if (include_volatile) {
     out += ",\"gauges\":{";
     first = true;
     for (const auto& [name, value] : gauges_) {
       if (!first) out += ',';
       first = false;
-      out += '"' + EscapeJson(name) + "\":" + std::to_string(value);
+      out += JsonQuote(name) + ':' + std::to_string(value);
     }
     out += "},\"spans\":{";
     first = true;
@@ -102,7 +123,7 @@ std::string MetricsRegistry::ToJson(bool include_volatile) const {
       std::snprintf(buf, sizeof(buf), "{\"seconds\":%.6f,\"count\":%llu}",
                     span.seconds,
                     static_cast<unsigned long long>(span.count));
-      out += '"' + EscapeJson(name) + "\":" + buf;
+      out += JsonQuote(name) + ':' + buf;
     }
     out += '}';
   }

@@ -7,18 +7,28 @@
 // compile to a predictable pointer test, so instrumented hot paths cost
 // nothing when metrics are off.
 //
-// Counters are deterministic by construction (they count work, which the
-// deterministic thread pool makes independent of the worker count), so
-// ToJson() without timings is byte-identical across --jobs values — the
-// property `cachedse --metrics=json` relies on. Spans (wall-clock) and
+// Counters and histograms are deterministic by construction (they count
+// work, which the deterministic thread pool makes independent of the worker
+// count), so ToJson() without timings is byte-identical across --jobs values
+// — the property `cachedse --metrics=json` relies on. Spans (wall-clock) and
 // gauges (environment facts like the pool size) are inherently run-specific
 // and only appear when include_volatile is set.
+//
+// Histograms bucket values by powers of two: bucket 0 holds the value 0 and
+// bucket b >= 1 holds [2^(b-1), 2^b - 1]. The bucket of a value depends on
+// the value alone and uint64 bucket counts commute under addition, so a
+// histogram filled from deterministic per-item values is itself
+// deterministic regardless of observation order — which makes distributional
+// metrics (stack-distance spectra, per-set miss counts, sweep shard sizes)
+// safe to include in the byte-stable JSON.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "support/timer.hpp"
 
@@ -41,8 +51,28 @@ class MetricsRegistry {
   void Observe(const std::string& name, double seconds);
   double span_seconds(const std::string& name) const;
 
-  // Stable JSON rendering: keys sorted, counters always present; gauges and
-  // spans only when include_volatile is true. No trailing newline.
+  // Histograms: power-of-two-bucketed value distributions. Deterministic —
+  // included in the stable JSON whenever any histogram has been observed.
+  // `weight` adds that many observations of `value` at once (useful when
+  // folding an existing exact histogram into the bucketed one).
+  struct HistogramSnapshot {
+    std::vector<std::uint64_t> buckets;  // buckets[b]: see HistogramBucket
+    std::uint64_t count = 0;             // total observations
+    std::uint64_t sum = 0;               // sum of observed values
+  };
+  void ObserveHistogram(const std::string& name, std::uint64_t value,
+                        std::uint64_t weight = 1);
+  HistogramSnapshot histogram(const std::string& name) const;
+
+  // The bucket index of `value`: 0 for 0, otherwise floor(log2(value)) + 1.
+  static std::size_t HistogramBucket(std::uint64_t value);
+  // The inclusive [lo, hi] value range of bucket `bucket`.
+  static std::pair<std::uint64_t, std::uint64_t> HistogramBucketRange(
+      std::size_t bucket);
+
+  // Stable JSON rendering: keys sorted; counters always present and
+  // histograms whenever non-empty (both deterministic); gauges and spans
+  // only when include_volatile is true. No trailing newline.
   std::string ToJson(bool include_volatile = false) const;
 
   // Null-safe helpers so instrumented code never branches on its own.
@@ -58,6 +88,11 @@ class MetricsRegistry {
                       double seconds) {
     if (metrics != nullptr) metrics->Observe(name, seconds);
   }
+  static void ObserveHistogram(MetricsRegistry* metrics,
+                               const std::string& name, std::uint64_t value,
+                               std::uint64_t weight = 1) {
+    if (metrics != nullptr) metrics->ObserveHistogram(name, value, weight);
+  }
 
  private:
   struct Span {
@@ -69,6 +104,7 @@ class MetricsRegistry {
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, std::uint64_t> gauges_;
   std::map<std::string, Span> spans_;
+  std::map<std::string, HistogramSnapshot> histograms_;
 };
 
 // RAII wall-time span: records the elapsed time into `registry` (if any) on

@@ -1,11 +1,16 @@
 #include "support/pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "support/metrics.hpp"
+#include "support/trace_event.hpp"
 
 namespace ces::support {
 namespace {
@@ -14,6 +19,12 @@ namespace {
 // ParallelFor calls observe it and run inline, so a loop body may freely call
 // parallel library routines without deadlocking the (single-batch) pool.
 thread_local bool tls_in_parallel_region = false;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 }  // namespace
 
@@ -37,6 +48,8 @@ struct ThreadPool::Impl {
   unsigned pending = 0;                    // worker chunks still running
   std::vector<std::exception_ptr> errors;  // one slot per chunk
   bool shutdown = false;
+  double publish_time = 0.0;  // when the current batch was made visible
+  MetricsRegistry* metrics = nullptr;
 
   std::vector<std::thread> threads;
 
@@ -44,6 +57,10 @@ struct ThreadPool::Impl {
                 std::size_t chunks) {
     const auto [begin, end] = ChunkRange(n, chunks, chunk);
     if (begin >= end) return;
+    // One span per executed chunk: in a profile every worker's track shows
+    // the chunks it ran, which is the per-worker utilisation picture the
+    // aggregate gauges summarise.
+    ScopedTraceSpan span("pool.chunk");
     tls_in_parallel_region = true;
     try {
       fn(begin, end, chunk);
@@ -58,9 +75,13 @@ struct ThreadPool::Impl {
 
   void WorkerLoop(std::size_t chunk, std::size_t chunks) {
     std::uint64_t seen = 0;
+    // Tracks are named against the sink installed at batch time, re-applied
+    // if the global sink changes between batches.
+    TraceSink* named_for = nullptr;
     for (;;) {
       const Body* fn;
       std::size_t n;
+      double published;
       {
         std::unique_lock<std::mutex> lock(mutex);
         work_ready.wait(lock,
@@ -69,6 +90,17 @@ struct ThreadPool::Impl {
         seen = generation;
         fn = body;
         n = batch_n;
+        published = publish_time;
+      }
+      // Dispatch latency: how long this worker's chunk sat queued between
+      // the batch publish and the worker picking it up.
+      MetricsRegistry::Observe(metrics, "pool.queue_wait",
+                               NowSeconds() - published);
+      if (TraceSink* sink = TraceSink::Global(); sink != named_for) {
+        if (sink != nullptr) {
+          sink->NameThisThread("pool worker " + std::to_string(chunk));
+        }
+        named_for = sink;
       }
       RunChunk(*fn, n, chunk, chunks);
       {
@@ -79,10 +111,11 @@ struct ThreadPool::Impl {
   }
 };
 
-ThreadPool::ThreadPool(unsigned jobs)
-    : jobs_(jobs == 0 ? HardwareConcurrency() : jobs) {
+ThreadPool::ThreadPool(unsigned jobs, MetricsRegistry* metrics)
+    : jobs_(jobs == 0 ? HardwareConcurrency() : jobs), metrics_(metrics) {
   if (jobs_ <= 1) return;  // fully inline; no worker state at all
   impl_ = std::make_unique<Impl>();
+  impl_->metrics = metrics;
   impl_->threads.reserve(jobs_ - 1);
   // Worker w owns chunk w + 1 forever; the caller always runs chunk 0.
   for (unsigned w = 1; w < jobs_; ++w) {
@@ -129,6 +162,7 @@ void ThreadPool::ParallelForChunks(
     impl.batch_n = n;
     impl.pending = static_cast<unsigned>(impl.threads.size());
     impl.errors.assign(jobs_, nullptr);
+    impl.publish_time = NowSeconds();
     ++impl.generation;
   }
   impl.work_ready.notify_all();
@@ -147,7 +181,24 @@ void ThreadPool::ParallelForChunks(
     }
     impl.errors.clear();
   }
+  AccountBatch(n);
   if (first) std::rethrow_exception(first);
+}
+
+void ThreadPool::AccountBatch(std::size_t n) {
+  if (metrics_ == nullptr) return;
+  // Which chunk ran work is a pure function of (n, jobs): chunk c executed
+  // iff its static range is non-empty. Accounting on the calling thread after
+  // the barrier keeps the workers untouched.
+  if (chunk_tasks_.empty()) chunk_tasks_.assign(jobs_, 0);
+  for (std::size_t chunk = 0; chunk < jobs_; ++chunk) {
+    const auto [begin, end] = ChunkRange(n, jobs_, chunk);
+    if (begin < end) ++chunk_tasks_[chunk];
+  }
+  for (std::size_t chunk = 0; chunk < jobs_; ++chunk) {
+    metrics_->SetGauge("pool.worker." + std::to_string(chunk) + ".tasks",
+                       chunk_tasks_[chunk]);
+  }
 }
 
 void ThreadPool::ParallelFor(std::size_t n,

@@ -23,11 +23,15 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <utility>
+#include <vector>
 
 namespace ces::support {
+
+class MetricsRegistry;
 
 // std::thread::hardware_concurrency(), clamped to at least 1.
 unsigned HardwareConcurrency();
@@ -35,7 +39,19 @@ unsigned HardwareConcurrency();
 class ThreadPool {
  public:
   // jobs == 0 selects HardwareConcurrency(); jobs == 1 is fully inline.
-  explicit ThreadPool(unsigned jobs = 0);
+  //
+  // When `metrics` is provided the pool records its utilisation — volatile
+  // observability only, never part of the deterministic counter surface:
+  //  * "pool.worker.N.tasks" gauges: non-empty chunks chunk N has executed
+  //    across all batches so far (chunk 0 is the calling thread), updated
+  //    after every parallel region so --metrics-timings exposes load
+  //    imbalance across --jobs values.
+  //  * "pool.queue_wait" span: per worker wake-up, the delay between a batch
+  //    being published and that worker starting its chunk.
+  // If a global TraceSink is installed (support/trace_event.hpp), workers
+  // additionally name their tracks ("pool worker N") and wrap each executed
+  // chunk in a "pool.chunk" span, one swim-lane per worker in the profile.
+  explicit ThreadPool(unsigned jobs = 0, MetricsRegistry* metrics = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -66,7 +82,14 @@ class ThreadPool {
 
  private:
   struct Impl;
+  void AccountBatch(std::size_t n);
+
   unsigned jobs_;
+  MetricsRegistry* metrics_;
+  // Non-empty chunks executed per chunk slot, accumulated on the calling
+  // thread after each dispatched batch (inline/nested regions are not
+  // accounted — there is no pool activity to observe).
+  std::vector<std::uint64_t> chunk_tasks_;
   std::unique_ptr<Impl> impl_;  // null when jobs_ == 1
 };
 

@@ -1,0 +1,95 @@
+#include "support/progress.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+
+namespace ces::support {
+namespace {
+
+std::atomic<ProgressReporter*> g_reporter{nullptr};
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ProgressReporter* ProgressReporter::Global() {
+  return g_reporter.load(std::memory_order_acquire);
+}
+
+void ProgressReporter::SetGlobal(ProgressReporter* reporter) {
+  g_reporter.store(reporter, std::memory_order_release);
+}
+
+bool ProgressReporter::IsTty(std::FILE* stream) {
+  return isatty(fileno(stream)) == 1;
+}
+
+ProgressReporter::ProgressReporter(std::FILE* stream,
+                                   double min_interval_seconds)
+    : stream_(stream),
+      tty_(IsTty(stream)),
+      min_interval_(min_interval_seconds >= 0.0 ? min_interval_seconds
+                    : tty_                      ? 0.1
+                                                : 2.0) {}
+
+void ProgressReporter::BeginPhase(const std::string& phase,
+                                  std::uint64_t total) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (phase_open_) Render(/*final=*/true);
+  phase_ = phase;
+  total_ = total;
+  phase_open_ = true;
+  done_.store(0, std::memory_order_relaxed);
+  last_render_ = NowSeconds();
+  Render(/*final=*/false);
+}
+
+void ProgressReporter::Tick(std::uint64_t delta) {
+  done_.fetch_add(delta, std::memory_order_relaxed);
+  // Rendering is best-effort: if another thread holds the lock it will
+  // render a fresher count shortly anyway.
+  if (!mutex_.try_lock()) return;
+  std::lock_guard<std::mutex> lock(mutex_, std::adopt_lock);
+  if (!phase_open_) return;
+  const double now = NowSeconds();
+  if (now - last_render_ < min_interval_) return;
+  last_render_ = now;
+  Render(/*final=*/false);
+}
+
+void ProgressReporter::EndPhase() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!phase_open_) return;
+  Render(/*final=*/true);
+  phase_open_ = false;
+}
+
+void ProgressReporter::Render(bool final) {
+  const std::uint64_t done = done_.load(std::memory_order_relaxed);
+  char line[160];
+  if (total_ > 0) {
+    const double pct =
+        100.0 * static_cast<double>(done) / static_cast<double>(total_);
+    std::snprintf(line, sizeof(line), "%s %llu/%llu (%.0f%%)", phase_.c_str(),
+                  static_cast<unsigned long long>(done),
+                  static_cast<unsigned long long>(total_), pct);
+  } else {
+    std::snprintf(line, sizeof(line), "%s %llu", phase_.c_str(),
+                  static_cast<unsigned long long>(done));
+  }
+  if (tty_) {
+    // Rewrite one line in place; pad so a shorter render clears the longer
+    // previous one, and only commit a newline when the phase ends.
+    std::fprintf(stream_, "\r%-70s%s", line, final ? "\n" : "");
+  } else {
+    std::fprintf(stream_, "%s%s\n", line, final ? " [done]" : "");
+  }
+  std::fflush(stream_);
+}
+
+}  // namespace ces::support

@@ -1,0 +1,74 @@
+// Opt-in progress reporting for long-running phases (exhaustive sweeps,
+// multi-depth preludes, large trace reads).
+//
+// A ProgressReporter renders "phase done/total (pct)" lines to a stream,
+// rate-limited so per-unit Tick() calls from hot loops cannot flood the
+// terminal: on a TTY it rewrites one line in place (carriage return) every
+// ~100 ms; on a pipe or file it emits a plain line at most every ~2 s, so
+// captured logs stay small and diffable. Progress output goes to stderr by
+// convention and never mixes with the machine-readable stdout surfaces
+// (--metrics=json, tables).
+//
+// Tick() is thread-safe (pool workers tick concurrently during parallel
+// sweeps); BeginPhase()/EndPhase() are called from the orchestrating thread.
+// Like TraceSink, instrumentation points use a process-global instance —
+// GlobalTick() on a null global is one atomic load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace ces::support {
+
+class ProgressReporter {
+ public:
+  // `stream` is typically stderr. TTY detection picks the rendering mode;
+  // `min_interval_seconds` < 0 selects the mode's default (0.1 s TTY,
+  // 2 s otherwise).
+  explicit ProgressReporter(std::FILE* stream = stderr,
+                            double min_interval_seconds = -1.0);
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  // Starts a named phase of `total` work units (0 = unknown) and renders it
+  // immediately. Implicitly ends any phase still open.
+  void BeginPhase(const std::string& phase, std::uint64_t total);
+
+  // Adds `delta` completed units and re-renders if the rate limit allows.
+  void Tick(std::uint64_t delta = 1);
+
+  // Renders the final count and terminates the in-place line (TTY mode).
+  void EndPhase();
+
+  std::uint64_t done() const { return done_.load(std::memory_order_relaxed); }
+
+  static bool IsTty(std::FILE* stream);
+
+  // Process-global reporter, null by default (disabled). The installer owns
+  // the instance and must clear the global before destroying it.
+  static ProgressReporter* Global();
+  static void SetGlobal(ProgressReporter* reporter);
+  static void GlobalTick(std::uint64_t delta = 1) {
+    if (ProgressReporter* reporter = Global()) reporter->Tick(delta);
+  }
+
+ private:
+  void Render(bool final);
+
+  std::FILE* stream_;
+  bool tty_;
+  double min_interval_;
+  std::atomic<std::uint64_t> done_{0};
+
+  std::mutex mutex_;  // guards phase state and rendering
+  std::string phase_;
+  std::uint64_t total_ = 0;
+  bool phase_open_ = false;
+  double last_render_ = -1.0;  // seconds since an arbitrary epoch
+};
+
+}  // namespace ces::support

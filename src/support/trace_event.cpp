@@ -1,0 +1,146 @@
+#include "support/trace_event.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace ces::support {
+namespace {
+
+std::atomic<TraceSink*> g_sink{nullptr};
+
+// Monotone id per sink instance. The per-thread tid cache is keyed on this
+// rather than the sink's address, so a new sink allocated where a destroyed
+// one lived still forces re-registration (no ABA tid collisions).
+std::atomic<std::uint64_t> g_next_sink_id{1};
+
+}  // namespace
+
+TraceSink* TraceSink::Global() {
+  return g_sink.load(std::memory_order_acquire);
+}
+
+void TraceSink::SetGlobal(TraceSink* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+TraceSink::TraceSink()
+    : sink_id_(g_next_sink_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+std::uint32_t TraceSink::ThisThreadTid() {
+  // Track ids are assigned per (thread, sink) on first use. The cache is
+  // keyed on the sink's unique id so a thread that outlives one sink
+  // re-registers with the next instead of reusing a stale id.
+  struct TidCache {
+    std::uint64_t sink_id = 0;
+    std::uint32_t tid = 0;
+  };
+  thread_local TidCache cache;
+  if (cache.sink_id != sink_id_) {
+    cache.sink_id = sink_id_;
+    cache.tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return cache.tid;
+}
+
+void TraceSink::Record_(char phase, const std::string& name) {
+  Record record;
+  record.ts_us =
+      static_cast<std::uint64_t>(clock_.ElapsedSeconds() * 1e6);
+  record.tid = ThisThreadTid();
+  record.phase = phase;
+  record.name = name;
+  record.seq = sequence_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shards_[record.tid % kShards];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.records.push_back(std::move(record));
+}
+
+void TraceSink::Begin(const std::string& name) { Record_('B', name); }
+
+void TraceSink::End(const std::string& name) { Record_('E', name); }
+
+void TraceSink::Instant(const std::string& name) { Record_('i', name); }
+
+void TraceSink::NameThisThread(const std::string& name) {
+  const std::uint32_t tid = ThisThreadTid();
+  std::lock_guard<std::mutex> lock(names_mutex_);
+  thread_names_[tid] = name;
+}
+
+std::uint64_t TraceSink::event_count() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.records.size();
+  }
+  return total;
+}
+
+void TraceSink::WriteJson(std::ostream& os) const {
+  // Snapshot every shard, then restore the global order: seq is a total
+  // order consistent with each thread's program order, so B/E nesting per
+  // tid survives serialisation.
+  std::vector<Record> records;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    records.insert(records.end(), shard.records.begin(), shard.records.end());
+  }
+  std::sort(records.begin(), records.end(),
+            [](const Record& a, const Record& b) { return a.seq < b.seq; });
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  {
+    std::lock_guard<std::mutex> lock(names_mutex_);
+    for (const auto& [tid, name] : thread_names_) {
+      if (!first) os << ',';
+      first = false;
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+         << ",\"args\":{\"name\":" << JsonQuote(name) << "}}";
+    }
+  }
+  for (const Record& record : records) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":" << JsonQuote(record.name) << ",\"ph\":\""
+       << record.phase << "\",\"ts\":" << record.ts_us
+       << ",\"pid\":1,\"tid\":" << record.tid;
+    if (record.phase == 'i') os << ",\"s\":\"t\"";  // thread-scoped instant
+    os << '}';
+  }
+  os << "]}";
+}
+
+std::string TraceSink::ToJson() const {
+  std::ostringstream os;
+  WriteJson(os);
+  return os.str();
+}
+
+void TraceSink::WriteJsonFile(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw Error(ErrorCategory::kIo, "trace-event", "cannot open " + path);
+  }
+  WriteJson(os);
+  os << '\n';
+  if (!os) {
+    throw Error(ErrorCategory::kIo, "trace-event", "write failed: " + path);
+  }
+}
+
+ScopedTraceSpan::ScopedTraceSpan(std::string name, TraceSink* sink)
+    : sink_(sink), name_(std::move(name)) {
+  if (sink_ != nullptr) sink_->Begin(name_);
+}
+
+ScopedTraceSpan::~ScopedTraceSpan() {
+  if (sink_ != nullptr) sink_->End(name_);
+}
+
+}  // namespace ces::support

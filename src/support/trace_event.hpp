@@ -1,0 +1,123 @@
+// Execution tracing in the Chrome trace-event format.
+//
+// A TraceSink collects timestamped begin/end ("B"/"E"), instant ("i") and
+// thread-name metadata ("M") events and serialises them as trace-event JSON
+// that chrome://tracing and https://ui.perfetto.dev load directly. The paper
+// argues about *runtime* — Tables 31-32 and Figure 4 — so the pipeline needs
+// per-phase, per-worker visibility, not just the aggregate counters and
+// spans of MetricsRegistry: a profile shows where the prelude time goes,
+// which pool workers idle, and how the sweep shards balance.
+//
+// Concurrency: the sink is lock-sharded. Each thread appends to the shard
+// selected by its track id, so contention only occurs when many threads hash
+// to one shard; a global sequence counter keeps a total event order for
+// serialisation. Track ids ("tid" in the JSON) are assigned per thread on
+// first use; support::ThreadPool names its workers' tracks ("pool worker N")
+// so a profile shows one swim-lane per worker.
+//
+// Instrumentation points use the process-global sink (Global()/SetGlobal):
+// tracing is a whole-run concern and threading a sink pointer through every
+// signature — on top of the MetricsRegistry* the layers already take — would
+// double the plumbing for a purely observational feature. When no global
+// sink is installed every helper is a null check; instrumented hot paths
+// cost one relaxed atomic load.
+//
+// Tracing is inherently volatile (wall-clock timestamps, scheduling-
+// dependent interleavings); nothing here feeds the deterministic
+// --metrics=json surface. See docs/OBSERVABILITY.md.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/timer.hpp"
+
+namespace ces::support {
+
+class TraceSink {
+ public:
+  TraceSink();
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  // Duration events: strictly nested per thread by construction when emitted
+  // through ScopedTraceSpan (preferred); manual Begin/End must pair up in
+  // LIFO order on the same thread.
+  void Begin(const std::string& name);
+  void End(const std::string& name);
+
+  // A zero-duration marker on the calling thread's track.
+  void Instant(const std::string& name);
+
+  // Labels the calling thread's track in the rendered profile (emitted as a
+  // "thread_name" metadata event). Later calls overwrite earlier ones.
+  void NameThisThread(const std::string& name);
+
+  // Total events recorded so far (metadata names excluded).
+  std::uint64_t event_count() const;
+
+  // Serialises {"traceEvents":[...]} — metadata first, then every event in
+  // global sequence order. Timestamps are microseconds since the sink was
+  // constructed.
+  void WriteJson(std::ostream& os) const;
+  std::string ToJson() const;
+  // Writes ToJson() to `path`; throws support::Error (kIo) on failure.
+  void WriteJsonFile(const std::string& path) const;
+
+  // The process-global sink instrumentation points report to. Null (the
+  // default) disables tracing. The caller that installs a sink owns it and
+  // must SetGlobal(nullptr) before destroying it.
+  static TraceSink* Global();
+  static void SetGlobal(TraceSink* sink);
+
+ private:
+  struct Record {
+    std::uint64_t seq = 0;
+    std::uint64_t ts_us = 0;
+    std::uint32_t tid = 0;
+    char phase = 'i';
+    std::string name;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<Record> records;
+  };
+  static constexpr std::size_t kShards = 16;
+
+  std::uint32_t ThisThreadTid();
+  void Record_(char phase, const std::string& name);
+
+  Stopwatch clock_;
+  const std::uint64_t sink_id_;  // process-unique, keys the per-thread cache
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::uint64_t> sequence_{0};
+  std::atomic<std::uint32_t> next_tid_{0};
+  mutable std::mutex names_mutex_;
+  std::map<std::uint32_t, std::string> thread_names_;
+};
+
+// RAII begin/end pair against the global sink (or an explicit one). Safe —
+// and nearly free — when no sink is installed. The sink observed at
+// construction is captured, so a span never splits across a SetGlobal call.
+class ScopedTraceSpan {
+ public:
+  explicit ScopedTraceSpan(std::string name,
+                           TraceSink* sink = TraceSink::Global());
+  ~ScopedTraceSpan();
+
+  ScopedTraceSpan(const ScopedTraceSpan&) = delete;
+  ScopedTraceSpan& operator=(const ScopedTraceSpan&) = delete;
+
+ private:
+  TraceSink* sink_;
+  std::string name_;
+};
+
+}  // namespace ces::support

@@ -13,6 +13,7 @@
 
 #include "support/error.hpp"
 #include "support/metrics.hpp"
+#include "support/trace_event.hpp"
 
 namespace ces::trace {
 namespace {
@@ -135,6 +136,8 @@ void ValidateKindField(std::uint32_t raw, const char* context) {
 Trace ReadBinaryPayload(std::istream& is, bool compressed,
                         MetricsRegistry* metrics) {
   const char* context = compressed ? "trace-compressed" : "trace-binary";
+  support::ScopedTraceSpan span(compressed ? "trace.read_compressed"
+                                           : "trace.read_binary");
   const std::uint32_t version = ReadU32(is, context);
   if (version != kVersion) {
     throw Error(ErrorCategory::kFormat, context,
@@ -212,6 +215,7 @@ void WriteText(std::ostream& os, const Trace& trace) {
 
 Trace ReadText(std::istream& is, MetricsRegistry* metrics) {
   constexpr const char* kContext = "trace-text";
+  support::ScopedTraceSpan span("trace.read_text");
   Trace trace;
   std::string line;
   std::uint64_t line_number = 0;
@@ -379,6 +383,7 @@ void SaveToFile(const std::string& path, const Trace& trace) {
 }
 
 Trace LoadFromFile(const std::string& path, MetricsRegistry* metrics) {
+  support::ScopedTraceSpan span("trace.load");
   std::ifstream is(path, std::ios::binary);
   if (!is) {
     throw Error(ErrorCategory::kIo, "trace-file", "cannot open " + path);

@@ -1,15 +1,25 @@
 // End-to-end integration: the complete paper pipeline on real workload
 // traces — run the benchmark on the CPU simulator, explore analytically,
 // re-simulate every returned instance (Figure 1b's "==" box), and check the
-// auxiliary APIs (constraints, CSV export) on the same results.
+// auxiliary APIs (constraints, CSV export) on the same results. Also drives
+// the cachedse binary itself (path via the CACHEDSE_BIN environment
+// variable, set by tests/CMakeLists.txt) to validate the observability
+// surfaces — --trace-out and --metrics=json — as a real consumer would.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "analytic/explorer.hpp"
 #include "cache/sim.hpp"
 #include "explore/report.hpp"
+#include "json_validator.hpp"
 #include "trace/synthetic.hpp"
+#include "trace/trace_io.hpp"
 #include "workloads/workloads.hpp"
 
 namespace {
@@ -90,6 +100,62 @@ TEST(CsvExport, PointsRoundTripStructure) {
             "depth,assoc,size_words,warm_misses\n"
             "4,2,8,17\n"
             "8,1,8,3\n");
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+// Drives the real binary: explore the paper's running example with tracing,
+// metrics, and a parallel pool, then validate both observability outputs.
+TEST(CachedseCli, TraceOutAndMetricsAreValidOnThePaperExample) {
+  const char* bin = std::getenv("CACHEDSE_BIN");
+  if (bin == nullptr || bin[0] == '\0') {
+    GTEST_SKIP() << "CACHEDSE_BIN not set (run under ctest)";
+  }
+  const std::string dir = ::testing::TempDir();
+  const std::string trace_path = dir + "/paper_example.trc";
+  const std::string profile_path = dir + "/paper_example.trace.json";
+  const std::string stdout_path = dir + "/paper_example.out";
+  ces::trace::SaveToFile(trace_path, ces::trace::PaperExampleTrace());
+
+  const std::string command = std::string(bin) + " explore --trace=" +
+                              trace_path + " --k=2 --jobs=4 --metrics=json" +
+                              " --trace-out=" + profile_path + " > " +
+                              stdout_path;
+  ASSERT_EQ(std::system(command.c_str()), 0) << command;
+
+  // The profile must be well-formed Chrome trace-event JSON with strictly
+  // nested spans, and must carry the phases the explorer instruments.
+  const std::string profile = ReadWholeFile(profile_path);
+  const auto checks = ces::testjson::CheckTraceEvents(profile);
+  ASSERT_TRUE(checks.ok()) << checks.error;
+  EXPECT_GT(checks.spans, 0u);
+  for (const char* needle :
+       {"\"explore.prelude\"", "\"explore.strip\"", "\"trace.read_text\"",
+        "\"explore.solve\"", "\"stack.scan(bits=0)\"", "\"explore.prelude_done\"",
+        "\"pool.chunk\"", "pool worker", "\"name\":\"main\""}) {
+    EXPECT_NE(profile.find(needle), std::string::npos) << needle;
+  }
+
+  // The final stdout line is the metrics JSON; it must parse and must carry
+  // the deterministic histogram section.
+  const std::string output = ReadWholeFile(stdout_path);
+  const std::size_t brace = output.rfind("\n{");
+  ASSERT_NE(brace, std::string::npos) << output;
+  std::string metrics_line = output.substr(brace + 1);
+  while (!metrics_line.empty() &&
+         (metrics_line.back() == '\n' || metrics_line.back() == '\r')) {
+    metrics_line.pop_back();
+  }
+  const ces::testjson::JsonValidator validator(metrics_line);
+  EXPECT_TRUE(validator.Valid()) << validator.error() << "\n" << metrics_line;
+  EXPECT_EQ(metrics_line.find("{\"counters\":"), 0u);
+  EXPECT_NE(metrics_line.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(metrics_line.find("\"stack.distance\""), std::string::npos);
 }
 
 TEST(CsvExport, OptimalTableHasHeaderAndAllRows) {

@@ -1,0 +1,281 @@
+// Minimal JSON validator for tests: a recursive-descent parser that accepts
+// exactly the JSON the repo's emitters produce (objects, arrays, strings
+// with escapes, numbers, true/false/null) plus structural checks for Chrome
+// trace-event streams (see docs/OBSERVABILITY.md). Not a general-purpose
+// parser — it exists so tests can assert "this output loads in a real JSON
+// consumer" without a third-party dependency.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ces::testjson {
+
+// Parses one complete JSON value (plus trailing whitespace) and reports the
+// first syntax error. Usage: JsonValidator v(text); bool ok = v.Valid().
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {
+    ok_ = ParseValue() && SkipWs() == text_.size();
+    if (!ok_ && error_.empty()) error_ = "trailing garbage";
+  }
+
+  bool Valid() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(const std::string& why) {
+    if (error_.empty()) {
+      error_ = why + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  std::size_t SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+    return pos_;
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ParseString() {
+    if (!Consume('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() ||
+                std::isxdigit(static_cast<unsigned char>(text_[pos_ + i])) ==
+                    0) {
+              return Fail("bad \\u escape");
+            }
+          }
+          pos_ += 4;
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return Fail("bad escape");
+        }
+      }
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a number");
+    return true;
+  }
+
+  bool ParseLiteral(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) != 0) {
+      return Fail("expected '" + word + "'");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': {
+        ++pos_;
+        SkipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          if (!ParseString() || !Consume(':') || !ParseValue()) return false;
+          SkipWs();
+          if (pos_ < text_.size() && text_[pos_] == ',') {
+            ++pos_;
+            SkipWs();
+            continue;
+          }
+          return Consume('}');
+        }
+      }
+      case '[': {
+        ++pos_;
+        SkipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          if (!ParseValue()) return false;
+          SkipWs();
+          if (pos_ < text_.size() && text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          return Consume(']');
+        }
+      }
+      case '"':
+        return ParseString();
+      case 't':
+        return ParseLiteral("true");
+      case 'f':
+        return ParseLiteral("false");
+      case 'n':
+        return ParseLiteral("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  bool ok_ = false;
+  std::string error_;
+};
+
+// Structural checks for a Chrome trace-event JSON document, string-level on
+// purpose (the emitter writes one event per "{...}" object with a fixed key
+// order). Verifies the {"traceEvents":[...]} wrapper, that every event
+// carries a phase, and — the property chrome://tracing actually needs —
+// that each tid's B/E events form properly nested, name-matched pairs with
+// non-decreasing timestamps in stream order.
+struct TraceEventChecks {
+  std::string error;      // empty when all checks pass
+  std::size_t events = 0;
+  std::size_t spans = 0;  // matched B/E pairs
+  std::map<std::uint64_t, std::size_t> per_tid;  // events per tid
+
+  bool ok() const { return error.empty(); }
+};
+
+inline std::string ExtractField(const std::string& event,
+                                const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = event.find(needle);
+  if (at == std::string::npos) return "";
+  std::size_t begin = at + needle.size();
+  if (event[begin] == '"') {
+    const std::size_t end = event.find('"', begin + 1);
+    return event.substr(begin + 1, end - begin - 1);
+  }
+  std::size_t end = begin;
+  while (end < event.size() && event[end] != ',' && event[end] != '}') ++end;
+  return event.substr(begin, end - begin);
+}
+
+inline TraceEventChecks CheckTraceEvents(const std::string& json) {
+  TraceEventChecks checks;
+  JsonValidator validator(json);
+  if (!validator.Valid()) {
+    checks.error = "not valid JSON: " + validator.error();
+    return checks;
+  }
+  if (json.find("{\"traceEvents\":[") != 0) {
+    checks.error = "missing {\"traceEvents\":[ wrapper";
+    return checks;
+  }
+
+  struct Open {
+    std::string name;
+  };
+  std::map<std::uint64_t, std::vector<Open>> stacks;
+  std::map<std::uint64_t, std::uint64_t> last_ts;
+
+  // Events never contain nested objects except the metadata "args", which
+  // holds only a string — so scanning for top-level "},{" boundaries after
+  // normalising the args objects away is exact for this emitter.
+  std::size_t pos = json.find('[') + 1;
+  while (pos < json.size() && json[pos] == '{') {
+    std::size_t end = json.find('}', pos);
+    if (end == std::string::npos) break;
+    if (json.substr(pos, end - pos).find("\"args\":{") != std::string::npos) {
+      end = json.find('}', end + 1);  // args closes one level deeper
+    }
+    const std::string event = json.substr(pos, end + 1 - pos);
+    ++checks.events;
+    const std::string phase = ExtractField(event, "ph");
+    const std::string name = ExtractField(event, "name");
+    const std::string tid_text = ExtractField(event, "tid");
+    if (phase.empty() || name.empty() || tid_text.empty()) {
+      checks.error = "event missing ph/name/tid: " + event;
+      return checks;
+    }
+    const std::uint64_t tid = std::stoull(tid_text);
+    ++checks.per_tid[tid];
+    if (phase != "M") {
+      const std::string ts_text = ExtractField(event, "ts");
+      if (ts_text.empty()) {
+        checks.error = "timed event missing ts: " + event;
+        return checks;
+      }
+      const std::uint64_t ts = std::stoull(ts_text);
+      if (last_ts.count(tid) != 0 && ts < last_ts[tid]) {
+        checks.error = "timestamps regress on tid " + tid_text;
+        return checks;
+      }
+      last_ts[tid] = ts;
+    }
+    if (phase == "B") {
+      stacks[tid].push_back({name});
+    } else if (phase == "E") {
+      if (stacks[tid].empty()) {
+        checks.error = "E without matching B on tid " + tid_text;
+        return checks;
+      }
+      if (stacks[tid].back().name != name) {
+        checks.error = "E name '" + name + "' does not match open B '" +
+                       stacks[tid].back().name + "' on tid " + tid_text;
+        return checks;
+      }
+      stacks[tid].pop_back();
+      ++checks.spans;
+    } else if (phase != "i" && phase != "M") {
+      checks.error = "unknown phase '" + phase + "'";
+      return checks;
+    }
+    pos = end + 1;
+    if (pos < json.size() && json[pos] == ',') ++pos;
+  }
+  for (const auto& [tid, stack] : stacks) {
+    if (!stack.empty()) {
+      checks.error = "tid " + std::to_string(tid) + " ends with '" +
+                     stack.back().name + "' still open";
+      return checks;
+    }
+  }
+  if (checks.events == 0) checks.error = "no events";
+  return checks;
+}
+
+}  // namespace ces::testjson

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "analytic/explorer.hpp"
@@ -13,6 +14,7 @@
 #include "cache/sweep.hpp"
 #include "explore/strategy.hpp"
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 #include "support/pool.hpp"
 #include "support/rng.hpp"
 #include "trace/strip.hpp"
@@ -161,6 +163,55 @@ TEST(ParallelDeterminismTest, ExplorerProfilesAreJobsInvariant) {
       for (const std::uint64_t k : {0ull, 3ull, 25ull}) {
         ExpectSamePoints(serial.Solve(k).points, parallel.Solve(k).points);
       }
+    }
+  }
+}
+
+// The deterministic metrics surface — counters AND histograms — must be
+// byte-identical across jobs values and engines; this is what lets CI diff
+// --metrics=json between --jobs=1/2/8 runs.
+TEST(ParallelDeterminismTest, MetricsJsonIsJobsAndEngineInvariant) {
+  for (const auto& trace : TestTraces()) {
+    std::string expected;
+    for (const auto engine : {ces::analytic::Engine::kFused,
+                              ces::analytic::Engine::kFusedTree}) {
+      for (const std::uint32_t jobs : {1u, 4u}) {
+        ces::support::MetricsRegistry metrics;
+        const ces::analytic::Explorer explorer(trace,
+                                               {.engine = engine,
+                                                .max_index_bits = 6,
+                                                .jobs = jobs,
+                                                .metrics = &metrics});
+        (void)explorer.Solve(3);
+        const std::string json = metrics.ToJson(/*include_volatile=*/false);
+        EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+        if (expected.empty()) {
+          expected = json;
+        } else {
+          EXPECT_EQ(json, expected)
+              << "engine " << static_cast<int>(engine) << " jobs " << jobs;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, SweepMetricsJsonIsJobsInvariant) {
+  const auto& trace = WorkloadTrace();
+  std::string expected;
+  for (const std::uint32_t jobs : {1u, 2u, 8u}) {
+    ces::support::MetricsRegistry metrics;
+    (void)ces::cache::ExhaustiveSweep(trace, 5, 4,
+                                      ces::cache::ReplacementPolicy::kLru,
+                                      /*stop_at_zero=*/true, jobs,
+                                      /*coverage=*/nullptr, &metrics);
+    const std::string json = metrics.ToJson(/*include_volatile=*/false);
+    EXPECT_NE(json.find("\"sweep.shard_configs\""), std::string::npos);
+    EXPECT_NE(json.find("\"sweep.warm_misses\""), std::string::npos);
+    if (expected.empty()) {
+      expected = json;
+    } else {
+      EXPECT_EQ(json, expected) << "jobs " << jobs;
     }
   }
 }

@@ -6,14 +6,18 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "support/metrics.hpp"
 #include "support/pool.hpp"
+#include "support/trace_event.hpp"
 
 namespace {
 
 using ces::support::HardwareConcurrency;
+using ces::support::MetricsRegistry;
 using ces::support::ThreadPool;
 
 TEST(PoolTest, HardwareConcurrencyIsAtLeastOne) {
@@ -148,6 +152,61 @@ TEST(PoolTest, NestedCallOnASecondPoolRunsInline) {
     });
   });
   EXPECT_EQ(calls.load(), 16);
+}
+
+TEST(PoolTest, WorkerUtilizationGaugesCountDispatchedChunks) {
+  MetricsRegistry metrics;
+  ThreadPool pool(4, &metrics);
+  // 8 items over 4 chunks: every chunk non-empty, so each worker slot gets
+  // one task per batch.
+  pool.ParallelFor(8, [](std::size_t) {});
+  pool.ParallelFor(8, [](std::size_t) {});
+  std::uint64_t total = 0;
+  for (unsigned chunk = 0; chunk < pool.jobs(); ++chunk) {
+    const std::uint64_t tasks =
+        metrics.gauge("pool.worker." + std::to_string(chunk) + ".tasks");
+    EXPECT_EQ(tasks, 2u) << "chunk " << chunk;
+    total += tasks;
+  }
+  EXPECT_EQ(total, 8u);
+  // 2 items over 4 chunks: static chunking gives the tail chunks nothing.
+  pool.ParallelFor(2, [](std::size_t) {});
+  EXPECT_EQ(metrics.gauge("pool.worker.0.tasks"), 3u);
+  EXPECT_EQ(metrics.gauge("pool.worker.3.tasks"), 2u);
+}
+
+TEST(PoolTest, QueueWaitSpanIsRecordedForDispatchedBatches) {
+  MetricsRegistry metrics;
+  ThreadPool pool(4, &metrics);
+  pool.ParallelFor(16, [](std::size_t) {});
+  // Workers 1..3 each observe the publish-to-start latency; the caller
+  // (chunk 0) runs its share inline and records nothing.
+  const std::string json = metrics.ToJson(/*include_volatile=*/true);
+  EXPECT_NE(json.find("\"pool.queue_wait\""), std::string::npos);
+  EXPECT_GE(metrics.span_seconds("pool.queue_wait"), 0.0);
+}
+
+TEST(PoolTest, WorkersEmitChunkSpansOnTheGlobalSink) {
+  ces::support::TraceSink sink;
+  ces::support::TraceSink::SetGlobal(&sink);
+  {
+    ThreadPool pool(4);
+    pool.ParallelFor(8, [](std::size_t) {});
+  }
+  ces::support::TraceSink::SetGlobal(nullptr);
+  const std::string json = sink.ToJson();
+  EXPECT_NE(json.find("\"pool.chunk\""), std::string::npos);
+  EXPECT_NE(json.find("pool worker"), std::string::npos);
+}
+
+TEST(PoolTest, MetricsAreOptionalAndDefaultOff) {
+  ThreadPool pool(4);  // no registry: accounting must be a no-op, not a crash
+  pool.ParallelFor(8, [](std::size_t) {});
+  MetricsRegistry metrics;
+  ThreadPool serial(1, &metrics);
+  serial.ParallelFor(8, [](std::size_t) {});
+  // jobs==1 is the inline path; it performs no batch accounting.
+  EXPECT_EQ(metrics.gauge("pool.worker.0.tasks"), 0u);
 }
 
 }  // namespace

@@ -1,15 +1,22 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstdio>
 #include <set>
+#include <thread>
+#include <vector>
 
+#include "json_validator.hpp"
 #include "support/bitset.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
 #include "support/fenwick.hpp"
+#include "support/json.hpp"
 #include "support/metrics.hpp"
+#include "support/progress.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
+#include "support/trace_event.hpp"
 
 namespace {
 
@@ -316,6 +323,198 @@ TEST(Metrics, ScopedSpanRecordsElapsedTime) {
   const std::string json = metrics.ToJson(true);
   EXPECT_NE(json.find("\"work\""), std::string::npos);
   EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+}
+
+TEST(Metrics, JsonEscapesHostileMetricNames) {
+  // Regression: names containing quotes, backslashes, and control characters
+  // must not break the JSON surface (they used to be emitted verbatim).
+  MetricsRegistry metrics;
+  metrics.Add(std::string("a\"b\\c\nd\x01" "e"), 7);
+  const std::string json = metrics.ToJson();
+  EXPECT_EQ(json, "{\"counters\":{\"a\\\"b\\\\c\\nd\\u0001e\":7}}");
+  const ces::testjson::JsonValidator validator(json);
+  EXPECT_TRUE(validator.Valid()) << validator.error();
+}
+
+TEST(JsonEscape, CoversEveryEscapeClass) {
+  using ces::support::JsonEscape;
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("\" \\"), "\\\" \\\\");
+  EXPECT_EQ(JsonEscape("\n\t\r\b\f"), "\\n\\t\\r\\b\\f");
+  EXPECT_EQ(JsonEscape(std::string("\x01\x1f")), "\\u0001\\u001f");
+  EXPECT_EQ(ces::support::JsonQuote("a"), "\"a\"");
+}
+
+TEST(MetricsHistogram, PowerOfTwoBucketBoundaries) {
+  using ces::support::MetricsRegistry;
+  // Bucket 0 holds exactly the value 0; bucket b>0 holds [2^(b-1), 2^b - 1].
+  EXPECT_EQ(MetricsRegistry::HistogramBucket(0), 0u);
+  EXPECT_EQ(MetricsRegistry::HistogramBucket(1), 1u);
+  EXPECT_EQ(MetricsRegistry::HistogramBucket(2), 2u);
+  EXPECT_EQ(MetricsRegistry::HistogramBucket(3), 2u);
+  EXPECT_EQ(MetricsRegistry::HistogramBucket(4), 3u);
+  EXPECT_EQ(MetricsRegistry::HistogramBucket(7), 3u);
+  EXPECT_EQ(MetricsRegistry::HistogramBucket(8), 4u);
+  for (std::size_t bucket = 1; bucket < 20; ++bucket) {
+    const auto [lo, hi] = MetricsRegistry::HistogramBucketRange(bucket);
+    EXPECT_EQ(MetricsRegistry::HistogramBucket(lo), bucket);
+    EXPECT_EQ(MetricsRegistry::HistogramBucket(hi), bucket);
+    EXPECT_EQ(MetricsRegistry::HistogramBucket(hi + 1), bucket + 1);
+  }
+}
+
+TEST(MetricsHistogram, ObserveAccumulatesWeightsAndSums) {
+  MetricsRegistry metrics;
+  metrics.ObserveHistogram("h", 0);
+  metrics.ObserveHistogram("h", 1);
+  metrics.ObserveHistogram("h", 5, 3);  // weight 3 in bucket 3
+  metrics.ObserveHistogram("h", 9, 0);  // weight 0 is a no-op
+  const auto snapshot = metrics.histogram("h");
+  ASSERT_EQ(snapshot.buckets.size(), 4u);
+  EXPECT_EQ(snapshot.buckets[0], 1u);
+  EXPECT_EQ(snapshot.buckets[1], 1u);
+  EXPECT_EQ(snapshot.buckets[2], 0u);
+  EXPECT_EQ(snapshot.buckets[3], 3u);
+  EXPECT_EQ(snapshot.count, 5u);
+  EXPECT_EQ(snapshot.sum, 0u + 1u + 3u * 5u);
+  EXPECT_EQ(metrics.histogram("missing").count, 0u);
+}
+
+TEST(MetricsHistogram, JsonSectionIsDeterministicAndOmittedWhenEmpty) {
+  MetricsRegistry metrics;
+  metrics.Add("c", 1);
+  EXPECT_EQ(metrics.ToJson(), "{\"counters\":{\"c\":1}}");
+  metrics.ObserveHistogram("z.h", 4);
+  metrics.ObserveHistogram("a.h", 0);
+  const std::string json = metrics.ToJson();
+  EXPECT_EQ(json,
+            "{\"counters\":{\"c\":1},\"histograms\":{"
+            "\"a.h\":{\"buckets\":[1],\"count\":1,\"sum\":0},"
+            "\"z.h\":{\"buckets\":[0,0,0,1],\"count\":1,\"sum\":4}}}");
+  const ces::testjson::JsonValidator validator(json);
+  EXPECT_TRUE(validator.Valid()) << validator.error();
+  // Histograms are part of the deterministic section: present without
+  // include_volatile, and order-independent in what they accumulate.
+  MetricsRegistry other;
+  other.ObserveHistogram("a.h", 0);
+  other.ObserveHistogram("z.h", 4);
+  other.Add("c", 1);
+  EXPECT_EQ(other.ToJson(), json);
+}
+
+TEST(TraceSink, EmitsValidNestedChromeTraceJson) {
+  ces::support::TraceSink sink;
+  sink.NameThisThread("main");
+  {
+    ces::support::ScopedTraceSpan outer("outer", &sink);
+    {
+      ces::support::ScopedTraceSpan inner("inner", &sink);
+    }
+    sink.Instant("marker");
+  }
+  const std::string json = sink.ToJson();
+  const auto checks = ces::testjson::CheckTraceEvents(json);
+  EXPECT_TRUE(checks.ok()) << checks.error << "\n" << json;
+  EXPECT_EQ(checks.spans, 2u);
+  // 1 metadata + 2 B + 2 E + 1 instant
+  EXPECT_EQ(checks.events, 6u);
+  EXPECT_NE(json.find("\"name\":\"main\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+}
+
+TEST(TraceSink, PerThreadTracksNestIndependently) {
+  ces::support::TraceSink sink;
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 25;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sink, t] {
+      sink.NameThisThread("worker " + std::to_string(t));
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ces::support::ScopedTraceSpan outer("outer", &sink);
+        ces::support::ScopedTraceSpan inner("inner", &sink);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const auto checks = ces::testjson::CheckTraceEvents(sink.ToJson());
+  EXPECT_TRUE(checks.ok()) << checks.error;
+  EXPECT_EQ(checks.spans,
+            static_cast<std::size_t>(kThreads) * kSpansPerThread * 2);
+  // One track per thread (each also carries its metadata event).
+  EXPECT_EQ(checks.per_tid.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(TraceSink, GlobalIsNullByDefaultAndSpansAreNoOps) {
+  EXPECT_EQ(ces::support::TraceSink::Global(), nullptr);
+  {
+    ces::support::ScopedTraceSpan span("ignored");  // must not crash
+  }
+  ces::support::TraceSink sink;
+  ces::support::TraceSink::SetGlobal(&sink);
+  {
+    ces::support::ScopedTraceSpan span("seen");
+  }
+  ces::support::TraceSink::SetGlobal(nullptr);
+  {
+    ces::support::ScopedTraceSpan span("ignored again");
+  }
+  EXPECT_EQ(sink.event_count(), 2u);  // one B + one E
+}
+
+TEST(TraceSink, ScopedSpanSurvivesGlobalClearedMidSpan) {
+  // The span captures the sink at construction, so clearing the global
+  // between B and E must not lose the E (or crash).
+  ces::support::TraceSink sink;
+  ces::support::TraceSink::SetGlobal(&sink);
+  {
+    ces::support::ScopedTraceSpan span("work");
+    ces::support::TraceSink::SetGlobal(nullptr);
+  }
+  const auto checks = ces::testjson::CheckTraceEvents(sink.ToJson());
+  EXPECT_TRUE(checks.ok()) << checks.error;
+  EXPECT_EQ(checks.spans, 1u);
+}
+
+TEST(ProgressReporter, RendersPhasesToStream) {
+  std::FILE* stream = std::tmpfile();
+  ASSERT_NE(stream, nullptr);
+  {
+    // Interval 0 renders every tick; tmpfile is never a TTY, so the output
+    // is plain lines.
+    ces::support::ProgressReporter reporter(stream, 0.0);
+    ces::support::ProgressReporter::SetGlobal(&reporter);
+    reporter.BeginPhase("scan", 4);
+    for (int i = 0; i < 4; ++i) {
+      ces::support::ProgressReporter::GlobalTick();
+    }
+    reporter.EndPhase();
+    EXPECT_EQ(reporter.done(), 4u);
+    ces::support::ProgressReporter::SetGlobal(nullptr);
+  }
+  std::rewind(stream);
+  std::string output;
+  char buffer[256];
+  while (std::fgets(buffer, sizeof(buffer), stream) != nullptr) {
+    output += buffer;
+  }
+  std::fclose(stream);
+  EXPECT_NE(output.find("scan 0/4 (0%)"), std::string::npos);
+  EXPECT_NE(output.find("scan 4/4 (100%) [done]"), std::string::npos);
+}
+
+TEST(ProgressReporter, TicksWithoutAnOpenPhaseAreSilent) {
+  std::FILE* stream = std::tmpfile();
+  ASSERT_NE(stream, nullptr);
+  {
+    ces::support::ProgressReporter reporter(stream, 0.0);
+    reporter.Tick(3);
+    EXPECT_EQ(reporter.done(), 3u);
+  }
+  std::rewind(stream);
+  EXPECT_EQ(std::fgetc(stream), EOF);
+  std::fclose(stream);
 }
 
 }  // namespace

@@ -18,9 +18,18 @@
 //
 // explore/stats/compare/convert accept --metrics=json: a final stdout line
 // with the run's counters (refs parsed, lines skipped, configs swept, ...)
-// as stable JSON — byte-identical for every --jobs value. Add
+// and histograms (stack distances, per-set load, sweep shard sizes) as
+// stable JSON — byte-identical for every --jobs value. Add
 // --metrics-timings to include wall-clock spans and environment gauges
 // (non-deterministic by nature).
+//
+// Every subcommand also accepts:
+//   --trace-out=FILE  write a Chrome trace-event JSON profile of the run
+//                     (open in chrome://tracing or https://ui.perfetto.dev;
+//                      one track per thread-pool worker, nested spans for
+//                      the read / prelude / sweep / solve phases)
+//   --progress        rate-limited progress lines on stderr (\r-rewritten
+//                     on a TTY) — see docs/OBSERVABILITY.md
 //
 // Exit codes: 0 success, 1 unstructured runtime failure, 2 usage error, and
 // one distinct code per support::ErrorCategory for structured failures —
@@ -28,6 +37,7 @@
 // 9 validation, 10 internal (see docs/ERRORS.md).
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,7 +49,9 @@
 #include "support/error.hpp"
 #include "support/metrics.hpp"
 #include "support/pool.hpp"
+#include "support/progress.hpp"
 #include "support/table.hpp"
+#include "support/trace_event.hpp"
 #include "trace/dinero.hpp"
 #include "trace/strip.hpp"
 #include "trace/trace_io.hpp"
@@ -60,6 +72,9 @@ int Usage() {
       "  convert  --trace=IN --out=OUT [--kind=data|instr]\n"
       "explore/stats/compare/convert also accept --metrics=json "
       "[--metrics-timings]\n"
+      "every command accepts --trace-out=FILE (Chrome trace-event JSON "
+      "profile)\n"
+      "  and --progress (rate-limited progress lines on stderr)\n"
       "exit codes: 0 ok, 1 runtime, 2 usage, 3 io, 4 format, 5 parse,\n"
       "  6 range, 7 truncated, 8 unsupported, 9 validation, 10 internal\n");
   return 2;
@@ -90,6 +105,55 @@ struct MetricsEmitter {
   ces::support::MetricsRegistry registry;
   bool enabled = false;
   bool timings = false;
+};
+
+// --trace-out=FILE support: installs a process-global TraceSink for the
+// duration of the run and serialises it to Chrome trace-event JSON at the
+// end. The destructor uninstalls the global even when the command throws, so
+// instrumented library code never sees a dangling sink; the file itself is
+// only written by Finish() — and it is written for failing runs too, since a
+// profile of a failed run is exactly what one wants to look at.
+struct TraceEmitter {
+  explicit TraceEmitter(const ces::ArgParser& args)
+      : path(args.GetString("trace-out", "")) {
+    if (path.empty()) return;
+    sink = std::make_unique<ces::support::TraceSink>();
+    sink->NameThisThread("main");
+    ces::support::TraceSink::SetGlobal(sink.get());
+  }
+
+  ~TraceEmitter() {
+    if (sink != nullptr) ces::support::TraceSink::SetGlobal(nullptr);
+  }
+
+  void Finish() {
+    if (sink == nullptr) return;
+    ces::support::TraceSink::SetGlobal(nullptr);
+    sink->WriteJsonFile(path);
+    sink.reset();
+  }
+
+  std::string path;
+  std::unique_ptr<ces::support::TraceSink> sink;
+};
+
+// --progress support: installs a process-global stderr reporter so long
+// phases (stack scans, sweeps) tick visibly without any output when the flag
+// is absent.
+struct ProgressGuard {
+  explicit ProgressGuard(const ces::ArgParser& args) {
+    if (!args.GetBool("progress", false)) return;
+    reporter = std::make_unique<ces::support::ProgressReporter>(stderr);
+    ces::support::ProgressReporter::SetGlobal(reporter.get());
+  }
+
+  ~ProgressGuard() {
+    if (reporter != nullptr) {
+      ces::support::ProgressReporter::SetGlobal(nullptr);
+    }
+  }
+
+  std::unique_ptr<ces::support::ProgressReporter> reporter;
 };
 
 bool EndsWith(const std::string& s, const std::string& suffix) {
@@ -444,25 +508,34 @@ int CmdConvert(const ces::ArgParser& args) {
   return 0;
 }
 
+int RunCommand(const std::string& command, const ces::ArgParser& args) {
+  if (command == "explore") return CmdExplore(args);
+  if (command == "stats") return CmdStats(args);
+  if (command == "compare") return CmdCompare(args);
+  if (command == "workload") return CmdWorkload(args);
+  if (command == "convert") return CmdConvert(args);
+  if (command == "compile") return CmdCompile(args);
+  return Usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const ces::ArgParser args(argc, argv);
   if (args.positional().empty()) return Usage();
   const std::string command = args.positional()[0];
+  TraceEmitter trace_out(args);
+  ProgressGuard progress(args);
   try {
-    if (command == "explore") return CmdExplore(args);
-    if (command == "stats") return CmdStats(args);
-    if (command == "compare") return CmdCompare(args);
-    if (command == "workload") return CmdWorkload(args);
-    if (command == "convert") return CmdConvert(args);
-    if (command == "compile") return CmdCompile(args);
+    const int rc = RunCommand(command, args);
+    trace_out.Finish();
+    return rc;
   } catch (const ces::support::Error& e) {
     std::fprintf(stderr, "cachedse: %s\n", e.what());
+    trace_out.Finish();
     return ces::support::ExitCodeFor(e.category());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cachedse: %s\n", e.what());
     return 1;
   }
-  return Usage();
 }
