@@ -1,0 +1,247 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "service/json.hpp"
+#include "support/error.hpp"
+
+namespace ces::service {
+
+namespace {
+
+using support::Error;
+using support::ErrorCategory;
+
+}  // namespace
+
+Client::Client(ClientOptions options)
+    : options_(std::move(options)),
+      jitter_(options_.jitter_seed != 0
+                  ? options_.jitter_seed
+                  : static_cast<std::uint64_t>(::getpid()) * 0x9e3779b9ull +
+                        static_cast<std::uint64_t>(
+                            std::chrono::steady_clock::now()
+                                .time_since_epoch()
+                                .count())) {}
+
+int Client::Connect() {
+  const bool use_unix = !options_.unix_path.empty();
+  if (use_unix == (options_.tcp_port >= 0)) {
+    throw Error(ErrorCategory::kUsage, "client",
+                "select exactly one of unix_path and tcp_port");
+  }
+  int fd = -1;
+  if (use_unix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof(addr.sun_path)) {
+      throw Error(ErrorCategory::kUsage, "client",
+                  "unix socket path too long: " + options_.unix_path);
+    }
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd >= 0 && ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                             sizeof(addr)) != 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  } else {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.tcp_port));
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+      throw Error(ErrorCategory::kUsage, "client",
+                  "not an IPv4 address: " + options_.host);
+    }
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd >= 0 && ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                             sizeof(addr)) != 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  if (fd < 0) {
+    throw Error(ErrorCategory::kIo, "client",
+                "cannot connect to " +
+                    (use_unix ? "unix:" + options_.unix_path
+                              : options_.host + ":" +
+                                    std::to_string(options_.tcp_port)) +
+                    ": " + std::strerror(errno));
+  }
+  return fd;
+}
+
+std::uint64_t Client::BackoffMs(int attempt, std::uint64_t server_hint_ms) {
+  std::uint64_t delay = static_cast<std::uint64_t>(options_.backoff_base_ms);
+  for (int i = 0; i < attempt && delay < static_cast<std::uint64_t>(
+                                             options_.backoff_cap_ms);
+       ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, static_cast<std::uint64_t>(options_.backoff_cap_ms));
+  // Uniform [0.5, 1.0) scaling: desynchronises retry storms while keeping
+  // the expected delay proportional to the exponential schedule.
+  delay = delay / 2 + jitter_.NextBounded(std::max<std::uint64_t>(delay / 2, 1));
+  return std::max(delay, server_hint_ms);
+}
+
+std::vector<Response> Client::Batch(const std::vector<std::string>& lines) {
+  std::vector<Response> responses(lines.size());
+  std::vector<bool> answered(lines.size(), false);
+  // The server recovers ids with the same extractor, so request and
+  // response agree on "" exactly when the line's id is unreadable.
+  std::vector<std::string> ids(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    ids[i] = protocol::ExtractRequestId(lines[i]);
+  }
+
+  std::string last_failure = "no attempt made";
+  for (int attempt = 0; attempt < std::max(options_.max_attempts, 1);
+       ++attempt) {
+    if (attempt > 0) {
+      std::uint64_t hint = 0;
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (answered[i]) continue;
+        hint = std::max(hint, responses[i].retry_after_ms);
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(BackoffMs(attempt - 1, hint)));
+    }
+
+    int fd = -1;
+    try {
+      fd = Connect();
+    } catch (const Error& e) {
+      last_failure = e.what();
+      continue;
+    }
+
+    // Send every still-unanswered request, pipelined.
+    std::string out;
+    std::size_t outstanding = 0;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (answered[i]) continue;
+      out += lines[i];
+      out.push_back('\n');
+      ++outstanding;
+    }
+    bool transport_ok = true;
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+      const ssize_t n =
+          ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        last_failure = std::string("send: ") + std::strerror(errno);
+        transport_ok = false;
+        break;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(options_.timeout_ms);
+    std::string pending;
+    char buffer[16384];
+    while (transport_ok && outstanding > 0) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(deadline -
+                                     std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) {
+        last_failure = "timed out waiting for responses";
+        break;
+      }
+      pollfd poll_fd{fd, POLLIN, 0};
+      const int ready =
+          ::poll(&poll_fd, 1, static_cast<int>(remaining.count()));
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        last_failure = std::string("poll: ") + std::strerror(errno);
+        break;
+      }
+      if (ready == 0) {
+        last_failure = "timed out waiting for responses";
+        break;
+      }
+      const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        last_failure = n == 0 ? "server hung up"
+                              : std::string("recv: ") + std::strerror(errno);
+        break;
+      }
+      pending.append(buffer, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (;;) {
+        const std::size_t newline = pending.find('\n', start);
+        if (newline == std::string::npos) break;
+        const std::string line = pending.substr(start, newline - start);
+        start = newline + 1;
+        if (line.empty()) continue;
+        Response response;
+        try {
+          response = ParseResponse(line);
+        } catch (const Error& e) {
+          last_failure = std::string("undecodable response: ") + e.what();
+          continue;
+        }
+        // Match by id; unattributed responses (the server could not parse
+        // the request, so it could not echo an id) fill the earliest
+        // unanswered slot whose request had no parseable id either.
+        std::size_t slot = lines.size();
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+          if (!answered[i] && ids[i] == response.id) {
+            slot = i;
+            break;
+          }
+        }
+        if (slot == lines.size() && response.id.empty()) {
+          for (std::size_t i = 0; i < lines.size(); ++i) {
+            if (!answered[i] && ids[i].empty()) {
+              slot = i;
+              break;
+            }
+          }
+        }
+        if (slot == lines.size()) continue;  // duplicate or stray id
+        responses[slot] = std::move(response);
+        if (responses[slot].ok ||
+            responses[slot].error_code != protocol::kCodeOverloaded) {
+          answered[slot] = true;  // sheds stay unanswered: retried next loop
+        } else {
+          last_failure = "server overloaded";
+        }
+        --outstanding;
+      }
+      pending.erase(0, start);
+    }
+    ::close(fd);
+
+    if (std::all_of(answered.begin(), answered.end(),
+                    [](bool a) { return a; })) {
+      return responses;
+    }
+  }
+  throw Error(ErrorCategory::kIo, "client",
+              "retry budget exhausted (" +
+                  std::to_string(std::max(options_.max_attempts, 1)) +
+                  " attempts): " + last_failure);
+}
+
+Response Client::Request(const std::string& line) {
+  return Batch({line}).front();
+}
+
+}  // namespace ces::service

@@ -1,0 +1,59 @@
+// Client side of the exploration service protocol.
+//
+// One Batch() call pipelines any number of request lines over a single
+// connection and matches responses (which may arrive out of order) back to
+// request order by id. The failure policy is the standard well-behaved-
+// client trio the satellite asks for:
+//  * a per-attempt timeout (poll-based, covers connect-to-last-response);
+//  * a retry budget shared by transport failures (connect refused, peer
+//    hangup, timeout) and explicit "overloaded" sheds — only the
+//    still-unanswered requests are resent, on a fresh connection;
+//  * jittered exponential backoff between attempts — base * 2^attempt,
+//    capped, scaled by a uniform [0.5, 1.0) draw so a shed fleet does not
+//    reconverge in lockstep, and never shorter than the server's
+//    retry_after_ms hint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "support/rng.hpp"
+
+namespace ces::service {
+
+struct ClientOptions {
+  // Exactly one endpoint: a Unix socket path, or host:port TCP.
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  int tcp_port = -1;
+  int timeout_ms = 30'000;    // per attempt, connect through last response
+  int max_attempts = 4;       // 1 = no retries
+  int backoff_base_ms = 50;
+  int backoff_cap_ms = 2'000;
+  std::uint64_t jitter_seed = 0;  // 0 = derive from pid and clock
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions options);
+
+  // Sends `lines` (no trailing newlines) and returns decoded responses in
+  // request order. Requests whose line carries no parseable id are matched
+  // to unattributed error responses in arrival order. Throws support::Error
+  // (kIo) once the retry budget is exhausted with requests still
+  // unanswered or still being shed.
+  std::vector<Response> Batch(const std::vector<std::string>& lines);
+
+  Response Request(const std::string& line);
+
+ private:
+  int Connect();  // returns the fd; throws support::Error (kIo)
+  std::uint64_t BackoffMs(int attempt, std::uint64_t server_hint_ms);
+
+  ClientOptions options_;
+  Rng jitter_;
+};
+
+}  // namespace ces::service

@@ -1,0 +1,333 @@
+#include "service/json.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace ces::service {
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const char* ToString(JsonValue::Kind kind) {
+  switch (kind) {
+    case JsonValue::Kind::kNull:
+      return "null";
+    case JsonValue::Kind::kBool:
+      return "bool";
+    case JsonValue::Kind::kNumber:
+      return "number";
+    case JsonValue::Kind::kString:
+      return "string";
+    case JsonValue::Kind::kArray:
+      return "array";
+    case JsonValue::Kind::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+namespace {
+
+using support::Error;
+using support::ErrorCategory;
+
+class Parser {
+ public:
+  Parser(std::string_view text, const JsonLimits& limits)
+      : text_(text), limits_(limits) {}
+
+  JsonValue ParseDocument() {
+    SkipWhitespace();
+    JsonValue value = ParseValue(0);
+    SkipWhitespace();
+    if (pos_ != text_.size()) Fail("trailing bytes after JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& detail) const {
+    throw Error(ErrorCategory::kParse, "json", detail, Error::kNoLine, pos_);
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+
+  char Peek() const {
+    if (AtEnd()) Fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char Take() {
+    const char c = Peek();
+    ++pos_;
+    return c;
+  }
+
+  void Expect(char c, const char* what) {
+    if (AtEnd() || text_[pos_] != c) Fail(std::string("expected ") + what);
+    ++pos_;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.compare(pos_, literal.size(), literal) != 0) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue ParseValue(std::size_t depth) {
+    if (depth > limits_.max_depth) Fail("nesting depth limit exceeded");
+    const char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        JsonValue value;
+        value.kind = JsonValue::Kind::kString;
+        value.string = ParseString();
+        return value;
+      }
+      case 't':
+        if (!ConsumeLiteral("true")) Fail("invalid literal");
+        return MakeBool(true);
+      case 'f':
+        if (!ConsumeLiteral("false")) Fail("invalid literal");
+        return MakeBool(false);
+      case 'n':
+        if (!ConsumeLiteral("null")) Fail("invalid literal");
+        return JsonValue{};
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+        Fail("unexpected character");
+    }
+  }
+
+  static JsonValue MakeBool(bool value) {
+    JsonValue result;
+    result.kind = JsonValue::Kind::kBool;
+    result.boolean = value;
+    return result;
+  }
+
+  JsonValue ParseObject(std::size_t depth) {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    Expect('{', "'{'");
+    SkipWhitespace();
+    if (!AtEnd() && text_[pos_] == '}') {
+      ++pos_;
+      return value;
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd() || text_[pos_] != '"') Fail("expected object key");
+      std::string key = ParseString();
+      if (value.Find(key) != nullptr) Fail("duplicate object key '" + key + "'");
+      SkipWhitespace();
+      Expect(':', "':'");
+      SkipWhitespace();
+      value.object.emplace_back(std::move(key), ParseValue(depth + 1));
+      SkipWhitespace();
+      const char next = Take();
+      if (next == '}') return value;
+      if (next != ',') Fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue ParseArray(std::size_t depth) {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    Expect('[', "'['");
+    SkipWhitespace();
+    if (!AtEnd() && text_[pos_] == ']') {
+      ++pos_;
+      return value;
+    }
+    for (;;) {
+      SkipWhitespace();
+      value.array.push_back(ParseValue(depth + 1));
+      SkipWhitespace();
+      const char next = Take();
+      if (next == ']') return value;
+      if (next != ',') Fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"', "'\"'");
+    std::string out;
+    for (;;) {
+      if (out.size() > limits_.max_string_bytes) {
+        Fail("string length limit exceeded");
+      }
+      const char c = Take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char escape = Take();
+      switch (escape) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(escape);
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          std::uint32_t code = ParseHex4();
+          if (code >= 0xd800 && code <= 0xdbff) {
+            // High surrogate: the low half must follow immediately.
+            if (Take() != '\\' || Take() != 'u') {
+              Fail("unpaired UTF-16 surrogate");
+            }
+            const std::uint32_t low = ParseHex4();
+            if (low < 0xdc00 || low > 0xdfff) {
+              Fail("invalid UTF-16 surrogate pair");
+            }
+            code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+          } else if (code >= 0xdc00 && code <= 0xdfff) {
+            Fail("unpaired UTF-16 surrogate");
+          }
+          AppendUtf8(out, code);
+          break;
+        }
+        default:
+          Fail("invalid escape sequence");
+      }
+    }
+  }
+
+  std::uint32_t ParseHex4() {
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = Take();
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        Fail("invalid \\u escape digit");
+      }
+    }
+    return value;
+  }
+
+  static void AppendUtf8(std::string& out, std::uint32_t code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else {
+      out.push_back(static_cast<char>(0xf0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    }
+  }
+
+  JsonValue ParseNumber() {
+    const std::size_t start = pos_;
+    bool negative = false;
+    if (Peek() == '-') {
+      negative = true;
+      ++pos_;
+    }
+    // Integer part: a single 0, or a non-zero digit run (JSON forbids 007).
+    if (AtEnd()) Fail("truncated number");
+    if (Peek() == '0') {
+      ++pos_;
+    } else if (Peek() >= '1' && Peek() <= '9') {
+      while (!AtEnd() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    } else {
+      Fail("invalid number");
+    }
+    bool integral = true;
+    if (!AtEnd() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (AtEnd() || text_[pos_] < '0' || text_[pos_] > '9') {
+        Fail("digit required after decimal point");
+      }
+      while (!AtEnd() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (!AtEnd() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!AtEnd() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (AtEnd() || text_[pos_] < '0' || text_[pos_] > '9') {
+        Fail("digit required in exponent");
+      }
+      while (!AtEnd() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    const std::string literal(text_.substr(start, pos_ - start));
+
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    errno = 0;
+    value.number = std::strtod(literal.c_str(), nullptr);
+    if (!std::isfinite(value.number)) Fail("number out of double range");
+    if (integral && !negative) {
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long exact = std::strtoull(literal.c_str(), &end, 10);
+      if (errno != ERANGE && end != nullptr && *end == '\0') {
+        value.integer = static_cast<std::uint64_t>(exact);
+        value.is_integer = true;
+      }
+    }
+    return value;
+  }
+
+  std::string_view text_;
+  JsonLimits limits_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue ParseJson(std::string_view text, const JsonLimits& limits) {
+  return Parser(text, limits).ParseDocument();
+}
+
+}  // namespace ces::service

@@ -1,0 +1,68 @@
+// Strict, dependency-free JSON parsing for the NDJSON wire protocol.
+//
+// The repository serialises JSON from several hand-rolled writers
+// (support/json.hpp escapes strings for them) but until the service layer it
+// never had to *read* JSON. This parser is deliberately minimal and strict:
+// it accepts exactly one RFC 8259 value per call, rejects trailing bytes,
+// caps nesting depth and string sizes, and reports every failure as a
+// support::Error (kParse) with the byte offset of the offending input — the
+// same discipline the trace readers follow, and what lets the daemon turn a
+// hostile request line into a structured error response instead of dying
+// (tests/fuzz_test.cpp feeds this parser the byte-flip and truncation
+// harness).
+//
+// Numbers keep both representations: every number parses as a double, and
+// numbers that are syntactically non-negative integers within uint64 range
+// additionally carry their exact value (miss budgets K are 64-bit counts
+// that a double round-trip could corrupt).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ces::service {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  // Exact value when the literal was a non-negative integer <= 2^64 - 1.
+  std::uint64_t integer = 0;
+  bool is_integer = false;
+  std::string string;
+  std::vector<JsonValue> array;
+  // Insertion order preserved; duplicate keys are a parse error.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  // nullptr when `key` is absent (objects only).
+  const JsonValue* Find(std::string_view key) const;
+};
+
+// The stable lower-case name of a kind ("null", "bool", "number", ...) for
+// error messages.
+const char* ToString(JsonValue::Kind kind);
+
+struct JsonLimits {
+  std::size_t max_depth = 32;          // nested arrays/objects
+  std::size_t max_string_bytes = 1u << 20;
+};
+
+// Parses exactly one JSON value covering all of `text` (surrounding ASCII
+// whitespace allowed). Throws support::Error (kParse, context "json") with
+// the byte offset on any violation.
+JsonValue ParseJson(std::string_view text, const JsonLimits& limits = {});
+
+}  // namespace ces::service

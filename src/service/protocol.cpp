@@ -1,0 +1,417 @@
+#include "service/protocol.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "service/json.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace ces::service {
+namespace protocol {
+
+namespace {
+
+using support::Error;
+using support::ErrorCategory;
+
+[[noreturn]] void FailValidation(const std::string& detail) {
+  throw Error(ErrorCategory::kValidation, "request", detail);
+}
+
+std::string RequireString(const JsonValue& value, const char* key) {
+  if (value.kind != JsonValue::Kind::kString) {
+    FailValidation(std::string("field '") + key + "' must be a string, got " +
+                   ToString(value.kind));
+  }
+  return value.string;
+}
+
+std::uint64_t RequireInteger(const JsonValue& value, const char* key,
+                             std::uint64_t max) {
+  if (value.kind != JsonValue::Kind::kNumber || !value.is_integer) {
+    FailValidation(std::string("field '") + key +
+                   "' must be a non-negative integer");
+  }
+  if (value.integer > max) {
+    FailValidation(std::string("field '") + key + "' exceeds " +
+                   std::to_string(max));
+  }
+  return value.integer;
+}
+
+double RequireFraction(const JsonValue& value, const char* key) {
+  if (value.kind != JsonValue::Kind::kNumber) {
+    FailValidation(std::string("field '") + key + "' must be a number");
+  }
+  if (!(value.number >= 0.0) || value.number > 1.0) {
+    FailValidation(std::string("field '") + key + "' must be in [0, 1]");
+  }
+  return value.number;
+}
+
+std::string U64(std::uint64_t value) { return std::to_string(value); }
+
+void AppendStats(std::string& out, const trace::TraceStats& stats) {
+  out += "\"stats\":{\"n\":" + U64(stats.n) +
+         ",\"n_unique\":" + U64(stats.n_unique) +
+         ",\"max_misses\":" + U64(stats.max_misses) + "}";
+}
+
+std::string Head(const std::string& id, const char* op) {
+  return "{\"id\":" + support::JsonQuote(id) +
+         ",\"ok\":true,\"op\":" + support::JsonQuote(op);
+}
+
+}  // namespace
+
+const char* ToString(Op op) {
+  switch (op) {
+    case Op::kExplore:
+      return "explore";
+    case Op::kStats:
+      return "stats";
+    case Op::kIngest:
+      return "ingest";
+    case Op::kMetrics:
+      return "metrics";
+    case Op::kPing:
+      return "ping";
+    case Op::kShutdown:
+      return "shutdown";
+  }
+  return "?";
+}
+
+Request ParseRequest(const std::string& line) {
+  const JsonValue root = ParseJson(line);
+  if (root.kind != JsonValue::Kind::kObject) {
+    FailValidation("request must be a JSON object");
+  }
+
+  Request request;
+  bool saw_op = false;
+  for (const auto& [key, value] : root.object) {
+    if (key == "id") {
+      request.id = RequireString(value, "id");
+      if (request.id.empty() || request.id.size() > 128) {
+        FailValidation("field 'id' must be 1..128 bytes");
+      }
+    } else if (key == "op") {
+      const std::string name = RequireString(value, "op");
+      saw_op = true;
+      if (name == "explore") {
+        request.op = Op::kExplore;
+      } else if (name == "stats") {
+        request.op = Op::kStats;
+      } else if (name == "ingest") {
+        request.op = Op::kIngest;
+      } else if (name == "metrics") {
+        request.op = Op::kMetrics;
+      } else if (name == "ping") {
+        request.op = Op::kPing;
+      } else if (name == "shutdown") {
+        request.op = Op::kShutdown;
+      } else {
+        throw Error(ErrorCategory::kUnsupported, "request",
+                    "unknown op '" + name + "'");
+      }
+    } else if (key == "trace") {
+      request.trace = RequireString(value, "trace");
+      if (request.trace.empty() || request.trace.size() > 4096) {
+        FailValidation("field 'trace' must be 1..4096 bytes");
+      }
+    } else if (key == "digest") {
+      request.digest = RequireString(value, "digest");
+      if (request.digest.compare(0, 7, "sha256:") != 0 ||
+          request.digest.size() != 7 + 64) {
+        FailValidation("field 'digest' must be 'sha256:' + 64 hex digits");
+      }
+    } else if (key == "kind") {
+      request.kind = RequireString(value, "kind");
+      if (request.kind != "data" && request.kind != "instr") {
+        FailValidation("field 'kind' must be data|instr");
+      }
+    } else if (key == "engine") {
+      request.engine = RequireString(value, "engine");
+      if (request.engine != "fused" && request.engine != "fused-tree" &&
+          request.engine != "reference") {
+        FailValidation("field 'engine' must be fused|fused-tree|reference");
+      }
+    } else if (key == "k") {
+      request.k = RequireInteger(value, "k", ~std::uint64_t{0});
+      request.has_k = true;
+    } else if (key == "fraction") {
+      request.fraction = RequireFraction(value, "fraction");
+      request.has_fraction = true;
+    } else if (key == "line_words") {
+      request.line_words = static_cast<std::uint32_t>(
+          RequireInteger(value, "line_words", 1u << 16));
+      if (request.line_words == 0 ||
+          (request.line_words & (request.line_words - 1)) != 0) {
+        FailValidation("field 'line_words' must be a power of two");
+      }
+    } else if (key == "max_index_bits") {
+      request.max_index_bits = static_cast<std::uint32_t>(
+          RequireInteger(value, "max_index_bits", 28));
+      if (request.max_index_bits == 0) {
+        FailValidation("field 'max_index_bits' must be >= 1");
+      }
+    } else if (key == "deadline_ms") {
+      request.deadline_ms =
+          RequireInteger(value, "deadline_ms", 86'400'000ull);
+    } else {
+      FailValidation("unknown field '" + key + "'");
+    }
+  }
+
+  if (request.id.empty()) FailValidation("field 'id' is required");
+  if (!saw_op) FailValidation("field 'op' is required");
+  const bool needs_trace = request.op == Op::kExplore ||
+                           request.op == Op::kStats ||
+                           request.op == Op::kIngest;
+  if (needs_trace) {
+    if (request.trace.empty() == request.digest.empty()) {
+      FailValidation(std::string(ToString(request.op)) +
+                     " requires exactly one of 'trace' or 'digest'");
+    }
+    if (request.op == Op::kIngest && request.trace.empty()) {
+      FailValidation("ingest requires 'trace' (a digest proves nothing new)");
+    }
+  }
+  if (request.has_k && request.has_fraction) {
+    FailValidation("'k' and 'fraction' are mutually exclusive");
+  }
+  return request;
+}
+
+std::string ExtractRequestId(const std::string& line) {
+  try {
+    const JsonValue root = ParseJson(line);
+    if (root.kind == JsonValue::Kind::kObject) {
+      if (const JsonValue* id = root.Find("id");
+          id != nullptr && id->kind == JsonValue::Kind::kString &&
+          !id->string.empty() && id->string.size() <= 128) {
+        return id->string;
+      }
+    }
+  } catch (...) {
+  }
+  return "";
+}
+
+std::string PingResponse(const std::string& id) {
+  return Head(id, "ping") + "}";
+}
+
+std::string IngestResponse(const std::string& id, const std::string& digest,
+                           const trace::TraceStats& stats) {
+  std::string out = Head(id, "ingest");
+  out += ",\"digest\":" + support::JsonQuote(digest) + ",";
+  AppendStats(out, stats);
+  out += "}";
+  return out;
+}
+
+std::string StatsResponse(const std::string& id, const std::string& digest,
+                          const trace::TraceStats& stats,
+                          const std::string& kind) {
+  std::string out = Head(id, "stats");
+  out += ",\"digest\":" + support::JsonQuote(digest) +
+         ",\"kind\":" + support::JsonQuote(kind) + ",";
+  AppendStats(out, stats);
+  out += "}";
+  return out;
+}
+
+std::string ExploreResponse(const std::string& id, const std::string& digest,
+                            const std::string& engine, std::uint64_t k,
+                            const trace::TraceStats& stats,
+                            const std::vector<analytic::DesignPoint>& points,
+                            bool cached) {
+  std::string out = Head(id, "explore");
+  out += ",\"digest\":" + support::JsonQuote(digest) +
+         ",\"engine\":" + support::JsonQuote(engine) + ",\"k\":" + U64(k) +
+         ",\"cached\":" + (cached ? "true" : "false") + ",";
+  AppendStats(out, stats);
+  out += ",\"points\":[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const analytic::DesignPoint& point = points[i];
+    if (i > 0) out += ",";
+    out += "{\"depth\":" + U64(point.depth) +
+           ",\"assoc\":" + U64(point.assoc) +
+           ",\"size_words\":" + U64(point.size_words()) +
+           ",\"warm_misses\":" + U64(point.warm_misses) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string MetricsResponse(const std::string& id,
+                            const std::string& metrics_json) {
+  // metrics_json is MetricsRegistry::ToJson output — already a JSON object.
+  return Head(id, "metrics") + ",\"metrics\":" + metrics_json + "}";
+}
+
+std::string ShutdownResponse(const std::string& id) {
+  return Head(id, "shutdown") + ",\"draining\":true}";
+}
+
+std::string ErrorResponse(const std::string& id, const std::string& code,
+                          const std::string& message,
+                          std::uint64_t retry_after_ms) {
+  std::string out = "{\"id\":" + support::JsonQuote(id) + ",\"ok\":false";
+  if (retry_after_ms > 0) {
+    out += ",\"retry_after_ms\":" + U64(retry_after_ms);
+  }
+  out += ",\"error\":{\"code\":" + support::JsonQuote(code) +
+         ",\"message\":" + support::JsonQuote(message) + "}}";
+  return out;
+}
+
+std::string ErrorResponse(const std::string& id,
+                          const support::Error& error) {
+  return ErrorResponse(id, support::ToString(error.category()), error.what());
+}
+
+namespace {
+
+// Re-serialises a parsed JsonValue; used only to hand the nested metrics
+// object back to clients, so integer fidelity matters and double formatting
+// just needs round-trip precision.
+void WriteValue(const JsonValue& value, std::string& out) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNull:
+      out += "null";
+      break;
+    case JsonValue::Kind::kBool:
+      out += value.boolean ? "true" : "false";
+      break;
+    case JsonValue::Kind::kNumber:
+      if (value.is_integer) {
+        out += std::to_string(value.integer);
+      } else {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%.17g", value.number);
+        out += buffer;
+      }
+      break;
+    case JsonValue::Kind::kString:
+      out += support::JsonQuote(value.string);
+      break;
+    case JsonValue::Kind::kArray:
+      out += '[';
+      for (std::size_t i = 0; i < value.array.size(); ++i) {
+        if (i > 0) out += ',';
+        WriteValue(value.array[i], out);
+      }
+      out += ']';
+      break;
+    case JsonValue::Kind::kObject:
+      out += '{';
+      for (std::size_t i = 0; i < value.object.size(); ++i) {
+        if (i > 0) out += ',';
+        out += support::JsonQuote(value.object[i].first);
+        out += ':';
+        WriteValue(value.object[i].second, out);
+      }
+      out += '}';
+      break;
+  }
+}
+
+std::uint64_t IntegerField(const JsonValue& object, const char* key) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr) FailValidation(std::string("missing '") + key + "'");
+  return RequireInteger(*value, key, ~std::uint64_t{0});
+}
+
+}  // namespace
+
+Response ParseResponse(const std::string& line) {
+  const JsonValue root = ParseJson(line);
+  if (root.kind != JsonValue::Kind::kObject) {
+    FailValidation("response must be a JSON object");
+  }
+  Response response;
+  response.raw = line;
+  const JsonValue* id = root.Find("id");
+  if (id == nullptr || id->kind != JsonValue::Kind::kString) {
+    FailValidation("response 'id' missing or not a string");
+  }
+  response.id = id->string;
+  const JsonValue* ok = root.Find("ok");
+  if (ok == nullptr || ok->kind != JsonValue::Kind::kBool) {
+    FailValidation("response 'ok' missing or not a bool");
+  }
+  response.ok = ok->boolean;
+
+  if (!response.ok) {
+    const JsonValue* error = root.Find("error");
+    if (error == nullptr || error->kind != JsonValue::Kind::kObject) {
+      FailValidation("error response without 'error' object");
+    }
+    const JsonValue* code = error->Find("code");
+    const JsonValue* message = error->Find("message");
+    if (code == nullptr || code->kind != JsonValue::Kind::kString ||
+        message == nullptr || message->kind != JsonValue::Kind::kString) {
+      FailValidation("error object must carry string 'code' and 'message'");
+    }
+    response.error_code = code->string;
+    response.error_message = message->string;
+    if (const JsonValue* retry = root.Find("retry_after_ms")) {
+      response.retry_after_ms =
+          RequireInteger(*retry, "retry_after_ms", ~std::uint64_t{0});
+    }
+    return response;
+  }
+
+  if (const JsonValue* digest = root.Find("digest")) {
+    response.digest = RequireString(*digest, "digest");
+  }
+  if (const JsonValue* engine = root.Find("engine")) {
+    response.engine = RequireString(*engine, "engine");
+  }
+  if (const JsonValue* k = root.Find("k")) {
+    response.k = RequireInteger(*k, "k", ~std::uint64_t{0});
+  }
+  if (const JsonValue* cached = root.Find("cached")) {
+    if (cached->kind != JsonValue::Kind::kBool) {
+      FailValidation("'cached' must be a bool");
+    }
+    response.cached = cached->boolean;
+  }
+  if (const JsonValue* stats = root.Find("stats")) {
+    if (stats->kind != JsonValue::Kind::kObject) {
+      FailValidation("'stats' must be an object");
+    }
+    response.stats.n = IntegerField(*stats, "n");
+    response.stats.n_unique = IntegerField(*stats, "n_unique");
+    response.stats.max_misses = IntegerField(*stats, "max_misses");
+    response.has_stats = true;
+  }
+  if (const JsonValue* points = root.Find("points")) {
+    if (points->kind != JsonValue::Kind::kArray) {
+      FailValidation("'points' must be an array");
+    }
+    for (const JsonValue& entry : points->array) {
+      if (entry.kind != JsonValue::Kind::kObject) {
+        FailValidation("each point must be an object");
+      }
+      analytic::DesignPoint point;
+      point.depth =
+          static_cast<std::uint32_t>(IntegerField(entry, "depth"));
+      point.assoc =
+          static_cast<std::uint32_t>(IntegerField(entry, "assoc"));
+      point.warm_misses = IntegerField(entry, "warm_misses");
+      response.points.push_back(point);
+    }
+  }
+  if (const JsonValue* metrics = root.Find("metrics")) {
+    WriteValue(*metrics, response.metrics_json);
+  }
+  return response;
+}
+
+}  // namespace protocol
+}  // namespace ces::service

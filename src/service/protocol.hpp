@@ -1,0 +1,141 @@
+// The exploration service wire protocol: newline-delimited JSON.
+//
+// One request object per line in, one response object per line out, matched
+// by the client-chosen "id" (responses may arrive out of request order —
+// the scheduler batches and fans out). The full schema, with examples, is
+// documented in docs/SERVICE.md; the shape in brief:
+//
+//   request  {"id":"1","op":"explore","trace":"crc","engine":"fused",
+//             "fraction":0.05,"line_words":1,"max_index_bits":16,
+//             "deadline_ms":5000}
+//   response {"id":"1","ok":true,"op":"explore","digest":"sha256:...",
+//             "engine":"fused","k":123,"cached":false,
+//             "stats":{"n":...,"n_unique":...,"max_misses":...},
+//             "points":[{"depth":1,"assoc":2,"size_words":2,
+//                        "warm_misses":97},...]}
+//   error    {"id":"1","ok":false,"error":{"code":"parse",
+//             "message":"..."}}            (+ "retry_after_ms" when shed)
+//
+// Parsing is strict: unknown operations, unknown fields, wrong types and
+// out-of-range values are all structured support::Error throws — the daemon
+// converts them to error responses, never dies (the fuzz harness pins this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analytic/explorer.hpp"
+#include "analytic/model.hpp"
+#include "trace/strip.hpp"
+
+namespace ces::support {
+class Error;
+}  // namespace ces::support
+
+namespace ces::service {
+namespace protocol {
+
+enum class Op : std::uint8_t {
+  kExplore = 0,  // solve (trace, engine, K | fraction) -> design points
+  kStats,        // trace statistics (N, N', max_misses)
+  kIngest,       // force (re-)ingestion; returns the digest
+  kMetrics,      // the server's MetricsRegistry as JSON
+  kPing,         // liveness probe
+  kShutdown,     // begin a graceful drain (if the server allows it)
+};
+
+const char* ToString(Op op);
+
+struct Request {
+  std::string id;          // echoed verbatim; required, <= 128 bytes
+  Op op = Op::kPing;
+  // Trace reference: a server-side path / built-in workload name ("trace"),
+  // or the digest of an already-ingested trace ("digest", "sha256:<hex>").
+  // explore/stats/ingest require exactly one of the two.
+  std::string trace;
+  std::string digest;
+  std::string kind = "data";     // .din reads and workload runs: data|instr
+  std::string engine = "fused";  // fused|fused-tree|reference
+  bool has_k = false;
+  std::uint64_t k = 0;
+  bool has_fraction = false;
+  double fraction = 0.05;
+  std::uint32_t line_words = 1;
+  std::uint32_t max_index_bits = 16;
+  // 0 = no deadline. Relative to receipt; expired requests are answered
+  // with code "deadline_exceeded" instead of being computed.
+  std::uint64_t deadline_ms = 0;
+};
+
+// Parses one NDJSON request line. Throws support::Error — kParse for JSON
+// syntax errors, kValidation for schema violations (missing/unknown/
+// mistyped fields), kUnsupported for unknown operations.
+Request ParseRequest(const std::string& line);
+
+// Best-effort id recovery for a line ParseRequest rejected, so the error
+// response can still be correlated by a pipelining client. Returns "" when
+// the line is not a JSON object with a string "id" of a sane length. Never
+// throws.
+std::string ExtractRequestId(const std::string& line);
+
+// Error codes beyond support::ErrorCategory that the protocol defines.
+inline constexpr char kCodeOverloaded[] = "overloaded";
+inline constexpr char kCodeDeadlineExceeded[] = "deadline_exceeded";
+inline constexpr char kCodeShuttingDown[] = "shutting_down";
+
+// Response serialisers. None of them append the trailing newline; the
+// transport owns framing.
+std::string PingResponse(const std::string& id);
+std::string IngestResponse(const std::string& id, const std::string& digest,
+                           const trace::TraceStats& stats);
+std::string StatsResponse(const std::string& id, const std::string& digest,
+                          const trace::TraceStats& stats,
+                          const std::string& kind);
+std::string ExploreResponse(const std::string& id, const std::string& digest,
+                            const std::string& engine, std::uint64_t k,
+                            const trace::TraceStats& stats,
+                            const std::vector<analytic::DesignPoint>& points,
+                            bool cached);
+std::string MetricsResponse(const std::string& id,
+                            const std::string& metrics_json);
+std::string ShutdownResponse(const std::string& id);
+std::string ErrorResponse(const std::string& id, const std::string& code,
+                          const std::string& message,
+                          std::uint64_t retry_after_ms = 0);
+std::string ErrorResponse(const std::string& id, const support::Error& error);
+
+// Client-side decode of a response line (used by the client library and the
+// tests; the daemon never parses responses). Throws support::Error (kParse /
+// kValidation) on malformed lines.
+struct Response {
+  std::string id;
+  bool ok = false;
+  std::string error_code;     // when !ok
+  std::string error_message;  // when !ok
+  std::uint64_t retry_after_ms = 0;
+  std::string digest;
+  std::string engine;
+  std::uint64_t k = 0;
+  bool cached = false;
+  bool has_stats = false;
+  trace::TraceStats stats;
+  std::vector<analytic::DesignPoint> points;
+  std::string metrics_json;  // metrics op: the nested object, re-serialised
+  std::string raw;           // the undecoded line
+};
+
+Response ParseResponse(const std::string& line);
+
+}  // namespace protocol
+
+// The protocol types are the service's working vocabulary; the serialiser
+// functions stay behind the protocol:: qualifier to keep call sites honest
+// about producing wire bytes.
+using protocol::Op;
+using protocol::ParseRequest;
+using protocol::ParseResponse;
+using protocol::Request;
+using protocol::Response;
+
+}  // namespace ces::service

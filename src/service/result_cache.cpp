@@ -1,0 +1,135 @@
+#include "service/result_cache.hpp"
+
+#include <atomic>
+
+#include "support/metrics.hpp"
+
+namespace ces::service {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void FnvMix(std::uint64_t& hash, const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+}
+
+template <typename T>
+void FnvMixValue(std::uint64_t& hash, T value) {
+  std::uint8_t bytes[sizeof(T)];
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  FnvMix(hash, bytes, sizeof(T));
+}
+
+}  // namespace
+
+std::uint64_t ResultKey::StableHash() const {
+  std::uint64_t hash = kFnvOffset;
+  FnvMix(hash, digest.data(), digest.size());
+  FnvMixValue(hash, static_cast<std::uint64_t>(engine));
+  FnvMixValue(hash, static_cast<std::uint64_t>(line_words));
+  FnvMixValue(hash, static_cast<std::uint64_t>(max_index_bits));
+  FnvMixValue(hash, k);
+  return hash;
+}
+
+std::size_t CachedResult::CostBytes(const ResultKey& key) const {
+  // A deterministic footprint estimate: the variable parts exactly, plus a
+  // fixed allowance for node/bookkeeping overhead. What matters for the
+  // eviction tests is that the figure depends only on the entry's content.
+  constexpr std::size_t kFixedOverhead = 160;
+  return kFixedOverhead + key.digest.size() +
+         points.size() * sizeof(analytic::DesignPoint);
+}
+
+ResultCache::ResultCache(std::size_t byte_budget, std::size_t shards,
+                         support::MetricsRegistry* metrics)
+    : metrics_(metrics) {
+  std::size_t count = 1;
+  while (count < shards) count <<= 1;
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  per_shard_budget_ = byte_budget / count;
+}
+
+std::size_t ResultCache::ShardOf(const ResultKey& key) const {
+  return static_cast<std::size_t>(key.StableHash()) & (shards_.size() - 1);
+}
+
+std::shared_ptr<const CachedResult> ResultCache::Lookup(const ResultKey& key) {
+  Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    support::MetricsRegistry::Add(metrics_, "service.cache.miss");
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  support::MetricsRegistry::Add(metrics_, "service.cache.hit");
+  return it->second->value;
+}
+
+void ResultCache::Insert(const ResultKey& key,
+                         std::shared_ptr<const CachedResult> value) {
+  const std::size_t cost = value->CostBytes(key);
+  Shard& shard = *shards_[ShardOf(key)];
+  std::uint64_t evictions = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.bytes -= it->second->cost;
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+    }
+    shard.lru.push_front(Slot{key, std::move(value), cost});
+    shard.index.emplace(key, shard.lru.begin());
+    shard.bytes += cost;
+    while (shard.bytes > per_shard_budget_ && shard.lru.size() > 1) {
+      const Slot& victim = shard.lru.back();
+      shard.bytes -= victim.cost;
+      shard.index.erase(victim.key);
+      shard.lru.pop_back();
+      ++evictions;
+    }
+  }
+  if (evictions > 0) {
+    support::MetricsRegistry::Add(metrics_, "service.cache.eviction",
+                                  evictions);
+  }
+  UpdateBytesGauge();
+}
+
+std::size_t ResultCache::bytes() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->bytes;
+  }
+  return total;
+}
+
+std::size_t ResultCache::entries() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+void ResultCache::UpdateBytesGauge() {
+  if (metrics_ == nullptr) return;
+  support::MetricsRegistry::SetGauge(metrics_, "service.cache.bytes", bytes());
+}
+
+}  // namespace ces::service

@@ -1,0 +1,105 @@
+// Digest-keyed exploration result cache: sharded LRU with a byte budget.
+//
+// A solved (trace digest, engine, line size, depth range, K) query is a few
+// hundred bytes of design points; re-solving it costs a histogram walk and,
+// if the trace was evicted, a full prelude. The cache makes repeated and
+// overlapping queries — the interactive pattern the paper's Fig. 1 argues
+// for — O(1): lookups and inserts touch exactly one shard, chosen by a
+// platform-stable FNV-1a hash of the key, so two runs that issue the same
+// operation sequence hit and miss identically regardless of which threads
+// issue them (the cross-shard determinism the tests pin).
+//
+// Capacity is a byte budget, not an entry count, split evenly across shards;
+// each shard evicts from its own LRU tail until it is back under its slice.
+// Entry cost is the deterministic footprint of the stored result (key bytes
+// + points + a fixed overhead estimate), so accounting is reproducible too.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analytic/model.hpp"
+#include "trace/strip.hpp"
+
+namespace ces::support {
+class MetricsRegistry;
+}  // namespace ces::support
+
+namespace ces::service {
+
+struct ResultKey {
+  std::string digest;
+  std::uint8_t engine = 0;  // analytic::Engine
+  std::uint32_t line_words = 1;
+  std::uint32_t max_index_bits = 16;
+  std::uint64_t k = 0;
+
+  bool operator==(const ResultKey&) const = default;
+
+  // FNV-1a over every field, identical on every platform and run.
+  std::uint64_t StableHash() const;
+};
+
+struct CachedResult {
+  trace::TraceStats stats;  // of the explored (line-blocked) trace
+  std::uint64_t k = 0;
+  std::vector<analytic::DesignPoint> points;
+
+  std::size_t CostBytes(const ResultKey& key) const;
+};
+
+class ResultCache {
+ public:
+  // `shards` is rounded up to a power of two. The byte budget is split
+  // evenly; a budget smaller than one entry still admits the newest entry
+  // per shard (a cache that cannot hold anything would be a silent no-op).
+  explicit ResultCache(std::size_t byte_budget, std::size_t shards = 8,
+                       support::MetricsRegistry* metrics = nullptr);
+
+  // nullptr on miss. A hit refreshes the entry's LRU position and counts
+  // "service.cache.hit"; a miss counts "service.cache.miss".
+  std::shared_ptr<const CachedResult> Lookup(const ResultKey& key);
+
+  // Inserts (or replaces) and evicts the shard's LRU tail while over its
+  // slice; evictions count "service.cache.eviction". The byte gauge
+  // "service.cache.bytes" tracks the total across shards.
+  void Insert(const ResultKey& key, std::shared_ptr<const CachedResult> value);
+
+  std::size_t bytes() const;
+  std::size_t entries() const;
+  std::size_t shard_count() const { return shards_.size(); }
+
+  // Exposed for the determinism tests: which shard a key lands in.
+  std::size_t ShardOf(const ResultKey& key) const;
+
+ private:
+  struct Slot {
+    ResultKey key;
+    std::shared_ptr<const CachedResult> value;
+    std::size_t cost = 0;
+  };
+  struct KeyHash {
+    std::size_t operator()(const ResultKey& key) const {
+      return static_cast<std::size_t>(key.StableHash());
+    }
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Slot> lru;  // front = most recently used
+    std::unordered_map<ResultKey, std::list<Slot>::iterator, KeyHash> index;
+    std::size_t bytes = 0;
+  };
+
+  void UpdateBytesGauge();
+
+  std::size_t per_shard_budget_;
+  support::MetricsRegistry* metrics_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace ces::service

@@ -1,0 +1,372 @@
+#include "service/scheduler.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/metrics.hpp"
+#include "support/trace_event.hpp"
+
+namespace ces::service {
+
+namespace {
+
+using support::Error;
+using support::ErrorCategory;
+
+analytic::Engine EngineFromName(const std::string& name) {
+  if (name == "reference") return analytic::Engine::kReference;
+  if (name == "fused-tree") return analytic::Engine::kFusedTree;
+  return analytic::Engine::kFused;
+}
+
+// K resolution must match cachedse's CmdExplore expression exactly — the
+// acceptance bar is byte-identical output for fraction queries.
+std::uint64_t ResolveK(const protocol::Request& request,
+                       const trace::TraceStats& stats) {
+  if (request.has_k) return request.k;
+  return static_cast<std::uint64_t>(
+      request.fraction * static_cast<double>(stats.max_misses));
+}
+
+}  // namespace
+
+JobScheduler::JobScheduler(TraceStore& store, ResultCache& cache,
+                           Options options, support::MetricsRegistry* metrics)
+    : store_(store),
+      cache_(cache),
+      options_(options),
+      metrics_(metrics),
+      pool_(options.jobs, metrics) {
+  dispatcher_ = std::thread([this] { Loop(); });
+}
+
+JobScheduler::~JobScheduler() { Drain(); }
+
+void JobScheduler::Submit(protocol::Request request, Responder done) {
+  support::MetricsRegistry::Add(metrics_, "service.requests");
+  Job job;
+  job.enqueued = std::chrono::steady_clock::now();
+  if (request.deadline_ms > 0) {
+    job.deadline =
+        job.enqueued + std::chrono::milliseconds(request.deadline_ms);
+    job.has_deadline = true;
+  }
+  job.request = std::move(request);
+  job.done = std::move(done);
+
+  std::string shed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      shed = protocol::ErrorResponse(job.request.id,
+                                     protocol::kCodeShuttingDown,
+                                     "server is draining");
+    } else if (queue_.size() >= options_.queue_limit) {
+      shed = protocol::ErrorResponse(
+          job.request.id, protocol::kCodeOverloaded,
+          "admission queue full (" + std::to_string(options_.queue_limit) +
+              " requests)",
+          options_.retry_after_ms);
+    } else {
+      queue_.push_back(std::move(job));
+      support::MetricsRegistry::SetGauge(metrics_, "service.queue.depth",
+                                         queue_.size());
+    }
+  }
+  if (shed.empty()) {
+    cv_.notify_one();
+    return;
+  }
+  support::MetricsRegistry::Add(metrics_, "service.queue.shed");
+  Respond(job, shed);
+}
+
+void JobScheduler::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void JobScheduler::Pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void JobScheduler::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+std::size_t JobScheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void JobScheduler::Loop() {
+  support::TraceSink* sink = support::TraceSink::Global();
+  if (sink != nullptr) sink->NameThisThread("service dispatcher");
+  for (;;) {
+    std::deque<Job> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] {
+        return draining_ || (!paused_ && !queue_.empty());
+      });
+      if (queue_.empty()) {
+        if (draining_) return;
+        continue;
+      }
+      batch.swap(queue_);
+      support::MetricsRegistry::SetGauge(metrics_, "service.queue.depth", 0);
+    }
+    support::MetricsRegistry::ObserveHistogram(
+        metrics_, "service.batch.requests", batch.size());
+    RunBatch(std::move(batch));
+  }
+}
+
+bool JobScheduler::DeadlineExpired(
+    const Job& job, std::chrono::steady_clock::time_point now) {
+  return job.has_deadline && now > job.deadline;
+}
+
+void JobScheduler::Respond(Job& job, const std::string& response) {
+  if (!job.done) return;
+  const auto now = std::chrono::steady_clock::now();
+  const double seconds =
+      std::chrono::duration<double>(now - job.enqueued).count();
+  support::MetricsRegistry::Observe(metrics_, "service.request", seconds);
+  support::MetricsRegistry::ObserveHistogram(
+      metrics_, "service.request.latency_us",
+      static_cast<std::uint64_t>(seconds * 1e6));
+  Responder done = std::move(job.done);
+  job.done = nullptr;
+  done(response);
+}
+
+JobScheduler::ResolvedTrace JobScheduler::Resolve(
+    const protocol::Request& request, bool force_ingest) {
+  ResolvedTrace resolved;
+  try {
+    if (!request.digest.empty()) {
+      resolved.pinned = store_.Find(request.digest);
+      if (resolved.pinned.trace == nullptr) {
+        resolved.failed = true;
+        resolved.code = support::ToString(ErrorCategory::kValidation);
+        resolved.message = "unknown digest " + request.digest +
+                           " (evicted or never ingested; re-ingest by path)";
+      }
+      return resolved;
+    }
+    const std::string memo_key = request.trace + '\0' + request.kind;
+    if (!force_ingest) {
+      std::string digest;
+      {
+        std::lock_guard<std::mutex> lock(memo_mutex_);
+        auto it = path_digest_.find(memo_key);
+        if (it != path_digest_.end()) digest = it->second;
+      }
+      if (!digest.empty()) {
+        resolved.pinned = store_.Find(digest);
+        if (resolved.pinned.trace != nullptr) return resolved;
+        // Evicted since memoised: fall through to a fresh load.
+      }
+    }
+    resolved.pinned =
+        store_.Ingest(LoadTraceRef(request.trace, request.kind, metrics_));
+    {
+      std::lock_guard<std::mutex> lock(memo_mutex_);
+      path_digest_[memo_key] = resolved.pinned.digest;
+    }
+  } catch (const Error& e) {
+    resolved.failed = true;
+    resolved.code = support::ToString(e.category());
+    resolved.message = e.what();
+  } catch (const std::exception& e) {
+    resolved.failed = true;
+    resolved.code = support::ToString(ErrorCategory::kInternal);
+    resolved.message = e.what();
+  }
+  return resolved;
+}
+
+void JobScheduler::RunBatch(std::deque<Job> batch) {
+  support::ScopedTraceSpan batch_span("service.batch");
+  const auto now = std::chrono::steady_clock::now();
+
+  // One resolution per distinct trace reference in the gulp.
+  std::unordered_map<std::string, ResolvedTrace> resolved;
+  struct Group {
+    std::string digest;
+    analytic::ExplorerOptions options;
+    std::string engine_name;
+    std::vector<Job*> jobs;
+  };
+  std::vector<Group> groups;
+  std::unordered_map<std::string, std::size_t> group_index;
+
+  for (Job& job : batch) {
+    if (DeadlineExpired(job, now)) {
+      support::MetricsRegistry::Add(metrics_, "service.deadline_exceeded");
+      Respond(job,
+              protocol::ErrorResponse(job.request.id,
+                                      protocol::kCodeDeadlineExceeded,
+                                      "deadline passed while queued"));
+      continue;
+    }
+    const protocol::Request& request = job.request;
+    const bool force_ingest = request.op == Op::kIngest;
+    const std::string resolve_key = request.digest.empty()
+                                        ? "ref:" + request.trace + '\0' +
+                                              request.kind
+                                        : "digest:" + request.digest;
+    auto it = resolved.find(resolve_key);
+    if (it == resolved.end() || force_ingest) {
+      it = resolved.insert_or_assign(resolve_key,
+                                     Resolve(request, force_ingest))
+               .first;
+    }
+    const ResolvedTrace& trace = it->second;
+    if (trace.failed) {
+      Respond(job, protocol::ErrorResponse(request.id, trace.code,
+                                           trace.message));
+      continue;
+    }
+    switch (request.op) {
+      case Op::kIngest:
+        Respond(job, protocol::IngestResponse(request.id, trace.pinned.digest,
+                                              trace.pinned.stats));
+        break;
+      case Op::kStats:
+        Respond(job, protocol::StatsResponse(
+                         request.id, trace.pinned.digest, trace.pinned.stats,
+                         trace::ToString(trace.pinned.trace->kind)));
+        break;
+      case Op::kExplore: {
+        const std::string key = trace.pinned.digest + '|' + request.engine +
+                                '|' + std::to_string(request.line_words) +
+                                '|' + std::to_string(request.max_index_bits);
+        auto [pos, inserted] = group_index.try_emplace(key, groups.size());
+        if (inserted) {
+          Group group;
+          group.digest = trace.pinned.digest;
+          group.engine_name = request.engine;
+          group.options.engine = EngineFromName(request.engine);
+          group.options.line_words = request.line_words;
+          group.options.max_index_bits = request.max_index_bits;
+          group.options.jobs = pool_.jobs();
+          groups.push_back(std::move(group));
+        }
+        groups[pos->second].jobs.push_back(&job);
+        break;
+      }
+      default:
+        // ping/metrics/shutdown are routed inline by the service; reaching
+        // the scheduler with one is a programming error upstream.
+        Respond(job, protocol::ErrorResponse(
+                         request.id,
+                         support::ToString(ErrorCategory::kInternal),
+                         "operation cannot be scheduled"));
+        break;
+    }
+  }
+
+  for (Group& group : groups) {
+    // Explicit-K requests that are already cached never need the prelude —
+    // answer them first and only build for what remains.
+    std::vector<Job*> remaining;
+    remaining.reserve(group.jobs.size());
+    for (Job* job : group.jobs) {
+      if (job->request.has_k) {
+        ResultKey key{group.digest,
+                      static_cast<std::uint8_t>(group.options.engine),
+                      group.options.line_words, group.options.max_index_bits,
+                      job->request.k};
+        if (auto hit = cache_.Lookup(key)) {
+          Respond(*job, protocol::ExploreResponse(
+                            job->request.id, group.digest, group.engine_name,
+                            hit->k, hit->stats, hit->points, true));
+          continue;
+        }
+      }
+      remaining.push_back(job);
+    }
+    if (remaining.empty()) continue;
+
+    std::shared_ptr<const analytic::Explorer> explorer;
+    try {
+      explorer = store_.GetOrBuildExplorer(group.digest, group.options);
+    } catch (const Error& e) {
+      for (Job* job : remaining) {
+        Respond(*job, protocol::ErrorResponse(job->request.id, e));
+      }
+      continue;
+    } catch (const std::exception& e) {
+      for (Job* job : remaining) {
+        Respond(*job, protocol::ErrorResponse(
+                          job->request.id,
+                          support::ToString(ErrorCategory::kInternal),
+                          e.what()));
+      }
+      continue;
+    }
+
+    // Per-request fan-out: every remaining request is one cheap histogram
+    // query against the shared prelude.
+    pool_.ParallelFor(remaining.size(), [&](std::size_t i) {
+      Job& job = *remaining[i];
+      try {
+        support::ScopedTraceSpan solve_span("service.solve");
+        if (DeadlineExpired(job, std::chrono::steady_clock::now())) {
+          support::MetricsRegistry::Add(metrics_,
+                                        "service.deadline_exceeded");
+          Respond(job, protocol::ErrorResponse(
+                           job.request.id, protocol::kCodeDeadlineExceeded,
+                           "deadline passed before solve"));
+          return;
+        }
+        const std::uint64_t k = ResolveK(job.request, explorer->stats());
+        ResultKey key{group.digest,
+                      static_cast<std::uint8_t>(group.options.engine),
+                      group.options.line_words, group.options.max_index_bits,
+                      k};
+        // Fraction requests do their single cache probe here, after K
+        // resolution; explicit-K misses were already counted above, so
+        // skip a second probe for them.
+        if (!job.request.has_k) {
+          if (auto hit = cache_.Lookup(key)) {
+            Respond(job, protocol::ExploreResponse(
+                             job.request.id, group.digest, group.engine_name,
+                             hit->k, hit->stats, hit->points, true));
+            return;
+          }
+        }
+        const analytic::ExplorationResult result = explorer->Solve(k);
+        auto value = std::make_shared<CachedResult>();
+        value->stats = explorer->stats();
+        value->k = k;
+        value->points = result.points;
+        cache_.Insert(key, value);
+        Respond(job, protocol::ExploreResponse(
+                         job.request.id, group.digest, group.engine_name, k,
+                         value->stats, value->points, false));
+      } catch (const Error& e) {
+        Respond(job, protocol::ErrorResponse(job.request.id, e));
+      } catch (const std::exception& e) {
+        Respond(job, protocol::ErrorResponse(
+                         job.request.id,
+                         support::ToString(ErrorCategory::kInternal),
+                         e.what()));
+      }
+    });
+  }
+}
+
+}  // namespace ces::service

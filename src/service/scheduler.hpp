@@ -1,0 +1,113 @@
+// Batching job scheduler for the exploration daemon.
+//
+// Requests are admitted into one bounded queue; a dispatcher thread drains
+// the queue in gulps and turns each gulp into the minimum amount of heavy
+// work: all requests naming the same (trace, engine, line size, depth
+// range) share one trace resolution and one pinned prelude (built once via
+// TraceStore, so a burst of a thousand same-trace queries costs one fused
+// explorer pass), then fan out per-request across the thread pool where
+// each request is answered from the ResultCache or by one cheap Solve.
+//
+// Overload and lifecycle policy, in the order a request meets it:
+//  * bounded admission — a full queue sheds immediately with "overloaded"
+//    and a retry_after_ms hint instead of growing the backlog;
+//  * per-request deadlines — a request whose deadline passed while queued
+//    is answered "deadline_exceeded" without computing anything;
+//  * graceful drain — Drain() (SIGTERM path) stops admission ("shutting_
+//    down") but every already-admitted request is still answered before
+//    Drain returns.
+//
+// Every request is answered exactly once via its responder, from the
+// dispatcher or a pool worker (sheds respond on the submitting thread), so
+// the transport must tolerate concurrent responders.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "service/protocol.hpp"
+#include "service/result_cache.hpp"
+#include "service/trace_store.hpp"
+#include "support/pool.hpp"
+
+namespace ces::service {
+
+class JobScheduler {
+ public:
+  struct Options {
+    unsigned jobs = 0;                  // 0 = hardware concurrency
+    std::size_t queue_limit = 256;      // admission bound (jobs, not bytes)
+    std::uint64_t retry_after_ms = 100; // shed hint for clients
+  };
+  using Responder = std::function<void(std::string)>;
+
+  JobScheduler(TraceStore& store, ResultCache& cache, Options options,
+               support::MetricsRegistry* metrics = nullptr);
+  ~JobScheduler();  // implies Drain()
+
+  // Enqueues an explore/stats/ingest request. Responds exactly once —
+  // inline on the calling thread when shed or draining, from a scheduler
+  // thread otherwise. Ping/metrics/shutdown never reach the scheduler; the
+  // service router answers those inline.
+  void Submit(protocol::Request request, Responder done);
+
+  // Stops admission, answers everything already queued, and joins the
+  // dispatcher. Idempotent.
+  void Drain();
+
+  // Test/ops hook: a paused dispatcher admits but does not process, which
+  // makes queue-full shedding and deadline expiry deterministic to observe.
+  void Pause();
+  void Resume();
+
+  std::size_t queue_depth() const;
+
+ private:
+  struct Job {
+    protocol::Request request;
+    Responder done;
+    std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline;  // valid if has_deadline
+    bool has_deadline = false;
+  };
+  struct ResolvedTrace {
+    PinnedTrace pinned;
+    bool failed = false;
+    std::string code;
+    std::string message;
+  };
+
+  void Loop();
+  void RunBatch(std::deque<Job> batch);
+  ResolvedTrace Resolve(const protocol::Request& request, bool force_ingest);
+  void Respond(Job& job, const std::string& response);
+  bool DeadlineExpired(const Job& job, std::chrono::steady_clock::time_point now);
+
+  TraceStore& store_;
+  ResultCache& cache_;
+  const Options options_;
+  support::MetricsRegistry* metrics_;
+  support::ThreadPool pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  bool draining_ = false;
+  bool paused_ = false;
+
+  std::mutex memo_mutex_;
+  // (trace ref + '\0' + kind) -> digest; lets repeat by-path requests skip
+  // re-reading the file. An explicit ingest op refreshes the mapping.
+  std::unordered_map<std::string, std::string> path_digest_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace ces::service

@@ -1,0 +1,238 @@
+#include "service/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "service/protocol.hpp"
+#include "support/error.hpp"
+#include "support/metrics.hpp"
+#include "support/trace_event.hpp"
+
+namespace ces::service {
+
+namespace {
+
+using support::Error;
+using support::ErrorCategory;
+
+[[noreturn]] void FailIo(const std::string& what) {
+  throw Error(ErrorCategory::kIo, "server",
+              what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  ExplorationService::Options service_options = options_.service;
+  service_options.on_shutdown_request = [this] { RequestShutdown(); };
+  service_ = std::make_unique<ExplorationService>(service_options);
+}
+
+Server::~Server() {
+  // Destruction without Wait() still tears everything down.
+  RequestShutdown();
+  if (started_) Wait();
+}
+
+std::string Server::endpoint() const {
+  if (!options_.unix_path.empty()) return "unix:" + options_.unix_path;
+  return "tcp:127.0.0.1:" + std::to_string(port_);
+}
+
+void Server::Start() {
+  if (started_) {
+    throw Error(ErrorCategory::kUsage, "server", "Start called twice");
+  }
+  const bool use_unix = !options_.unix_path.empty();
+  if (use_unix == (options_.tcp_port >= 0)) {
+    throw Error(ErrorCategory::kUsage, "server",
+                "select exactly one of unix_path and tcp_port");
+  }
+  if (use_unix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof(addr.sun_path)) {
+      throw Error(ErrorCategory::kUsage, "server",
+                  "unix socket path longer than sockaddr_un allows: " +
+                      options_.unix_path);
+    }
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) FailIo("socket");
+    // A previous daemon that died uncleanly leaves the inode behind; a live
+    // one would still be bound, which bind reports as EADDRINUSE after the
+    // unlink of a *stale* path, so removing first is the standard dance.
+    ::unlink(options_.unix_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      FailIo("bind " + options_.unix_path);
+    }
+  } else {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.tcp_port));
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) FailIo("socket");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      FailIo("bind 127.0.0.1:" + std::to_string(options_.tcp_port));
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &bound_len) != 0) {
+      FailIo("getsockname");
+    }
+    port_ = ntohs(bound.sin_port);
+  }
+  if (::listen(listen_fd_, 64) != 0) FailIo("listen");
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+void Server::AcceptLoop() {
+  support::TraceSink* sink = support::TraceSink::Global();
+  if (sink != nullptr) sink->NameThisThread("service acceptor");
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket closed: shutting down
+    }
+    // A peer that stops reading must not wedge a scheduler worker inside
+    // send() forever (that would stall the drain); after the timeout the
+    // connection is treated as gone and its responses are dropped.
+    const timeval send_timeout{10, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof(send_timeout));
+    auto connection = std::make_shared<Connection>();
+    connection->fd = fd;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_requested_) {
+      ::close(fd);
+      return;
+    }
+    support::MetricsRegistry::Add(options_.service.metrics,
+                                  "service.connections");
+    connections_.emplace_back(
+        connection, std::thread([this, connection] { ReadLoop(connection); }));
+  }
+}
+
+void Server::SendLine(const std::shared_ptr<Connection>& connection,
+                      const std::string& line) {
+  std::lock_guard<std::mutex> lock(connection->write_mutex);
+  if (!connection->open.load(std::memory_order_acquire)) return;
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(connection->fd, framed.data() + sent,
+                             framed.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      // Peer is gone; drop the rest. The computation still warmed the
+      // caches, so the work is not wasted.
+      connection->open.store(false, std::memory_order_release);
+      return;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Server::ReadLoop(std::shared_ptr<Connection> connection) {
+  support::TraceSink* sink = support::TraceSink::Global();
+  if (sink != nullptr) sink->NameThisThread("service reader");
+  std::string pending;
+  char buffer[16384];
+  for (;;) {
+    const ssize_t n = ::recv(connection->fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    pending.append(buffer, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t newline = pending.find('\n', start);
+      if (newline == std::string::npos) break;
+      std::string line = pending.substr(start, newline - start);
+      start = newline + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      service_->Handle(line, [this, connection](const std::string& response) {
+        SendLine(connection, response);
+      });
+    }
+    pending.erase(0, start);
+    if (pending.size() > options_.max_line_bytes) {
+      SendLine(connection,
+               protocol::ErrorResponse(
+                   "", support::ToString(ErrorCategory::kValidation),
+                   "request line exceeds " +
+                       std::to_string(options_.max_line_bytes) + " bytes"));
+      break;
+    }
+  }
+  connection->open.store(false, std::memory_order_release);
+}
+
+void Server::RequestShutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_requested_) return;
+    shutdown_requested_ = true;
+  }
+  cv_.notify_all();
+}
+
+void Server::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return shutdown_requested_; });
+  }
+  if (!started_) return;
+  started_ = false;
+
+  // 1. Stop accepting: closing the listen socket fails the blocking accept.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_ = -1;
+
+  // 2. Answer everything already admitted. Connections are still writable,
+  // so in-flight clients get their results; anything submitted from here on
+  // is shed with "shutting_down".
+  service_->Drain();
+
+  // 3. Hang up. shutdown() unblocks the reader threads' recv.
+  std::vector<std::pair<std::shared_ptr<Connection>, std::thread>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    connections.swap(connections_);
+  }
+  for (auto& [connection, thread] : connections) {
+    ::shutdown(connection->fd, SHUT_RDWR);
+  }
+  for (auto& [connection, thread] : connections) {
+    if (thread.joinable()) thread.join();
+    {
+      // Serialise with any responder mid-SendLine before closing the fd.
+      std::lock_guard<std::mutex> write_lock(connection->write_mutex);
+      connection->open.store(false, std::memory_order_release);
+    }
+    ::close(connection->fd);
+  }
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+}
+
+}  // namespace ces::service

@@ -1,0 +1,76 @@
+#include "service/service.hpp"
+
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/metrics.hpp"
+
+namespace ces::service {
+
+using support::Error;
+using support::ErrorCategory;
+
+ExplorationService::ExplorationService(Options options)
+    : options_(std::move(options)),
+      store_(options_.max_traces, options_.metrics),
+      cache_(options_.cache_bytes, options_.cache_shards, options_.metrics) {
+  JobScheduler::Options scheduler_options;
+  scheduler_options.jobs = options_.jobs;
+  scheduler_options.queue_limit = options_.queue_limit;
+  scheduler_options.retry_after_ms = options_.retry_after_ms;
+  scheduler_ = std::make_unique<JobScheduler>(store_, cache_,
+                                              scheduler_options,
+                                              options_.metrics);
+}
+
+ExplorationService::~ExplorationService() { Drain(); }
+
+void ExplorationService::Drain() { scheduler_->Drain(); }
+
+void ExplorationService::Handle(const std::string& line, Responder done) {
+  support::MetricsRegistry::Add(options_.metrics, "service.lines");
+  protocol::Request request;
+  try {
+    request = ParseRequest(line);
+  } catch (const Error& e) {
+    support::MetricsRegistry::Add(options_.metrics, "service.bad_requests");
+    // Best-effort id echo: a schema-invalid line often still carries a
+    // readable id, and a pipelining client needs it to correlate the error.
+    done(protocol::ErrorResponse(protocol::ExtractRequestId(line), e));
+    return;
+  } catch (const std::exception& e) {
+    support::MetricsRegistry::Add(options_.metrics, "service.bad_requests");
+    done(protocol::ErrorResponse(protocol::ExtractRequestId(line),
+                                 support::ToString(ErrorCategory::kInternal),
+                                 e.what()));
+    return;
+  }
+
+  switch (request.op) {
+    case Op::kPing:
+      done(protocol::PingResponse(request.id));
+      return;
+    case Op::kMetrics: {
+      const std::string json = options_.metrics != nullptr
+                                   ? options_.metrics->ToJson(true)
+                                   : std::string("{}");
+      done(protocol::MetricsResponse(request.id, json));
+      return;
+    }
+    case Op::kShutdown:
+      if (!options_.on_shutdown_request) {
+        done(protocol::ErrorResponse(
+            request.id, support::ToString(ErrorCategory::kUnsupported),
+            "shutdown op disabled on this server"));
+        return;
+      }
+      done(protocol::ShutdownResponse(request.id));
+      options_.on_shutdown_request();
+      return;
+    default:
+      scheduler_->Submit(std::move(request), std::move(done));
+      return;
+  }
+}
+
+}  // namespace ces::service

@@ -1,0 +1,196 @@
+#include "service/trace_store.hpp"
+
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/metrics.hpp"
+#include "support/sha256.hpp"
+#include "support/trace_event.hpp"
+#include "trace/dinero.hpp"
+#include "trace/trace_io.hpp"
+#include "workloads/workloads.hpp"
+
+namespace ces::service {
+
+namespace {
+
+using support::Error;
+using support::ErrorCategory;
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+trace::Trace LoadTraceRef(const std::string& ref, const std::string& kind,
+                          support::MetricsRegistry* metrics) {
+  support::ScopedTraceSpan span("service.load_trace");
+  if (EndsWith(ref, ".din")) {
+    std::ifstream is(ref);
+    if (!is) {
+      throw Error(ErrorCategory::kIo, "dinero", "cannot open " + ref);
+    }
+    return trace::ReadDinero(is,
+                             kind == "instr" ? trace::StreamKind::kInstruction
+                                             : trace::StreamKind::kData,
+                             metrics);
+  }
+  // A reference that is not a file on disk but names a built-in workload
+  // runs the workload and takes its trace, mirroring the cachedse CLI.
+  if (!std::ifstream(ref)) {
+    if (const auto* workload = ces::workloads::FindWorkload(ref)) {
+      auto run = ces::workloads::Run(*workload);
+      if (!run.output_matches) {
+        throw Error(ErrorCategory::kInternal, "workload",
+                    "verification failed: " + ref);
+      }
+      trace::Trace trace = kind == "instr"
+                               ? std::move(run.instruction_trace)
+                               : std::move(run.data_trace);
+      support::MetricsRegistry::Add(metrics, "trace.refs_generated",
+                                    trace.size());
+      return trace;
+    }
+  }
+  return trace::LoadFromFile(ref, metrics);
+}
+
+std::string TraceStore::DigestOf(const trace::Trace& trace) {
+  support::Sha256 hasher;
+  std::uint8_t header[21] = {'C', 'E', 'S', '-', 'T', 'R', '1', 0};
+  header[8] = static_cast<std::uint8_t>(trace.kind);
+  for (int i = 0; i < 4; ++i) {
+    header[9 + i] = static_cast<std::uint8_t>(trace.address_bits >> (8 * i));
+  }
+  const std::uint64_t count = trace.refs.size();
+  for (int i = 0; i < 8; ++i) {
+    header[13 + i] = static_cast<std::uint8_t>(count >> (8 * i));
+  }
+  hasher.Update(header, sizeof(header));
+  // References are packed little-endian explicitly so the digest — a wire-
+  // visible identifier — is byte-order independent.
+  std::uint8_t chunk[4096];
+  std::size_t used = 0;
+  for (std::uint32_t ref : trace.refs) {
+    chunk[used++] = static_cast<std::uint8_t>(ref);
+    chunk[used++] = static_cast<std::uint8_t>(ref >> 8);
+    chunk[used++] = static_cast<std::uint8_t>(ref >> 16);
+    chunk[used++] = static_cast<std::uint8_t>(ref >> 24);
+    if (used == sizeof(chunk)) {
+      hasher.Update(chunk, used);
+      used = 0;
+    }
+  }
+  if (used > 0) hasher.Update(chunk, used);
+  return "sha256:" + hasher.FinishHex();
+}
+
+TraceStore::TraceStore(std::size_t max_traces,
+                       support::MetricsRegistry* metrics)
+    : max_traces_(max_traces == 0 ? 1 : max_traces), metrics_(metrics) {}
+
+PinnedTrace TraceStore::Ingest(trace::Trace trace) {
+  support::ScopedTraceSpan span("service.store.ingest");
+  const std::string digest = DigestOf(trace);
+  // Stats are part of the pinned state (the stats op and fraction->K
+  // resolution read them); computed outside the lock, and only on the slow
+  // path below.
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(digest);
+  if (it != entries_.end()) {
+    it->second.last_use = ++tick_;
+    support::MetricsRegistry::Add(metrics_, "service.store.dedup_hits");
+    return {it->second.trace, it->second.stats, digest};
+  }
+  Entry entry;
+  entry.stats = trace::ComputeStats(trace);
+  entry.trace = std::make_shared<const trace::Trace>(std::move(trace));
+  entry.last_use = ++tick_;
+  const PinnedTrace pinned{entry.trace, entry.stats, digest};
+  entries_.emplace(digest, std::move(entry));
+  support::MetricsRegistry::Add(metrics_, "service.store.ingested");
+  EvictIfNeeded();
+  support::MetricsRegistry::SetGauge(metrics_, "service.store.traces",
+                                     entries_.size());
+  return pinned;
+}
+
+PinnedTrace TraceStore::Find(const std::string& digest) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(digest);
+  if (it == entries_.end()) return {};
+  it->second.last_use = ++tick_;
+  return {it->second.trace, it->second.stats, digest};
+}
+
+void TraceStore::EvictIfNeeded() {
+  while (entries_.size() > max_traces_) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    }
+    entries_.erase(victim);
+    support::MetricsRegistry::Add(metrics_, "service.store.evicted");
+  }
+}
+
+std::shared_ptr<const analytic::Explorer> TraceStore::GetOrBuildExplorer(
+    const std::string& digest, const analytic::ExplorerOptions& options) {
+  const PreludeKey key{options.engine, options.line_words,
+                       options.max_index_bits};
+  std::shared_ptr<const trace::Trace> trace;
+  std::promise<std::shared_ptr<const analytic::Explorer>> promise;
+  std::shared_future<std::shared_ptr<const analytic::Explorer>> future;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(digest);
+    if (it == entries_.end()) {
+      throw Error(ErrorCategory::kValidation, "trace-store",
+                  "unknown digest " + digest + " (evicted or never ingested)");
+    }
+    it->second.last_use = ++tick_;
+    auto prelude = it->second.preludes.find(key);
+    if (prelude != it->second.preludes.end()) {
+      future = prelude->second;
+      support::MetricsRegistry::Add(metrics_, "service.prelude.reused");
+    } else {
+      future = promise.get_future().share();
+      it->second.preludes.emplace(key, future);
+      trace = it->second.trace;
+      builder = true;
+    }
+  }
+  if (builder) {
+    support::ScopedTraceSpan span("service.prelude.build");
+    analytic::ExplorerOptions build_options = options;
+    build_options.metrics = metrics_;
+    try {
+      auto explorer =
+          std::make_shared<const analytic::Explorer>(*trace, build_options);
+      support::MetricsRegistry::Add(metrics_, "service.prelude.built");
+      promise.set_value(std::move(explorer));
+    } catch (...) {
+      // Drop the failed future so a later request retries the build, and
+      // propagate the failure to everyone already waiting on this one.
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(digest);
+        if (it != entries_.end()) it->second.preludes.erase(key);
+      }
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();
+}
+
+std::size_t TraceStore::pinned_traces() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace ces::service

@@ -1,0 +1,104 @@
+// Content-addressed trace store with pinned exploration preludes.
+//
+// The analytical explorer's whole economy (paper Fig. 1) is: pay the
+// trace-length-proportional prelude once, then answer every (D, A, K) query
+// from the miss histograms. A one-shot CLI throws that investment away at
+// process exit; the daemon keeps it. The store addresses traces by the
+// SHA-256 of their *canonical content* — kind, address bits and the raw
+// word-address sequence, independent of the file format or name they
+// arrived under — so the same trace ingested as .trc, .ctr and .ctrz is
+// stripped once, and a digest returned to one client is a stable handle for
+// every other client.
+//
+// Per digest, the store pins one Explorer per (engine, line_words,
+// max_index_bits) actually queried. Preludes are built at most once per key
+// even under concurrent requests (late arrivals block on the builder's
+// future), which is what turns a burst of same-trace requests into one
+// fused pass. Pinned traces are LRU-evicted beyond `max_traces`; evicting a
+// trace drops its preludes with it.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "analytic/explorer.hpp"
+#include "trace/strip.hpp"
+#include "trace/trace.hpp"
+
+namespace ces::support {
+class MetricsRegistry;
+}  // namespace ces::support
+
+namespace ces::service {
+
+// Loads a trace from a server-side reference: an existing file in any trace
+// format (.trc/.ctr/.ctrz/.din — .din and workload runs honour `kind`), or
+// a built-in workload name. Mirrors the cachedse CLI's resolution rules.
+// Throws support::Error on failure.
+trace::Trace LoadTraceRef(const std::string& ref, const std::string& kind,
+                          support::MetricsRegistry* metrics = nullptr);
+
+struct PinnedTrace {
+  std::shared_ptr<const trace::Trace> trace;
+  trace::TraceStats stats;  // of the unblocked (line_words == 1) trace
+  std::string digest;
+};
+
+class TraceStore {
+ public:
+  explicit TraceStore(std::size_t max_traces = 64,
+                      support::MetricsRegistry* metrics = nullptr);
+
+  // "sha256:<64 hex>" over the canonical content (kind, address_bits,
+  // refs); the trace's display name does not participate.
+  static std::string DigestOf(const trace::Trace& trace);
+
+  // Pins `trace` (idempotent: re-ingesting identical content refreshes the
+  // LRU position and returns the existing entry). May evict the least
+  // recently used trace beyond the capacity.
+  PinnedTrace Ingest(trace::Trace trace);
+
+  // Empty .trace pointer when the digest is not pinned (evicted or never
+  // ingested) — the caller decides whether that is an error.
+  PinnedTrace Find(const std::string& digest);
+
+  // The pinned prelude for (digest, options.engine, options.line_words,
+  // options.max_index_bits), built on first use. Concurrent callers for the
+  // same key share one build. Throws support::Error (kValidation) when the
+  // digest is not pinned.
+  std::shared_ptr<const analytic::Explorer> GetOrBuildExplorer(
+      const std::string& digest, const analytic::ExplorerOptions& options);
+
+  std::size_t pinned_traces() const;
+
+ private:
+  struct PreludeKey {
+    analytic::Engine engine;
+    std::uint32_t line_words;
+    std::uint32_t max_index_bits;
+    auto operator<=>(const PreludeKey&) const = default;
+  };
+  struct Entry {
+    std::shared_ptr<const trace::Trace> trace;
+    trace::TraceStats stats;
+    std::uint64_t last_use = 0;
+    std::map<PreludeKey,
+             std::shared_future<std::shared_ptr<const analytic::Explorer>>>
+        preludes;
+  };
+
+  void EvictIfNeeded();  // callers hold mutex_
+
+  const std::size_t max_traces_;
+  support::MetricsRegistry* metrics_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace ces::service

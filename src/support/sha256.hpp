@@ -1,0 +1,62 @@
+// SHA-256 (NIST FIPS 180-2) with an incremental update API.
+//
+// The service layer content-addresses traces by the digest of their
+// canonical byte form (service::TraceStore), so the hash must be computable
+// without materialising that form: callers stream header fields and the
+// reference array through Update() and read the digest once at the end.
+// The implementation is the straightforward single-block compressor — traces
+// hash at memory speed relative to the preludes computed on them, so there
+// is nothing to win from vectorisation here.
+//
+// Test vectors from FIPS 180-2 appendix B (one-block, multi-block and the
+// million-'a' stream) are pinned in tests/support_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ces::support {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestBytes = 32;
+  using Digest = std::array<std::uint8_t, kDigestBytes>;
+
+  Sha256() { Reset(); }
+
+  // Restores the freshly-constructed state so one instance can hash many
+  // messages.
+  void Reset();
+
+  // Absorbs `len` bytes. May be called any number of times with arbitrary
+  // chunk sizes; the concatenation of all chunks is the hashed message.
+  void Update(const void* data, std::size_t len);
+  void Update(std::string_view bytes) { Update(bytes.data(), bytes.size()); }
+
+  // Finalises and returns the digest. The instance must be Reset() before
+  // it can absorb another message (Update after Finish throws
+  // support::Error kInternal — finalisation pads the stream, so continuing
+  // would silently hash a different message).
+  Digest Finish();
+
+  // Finish() rendered as 64 lower-case hex characters.
+  std::string FinishHex();
+
+  // One-shot conveniences.
+  static Digest Of(std::string_view bytes);
+  static std::string HexOf(std::string_view bytes);
+
+ private:
+  void Compress(const std::uint8_t block[64]);
+
+  std::uint32_t state_[8];
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;      // valid bytes in buffer_
+  std::uint64_t total_bytes_ = 0; // message length so far
+  bool finished_ = false;
+};
+
+}  // namespace ces::support

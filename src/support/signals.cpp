@@ -1,0 +1,34 @@
+#include "support/signals.hpp"
+
+#include <pthread.h>
+
+#include <utility>
+
+namespace ces::support {
+
+SignalWatcher::SignalWatcher(std::function<void(int)> on_signal)
+    : on_signal_(std::move(on_signal)) {
+  sigemptyset(&watched_);
+  sigaddset(&watched_, SIGINT);
+  sigaddset(&watched_, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &watched_, &previous_mask_);
+  watcher_ = std::thread([this] {
+    for (;;) {
+      int signo = 0;
+      if (sigwait(&watched_, &signo) != 0) return;
+      if (stopping_.load(std::memory_order_acquire)) return;
+      on_signal_(signo);
+    }
+  });
+}
+
+SignalWatcher::~SignalWatcher() {
+  stopping_.store(true, std::memory_order_release);
+  // Wake the sigwait with one of the signals it is already watching; the
+  // stopping_ flag makes the watcher swallow it instead of dispatching.
+  pthread_kill(watcher_.native_handle(), SIGTERM);
+  watcher_.join();
+  pthread_sigmask(SIG_SETMASK, &previous_mask_, nullptr);
+}
+
+}  // namespace ces::support

@@ -1,0 +1,48 @@
+// Cooperative SIGINT/SIGTERM handling for the long-running entry points.
+//
+// Signal handlers proper can only touch async-signal-safe state, which rules
+// out everything worth doing on interruption — serialising a TraceSink,
+// emitting the metrics JSON line, draining a server. SignalWatcher uses the
+// portable alternative: it blocks the watched signals in the constructing
+// thread (threads spawned afterwards inherit the mask, so the whole pool is
+// covered when the watcher is created before any worker) and consumes them
+// with sigwait() on a dedicated thread, where the callback runs as ordinary
+// code free to take locks and do IO.
+//
+// cachedse uses this to flush --trace-out and --metrics=json before dying on
+// Ctrl-C; cachedse-server uses it to trigger a graceful drain on SIGTERM.
+#pragma once
+
+#include <csignal>
+
+#include <atomic>
+#include <functional>
+#include <thread>
+
+namespace ces::support {
+
+class SignalWatcher {
+ public:
+  // Blocks SIGINT and SIGTERM for the calling thread (and every thread it
+  // spawns afterwards) and invokes `on_signal(signo)` on the watcher thread
+  // for each delivery. The callback may be invoked multiple times (e.g. a
+  // second Ctrl-C while the first is still draining); it decides whether to
+  // escalate. Construct before creating worker threads.
+  explicit SignalWatcher(std::function<void(int)> on_signal);
+
+  // Restores the previous signal mask and stops the watcher thread. Signals
+  // delivered after destruction revert to their default disposition.
+  ~SignalWatcher();
+
+  SignalWatcher(const SignalWatcher&) = delete;
+  SignalWatcher& operator=(const SignalWatcher&) = delete;
+
+ private:
+  std::function<void(int)> on_signal_;
+  std::atomic<bool> stopping_{false};
+  sigset_t watched_;
+  sigset_t previous_mask_;
+  std::thread watcher_;
+};
+
+}  // namespace ces::support

@@ -6,10 +6,14 @@
 // support::Error with a stable category.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <future>
 #include <sstream>
 #include <string>
 
 #include "isa/assembler.hpp"
+#include "service/protocol.hpp"
+#include "service/service.hpp"
 #include "isa/disasm.hpp"
 #include "isa/isa.hpp"
 #include "sim/cpu.hpp"
@@ -312,6 +316,183 @@ TEST(FuzzTraceReaders, RandomTextLinesNeverCrash) {
         // expected for most inputs
       }
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NDJSON request fuzzing: nothing a client sends over the wire may kill the
+// daemon. The parser must turn every malformed line into a support::Error
+// with a stable category, and ExplorationService::Handle must convert that
+// into exactly one structured error response — never a throw, never silence.
+
+namespace ndjson_corpus {
+
+struct RequestCase {
+  const char* name;
+  const char* line;
+  ErrorCategory expected;
+};
+
+constexpr RequestCase kRequestCases[] = {
+    {"empty line", "", ErrorCategory::kParse},
+    {"not json", "hello there", ErrorCategory::kParse},
+    {"truncated object", "{\"id\":\"1\",", ErrorCategory::kParse},
+    {"array not object", "[1,2,3]", ErrorCategory::kValidation},
+    {"bare string", "\"ping\"", ErrorCategory::kValidation},
+    {"missing id", "{\"op\":\"ping\"}", ErrorCategory::kValidation},
+    {"missing op", "{\"id\":\"1\"}", ErrorCategory::kValidation},
+    {"unknown op", "{\"id\":\"1\",\"op\":\"dance\"}",
+     ErrorCategory::kUnsupported},
+    {"unknown field", "{\"id\":\"1\",\"op\":\"ping\",\"bogus\":1}",
+     ErrorCategory::kValidation},
+    {"duplicate key", "{\"id\":\"1\",\"id\":\"2\",\"op\":\"ping\"}",
+     ErrorCategory::kParse},
+    {"id wrong type", "{\"id\":7,\"op\":\"ping\"}",
+     ErrorCategory::kValidation},
+    {"explore without trace", "{\"id\":\"1\",\"op\":\"explore\"}",
+     ErrorCategory::kValidation},
+    {"explore with both refs",
+     "{\"id\":\"1\",\"op\":\"explore\",\"trace\":\"x\",\"digest\":"
+     "\"sha256:0000000000000000000000000000000000000000000000000000000000"
+     "000000\"}",
+     ErrorCategory::kValidation},
+    {"bad digest", "{\"id\":\"1\",\"op\":\"stats\",\"digest\":\"sha1:ab\"}",
+     ErrorCategory::kValidation},
+    {"k and fraction",
+     "{\"id\":\"1\",\"op\":\"explore\",\"trace\":\"x\",\"k\":1,"
+     "\"fraction\":0.5}",
+     ErrorCategory::kValidation},
+    {"fraction out of range",
+     "{\"id\":\"1\",\"op\":\"explore\",\"trace\":\"x\",\"fraction\":1.5}",
+     ErrorCategory::kValidation},
+    {"negative k",
+     "{\"id\":\"1\",\"op\":\"explore\",\"trace\":\"x\",\"k\":-3}",
+     ErrorCategory::kValidation},
+    {"line_words not a power of two",
+     "{\"id\":\"1\",\"op\":\"explore\",\"trace\":\"x\",\"line_words\":3}",
+     ErrorCategory::kValidation},
+    {"max_index_bits too large",
+     "{\"id\":\"1\",\"op\":\"explore\",\"trace\":\"x\",\"max_index_bits\":"
+     "40}",
+     ErrorCategory::kValidation},
+    {"lone surrogate escape", "{\"id\":\"\\ud800\",\"op\":\"ping\"}",
+     ErrorCategory::kParse},
+    {"trailing bytes", "{\"id\":\"1\",\"op\":\"ping\"} extra",
+     ErrorCategory::kParse},
+    {"deep nesting",
+     "{\"id\":[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[0]]]]]]]]]]]]]]]]]]]]"
+     "]]]]]]]]]]]]]]]]]]]]}",
+     ErrorCategory::kParse},
+};
+
+const char* kValidLines[] = {
+    "{\"id\":\"1\",\"op\":\"ping\"}",
+    "{\"id\":\"2\",\"op\":\"metrics\"}",
+    "{\"id\":\"3\",\"op\":\"stats\",\"trace\":\"no-such-file.trc\"}",
+    "{\"id\":\"4\",\"op\":\"explore\",\"trace\":\"no-such-file.trc\","
+    "\"engine\":\"fused\",\"fraction\":0.05,\"line_words\":2,"
+    "\"max_index_bits\":8,\"deadline_ms\":1000}",
+    "{\"id\":\"5\",\"op\":\"ingest\",\"trace\":\"no-such-file.trc\","
+    "\"kind\":\"instr\"}",
+};
+
+}  // namespace ndjson_corpus
+
+TEST(FuzzServiceRequests, CorpusHasStableCategories) {
+  for (const auto& c : ndjson_corpus::kRequestCases) {
+    try {
+      ces::service::ParseRequest(c.line);
+      ADD_FAILURE() << c.name << ": expected a structured error";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.category(), c.expected) << c.name << ": " << e.what();
+    }
+  }
+  for (const char* line : ndjson_corpus::kValidLines) {
+    EXPECT_NO_THROW(ces::service::ParseRequest(line)) << line;
+  }
+}
+
+TEST(FuzzServiceRequests, ByteFlipsAndTruncationsNeverCrashTheParser) {
+  ces::Rng rng(0x5EC1);
+  for (const char* valid : ndjson_corpus::kValidLines) {
+    const std::string base = valid;
+    // Every truncation of every valid request.
+    for (std::size_t len = 0; len < base.size(); ++len) {
+      try {
+        ces::service::ParseRequest(base.substr(0, len));
+      } catch (const Error&) {
+        // any structured category is fine
+      }
+    }
+    // Byte flips: 1..4 mutations per round, including NUL and high bytes.
+    for (int round = 0; round < 2000; ++round) {
+      std::string mutated = base;
+      const int flips = 1 + static_cast<int>(rng.NextBounded(4));
+      for (int f = 0; f < flips; ++f) {
+        mutated[rng.NextBounded(mutated.size())] =
+            static_cast<char>(rng.NextBounded(256));
+      }
+      try {
+        ces::service::ParseRequest(mutated);
+      } catch (const Error&) {
+        // expected for most mutants
+      }
+    }
+  }
+}
+
+TEST(FuzzService, HandleAnswersEveryLineExactlyOnceAndNeverThrows) {
+  // The full daemon surface minus the socket: every line — valid, mutated,
+  // or token soup — must produce exactly one response, and malformed ones a
+  // structured ok:false with a code. jobs=1 keeps the harness cheap.
+  ces::service::ExplorationService::Options options;
+  options.jobs = 1;
+  options.cache_bytes = 1u << 16;
+  options.queue_limit = 64;
+  ces::service::ExplorationService service(options);
+
+  ces::Rng rng(0x5EC2);
+  auto roundtrip = [&service](const std::string& line) {
+    std::promise<std::string> promise;
+    auto future = promise.get_future();
+    service.Handle(line, [&promise](const std::string& response) {
+      promise.set_value(response);
+    });
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready)
+        << "no response for: " << line;
+    const std::string response = future.get();
+    ces::service::Response decoded;
+    ASSERT_NO_THROW(decoded = ces::service::ParseResponse(response))
+        << "undecodable response " << response << " for: " << line;
+  };
+
+  for (const auto& c : ndjson_corpus::kRequestCases) roundtrip(c.line);
+  for (const char* valid : ndjson_corpus::kValidLines) {
+    const std::string base = valid;
+    roundtrip(base);
+    for (int round = 0; round < 150; ++round) {
+      std::string mutated = base;
+      const int flips = 1 + static_cast<int>(rng.NextBounded(3));
+      for (int f = 0; f < flips; ++f) {
+        mutated[rng.NextBounded(mutated.size())] =
+            static_cast<char>(1 + rng.NextBounded(255));
+      }
+      roundtrip(mutated);
+    }
+  }
+  // Token soup: random JSON-ish fragments glued together.
+  static const char* kFragments[] = {
+      "{", "}", "[", "]", ":", ",", "\"id\"", "\"op\"", "\"explore\"",
+      "\"trace\"", "\"k\"", "1e309", "0.05", "-1", "18446744073709551616",
+      "null", "true", "\\u0000", "\"\\ud800\"", "\xff\xfe", "   "};
+  for (int round = 0; round < 500; ++round) {
+    std::string soup;
+    const int tokens = 1 + static_cast<int>(rng.NextBounded(24));
+    for (int t = 0; t < tokens; ++t) {
+      soup += kFragments[rng.NextBounded(std::size(kFragments))];
+    }
+    roundtrip(soup);
   }
 }
 

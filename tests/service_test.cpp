@@ -1,0 +1,670 @@
+// The exploration service: trace store, result cache, scheduler and the
+// NDJSON server/client, driven in-process.
+//
+// The load-bearing guarantees pinned here:
+//  * content addressing — the digest depends on canonical trace content
+//    only, not on the file format or name it arrived under;
+//  * one prelude per burst — concurrent same-trace requests share a single
+//    explorer build;
+//  * cache correctness — LRU order, byte-budget accounting, cross-shard
+//    determinism, and soundness under a concurrency hammer (run under TSan
+//    in CI);
+//  * scheduler policy — bounded admission sheds with retry_after_ms,
+//    expired deadlines are answered without compute, Drain answers
+//    everything already admitted;
+//  * end-to-end equivalence — responses over a real socket carry exactly
+//    the design points the offline Explorer computes, repeat requests are
+//    served from the cache, and a loaded server drains cleanly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analytic/explorer.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/result_cache.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+#include "service/trace_store.hpp"
+#include "support/error.hpp"
+#include "support/metrics.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+using ces::service::CachedResult;
+using ces::service::ResultCache;
+using ces::service::ResultKey;
+using ces::service::TraceStore;
+using ces::support::Error;
+using ces::support::MetricsRegistry;
+
+// --------------------------------------------------------------------------
+// ResultCache
+
+ResultKey KeyFor(std::uint64_t k, const std::string& digest = "sha256:test") {
+  ResultKey key;
+  key.digest = digest;
+  key.k = k;
+  return key;
+}
+
+std::shared_ptr<CachedResult> ValueFor(std::uint64_t k,
+                                       std::size_t n_points = 4) {
+  auto value = std::make_shared<CachedResult>();
+  value->k = k;
+  for (std::size_t i = 0; i < n_points; ++i) {
+    ces::analytic::DesignPoint point;
+    point.depth = 1u << i;
+    point.assoc = 1;
+    point.warm_misses = k + i;
+    value->points.push_back(point);
+  }
+  return value;
+}
+
+TEST(ResultCache, LookupMissThenHit) {
+  MetricsRegistry metrics;
+  ResultCache cache(1u << 20, 1, &metrics);
+  EXPECT_EQ(cache.Lookup(KeyFor(1)), nullptr);
+  cache.Insert(KeyFor(1), ValueFor(1));
+  const auto hit = cache.Lookup(KeyFor(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->k, 1u);
+  EXPECT_EQ(metrics.counter("service.cache.miss"), 1u);
+  EXPECT_EQ(metrics.counter("service.cache.hit"), 1u);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedFirst) {
+  // One shard so the LRU order is global. Budget sized for ~3 entries.
+  const std::size_t cost = ValueFor(0)->CostBytes(KeyFor(0));
+  MetricsRegistry metrics;
+  ResultCache cache(3 * cost, 1, &metrics);
+  cache.Insert(KeyFor(1), ValueFor(1));
+  cache.Insert(KeyFor(2), ValueFor(2));
+  cache.Insert(KeyFor(3), ValueFor(3));
+  EXPECT_EQ(cache.entries(), 3u);
+
+  // Touch 1 so 2 becomes the LRU tail, then overflow.
+  EXPECT_NE(cache.Lookup(KeyFor(1)), nullptr);
+  cache.Insert(KeyFor(4), ValueFor(4));
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_EQ(cache.Lookup(KeyFor(2)), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup(KeyFor(1)), nullptr);
+  EXPECT_NE(cache.Lookup(KeyFor(3)), nullptr);
+  EXPECT_NE(cache.Lookup(KeyFor(4)), nullptr);
+  EXPECT_EQ(metrics.counter("service.cache.eviction"), 1u);
+}
+
+TEST(ResultCache, ByteAccountingMatchesEntryCosts) {
+  MetricsRegistry metrics;
+  ResultCache cache(1u << 20, 4, &metrics);
+  std::size_t expected = 0;
+  for (std::uint64_t k = 0; k < 32; ++k) {
+    auto value = ValueFor(k, 1 + static_cast<std::size_t>(k % 7));
+    expected += value->CostBytes(KeyFor(k));
+    cache.Insert(KeyFor(k), std::move(value));
+  }
+  EXPECT_EQ(cache.bytes(), expected);
+  EXPECT_EQ(cache.entries(), 32u);
+  EXPECT_EQ(metrics.gauge("service.cache.bytes"), expected);
+
+  // Replacing a key swaps its cost, not accumulates it.
+  auto bigger = ValueFor(0, 20);
+  const std::size_t old_cost = ValueFor(0, 1)->CostBytes(KeyFor(0));
+  const std::size_t new_cost = bigger->CostBytes(KeyFor(0));
+  cache.Insert(KeyFor(0), std::move(bigger));
+  EXPECT_EQ(cache.bytes(), expected - old_cost + new_cost);
+  EXPECT_EQ(cache.entries(), 32u);
+}
+
+TEST(ResultCache, TinyBudgetStillAdmitsTheNewestEntry) {
+  ResultCache cache(1, 1);  // smaller than any single entry
+  cache.Insert(KeyFor(1), ValueFor(1));
+  EXPECT_NE(cache.Lookup(KeyFor(1)), nullptr);
+  cache.Insert(KeyFor(2), ValueFor(2));
+  EXPECT_EQ(cache.Lookup(KeyFor(1)), nullptr);
+  EXPECT_NE(cache.Lookup(KeyFor(2)), nullptr);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(ResultCache, ShardAssignmentIsStableAcrossInstances) {
+  // The FNV-1a shard hash must not depend on process state, pointer values
+  // or std::hash — the same key lands in the same shard in every run, which
+  // is what makes hit/miss sequences reproducible.
+  ResultCache a(1u << 20, 8);
+  ResultCache b(1u << 20, 8);
+  for (std::uint64_t k = 0; k < 256; ++k) {
+    const ResultKey key = KeyFor(k, "sha256:digest-" + std::to_string(k % 5));
+    EXPECT_EQ(a.ShardOf(key), b.ShardOf(key));
+    EXPECT_EQ(key.StableHash(), KeyFor(k, key.digest).StableHash());
+  }
+  // Distinct fields must actually participate in the hash.
+  ResultKey base = KeyFor(7);
+  ResultKey other = base;
+  other.engine = 1;
+  EXPECT_NE(base.StableHash(), other.StableHash());
+  other = base;
+  other.line_words = 4;
+  EXPECT_NE(base.StableHash(), other.StableHash());
+  other = base;
+  other.max_index_bits = 12;
+  EXPECT_NE(base.StableHash(), other.StableHash());
+}
+
+TEST(ResultCache, IdenticalOperationSequencesProduceIdenticalCaches) {
+  // Cross-shard determinism: replaying the same inserts/lookups against a
+  // fresh cache reproduces byte-for-byte the same occupancy.
+  auto run = [] {
+    ResultCache cache(4096, 4);
+    for (std::uint64_t k = 0; k < 200; ++k) {
+      cache.Insert(KeyFor(k * 37 % 64), ValueFor(k));
+      cache.Lookup(KeyFor(k % 16));
+    }
+    return std::pair<std::size_t, std::size_t>(cache.bytes(),
+                                               cache.entries());
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first, second);
+}
+
+TEST(ResultCache, ConcurrencyHammer) {
+  // 8 threads, overlapping key ranges, constant eviction pressure. The
+  // assertions are the invariants (budget respected, lookups see coherent
+  // values); the real check is TSan finding no races in CI.
+  MetricsRegistry metrics;
+  ResultCache cache(8192, 4, &metrics);
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, &failed, t] {
+      for (std::uint64_t i = 0; i < 2000; ++i) {
+        const std::uint64_t k = (i * 7 + static_cast<std::uint64_t>(t)) % 96;
+        if (i % 3 == 0) {
+          cache.Insert(KeyFor(k), ValueFor(k));
+        } else if (auto hit = cache.Lookup(KeyFor(k))) {
+          if (hit->k != k) failed.store(true);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(cache.bytes(),
+            metrics.gauge("service.cache.bytes"));
+  EXPECT_GT(metrics.counter("service.cache.eviction"), 0u);
+}
+
+// --------------------------------------------------------------------------
+// TraceStore
+
+std::string TempPath(const char* suffix) {
+  static std::atomic<int> counter{0};
+  return testing::TempDir() + "ces_service_" +
+         std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + suffix;
+}
+
+TEST(TraceStore, DigestIgnoresFormatAndName) {
+  ces::trace::Trace trace = ces::trace::PaperExampleTrace();
+  const std::string digest = TraceStore::DigestOf(trace);
+  EXPECT_EQ(digest.compare(0, 7, "sha256:"), 0);
+  EXPECT_EQ(digest.size(), 7u + 64u);
+
+  // Same content through two on-disk formats and different display names.
+  const std::string raw = TempPath(".trc");
+  const std::string compressed = TempPath(".ctr");
+  ces::trace::SaveToFile(raw, trace);
+  ces::trace::SaveToFile(compressed, trace);
+  const ces::trace::Trace from_raw =
+      ces::service::LoadTraceRef(raw, "data");
+  const ces::trace::Trace from_compressed =
+      ces::service::LoadTraceRef(compressed, "data");
+  EXPECT_EQ(TraceStore::DigestOf(from_raw), digest);
+  EXPECT_EQ(TraceStore::DigestOf(from_compressed), digest);
+  std::remove(raw.c_str());
+  std::remove(compressed.c_str());
+
+  // Content changes change the digest.
+  ces::trace::Trace instr = ces::trace::PaperExampleTrace();
+  instr.kind = ces::trace::StreamKind::kInstruction;
+  EXPECT_NE(TraceStore::DigestOf(instr), digest);
+  ces::trace::Trace longer = ces::trace::PaperExampleTrace();
+  longer.refs.push_back(longer.refs.front());
+  EXPECT_NE(TraceStore::DigestOf(longer), digest);
+}
+
+TEST(TraceStore, IngestIsIdempotentAndEvictsLru) {
+  MetricsRegistry metrics;
+  TraceStore store(2, &metrics);
+  const auto first = store.Ingest(ces::trace::PaperExampleTrace());
+  const auto again = store.Ingest(ces::trace::PaperExampleTrace());
+  EXPECT_EQ(first.digest, again.digest);
+  EXPECT_EQ(first.trace.get(), again.trace.get());  // same pinned object
+  EXPECT_EQ(store.pinned_traces(), 1u);
+  EXPECT_EQ(metrics.counter("service.store.ingested"), 1u);
+  EXPECT_EQ(metrics.counter("service.store.dedup_hits"), 1u);
+
+  const auto second =
+      store.Ingest(ces::trace::SequentialLoop(0x100, 32, 2));
+  EXPECT_EQ(store.pinned_traces(), 2u);
+  // Touch `first` so `second` is the LRU victim when a third arrives.
+  EXPECT_NE(store.Find(first.digest).trace, nullptr);
+  store.Ingest(ces::trace::StridedSweep(0x200, 8, 16, 2));
+  EXPECT_EQ(store.pinned_traces(), 2u);
+  EXPECT_EQ(store.Find(second.digest).trace, nullptr);  // evicted
+  EXPECT_NE(store.Find(first.digest).trace, nullptr);
+  EXPECT_EQ(metrics.counter("service.store.evicted"), 1u);
+}
+
+TEST(TraceStore, ConcurrentBurstBuildsOnePrelude) {
+  MetricsRegistry metrics;
+  TraceStore store(4, &metrics);
+  const auto pinned = store.Ingest(ces::trace::PaperExampleTrace());
+
+  ces::analytic::ExplorerOptions options;
+  options.max_index_bits = 4;
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const ces::analytic::Explorer>> explorers(16);
+  for (std::size_t t = 0; t < explorers.size(); ++t) {
+    threads.emplace_back([&, t] {
+      explorers[t] = store.GetOrBuildExplorer(pinned.digest, options);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const auto& explorer : explorers) {
+    ASSERT_NE(explorer, nullptr);
+    EXPECT_EQ(explorer.get(), explorers[0].get());  // one shared build
+  }
+  EXPECT_EQ(metrics.counter("service.prelude.built"), 1u);
+  EXPECT_EQ(metrics.counter("service.prelude.reused"), 15u);
+
+  EXPECT_THROW(store.GetOrBuildExplorer("sha256:" + std::string(64, '0'),
+                                        options),
+               Error);
+}
+
+// --------------------------------------------------------------------------
+// Protocol
+
+TEST(Protocol, RequestRoundTripsEveryField) {
+  const auto request = ces::service::ParseRequest(
+      "{\"id\":\"q1\",\"op\":\"explore\",\"trace\":\"crc\","
+      "\"kind\":\"instr\",\"engine\":\"fused-tree\",\"k\":42,"
+      "\"line_words\":4,\"max_index_bits\":10,\"deadline_ms\":250}");
+  EXPECT_EQ(request.id, "q1");
+  EXPECT_EQ(request.op, ces::service::Op::kExplore);
+  EXPECT_EQ(request.trace, "crc");
+  EXPECT_EQ(request.kind, "instr");
+  EXPECT_EQ(request.engine, "fused-tree");
+  EXPECT_TRUE(request.has_k);
+  EXPECT_EQ(request.k, 42u);
+  EXPECT_FALSE(request.has_fraction);
+  EXPECT_EQ(request.line_words, 4u);
+  EXPECT_EQ(request.max_index_bits, 10u);
+  EXPECT_EQ(request.deadline_ms, 250u);
+}
+
+TEST(Protocol, ExploreResponseRoundTrips) {
+  ces::trace::TraceStats stats{100, 40, 38};
+  std::vector<ces::analytic::DesignPoint> points;
+  points.push_back({.depth = 4, .assoc = 2, .warm_misses = 17});
+  const std::string line = ces::service::protocol::ExploreResponse(
+      "q7", "sha256:" + std::string(64, 'a'), "fused", 5, stats, points,
+      true);
+  const auto response = ces::service::ParseResponse(line);
+  EXPECT_TRUE(response.ok);
+  EXPECT_EQ(response.id, "q7");
+  EXPECT_EQ(response.engine, "fused");
+  EXPECT_EQ(response.k, 5u);
+  EXPECT_TRUE(response.cached);
+  ASSERT_TRUE(response.has_stats);
+  EXPECT_EQ(response.stats.n, 100u);
+  EXPECT_EQ(response.stats.n_unique, 40u);
+  EXPECT_EQ(response.stats.max_misses, 38u);
+  ASSERT_EQ(response.points.size(), 1u);
+  EXPECT_EQ(response.points[0].depth, 4u);
+  EXPECT_EQ(response.points[0].assoc, 2u);
+  EXPECT_EQ(response.points[0].size_words(), 8u);
+  EXPECT_EQ(response.points[0].warm_misses, 17u);
+}
+
+TEST(Protocol, ErrorResponseCarriesRetryHint) {
+  const std::string line = ces::service::protocol::ErrorResponse(
+      "q9", ces::service::protocol::kCodeOverloaded, "queue full", 250);
+  const auto response = ces::service::ParseResponse(line);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.id, "q9");
+  EXPECT_EQ(response.error_code, "overloaded");
+  EXPECT_EQ(response.error_message, "queue full");
+  EXPECT_EQ(response.retry_after_ms, 250u);
+}
+
+// --------------------------------------------------------------------------
+// Scheduler policy via the transport-free service
+
+struct CollectedResponse {
+  std::promise<ces::service::Response> promise;
+  std::future<ces::service::Response> future = promise.get_future();
+
+  ces::service::ExplorationService::Responder responder() {
+    return [this](const std::string& line) {
+      promise.set_value(ces::service::ParseResponse(line));
+    };
+  }
+  ces::service::Response get() {
+    EXPECT_EQ(future.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+    return future.get();
+  }
+};
+
+TEST(Service, FullQueueShedsWithRetryHint) {
+  MetricsRegistry metrics;
+  ces::service::ExplorationService::Options options;
+  options.jobs = 1;
+  options.queue_limit = 2;
+  options.retry_after_ms = 123;
+  options.metrics = &metrics;
+  ces::service::ExplorationService service(options);
+  service.scheduler().Pause();  // admissions stay queued -> bound observable
+
+  const std::string line =
+      "{\"id\":\"1\",\"op\":\"stats\",\"trace\":\"missing.trc\"}";
+  CollectedResponse first, second, third;
+  service.Handle(line, first.responder());
+  service.Handle(line, second.responder());
+  service.Handle(line, third.responder());  // over the limit: shed inline
+
+  const auto shed = third.get();
+  EXPECT_FALSE(shed.ok);
+  EXPECT_EQ(shed.error_code, "overloaded");
+  EXPECT_EQ(shed.retry_after_ms, 123u);
+  EXPECT_EQ(metrics.counter("service.queue.shed"), 1u);
+
+  service.scheduler().Resume();
+  const auto first_response = first.get();
+  EXPECT_FALSE(first_response.ok);  // missing.trc: structured io error
+  EXPECT_EQ(first_response.error_code, "io");
+  EXPECT_FALSE(second.get().ok);
+}
+
+TEST(Service, ExpiredDeadlineIsAnsweredWithoutCompute) {
+  MetricsRegistry metrics;
+  ces::service::ExplorationService::Options options;
+  options.jobs = 1;
+  options.metrics = &metrics;
+  ces::service::ExplorationService service(options);
+  service.scheduler().Pause();
+
+  CollectedResponse expired;
+  service.Handle(
+      "{\"id\":\"1\",\"op\":\"explore\",\"trace\":\"crc\","
+      "\"deadline_ms\":1}",
+      expired.responder());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.scheduler().Resume();
+
+  const auto response = expired.get();
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error_code, "deadline_exceeded");
+  EXPECT_EQ(metrics.counter("service.deadline_exceeded"), 1u);
+  // The trace was never resolved: deadline-expired jobs skip all work.
+  EXPECT_EQ(metrics.counter("service.store.ingested"), 0u);
+}
+
+TEST(Service, DrainAnswersAdmittedAndShedsLateArrivals) {
+  ces::service::ExplorationService::Options options;
+  options.jobs = 1;
+  ces::service::ExplorationService service(options);
+  service.scheduler().Pause();
+
+  CollectedResponse admitted;
+  service.Handle("{\"id\":\"1\",\"op\":\"ping\"}",
+                 admitted.responder());  // inline: answered immediately
+  CollectedResponse queued;
+  service.Handle("{\"id\":\"2\",\"op\":\"stats\",\"trace\":\"missing.trc\"}",
+                 queued.responder());
+
+  service.Drain();  // paused scheduler still answers the admitted job
+  const auto response = queued.get();
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error_code, "io");
+
+  CollectedResponse late;
+  service.Handle("{\"id\":\"3\",\"op\":\"stats\",\"trace\":\"missing.trc\"}",
+                 late.responder());
+  EXPECT_EQ(late.get().error_code, "shutting_down");
+  EXPECT_TRUE(admitted.get().ok);
+}
+
+TEST(Service, MalformedLineGetsStructuredErrorNotAThrow) {
+  ces::service::ExplorationService::Options options;
+  options.jobs = 1;
+  ces::service::ExplorationService service(options);
+  CollectedResponse bad;
+  EXPECT_NO_THROW(service.Handle("{nope", bad.responder()));
+  const auto response = bad.get();
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error_code, "parse");
+  EXPECT_TRUE(response.id.empty());
+}
+
+// --------------------------------------------------------------------------
+// End to end over a real socket
+
+struct ServerFixture {
+  explicit ServerFixture(MetricsRegistry* metrics,
+                         std::size_t queue_limit = 256) {
+    ces::service::ServerOptions options;
+    options.unix_path = TempPath(".sock");
+    options.service.jobs = 2;
+    options.service.queue_limit = queue_limit;
+    options.service.metrics = metrics;
+    server = std::make_unique<ces::service::Server>(std::move(options));
+    server->Start();
+  }
+
+  ces::service::Client NewClient(int attempts = 4) {
+    ces::service::ClientOptions options;
+    options.unix_path = server->endpoint().substr(5);  // strip "unix:"
+    options.timeout_ms = 30'000;
+    options.max_attempts = attempts;
+    options.backoff_base_ms = 1;
+    options.backoff_cap_ms = 20;
+    options.jitter_seed = 0x5eed;
+    return ces::service::Client(std::move(options));
+  }
+
+  std::unique_ptr<ces::service::Server> server;
+};
+
+TEST(ServerEndToEnd, ExploreMatchesOfflineExplorerAndRepeatsHitTheCache) {
+  MetricsRegistry metrics;
+  ServerFixture fixture(&metrics);
+  ces::service::Client client = fixture.NewClient();
+
+  const std::string trace_path = TempPath(".trc");
+  const ces::trace::Trace trace = ces::trace::PaperExampleTrace();
+  ces::trace::SaveToFile(trace_path, trace);
+
+  const std::string request =
+      "{\"id\":\"1\",\"op\":\"explore\",\"trace\":\"" + trace_path +
+      "\",\"engine\":\"fused\",\"fraction\":0.05,\"max_index_bits\":4}";
+  const auto first = client.Request(request);
+  ASSERT_TRUE(first.ok) << first.raw;
+  EXPECT_FALSE(first.cached);
+
+  // The offline ground truth, computed the way cachedse explore does.
+  ces::analytic::ExplorerOptions options;
+  options.max_index_bits = 4;
+  const ces::analytic::Explorer explorer(trace, options);
+  const auto k = static_cast<std::uint64_t>(
+      0.05 * static_cast<double>(explorer.stats().max_misses));
+  const auto expected = explorer.Solve(k);
+  EXPECT_EQ(first.k, k);
+  EXPECT_EQ(first.stats.n, explorer.stats().n);
+  EXPECT_EQ(first.stats.n_unique, explorer.stats().n_unique);
+  EXPECT_EQ(first.stats.max_misses, explorer.stats().max_misses);
+  ASSERT_EQ(first.points.size(), expected.points.size());
+  for (std::size_t i = 0; i < expected.points.size(); ++i) {
+    EXPECT_EQ(first.points[i].depth, expected.points[i].depth);
+    EXPECT_EQ(first.points[i].assoc, expected.points[i].assoc);
+    EXPECT_EQ(first.points[i].warm_misses, expected.points[i].warm_misses);
+  }
+
+  // Repeat: answered from the cache, same payload.
+  const auto second = client.Request(request);
+  ASSERT_TRUE(second.ok);
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(second.k, first.k);
+  ASSERT_EQ(second.points.size(), first.points.size());
+  for (std::size_t i = 0; i < first.points.size(); ++i) {
+    EXPECT_EQ(second.points[i].warm_misses, first.points[i].warm_misses);
+  }
+  EXPECT_GE(metrics.counter("service.cache.hit"), 1u);
+  EXPECT_EQ(metrics.counter("service.prelude.built"), 1u);
+  std::remove(trace_path.c_str());
+}
+
+TEST(ServerEndToEnd, PipelinedBatchIsAnsweredInRequestOrder) {
+  MetricsRegistry metrics;
+  ServerFixture fixture(&metrics);
+  ces::service::Client client = fixture.NewClient();
+
+  const std::string trace_path = TempPath(".trc");
+  ces::trace::SaveToFile(trace_path, ces::trace::PaperExampleTrace());
+
+  std::vector<std::string> lines;
+  lines.push_back("{\"id\":\"a\",\"op\":\"ping\"}");
+  lines.push_back("{\"id\":\"b\",\"op\":\"ingest\",\"trace\":\"" +
+                  trace_path + "\"}");
+  lines.push_back("{\"id\":\"c\",\"op\":\"stats\",\"trace\":\"" +
+                  trace_path + "\"}");
+  for (int k = 1; k <= 5; ++k) {
+    lines.push_back("{\"id\":\"k" + std::to_string(k) +
+                    "\",\"op\":\"explore\",\"trace\":\"" + trace_path +
+                    "\",\"k\":" + std::to_string(k) +
+                    ",\"max_index_bits\":4}");
+  }
+  lines.push_back("{\"id\":\"bad\",\"op\":\"explore\"}");
+
+  const auto responses = client.Batch(lines);
+  ASSERT_EQ(responses.size(), lines.size());
+  EXPECT_TRUE(responses[0].ok);
+  EXPECT_EQ(responses[0].id, "a");
+  EXPECT_TRUE(responses[1].ok);
+  const std::string digest = responses[1].digest;
+  EXPECT_EQ(digest.compare(0, 7, "sha256:"), 0);
+  EXPECT_TRUE(responses[2].ok);
+  EXPECT_EQ(responses[2].digest, digest);
+  for (int k = 1; k <= 5; ++k) {
+    const auto& response = responses[2 + static_cast<std::size_t>(k)];
+    EXPECT_TRUE(response.ok) << response.raw;
+    EXPECT_EQ(response.id, "k" + std::to_string(k));
+    EXPECT_EQ(response.k, static_cast<std::uint64_t>(k));
+  }
+  EXPECT_FALSE(responses.back().ok);
+  EXPECT_EQ(responses.back().id, "bad");
+  EXPECT_EQ(responses.back().error_code, "validation");
+
+  // The whole same-trace burst shared one trace read and one prelude.
+  EXPECT_EQ(metrics.counter("service.prelude.built"), 1u);
+  EXPECT_EQ(metrics.counter("service.store.ingested"), 1u);
+
+  // Digest-addressed follow-up: no path needed once ingested.
+  const auto by_digest = client.Request(
+      "{\"id\":\"d\",\"op\":\"stats\",\"digest\":\"" + digest + "\"}");
+  EXPECT_TRUE(by_digest.ok);
+  EXPECT_EQ(by_digest.stats.n, 10u);  // the paper example's N
+  std::remove(trace_path.c_str());
+}
+
+TEST(ServerEndToEnd, ClientRetriesShedRequestsUntilAnswered) {
+  MetricsRegistry metrics;
+  ServerFixture fixture(&metrics, /*queue_limit=*/1);
+  fixture.server->service().scheduler().Pause();
+
+  // Fill the queue, then a second request must be shed...
+  ces::service::Client filler = fixture.NewClient(/*attempts=*/1);
+  std::thread fill([&filler] {
+    try {
+      filler.Request(
+          "{\"id\":\"fill\",\"op\":\"stats\",\"trace\":\"missing.trc\"}");
+    } catch (const Error&) {
+    }
+  });
+  while (metrics.counter("service.requests") < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // ...and the retrying client must eventually get through once the queue
+  // reopens. Resume from a helper thread after the shed has happened.
+  std::thread resumer([&] {
+    while (metrics.counter("service.queue.shed") < 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    fixture.server->service().scheduler().Resume();
+  });
+  ces::service::Client retrying = fixture.NewClient(/*attempts=*/10);
+  const auto response = retrying.Request(
+      "{\"id\":\"retry\",\"op\":\"stats\",\"trace\":\"missing.trc\"}");
+  EXPECT_FALSE(response.ok);        // missing.trc is still an io error...
+  EXPECT_EQ(response.error_code, "io");  // ...but it was answered, not shed
+  EXPECT_GE(metrics.counter("service.queue.shed"), 1u);
+  fill.join();
+  resumer.join();
+}
+
+TEST(ServerEndToEnd, DrainsCleanlyWhileLoaded) {
+  MetricsRegistry metrics;
+  auto fixture = std::make_unique<ServerFixture>(&metrics);
+  ces::service::Client client = fixture->NewClient();
+
+  const std::string trace_path = TempPath(".trc");
+  ces::trace::SaveToFile(trace_path, ces::trace::PaperExampleTrace());
+
+  // A batch in flight while the shutdown op lands on another connection.
+  std::vector<std::string> lines;
+  for (int k = 1; k <= 8; ++k) {
+    lines.push_back("{\"id\":\"k" + std::to_string(k) +
+                    "\",\"op\":\"explore\",\"trace\":\"" + trace_path +
+                    "\",\"k\":" + std::to_string(k) +
+                    ",\"max_index_bits\":4}");
+  }
+  auto in_flight = std::async(std::launch::async, [&client, &lines] {
+    return client.Batch(lines);
+  });
+
+  ces::service::Client controller = fixture->NewClient();
+  const auto ack =
+      controller.Request("{\"id\":\"s\",\"op\":\"shutdown\"}");
+  EXPECT_TRUE(ack.ok);
+  fixture->server->Wait();  // graceful: everything admitted is answered
+
+  // The in-flight batch either completed (all answered before the drain)
+  // or was partially shed with "shutting_down" — the client surfaces that
+  // as an exhausted retry budget, never as a hang or a crash.
+  try {
+    const auto responses = in_flight.get();
+    for (const auto& response : responses) {
+      if (!response.ok) {
+        EXPECT_EQ(response.error_code, "shutting_down") << response.raw;
+      }
+    }
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("retry budget"), std::string::npos);
+  }
+  fixture.reset();  // idempotent teardown
+  std::remove(trace_path.c_str());
+}
+
+}  // namespace

@@ -15,6 +15,7 @@
 #include "support/metrics.hpp"
 #include "support/progress.hpp"
 #include "support/rng.hpp"
+#include "support/sha256.hpp"
 #include "support/table.hpp"
 #include "support/trace_event.hpp"
 
@@ -515,6 +516,73 @@ TEST(ProgressReporter, TicksWithoutAnOpenPhaseAreSilent) {
   std::rewind(stream);
   EXPECT_EQ(std::fgetc(stream), EOF);
   std::fclose(stream);
+}
+
+// FIPS 180-2 appendix B test vectors, plus the incremental-update contract
+// the TraceStore relies on (arbitrary chunking must not change the digest).
+
+TEST(Sha256, Fips180OneBlockMessage) {
+  EXPECT_EQ(
+      ces::support::Sha256::HexOf("abc"),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, Fips180TwoBlockMessage) {
+  EXPECT_EQ(
+      ces::support::Sha256::HexOf(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, Fips180EmptyMessage) {
+  EXPECT_EQ(
+      ces::support::Sha256::HexOf(""),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Fips180MillionAs) {
+  ces::support::Sha256 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.Update(chunk);
+  EXPECT_EQ(
+      hasher.FinishHex(),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalChunkingMatchesOneShot) {
+  // The exact FIPS padding boundaries (55/56/63/64/65 bytes) are where
+  // buffered implementations break, so sweep lengths across them with a
+  // deterministic byte pattern and varying chunk sizes.
+  std::string message;
+  for (int i = 0; i < 200; ++i) {
+    message.push_back(static_cast<char>((i * 37 + 11) & 0xFF));
+  }
+  for (std::size_t length : {0u, 1u, 55u, 56u, 63u, 64u, 65u, 127u, 200u}) {
+    const std::string_view whole(message.data(), length);
+    const std::string expected = ces::support::Sha256::HexOf(whole);
+    for (std::size_t chunk : {1u, 3u, 64u, 200u}) {
+      ces::support::Sha256 hasher;
+      for (std::size_t at = 0; at < length; at += chunk) {
+        hasher.Update(whole.substr(at, chunk));
+      }
+      EXPECT_EQ(hasher.FinishHex(), expected)
+          << "length=" << length << " chunk=" << chunk;
+    }
+  }
+}
+
+TEST(Sha256, ResetAllowsReuseAndUpdateAfterFinishThrows) {
+  ces::support::Sha256 hasher;
+  hasher.Update("abc");
+  EXPECT_EQ(
+      hasher.FinishHex(),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_THROW(hasher.Update("more"), ces::support::Error);
+  hasher.Reset();
+  hasher.Update("abc");
+  EXPECT_EQ(
+      hasher.FinishHex(),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
 }
 
 }  // namespace

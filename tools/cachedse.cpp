@@ -35,7 +35,9 @@
 // one distinct code per support::ErrorCategory for structured failures —
 // 3 io, 4 format, 5 parse, 6 range, 7 truncated, 8 unsupported,
 // 9 validation, 10 internal (see docs/ERRORS.md).
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -50,6 +52,7 @@
 #include "support/metrics.hpp"
 #include "support/pool.hpp"
 #include "support/progress.hpp"
+#include "support/signals.hpp"
 #include "support/table.hpp"
 #include "support/trace_event.hpp"
 #include "trace/dinero.hpp"
@@ -98,13 +101,19 @@ struct MetricsEmitter {
 
   ces::support::MetricsRegistry* get() { return enabled ? &registry : nullptr; }
 
+  // At most one metrics line is ever printed, even when the normal exit path
+  // and the signal watcher race — whoever flips the flag wins, and the JSON
+  // is complete because the registry serialises under its own lock.
   void Emit() {
-    if (enabled) std::printf("%s\n", registry.ToJson(timings).c_str());
+    if (!enabled || emitted.exchange(true)) return;
+    std::printf("%s\n", registry.ToJson(timings).c_str());
+    std::fflush(stdout);
   }
 
   ces::support::MetricsRegistry registry;
   bool enabled = false;
   bool timings = false;
+  std::atomic<bool> emitted{false};
 };
 
 // --trace-out=FILE support: installs a process-global TraceSink for the
@@ -126,15 +135,19 @@ struct TraceEmitter {
     if (sink != nullptr) ces::support::TraceSink::SetGlobal(nullptr);
   }
 
+  // Idempotent and callable from the signal watcher thread: the first caller
+  // uninstalls the global sink and writes the file; later callers (a second
+  // signal, or the normal exit after an interrupt) are no-ops. The sink
+  // object itself stays alive so a worker mid-span never touches freed state.
   void Finish() {
-    if (sink == nullptr) return;
+    if (sink == nullptr || finished.exchange(true)) return;
     ces::support::TraceSink::SetGlobal(nullptr);
     sink->WriteJsonFile(path);
-    sink.reset();
   }
 
   std::string path;
   std::unique_ptr<ces::support::TraceSink> sink;
+  std::atomic<bool> finished{false};
 };
 
 // --progress support: installs a process-global stderr reporter so long
@@ -232,10 +245,9 @@ std::vector<std::string> SplitList(const std::string& list) {
   return items;
 }
 
-int CmdExplore(const ces::ArgParser& args) {
+int CmdExplore(const ces::ArgParser& args, MetricsEmitter& metrics) {
   const std::string path = args.GetString("trace", "");
   if (path.empty()) return Usage();
-  MetricsEmitter metrics(args);
   const ces::trace::Trace trace =
       LoadAnyFormat(path, args.GetString("kind", "data"), metrics.get());
 
@@ -282,10 +294,9 @@ int CmdExplore(const ces::ArgParser& args) {
   return 0;
 }
 
-int CmdStats(const ces::ArgParser& args) {
+int CmdStats(const ces::ArgParser& args, MetricsEmitter& metrics) {
   const std::string path = args.GetString("trace", "");
   if (path.empty()) return Usage();
-  MetricsEmitter metrics(args);
   const ces::trace::Trace trace =
       LoadAnyFormat(path, args.GetString("kind", "data"), metrics.get());
   const auto stats = ces::trace::ComputeStats(trace);
@@ -357,11 +368,10 @@ std::string CompareOneCell(const std::string& name,
   return out;
 }
 
-int CmdCompare(const ces::ArgParser& args) {
+int CmdCompare(const ces::ArgParser& args, MetricsEmitter& metrics) {
   const std::vector<std::string> paths =
       SplitList(args.GetString("trace", ""));
   if (paths.empty()) return Usage();
-  MetricsEmitter metrics(args);
   std::vector<double> fractions;
   for (const std::string& f : SplitList(args.GetString("fraction", "0.05"))) {
     fractions.push_back(std::stod(f));
@@ -495,11 +505,10 @@ int CmdCompile(const ces::ArgParser& args) {
   return 0;
 }
 
-int CmdConvert(const ces::ArgParser& args) {
+int CmdConvert(const ces::ArgParser& args, MetricsEmitter& metrics) {
   const std::string in = args.GetString("trace", "");
   const std::string out = args.GetString("out", "");
   if (in.empty() || out.empty()) return Usage();
-  MetricsEmitter metrics(args);
   SaveAnyFormat(out,
                 LoadAnyFormat(in, args.GetString("kind", "data"),
                               metrics.get()));
@@ -508,12 +517,13 @@ int CmdConvert(const ces::ArgParser& args) {
   return 0;
 }
 
-int RunCommand(const std::string& command, const ces::ArgParser& args) {
-  if (command == "explore") return CmdExplore(args);
-  if (command == "stats") return CmdStats(args);
-  if (command == "compare") return CmdCompare(args);
+int RunCommand(const std::string& command, const ces::ArgParser& args,
+               MetricsEmitter& metrics) {
+  if (command == "explore") return CmdExplore(args, metrics);
+  if (command == "stats") return CmdStats(args, metrics);
+  if (command == "compare") return CmdCompare(args, metrics);
   if (command == "workload") return CmdWorkload(args);
-  if (command == "convert") return CmdConvert(args);
+  if (command == "convert") return CmdConvert(args, metrics);
   if (command == "compile") return CmdCompile(args);
   return Usage();
 }
@@ -527,7 +537,18 @@ int main(int argc, char** argv) {
   TraceEmitter trace_out(args);
   ProgressGuard progress(args);
   try {
-    const int rc = RunCommand(command, args);
+    // The emitters live in main and the signal watcher flushes them, so an
+    // interrupted run still ends with a complete metrics JSON line and a
+    // well-formed trace-event file before the conventional 128+signo exit.
+    // The watcher is constructed before any worker thread, so every thread
+    // inherits the blocked mask and signals land only on the watcher.
+    MetricsEmitter metrics(args);
+    ces::support::SignalWatcher watcher([&](int signo) {
+      metrics.Emit();
+      trace_out.Finish();
+      std::_Exit(128 + signo);
+    });
+    const int rc = RunCommand(command, args, metrics);
     trace_out.Finish();
     return rc;
   } catch (const ces::support::Error& e) {

@@ -1,0 +1,122 @@
+// cachedse-server — the long-running exploration daemon.
+//
+//   cachedse-server --socket=/run/cachedse.sock [flags]
+//   cachedse-server --port=0                    [flags]   (0 = ephemeral)
+//
+//   --jobs=N           worker threads for the fused sweeps (0 = hardware)
+//   --cache-mb=64      result-cache byte budget, in MiB
+//   --cache-shards=8   result-cache shard count (rounded up to a power of 2)
+//   --queue-limit=256  admission bound; beyond it requests are shed with
+//                      "overloaded" and a retry_after_ms hint
+//   --retry-after-ms=100  the hint attached to sheds
+//   --max-traces=64    pinned traces before LRU eviction from the store
+//   --metrics=json     print the MetricsRegistry as one JSON line on exit
+//   --trace-out=FILE   write a Chrome trace-event profile on exit
+//
+// The daemon prints "listening on <endpoint>" once the socket is bound (for
+// TCP with --port=0 this is how the chosen port is discovered) and serves
+// NDJSON requests until SIGINT/SIGTERM or a client shutdown op, then drains
+// gracefully: admission stops, every already-accepted request is answered,
+// connections are hung up, and the exit code is 0. See docs/SERVICE.md.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "service/server.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/metrics.hpp"
+#include "support/signals.hpp"
+#include "support/trace_event.hpp"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: cachedse-server (--socket=PATH | --port=N) [--jobs=N]\n"
+      "  [--cache-mb=64] [--cache-shards=8] [--queue-limit=256]\n"
+      "  [--retry-after-ms=100] [--max-traces=64] [--metrics=json]\n"
+      "  [--trace-out=FILE]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ces::ArgParser args(argc, argv);
+  const std::string socket_path = args.GetString("socket", "");
+  const bool has_port = args.Has("port");
+  if (socket_path.empty() == !has_port) return Usage();
+
+  ces::support::MetricsRegistry registry;
+  const std::string metrics_format = args.GetString("metrics", "");
+  const bool emit_metrics = metrics_format == "json";
+  if (!metrics_format.empty() && !emit_metrics) {
+    std::fprintf(stderr, "cachedse-server: unknown --metrics format '%s'\n",
+                 metrics_format.c_str());
+    return 2;
+  }
+
+  const std::string trace_path = args.GetString("trace-out", "");
+  std::unique_ptr<ces::support::TraceSink> sink;
+  if (!trace_path.empty()) {
+    sink = std::make_unique<ces::support::TraceSink>();
+    sink->NameThisThread("main");
+    ces::support::TraceSink::SetGlobal(sink.get());
+  }
+
+  ces::service::ServerOptions options;
+  options.unix_path = socket_path;
+  options.tcp_port = has_port ? static_cast<int>(args.GetInt("port", 0)) : -1;
+  options.service.jobs = static_cast<unsigned>(args.GetInt("jobs", 0));
+  options.service.cache_bytes =
+      static_cast<std::size_t>(args.GetInt("cache-mb", 64)) << 20;
+  options.service.cache_shards =
+      static_cast<std::size_t>(args.GetInt("cache-shards", 8));
+  options.service.queue_limit =
+      static_cast<std::size_t>(args.GetInt("queue-limit", 256));
+  options.service.retry_after_ms =
+      static_cast<std::uint64_t>(args.GetInt("retry-after-ms", 100));
+  options.service.max_traces =
+      static_cast<std::size_t>(args.GetInt("max-traces", 64));
+  options.service.metrics = &registry;
+
+  try {
+    // The watcher must exist before the Server constructor spawns the
+    // scheduler and pool threads — threads inherit the blocked mask, so this
+    // ordering is what guarantees SIGINT/SIGTERM land only on the watcher,
+    // which merely flags the shutdown; the drain runs below on main.
+    std::atomic<ces::service::Server*> server_ptr{nullptr};
+    ces::support::SignalWatcher watcher([&server_ptr](int signo) {
+      if (ces::service::Server* server = server_ptr.load()) {
+        server->RequestShutdown();
+      } else {
+        std::_Exit(128 + signo);  // signalled before the server existed
+      }
+    });
+    ces::service::Server server(std::move(options));
+    server_ptr.store(&server);
+    server.Start();
+    std::printf("listening on %s\n", server.endpoint().c_str());
+    std::fflush(stdout);
+    server.Wait();
+  } catch (const ces::support::Error& e) {
+    std::fprintf(stderr, "cachedse-server: %s\n", e.what());
+    return ces::support::ExitCodeFor(e.category());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cachedse-server: %s\n", e.what());
+    return 1;
+  }
+
+  if (sink != nullptr) {
+    ces::support::TraceSink::SetGlobal(nullptr);
+    sink->WriteJsonFile(trace_path);
+  }
+  if (emit_metrics) {
+    std::printf("%s\n", registry.ToJson(true).c_str());
+  }
+  return 0;
+}
