@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <unordered_set>
 
 #include "support/error.hpp"
 
@@ -133,11 +134,17 @@ class Parser {
       ++pos_;
       return value;
     }
+    // Hash-set membership keeps duplicate detection O(1) per key; a Find()
+    // scan would be quadratic in the member count, which a hostile request
+    // of ~100k tiny keys under the server's line-size cap could exploit.
+    std::unordered_set<std::string> seen_keys;
     for (;;) {
       SkipWhitespace();
       if (AtEnd() || text_[pos_] != '"') Fail("expected object key");
       std::string key = ParseString();
-      if (value.Find(key) != nullptr) Fail("duplicate object key '" + key + "'");
+      if (!seen_keys.insert(key).second) {
+        Fail("duplicate object key '" + key + "'");
+      }
       SkipWhitespace();
       Expect(':', "':'");
       SkipWhitespace();

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -67,10 +68,36 @@ void Server::Start() {
                  sizeof(addr.sun_path) - 1);
     listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (listen_fd_ < 0) FailIo("socket");
-    // A previous daemon that died uncleanly leaves the inode behind; a live
-    // one would still be bound, which bind reports as EADDRINUSE after the
-    // unlink of a *stale* path, so removing first is the standard dance.
-    ::unlink(options_.unix_path.c_str());
+    // A previous daemon that died uncleanly leaves the inode behind, which
+    // bind reports as EADDRINUSE — but blindly unlinking would silently
+    // steal the endpoint from a daemon that is still alive. Probe first:
+    // a successful connect means a live listener (refuse to start), and
+    // only ECONNREFUSED (stale inode) licenses the unlink. ENOENT means
+    // there is nothing to remove at all.
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe < 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      FailIo("socket");
+    }
+    if (::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      ::close(probe);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw Error(ErrorCategory::kIo, "server",
+                  "a daemon is already listening on " + options_.unix_path);
+    }
+    const int probe_errno = errno;
+    ::close(probe);
+    if (probe_errno == ECONNREFUSED) {
+      ::unlink(options_.unix_path.c_str());
+    } else if (probe_errno != ENOENT) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      errno = probe_errno;
+      FailIo("probe existing socket " + options_.unix_path);
+    }
     if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
                sizeof(addr)) != 0) {
       FailIo("bind " + options_.unix_path);
@@ -107,9 +134,28 @@ void Server::AcceptLoop() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // listen socket closed: shutting down
+      const int accept_errno = errno;
+      if (accept_errno == EINTR || accept_errno == ECONNABORTED) continue;
+      {
+        // Wait() closes the listen socket only after shutdown_requested_ is
+        // set, so a failure during shutdown is always observable here.
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (shutdown_requested_) return;
+      }
+      if (accept_errno == EMFILE || accept_errno == ENFILE ||
+          accept_errno == ENOBUFS || accept_errno == ENOMEM) {
+        // Out of fds or kernel memory: a transient condition the daemon
+        // must ride out, not a reason to kill the acceptor forever.
+        // Reaping finished connections frees fds; then back off briefly.
+        ReapFinishedConnections();
+        support::MetricsRegistry::Add(options_.service.metrics,
+                                      "service.accept_backoff");
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        continue;
+      }
+      return;  // EBADF/EINVAL etc: the listen socket itself is gone
     }
+    ReapFinishedConnections();
     // A peer that stops reading must not wedge a scheduler worker inside
     // send() forever (that would stall the drain); after the timeout the
     // connection is treated as gone and its responses are dropped.
@@ -127,6 +173,42 @@ void Server::AcceptLoop() {
                                   "service.connections");
     connections_.emplace_back(
         connection, std::thread([this, connection] { ReadLoop(connection); }));
+    support::MetricsRegistry::SetGauge(options_.service.metrics,
+                                       "service.connections.live",
+                                       connections_.size());
+  }
+}
+
+void Server::ReapFinishedConnections() {
+  // Sweep connections whose ReadLoop has exited: without this, a
+  // long-running daemon under connection churn accumulates one closed-over
+  // fd and one finished std::thread per past client until Wait().
+  std::vector<std::pair<std::shared_ptr<Connection>, std::thread>> finished;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = connections_.begin();
+    while (it != connections_.end()) {
+      if (it->first->done.load(std::memory_order_acquire)) {
+        finished.emplace_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    support::MetricsRegistry::SetGauge(options_.service.metrics,
+                                       "service.connections.live",
+                                       connections_.size());
+  }
+  for (auto& [connection, thread] : finished) {
+    if (thread.joinable()) thread.join();
+    {
+      // Serialise with any responder mid-SendLine before closing the fd;
+      // open=false makes late responses no-ops instead of writes to a
+      // possibly-reused fd number.
+      std::lock_guard<std::mutex> write_lock(connection->write_mutex);
+      connection->open.store(false, std::memory_order_release);
+    }
+    ::close(connection->fd);
   }
 }
 
@@ -184,6 +266,7 @@ void Server::ReadLoop(std::shared_ptr<Connection> connection) {
     }
   }
   connection->open.store(false, std::memory_order_release);
+  connection->done.store(true, std::memory_order_release);
 }
 
 void Server::RequestShutdown() {

@@ -68,9 +68,13 @@ class Server {
     int fd = -1;
     std::mutex write_mutex;
     std::atomic<bool> open{true};
+    // Set by ReadLoop on exit; tells the acceptor the entry is reapable
+    // (thread joinable without blocking, fd closable).
+    std::atomic<bool> done{false};
   };
 
   void AcceptLoop();
+  void ReapFinishedConnections();
   void ReadLoop(std::shared_ptr<Connection> connection);
   void SendLine(const std::shared_ptr<Connection>& connection,
                 const std::string& line);

@@ -96,9 +96,22 @@ TraceStore::TraceStore(std::size_t max_traces,
 PinnedTrace TraceStore::Ingest(trace::Trace trace) {
   support::ScopedTraceSpan span("service.store.ingest");
   const std::string digest = DigestOf(trace);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(digest);
+    if (it != entries_.end()) {
+      it->second.last_use = ++tick_;
+      support::MetricsRegistry::Add(metrics_, "service.store.dedup_hits");
+      return {it->second.trace, it->second.stats, digest};
+    }
+  }
   // Stats are part of the pinned state (the stats op and fraction->K
-  // resolution read them); computed outside the lock, and only on the slow
-  // path below.
+  // resolution read them). The O(n) pass runs outside the lock so a large
+  // ingest does not stall concurrent Find/Ingest/GetOrBuildExplorer; a
+  // concurrent ingest of the same content may duplicate the work, which the
+  // recheck below resolves in favour of the first insert.
+  trace::TraceStats stats = trace::ComputeStats(trace);
+  auto shared = std::make_shared<const trace::Trace>(std::move(trace));
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(digest);
   if (it != entries_.end()) {
@@ -107,16 +120,15 @@ PinnedTrace TraceStore::Ingest(trace::Trace trace) {
     return {it->second.trace, it->second.stats, digest};
   }
   Entry entry;
-  entry.stats = trace::ComputeStats(trace);
-  entry.trace = std::make_shared<const trace::Trace>(std::move(trace));
+  entry.stats = stats;
+  entry.trace = shared;
   entry.last_use = ++tick_;
-  const PinnedTrace pinned{entry.trace, entry.stats, digest};
   entries_.emplace(digest, std::move(entry));
   support::MetricsRegistry::Add(metrics_, "service.store.ingested");
   EvictIfNeeded();
   support::MetricsRegistry::SetGauge(metrics_, "service.store.traces",
                                      entries_.size());
-  return pinned;
+  return {std::move(shared), stats, digest};
 }
 
 PinnedTrace TraceStore::Find(const std::string& digest) {

@@ -17,9 +17,14 @@
 //    served from the cache, and a loaded server drains cleanly.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <future>
 #include <string>
 #include <thread>
@@ -665,6 +670,65 @@ TEST(ServerEndToEnd, DrainsCleanlyWhileLoaded) {
   }
   fixture.reset();  // idempotent teardown
   std::remove(trace_path.c_str());
+}
+
+TEST(ServerEndToEnd, SecondServerOnSamePathRefusesToStartWhileLive) {
+  MetricsRegistry metrics;
+  ServerFixture fixture(&metrics);
+  const std::string path = fixture.server->endpoint().substr(5);
+
+  // A second daemon pointed at the live endpoint must fail Start instead of
+  // silently unlinking the inode out from under the running one.
+  ces::service::ServerOptions options;
+  options.unix_path = path;
+  ces::service::Server usurper(std::move(options));
+  EXPECT_THROW(usurper.Start(), Error);
+
+  // The original daemon kept its endpoint and still answers.
+  ces::service::Client client = fixture.NewClient();
+  EXPECT_TRUE(client.Request("{\"id\":\"p\",\"op\":\"ping\"}").ok);
+}
+
+TEST(ServerEndToEnd, StaleSocketInodeIsReclaimed) {
+  const std::string path = TempPath(".sock");
+  // Simulate a daemon that died without unlinking: bind an inode, then
+  // close the socket, so connecting to the path yields ECONNREFUSED.
+  const int stale = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(stale, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::bind(stale, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ::close(stale);
+
+  ces::service::ServerOptions options;
+  options.unix_path = path;
+  ces::service::Server server(std::move(options));
+  EXPECT_NO_THROW(server.Start());
+  server.RequestShutdown();
+  server.Wait();
+}
+
+TEST(ServerEndToEnd, FinishedConnectionsAreReapedWhileRunning) {
+  MetricsRegistry metrics;
+  ServerFixture fixture(&metrics);
+  for (int i = 0; i < 12; ++i) {
+    ces::service::Client client = fixture.NewClient();
+    EXPECT_TRUE(client.Request("{\"id\":\"p\",\"op\":\"ping\"}").ok);
+  }  // every client has disconnected here
+  // The acceptor sweeps finished connections before each accept, so fresh
+  // probes eventually observe the live-connection gauge collapsing to just
+  // themselves — without the sweep it would sit at 13+ until shutdown.
+  bool reaped = false;
+  for (int i = 0; i < 500 && !reaped; ++i) {
+    ces::service::Client probe = fixture.NewClient();
+    EXPECT_TRUE(probe.Request("{\"id\":\"p\",\"op\":\"ping\"}").ok);
+    reaped = metrics.gauge("service.connections.live") <= 3;
+    if (!reaped) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(reaped);
+  EXPECT_GE(metrics.counter("service.connections"), 13u);
 }
 
 }  // namespace
