@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "analytic/bcat.hpp"
 #include "analytic/fast.hpp"
@@ -86,29 +87,30 @@ Explorer::Explorer(const trace::Trace& trace, ExplorerOptions options)
   if (auto* progress = support::ProgressReporter::Global()) {
     progress->BeginPhase("prelude depths", max_index_bits_ + 1);
   }
-  if (jobs > 1 && options.engine != Engine::kReference) {
-    // Parallel prelude: per-depth Mattson passes (move-to-front or Fenwick,
-    // matching the engine) computed concurrently. Identical histograms to
-    // the fused depth-first traversal — both are exact per-set LRU stack
-    // distance counts in canonical form.
-    support::ThreadPool pool(jobs, metrics_);
-    profiles_ = cache::ComputeAllDepthProfiles(
-        stripped, max_index_bits_, &pool,
-        /*use_tree=*/options.engine == Engine::kFusedTree, metrics_);
-  } else if (options.engine == Engine::kFused ||
-             options.engine == Engine::kFusedTree) {
-    support::ScopedTraceSpan span("explore.fused_traversal");
-    profiles_ = options.engine == Engine::kFused
-                    ? ComputeMissProfilesFused(stripped, max_index_bits_)
-                    : ComputeMissProfilesFusedTree(stripped, max_index_bits_);
-    // Mirror the counters ComputeAllDepthProfiles records on the pool path:
-    // the fused traversal performs the same per-depth scan work, and keeping
-    // the totals identical is what makes --metrics=json byte-identical
-    // across jobs values.
-    support::MetricsRegistry::Add(metrics_, "stack.passes", profiles_.size());
-    support::MetricsRegistry::Add(
-        metrics_, "stack.refs_scanned",
-        static_cast<std::uint64_t>(profiles_.size()) * stripped.size());
+  if (options.engine == Engine::kFused || options.engine == Engine::kFusedTree) {
+    const bool use_tree = options.engine == Engine::kFusedTree;
+    if (options.prelude == PreludeMode::kPerDepth) {
+      // Explicitly requested cross-validation baseline: per-depth Mattson
+      // passes (move-to-front or Fenwick, matching the engine) computed
+      // concurrently, one depth per pool index. Identical histograms to the
+      // fused traversal — both are exact per-set LRU stack distance counts
+      // in canonical form.
+      support::ThreadPool pool(jobs, metrics_);
+      profiles_ = cache::ComputeAllDepthProfiles(stripped, max_index_bits_,
+                                                 &pool, use_tree, metrics_);
+    } else {
+      // The fused depth-first traversal (section 2.4) for every jobs value:
+      // jobs > 1 makes it subtree-parallel, it does not change algorithms.
+      support::ScopedTraceSpan span("explore.fused_traversal");
+      std::optional<support::ThreadPool> pool;
+      FusedPreludeOptions fused;
+      fused.metrics = metrics_;
+      if (jobs > 1) fused.pool = &pool.emplace(jobs, metrics_);
+      profiles_ =
+          use_tree ? ComputeMissProfilesFusedTree(stripped, max_index_bits_,
+                                                  fused)
+                   : ComputeMissProfilesFused(stripped, max_index_bits_, fused);
+    }
   } else {
     // The reference engine's explicit phases (sections 2.2-2.3), each its
     // own span so a profile shows where BCAT vs MRCT construction time goes.
@@ -136,6 +138,10 @@ Explorer::Explorer(const trace::Trace& trace, ExplorerOptions options)
     if (progress->done() < total) progress->Tick(total - progress->done());
     progress->EndPhase();
   }
+  // Freeze the suffix-sum solve caches while the Explorer is still private
+  // to this thread: Solve queries on a shared (service) Explorer are then
+  // read-only O(log hist) lookups.
+  for (cache::StackProfile& profile : profiles_) profile.FinalizeSolveCache();
   RecordPreludeHistograms(stripped, profiles_, max_index_bits_, metrics_);
   prelude_seconds_ = watch.ElapsedSeconds();
   if (support::TraceSink* sink = support::TraceSink::Global()) {

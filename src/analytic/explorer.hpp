@@ -36,6 +36,21 @@ enum class Engine : std::uint8_t {
   kFusedTree = 2,
 };
 
+// How the fused engines compute the per-depth histograms. Irrelevant for
+// Engine::kReference, which has its own explicit BCAT/MRCT phases.
+enum class PreludeMode : std::uint8_t {
+  // Single fused depth-first traversal (section 2.4): every node scans only
+  // its own subsequence, so total work is the sum of *active* subsequence
+  // lengths — strictly less than (depths+1) full passes whenever subtrees
+  // prune. Subtree-parallel when jobs > 1; the default.
+  kFusedTraversal = 0,
+  // (max_index_bits + 1) independent full-trace Mattson passes, one per
+  // depth, parallelised over depths. Asymptotically the redundancy the fused
+  // traversal exists to avoid — kept reachable as the cross-validation
+  // baseline, not as a hidden jobs>1 fallback.
+  kPerDepth = 1,
+};
+
 struct ExplorerOptions {
   Engine engine = Engine::kFused;
   // Largest depth explored is 2^max_index_bits; automatically lowered to the
@@ -47,21 +62,28 @@ struct ExplorerOptions {
   // axis), after which depths/misses are in units of lines.
   std::uint32_t line_words = 1;
   // Worker threads for the prelude. 1 (default) is the serial code path;
-  // 0 picks the hardware concurrency. With jobs > 1 the fused engines
-  // compute the per-depth histograms concurrently (one depth per pool
-  // index, each depth's pass serial) — the profiles are bit-identical to
-  // the serial fused traversal, which the determinism tests assert. The
-  // reference engine's global BCAT/MRCT structures are inherently
-  // sequential; it ignores this option.
+  // 0 picks the hardware concurrency. With jobs > 1 the fused engines run
+  // the *same* fused traversal, subtree-parallel: the tree is partitioned
+  // serially down to a cut level and the independent subtrees fan out onto
+  // a pool, with partial histograms merged in subtree order — profiles and
+  // deterministic metrics are byte-identical to jobs = 1, which the
+  // determinism tests assert. The reference engine's global BCAT/MRCT
+  // structures are inherently sequential; it ignores this option.
   std::uint32_t jobs = 1;
+  // Prelude algorithm for the fused engines; see PreludeMode.
+  PreludeMode prelude = PreludeMode::kFusedTraversal;
   // Optional run-metrics sink. The prelude records "explore.depths",
   // "explore.trace_refs", "explore.unique_refs" (deterministic counters),
   // the "explore.prelude_seconds" span, and three deterministic histograms —
   // "stack.distance" (fully-associative LRU stack distances),
   // "explore.set_accesses" and "explore.set_cold_misses" (per-set load at
   // the deepest explored depth); each Solve adds "explore.solve_queries".
-  // Counters and histograms are byte-identical in ToJson for every engine
-  // and jobs value. nullptr (default) disables collection.
+  // The fused traversal additionally records its honest work counters
+  // "explore.fused_nodes" / "explore.fused_refs" (plus the volatile gauge
+  // "explore.cut_level"); the per-depth baseline records "stack.passes" /
+  // "stack.refs_scanned" instead. Counters and histograms are byte-identical
+  // in ToJson for every jobs value and across kFused/kFusedTree (given the
+  // same prelude mode). nullptr (default) disables collection.
   //
   // Independently, with a global support::TraceSink installed the prelude
   // emits nested spans (explore.prelude / explore.strip / per-engine phase

@@ -1,185 +1,415 @@
 #include "analytic/fast.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <utility>
 
 #include "support/check.hpp"
 #include "support/fenwick.hpp"
+#include "support/metrics.hpp"
+#include "support/pool.hpp"
 
 namespace ces::analytic {
 namespace {
 
-struct FusedState {
-  const trace::StrippedTrace* stripped = nullptr;
-  std::vector<cache::StackProfile>* profiles = nullptr;
-  std::uint32_t max_index_bits = 0;
-  // Scratch: d-distance tallies per level are written straight into the
-  // profiles; warm totals are fixed up by the caller afterwards.
-  std::vector<std::uint64_t> counted_per_level;
+// One implicit BCAT node: its level and the contiguous segment of the
+// level-parity id buffer holding its subsequence of the trace.
+struct Frame {
+  std::uint32_t level;
+  std::size_t begin;
+  std::size_t end;
 };
 
-// Processes one implicit BCAT node at `level` whose subsequence of the trace
-// is `sequence` (reference ids in trace order, containing every occurrence
-// of every reference mapping to this row). Records distances >= 1 and
-// recurses on the two children.
-void VisitNode(FusedState& state, std::uint32_t level,
-               std::vector<std::uint32_t> sequence) {
-  cache::StackProfile& profile = (*state.profiles)[level];
+// Distance tallies for a contiguous band of levels [base, base + hist.size()).
+// The whole-traversal tallies use base 0; each parallel chunk tallies the
+// levels below the cut into a private instance that is merged afterwards.
+struct LevelTallies {
+  std::uint32_t base = 0;
+  std::vector<std::vector<std::uint64_t>> hist;  // hist[level - base][distance]
+  std::vector<std::uint64_t> counted;            // distances >= 1 tallied
+  std::uint64_t nodes = 0;                       // node scans performed
+  std::uint64_t refs = 0;                        // references scanned
+};
 
-  // Move-to-front scan: stack position == number of distinct references of
-  // this row touched since the previous occurrence.
-  std::vector<std::uint32_t> stack;
-  for (std::uint32_t id : sequence) {
-    const auto it = std::find(stack.begin(), stack.end(), id);
-    if (it == stack.end()) {
-      stack.insert(stack.begin(), id);  // cold occurrence
-      continue;
+// Mutable per-lane scan state; one lane per pool chunk plus the lane the
+// calling thread uses for the serial top of the tree. Everything is sized in
+// Setup() and only reused afterwards.
+struct LaneScratch {
+  std::vector<Frame> frames;           // explicit DFS stack
+  std::vector<std::uint32_t> mtf;      // kFused: move-to-front stack
+  std::vector<std::int64_t> fenwick;   // kFusedTree: BIT over node positions
+  std::uint32_t epoch = 0;             // kFusedTree: current node's epoch
+};
+
+constexpr std::uint32_t kNoCollect = ~0u;
+
+class FusedTraversal {
+ public:
+  FusedTraversal(const trace::StrippedTrace& stripped,
+                 std::uint32_t max_index_bits, bool use_tree,
+                 const FusedPreludeOptions& options)
+      : stripped_(stripped),
+        unique_(stripped.unique),
+        max_bits_(max_index_bits),
+        use_tree_(use_tree),
+        options_(options) {}
+
+  std::vector<cache::StackProfile> Run() {
+    std::vector<cache::StackProfile> profiles(max_bits_ + 1);
+    for (std::uint32_t level = 0; level <= max_bits_; ++level) {
+      profiles[level].index_bits = level;
+      profiles[level].cold = stripped_.unique_count();
+      profiles[level].hist.resize(1, 0);
     }
-    const auto distance = static_cast<std::size_t>(it - stack.begin());
-    if (distance >= 1) {
-      if (distance >= profile.hist.size()) profile.hist.resize(distance + 1, 0);
-      ++profile.hist[distance];
-      ++state.counted_per_level[level];
+    if (stripped_.size() == 0) {
+      if (options_.after_setup) options_.after_setup();
+      return profiles;
     }
-    std::rotate(stack.begin(), it, it + 1);
-  }
 
-  // Rows with fewer than two distinct references can never conflict at any
-  // deeper level either (their subsets only shrink) — prune, as Algorithm 1
-  // does for BCAT growth.
-  if (stack.size() < 2 || level >= state.max_index_bits) return;
+    Setup();
+    if (options_.after_setup) options_.after_setup();
+    // --- no heap allocation below this line (tests/fused_alloc_test.cpp) ---
 
-  std::vector<std::uint32_t> left;   // bit B_level == 0
-  std::vector<std::uint32_t> right;  // bit B_level == 1
-  const auto& unique = state.stripped->unique;
-  for (std::uint32_t id : sequence) {
-    if ((unique[id] >> level) & 1u) {
-      right.push_back(id);
+    if (cut_ == 0) {
+      Traverse({0, 0, stripped_.size()}, serial_lane_, main_, kNoCollect);
     } else {
-      left.push_back(id);
-    }
-  }
-  sequence.clear();
-  sequence.shrink_to_fit();  // keep the DFS footprint linear
-
-  VisitNode(state, level + 1, std::move(left));
-  VisitNode(state, level + 1, std::move(right));
-}
-
-// Tree-scan variant: identical traversal, but the per-node distances come
-// from a Fenwick tree over the node subsequence (Bennett-Kruskal) rather
-// than a move-to-front scan. Node-local "seen" state uses epoch stamping so
-// no per-node allocation beyond the tree itself is needed.
-struct TreeState {
-  const trace::StrippedTrace* stripped = nullptr;
-  std::vector<cache::StackProfile>* profiles = nullptr;
-  std::uint32_t max_index_bits = 0;
-  std::vector<std::uint64_t> counted_per_level;
-  std::vector<std::uint32_t> epoch_of;   // per id: epoch of last sighting
-  std::vector<std::size_t> last_pos;     // per id: position within the node
-  std::uint32_t epoch = 0;
-};
-
-void VisitNodeTree(TreeState& state, std::uint32_t level,
-                   std::vector<std::uint32_t> sequence) {
-  cache::StackProfile& profile = (*state.profiles)[level];
-  ++state.epoch;
-
-  FenwickTree marks(sequence.size());
-  std::size_t distinct = 0;
-  for (std::size_t t = 0; t < sequence.size(); ++t) {
-    const std::uint32_t id = sequence[t];
-    if (state.epoch_of[id] == state.epoch) {
-      const std::size_t p = state.last_pos[id];
-      const auto distance = static_cast<std::size_t>(
-          t >= p + 2 ? marks.RangeSum(p + 1, t - 1) : 0);
-      if (distance >= 1) {
-        if (distance >= profile.hist.size()) profile.hist.resize(distance + 1, 0);
-        ++profile.hist[distance];
-        ++state.counted_per_level[level];
+      // Phase 1: the calling thread partitions (and scans) the top of the
+      // tree down to the cut, collecting the surviving level-cut subtrees in
+      // left-to-right segment order.
+      Traverse({0, 0, stripped_.size()}, serial_lane_, main_, cut_);
+      // Phase 2: contiguous, length-balanced runs of subtrees fan out onto
+      // the pool. Subtrees own disjoint segments (an address belongs to
+      // exactly one residue class mod 2^cut), so lanes never touch the same
+      // buffer elements or — for the tree scan — the same per-id slots.
+      PlanChunks();
+      pool_jobs_ = options_.pool->jobs();
+      options_.pool->ParallelFor(
+          pool_jobs_, [this](std::size_t chunk) { RunChunk(chunk); });
+      // Merge in chunk order == subtree order: uint64 adds are associative
+      // and commutative, so the totals equal the serial traversal's exactly.
+      for (std::size_t chunk = 0; chunk < pool_jobs_; ++chunk) {
+        const LevelTallies& t = chunk_tallies_[chunk];
+        for (std::uint32_t level = cut_; level <= max_bits_; ++level) {
+          const auto& partial = t.hist[level - cut_];
+          auto& total = main_.hist[level];
+          for (std::size_t d = 0; d < partial.size(); ++d) {
+            total[d] += partial[d];
+          }
+          main_.counted[level] += t.counted[level - cut_];
+        }
+        main_.nodes += t.nodes;
+        main_.refs += t.refs;
       }
-      marks.Add(p, -1);
-    } else {
-      state.epoch_of[id] = state.epoch;
-      ++distinct;
     }
-    marks.Add(t, +1);
-    state.last_pos[id] = t;
+
+    // Distance-0 bucket: every non-cold occurrence not tallied above hits at
+    // any associativity (distance zero in its row, or the row was pruned).
+    // Trimming to the last non-empty distance reproduces the canonical hist
+    // sizes of the per-depth baseline, so profiles compare equal across
+    // engines, prelude modes, and jobs values.
+    const std::uint64_t warm_total = stripped_.warm_count();
+    for (std::uint32_t level = 0; level <= max_bits_; ++level) {
+      CES_CHECK(main_.counted[level] <= warm_total);
+      std::vector<std::uint64_t>& hist = main_.hist[level];
+      std::size_t size = 1;
+      for (std::size_t d = hist.size(); d-- > 1;) {
+        if (hist[d] != 0) {
+          size = d + 1;
+          break;
+        }
+      }
+      hist.resize(size);
+      hist[0] = warm_total - main_.counted[level];
+      profiles[level].hist = std::move(hist);
+    }
+
+    if (options_.metrics != nullptr) {
+      // Guarded so a null registry costs no name-string construction — the
+      // allocation test runs the whole of Run() under its counter.
+      options_.metrics->Add("explore.fused_nodes", main_.nodes);
+      options_.metrics->Add("explore.fused_refs", main_.refs);
+      // The cut is a function of the pool size, so it lives with the
+      // volatile gauges — never in the deterministic counter surface CI
+      // diffs.
+      options_.metrics->SetGauge("explore.cut_level", cut_);
+    }
+    return profiles;
   }
 
-  if (distinct < 2 || level >= state.max_index_bits) return;
+ private:
+  // Upper bound on any stack distance tallied at `level`: a node there holds
+  // the occurrences of the unique lines agreeing on the low `level` address
+  // bits, so no distance can reach the population of the fullest residue
+  // class. Used to pre-size every histogram exactly once.
+  std::vector<std::size_t> MaxDistinctPerLevel() const {
+    std::vector<std::size_t> caps(max_bits_ + 1, 0);
+    std::vector<std::size_t> counts;
+    for (std::uint32_t level = 0; level <= max_bits_; ++level) {
+      const std::uint32_t mask = level >= 32 ? ~0u : (1u << level) - 1;
+      counts.assign(std::size_t{1} << level, 0);
+      std::size_t max_count = 0;
+      for (std::uint32_t address : unique_) {
+        max_count = std::max(max_count, ++counts[address & mask]);
+      }
+      caps[level] = max_count;
+    }
+    return caps;
+  }
 
-  std::vector<std::uint32_t> left;
-  std::vector<std::uint32_t> right;
-  const auto& unique = state.stripped->unique;
-  for (std::uint32_t id : sequence) {
-    if ((unique[id] >> level) & 1u) {
-      right.push_back(id);
+  void Setup() {
+    const std::size_t n = stripped_.size();
+    const unsigned jobs = options_.pool == nullptr ? 1 : options_.pool->jobs();
+    if (jobs > 1 && max_bits_ > 0) {
+      const std::uint64_t want =
+          std::uint64_t{jobs} * std::max(options_.overpartition, 1u);
+      while ((std::uint64_t{1} << cut_) < want && cut_ < max_bits_) ++cut_;
+    }
+
+    caps_ = MaxDistinctPerLevel();
+    bufs_[0] = stripped_.ids;
+    bufs_[1].assign(n, 0);
+
+    main_.base = 0;
+    main_.hist.resize(max_bits_ + 1);
+    for (std::uint32_t level = 0; level <= max_bits_; ++level) {
+      main_.hist[level].assign(caps_[level], 0);
+    }
+    main_.counted.assign(max_bits_ + 1, 0);
+
+    serial_lane_.frames.reserve(2 * (max_bits_ + 2));
+    if (use_tree_) {
+      epoch_of_.assign(stripped_.unique_count(), 0);
+      last_pos_.assign(stripped_.unique_count(), 0);
+      serial_lane_.fenwick.assign(n + 1, 0);
     } else {
-      left.push_back(id);
+      serial_lane_.mtf.reserve(stripped_.unique_count());
+    }
+
+    if (cut_ > 0) {
+      subtrees_.reserve(std::size_t{1} << cut_);
+      // Longest possible level-cut segment: occurrences (not uniques) of the
+      // fullest residue class mod 2^cut — the size every chunk lane's scan
+      // scratch must accommodate.
+      std::vector<std::size_t> occupancy(std::size_t{1} << cut_, 0);
+      const std::uint32_t mask = (1u << cut_) - 1;
+      std::size_t max_segment = 0;
+      for (std::uint32_t id : stripped_.ids) {
+        max_segment = std::max(max_segment, ++occupancy[unique_[id] & mask]);
+      }
+      chunk_bounds_.assign(jobs + 1, 0);
+      chunk_lanes_.resize(jobs);
+      chunk_tallies_.resize(jobs);
+      for (unsigned chunk = 0; chunk < jobs; ++chunk) {
+        LaneScratch& lane = chunk_lanes_[chunk];
+        lane.frames.reserve(2 * (max_bits_ + 2));
+        if (use_tree_) {
+          lane.fenwick.assign(max_segment + 1, 0);
+        } else {
+          lane.mtf.reserve(std::min(caps_[cut_], max_segment));
+        }
+        LevelTallies& tallies = chunk_tallies_[chunk];
+        tallies.base = cut_;
+        tallies.hist.resize(max_bits_ + 1 - cut_);
+        for (std::uint32_t level = cut_; level <= max_bits_; ++level) {
+          tallies.hist[level - cut_].assign(caps_[level], 0);
+        }
+        tallies.counted.assign(max_bits_ + 1 - cut_, 0);
+      }
     }
   }
-  sequence.clear();
-  sequence.shrink_to_fit();
 
-  VisitNodeTree(state, level + 1, std::move(left));
-  VisitNodeTree(state, level + 1, std::move(right));
-}
+  // Scans one node, tallying distances >= 1 into `tallies`, and counts the
+  // bit-B_level zeros so the caller can partition without a second pass.
+  // Returns {distinct references in the node, size of the left child}.
+  std::pair<std::size_t, std::size_t> ScanNode(const Frame& node,
+                                               LaneScratch& lane,
+                                               LevelTallies& tallies) {
+    const std::vector<std::uint32_t>& src = bufs_[node.level & 1];
+    std::vector<std::uint64_t>& hist = tallies.hist[node.level - tallies.base];
+    std::uint64_t& counted = tallies.counted[node.level - tallies.base];
+    ++tallies.nodes;
+    tallies.refs += node.end - node.begin;
+    // At the deepest level the split bit is never used; keep the shift in
+    // range regardless of address width.
+    const std::uint32_t shift = node.level < max_bits_ ? node.level : 0;
+    std::size_t n_left = 0;
+    std::size_t distinct = 0;
+
+    if (!use_tree_) {
+      // Move-to-front scan: stack position == number of distinct references
+      // of this row touched since the previous occurrence.
+      std::vector<std::uint32_t>& stack = lane.mtf;
+      stack.clear();
+      for (std::size_t i = node.begin; i < node.end; ++i) {
+        const std::uint32_t id = src[i];
+        n_left += ((unique_[id] >> shift) & 1u) == 0;
+        const auto it = std::find(stack.begin(), stack.end(), id);
+        if (it == stack.end()) {
+          stack.insert(stack.begin(), id);  // cold occurrence
+          continue;
+        }
+        const auto distance = static_cast<std::size_t>(it - stack.begin());
+        if (distance >= 1) {
+          CES_DCHECK(distance < hist.size());
+          ++hist[distance];
+          ++counted;
+        }
+        std::rotate(stack.begin(), it, it + 1);
+      }
+      distinct = stack.size();
+    } else {
+      // Bennett-Kruskal: a Fenwick tree of "most recent occurrence" marks
+      // over the node positions; the distance is a range sum. Node-local
+      // "seen" state uses epoch stamping so nothing needs clearing between
+      // nodes; lanes share the per-id arrays because their subtrees hold
+      // disjoint ids.
+      ++lane.epoch;
+      const std::size_t len = node.end - node.begin;
+      FenwickView marks(lane.fenwick.data(), len);
+      for (std::size_t pos = 0; pos < len; ++pos) {
+        const std::uint32_t id = src[node.begin + pos];
+        n_left += ((unique_[id] >> shift) & 1u) == 0;
+        if (epoch_of_[id] == lane.epoch) {
+          const std::size_t p = last_pos_[id];
+          const auto distance = static_cast<std::size_t>(
+              pos >= p + 2 ? marks.RangeSum(p + 1, pos - 1) : 0);
+          if (distance >= 1) {
+            CES_DCHECK(distance < hist.size());
+            ++hist[distance];
+            ++counted;
+          }
+          marks.Add(p, -1);
+        } else {
+          epoch_of_[id] = lane.epoch;
+          ++distinct;
+        }
+        marks.Add(pos, +1);
+        last_pos_[id] = pos;
+      }
+      marks.Clear();
+    }
+    return {distinct, n_left};
+  }
+
+  // Stable binary radix partition of the node's segment into the twin
+  // buffer: the left child (bit B_level == 0) lands at [begin, begin+n_left),
+  // the right child at [begin+n_left, end). Children read the twin buffer —
+  // the parity rule "level L lives in bufs_[L & 1]" holds globally because
+  // every node only ever writes inside its own segment.
+  void Partition(const Frame& node, std::size_t n_left) {
+    const std::vector<std::uint32_t>& src = bufs_[node.level & 1];
+    std::vector<std::uint32_t>& dst = bufs_[(node.level + 1) & 1];
+    std::size_t left = node.begin;
+    std::size_t right = node.begin + n_left;
+    for (std::size_t i = node.begin; i < node.end; ++i) {
+      const std::uint32_t id = src[i];
+      if ((unique_[id] >> node.level) & 1u) {
+        dst[right++] = id;
+      } else {
+        dst[left++] = id;
+      }
+    }
+    CES_DCHECK(left == node.begin + n_left);
+    CES_DCHECK(right == node.end);
+  }
+
+  // Iterative DFS from `root`. Frames reaching `collect_level` are appended
+  // to subtrees_ (in increasing segment order, because children are pushed
+  // right-then-left) instead of being scanned; kNoCollect runs the subtree
+  // to the leaves.
+  void Traverse(Frame root, LaneScratch& lane, LevelTallies& tallies,
+                std::uint32_t collect_level) {
+    lane.frames.clear();
+    lane.frames.push_back(root);
+    while (!lane.frames.empty()) {
+      const Frame node = lane.frames.back();
+      lane.frames.pop_back();
+      if (node.level == collect_level) {
+        subtrees_.push_back(node);
+        continue;
+      }
+      const auto [distinct, n_left] = ScanNode(node, lane, tallies);
+      // Rows with fewer than two distinct references can never conflict at
+      // any deeper level either (their subsets only shrink) — prune, as
+      // Algorithm 1 does for BCAT growth.
+      if (distinct < 2 || node.level >= max_bits_) continue;
+      Partition(node, n_left);
+      const std::size_t mid = node.begin + n_left;
+      if (mid < node.end) {
+        lane.frames.push_back({node.level + 1, mid, node.end});
+      }
+      if (node.begin < mid) {
+        lane.frames.push_back({node.level + 1, node.begin, mid});
+      }
+    }
+  }
+
+  // Contiguous, reference-count-balanced assignment of subtrees to chunks.
+  // Contiguity is what lets the chunk-order merge equal the subtree-order
+  // (and hence serial) sums; the balancing only moves wall-clock time.
+  void PlanChunks() {
+    const std::size_t jobs = chunk_bounds_.size() - 1;
+    std::uint64_t total = 0;
+    for (const Frame& subtree : subtrees_) total += subtree.end - subtree.begin;
+    std::uint64_t taken = 0;
+    std::size_t next = 0;
+    for (std::size_t chunk = 0; chunk < jobs; ++chunk) {
+      chunk_bounds_[chunk] = next;
+      const std::uint64_t target = total * (chunk + 1) / jobs;
+      while (next < subtrees_.size() && taken < target) {
+        taken += subtrees_[next].end - subtrees_[next].begin;
+        ++next;
+      }
+    }
+    chunk_bounds_[jobs] = subtrees_.size();
+  }
+
+  void RunChunk(std::size_t chunk) {
+    LaneScratch& lane = chunk_lanes_[chunk];
+    // Epochs above everything phase 1 stamped: a lane may then share the
+    // per-id arrays with phase 1 (and, because subtree ids are disjoint,
+    // with every other lane) without clearing them.
+    lane.epoch = static_cast<std::uint32_t>(main_.nodes);
+    for (std::size_t s = chunk_bounds_[chunk]; s < chunk_bounds_[chunk + 1];
+         ++s) {
+      Traverse(subtrees_[s], lane, chunk_tallies_[chunk], kNoCollect);
+    }
+  }
+
+  const trace::StrippedTrace& stripped_;
+  const std::vector<std::uint32_t>& unique_;
+  const std::uint32_t max_bits_;
+  const bool use_tree_;
+  const FusedPreludeOptions& options_;
+
+  std::uint32_t cut_ = 0;
+  std::size_t pool_jobs_ = 1;
+  std::vector<std::size_t> caps_;
+  std::vector<std::uint32_t> bufs_[2];
+  std::vector<std::uint32_t> epoch_of_;  // per id: epoch of last sighting
+  std::vector<std::size_t> last_pos_;    // per id: position within the node
+  LevelTallies main_;
+  LaneScratch serial_lane_;
+  std::vector<Frame> subtrees_;
+  std::vector<std::size_t> chunk_bounds_;
+  std::vector<LaneScratch> chunk_lanes_;
+  std::vector<LevelTallies> chunk_tallies_;
+};
 
 }  // namespace
 
-std::vector<cache::StackProfile> ComputeMissProfilesFusedTree(
-    const trace::StrippedTrace& stripped, std::uint32_t max_index_bits) {
-  std::vector<cache::StackProfile> profiles(max_index_bits + 1);
-  for (std::uint32_t level = 0; level <= max_index_bits; ++level) {
-    profiles[level].index_bits = level;
-    profiles[level].cold = stripped.unique_count();
-  }
-
-  TreeState state;
-  state.stripped = &stripped;
-  state.profiles = &profiles;
-  state.max_index_bits = max_index_bits;
-  state.counted_per_level.assign(max_index_bits + 1, 0);
-  state.epoch_of.assign(stripped.unique_count(), 0);
-  state.last_pos.assign(stripped.unique_count(), 0);
-
-  VisitNodeTree(state, 0, stripped.ids);
-
-  const std::uint64_t warm_total = stripped.warm_count();
-  for (std::uint32_t level = 0; level <= max_index_bits; ++level) {
-    CES_CHECK(state.counted_per_level[level] <= warm_total);
-    if (profiles[level].hist.empty()) profiles[level].hist.resize(1, 0);
-    profiles[level].hist[0] = warm_total - state.counted_per_level[level];
-  }
-  return profiles;
+std::vector<cache::StackProfile> ComputeMissProfilesFused(
+    const trace::StrippedTrace& stripped, std::uint32_t max_index_bits,
+    const FusedPreludeOptions& options) {
+  return FusedTraversal(stripped, max_index_bits, /*use_tree=*/false, options)
+      .Run();
 }
 
-std::vector<cache::StackProfile> ComputeMissProfilesFused(
-    const trace::StrippedTrace& stripped, std::uint32_t max_index_bits) {
-  std::vector<cache::StackProfile> profiles(max_index_bits + 1);
-  for (std::uint32_t level = 0; level <= max_index_bits; ++level) {
-    profiles[level].index_bits = level;
-    profiles[level].cold = stripped.unique_count();
-  }
-
-  FusedState state;
-  state.stripped = &stripped;
-  state.profiles = &profiles;
-  state.max_index_bits = max_index_bits;
-  state.counted_per_level.assign(max_index_bits + 1, 0);
-
-  VisitNode(state, 0, stripped.ids);
-
-  // Distance-0 bucket: every non-cold occurrence not tallied above hits at
-  // any associativity (distance zero in its row, or the row was pruned).
-  const std::uint64_t warm_total = stripped.warm_count();
-  for (std::uint32_t level = 0; level <= max_index_bits; ++level) {
-    CES_CHECK(state.counted_per_level[level] <= warm_total);
-    if (profiles[level].hist.empty()) profiles[level].hist.resize(1, 0);
-    profiles[level].hist[0] = warm_total - state.counted_per_level[level];
-  }
-  return profiles;
+std::vector<cache::StackProfile> ComputeMissProfilesFusedTree(
+    const trace::StrippedTrace& stripped, std::uint32_t max_index_bits,
+    const FusedPreludeOptions& options) {
+  return FusedTraversal(stripped, max_index_bits, /*use_tree=*/true, options)
+      .Run();
 }
 
 }  // namespace ces::analytic

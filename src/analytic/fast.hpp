@@ -3,11 +3,26 @@
 // The paper notes that a real implementation combines Algorithms 1 and 3:
 // the BCAT is traversed depth-first without ever being materialised, which
 // drops the space complexity from exponential in the tree depth to linear in
-// the trace. This engine does exactly that. At each implicit tree node it
-// scans the node's subsequence of the trace once with a move-to-front stack,
-// recording the per-set LRU stack distance of every non-cold occurrence
-// (= |S n C| of the explicit formulation) into the per-level histogram, then
-// splits the subsequence on the next index bit and recurses.
+// the trace. This engine does exactly that — and does it iteratively and
+// allocation-free. The bit-split of Algorithm 1 is a stable binary radix
+// partition: each implicit tree node owns a contiguous segment of a shared
+// reference buffer, scans it once (move-to-front stack or Bennett-Kruskal
+// Fenwick tree) to record the per-set LRU stack distance of every non-cold
+// occurrence into the per-level histogram, then partitions the segment in
+// place into a ping-pong twin buffer so both children are again contiguous
+// subranges. All scratch — the two id buffers, the explicit DFS stack, the
+// scan state, and every histogram (pre-sized from per-level residue-class
+// population bounds) — is allocated before the first node scan; the
+// traversal itself performs zero heap allocations, which
+// tests/fused_alloc_test.cpp pins down.
+//
+// With a thread pool the traversal is *subtree-parallel*: the top of the
+// tree is partitioned serially down to a cut level L ~ log2(jobs *
+// overpartition), and the surviving level-L subtrees — whose segments are
+// disjoint — are fanned out as contiguous, length-balanced runs, one per
+// pool chunk, each tallying into a private partial histogram. Partials are
+// merged in subtree order, so profiles are byte-identical to the serial
+// traversal for every jobs value (docs/PARALLEL.md has the argument).
 //
 // The result is the same vector of per-depth miss histograms the reference
 // engine produces, from which the optimal (D, A) set for ANY miss budget K
@@ -16,24 +31,57 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "cache/stack.hpp"
 #include "trace/strip.hpp"
 
+namespace ces::support {
+class MetricsRegistry;
+class ThreadPool;
+}  // namespace ces::support
+
 namespace ces::analytic {
+
+struct FusedPreludeOptions {
+  // Worker pool for the subtree fan-out. Null (or a one-job pool) selects
+  // the single-threaded whole-tree traversal; the histograms are
+  // byte-identical either way.
+  support::ThreadPool* pool = nullptr;
+  // When provided, records the deterministic work counters
+  // "explore.fused_nodes" (BCAT nodes scanned) and "explore.fused_refs"
+  // (references scanned across all node subsequences — the fused engine's
+  // honest total, <= (levels+1) * N and strictly less whenever subtrees
+  // prune), plus the volatile gauge "explore.cut_level" (the chosen cut
+  // depends on the pool size, so it is excluded from the deterministic
+  // metrics surface).
+  support::MetricsRegistry* metrics = nullptr;
+  // Target number of subtrees per worker at the cut level. Larger values
+  // partition more of the tree serially but balance skewed subtree sizes
+  // better; 4 is a good default (see docs/PARALLEL.md).
+  std::uint32_t overpartition = 4;
+  // Test/bench hook: invoked exactly once, after every scratch buffer has
+  // been allocated and before the first node scan. Code running after the
+  // hook performs no heap allocation on the serial path (the pool dispatch
+  // itself may allocate O(1) per batch); the allocation-counting test and
+  // micro_prelude's allocation counter measure from this point.
+  std::function<void()> after_setup;
+};
 
 // Histograms for depths 2^0 .. 2^max_index_bits, identical (including the
 // distance-0 bucket and cold counts) to cache::ComputeAllDepthProfiles and
-// to the reference ComputeMissProfiles.
+// to the reference ComputeMissProfiles, for every pool size.
 std::vector<cache::StackProfile> ComputeMissProfilesFused(
-    const trace::StrippedTrace& stripped, std::uint32_t max_index_bits);
+    const trace::StrippedTrace& stripped, std::uint32_t max_index_bits,
+    const FusedPreludeOptions& options = {});
 
 // Same traversal with the per-node scan done by the Bennett-Kruskal Fenwick
 // algorithm (O(n log n) per node) instead of the move-to-front stack
 // (O(n * stack depth)). Wins when reuse distances are long; the ablation
 // bench quantifies the crossover. Results are bit-identical.
 std::vector<cache::StackProfile> ComputeMissProfilesFusedTree(
-    const trace::StrippedTrace& stripped, std::uint32_t max_index_bits);
+    const trace::StrippedTrace& stripped, std::uint32_t max_index_bits,
+    const FusedPreludeOptions& options = {});
 
 }  // namespace ces::analytic

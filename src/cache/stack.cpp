@@ -12,14 +12,39 @@
 
 namespace ces::cache {
 
+void StackProfile::FinalizeSolveCache() {
+  miss_tail.assign(hist.size() + 1, 0);
+  for (std::size_t d = hist.size(); d-- > 0;) {
+    miss_tail[d] = miss_tail[d + 1] + hist[d];
+  }
+}
+
 std::uint64_t StackProfile::MissesAtAssoc(std::uint32_t assoc) const {
   CES_CHECK(assoc >= 1);
+  if (!miss_tail.empty()) {
+    return assoc < miss_tail.size() ? miss_tail[assoc] : 0;
+  }
   std::uint64_t misses = 0;
   for (std::size_t d = assoc; d < hist.size(); ++d) misses += hist[d];
   return misses;
 }
 
 std::uint32_t StackProfile::MinAssocFor(std::uint64_t k) const {
+  if (!miss_tail.empty()) {
+    // miss_tail is non-increasing over a >= 1 and miss_tail[hist.size()] is
+    // zero, so the smallest admissible associativity is a binary search away.
+    std::uint32_t lo = 1;
+    auto hi = static_cast<std::uint32_t>(miss_tail.size() - 1);
+    while (lo < hi) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      if (miss_tail[mid] <= k) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
   // Walk the histogram tail from the largest distance down, accumulating the
   // miss count a given associativity would leave; stop at the first A whose
   // tail exceeds k.
@@ -41,20 +66,52 @@ std::uint64_t StackProfile::WarmAccesses() const {
 
 namespace {
 
+// Reusable scan state. One instance lives across all the depths a caller (or
+// pool chunk) computes, so after the first pass warms it up the per-depth
+// baseline allocates nothing per pass: the per-set buckets keep their
+// capacity, the per-reference arrays are epoch-stamped instead of cleared,
+// and the Fenwick storage is a single high-water-mark buffer.
+struct ScanScratch {
+  // Per-set MTF stacks (move-to-front scan) or per-set subsequences
+  // (Bennett-Kruskal scan), indexed by set - set_begin.
+  std::vector<std::vector<std::uint32_t>> buckets;
+  std::vector<std::size_t> last;        // per id: position in its sequence
+  std::vector<std::uint32_t> epoch_of;  // per id: epoch of last sighting
+  std::uint32_t epoch = 0;
+  std::vector<std::int64_t> fenwick;    // backing store for FenwickView
+
+  void PrepareBuckets(std::size_t count) {
+    if (buckets.size() < count) buckets.resize(count);
+    for (std::size_t i = 0; i < count; ++i) buckets[i].clear();
+  }
+
+  // A fresh epoch distinct from every stamp in epoch_of; `ids` entries must
+  // cover at least [0, ids). Handles (the purely theoretical) counter wrap.
+  void NextEpoch(std::size_t ids) {
+    if (epoch_of.size() < ids) epoch_of.resize(ids, 0);
+    if (last.size() < ids) last.resize(ids, 0);
+    if (epoch == ~0u) {
+      std::fill(epoch_of.begin(), epoch_of.end(), 0);
+      epoch = 0;
+    }
+    ++epoch;
+  }
+};
+
 // Move-to-front pass restricted to sets in [set_begin, set_end). Every
 // reference belongs to exactly one set, so ranges partition the work: the
 // full profile is the (order-independent) sum of the range profiles.
 void ScanSetRange(const trace::StrippedTrace& stripped, std::uint32_t mask,
                   std::size_t set_begin, std::size_t set_end,
-                  StackProfile& profile) {
+                  StackProfile& profile, ScanScratch& scratch) {
   // One move-to-front stack of reference ids per set. Distances in embedded
   // traces are small, so the linear scan beats an order-statistics tree.
-  std::vector<std::vector<std::uint32_t>> stacks(set_end - set_begin);
+  scratch.PrepareBuckets(set_end - set_begin);
   for (std::size_t j = 0; j < stripped.ids.size(); ++j) {
     const std::uint32_t id = stripped.ids[j];
     const std::size_t set = stripped.unique[id] & mask;
     if (set < set_begin || set >= set_end) continue;
-    auto& stack = stacks[set - set_begin];
+    auto& stack = scratch.buckets[set - set_begin];
     if (stripped.is_first[j]) {
       ++profile.cold;
       stack.insert(stack.begin(), id);
@@ -75,24 +132,29 @@ void ScanSetRange(const trace::StrippedTrace& stripped, std::uint32_t mask,
 // range sum.
 void ScanSetRangeTree(const trace::StrippedTrace& stripped, std::uint32_t mask,
                       std::size_t set_begin, std::size_t set_end,
-                      StackProfile& profile) {
-  std::vector<std::vector<std::uint32_t>> sequences(set_end - set_begin);
+                      StackProfile& profile, ScanScratch& scratch) {
+  scratch.PrepareBuckets(set_end - set_begin);
   for (std::size_t j = 0; j < stripped.ids.size(); ++j) {
     const std::uint32_t id = stripped.ids[j];
     const std::size_t set = stripped.unique[id] & mask;
     if (set < set_begin || set >= set_end) continue;
-    sequences[set - set_begin].push_back(id);
+    scratch.buckets[set - set_begin].push_back(id);
   }
 
-  std::vector<std::size_t> last(stripped.unique_count(), 0);
-  std::vector<char> seen(stripped.unique_count(), 0);
-  for (const auto& sequence : sequences) {
+  for (std::size_t bucket = 0; bucket < set_end - set_begin; ++bucket) {
+    const auto& sequence = scratch.buckets[bucket];
     if (sequence.empty()) continue;
-    FenwickTree marks(sequence.size());
+    // Epoch stamping makes the per-reference "seen this set yet?" state
+    // reusable without any reset loop; ids are disjoint across sets.
+    scratch.NextEpoch(stripped.unique_count());
+    if (scratch.fenwick.size() < sequence.size() + 1) {
+      scratch.fenwick.resize(sequence.size() + 1, 0);
+    }
+    FenwickView marks(scratch.fenwick.data(), sequence.size());
     for (std::size_t t = 0; t < sequence.size(); ++t) {
       const std::uint32_t id = sequence[t];
-      if (seen[id]) {
-        const std::size_t p = last[id];
+      if (scratch.epoch_of[id] == scratch.epoch) {
+        const std::size_t p = scratch.last[id];
         const auto distance = static_cast<std::size_t>(
             t >= p + 2 ? marks.RangeSum(p + 1, t - 1) : 0);
         if (distance >= profile.hist.size()) profile.hist.resize(distance + 1, 0);
@@ -100,14 +162,12 @@ void ScanSetRangeTree(const trace::StrippedTrace& stripped, std::uint32_t mask,
         marks.Add(p, -1);
       } else {
         ++profile.cold;
-        seen[id] = 1;
+        scratch.epoch_of[id] = scratch.epoch;
       }
       marks.Add(t, +1);
-      last[id] = t;
+      scratch.last[id] = t;
     }
-    // Reset the per-reference state touched by this set (ids are disjoint
-    // across sets, so a full clear is unnecessary).
-    for (std::uint32_t id : sequence) seen[id] = 0;
+    marks.Clear();
   }
 }
 
@@ -130,20 +190,23 @@ void MergePartials(const std::vector<StackProfile>& partials,
 template <typename Scan>
 StackProfile ComputeWithScan(const trace::StrippedTrace& stripped,
                              std::uint32_t index_bits,
-                             support::ThreadPool* pool, Scan scan) {
+                             support::ThreadPool* pool, Scan scan,
+                             ScanScratch* scratch) {
   StackProfile profile;
   profile.index_bits = index_bits;
   const std::uint32_t sets = 1u << index_bits;
   const std::uint32_t mask = sets - 1;
   if (pool != nullptr && pool->jobs() > 1 && sets > 1) {
     std::vector<StackProfile> partials(pool->jobs());
+    std::vector<ScanScratch> scratches(pool->jobs());
     pool->ParallelForChunks(
         sets, [&](std::size_t begin, std::size_t end, std::size_t chunk) {
-          scan(stripped, mask, begin, end, partials[chunk]);
+          scan(stripped, mask, begin, end, partials[chunk], scratches[chunk]);
         });
     MergePartials(partials, profile);
   } else {
-    scan(stripped, mask, 0, sets, profile);
+    ScanScratch local;
+    scan(stripped, mask, 0, sets, profile, scratch ? *scratch : local);
   }
   // Canonical form: hist always has at least the distance-0 bucket so that
   // profiles from different engines compare equal structurally.
@@ -156,13 +219,13 @@ StackProfile ComputeWithScan(const trace::StrippedTrace& stripped,
 StackProfile ComputeStackProfile(const trace::StrippedTrace& stripped,
                                  std::uint32_t index_bits,
                                  support::ThreadPool* pool) {
-  return ComputeWithScan(stripped, index_bits, pool, ScanSetRange);
+  return ComputeWithScan(stripped, index_bits, pool, ScanSetRange, nullptr);
 }
 
 StackProfile ComputeStackProfileTree(const trace::StrippedTrace& stripped,
                                      std::uint32_t index_bits,
                                      support::ThreadPool* pool) {
-  return ComputeWithScan(stripped, index_bits, pool, ScanSetRangeTree);
+  return ComputeWithScan(stripped, index_bits, pool, ScanSetRangeTree, nullptr);
 }
 
 std::vector<StackProfile> ComputeAllDepthProfiles(
@@ -172,7 +235,7 @@ std::vector<StackProfile> ComputeAllDepthProfiles(
   support::ScopedSpan span(metrics, "stack.all_depths_seconds");
   support::ScopedTraceSpan trace_span("stack.all_depths");
   std::vector<StackProfile> profiles(max_index_bits + 1);
-  const auto compute = [&](std::size_t bits) {
+  const auto compute = [&](std::size_t bits, ScanScratch& scratch) {
     const auto index_bits = static_cast<std::uint32_t>(bits);
     // One profile span per depth: on the parallel path these land on the
     // worker tracks, which is exactly the per-depth load-balance picture.
@@ -180,15 +243,28 @@ std::vector<StackProfile> ComputeAllDepthProfiles(
                                         std::to_string(index_bits) + ")");
     // Each depth's pass is serial: depth-level slots keep the output
     // placement independent of scheduling, and a nested per-set split would
-    // run inline anyway.
-    profiles[bits] = use_tree ? ComputeStackProfileTree(stripped, index_bits)
-                              : ComputeStackProfile(stripped, index_bits);
+    // run inline anyway. The chunk's scratch carries over between depths.
+    profiles[bits] =
+        use_tree ? ComputeWithScan(stripped, index_bits, nullptr,
+                                   ScanSetRangeTree, &scratch)
+                 : ComputeWithScan(stripped, index_bits, nullptr, ScanSetRange,
+                                   &scratch);
     support::ProgressReporter::GlobalTick();
   };
   if (pool != nullptr && pool->jobs() > 1) {
-    pool->ParallelFor(profiles.size(), compute);
+    std::vector<ScanScratch> scratches(pool->jobs());
+    pool->ParallelForChunks(
+        profiles.size(),
+        [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+          for (std::size_t bits = begin; bits < end; ++bits) {
+            compute(bits, scratches[chunk]);
+          }
+        });
   } else {
-    for (std::size_t bits = 0; bits < profiles.size(); ++bits) compute(bits);
+    ScanScratch scratch;
+    for (std::size_t bits = 0; bits < profiles.size(); ++bits) {
+      compute(bits, scratch);
+    }
   }
   support::MetricsRegistry::Add(metrics, "stack.passes", profiles.size());
   support::MetricsRegistry::Add(

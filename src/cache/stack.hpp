@@ -28,14 +28,28 @@ struct StackProfile {
   // previous access to this line). d == 0 accesses hit in any cache.
   std::vector<std::uint64_t> hist;
   std::uint64_t cold = 0;
+  // Optional solve cache: miss_tail[a] = sum of hist[d] for d >= a (size
+  // hist.size() + 1, non-increasing). Built once by FinalizeSolveCache();
+  // empty until then. Not part of the profile's identity — engines compare
+  // profiles by hist/cold.
+  std::vector<std::uint64_t> miss_tail;
 
   std::uint32_t depth() const { return 1u << index_bits; }
 
-  // Non-cold misses of a (depth, assoc) LRU cache.
+  // Builds the miss_tail suffix sums so MissesAtAssoc is O(1) and
+  // MinAssocFor is O(log hist) — the steady-state hot path when a service
+  // batches many K queries against one prelude. Call after hist is final
+  // (it caches hist verbatim); idempotent, and must not race with queries,
+  // so build it before sharing the profile across threads.
+  void FinalizeSolveCache();
+
+  // Non-cold misses of a (depth, assoc) LRU cache. O(1) with the solve
+  // cache, O(hist) without.
   std::uint64_t MissesAtAssoc(std::uint32_t assoc) const;
 
   // Smallest associativity whose non-cold miss count is <= k. This is the
-  // paper's per-depth answer.
+  // paper's per-depth answer. O(log hist) with the solve cache, O(hist)
+  // without.
   std::uint32_t MinAssocFor(std::uint64_t k) const;
 
   // Smallest associativity with zero non-cold misses (the paper's A_zero).
@@ -71,7 +85,10 @@ StackProfile ComputeStackProfileTree(const trace::StrippedTrace& stripped,
 // Profiles for every depth 2^0 .. 2^max_index_bits (one pass each). With a
 // pool, depths are computed concurrently (each depth's pass stays serial —
 // depth-level parallelism load-balances better than splitting the few sets
-// of the shallow depths); `use_tree` selects the Bennett-Kruskal scan.
+// of the shallow depths); `use_tree` selects the Bennett-Kruskal scan. Scan
+// scratch (per-set buckets, per-reference bookkeeping, Fenwick storage) is
+// reused across the depths of a chunk, so after warm-up the passes allocate
+// nothing per depth.
 // When `metrics` is provided, records "stack.passes" (one per depth) and
 // "stack.refs_scanned" (trace length x depths — the work a one-pass-per-depth
 // prelude performs) plus the wall-clock span "stack.all_depths_seconds".

@@ -152,7 +152,7 @@ void TraceStore::EvictIfNeeded() {
 
 std::shared_ptr<const analytic::Explorer> TraceStore::GetOrBuildExplorer(
     const std::string& digest, const analytic::ExplorerOptions& options) {
-  const PreludeKey key{options.engine, options.line_words,
+  const PreludeKey key{options.engine, options.prelude, options.line_words,
                        options.max_index_bits};
   std::shared_ptr<const trace::Trace> trace;
   std::promise<std::shared_ptr<const analytic::Explorer>> promise;

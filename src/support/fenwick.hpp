@@ -14,6 +14,55 @@
 
 namespace ces {
 
+// Fenwick tree over caller-owned storage: `tree` must hold at least
+// `size + 1` zeroed int64 slots (slot 0 is unused). Lets hot loops reuse one
+// scratch buffer across many short-lived trees instead of allocating per
+// tree — the node scans of the fused prelude and the per-depth baseline both
+// rely on this to stay allocation-free. Clear() re-zeroes exactly the slots a
+// view of this size can have touched, so a larger backing buffer needs no
+// full wipe between uses.
+class FenwickView {
+ public:
+  FenwickView(std::int64_t* tree, std::size_t size)
+      : tree_(tree), size_(size) {}
+
+  std::size_t size() const { return size_; }
+
+  // Adds `delta` at position `pos` (0-based).
+  void Add(std::size_t pos, std::int64_t delta) {
+    CES_DCHECK(pos < size_);
+    for (std::size_t i = pos + 1; i <= size_; i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  // Sum of positions [0, pos] (0-based, inclusive).
+  std::int64_t PrefixSum(std::size_t pos) const {
+    CES_DCHECK(pos < size_);
+    std::int64_t sum = 0;
+    for (std::size_t i = pos + 1; i > 0; i -= i & (~i + 1)) {
+      sum += tree_[i];
+    }
+    return sum;
+  }
+
+  // Sum of positions [lo, hi] inclusive; 0 when the range is empty (lo > hi).
+  std::int64_t RangeSum(std::size_t lo, std::size_t hi) const {
+    if (lo > hi) return 0;
+    return PrefixSum(hi) - (lo == 0 ? 0 : PrefixSum(lo - 1));
+  }
+
+  // Re-zeroes the slots this view may have written, readying the buffer for
+  // the next (possibly differently sized) view.
+  void Clear() {
+    for (std::size_t i = 0; i <= size_; ++i) tree_[i] = 0;
+  }
+
+ private:
+  std::int64_t* tree_;
+  std::size_t size_;
+};
+
 class FenwickTree {
  public:
   explicit FenwickTree(std::size_t size) : tree_(size + 1, 0) {}

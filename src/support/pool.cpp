@@ -116,6 +116,10 @@ ThreadPool::ThreadPool(unsigned jobs, MetricsRegistry* metrics)
   if (jobs_ <= 1) return;  // fully inline; no worker state at all
   impl_ = std::make_unique<Impl>();
   impl_->metrics = metrics;
+  // One error slot per chunk for the pool's lifetime, so publishing a batch
+  // performs no allocation (callers like the fused prelude dispatch from
+  // allocation-free hot paths).
+  impl_->errors.assign(jobs_, nullptr);
   impl_->threads.reserve(jobs_ - 1);
   // Worker w owns chunk w + 1 forever; the caller always runs chunk 0.
   for (unsigned w = 1; w < jobs_; ++w) {
@@ -161,7 +165,7 @@ void ThreadPool::ParallelForChunks(
     impl.body = &fn;
     impl.batch_n = n;
     impl.pending = static_cast<unsigned>(impl.threads.size());
-    impl.errors.assign(jobs_, nullptr);
+    std::fill(impl.errors.begin(), impl.errors.end(), nullptr);
     impl.publish_time = NowSeconds();
     ++impl.generation;
   }
@@ -179,7 +183,9 @@ void ThreadPool::ParallelForChunks(
         break;
       }
     }
-    impl.errors.clear();
+    // Drop the exception_ptr references without releasing the slots — the
+    // vector stays sized jobs_ so the next batch publish stays allocation-free.
+    std::fill(impl.errors.begin(), impl.errors.end(), nullptr);
   }
   AccountBatch(n);
   if (first) std::rethrow_exception(first);

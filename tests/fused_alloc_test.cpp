@@ -1,0 +1,90 @@
+// Pins the fused prelude's allocation-freedom contract: once
+// FusedPreludeOptions::after_setup has fired, the traversal — node scans,
+// partitions, subtree fan-out, histogram merge and canonicalisation — runs
+// without touching the heap. The serial path must be exactly zero
+// allocations; the parallel path is allowed the pool-dispatch constant
+// (std::function wrappers are small enough for SBO on the toolchains we
+// build with, but the bound keeps the test honest rather than
+// stdlib-version-brittle).
+//
+// The counter lives in a replaced global operator new, which is why this
+// contract has its own binary: counting is only armed inside the traversal,
+// so gtest's own allocations never pollute the measurement.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "analytic/fast.hpp"
+#include "support/pool.hpp"
+#include "support/rng.hpp"
+#include "trace/strip.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* CountedAlloc(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+std::uint64_t CountTraversalAllocations(const ces::trace::StrippedTrace& s,
+                                        bool use_tree,
+                                        ces::support::ThreadPool* pool) {
+  ces::analytic::FusedPreludeOptions options;
+  options.pool = pool;
+  options.after_setup = [] {
+    g_allocations.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+  };
+  const auto profiles =
+      use_tree ? ces::analytic::ComputeMissProfilesFusedTree(s, 8, options)
+               : ces::analytic::ComputeMissProfilesFused(s, 8, options);
+  g_counting.store(false, std::memory_order_relaxed);
+  EXPECT_EQ(profiles.size(), 9u);
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+ces::trace::StrippedTrace TestStripped() {
+  ces::Rng rng(42);
+  return ces::trace::Strip(ces::trace::LocalityMix(rng, 128, 2048, 50000));
+}
+
+TEST(FusedAllocTest, SerialTraversalIsAllocationFree) {
+  const auto stripped = TestStripped();
+  for (const bool use_tree : {false, true}) {
+    EXPECT_EQ(CountTraversalAllocations(stripped, use_tree, nullptr), 0u)
+        << "use_tree=" << use_tree;
+  }
+}
+
+TEST(FusedAllocTest, ParallelTraversalAllocatesAtMostDispatchConstant) {
+  const auto stripped = TestStripped();
+  ces::support::ThreadPool pool(8);
+  for (const bool use_tree : {false, true}) {
+    EXPECT_LE(CountTraversalAllocations(stripped, use_tree, &pool), 16u)
+        << "use_tree=" << use_tree;
+  }
+}
+
+}  // namespace

@@ -134,10 +134,14 @@ TEST(CachedseCli, TraceOutAndMetricsAreValidOnThePaperExample) {
   const auto checks = ces::testjson::CheckTraceEvents(profile);
   ASSERT_TRUE(checks.ok()) << checks.error;
   EXPECT_GT(checks.spans, 0u);
+  // jobs=4 runs the subtree-parallel fused traversal (not a per-depth
+  // fallback), so the profile shows the fused phase span plus the pool's
+  // worker tracks and chunk spans from the subtree fan-out.
   for (const char* needle :
        {"\"explore.prelude\"", "\"explore.strip\"", "\"trace.read_text\"",
-        "\"explore.solve\"", "\"stack.scan(bits=0)\"", "\"explore.prelude_done\"",
-        "\"pool.chunk\"", "pool worker", "\"name\":\"main\""}) {
+        "\"explore.solve\"", "\"explore.fused_traversal\"",
+        "\"explore.prelude_done\"", "\"pool.chunk\"", "pool worker",
+        "\"name\":\"main\""}) {
     EXPECT_NE(profile.find(needle), std::string::npos) << needle;
   }
 

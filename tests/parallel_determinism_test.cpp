@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "analytic/explorer.hpp"
+#include "analytic/fast.hpp"
 #include "cache/stack.hpp"
 #include "cache/sweep.hpp"
 #include "explore/strategy.hpp"
@@ -167,6 +168,87 @@ TEST(ParallelDeterminismTest, ExplorerProfilesAreJobsInvariant) {
   }
 }
 
+// The per-depth baseline is an explicit opt-in now (never a hidden jobs>1
+// fallback) and must keep producing the same profiles as the fused traversal
+// — that is what makes it a cross-validation oracle.
+TEST(ParallelDeterminismTest, PerDepthPreludeMatchesFusedTraversal) {
+  for (const auto& trace : TestTraces()) {
+    for (const auto engine :
+         {ces::analytic::Engine::kFused, ces::analytic::Engine::kFusedTree}) {
+      const ces::analytic::Explorer fused(
+          trace, {.engine = engine, .max_index_bits = 6, .jobs = 4});
+      const ces::analytic::Explorer per_depth(
+          trace, {.engine = engine,
+                  .max_index_bits = 6,
+                  .jobs = 4,
+                  .prelude = ces::analytic::PreludeMode::kPerDepth});
+      ASSERT_EQ(fused.profiles().size(), per_depth.profiles().size());
+      for (std::size_t i = 0; i < fused.profiles().size(); ++i) {
+        ExpectSameProfile(fused.profiles()[i], per_depth.profiles()[i]);
+      }
+    }
+  }
+}
+
+// Differential sweep for the subtree-parallel fused prelude: both scan
+// variants, jobs in {1, 2, 8}, over the paper example plus 100 random
+// synthetic traces. Profiles AND the deterministic metrics surface (the
+// explore.fused_nodes / explore.fused_refs work counters) must be
+// byte-identical to the serial traversal — the cut level, chunking and merge
+// order may never leak into results.
+TEST(ParallelDeterminismTest, FusedSubtreeParallelDifferentialSweep) {
+  std::vector<ces::trace::Trace> traces;
+  traces.push_back(ces::trace::PaperExampleTrace());
+  ces::Rng rng(20260806);
+  while (traces.size() < 101) {
+    const auto length = static_cast<std::uint32_t>(rng.NextInRange(20, 1500));
+    if (traces.size() % 2 == 0) {
+      const auto working = static_cast<std::uint32_t>(rng.NextInRange(2, 500));
+      traces.push_back(ces::trace::RandomWorkingSet(rng, working, length));
+    } else {
+      const auto hot = static_cast<std::uint32_t>(rng.NextInRange(1, 64));
+      const auto cold = static_cast<std::uint32_t>(rng.NextInRange(1, 512));
+      traces.push_back(ces::trace::LocalityMix(rng, hot, cold, length));
+    }
+  }
+
+  ces::support::ThreadPool pool2(2);
+  ces::support::ThreadPool pool8(8);
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    SCOPED_TRACE("trace " + std::to_string(t));
+    const auto stripped = ces::trace::Strip(traces[t]);
+    for (const bool use_tree : {false, true}) {
+      std::vector<StackProfile> expected;
+      std::string expected_metrics;
+      for (ces::support::ThreadPool* pool :
+           {static_cast<ces::support::ThreadPool*>(nullptr), &pool2, &pool8}) {
+        ces::support::MetricsRegistry metrics;
+        ces::analytic::FusedPreludeOptions options;
+        options.pool = pool;
+        options.metrics = &metrics;
+        const auto profiles =
+            use_tree ? ces::analytic::ComputeMissProfilesFusedTree(stripped, 6,
+                                                                   options)
+                     : ces::analytic::ComputeMissProfilesFused(stripped, 6,
+                                                               options);
+        const std::string json = metrics.ToJson(/*include_volatile=*/false);
+        if (expected.empty()) {
+          expected = profiles;
+          expected_metrics = json;
+        } else {
+          ASSERT_EQ(profiles.size(), expected.size());
+          for (std::size_t i = 0; i < profiles.size(); ++i) {
+            ExpectSameProfile(profiles[i], expected[i]);
+          }
+          EXPECT_EQ(json, expected_metrics)
+              << "use_tree=" << use_tree << " jobs "
+              << (pool == nullptr ? 1u : pool->jobs());
+        }
+      }
+    }
+  }
+}
+
 // The deterministic metrics surface — counters AND histograms — must be
 // byte-identical across jobs values and engines; this is what lets CI diff
 // --metrics=json between --jobs=1/2/8 runs.
@@ -175,7 +257,7 @@ TEST(ParallelDeterminismTest, MetricsJsonIsJobsAndEngineInvariant) {
     std::string expected;
     for (const auto engine : {ces::analytic::Engine::kFused,
                               ces::analytic::Engine::kFusedTree}) {
-      for (const std::uint32_t jobs : {1u, 4u}) {
+      for (const std::uint32_t jobs : {1u, 2u, 8u}) {
         ces::support::MetricsRegistry metrics;
         const ces::analytic::Explorer explorer(trace,
                                                {.engine = engine,

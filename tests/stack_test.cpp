@@ -45,6 +45,33 @@ TEST(StackProfileTest, Distance0Repeats) {
   EXPECT_EQ(profile.MinAssocFor(0), 1u);
 }
 
+// The suffix-sum solve cache must answer every (assoc, k) query exactly as
+// the uncached walk does — including the degenerate histogram shapes.
+TEST(StackProfileTest, SolveCacheMatchesUncachedQueries) {
+  const std::vector<std::vector<std::uint64_t>> hists = {
+      {},           // no histogram at all
+      {0},          // canonical empty
+      {7},          // only distance-0 hits
+      {0, 3},       // the FullyAssociativeHistogram shape
+      {2, 0, 5, 0}, // gaps and a trailing zero
+      {1, 1, 1, 1, 1},
+  };
+  for (const auto& hist : hists) {
+    StackProfile plain;
+    plain.hist = hist;
+    StackProfile cached = plain;
+    cached.FinalizeSolveCache();
+    for (std::uint32_t assoc = 1; assoc <= hist.size() + 2; ++assoc) {
+      EXPECT_EQ(cached.MissesAtAssoc(assoc), plain.MissesAtAssoc(assoc))
+          << "hist size " << hist.size() << " assoc " << assoc;
+    }
+    for (std::uint64_t k = 0; k <= 10; ++k) {
+      EXPECT_EQ(cached.MinAssocFor(k), plain.MinAssocFor(k))
+          << "hist size " << hist.size() << " k " << k;
+    }
+  }
+}
+
 TEST(StackProfileTest, SetPartitioningSeparatesConflicts) {
   // 0 and 4 share a set at depth 4; 1 does not interfere with them.
   const StrippedTrace stripped = Strip(FromRefs({0, 4, 1, 0, 4, 1}));

@@ -2,7 +2,10 @@
 //
 //   cachedse explore  --trace=app.ctr [--k=N | --fraction=0.05]
 //                     [--engine=fused|fused-tree|reference] [--line-words=1]
-//                     [--jobs=N]
+//                     [--jobs=N] [--prelude=fused|per-depth]
+//                     (--prelude=per-depth opts into the one-pass-per-depth
+//                      cross-validation baseline; the default fused traversal
+//                      is subtree-parallel when --jobs > 1)
 //   cachedse stats    --trace=app.ctr
 //   cachedse compare  --trace=a.ctr[,b.ctr...] [--fraction=0.05[,0.10...]]
 //                     [--max-bits=12] [--jobs=N] [--timing=true]
@@ -67,7 +70,8 @@ int Usage() {
       stderr,
       "usage: cachedse <explore|stats|compare|workload|convert> [flags]\n"
       "  explore  --trace=F [--k=N|--fraction=0.05] [--engine=fused|"
-      "fused-tree|reference] [--line-words=1] [--jobs=N]\n"
+      "fused-tree|reference] [--prelude=fused|per-depth] [--line-words=1] "
+      "[--jobs=N]\n"
       "  stats    --trace=F\n"
       "  compare  --trace=F[,F2...] [--fraction=0.05[,0.10...]] "
       "[--max-bits=12] [--jobs=N] [--timing=true]\n"
@@ -263,6 +267,15 @@ int CmdExplore(const ces::ArgParser& args, MetricsEmitter& metrics) {
                    : engine == "fused-tree"
                        ? ces::analytic::Engine::kFusedTree
                        : ces::analytic::Engine::kFused;
+  const std::string prelude = args.GetString("prelude", "fused");
+  if (prelude != "fused" && prelude != "per-depth") {
+    throw ces::support::Error(
+        ces::support::ErrorCategory::kUsage, "cachedse",
+        "unknown --prelude '" + prelude + "' (expected fused|per-depth)");
+  }
+  options.prelude = prelude == "per-depth"
+                        ? ces::analytic::PreludeMode::kPerDepth
+                        : ces::analytic::PreludeMode::kFusedTraversal;
   options.line_words =
       static_cast<std::uint32_t>(args.GetInt("line-words", 1));
   options.jobs = JobsFlag(args);
