@@ -1,0 +1,151 @@
+// Joint L1I x L1D x L2 design-space exploration over the PowerStone-like
+// workloads: Pareto fronts over (misses, AMAT, energy), the pruning win of
+// the lower-bound + associativity-threshold layers, and — when --exhaustive
+// is on — a front-identity check against the unpruned reference that CI
+// asserts ("fronts identical: yes", configs skipped > 0).
+//
+// Flags: --benchmark=crc[,fir...]  subset filter (default: all 12)
+//        --scale=small|default|large  workload input scale (default small,
+//              so the exhaustive reference stays cheap; the pruning
+//              percentages are scale-insensitive)
+//        --space=default|small  joint space preset (default default)
+//        --exhaustive=true|false  run the unpruned reference and compare
+//              fronts byte-for-byte (default true)
+//        --jobs=N  worker threads (default hardware concurrency)
+//        --json=PATH  machine-readable ces-bench-v1 results
+//
+// Exit code 1 if any pruned front differs from its exhaustive reference or
+// no configuration was pruned anywhere — the bench doubles as a check.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "explore/joint.hpp"
+#include "explore/report.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using ces::explore::JointOptions;
+using ces::explore::JointResult;
+using ces::explore::JointSpace;
+
+std::vector<std::string> SplitList(const std::string& list) {
+  std::vector<std::string> items;
+  std::string::size_type start = 0;
+  while (start <= list.size()) {
+    const auto comma = list.find(',', start);
+    const auto end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) items.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return items;
+}
+
+std::string FrontJson(const JointResult& result) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < result.front.size(); ++i) {
+    if (i > 0) out += ',';
+    out += ces::explore::JointPointJson(result.front[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ces::ArgParser args(argc, argv);
+  ces::bench::BenchReporter reporter("table_joint_dse", args);
+
+  const std::string scale_flag = args.GetString("scale", "small");
+  const ces::workloads::Scale scale =
+      scale_flag == "large"     ? ces::workloads::Scale::kLarge
+      : scale_flag == "default" ? ces::workloads::Scale::kDefault
+                                : ces::workloads::Scale::kSmall;
+  const JointSpace space =
+      ces::explore::JointSpaceByName(args.GetString("space", "default"));
+  const bool exhaustive = args.GetBool("exhaustive", true);
+  const auto jobs = static_cast<std::uint32_t>(args.GetInt("jobs", 0));
+
+  const std::vector<std::string> filter =
+      SplitList(args.GetString("benchmark", ""));
+
+  const std::vector<ces::bench::BenchmarkTraces> all =
+      ces::bench::CollectAllTraces(/*verbose=*/true, scale);
+
+  ces::AsciiTable table({"Benchmark", "Valid", "Evaluated", "Pruned",
+                         "Pruned %", "Front", "Identical"});
+  std::uint64_t total_valid = 0;
+  std::uint64_t total_pruned = 0;
+  bool all_identical = true;
+
+  for (const ces::bench::BenchmarkTraces& bench : all) {
+    if (!filter.empty() &&
+        std::find(filter.begin(), filter.end(), bench.name) == filter.end()) {
+      continue;
+    }
+    const ces::trace::AccessSequence accesses =
+        ces::explore::InterleaveProportional(bench.instruction, bench.data);
+
+    JointOptions pruned_options;
+    pruned_options.jobs = jobs;
+    const JointResult pruned = ExploreJoint(accesses, space, pruned_options);
+
+    std::string identical = "n/a";
+    if (exhaustive) {
+      JointOptions reference_options;
+      reference_options.prune = false;
+      reference_options.jobs = jobs;
+      const JointResult reference =
+          ExploreJoint(accesses, space, reference_options);
+      const bool same = FrontJson(pruned) == FrontJson(reference);
+      identical = same ? "yes" : "NO (BUG)";
+      all_identical = all_identical && same;
+    }
+
+    total_valid += pruned.valid_configs;
+    total_pruned += pruned.pruned_configs;
+    const double pct =
+        pruned.valid_configs == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(pruned.pruned_configs) /
+                  static_cast<double>(pruned.valid_configs);
+    char pct_text[16];
+    std::snprintf(pct_text, sizeof(pct_text), "%.1f", pct);
+    table.AddRow({bench.name, std::to_string(pruned.valid_configs),
+                  std::to_string(pruned.evaluated_configs),
+                  std::to_string(pruned.pruned_configs), pct_text,
+                  std::to_string(pruned.front.size()), identical});
+
+    reporter.Add(bench.name,
+                 {{"scale", scale_flag},
+                  {"space", args.GetString("space", "default")},
+                  {"exhaustive", exhaustive ? "true" : "false"}},
+                 /*reps=*/1, /*wall_seconds=*/{},
+                 {{"valid_configs", pruned.valid_configs},
+                  {"evaluated_configs", pruned.evaluated_configs},
+                  {"pruned_configs", pruned.pruned_configs},
+                  {"threshold_pruned_pairs", pruned.threshold_pruned_pairs},
+                  {"front_size", pruned.front.size()},
+                  {"fronts_identical",
+                   identical == "NO (BUG)" ? 0u : 1u}});
+  }
+
+  std::fputs(table.ToString().c_str(), stdout);
+  const double total_pct =
+      total_valid == 0 ? 0.0
+                       : 100.0 * static_cast<double>(total_pruned) /
+                             static_cast<double>(total_valid);
+  std::printf("pruning win: skipped %llu of %llu configs (%.1f%%)\n",
+              static_cast<unsigned long long>(total_pruned),
+              static_cast<unsigned long long>(total_valid), total_pct);
+  if (exhaustive) {
+    std::printf("fronts identical: %s\n", all_identical ? "yes" : "NO (BUG)");
+  }
+  reporter.Write();
+  return (all_identical && total_pruned > 0) ? 0 : 1;
+}

@@ -1,0 +1,799 @@
+#include "explore/joint.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "cache/cache.hpp"
+#include "cache/energy.hpp"
+#include "explore/pareto.hpp"
+#include "support/error.hpp"
+#include "support/metrics.hpp"
+#include "support/pool.hpp"
+#include "trace/strip.hpp"
+
+namespace ces::explore {
+
+namespace {
+
+using cache::CacheConfig;
+using cache::HierarchyConfig;
+using support::Error;
+using support::ErrorCategory;
+
+std::uint32_t BitsFor(std::uint32_t depth) {
+  std::uint32_t bits = 0;
+  while ((1u << bits) < depth) ++bits;
+  return bits;
+}
+
+std::vector<std::uint32_t> SortedUnique(std::vector<std::uint32_t> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+LevelAxes NormalizeAxes(const LevelAxes& axes) {
+  return LevelAxes{SortedUnique(axes.depths), SortedUnique(axes.assocs),
+                   SortedUnique(axes.lines)};
+}
+
+JointSpace NormalizeSpace(const JointSpace& space) {
+  JointSpace norm = space;
+  norm.l1i = NormalizeAxes(space.l1i);
+  norm.l1d = NormalizeAxes(space.l1d);
+  norm.l2 = NormalizeAxes(space.l2);
+  return norm;
+}
+
+// Canonical total order over configurations: per-level (line, depth, assoc)
+// tuples, L1I then L1D then L2. Front output and all merge steps use it so
+// results never depend on evaluation order.
+auto ConfigTuple(const HierarchyConfig& c) {
+  return std::make_tuple(c.l1i.line_words, c.l1i.depth, c.l1i.assoc,
+                         c.l1d.line_words, c.l1d.depth, c.l1d.assoc,
+                         c.l2.line_words, c.l2.depth, c.l2.assoc);
+}
+
+bool ConfigLess(const HierarchyConfig& a, const HierarchyConfig& b) {
+  return ConfigTuple(a) < ConfigTuple(b);
+}
+
+// One valid (L1I, L1D) pair. The L2 axes attach per pair via `valid_l2`.
+struct Pair {
+  CacheConfig l1i;
+  CacheConfig l1d;
+};
+
+// Relational L2 rules given an L1 pair; the absolute per-level rules live in
+// CacheConfig::IsValid. Kept in sync with ValidateJointConfig.
+bool L2ValidFor(const CacheConfig& l2, const Pair& pair) {
+  return l2.line_words >= pair.l1i.line_words &&
+         l2.size_words() >= pair.l1i.size_words() + pair.l1d.size_words();
+}
+
+// Valid pairs in canonical order (shared L1 line, then L1I depth/assoc, then
+// L1D depth/assoc — matching ConfigTuple).
+std::vector<Pair> EnumeratePairs(const JointSpace& space) {
+  std::vector<Pair> pairs;
+  for (std::uint32_t line : space.l1i.lines) {
+    if (std::find(space.l1d.lines.begin(), space.l1d.lines.end(), line) ==
+        space.l1d.lines.end()) {
+      continue;  // split L1s share one refill width
+    }
+    for (std::uint32_t di : space.l1i.depths) {
+      for (std::uint32_t ai : space.l1i.assocs) {
+        CacheConfig l1i{di, ai, line, space.l1i_policy,
+                        cache::WritePolicy::kWriteBackAllocate};
+        if (!l1i.IsValid()) continue;
+        for (std::uint32_t dd : space.l1d.depths) {
+          for (std::uint32_t ad : space.l1d.assocs) {
+            CacheConfig l1d{dd, ad, line, space.l1d_policy,
+                            cache::WritePolicy::kWriteBackAllocate};
+            if (!l1d.IsValid()) continue;
+            pairs.push_back(Pair{l1i, l1d});
+          }
+        }
+      }
+    }
+  }
+  return pairs;
+}
+
+std::vector<CacheConfig> EnumerateL2(const JointSpace& space) {
+  std::vector<CacheConfig> configs;
+  for (std::uint32_t line : space.l2.lines) {
+    for (std::uint32_t depth : space.l2.depths) {
+      for (std::uint32_t assoc : space.l2.assocs) {
+        CacheConfig l2{depth, assoc, line, space.l2_policy,
+                       cache::WritePolicy::kWriteBackAllocate};
+        if (l2.IsValid()) configs.push_back(l2);
+      }
+    }
+  }
+  return configs;
+}
+
+// LRU stack profiles of one split stream, per line size: cold (= unique
+// lines, policy-independent for demand-fetch caches) plus warm misses at
+// every (depth, assoc) — exact for LRU, a floor otherwise.
+struct LevelProfiles {
+  struct PerLine {
+    std::vector<cache::StackProfile> profiles;  // index = index_bits
+    std::uint32_t max_index_bits = 0;
+    std::uint64_t cold = 0;
+  };
+  std::map<std::uint32_t, PerLine> by_line;
+
+  std::uint64_t Warm(std::uint32_t line, std::uint32_t depth,
+                     std::uint32_t assoc) const {
+    const PerLine& per = by_line.at(line);
+    const std::uint32_t bits = std::min(BitsFor(depth), per.max_index_bits);
+    return per.profiles[bits].MissesAtAssoc(assoc);
+  }
+
+  // Lower bound on total misses: exact (cold + warm) when the level is LRU,
+  // the compulsory floor otherwise.
+  std::uint64_t MissesFloor(const CacheConfig& config, bool lru) const {
+    const PerLine& per = by_line.at(config.line_words);
+    if (!lru) return per.cold;
+    return per.cold + Warm(config.line_words, config.depth, config.assoc);
+  }
+};
+
+LevelProfiles::PerLine ProfileOneLine(const trace::Trace& stream,
+                                      std::uint32_t line,
+                                      std::uint32_t max_index_bits,
+                                      analytic::Engine engine,
+                                      std::uint32_t jobs) {
+  LevelProfiles::PerLine per;
+  if (stream.refs.empty()) {
+    per.profiles.resize(1);
+    return per;
+  }
+  analytic::ExplorerOptions options;
+  options.engine = engine;
+  options.line_words = line;
+  options.max_index_bits = std::max(1u, max_index_bits);
+  options.jobs = jobs;
+  const analytic::Explorer explorer(stream, options);
+  per.profiles = explorer.profiles();
+  for (cache::StackProfile& profile : per.profiles) {
+    profile.FinalizeSolveCache();
+  }
+  per.max_index_bits = explorer.max_index_bits();
+  per.cold = per.profiles.empty() ? 0 : per.profiles.front().cold;
+  return per;
+}
+
+LevelProfiles BuildProfiles(const trace::Trace& stream,
+                            const std::vector<std::uint32_t>& lines,
+                            std::uint32_t max_index_bits,
+                            analytic::Engine engine, std::uint32_t jobs) {
+  LevelProfiles profiles;
+  for (std::uint32_t line : lines) {
+    profiles.by_line.emplace(
+        line, ProfileOneLine(stream, line, max_index_bits, engine, jobs));
+  }
+  return profiles;
+}
+
+// Everything one (L1I, L1D) simulation yields: the per-level L1 counts and,
+// via one fused prelude per L2 line size over the captured L2 stream, exact
+// LRU L2 miss counts for EVERY L2 (depth, assoc) at once.
+struct PairOutcome {
+  std::uint64_t l1i_misses = 0;
+  std::uint64_t l1d_misses = 0;
+  std::uint64_t l1d_writebacks = 0;
+  std::map<std::uint32_t, LevelProfiles::PerLine> l2_by_line;
+};
+
+PairOutcome SimulatePair(const trace::AccessSequence& accesses,
+                         const Pair& pair,
+                         const std::vector<std::uint32_t>& l2_lines,
+                         std::uint32_t l2_max_bits, analytic::Engine engine) {
+  cache::Cache l1i(pair.l1i);
+  cache::Cache l1d(pair.l1d);
+  std::vector<std::uint32_t> l2_stream;
+  l2_stream.reserve(accesses.size() / 4 + 16);
+  for (const trace::Access& access : accesses) {
+    cache::Cache& l1 =
+        access.kind == trace::StreamKind::kInstruction ? l1i : l1d;
+    cache::Eviction eviction;
+    const cache::AccessOutcome outcome =
+        l1.Access(access.addr, access.is_write, &eviction);
+    // Same L2-stream order as cache::TwoLevelCache: refill, then the dirty
+    // victim's write-back.
+    if (outcome != cache::AccessOutcome::kHit) l2_stream.push_back(access.addr);
+    if (eviction.valid && eviction.dirty) l2_stream.push_back(eviction.addr);
+  }
+
+  PairOutcome outcome;
+  outcome.l1i_misses = l1i.stats().misses;
+  outcome.l1d_misses = l1d.stats().misses;
+  outcome.l1d_writebacks = l1d.stats().writebacks;
+  trace::Trace stream;
+  stream.refs = std::move(l2_stream);
+  stream.kind = trace::StreamKind::kData;
+  for (std::uint32_t line : l2_lines) {
+    // jobs = 1: pair evaluations are already fanned out across the pool.
+    outcome.l2_by_line.emplace(
+        line, ProfileOneLine(stream, line, l2_max_bits, engine, 1));
+  }
+  return outcome;
+}
+
+void FinishDerived(JointMetrics& metrics, const HierarchyConfig& config,
+                   std::uint64_t n_instr, std::uint64_t n_data) {
+  metrics.misses =
+      metrics.l1i_misses + metrics.l1d_misses + metrics.l2_misses;
+  metrics.size_words = config.l1i.size_words() + config.l1d.size_words() +
+                       config.l2.size_words();
+  const double l1_accesses = static_cast<double>(n_instr + n_data);
+  const cache::LatencyModel latency = DeriveLatency(config);
+  metrics.amat_ns =
+      l1_accesses == 0.0
+          ? 0.0
+          : latency.l1_ns +
+                (latency.l2_ns * static_cast<double>(metrics.l2_accesses) +
+                 latency.memory_ns * static_cast<double>(metrics.l2_misses)) /
+                    l1_accesses;
+  metrics.energy_nj =
+      cache::EstimateEnergy(config.l1i).read_energy_nj *
+          static_cast<double>(n_instr) +
+      cache::EstimateEnergy(config.l1d).read_energy_nj *
+          static_cast<double>(n_data) +
+      cache::EstimateEnergy(config.l2).read_energy_nj *
+          static_cast<double>(metrics.l2_accesses) +
+      10.0 * static_cast<double>(metrics.l2_misses);
+}
+
+JointMetrics ScoreConfig(const PairOutcome& outcome,
+                         const HierarchyConfig& config, std::uint64_t n_instr,
+                         std::uint64_t n_data) {
+  JointMetrics metrics;
+  metrics.l1i_misses = outcome.l1i_misses;
+  metrics.l1d_misses = outcome.l1d_misses;
+  metrics.l1d_writebacks = outcome.l1d_writebacks;
+  metrics.l2_accesses =
+      outcome.l1i_misses + outcome.l1d_misses + outcome.l1d_writebacks;
+  const LevelProfiles::PerLine& per =
+      outcome.l2_by_line.at(config.l2.line_words);
+  const std::uint32_t bits =
+      std::min(config.l2.index_bits(), per.max_index_bits);
+  metrics.l2_misses = per.cold + per.profiles[bits].MissesAtAssoc(
+                                     config.l2.assoc);
+  FinishDerived(metrics, config, n_instr, n_data);
+  return metrics;
+}
+
+Objectives ToObjectives(const JointMetrics& metrics) {
+  return Objectives{metrics.misses, metrics.amat_ns, metrics.energy_nj};
+}
+
+}  // namespace
+
+JointSpace JointSpace::Default() {
+  JointSpace space;
+  space.l1i = LevelAxes{{16, 32, 64, 128}, {1, 2, 4}, {4}};
+  space.l1d = LevelAxes{{16, 32, 64, 128}, {1, 2, 4}, {4}};
+  space.l2 = LevelAxes{{256, 512, 1024}, {2, 4, 8}, {8}};
+  return space;
+}
+
+JointSpace JointSpace::Small() {
+  JointSpace space;
+  space.l1i = LevelAxes{{2, 4, 8}, {1, 2}, {1}};
+  space.l1d = LevelAxes{{2, 4, 8}, {1, 2}, {1}};
+  space.l2 = LevelAxes{{16, 32}, {1, 2}, {1, 2}};
+  return space;
+}
+
+std::uint64_t JointSpace::TotalConfigs() const {
+  const JointSpace norm = NormalizeSpace(*this);
+  const auto axis = [](const LevelAxes& a) {
+    return static_cast<std::uint64_t>(a.depths.size()) * a.assocs.size() *
+           a.lines.size();
+  };
+  return axis(norm.l1i) * axis(norm.l1d) * axis(norm.l2);
+}
+
+std::string JointSpace::Canonical() const {
+  const JointSpace norm = NormalizeSpace(*this);
+  const auto join = [](const std::vector<std::uint32_t>& values) {
+    std::string out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(values[i]);
+    }
+    return out;
+  };
+  const auto axes = [&](const char* name, const LevelAxes& a) {
+    return std::string(name) + "=d" + join(a.depths) + ";a" + join(a.assocs) +
+           ";w" + join(a.lines);
+  };
+  return axes("l1i", norm.l1i) + "|" + axes("l1d", norm.l1d) + "|" +
+         axes("l2", norm.l2) + "|pol=" + cache::ToString(l1i_policy) + "," +
+         cache::ToString(l1d_policy) + "," + cache::ToString(l2_policy);
+}
+
+JointSpace JointSpaceByName(const std::string& name) {
+  if (name == "default") return JointSpace::Default();
+  if (name == "small") return JointSpace::Small();
+  throw Error(ErrorCategory::kValidation, "joint",
+              "unknown joint space '" + name + "' (expected default|small)");
+}
+
+cache::ReplacementPolicy ReplacementPolicyByName(const std::string& name) {
+  if (name == "lru") return cache::ReplacementPolicy::kLru;
+  if (name == "fifo") return cache::ReplacementPolicy::kFifo;
+  if (name == "random") return cache::ReplacementPolicy::kRandom;
+  if (name == "plru") return cache::ReplacementPolicy::kPlru;
+  throw Error(ErrorCategory::kValidation, "joint",
+              "unknown replacement policy '" + name +
+                  "' (expected lru|fifo|random|plru)");
+}
+
+bool ValidateJointConfig(const HierarchyConfig& config) {
+  if (!config.l1i.IsValid() || !config.l1d.IsValid() || !config.l2.IsValid()) {
+    return false;
+  }
+  if (config.l1i.line_words != config.l1d.line_words) return false;
+  return L2ValidFor(config.l2, Pair{config.l1i, config.l1d});
+}
+
+cache::LatencyModel DeriveLatency(const HierarchyConfig& config) {
+  const auto time_ns = [](const CacheConfig& c) {
+    return cache::EstimateEnergy(c).access_time_ns;
+  };
+  cache::LatencyModel latency;
+  latency.l1_ns = std::max(time_ns(config.l1i), time_ns(config.l1d));
+  latency.l2_ns = 4.0 + time_ns(config.l2);  // fixed interconnect overhead
+  latency.memory_ns = 60.0;
+  return latency;
+}
+
+std::string JointConfigKey(const HierarchyConfig& config) {
+  const auto level = [](char tag, const CacheConfig& c) {
+    return std::string(1, tag) + std::to_string(c.line_words) + "x" +
+           std::to_string(c.depth) + "x" + std::to_string(c.assoc);
+  };
+  return level('i', config.l1i) + ":" + level('d', config.l1d) + ":" +
+         level('u', config.l2);
+}
+
+bool JointDominates(const JointMetrics& a, const JointMetrics& b) {
+  return Dominates(ToObjectives(a), ToObjectives(b));
+}
+
+std::vector<JointPoint> JointParetoFront(std::vector<JointPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const JointPoint& a, const JointPoint& b) {
+              return ConfigLess(a.config, b.config);
+            });
+  std::vector<Objectives> objectives;
+  objectives.reserve(points.size());
+  for (const JointPoint& point : points) {
+    objectives.push_back(ToObjectives(point.metrics));
+  }
+  std::vector<JointPoint> front;
+  for (std::size_t index : ParetoIndices(objectives)) {
+    front.push_back(points[index]);
+  }
+  return front;
+}
+
+trace::AccessSequence InterleaveProportional(const trace::Trace& instr,
+                                             const trace::Trace& data) {
+  trace::AccessSequence merged;
+  const std::uint64_t ni = instr.refs.size();
+  const std::uint64_t nd = data.refs.size();
+  merged.reserve(ni + nd);
+  std::uint64_t i = 0;
+  std::uint64_t d = 0;
+  while (i < ni || d < nd) {
+    bool take_instr;
+    if (i >= ni) {
+      take_instr = false;
+    } else if (d >= nd) {
+      take_instr = true;
+    } else {
+      take_instr = i * nd <= d * ni;
+    }
+    if (take_instr) {
+      merged.push_back(trace::Access{instr.refs[i++],
+                                     trace::StreamKind::kInstruction, false});
+    } else {
+      merged.push_back(
+          trace::Access{data.refs[d++], trace::StreamKind::kData, false});
+    }
+  }
+  return merged;
+}
+
+JointMetrics EvaluateJointConfig(const trace::AccessSequence& accesses,
+                                 const HierarchyConfig& config,
+                                 analytic::Engine engine) {
+  if (!ValidateJointConfig(config)) {
+    throw Error(ErrorCategory::kValidation, "joint",
+                "invalid joint configuration " + JointConfigKey(config));
+  }
+  if (engine == analytic::Engine::kReference) {
+    engine = analytic::Engine::kFused;
+  }
+  std::uint64_t n_instr = 0;
+  for (const trace::Access& access : accesses) {
+    if (access.kind == trace::StreamKind::kInstruction) ++n_instr;
+  }
+  const Pair pair{config.l1i, config.l1d};
+  const PairOutcome outcome =
+      SimulatePair(accesses, pair, {config.l2.line_words},
+                   config.l2.index_bits(), engine);
+  return ScoreConfig(outcome, config, n_instr, accesses.size() - n_instr);
+}
+
+namespace {
+
+// Dimension-ordering seed scan (SimpleScalar-style): walk one axis at a
+// time — shared L1 line, L1I depth, L1I assoc, L1D depth, L1D assoc — from a
+// smallest-value base, visiting every value of the active axis while the
+// others stay put, then lock the active axis at the profile-estimated best
+// (ties to the smallest value) before scanning the next. Every visited pair
+// is a seed, so the incumbent front spans each axis's extremes before wave
+// pruning starts.
+std::vector<std::size_t> SeedPairIndices(
+    const JointSpace& space, const std::vector<Pair>& pairs,
+    const LevelProfiles& instr_profiles, const LevelProfiles& data_profiles) {
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t,
+                      std::uint32_t, std::uint32_t>,
+           std::size_t>
+      index;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    index.emplace(std::make_tuple(pairs[i].l1i.line_words, pairs[i].l1i.depth,
+                                  pairs[i].l1i.assoc, pairs[i].l1d.depth,
+                                  pairs[i].l1d.assoc),
+                  i);
+  }
+
+  std::vector<std::uint32_t> shared_lines;
+  for (std::uint32_t line : space.l1i.lines) {
+    if (std::find(space.l1d.lines.begin(), space.l1d.lines.end(), line) !=
+        space.l1d.lines.end()) {
+      shared_lines.push_back(line);
+    }
+  }
+  if (shared_lines.empty()) return {};
+
+  const bool l1i_lru = space.l1i_policy == cache::ReplacementPolicy::kLru;
+  const bool l1d_lru = space.l1d_policy == cache::ReplacementPolicy::kLru;
+  const auto score = [&](const Pair& pair) {
+    return instr_profiles.MissesFloor(pair.l1i, l1i_lru) +
+           data_profiles.MissesFloor(pair.l1d, l1d_lru);
+  };
+
+  // cursor = (line, l1i depth, l1i assoc, l1d depth, l1d assoc)
+  std::uint32_t cursor[5] = {shared_lines[0], space.l1i.depths[0],
+                             space.l1i.assocs[0], space.l1d.depths[0],
+                             space.l1d.assocs[0]};
+  const std::vector<std::uint32_t>* axes[5] = {
+      &shared_lines, &space.l1i.depths, &space.l1i.assocs, &space.l1d.depths,
+      &space.l1d.assocs};
+
+  std::vector<std::size_t> seeds;
+  for (std::size_t dim = 0; dim < 5; ++dim) {
+    std::uint32_t best_value = cursor[dim];
+    std::uint64_t best_score = ~std::uint64_t{0};
+    for (std::uint32_t value : *axes[dim]) {
+      std::uint32_t candidate[5];
+      std::copy(cursor, cursor + 5, candidate);
+      candidate[dim] = value;
+      const auto it = index.find(std::make_tuple(candidate[0], candidate[1],
+                                                 candidate[2], candidate[3],
+                                                 candidate[4]));
+      if (it == index.end()) continue;  // axis value forms no valid pair
+      seeds.push_back(it->second);
+      const std::uint64_t s = score(pairs[it->second]);
+      if (s < best_score) {  // ties keep the first (smallest) value
+        best_score = s;
+        best_value = value;
+      }
+    }
+    cursor[dim] = best_value;
+  }
+  std::sort(seeds.begin(), seeds.end());
+  seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+  return seeds;
+}
+
+}  // namespace
+
+JointResult ExploreJoint(const trace::AccessSequence& accesses,
+                         const JointSpace& raw_space, JointOptions options) {
+  const auto started = std::chrono::steady_clock::now();
+  const JointSpace space = NormalizeSpace(raw_space);
+  const std::uint32_t jobs =
+      options.jobs == 0 ? support::HardwareConcurrency() : options.jobs;
+  const analytic::Engine engine = options.engine == analytic::Engine::kReference
+                                      ? analytic::Engine::kFused
+                                      : options.engine;
+  const std::uint32_t wave_pairs = std::max(1u, options.wave_pairs);
+
+  JointResult result;
+  result.space_configs = space.TotalConfigs();
+
+  std::vector<Pair> pairs = EnumeratePairs(space);
+  const std::vector<CacheConfig> l2s = EnumerateL2(space);
+
+  // Per-pair valid L2 configurations; pairs with none contribute nothing and
+  // are dropped outright.
+  std::vector<std::vector<std::uint32_t>> valid_l2;
+  {
+    std::vector<Pair> kept;
+    for (const Pair& pair : pairs) {
+      std::vector<std::uint32_t> valid;
+      for (std::uint32_t j = 0; j < l2s.size(); ++j) {
+        if (L2ValidFor(l2s[j], pair)) valid.push_back(j);
+      }
+      if (valid.empty()) continue;
+      kept.push_back(pair);
+      valid_l2.push_back(std::move(valid));
+      result.valid_configs += valid_l2.back().size();
+    }
+    pairs = std::move(kept);
+  }
+  result.total_pairs = pairs.size();
+
+  const auto record = [&]() {
+    result.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    support::MetricsRegistry* m = options.metrics;
+    support::MetricsRegistry::Add(m, "explore.joint_space",
+                                  result.space_configs);
+    support::MetricsRegistry::Add(m, "explore.joint_valid",
+                                  result.valid_configs);
+    support::MetricsRegistry::Add(m, "explore.joint_evaluated",
+                                  result.evaluated_configs);
+    support::MetricsRegistry::Add(m, "explore.joint_pruned",
+                                  result.pruned_configs);
+    support::MetricsRegistry::Add(m, "explore.joint_pairs",
+                                  result.total_pairs);
+    support::MetricsRegistry::Add(m, "explore.joint_pairs_evaluated",
+                                  result.evaluated_pairs);
+    support::MetricsRegistry::Add(m, "explore.joint_pairs_pruned",
+                                  result.pruned_pairs);
+    support::MetricsRegistry::Add(m, "explore.joint_pairs_threshold",
+                                  result.threshold_pruned_pairs);
+    support::MetricsRegistry::Add(m, "explore.joint_seeds",
+                                  result.seed_pairs);
+    support::MetricsRegistry::Add(m, "explore.joint_front",
+                                  result.front.size());
+    support::MetricsRegistry::Observe(m, "explore.joint", result.seconds);
+  };
+
+  if (pairs.empty()) {
+    record();
+    return result;
+  }
+
+  std::uint64_t n_instr = 0;
+  for (const trace::Access& access : accesses) {
+    if (access.kind == trace::StreamKind::kInstruction) ++n_instr;
+  }
+  const std::uint64_t n_data = accesses.size() - n_instr;
+
+  std::uint32_t l2_max_bits = 0;
+  for (std::uint32_t depth : space.l2.depths) {
+    l2_max_bits = std::max(l2_max_bits, BitsFor(depth));
+  }
+
+  support::ThreadPool pool(jobs, options.metrics);
+
+  // Evaluates pairs[indices[s]] against its surviving L2 configurations.
+  // Output slots are pre-sized and merged in index order, so the resulting
+  // point list is identical for every jobs value.
+  const auto evaluate = [&](const std::vector<std::size_t>& indices,
+                            const std::vector<std::vector<std::uint32_t>>&
+                                surviving) {
+    std::vector<std::vector<JointPoint>> slots(indices.size());
+    pool.ParallelFor(indices.size(), [&](std::size_t s) {
+      const Pair& pair = pairs[indices[s]];
+      const PairOutcome outcome =
+          SimulatePair(accesses, pair, space.l2.lines, l2_max_bits, engine);
+      slots[s].reserve(surviving[s].size());
+      for (std::uint32_t j : surviving[s]) {
+        const HierarchyConfig config{pair.l1i, pair.l1d, l2s[j]};
+        slots[s].push_back(
+            JointPoint{config, ScoreConfig(outcome, config, n_instr, n_data)});
+      }
+    });
+    std::vector<JointPoint> points;
+    for (std::vector<JointPoint>& slot : slots) {
+      points.insert(points.end(), slot.begin(), slot.end());
+    }
+    return points;
+  };
+
+  if (!options.prune) {
+    std::vector<std::size_t> all(pairs.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    result.front = JointParetoFront(evaluate(all, valid_l2));
+    result.evaluated_pairs = pairs.size();
+    result.evaluated_configs = result.valid_configs;
+    record();
+    return result;
+  }
+
+  // --- pruned exploration ---
+
+  // Split-stream LRU profiles: lower bounds for every L1 geometry (exact for
+  // LRU), shared by the seed heuristic, the associativity-threshold rule and
+  // the per-configuration bound.
+  trace::Trace instr_stream;
+  instr_stream.kind = trace::StreamKind::kInstruction;
+  trace::Trace data_stream;
+  data_stream.kind = trace::StreamKind::kData;
+  trace::Trace merged_stream;
+  for (const trace::Access& access : accesses) {
+    merged_stream.refs.push_back(access.addr);
+    if (access.kind == trace::StreamKind::kInstruction) {
+      instr_stream.refs.push_back(access.addr);
+    } else {
+      data_stream.refs.push_back(access.addr);
+    }
+  }
+  std::vector<std::uint32_t> l1_lines;
+  for (const Pair& pair : pairs) l1_lines.push_back(pair.l1i.line_words);
+  l1_lines = SortedUnique(l1_lines);
+  std::uint32_t l1_max_bits = 0;
+  for (std::uint32_t depth : space.l1i.depths) {
+    l1_max_bits = std::max(l1_max_bits, BitsFor(depth));
+  }
+  for (std::uint32_t depth : space.l1d.depths) {
+    l1_max_bits = std::max(l1_max_bits, BitsFor(depth));
+  }
+  const LevelProfiles instr_profiles =
+      BuildProfiles(instr_stream, l1_lines, l1_max_bits, engine, jobs);
+  const LevelProfiles data_profiles =
+      BuildProfiles(data_stream, l1_lines, l1_max_bits, engine, jobs);
+
+  // Compulsory floor for the L2: every distinct L2 line of the merged stream
+  // reaches the L2 at least once (its first touch misses every level), for
+  // any replacement policy and any L1 pair.
+  std::map<std::uint32_t, std::uint64_t> distinct_l2;
+  for (std::uint32_t line : space.l2.lines) {
+    distinct_l2.emplace(
+        line,
+        trace::ComputeStats(trace::WithLineSize(merged_stream, line)).n_unique);
+  }
+
+  const bool l1i_lru = space.l1i_policy == cache::ReplacementPolicy::kLru;
+  const bool l1d_lru = space.l1d_policy == cache::ReplacementPolicy::kLru;
+  bool has_writes = false;
+  for (const trace::Access& access : accesses) {
+    if (access.is_write) {
+      has_writes = true;
+      break;
+    }
+  }
+  // Associativity-threshold rule (Bender-style): only sound when equal warm
+  // miss counts imply identical miss events AND identical L2 streams — LRU
+  // L1s and no write-backs anywhere (a write-free stream).
+  const bool threshold_ok = l1i_lru && l1d_lru && !has_writes;
+
+  // Component-wise lower bound on the objectives of (pair, l2): exact L1
+  // terms (LRU) or compulsory floors, zero write-backs, compulsory L2 floor.
+  // Every objective is monotone in the bounded counts, so an evaluated point
+  // that strictly dominates this bound dominates the true metrics too.
+  const auto lower_bound = [&](const Pair& pair, const CacheConfig& l2) {
+    JointMetrics bound;
+    bound.l1i_misses = instr_profiles.MissesFloor(pair.l1i, l1i_lru);
+    bound.l1d_misses = data_profiles.MissesFloor(pair.l1d, l1d_lru);
+    bound.l1d_writebacks = 0;
+    bound.l2_accesses = bound.l1i_misses + bound.l1d_misses;
+    bound.l2_misses = distinct_l2.at(l2.line_words);
+    FinishDerived(bound, HierarchyConfig{pair.l1i, pair.l1d, l2}, n_instr,
+                  n_data);
+    return bound;
+  };
+
+  // Is some canonically-earlier pair with the same geometry but lower
+  // associativity guaranteed the same per-level miss counts? Then this
+  // pair's extra ways buy nothing and cost energy and latency on every L2:
+  // skip it without simulation.
+  const auto threshold_dominated = [&](const Pair& pair) {
+    if (!threshold_ok) return false;
+    const std::uint32_t line = pair.l1i.line_words;
+    const std::uint64_t warm_i =
+        instr_profiles.Warm(line, pair.l1i.depth, pair.l1i.assoc);
+    const std::uint64_t warm_d =
+        data_profiles.Warm(line, pair.l1d.depth, pair.l1d.assoc);
+    for (std::uint32_t ai : space.l1i.assocs) {
+      if (ai > pair.l1i.assoc) break;
+      if (instr_profiles.Warm(line, pair.l1i.depth, ai) != warm_i) continue;
+      for (std::uint32_t ad : space.l1d.assocs) {
+        if (ad > pair.l1d.assoc) break;
+        if (ai == pair.l1i.assoc && ad == pair.l1d.assoc) continue;
+        if (data_profiles.Warm(line, pair.l1d.depth, ad) != warm_d) continue;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  const std::vector<std::size_t> seeds =
+      SeedPairIndices(space, pairs, instr_profiles, data_profiles);
+  result.seed_pairs = seeds.size();
+
+  std::vector<char> decided(pairs.size(), 0);
+  std::vector<JointPoint> front;
+  {
+    std::vector<std::vector<std::uint32_t>> seed_l2;
+    for (std::size_t s : seeds) {
+      decided[s] = 1;
+      seed_l2.push_back(valid_l2[s]);
+      result.evaluated_configs += valid_l2[s].size();
+    }
+    result.evaluated_pairs += seeds.size();
+    front = JointParetoFront(evaluate(seeds, seed_l2));
+  }
+
+  std::vector<std::size_t> remaining;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (!decided[i]) remaining.push_back(i);
+  }
+
+  for (std::size_t wave_begin = 0; wave_begin < remaining.size();
+       wave_begin += wave_pairs) {
+    const std::size_t wave_end =
+        std::min(remaining.size(), wave_begin + wave_pairs);
+    std::vector<std::size_t> scheduled;
+    std::vector<std::vector<std::uint32_t>> scheduled_l2;
+    // Decisions are serial, in canonical order, against the front as of the
+    // wave boundary — identical for every jobs value.
+    for (std::size_t w = wave_begin; w < wave_end; ++w) {
+      const std::size_t p = remaining[w];
+      const Pair& pair = pairs[p];
+      if (threshold_dominated(pair)) {
+        ++result.pruned_pairs;
+        ++result.threshold_pruned_pairs;
+        result.pruned_configs += valid_l2[p].size();
+        continue;
+      }
+      std::vector<std::uint32_t> surviving;
+      for (std::uint32_t j : valid_l2[p]) {
+        const JointMetrics bound = lower_bound(pair, l2s[j]);
+        bool dominated = false;
+        for (const JointPoint& member : front) {
+          if (JointDominates(member.metrics, bound)) {
+            dominated = true;
+            break;
+          }
+        }
+        if (!dominated) surviving.push_back(j);
+      }
+      result.pruned_configs += valid_l2[p].size() - surviving.size();
+      if (surviving.empty()) {
+        ++result.pruned_pairs;
+        continue;
+      }
+      result.evaluated_configs += surviving.size();
+      scheduled.push_back(p);
+      scheduled_l2.push_back(std::move(surviving));
+    }
+    if (scheduled.empty()) continue;
+    result.evaluated_pairs += scheduled.size();
+    std::vector<JointPoint> points = evaluate(scheduled, scheduled_l2);
+    points.insert(points.end(), front.begin(), front.end());
+    front = JointParetoFront(std::move(points));
+  }
+
+  result.front = std::move(front);
+  record();
+  return result;
+}
+
+}  // namespace ces::explore

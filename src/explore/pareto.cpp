@@ -49,4 +49,25 @@ std::vector<EnergyRankedPoint> RankByEnergy(
   return ranked;
 }
 
+bool Dominates(const Objectives& a, const Objectives& b) {
+  if (a.misses > b.misses || a.amat_ns > b.amat_ns ||
+      a.energy_nj > b.energy_nj) {
+    return false;
+  }
+  return a.misses < b.misses || a.amat_ns < b.amat_ns ||
+         a.energy_nj < b.energy_nj;
+}
+
+std::vector<std::size_t> ParetoIndices(const std::vector<Objectives>& points) {
+  std::vector<std::size_t> keep;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      dominated = j != i && Dominates(points[j], points[i]);
+    }
+    if (!dominated) keep.push_back(i);
+  }
+  return keep;
+}
+
 }  // namespace ces::explore

@@ -31,4 +31,21 @@ std::vector<EnergyRankedPoint> RankByEnergy(
     std::uint64_t trace_length, std::uint64_t cold_misses,
     double miss_penalty_nj = 10.0);
 
+// Generic objective vector for multi-metric fronts (the joint L1I/L1D/L2
+// explorer scores misses, average access time and energy; see
+// explore/joint.hpp). Lower is better on every axis.
+struct Objectives {
+  std::uint64_t misses = 0;
+  double amat_ns = 0.0;
+  double energy_nj = 0.0;
+};
+
+// a dominates b: <= on every objective and < on at least one. Equal vectors
+// do not dominate each other, so ties survive front filtering on both sides.
+bool Dominates(const Objectives& a, const Objectives& b);
+
+// Indices of the non-dominated entries, in input order. O(n^2) pairwise —
+// candidate sets here are a few thousand entries at most.
+std::vector<std::size_t> ParetoIndices(const std::vector<Objectives>& points);
+
 }  // namespace ces::explore

@@ -82,6 +82,135 @@ std::string PointsToCsv(const std::vector<analytic::DesignPoint>& points) {
   return out;
 }
 
+namespace {
+
+std::string JsonDouble(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string U64(std::uint64_t value) { return std::to_string(value); }
+
+std::string LevelJson(const cache::CacheConfig& config) {
+  return std::string("{\"depth\":") + U64(config.depth) +
+         ",\"assoc\":" + U64(config.assoc) +
+         ",\"line_words\":" + U64(config.line_words) + ",\"policy\":\"" +
+         cache::ToString(config.replacement) + "\"}";
+}
+
+std::string MetricsJson(const JointMetrics& metrics) {
+  return std::string("{\"l1i_misses\":") + U64(metrics.l1i_misses) +
+         ",\"l1d_misses\":" + U64(metrics.l1d_misses) +
+         ",\"l1d_writebacks\":" + U64(metrics.l1d_writebacks) +
+         ",\"l2_accesses\":" + U64(metrics.l2_accesses) +
+         ",\"l2_misses\":" + U64(metrics.l2_misses) +
+         ",\"misses\":" + U64(metrics.misses) +
+         ",\"size_words\":" + U64(metrics.size_words) +
+         ",\"amat_ns\":" + JsonDouble(metrics.amat_ns) +
+         ",\"energy_nj\":" + JsonDouble(metrics.energy_nj) + "}";
+}
+
+std::string FormatNs(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string JointConfigJson(const cache::HierarchyConfig& config) {
+  return std::string("{\"key\":\"") + JointConfigKey(config) +
+         "\",\"l1i\":" + LevelJson(config.l1i) +
+         ",\"l1d\":" + LevelJson(config.l1d) +
+         ",\"l2\":" + LevelJson(config.l2) + "}";
+}
+
+std::string JointPointJson(const JointPoint& point) {
+  return std::string("{\"config\":") + JointConfigJson(point.config) +
+         ",\"metrics\":" + MetricsJson(point.metrics) + "}";
+}
+
+std::string JointReportJson(const JointResult& result, const JointSpace& space,
+                            bool include_volatile) {
+  std::string out = "{\"schema\":\"ces-joint-v1\",\"space\":\"" +
+                    space.Canonical() + "\",\"counts\":{\"space_configs\":" +
+                    U64(result.space_configs) +
+                    ",\"valid_configs\":" + U64(result.valid_configs) +
+                    ",\"evaluated_configs\":" + U64(result.evaluated_configs) +
+                    ",\"pruned_configs\":" + U64(result.pruned_configs) +
+                    ",\"total_pairs\":" + U64(result.total_pairs) +
+                    ",\"evaluated_pairs\":" + U64(result.evaluated_pairs) +
+                    ",\"pruned_pairs\":" + U64(result.pruned_pairs) +
+                    ",\"threshold_pruned_pairs\":" +
+                    U64(result.threshold_pruned_pairs) +
+                    ",\"seed_pairs\":" + U64(result.seed_pairs) + "}";
+  if (include_volatile) {
+    out += ",\"seconds\":" + JsonDouble(result.seconds);
+  }
+  out += ",\"front\":[";
+  for (std::size_t i = 0; i < result.front.size(); ++i) {
+    if (i > 0) out += ',';
+    out += JointPointJson(result.front[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string RenderJointFront(const JointResult& result) {
+  AsciiTable ascii({"Config", "Misses", "L2 Misses", "AMAT ns", "Energy nJ",
+                    "Size W"});
+  for (const JointPoint& point : result.front) {
+    char energy[32];
+    std::snprintf(energy, sizeof(energy), "%.1f", point.metrics.energy_nj);
+    ascii.AddRow({JointConfigKey(point.config),
+                  FormatWithThousands(point.metrics.misses),
+                  FormatWithThousands(point.metrics.l2_misses),
+                  FormatNs(point.metrics.amat_ns), energy,
+                  FormatWithThousands(point.metrics.size_words)});
+  }
+  std::string out = "Joint L1I x L1D x L2 Pareto front (" +
+                    std::to_string(result.front.size()) + " of " +
+                    std::to_string(result.valid_configs) +
+                    " valid configs)\n" + ascii.ToString();
+  const std::uint64_t skipped = result.pruned_configs;
+  const double pct =
+      result.valid_configs == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(skipped) /
+                static_cast<double>(result.valid_configs);
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "pruning win: skipped %llu of %llu configs (%.1f%%), "
+                "evaluated %llu across %llu of %llu pairs\n",
+                static_cast<unsigned long long>(skipped),
+                static_cast<unsigned long long>(result.valid_configs), pct,
+                static_cast<unsigned long long>(result.evaluated_configs),
+                static_cast<unsigned long long>(result.evaluated_pairs),
+                static_cast<unsigned long long>(result.total_pairs));
+  out += line;
+  return out;
+}
+
+std::string JointFrontCsv(const std::vector<JointPoint>& points) {
+  std::string out =
+      "key,l1i_depth,l1i_assoc,l1d_depth,l1d_assoc,l2_depth,l2_assoc,"
+      "line_words,l2_line_words,misses,l2_misses,amat_ns,energy_nj,"
+      "size_words\n";
+  for (const JointPoint& point : points) {
+    const cache::HierarchyConfig& c = point.config;
+    out += JointConfigKey(c) + ',' + U64(c.l1i.depth) + ',' +
+           U64(c.l1i.assoc) + ',' + U64(c.l1d.depth) + ',' +
+           U64(c.l1d.assoc) + ',' + U64(c.l2.depth) + ',' + U64(c.l2.assoc) +
+           ',' + U64(c.l1i.line_words) + ',' + U64(c.l2.line_words) + ',' +
+           U64(point.metrics.misses) + ',' + U64(point.metrics.l2_misses) +
+           ',' + JsonDouble(point.metrics.amat_ns) + ',' +
+           JsonDouble(point.metrics.energy_nj) + ',' +
+           U64(point.metrics.size_words) + '\n';
+  }
+  return out;
+}
+
 std::string RenderStatsTable(
     const std::vector<std::pair<std::string, trace::TraceStats>>& rows,
     const std::string& kind) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "analytic/explorer.hpp"
+#include "explore/joint.hpp"
 #include "trace/strip.hpp"
 
 namespace ces::explore {
@@ -49,5 +50,33 @@ std::string RenderStatsTable(
 // cells are identifiers or numbers).
 std::string OptimalTableToCsv(const OptimalTable& table);
 std::string PointsToCsv(const std::vector<analytic::DesignPoint>& points);
+
+// --- joint L1I x L1D x L2 fronts (explore/joint.hpp) ---
+//
+// All JSON emitters write every key in a FIXED explicit order (no map
+// iteration), so reports are byte-identical across engines and --jobs values;
+// doubles use the same %.17g round-trip format as the service protocol.
+
+// One configuration as {"key":...,"l1i":{...},"l1d":{...},"l2":{...}} with
+// per-level {"depth","assoc","line_words","policy"}.
+std::string JointConfigJson(const cache::HierarchyConfig& config);
+
+// One front member: {"config":...,"metrics":{...}} with metrics keys in
+// declaration order (l1i_misses .. energy_nj).
+std::string JointPointJson(const JointPoint& point);
+
+// Whole-run report: {"schema":"ces-joint-v1","space":...,"counts":...,
+// "front":[...]}. Deterministic — wall-clock seconds are excluded unless
+// include_volatile is set.
+std::string JointReportJson(const JointResult& result,
+                            const JointSpace& space,
+                            bool include_volatile = false);
+
+// Human-readable front table plus the exploration counters, including the
+// "pruning win" line bench/table_joint_dse and CI assert on.
+std::string RenderJointFront(const JointResult& result);
+
+// header + one row per front member (plain RFC-4180, no quoting needed).
+std::string JointFrontCsv(const std::vector<JointPoint>& points);
 
 }  // namespace ces::explore

@@ -40,6 +40,15 @@ std::uint64_t RequireInteger(const JsonValue& value, const char* key,
   return value.integer;
 }
 
+std::string RequireDigest(const JsonValue& value, const char* key) {
+  const std::string digest = RequireString(value, key);
+  if (digest.compare(0, 7, "sha256:") != 0 || digest.size() != 7 + 64) {
+    FailValidation(std::string("field '") + key +
+                   "' must be 'sha256:' + 64 hex digits");
+  }
+  return digest;
+}
+
 double RequireFraction(const JsonValue& value, const char* key) {
   if (value.kind != JsonValue::Kind::kNumber) {
     FailValidation(std::string("field '") + key + "' must be a number");
@@ -69,6 +78,8 @@ const char* ToString(Op op) {
   switch (op) {
     case Op::kExplore:
       return "explore";
+    case Op::kExploreJoint:
+      return "explore-joint";
     case Op::kStats:
       return "stats";
     case Op::kIngest:
@@ -91,6 +102,11 @@ Request ParseRequest(const std::string& line) {
 
   Request request;
   bool saw_op = false;
+  bool saw_kind = false;
+  bool saw_line_words = false;
+  bool saw_max_index_bits = false;
+  bool saw_space = false;
+  bool saw_prune = false;
   for (const auto& [key, value] : root.object) {
     if (key == "id") {
       request.id = RequireString(value, "id");
@@ -102,6 +118,8 @@ Request ParseRequest(const std::string& line) {
       saw_op = true;
       if (name == "explore") {
         request.op = Op::kExplore;
+      } else if (name == "explore-joint") {
+        request.op = Op::kExploreJoint;
       } else if (name == "stats") {
         request.op = Op::kStats;
       } else if (name == "ingest") {
@@ -122,16 +140,32 @@ Request ParseRequest(const std::string& line) {
         FailValidation("field 'trace' must be 1..4096 bytes");
       }
     } else if (key == "digest") {
-      request.digest = RequireString(value, "digest");
-      if (request.digest.compare(0, 7, "sha256:") != 0 ||
-          request.digest.size() != 7 + 64) {
-        FailValidation("field 'digest' must be 'sha256:' + 64 hex digits");
+      request.digest = RequireDigest(value, "digest");
+    } else if (key == "trace_instr") {
+      request.trace_instr = RequireString(value, "trace_instr");
+      if (request.trace_instr.empty() || request.trace_instr.size() > 4096) {
+        FailValidation("field 'trace_instr' must be 1..4096 bytes");
       }
+    } else if (key == "digest_instr") {
+      request.digest_instr = RequireDigest(value, "digest_instr");
     } else if (key == "kind") {
       request.kind = RequireString(value, "kind");
+      saw_kind = true;
       if (request.kind != "data" && request.kind != "instr") {
         FailValidation("field 'kind' must be data|instr");
       }
+    } else if (key == "space") {
+      request.space = RequireString(value, "space");
+      saw_space = true;
+      if (request.space != "default" && request.space != "small") {
+        FailValidation("field 'space' must be default|small");
+      }
+    } else if (key == "prune") {
+      if (value.kind != JsonValue::Kind::kBool) {
+        FailValidation("field 'prune' must be a bool");
+      }
+      request.prune = value.boolean;
+      saw_prune = true;
     } else if (key == "engine") {
       request.engine = RequireString(value, "engine");
       if (request.engine != "fused" && request.engine != "fused-tree" &&
@@ -147,6 +181,7 @@ Request ParseRequest(const std::string& line) {
     } else if (key == "line_words") {
       request.line_words = static_cast<std::uint32_t>(
           RequireInteger(value, "line_words", 1u << 16));
+      saw_line_words = true;
       if (request.line_words == 0 ||
           (request.line_words & (request.line_words - 1)) != 0) {
         FailValidation("field 'line_words' must be a power of two");
@@ -154,6 +189,7 @@ Request ParseRequest(const std::string& line) {
     } else if (key == "max_index_bits") {
       request.max_index_bits = static_cast<std::uint32_t>(
           RequireInteger(value, "max_index_bits", 28));
+      saw_max_index_bits = true;
       if (request.max_index_bits == 0) {
         FailValidation("field 'max_index_bits' must be >= 1");
       }
@@ -168,6 +204,7 @@ Request ParseRequest(const std::string& line) {
   if (request.id.empty()) FailValidation("field 'id' is required");
   if (!saw_op) FailValidation("field 'op' is required");
   const bool needs_trace = request.op == Op::kExplore ||
+                           request.op == Op::kExploreJoint ||
                            request.op == Op::kStats ||
                            request.op == Op::kIngest;
   if (needs_trace) {
@@ -181,6 +218,34 @@ Request ParseRequest(const std::string& line) {
   }
   if (request.has_k && request.has_fraction) {
     FailValidation("'k' and 'fraction' are mutually exclusive");
+  }
+  if (request.op == Op::kExploreJoint) {
+    // 'trace'/'digest' carry the data stream; the instruction stream comes
+    // via exactly one of the *_instr twins. Kinds are implied, and the
+    // single-trace explore knobs make no sense against a joint space.
+    if (request.trace_instr.empty() == request.digest_instr.empty()) {
+      FailValidation(
+          "explore-joint requires exactly one of 'trace_instr' or "
+          "'digest_instr'");
+    }
+    if (saw_kind) {
+      FailValidation(
+          "'kind' is not valid for explore-joint (stream kinds are implied)");
+    }
+    if (request.has_k || request.has_fraction || saw_line_words ||
+        saw_max_index_bits) {
+      FailValidation(
+          "'k', 'fraction', 'line_words' and 'max_index_bits' are not valid "
+          "for explore-joint (the space preset fixes the axes)");
+    }
+    if (request.engine == "reference") {
+      FailValidation("explore-joint engine must be fused|fused-tree");
+    }
+  } else if (!request.trace_instr.empty() || !request.digest_instr.empty() ||
+             saw_space || saw_prune) {
+    FailValidation(
+        "'trace_instr', 'digest_instr', 'space' and 'prune' are only valid "
+        "for explore-joint");
   }
   return request;
 }
@@ -244,6 +309,25 @@ std::string ExploreResponse(const std::string& id, const std::string& digest,
            ",\"warm_misses\":" + U64(point.warm_misses) + "}";
   }
   out += "]}";
+  return out;
+}
+
+std::string ExploreJointResponse(const std::string& id,
+                                 const std::string& digest,
+                                 const std::string& digest_instr,
+                                 const std::string& engine,
+                                 const std::string& space, bool prune,
+                                 bool cached, const std::string& joint_json) {
+  // joint_json is explore::JointReportJson output — already a JSON object
+  // with deterministic key order, embedded verbatim.
+  std::string out = Head(id, "explore-joint");
+  out += ",\"digest\":" + support::JsonQuote(digest) +
+         ",\"digest_instr\":" + support::JsonQuote(digest_instr) +
+         ",\"engine\":" + support::JsonQuote(engine) +
+         ",\"space\":" + support::JsonQuote(space) +
+         ",\"prune\":" + (prune ? "true" : "false") +
+         ",\"cached\":" + (cached ? "true" : "false") +
+         ",\"joint\":" + joint_json + "}";
   return out;
 }
 
@@ -369,8 +453,20 @@ Response ParseResponse(const std::string& line) {
   if (const JsonValue* digest = root.Find("digest")) {
     response.digest = RequireString(*digest, "digest");
   }
+  if (const JsonValue* digest_instr = root.Find("digest_instr")) {
+    response.digest_instr = RequireString(*digest_instr, "digest_instr");
+  }
   if (const JsonValue* engine = root.Find("engine")) {
     response.engine = RequireString(*engine, "engine");
+  }
+  if (const JsonValue* space = root.Find("space")) {
+    response.space = RequireString(*space, "space");
+  }
+  if (const JsonValue* prune = root.Find("prune")) {
+    if (prune->kind != JsonValue::Kind::kBool) {
+      FailValidation("'prune' must be a bool");
+    }
+    response.prune = prune->boolean;
   }
   if (const JsonValue* k = root.Find("k")) {
     response.k = RequireInteger(*k, "k", ~std::uint64_t{0});
@@ -409,6 +505,12 @@ Response ParseResponse(const std::string& line) {
   }
   if (const JsonValue* metrics = root.Find("metrics")) {
     WriteValue(*metrics, response.metrics_json);
+  }
+  if (const JsonValue* joint = root.Find("joint")) {
+    if (joint->kind != JsonValue::Kind::kObject) {
+      FailValidation("'joint' must be an object");
+    }
+    WriteValue(*joint, response.joint_json);
   }
   return response;
 }

@@ -38,6 +38,7 @@ namespace protocol {
 
 enum class Op : std::uint8_t {
   kExplore = 0,  // solve (trace, engine, K | fraction) -> design points
+  kExploreJoint, // joint L1I x L1D x L2 Pareto front (explore/joint)
   kStats,        // trace statistics (N, N', max_misses)
   kIngest,       // force (re-)ingestion; returns the digest
   kMetrics,      // the server's MetricsRegistry as JSON
@@ -55,8 +56,15 @@ struct Request {
   // explore/stats/ingest require exactly one of the two.
   std::string trace;
   std::string digest;
+  // explore-joint only: `trace`/`digest` name the data stream and exactly
+  // one of these names the instruction stream (kinds are implied, so the
+  // explicit 'kind' field is rejected for this op).
+  std::string trace_instr;
+  std::string digest_instr;
   std::string kind = "data";     // .din reads and workload runs: data|instr
   std::string engine = "fused";  // fused|fused-tree|reference
+  std::string space = "default"; // explore-joint: joint-space preset
+  bool prune = true;             // explore-joint: enable the pruning layers
   bool has_k = false;
   std::uint64_t k = 0;
   bool has_fraction = false;
@@ -97,6 +105,14 @@ std::string ExploreResponse(const std::string& id, const std::string& digest,
                             const trace::TraceStats& stats,
                             const std::vector<analytic::DesignPoint>& points,
                             bool cached);
+// `joint_json` is explore::JointReportJson output (already a JSON object,
+// deterministic ces-joint-v1 key order) embedded verbatim under "joint".
+std::string ExploreJointResponse(const std::string& id,
+                                 const std::string& digest,
+                                 const std::string& digest_instr,
+                                 const std::string& engine,
+                                 const std::string& space, bool prune,
+                                 bool cached, const std::string& joint_json);
 std::string MetricsResponse(const std::string& id,
                             const std::string& metrics_json);
 std::string ShutdownResponse(const std::string& id);
@@ -115,13 +131,17 @@ struct Response {
   std::string error_message;  // when !ok
   std::uint64_t retry_after_ms = 0;
   std::string digest;
+  std::string digest_instr;  // explore-joint: instruction-stream digest
   std::string engine;
+  std::string space;         // explore-joint: joint-space preset name
+  bool prune = false;        // explore-joint: whether pruning was on
   std::uint64_t k = 0;
   bool cached = false;
   bool has_stats = false;
   trace::TraceStats stats;
   std::vector<analytic::DesignPoint> points;
   std::string metrics_json;  // metrics op: the nested object, re-serialised
+  std::string joint_json;    // explore-joint: the ces-joint-v1 report object
   std::string raw;           // the undecoded line
 };
 

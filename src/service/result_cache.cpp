@@ -37,6 +37,10 @@ std::uint64_t ResultKey::StableHash() const {
   FnvMixValue(hash, static_cast<std::uint64_t>(line_words));
   FnvMixValue(hash, static_cast<std::uint64_t>(max_index_bits));
   FnvMixValue(hash, k);
+  FnvMixValue(hash, static_cast<std::uint64_t>(digest_instr.size()));
+  FnvMix(hash, digest_instr.data(), digest_instr.size());
+  FnvMixValue(hash, static_cast<std::uint64_t>(variant.size()));
+  FnvMix(hash, variant.data(), variant.size());
   return hash;
 }
 
@@ -45,7 +49,8 @@ std::size_t CachedResult::CostBytes(const ResultKey& key) const {
   // fixed allowance for node/bookkeeping overhead. What matters for the
   // eviction tests is that the figure depends only on the entry's content.
   constexpr std::size_t kFixedOverhead = 160;
-  return kFixedOverhead + key.digest.size() +
+  return kFixedOverhead + key.digest.size() + key.digest_instr.size() +
+         key.variant.size() + payload.size() +
          points.size() * sizeof(analytic::DesignPoint);
 }
 

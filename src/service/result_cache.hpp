@@ -38,10 +38,16 @@ struct ResultKey {
   std::uint32_t line_words = 1;
   std::uint32_t max_index_bits = 16;
   std::uint64_t k = 0;
+  // Joint-front entries (op explore-joint) additionally carry the
+  // instruction-stream digest and a variant string naming the joint space
+  // and pruning mode; both stay empty for single-trace explore entries.
+  std::string digest_instr;
+  std::string variant;
 
   bool operator==(const ResultKey&) const = default;
 
-  // FNV-1a over every field, identical on every platform and run.
+  // FNV-1a over every field (strings are length-prefixed so adjacent
+  // fields cannot alias), identical on every platform and run.
   std::uint64_t StableHash() const;
 };
 
@@ -49,6 +55,10 @@ struct CachedResult {
   trace::TraceStats stats;  // of the explored (line-blocked) trace
   std::uint64_t k = 0;
   std::vector<analytic::DesignPoint> points;
+  // Joint-front entries store the serialised ces-joint-v1 report instead of
+  // design points; responses embed it verbatim, so a cache hit is
+  // byte-identical to the original computation.
+  std::string payload;
 
   std::size_t CostBytes(const ResultKey& key) const;
 };

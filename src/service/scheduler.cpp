@@ -3,6 +3,8 @@
 #include <utility>
 #include <vector>
 
+#include "explore/joint.hpp"
+#include "explore/report.hpp"
 #include "support/error.hpp"
 #include "support/metrics.hpp"
 #include "support/trace_event.hpp"
@@ -211,6 +213,20 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
   };
   std::vector<Group> groups;
   std::unordered_map<std::string, std::size_t> group_index;
+  // Joint requests group on (data digest, instr digest, engine, space,
+  // prune): one ExploreJoint run answers every request in the group.
+  struct JointGroup {
+    std::string digest;        // data stream
+    std::string digest_instr;  // instruction stream
+    std::shared_ptr<const trace::Trace> data;
+    std::shared_ptr<const trace::Trace> instr;
+    std::string engine_name;
+    std::string space_name;
+    bool prune = true;
+    std::vector<Job*> jobs;
+  };
+  std::vector<JointGroup> joint_groups;
+  std::unordered_map<std::string, std::size_t> joint_group_index;
 
   for (Job& job : batch) {
     if (DeadlineExpired(job, now)) {
@@ -265,6 +281,51 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
           groups.push_back(std::move(group));
         }
         groups[pos->second].jobs.push_back(&job);
+        break;
+      }
+      case Op::kExploreJoint: {
+        // The loop above resolved the data stream (trace/digest, kind
+        // "data"); the instruction stream resolves through the same
+        // memoisation under its own key.
+        protocol::Request instr_request = request;
+        instr_request.trace = request.trace_instr;
+        instr_request.digest = request.digest_instr;
+        instr_request.kind = "instr";
+        const std::string instr_key =
+            instr_request.digest.empty()
+                ? "ref:" + instr_request.trace + '\0' + instr_request.kind
+                : "digest:" + instr_request.digest;
+        auto instr_it = resolved.find(instr_key);
+        if (instr_it == resolved.end()) {
+          instr_it = resolved
+                         .insert_or_assign(instr_key,
+                                           Resolve(instr_request, false))
+                         .first;
+        }
+        const ResolvedTrace& instr_trace = instr_it->second;
+        if (instr_trace.failed) {
+          Respond(job, protocol::ErrorResponse(request.id, instr_trace.code,
+                                               instr_trace.message));
+          break;
+        }
+        const std::string key = trace.pinned.digest + '|' +
+                                instr_trace.pinned.digest + '|' +
+                                request.engine + '|' + request.space + '|' +
+                                (request.prune ? "1" : "0");
+        auto [pos, inserted] =
+            joint_group_index.try_emplace(key, joint_groups.size());
+        if (inserted) {
+          JointGroup group;
+          group.digest = trace.pinned.digest;
+          group.digest_instr = instr_trace.pinned.digest;
+          group.data = trace.pinned.trace;
+          group.instr = instr_trace.pinned.trace;
+          group.engine_name = request.engine;
+          group.space_name = request.space;
+          group.prune = request.prune;
+          joint_groups.push_back(std::move(group));
+        }
+        joint_groups[pos->second].jobs.push_back(&job);
         break;
       }
       default:
@@ -366,6 +427,77 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
                          e.what()));
       }
     });
+  }
+
+  for (JointGroup& group : joint_groups) {
+    const ResultKey key{group.digest, /*engine=*/
+                        static_cast<std::uint8_t>(
+                            EngineFromName(group.engine_name)),
+                        /*line_words=*/0, /*max_index_bits=*/0, /*k=*/0,
+                        group.digest_instr,
+                        "joint|" + group.space_name + "|prune=" +
+                            (group.prune ? "1" : "0")};
+    std::string payload;
+    bool cached = false;
+    if (auto hit = cache_.Lookup(key)) {
+      payload = hit->payload;
+      cached = true;
+    } else {
+      // Everything already past its deadline is answered without paying for
+      // the joint run; if nothing is left, skip the run entirely.
+      std::vector<Job*> remaining;
+      remaining.reserve(group.jobs.size());
+      for (Job* job : group.jobs) {
+        if (DeadlineExpired(*job, std::chrono::steady_clock::now())) {
+          support::MetricsRegistry::Add(metrics_,
+                                        "service.deadline_exceeded");
+          Respond(*job, protocol::ErrorResponse(
+                            job->request.id,
+                            protocol::kCodeDeadlineExceeded,
+                            "deadline passed before joint exploration"));
+          continue;
+        }
+        remaining.push_back(job);
+      }
+      group.jobs = std::move(remaining);
+      if (group.jobs.empty()) continue;
+      try {
+        support::ScopedTraceSpan joint_span("service.explore_joint");
+        const trace::AccessSequence accesses =
+            explore::InterleaveProportional(*group.instr, *group.data);
+        explore::JointOptions options;
+        options.prune = group.prune;
+        options.jobs = pool_.jobs();
+        options.engine = EngineFromName(group.engine_name);
+        options.metrics = metrics_;
+        const explore::JointResult result = ExploreJoint(
+            accesses, explore::JointSpaceByName(group.space_name), options);
+        payload = explore::JointReportJson(
+            result, explore::JointSpaceByName(group.space_name));
+        auto value = std::make_shared<CachedResult>();
+        value->payload = payload;
+        cache_.Insert(key, value);
+      } catch (const Error& e) {
+        for (Job* job : group.jobs) {
+          Respond(*job, protocol::ErrorResponse(job->request.id, e));
+        }
+        continue;
+      } catch (const std::exception& e) {
+        for (Job* job : group.jobs) {
+          Respond(*job, protocol::ErrorResponse(
+                            job->request.id,
+                            support::ToString(ErrorCategory::kInternal),
+                            e.what()));
+        }
+        continue;
+      }
+    }
+    for (Job* job : group.jobs) {
+      Respond(*job, protocol::ExploreJointResponse(
+                        job->request.id, group.digest, group.digest_instr,
+                        group.engine_name, group.space_name, group.prune,
+                        cached, payload));
+    }
   }
 }
 

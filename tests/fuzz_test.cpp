@@ -375,6 +375,39 @@ constexpr RequestCase kRequestCases[] = {
      "{\"id\":\"1\",\"op\":\"explore\",\"trace\":\"x\",\"max_index_bits\":"
      "40}",
      ErrorCategory::kValidation},
+    {"explore-joint without instr stream",
+     "{\"id\":\"1\",\"op\":\"explore-joint\",\"trace\":\"x\"}",
+     ErrorCategory::kValidation},
+    {"explore-joint with both instr refs",
+     "{\"id\":\"1\",\"op\":\"explore-joint\",\"trace\":\"x\","
+     "\"trace_instr\":\"y\",\"digest_instr\":"
+     "\"sha256:0000000000000000000000000000000000000000000000000000000000"
+     "000000\"}",
+     ErrorCategory::kValidation},
+    {"explore-joint with k",
+     "{\"id\":\"1\",\"op\":\"explore-joint\",\"trace\":\"x\","
+     "\"trace_instr\":\"y\",\"k\":1}",
+     ErrorCategory::kValidation},
+    {"explore-joint with kind",
+     "{\"id\":\"1\",\"op\":\"explore-joint\",\"trace\":\"x\","
+     "\"trace_instr\":\"y\",\"kind\":\"instr\"}",
+     ErrorCategory::kValidation},
+    {"explore-joint reference engine",
+     "{\"id\":\"1\",\"op\":\"explore-joint\",\"trace\":\"x\","
+     "\"trace_instr\":\"y\",\"engine\":\"reference\"}",
+     ErrorCategory::kValidation},
+    {"explore-joint unknown space",
+     "{\"id\":\"1\",\"op\":\"explore-joint\",\"trace\":\"x\","
+     "\"trace_instr\":\"y\",\"space\":\"huge\"}",
+     ErrorCategory::kValidation},
+    {"space on plain explore",
+     "{\"id\":\"1\",\"op\":\"explore\",\"trace\":\"x\","
+     "\"space\":\"small\"}",
+     ErrorCategory::kValidation},
+    {"prune not a bool",
+     "{\"id\":\"1\",\"op\":\"explore-joint\",\"trace\":\"x\","
+     "\"trace_instr\":\"y\",\"prune\":1}",
+     ErrorCategory::kValidation},
     {"lone surrogate escape", "{\"id\":\"\\ud800\",\"op\":\"ping\"}",
      ErrorCategory::kParse},
     {"trailing bytes", "{\"id\":\"1\",\"op\":\"ping\"} extra",
@@ -394,6 +427,9 @@ const char* kValidLines[] = {
     "\"max_index_bits\":8,\"deadline_ms\":1000}",
     "{\"id\":\"5\",\"op\":\"ingest\",\"trace\":\"no-such-file.trc\","
     "\"kind\":\"instr\"}",
+    "{\"id\":\"6\",\"op\":\"explore-joint\",\"trace\":\"no-such-file.trc\","
+    "\"trace_instr\":\"also-missing.trc\",\"engine\":\"fused-tree\","
+    "\"space\":\"small\",\"prune\":false,\"deadline_ms\":1000}",
 };
 
 }  // namespace ndjson_corpus

@@ -162,6 +162,55 @@ TEST(CachedseCli, TraceOutAndMetricsAreValidOnThePaperExample) {
   EXPECT_NE(metrics_line.find("\"stack.distance\""), std::string::npos);
 }
 
+TEST(CachedseCli, ExploreJointEmitsDeterministicReportAndBenchJson) {
+  const char* bin = std::getenv("CACHEDSE_BIN");
+  if (bin == nullptr || bin[0] == '\0') {
+    GTEST_SKIP() << "CACHEDSE_BIN not set (run under ctest)";
+  }
+  const std::string dir = ::testing::TempDir();
+  const std::string instr_path = dir + "/joint_instr.trc";
+  const std::string data_path = dir + "/joint_data.trc";
+  ces::trace::Trace instr = ces::trace::SequentialLoop(0, 40, 3);
+  instr.kind = ces::trace::StreamKind::kInstruction;
+  ces::trace::SaveToFile(instr_path, instr);
+  ces::trace::SaveToFile(data_path, ces::trace::SequentialLoop(4096, 24, 5));
+
+  auto run = [&](const char* jobs, const std::string& out_suffix) {
+    const std::string stdout_path = dir + "/joint" + out_suffix + ".out";
+    const std::string bench_path = dir + "/joint" + out_suffix + ".json";
+    const std::string command = std::string(bin) +
+                                " explore-joint --trace-instr=" + instr_path +
+                                " --trace-data=" + data_path +
+                                " --space=small --format=json --jobs=" +
+                                jobs + " --json=" + bench_path + " > " +
+                                stdout_path;
+    EXPECT_EQ(std::system(command.c_str()), 0) << command;
+    return std::make_pair(ReadWholeFile(stdout_path),
+                          ReadWholeFile(bench_path));
+  };
+  const auto [report1, bench1] = run("1", "_j1");
+  const auto [report8, bench8] = run("8", "_j8");
+
+  // The ces-joint-v1 report is byte-identical for every --jobs value.
+  EXPECT_EQ(report1, report8);
+  EXPECT_EQ(bench1, bench8);
+
+  const ces::testjson::JsonValidator report(report1);
+  EXPECT_TRUE(report.Valid()) << report.error();
+  EXPECT_EQ(report1.find("{\"schema\":\"ces-joint-v1\""), 0u);
+  EXPECT_NE(report1.find("\"front\":["), std::string::npos);
+  EXPECT_NE(report1.find("\"pruned_configs\":"), std::string::npos);
+
+  const ces::testjson::JsonValidator bench(bench1);
+  EXPECT_TRUE(bench.Valid()) << bench.error();
+  EXPECT_EQ(bench1.find("{\"schema\":\"ces-bench-v1\""), 0u);
+  for (const char* needle :
+       {"\"bench\":\"explore-joint\"", "\"evaluated_configs\":",
+        "\"pruned_configs\":", "\"front_size\":"}) {
+    EXPECT_NE(bench1.find(needle), std::string::npos) << needle;
+  }
+}
+
 TEST(CsvExport, OptimalTableHasHeaderAndAllRows) {
   const ces::analytic::Explorer explorer(ces::trace::PaperExampleTrace());
   const ces::explore::OptimalTable table =

@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "analytic/explorer.hpp"
+#include "explore/joint.hpp"
+#include "explore/report.hpp"
 #include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "service/result_cache.hpp"
@@ -162,6 +164,41 @@ TEST(ResultCache, ShardAssignmentIsStableAcrossInstances) {
   other = base;
   other.max_index_bits = 12;
   EXPECT_NE(base.StableHash(), other.StableHash());
+  other = base;
+  other.digest_instr = "sha256:instr";
+  EXPECT_NE(base.StableHash(), other.StableHash());
+  other = base;
+  other.variant = "joint|small|prune=1";
+  EXPECT_NE(base.StableHash(), other.StableHash());
+}
+
+TEST(ResultCache, JointEntriesKeyOnBothDigestsAndVariant) {
+  // A joint-front entry and a plain explore entry for the same data digest
+  // must never collide, and the payload participates in byte accounting.
+  MetricsRegistry metrics;
+  ResultCache cache(1u << 20, 4, &metrics);
+  ResultKey plain = KeyFor(0);
+  ResultKey joint = plain;
+  joint.digest_instr = "sha256:instr";
+  joint.variant = "joint|default|prune=1";
+  EXPECT_FALSE(plain == joint);
+
+  auto front = std::make_shared<CachedResult>();
+  front->payload = "{\"schema\":\"ces-joint-v1\"}";
+  const std::size_t payload_bytes = front->payload.size();
+  cache.Insert(plain, ValueFor(0, 0));
+  cache.Insert(joint, front);
+  EXPECT_EQ(cache.entries(), 2u);
+  const auto hit = cache.Lookup(joint);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->payload, front->payload);
+  EXPECT_GE(front->CostBytes(joint),
+            ValueFor(0, 0)->CostBytes(plain) + payload_bytes);
+
+  // Pruned and unpruned variants are distinct entries too.
+  ResultKey unpruned = joint;
+  unpruned.variant = "joint|default|prune=0";
+  EXPECT_EQ(cache.Lookup(unpruned), nullptr);
 }
 
 TEST(ResultCache, IdenticalOperationSequencesProduceIdenticalCaches) {
@@ -538,6 +575,78 @@ TEST(ServerEndToEnd, ExploreMatchesOfflineExplorerAndRepeatsHitTheCache) {
   EXPECT_GE(metrics.counter("service.cache.hit"), 1u);
   EXPECT_EQ(metrics.counter("service.prelude.built"), 1u);
   std::remove(trace_path.c_str());
+}
+
+TEST(ServerEndToEnd, ExploreJointMatchesOfflineAndRepeatsHitTheCache) {
+  MetricsRegistry metrics;
+  ServerFixture fixture(&metrics);
+  ces::service::Client client = fixture.NewClient();
+
+  // A split instruction/data trace pair, saved as server-side files.
+  ces::trace::Trace instr = ces::trace::SequentialLoop(0, 48, 4);
+  instr.kind = ces::trace::StreamKind::kInstruction;
+  ces::Rng rng(0x90e2);
+  ces::trace::Trace data = ces::trace::RandomWorkingSet(rng, 24, 96, 4096);
+  const std::string instr_path = TempPath(".trc");
+  const std::string data_path = TempPath(".trc");
+  ces::trace::SaveToFile(instr_path, instr);
+  ces::trace::SaveToFile(data_path, data);
+
+  const std::string request =
+      "{\"id\":\"1\",\"op\":\"explore-joint\",\"trace\":\"" + data_path +
+      "\",\"trace_instr\":\"" + instr_path + "\",\"space\":\"small\"}";
+  const auto first = client.Request(request);
+  ASSERT_TRUE(first.ok) << first.raw;
+  EXPECT_FALSE(first.cached);
+  EXPECT_EQ(first.engine, "fused");
+  EXPECT_EQ(first.space, "small");
+  EXPECT_TRUE(first.prune);
+  EXPECT_EQ(first.digest.compare(0, 7, "sha256:"), 0);
+  EXPECT_EQ(first.digest_instr.compare(0, 7, "sha256:"), 0);
+  EXPECT_NE(first.digest, first.digest_instr);
+
+  // Offline ground truth: the same merge, space and engine.
+  const ces::trace::AccessSequence accesses =
+      ces::explore::InterleaveProportional(instr, data);
+  const ces::explore::JointSpace space =
+      ces::explore::JointSpaceByName("small");
+  const ces::explore::JointResult result =
+      ces::explore::ExploreJoint(accesses, space);
+  EXPECT_EQ(first.joint_json, ces::explore::JointReportJson(result, space));
+
+  // Repeat by path: served from the result cache, byte-identical report.
+  const auto second = client.Request(request);
+  ASSERT_TRUE(second.ok) << second.raw;
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(second.joint_json, first.joint_json);
+
+  // Repeat by digest pair: same cache entry, no file access involved.
+  const auto third = client.Request(
+      "{\"id\":\"3\",\"op\":\"explore-joint\",\"digest\":\"" + first.digest +
+      "\",\"digest_instr\":\"" + first.digest_instr +
+      "\",\"space\":\"small\"}");
+  ASSERT_TRUE(third.ok) << third.raw;
+  EXPECT_TRUE(third.cached);
+  EXPECT_EQ(third.joint_json, first.joint_json);
+
+  // An unpruned run is a different cache entry but must produce the same
+  // front (the differential-oracle guarantee, end to end).
+  const auto unpruned = client.Request(
+      "{\"id\":\"4\",\"op\":\"explore-joint\",\"digest\":\"" + first.digest +
+      "\",\"digest_instr\":\"" + first.digest_instr +
+      "\",\"space\":\"small\",\"prune\":false}");
+  ASSERT_TRUE(unpruned.ok) << unpruned.raw;
+  EXPECT_FALSE(unpruned.cached);
+  EXPECT_FALSE(unpruned.prune);
+  ces::explore::JointOptions exhaustive;
+  exhaustive.prune = false;
+  EXPECT_EQ(unpruned.joint_json,
+            ces::explore::JointReportJson(
+                ExploreJoint(accesses, space, exhaustive), space));
+
+  EXPECT_GE(metrics.counter("service.cache.hit"), 2u);
+  std::remove(instr_path.c_str());
+  std::remove(data_path.c_str());
 }
 
 TEST(ServerEndToEnd, PipelinedBatchIsAnsweredInRequestOrder) {

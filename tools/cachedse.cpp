@@ -6,6 +6,14 @@
 //                     (--prelude=per-depth opts into the one-pass-per-depth
 //                      cross-validation baseline; the default fused traversal
 //                      is subtree-parallel when --jobs > 1)
+//   cachedse explore-joint --trace=WORKLOAD | --trace-instr=F --trace-data=F
+//                     [--space=default|small] [--l1i-depths=16,32 ...]
+//                     [--l1i-policy=lru|fifo|random|plru ...] [--prune=true]
+//                     [--engine=fused|fused-tree] [--jobs=N]
+//                     [--format=table|json|csv] [--json=FILE]
+//                     (joint L1I x L1D x L2 Pareto front over misses, AMAT
+//                      and energy; --json writes a ces-bench-v1 report with
+//                      the pruning counters; see docs/JOINT_DSE.md)
 //   cachedse stats    --trace=app.ctr
 //   cachedse compare  --trace=a.ctr[,b.ctr...] [--fraction=0.05[,0.10...]]
 //                     [--max-bits=12] [--jobs=N] [--timing=true]
@@ -48,6 +56,8 @@
 
 #include "analytic/explorer.hpp"
 #include "cc/compiler.hpp"
+#include "explore/joint.hpp"
+#include "explore/report.hpp"
 #include "explore/strategy.hpp"
 #include "sim/cpu.hpp"
 #include "support/cli.hpp"
@@ -68,10 +78,15 @@ namespace {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: cachedse <explore|stats|compare|workload|convert> [flags]\n"
+      "usage: cachedse <explore|explore-joint|stats|compare|workload|convert>"
+      " [flags]\n"
       "  explore  --trace=F [--k=N|--fraction=0.05] [--engine=fused|"
       "fused-tree|reference] [--prelude=fused|per-depth] [--line-words=1] "
       "[--jobs=N]\n"
+      "  explore-joint --trace=WORKLOAD | --trace-instr=F --trace-data=F\n"
+      "           [--space=default|small] [--l1i-depths=A,B ...flags...]\n"
+      "           [--prune=true] [--engine=fused|fused-tree] [--jobs=N]\n"
+      "           [--format=table|json|csv] [--json=FILE]\n"
       "  stats    --trace=F\n"
       "  compare  --trace=F[,F2...] [--fraction=0.05[,0.10...]] "
       "[--max-bits=12] [--jobs=N] [--timing=true]\n"
@@ -307,6 +322,170 @@ int CmdExplore(const ces::ArgParser& args, MetricsEmitter& metrics) {
   return 0;
 }
 
+// Overrides one LevelAxes axis from a comma-separated flag, e.g.
+// --l1i-depths=16,32. Absent flags keep the space preset's values.
+void OverrideAxis(const ces::ArgParser& args, const std::string& flag,
+                  std::vector<std::uint32_t>& axis) {
+  if (!args.Has(flag)) return;
+  std::vector<std::uint32_t> values;
+  for (const std::string& item : SplitList(args.GetString(flag, ""))) {
+    values.push_back(static_cast<std::uint32_t>(std::stoul(item)));
+  }
+  if (values.empty()) {
+    throw ces::support::Error(ces::support::ErrorCategory::kUsage, "cachedse",
+                              "--" + flag + " needs at least one value");
+  }
+  axis = std::move(values);
+}
+
+ces::explore::JointSpace JointSpaceFromFlags(const ces::ArgParser& args) {
+  ces::explore::JointSpace space =
+      ces::explore::JointSpaceByName(args.GetString("space", "default"));
+  OverrideAxis(args, "l1i-depths", space.l1i.depths);
+  OverrideAxis(args, "l1i-assocs", space.l1i.assocs);
+  OverrideAxis(args, "l1i-lines", space.l1i.lines);
+  OverrideAxis(args, "l1d-depths", space.l1d.depths);
+  OverrideAxis(args, "l1d-assocs", space.l1d.assocs);
+  OverrideAxis(args, "l1d-lines", space.l1d.lines);
+  OverrideAxis(args, "l2-depths", space.l2.depths);
+  OverrideAxis(args, "l2-assocs", space.l2.assocs);
+  OverrideAxis(args, "l2-lines", space.l2.lines);
+  if (args.Has("l1i-policy")) {
+    space.l1i_policy =
+        ces::explore::ReplacementPolicyByName(args.GetString("l1i-policy", ""));
+  }
+  if (args.Has("l1d-policy")) {
+    space.l1d_policy =
+        ces::explore::ReplacementPolicyByName(args.GetString("l1d-policy", ""));
+  }
+  if (args.Has("l2-policy")) {
+    space.l2_policy =
+        ces::explore::ReplacementPolicyByName(args.GetString("l2-policy", ""));
+  }
+  return space;
+}
+
+// The merged program-order stream for the joint explorer: a workload name
+// yields both split traces from one verified run; otherwise --trace-instr /
+// --trace-data name the two files and the proportional interleave merges
+// them.
+ces::trace::AccessSequence LoadJointStream(
+    const ces::ArgParser& args, ces::support::MetricsRegistry* metrics,
+    std::string* name) {
+  const std::string workload_name = args.GetString("trace", "");
+  if (!workload_name.empty()) {
+    const auto* workload = ces::workloads::FindWorkload(workload_name);
+    if (workload == nullptr) {
+      throw ces::support::Error(
+          ces::support::ErrorCategory::kUsage, "cachedse",
+          "--trace for explore-joint must name a built-in workload (got '" +
+              workload_name + "'); use --trace-instr/--trace-data for files");
+    }
+    const auto run = ces::workloads::Run(*workload);
+    if (!run.output_matches) {
+      throw ces::support::Error(ces::support::ErrorCategory::kInternal,
+                                "workload",
+                                "verification failed: " + workload_name);
+    }
+    *name = workload_name;
+    ces::support::MetricsRegistry::Add(
+        metrics, "trace.refs_generated",
+        run.instruction_trace.size() + run.data_trace.size());
+    return ces::explore::InterleaveProportional(run.instruction_trace,
+                                                run.data_trace);
+  }
+  const std::string instr_path = args.GetString("trace-instr", "");
+  const std::string data_path = args.GetString("trace-data", "");
+  if (instr_path.empty() || data_path.empty()) {
+    throw ces::support::Error(
+        ces::support::ErrorCategory::kUsage, "cachedse",
+        "explore-joint needs --trace=WORKLOAD or both --trace-instr and "
+        "--trace-data");
+  }
+  ces::trace::Trace instr = LoadAnyFormat(instr_path, "instr", metrics);
+  instr.kind = ces::trace::StreamKind::kInstruction;
+  const ces::trace::Trace data = LoadAnyFormat(data_path, "data", metrics);
+  *name = instr_path + "+" + data_path;
+  return ces::explore::InterleaveProportional(instr, data);
+}
+
+// ces-bench-v1 report for --json=FILE: the same schema the bench tables emit,
+// with the run's deterministic pruning counters, so CI and plotting scripts
+// share one parser. Keys are written in fixed (sorted) order by hand — no map
+// iteration.
+std::string JointBenchJson(const std::string& name,
+                           const ces::explore::JointResult& result) {
+  const auto u64 = [](std::uint64_t v) { return std::to_string(v); };
+  std::string out = "{\"schema\":\"ces-bench-v1\",\"bench\":\"explore-joint\","
+                    "\"results\":[{\"name\":\"" + name + "\",\"params\":{"
+                    "\"prune\":\"" + (result.pruned_configs > 0 ? "on" : "off")
+                    + "\"},\"reps\":1,\"counters\":{";
+  out += "\"evaluated_configs\":" + u64(result.evaluated_configs);
+  out += ",\"evaluated_pairs\":" + u64(result.evaluated_pairs);
+  out += ",\"front_size\":" + u64(result.front.size());
+  out += ",\"pruned_configs\":" + u64(result.pruned_configs);
+  out += ",\"pruned_pairs\":" + u64(result.pruned_pairs);
+  out += ",\"seed_pairs\":" + u64(result.seed_pairs);
+  out += ",\"space_configs\":" + u64(result.space_configs);
+  out += ",\"threshold_pruned_pairs\":" + u64(result.threshold_pruned_pairs);
+  out += ",\"total_pairs\":" + u64(result.total_pairs);
+  out += ",\"valid_configs\":" + u64(result.valid_configs);
+  out += "}}]}";
+  return out;
+}
+
+int CmdExploreJoint(const ces::ArgParser& args, MetricsEmitter& metrics) {
+  std::string name;
+  const ces::trace::AccessSequence accesses =
+      LoadJointStream(args, metrics.get(), &name);
+  const ces::explore::JointSpace space = JointSpaceFromFlags(args);
+
+  ces::explore::JointOptions options;
+  options.prune = args.GetBool("prune", true);
+  options.jobs = JobsFlag(args);
+  options.metrics = metrics.get();
+  const std::string engine = args.GetString("engine", "fused");
+  if (engine != "fused" && engine != "fused-tree") {
+    throw ces::support::Error(
+        ces::support::ErrorCategory::kUsage, "cachedse",
+        "unknown --engine '" + engine + "' (expected fused|fused-tree)");
+  }
+  options.engine = engine == "fused-tree" ? ces::analytic::Engine::kFusedTree
+                                          : ces::analytic::Engine::kFused;
+  ces::support::MetricsRegistry::SetGauge(metrics.get(), "pool.jobs",
+                                          options.jobs);
+
+  const ces::explore::JointResult result =
+      ExploreJoint(accesses, space, options);
+
+  const std::string format = args.GetString("format", "table");
+  if (format == "json") {
+    std::printf("%s\n", ces::explore::JointReportJson(result, space).c_str());
+  } else if (format == "csv") {
+    std::fputs(ces::explore::JointFrontCsv(result.front).c_str(), stdout);
+  } else if (format == "table") {
+    std::printf("%s: %zu accesses, space %s\n", name.c_str(), accesses.size(),
+                space.Canonical().c_str());
+    std::fputs(ces::explore::RenderJointFront(result).c_str(), stdout);
+  } else {
+    throw ces::support::Error(
+        ces::support::ErrorCategory::kUsage, "cachedse",
+        "unknown --format '" + format + "' (expected table|json|csv)");
+  }
+
+  const std::string json_path = args.GetString("json", "");
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      throw ces::support::Error(ces::support::ErrorCategory::kIo, "cachedse",
+                                "cannot open " + json_path);
+    }
+    os << JointBenchJson(name, result) << '\n';
+  }
+  metrics.Emit();
+  return 0;
+}
+
 int CmdStats(const ces::ArgParser& args, MetricsEmitter& metrics) {
   const std::string path = args.GetString("trace", "");
   if (path.empty()) return Usage();
@@ -533,6 +712,7 @@ int CmdConvert(const ces::ArgParser& args, MetricsEmitter& metrics) {
 int RunCommand(const std::string& command, const ces::ArgParser& args,
                MetricsEmitter& metrics) {
   if (command == "explore") return CmdExplore(args, metrics);
+  if (command == "explore-joint") return CmdExploreJoint(args, metrics);
   if (command == "stats") return CmdStats(args, metrics);
   if (command == "compare") return CmdCompare(args, metrics);
   if (command == "workload") return CmdWorkload(args);
