@@ -15,6 +15,7 @@
 #include "support/progress.hpp"
 #include "support/timer.hpp"
 #include "support/trace_event.hpp"
+#include "trace/trace_view.hpp"
 
 namespace ces::analytic {
 namespace {
@@ -50,6 +51,14 @@ void RecordPreludeHistograms(const trace::StrippedTrace& stripped,
   }
 }
 
+void ValidateLineWords(std::uint32_t line_words) {
+  if (line_words == 0 || (line_words & (line_words - 1)) != 0) {
+    throw support::Error(support::ErrorCategory::kUsage, "explorer",
+                         "line_words " + std::to_string(line_words) +
+                             " is not a power of two");
+  }
+}
+
 }  // namespace
 
 const DesignPoint* ExplorationResult::SmallestCache() const {
@@ -64,12 +73,7 @@ const DesignPoint* ExplorationResult::SmallestCache() const {
 
 Explorer::Explorer(const trace::Trace& trace, ExplorerOptions options)
     : metrics_(options.metrics) {
-  if (options.line_words == 0 ||
-      (options.line_words & (options.line_words - 1)) != 0) {
-    throw support::Error(support::ErrorCategory::kUsage, "explorer",
-                         "line_words " + std::to_string(options.line_words) +
-                             " is not a power of two");
-  }
+  ValidateLineWords(options.line_words);
   Stopwatch watch;
   support::ScopedTraceSpan prelude_span("explore.prelude");
   const trace::StrippedTrace stripped = [&] {
@@ -78,6 +82,37 @@ Explorer::Explorer(const trace::Trace& trace, ExplorerOptions options)
                ? trace::Strip(trace)
                : trace::Strip(trace::WithLineSize(trace, options.line_words));
   }();
+  BuildPrelude(stripped, options);
+  prelude_seconds_ = watch.ElapsedSeconds();
+  if (support::TraceSink* sink = support::TraceSink::Global()) {
+    sink->Instant("explore.prelude_done");
+  }
+  support::MetricsRegistry::Observe(metrics_, "explore.prelude_seconds",
+                                    prelude_seconds_);
+}
+
+Explorer::Explorer(const trace::TraceView& view, ExplorerOptions options)
+    : metrics_(options.metrics) {
+  ValidateLineWords(options.line_words);
+  Stopwatch watch;
+  support::ScopedTraceSpan prelude_span("explore.prelude");
+  const trace::StrippedTrace stripped = [&] {
+    support::ScopedTraceSpan span("explore.strip");
+    // The streaming strip fuses line re-blocking into its single pass, so
+    // the raw reference vector never materialises even for line_words > 1.
+    return trace::Strip(view, options.line_words);
+  }();
+  BuildPrelude(stripped, options);
+  prelude_seconds_ = watch.ElapsedSeconds();
+  if (support::TraceSink* sink = support::TraceSink::Global()) {
+    sink->Instant("explore.prelude_done");
+  }
+  support::MetricsRegistry::Observe(metrics_, "explore.prelude_seconds",
+                                    prelude_seconds_);
+}
+
+void Explorer::BuildPrelude(const trace::StrippedTrace& stripped,
+                            const ExplorerOptions& options) {
   stats_ = trace::ComputeStats(stripped);
   max_index_bits_ =
       std::min(options.max_index_bits, trace::SignificantAddressBits(stripped));
@@ -143,16 +178,10 @@ Explorer::Explorer(const trace::Trace& trace, ExplorerOptions options)
   // read-only O(log hist) lookups.
   for (cache::StackProfile& profile : profiles_) profile.FinalizeSolveCache();
   RecordPreludeHistograms(stripped, profiles_, max_index_bits_, metrics_);
-  prelude_seconds_ = watch.ElapsedSeconds();
-  if (support::TraceSink* sink = support::TraceSink::Global()) {
-    sink->Instant("explore.prelude_done");
-  }
   support::MetricsRegistry::Add(metrics_, "explore.depths", profiles_.size());
   support::MetricsRegistry::Add(metrics_, "explore.trace_refs", stats_.n);
   support::MetricsRegistry::Add(metrics_, "explore.unique_refs",
                                 stats_.n_unique);
-  support::MetricsRegistry::Observe(metrics_, "explore.prelude_seconds",
-                                    prelude_seconds_);
 }
 
 ExplorationResult Explorer::Solve(std::uint64_t k) const {

@@ -109,6 +109,12 @@ class Explorer {
   // zero or not a power of two.
   explicit Explorer(const trace::Trace& trace, ExplorerOptions options = {});
 
+  // Out-of-core construction: strips the trace in one bounded-chunk pass
+  // over the view (an mmap-backed CTRC file never materialises its raw
+  // reference vector). Profiles, stats and deterministic metrics are
+  // byte-identical to the in-memory constructor on the same content.
+  explicit Explorer(const trace::TraceView& view, ExplorerOptions options = {});
+
   // Optimal (D, A) pairs with non-cold misses <= k.
   ExplorationResult Solve(std::uint64_t k) const;
 
@@ -121,6 +127,12 @@ class Explorer {
   double prelude_seconds() const { return prelude_seconds_; }
 
  private:
+  // The engine dispatch shared by both constructors; everything after the
+  // stripped trace exists is identical between the in-memory and the
+  // streaming paths.
+  void BuildPrelude(const trace::StrippedTrace& stripped,
+                    const ExplorerOptions& options);
+
   trace::TraceStats stats_;
   std::vector<cache::StackProfile> profiles_;
   std::uint32_t max_index_bits_ = 0;

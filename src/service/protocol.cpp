@@ -90,6 +90,12 @@ const char* ToString(Op op) {
       return "ping";
     case Op::kShutdown:
       return "shutdown";
+    case Op::kTraceBegin:
+      return "trace-begin";
+    case Op::kTraceChunk:
+      return "trace-chunk";
+    case Op::kTraceEnd:
+      return "trace-end";
   }
   return "?";
 }
@@ -107,6 +113,10 @@ Request ParseRequest(const std::string& line) {
   bool saw_max_index_bits = false;
   bool saw_space = false;
   bool saw_prune = false;
+  bool saw_payload = false;
+  bool saw_encoding = false;
+  bool saw_name = false;
+  bool saw_engine = false;
   for (const auto& [key, value] : root.object) {
     if (key == "id") {
       request.id = RequireString(value, "id");
@@ -130,6 +140,12 @@ Request ParseRequest(const std::string& line) {
         request.op = Op::kPing;
       } else if (name == "shutdown") {
         request.op = Op::kShutdown;
+      } else if (name == "trace-begin") {
+        request.op = Op::kTraceBegin;
+      } else if (name == "trace-chunk") {
+        request.op = Op::kTraceChunk;
+      } else if (name == "trace-end") {
+        request.op = Op::kTraceEnd;
       } else {
         throw Error(ErrorCategory::kUnsupported, "request",
                     "unknown op '" + name + "'");
@@ -168,6 +184,7 @@ Request ParseRequest(const std::string& line) {
       saw_prune = true;
     } else if (key == "engine") {
       request.engine = RequireString(value, "engine");
+      saw_engine = true;
       if (request.engine != "fused" && request.engine != "fused-tree" &&
           request.engine != "reference") {
         FailValidation("field 'engine' must be fused|fused-tree|reference");
@@ -196,6 +213,42 @@ Request ParseRequest(const std::string& line) {
     } else if (key == "deadline_ms") {
       request.deadline_ms =
           RequireInteger(value, "deadline_ms", 86'400'000ull);
+    } else if (key == "upload") {
+      request.upload = RequireString(value, "upload");
+      if (request.upload.empty() || request.upload.size() > 128) {
+        FailValidation("field 'upload' must be 1..128 bytes");
+      }
+    } else if (key == "count") {
+      request.count = RequireInteger(value, "count", 0xffffffffull);
+      request.has_count = true;
+    } else if (key == "seq") {
+      request.seq = RequireInteger(value, "seq", 0xffffffffull);
+      request.has_seq = true;
+    } else if (key == "payload") {
+      request.payload = RequireString(value, "payload");
+      if (request.payload.empty() || request.payload.size() > (16u << 20)) {
+        FailValidation("field 'payload' must be 1..16777216 bytes");
+      }
+      saw_payload = true;
+    } else if (key == "encoding") {
+      request.encoding = RequireString(value, "encoding");
+      saw_encoding = true;
+      if (request.encoding != "hex" && request.encoding != "base64") {
+        FailValidation("field 'encoding' must be hex|base64");
+      }
+    } else if (key == "address_bits") {
+      request.address_bits = static_cast<std::uint32_t>(
+          RequireInteger(value, "address_bits", 32));
+      request.has_address_bits = true;
+      if (request.address_bits == 0) {
+        FailValidation("field 'address_bits' must be in [1, 32]");
+      }
+    } else if (key == "name") {
+      request.name = RequireString(value, "name");
+      saw_name = true;
+      if (request.name.size() > 256) {
+        FailValidation("field 'name' must be <= 256 bytes");
+      }
     } else {
       FailValidation("unknown field '" + key + "'");
     }
@@ -218,6 +271,53 @@ Request ParseRequest(const std::string& line) {
   }
   if (request.has_k && request.has_fraction) {
     FailValidation("'k' and 'fraction' are mutually exclusive");
+  }
+  const bool is_upload = request.op == Op::kTraceBegin ||
+                         request.op == Op::kTraceChunk ||
+                         request.op == Op::kTraceEnd;
+  if (is_upload) {
+    // Streaming-ingest ops carry only their own vocabulary; exploration
+    // fields on them are client bugs, so reject loudly instead of ignoring.
+    if (!request.trace.empty() || !request.digest.empty() || saw_engine ||
+        request.has_k || request.has_fraction || saw_line_words ||
+        saw_max_index_bits) {
+      FailValidation(std::string(ToString(request.op)) +
+                     " accepts no trace-reference or exploration fields");
+    }
+    if (request.op == Op::kTraceBegin) {
+      if (!request.has_count) FailValidation("trace-begin requires 'count'");
+      if (!request.upload.empty() || request.has_seq || saw_payload ||
+          saw_encoding) {
+        FailValidation(
+            "'upload', 'seq', 'payload' and 'encoding' are not valid for "
+            "trace-begin (the server issues the token)");
+      }
+    } else {
+      if (request.upload.empty()) {
+        FailValidation(std::string(ToString(request.op)) +
+                       " requires 'upload' (the token trace-begin returned)");
+      }
+      if (saw_kind || request.has_count || request.has_address_bits ||
+          saw_name) {
+        FailValidation(
+            "'kind', 'count', 'address_bits' and 'name' are only valid for "
+            "trace-begin");
+      }
+      if (request.op == Op::kTraceChunk) {
+        if (!request.has_seq || !saw_payload) {
+          FailValidation("trace-chunk requires 'seq' and 'payload'");
+        }
+      } else if (request.has_seq || saw_payload || saw_encoding) {
+        FailValidation(
+            "'seq', 'payload' and 'encoding' are not valid for trace-end");
+      }
+    }
+  } else if (!request.upload.empty() || request.has_count ||
+             request.has_seq || saw_payload || saw_encoding ||
+             request.has_address_bits || saw_name) {
+    FailValidation(
+        "'upload', 'count', 'seq', 'payload', 'encoding', 'address_bits' "
+        "and 'name' are only valid for trace-begin/trace-chunk/trace-end");
   }
   if (request.op == Op::kExploreJoint) {
     // 'trace'/'digest' carry the data stream; the instruction stream comes
@@ -335,6 +435,33 @@ std::string MetricsResponse(const std::string& id,
                             const std::string& metrics_json) {
   // metrics_json is MetricsRegistry::ToJson output — already a JSON object.
   return Head(id, "metrics") + ",\"metrics\":" + metrics_json + "}";
+}
+
+std::string TraceBeginResponse(const std::string& id,
+                               const std::string& upload,
+                               std::uint64_t count) {
+  return Head(id, "trace-begin") +
+         ",\"upload\":" + support::JsonQuote(upload) +
+         ",\"count\":" + U64(count) + "}";
+}
+
+std::string TraceChunkResponse(const std::string& id,
+                               const std::string& upload, std::uint64_t seq,
+                               std::uint64_t received) {
+  return Head(id, "trace-chunk") +
+         ",\"upload\":" + support::JsonQuote(upload) + ",\"seq\":" + U64(seq) +
+         ",\"received\":" + U64(received) + "}";
+}
+
+std::string TraceEndResponse(const std::string& id, const std::string& digest,
+                             const trace::TraceStats& stats) {
+  // Deliberately the ingest shape plus the op tag: a sealed upload is an
+  // ingested trace, and clients reuse their ingest handling for it.
+  std::string out = Head(id, "trace-end");
+  out += ",\"digest\":" + support::JsonQuote(digest) + ",";
+  AppendStats(out, stats);
+  out += "}";
+  return out;
 }
 
 std::string ShutdownResponse(const std::string& id) {
@@ -506,6 +633,16 @@ Response ParseResponse(const std::string& line) {
   if (const JsonValue* metrics = root.Find("metrics")) {
     WriteValue(*metrics, response.metrics_json);
   }
+  if (const JsonValue* upload = root.Find("upload")) {
+    response.upload = RequireString(*upload, "upload");
+  }
+  if (const JsonValue* seq = root.Find("seq")) {
+    response.seq = RequireInteger(*seq, "seq", ~std::uint64_t{0});
+  }
+  if (const JsonValue* received = root.Find("received")) {
+    response.received =
+        RequireInteger(*received, "received", ~std::uint64_t{0});
+  }
   if (const JsonValue* joint = root.Find("joint")) {
     if (joint->kind != JsonValue::Kind::kObject) {
       FailValidation("'joint' must be an object");
@@ -513,6 +650,153 @@ Response ParseResponse(const std::string& line) {
     WriteValue(*joint, response.joint_json);
   }
   return response;
+}
+
+namespace {
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+int Base64Value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+
+constexpr char kBase64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::vector<std::uint32_t> RefsFromBytes(
+    const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() % 4 != 0) {
+    FailValidation("payload decodes to " + std::to_string(bytes.size()) +
+                   " bytes, not a whole number of 4-byte references");
+  }
+  std::vector<std::uint32_t> refs(bytes.size() / 4);
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    const std::uint8_t* p = bytes.data() + i * 4;
+    refs[i] = static_cast<std::uint32_t>(p[0]) |
+              (static_cast<std::uint32_t>(p[1]) << 8) |
+              (static_cast<std::uint32_t>(p[2]) << 16) |
+              (static_cast<std::uint32_t>(p[3]) << 24);
+  }
+  return refs;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> DecodeChunkPayload(const std::string& encoding,
+                                              const std::string& payload) {
+  std::vector<std::uint8_t> bytes;
+  if (encoding == "hex") {
+    if (payload.size() % 2 != 0) {
+      FailValidation("hex payload must have an even number of digits");
+    }
+    bytes.reserve(payload.size() / 2);
+    for (std::size_t i = 0; i < payload.size(); i += 2) {
+      const int hi = HexNibble(payload[i]);
+      const int lo = HexNibble(payload[i + 1]);
+      if (hi < 0 || lo < 0) {
+        FailValidation("hex payload has a non-hex character at offset " +
+                       std::to_string(hi < 0 ? i : i + 1));
+      }
+      bytes.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+  } else if (encoding == "base64") {
+    if (payload.size() % 4 != 0) {
+      FailValidation("base64 payload length must be a multiple of 4");
+    }
+    bytes.reserve(payload.size() / 4 * 3);
+    for (std::size_t i = 0; i < payload.size(); i += 4) {
+      const bool last = i + 4 == payload.size();
+      int v[4];
+      int pad = 0;
+      for (int j = 0; j < 4; ++j) {
+        const char c = payload[i + j];
+        if (c == '=') {
+          // Padding only closes the final quantum, only in the last two
+          // positions, and once started never stops.
+          if (!last || j < 2) {
+            FailValidation("base64 payload has misplaced '=' padding");
+          }
+          v[j] = 0;
+          ++pad;
+        } else {
+          if (pad > 0) {
+            FailValidation("base64 payload has data after '=' padding");
+          }
+          v[j] = Base64Value(c);
+          if (v[j] < 0) {
+            FailValidation(
+                "base64 payload has an invalid character at offset " +
+                std::to_string(i + j));
+          }
+        }
+      }
+      const std::uint32_t triple =
+          (static_cast<std::uint32_t>(v[0]) << 18) |
+          (static_cast<std::uint32_t>(v[1]) << 12) |
+          (static_cast<std::uint32_t>(v[2]) << 6) |
+          static_cast<std::uint32_t>(v[3]);
+      bytes.push_back(static_cast<std::uint8_t>(triple >> 16));
+      if (pad < 2) bytes.push_back(static_cast<std::uint8_t>(triple >> 8));
+      if (pad < 1) bytes.push_back(static_cast<std::uint8_t>(triple));
+    }
+  } else {
+    FailValidation("unknown payload encoding '" + encoding + "'");
+  }
+  return RefsFromBytes(bytes);
+}
+
+std::string EncodeChunkPayload(const std::string& encoding,
+                               const std::uint32_t* refs, std::size_t n) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(n * 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(refs[i]));
+    bytes.push_back(static_cast<std::uint8_t>(refs[i] >> 8));
+    bytes.push_back(static_cast<std::uint8_t>(refs[i] >> 16));
+    bytes.push_back(static_cast<std::uint8_t>(refs[i] >> 24));
+  }
+  std::string out;
+  if (encoding == "hex") {
+    static const char kHex[] = "0123456789abcdef";
+    out.reserve(bytes.size() * 2);
+    for (std::uint8_t byte : bytes) {
+      out += kHex[byte >> 4];
+      out += kHex[byte & 0xf];
+    }
+  } else if (encoding == "base64") {
+    out.reserve((bytes.size() + 2) / 3 * 4);
+    std::size_t i = 0;
+    for (; i + 3 <= bytes.size(); i += 3) {
+      const std::uint32_t triple = (static_cast<std::uint32_t>(bytes[i]) << 16) |
+                                   (static_cast<std::uint32_t>(bytes[i + 1]) << 8) |
+                                   static_cast<std::uint32_t>(bytes[i + 2]);
+      out += kBase64Alphabet[(triple >> 18) & 63];
+      out += kBase64Alphabet[(triple >> 12) & 63];
+      out += kBase64Alphabet[(triple >> 6) & 63];
+      out += kBase64Alphabet[triple & 63];
+    }
+    if (const std::size_t rest = bytes.size() - i; rest > 0) {
+      std::uint32_t triple = static_cast<std::uint32_t>(bytes[i]) << 16;
+      if (rest == 2) triple |= static_cast<std::uint32_t>(bytes[i + 1]) << 8;
+      out += kBase64Alphabet[(triple >> 18) & 63];
+      out += kBase64Alphabet[(triple >> 12) & 63];
+      out += rest == 2 ? kBase64Alphabet[(triple >> 6) & 63] : '=';
+      out += '=';
+    }
+  } else {
+    FailValidation("unknown payload encoding '" + encoding + "'");
+  }
+  return out;
 }
 
 }  // namespace protocol

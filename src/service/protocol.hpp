@@ -44,6 +44,16 @@ enum class Op : std::uint8_t {
   kMetrics,      // the server's MetricsRegistry as JSON
   kPing,         // liveness probe
   kShutdown,     // begin a graceful drain (if the server allows it)
+  // Chunked streaming ingest, for traces that do not exist server-side and
+  // are too large for one request line. trace-begin declares (kind,
+  // address_bits, count, name) and returns an upload token; trace-chunk
+  // appends references (hex/base64 payload, strictly sequenced so retried
+  // requests are idempotent); trace-end seals the upload, returning the
+  // digest + stats exactly like ingest. The server digests incrementally
+  // and spills to disk, so memory stays bounded by one chunk.
+  kTraceBegin,
+  kTraceChunk,
+  kTraceEnd,
 };
 
 const char* ToString(Op op);
@@ -74,6 +84,20 @@ struct Request {
   // 0 = no deadline. Relative to receipt; expired requests are answered
   // with code "deadline_exceeded" instead of being computed.
   std::uint64_t deadline_ms = 0;
+  // Streaming-ingest fields (trace-begin / trace-chunk / trace-end only;
+  // rejected everywhere else). `upload` is the server-issued session token;
+  // `seq` is the strict 0-based chunk sequence number; `payload` carries
+  // references packed little-endian, encoded per `encoding`.
+  std::string upload;
+  bool has_count = false;
+  std::uint64_t count = 0;          // trace-begin: total references declared
+  bool has_seq = false;
+  std::uint64_t seq = 0;            // trace-chunk: 0-based chunk index
+  std::string payload;              // trace-chunk: encoded references
+  std::string encoding = "hex";     // trace-chunk: hex|base64
+  bool has_address_bits = false;
+  std::uint32_t address_bits = 32;  // trace-begin: declared address width
+  std::string name;                 // trace-begin: display name (optional)
 };
 
 // Parses one NDJSON request line. Throws support::Error — kParse for JSON
@@ -115,6 +139,14 @@ std::string ExploreJointResponse(const std::string& id,
                                  bool cached, const std::string& joint_json);
 std::string MetricsResponse(const std::string& id,
                             const std::string& metrics_json);
+std::string TraceBeginResponse(const std::string& id,
+                               const std::string& upload,
+                               std::uint64_t count);
+std::string TraceChunkResponse(const std::string& id,
+                               const std::string& upload, std::uint64_t seq,
+                               std::uint64_t received);
+std::string TraceEndResponse(const std::string& id, const std::string& digest,
+                             const trace::TraceStats& stats);
 std::string ShutdownResponse(const std::string& id);
 std::string ErrorResponse(const std::string& id, const std::string& code,
                           const std::string& message,
@@ -142,10 +174,23 @@ struct Response {
   std::vector<analytic::DesignPoint> points;
   std::string metrics_json;  // metrics op: the nested object, re-serialised
   std::string joint_json;    // explore-joint: the ces-joint-v1 report object
+  std::string upload;        // trace-begin/chunk: the upload session token
+  std::uint64_t seq = 0;     // trace-chunk: echoed chunk sequence number
+  std::uint64_t received = 0;  // trace-chunk: total references applied so far
   std::string raw;           // the undecoded line
 };
 
 Response ParseResponse(const std::string& line);
+
+// Chunk-payload codec: references packed little-endian (4 bytes each), then
+// encoded as lowercase hex or standard base64 (the JSON-safe envelopes).
+// Decode throws support::Error (kValidation) for an unknown encoding name,
+// stray characters, or a byte length that is not a multiple of 4; both
+// directions are exercised by the uploading client and the tests.
+std::vector<std::uint32_t> DecodeChunkPayload(const std::string& encoding,
+                                              const std::string& payload);
+std::string EncodeChunkPayload(const std::string& encoding,
+                               const std::uint32_t* refs, std::size_t n);
 
 }  // namespace protocol
 

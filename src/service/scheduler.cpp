@@ -22,6 +22,15 @@ analytic::Engine EngineFromName(const std::string& name) {
   return analytic::Engine::kFused;
 }
 
+// The joint interleaver needs materialised reference vectors; spill-backed
+// entries (streaming uploads) materialise on demand with one sequential
+// pass. Single-trace explores never pay this — their prelude streams.
+std::shared_ptr<const trace::Trace> MaterializedOf(const PinnedTrace& pinned) {
+  if (pinned.trace != nullptr) return pinned.trace;
+  return std::make_shared<const trace::Trace>(
+      trace::MaterializeTrace(*pinned.view));
+}
+
 // K resolution must match cachedse's CmdExplore expression exactly — the
 // acceptance bar is byte-identical output for fraction queries.
 std::uint64_t ResolveK(const protocol::Request& request,
@@ -159,7 +168,7 @@ JobScheduler::ResolvedTrace JobScheduler::Resolve(
   try {
     if (!request.digest.empty()) {
       resolved.pinned = store_.Find(request.digest);
-      if (resolved.pinned.trace == nullptr) {
+      if (!resolved.pinned.pinned()) {
         resolved.failed = true;
         resolved.code = support::ToString(ErrorCategory::kValidation);
         resolved.message = "unknown digest " + request.digest +
@@ -177,7 +186,7 @@ JobScheduler::ResolvedTrace JobScheduler::Resolve(
       }
       if (!digest.empty()) {
         resolved.pinned = store_.Find(digest);
-        if (resolved.pinned.trace != nullptr) return resolved;
+        if (resolved.pinned.pinned()) return resolved;
         // Evicted since memoised: fall through to a fresh load.
       }
     }
@@ -197,6 +206,46 @@ JobScheduler::ResolvedTrace JobScheduler::Resolve(
     resolved.message = e.what();
   }
   return resolved;
+}
+
+void JobScheduler::HandleUpload(Job& job) {
+  const protocol::Request& request = job.request;
+  try {
+    switch (request.op) {
+      case Op::kTraceBegin: {
+        const trace::StreamKind kind = request.kind == "instr"
+                                           ? trace::StreamKind::kInstruction
+                                           : trace::StreamKind::kData;
+        const std::string token = store_.BeginUpload(
+            kind, request.address_bits, request.count, request.name);
+        Respond(job, protocol::TraceBeginResponse(request.id, token,
+                                                  request.count));
+        break;
+      }
+      case Op::kTraceChunk: {
+        const std::vector<std::uint32_t> refs =
+            protocol::DecodeChunkPayload(request.encoding, request.payload);
+        const std::uint64_t received = store_.AppendUploadChunk(
+            request.upload, request.seq, refs.data(), refs.size());
+        Respond(job, protocol::TraceChunkResponse(request.id, request.upload,
+                                                  request.seq, received));
+        break;
+      }
+      default: {
+        const PinnedTrace pinned = store_.FinishUpload(request.upload);
+        Respond(job, protocol::TraceEndResponse(request.id, pinned.digest,
+                                                pinned.stats));
+        break;
+      }
+    }
+  } catch (const Error& e) {
+    Respond(job, protocol::ErrorResponse(request.id, e));
+  } catch (const std::exception& e) {
+    Respond(job,
+            protocol::ErrorResponse(request.id,
+                                    support::ToString(ErrorCategory::kInternal),
+                                    e.what()));
+  }
 }
 
 void JobScheduler::RunBatch(std::deque<Job> batch) {
@@ -238,6 +287,14 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
       continue;
     }
     const protocol::Request& request = job.request;
+    if (request.op == Op::kTraceBegin || request.op == Op::kTraceChunk ||
+        request.op == Op::kTraceEnd) {
+      // Upload ops carry no trace reference to resolve; they are pure
+      // (ordered) store calls and must stay in batch order so the strict
+      // chunk sequencing observed by the store matches the client's.
+      HandleUpload(job);
+      continue;
+    }
     const bool force_ingest = request.op == Op::kIngest;
     const std::string resolve_key = request.digest.empty()
                                         ? "ref:" + request.trace + '\0' +
@@ -263,7 +320,7 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
       case Op::kStats:
         Respond(job, protocol::StatsResponse(
                          request.id, trace.pinned.digest, trace.pinned.stats,
-                         trace::ToString(trace.pinned.trace->kind)));
+                         trace::ToString(trace.pinned.kind)));
         break;
       case Op::kExplore: {
         const std::string key = trace.pinned.digest + '|' + request.engine +
@@ -318,8 +375,8 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
           JointGroup group;
           group.digest = trace.pinned.digest;
           group.digest_instr = instr_trace.pinned.digest;
-          group.data = trace.pinned.trace;
-          group.instr = instr_trace.pinned.trace;
+          group.data = MaterializedOf(trace.pinned);
+          group.instr = MaterializedOf(instr_trace.pinned);
           group.engine_name = request.engine;
           group.space_name = request.space;
           group.prune = request.prune;

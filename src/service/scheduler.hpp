@@ -86,6 +86,9 @@ class JobScheduler {
 
   void Loop();
   void RunBatch(std::deque<Job> batch);
+  // trace-begin/chunk/end: pure TraceStore calls, answered inline in batch
+  // order (chunk sequencing relies on it).
+  void HandleUpload(Job& job);
   ResolvedTrace Resolve(const protocol::Request& request, bool force_ingest);
   void Respond(Job& job, const std::string& response);
   bool DeadlineExpired(const Job& job, std::chrono::steady_clock::time_point now);

@@ -12,7 +12,7 @@ using support::ErrorCategory;
 
 ExplorationService::ExplorationService(Options options)
     : options_(std::move(options)),
-      store_(options_.max_traces, options_.metrics),
+      store_(options_.max_traces, options_.metrics, options_.spill_dir),
       cache_(options_.cache_bytes, options_.cache_shards, options_.metrics) {
   JobScheduler::Options scheduler_options;
   scheduler_options.jobs = options_.jobs;

@@ -11,7 +11,8 @@
 // Routing: ping, metrics and shutdown are answered inline on the calling
 // thread (they must work when the scheduler is saturated — a health probe
 // that queues behind the backlog it is probing would be useless); explore,
-// stats and ingest go through the JobScheduler's bounded queue.
+// stats, ingest and the streaming-upload ops (trace-begin/chunk/end) go
+// through the JobScheduler's bounded queue.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +35,9 @@ class ExplorationService {
     std::size_t queue_limit = 256;
     std::size_t max_traces = 64;
     std::uint64_t retry_after_ms = 100;
+    // Where streaming uploads spill to disk; empty = a per-process
+    // directory under the system temp path.
+    std::string spill_dir;
     support::MetricsRegistry* metrics = nullptr;
     // Invoked (after the response is sent) when a client issues the
     // shutdown op. Unset = shutdown op is rejected as unsupported.

@@ -3,8 +3,28 @@
 #include <unordered_map>
 
 #include "support/check.hpp"
+#include "trace/trace_view.hpp"
 
 namespace ces::trace {
+
+namespace {
+
+// Shared by the streaming entry points: the shift that re-blocks word
+// addresses into line addresses, validated exactly like WithLineSize.
+std::uint32_t LineShift(std::uint32_t words_per_line) {
+  CES_CHECK(words_per_line != 0);
+  CES_CHECK((words_per_line & (words_per_line - 1)) == 0);
+  std::uint32_t shift = 0;
+  while ((1u << shift) < words_per_line) ++shift;
+  return shift;
+}
+
+std::uint32_t BlockedAddressBits(std::uint32_t address_bits,
+                                 std::uint32_t shift) {
+  return address_bits > shift ? address_bits - shift : 1;
+}
+
+}  // namespace
 
 Trace WithLineSize(const Trace& trace, std::uint32_t words_per_line) {
   CES_CHECK(words_per_line != 0);
@@ -39,8 +59,57 @@ StrippedTrace Strip(const Trace& trace) {
   return out;
 }
 
+StrippedTrace Strip(const TraceView& view, std::uint32_t line_words) {
+  const std::uint32_t shift = LineShift(line_words);
+  StrippedTrace out;
+  out.address_bits = BlockedAddressBits(view.address_bits(), shift);
+  const auto total = static_cast<std::size_t>(view.size());
+  out.ids.reserve(total);
+  out.is_first.reserve(total);
+
+  std::unordered_map<std::uint32_t, std::uint32_t> id_of;
+  id_of.reserve(total / 4 + 16);
+  view.ForEachChunk([&](const std::uint32_t* refs, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t ref = refs[i] >> shift;
+      const auto [it, inserted] = id_of.try_emplace(
+          ref, static_cast<std::uint32_t>(out.unique.size()));
+      if (inserted) out.unique.push_back(ref);
+      out.ids.push_back(it->second);
+      out.is_first.push_back(inserted);
+    }
+  });
+  return out;
+}
+
 TraceStats ComputeStats(const Trace& trace) {
   return ComputeStats(Strip(trace));
+}
+
+TraceStats ComputeStats(const TraceView& view, std::uint32_t line_words) {
+  const std::uint32_t shift = LineShift(line_words);
+  TraceStats stats;
+  std::unordered_map<std::uint32_t, std::uint32_t> id_of;
+  // max_misses counts warm positions whose id differs from the immediate
+  // predecessor, so a running previous id is all the per-position state the
+  // pass needs — the unique table is the only growing structure.
+  std::uint32_t previous_id = 0;
+  bool have_previous = false;
+  view.ForEachChunk([&](const std::uint32_t* refs, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t ref = refs[i] >> shift;
+      const auto [it, inserted] = id_of.try_emplace(
+          ref, static_cast<std::uint32_t>(id_of.size()));
+      ++stats.n;
+      if (!inserted && have_previous && it->second != previous_id) {
+        ++stats.max_misses;
+      }
+      previous_id = it->second;
+      have_previous = true;
+    }
+  });
+  stats.n_unique = id_of.size();
+  return stats;
 }
 
 TraceStats ComputeStats(const StrippedTrace& stripped) {

@@ -30,9 +30,17 @@ struct StrippedTrace {
   std::size_t warm_count() const { return size() - unique_count(); }
 };
 
+class TraceView;
+
 // Strips a trace with a hash table in O(N) expected time (the paper's
 // section 2.4 recommends exactly this over the N log N sort).
 StrippedTrace Strip(const Trace& trace);
+
+// Streaming strip over a TraceView: one bounded-chunk pass, never
+// materialising the raw reference vector. line_words > 1 fuses the
+// WithLineSize re-blocking into the same pass; the result is field-for-field
+// identical to Strip(WithLineSize(Materialize(view), line_words)).
+StrippedTrace Strip(const TraceView& view, std::uint32_t line_words = 1);
 
 // Basic statistics reported by Tables 5-6 of the paper.
 struct TraceStats {
@@ -44,6 +52,12 @@ struct TraceStats {
 
 TraceStats ComputeStats(const Trace& trace);
 TraceStats ComputeStats(const StrippedTrace& stripped);
+
+// Bounded-memory statistics over a TraceView: O(N') state (the unique-
+// reference table) instead of the O(N) id/is_first vectors a full strip
+// carries, so stats over an out-of-core trace keep the resident set flat.
+// Identical results to ComputeStats(Strip(view, line_words)).
+TraceStats ComputeStats(const TraceView& view, std::uint32_t line_words = 1);
 
 // Number of address bits that can actually vary across the unique references
 // of the trace; levels beyond this depth cannot split any BCAT node further.

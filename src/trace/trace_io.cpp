@@ -31,23 +31,9 @@ constexpr std::uint32_t kVersion = 1;
 // most 4 MiB up front instead of gigabytes.
 constexpr std::uint32_t kMaxPreallocRefs = 1u << 20;
 
-std::uint64_t ZigZag(std::int64_t value) {
-  return (static_cast<std::uint64_t>(value) << 1) ^
-         static_cast<std::uint64_t>(value >> 63);
-}
-
-std::int64_t UnZigZag(std::uint64_t encoded) {
-  return static_cast<std::int64_t>(encoded >> 1) ^
-         -static_cast<std::int64_t>(encoded & 1);
-}
-
-void WriteVarint(std::ostream& os, std::uint64_t value) {
-  while (value >= 0x80) {
-    os.put(static_cast<char>((value & 0x7f) | 0x80));
-    value >>= 7;
-  }
-  os.put(static_cast<char>(value));
-}
+using internal::UnZigZag;
+using internal::WriteVarint;
+using internal::ZigZag;
 
 std::uint64_t ReadVarint(std::istream& is, const char* context) {
   std::uint64_t value = 0;
@@ -62,7 +48,22 @@ std::uint64_t ReadVarint(std::istream& is, const char* context) {
       throw Error(ErrorCategory::kFormat, context,
                   "varint longer than 10 bytes");
     }
-    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    const std::uint64_t group = static_cast<std::uint64_t>(byte & 0x7f);
+    if (shift == 63 && group > 1) {
+      // The 10th byte contributes bits 63..69 of the value; anything beyond
+      // bit 63 cannot fit a u64, so accepting it would silently drop the
+      // high bits and let two distinct byte streams decode to one value.
+      throw Error(ErrorCategory::kFormat, context,
+                  "varint overflows 64 bits");
+    }
+    if (group == 0 && shift > 0 && (byte & 0x80) == 0) {
+      // A most-significant group of zero is an overlong encoding (for
+      // example 0x80 0x00 for 0): the canonical form is shorter, so this
+      // byte string and the canonical one would alias the same value.
+      throw Error(ErrorCategory::kFormat, context,
+                  "non-canonical varint (overlong encoding)");
+    }
+    value |= group << shift;
     if ((byte & 0x80) == 0) return value;
     shift += 7;
   }
@@ -233,7 +234,18 @@ Trace ReadText(std::istream& is, MetricsRegistry* metrics) {
       std::string key;
       header >> key;
       if (key == "name") {
-        header >> trace.name;
+        // The name is everything after the key, edge whitespace trimmed —
+        // `header >> name` would stop at the first space and silently
+        // corrupt round-trips of names like "qsort (small)".
+        std::string rest;
+        std::getline(header, rest);
+        const auto first = rest.find_first_not_of(" \t");
+        if (first == std::string::npos) {
+          trace.name.clear();
+        } else {
+          const auto last = rest.find_last_not_of(" \t");
+          trace.name = rest.substr(first, last - first + 1);
+        }
         if (trace.name == "-") trace.name.clear();
       } else if (key == "kind") {
         std::string kind;
@@ -307,7 +319,7 @@ void WriteBinary(std::ostream& os, const Trace& trace) {
   WriteU32(os, kVersion);
   WriteU32(os, static_cast<std::uint32_t>(trace.kind));
   WriteU32(os, trace.address_bits);
-  WriteU32(os, static_cast<std::uint32_t>(trace.refs.size()));
+  WriteU32(os, internal::CheckedRefCount(trace.refs.size(), "trace-binary"));
   for (std::uint32_t ref : trace.refs) WriteU32(os, ref);
 }
 
@@ -336,7 +348,8 @@ void WriteCompressed(std::ostream& os, const Trace& trace) {
   WriteU32(os, kVersion);
   WriteU32(os, static_cast<std::uint32_t>(trace.kind));
   WriteU32(os, trace.address_bits);
-  WriteU32(os, static_cast<std::uint32_t>(trace.refs.size()));
+  WriteU32(os,
+           internal::CheckedRefCount(trace.refs.size(), "trace-compressed"));
   std::uint32_t previous = 0;
   for (std::uint32_t ref : trace.refs) {
     const std::int64_t delta =
@@ -405,5 +418,37 @@ Trace LoadFromFile(const std::string& path, MetricsRegistry* metrics) {
   }
   return ReadBinary(is, metrics);
 }
+
+namespace internal {
+
+std::uint32_t CheckedRefCount(std::size_t count, const char* context) {
+  if (count > 0xffffffffull) {
+    throw Error(ErrorCategory::kRange, context,
+                "trace has " + std::to_string(count) +
+                    " references; the header count field is a u32 "
+                    "(max 4294967295)");
+  }
+  return static_cast<std::uint32_t>(count);
+}
+
+std::uint64_t ZigZag(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+std::int64_t UnZigZag(std::uint64_t encoded) {
+  return static_cast<std::int64_t>(encoded >> 1) ^
+         -static_cast<std::int64_t>(encoded & 1);
+}
+
+void WriteVarint(std::ostream& os, std::uint64_t value) {
+  while (value >= 0x80) {
+    os.put(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  os.put(static_cast<char>(value));
+}
+
+}  // namespace internal
 
 }  // namespace ces::trace

@@ -58,4 +58,25 @@ void SaveToFile(const std::string& path, const Trace& trace);
 Trace LoadFromFile(const std::string& path,
                    support::MetricsRegistry* metrics = nullptr);
 
+namespace internal {
+
+// The CTRC/CTRZ header stores the reference count as a u32. Writers (and the
+// streaming-ingest path, which commits the count before any payload arrives)
+// funnel through this instead of a bare cast, so a trace of 2^32 or more
+// references is a structured kRange error rather than a silently wrapped
+// count field. Unit-testable without allocating 2^32 references.
+std::uint32_t CheckedRefCount(std::size_t count, const char* context);
+
+// LEB128 varint and zigzag primitives of the CTRZ payload, shared with the
+// streaming compressor in trace_view.cpp. ReadVarint rejects encodings that
+// are overlong (a continuation chain past 10 bytes), overflowing (high bits
+// of the 10th byte that cannot fit a u64) or non-canonical (a most-
+// significant group of zero, i.e. two byte strings decoding to one value)
+// with kFormat; a stream ending mid-varint is kTruncated.
+std::uint64_t ZigZag(std::int64_t value);
+std::int64_t UnZigZag(std::uint64_t encoded);
+void WriteVarint(std::ostream& os, std::uint64_t value);
+
+}  // namespace internal
+
 }  // namespace ces::trace

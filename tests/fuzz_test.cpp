@@ -179,6 +179,20 @@ std::vector<BinaryCase> BinaryCases() {
     bytes.push_back('\x01');
     cases.push_back({"overlong varint", bytes, true, ErrorCategory::kFormat});
   }
+  {
+    std::string bytes = Header("CTRZ", 0, 32, 1);
+    bytes.push_back('\x80');  // non-canonical encoding of 0 (0x80 0x00)
+    bytes.push_back('\x00');
+    cases.push_back({"non-canonical varint", bytes, true,
+                     ErrorCategory::kFormat});
+  }
+  {
+    std::string bytes = Header("CTRZ", 0, 32, 1);
+    for (int i = 0; i < 9; ++i) bytes.push_back('\x80');
+    bytes.push_back('\x02');  // bit 64: does not fit a u64
+    cases.push_back({"overflowing varint", bytes, true,
+                     ErrorCategory::kFormat});
+  }
   return cases;
 }
 
@@ -408,6 +422,36 @@ constexpr RequestCase kRequestCases[] = {
      "{\"id\":\"1\",\"op\":\"explore-joint\",\"trace\":\"x\","
      "\"trace_instr\":\"y\",\"prune\":1}",
      ErrorCategory::kValidation},
+    {"trace-begin without count",
+     "{\"id\":\"1\",\"op\":\"trace-begin\",\"kind\":\"data\"}",
+     ErrorCategory::kValidation},
+    {"trace-begin with exploration field",
+     "{\"id\":\"1\",\"op\":\"trace-begin\",\"count\":4,\"k\":1}",
+     ErrorCategory::kValidation},
+    {"trace-begin with trace reference",
+     "{\"id\":\"1\",\"op\":\"trace-begin\",\"count\":4,\"trace\":\"x\"}",
+     ErrorCategory::kValidation},
+    {"trace-chunk without seq",
+     "{\"id\":\"1\",\"op\":\"trace-chunk\",\"upload\":\"up-1\","
+     "\"payload\":\"00000000\"}",
+     ErrorCategory::kValidation},
+    {"trace-chunk without payload",
+     "{\"id\":\"1\",\"op\":\"trace-chunk\",\"upload\":\"up-1\",\"seq\":0}",
+     ErrorCategory::kValidation},
+    {"trace-chunk unknown encoding",
+     "{\"id\":\"1\",\"op\":\"trace-chunk\",\"upload\":\"up-1\",\"seq\":0,"
+     "\"payload\":\"00000000\",\"encoding\":\"utf7\"}",
+     ErrorCategory::kValidation},
+    {"trace-end with payload",
+     "{\"id\":\"1\",\"op\":\"trace-end\",\"upload\":\"up-1\","
+     "\"payload\":\"00\"}",
+     ErrorCategory::kValidation},
+    {"trace-end without upload",
+     "{\"id\":\"1\",\"op\":\"trace-end\"}", ErrorCategory::kValidation},
+    {"upload token on explore",
+     "{\"id\":\"1\",\"op\":\"explore\",\"trace\":\"x\","
+     "\"upload\":\"up-1\"}",
+     ErrorCategory::kValidation},
     {"lone surrogate escape", "{\"id\":\"\\ud800\",\"op\":\"ping\"}",
      ErrorCategory::kParse},
     {"trailing bytes", "{\"id\":\"1\",\"op\":\"ping\"} extra",
@@ -430,6 +474,13 @@ const char* kValidLines[] = {
     "{\"id\":\"6\",\"op\":\"explore-joint\",\"trace\":\"no-such-file.trc\","
     "\"trace_instr\":\"also-missing.trc\",\"engine\":\"fused-tree\","
     "\"space\":\"small\",\"prune\":false,\"deadline_ms\":1000}",
+    "{\"id\":\"7\",\"op\":\"trace-begin\",\"count\":4,\"kind\":\"instr\","
+    "\"address_bits\":16,\"name\":\"uploaded trace\"}",
+    "{\"id\":\"8\",\"op\":\"trace-chunk\",\"upload\":\"up-1\",\"seq\":0,"
+    "\"payload\":\"0010000000200000\",\"encoding\":\"hex\"}",
+    "{\"id\":\"9\",\"op\":\"trace-chunk\",\"upload\":\"up-1\",\"seq\":1,"
+    "\"payload\":\"ABCDEFGH\",\"encoding\":\"base64\"}",
+    "{\"id\":\"10\",\"op\":\"trace-end\",\"upload\":\"up-1\"}",
 };
 
 }  // namespace ndjson_corpus

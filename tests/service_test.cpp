@@ -21,10 +21,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <functional>
 #include <future>
 #include <string>
 #include <thread>
@@ -41,6 +44,8 @@
 #include "service/trace_store.hpp"
 #include "support/error.hpp"
 #include "support/metrics.hpp"
+#include "support/rng.hpp"
+#include "trace/strip.hpp"
 #include "trace/synthetic.hpp"
 #include "trace/trace_io.hpp"
 
@@ -51,7 +56,21 @@ using ces::service::ResultCache;
 using ces::service::ResultKey;
 using ces::service::TraceStore;
 using ces::support::Error;
+using ces::support::ErrorCategory;
 using ces::support::MetricsRegistry;
+
+ErrorCategory CategoryOf(const std::function<void()>& body) {
+  try {
+    body();
+  } catch (const Error& e) {
+    return e.category();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "threw unstructured exception: " << e.what();
+    return ErrorCategory::kInternal;
+  }
+  ADD_FAILURE() << "no error thrown";
+  return ErrorCategory::kInternal;
+}
 
 // --------------------------------------------------------------------------
 // ResultCache
@@ -334,6 +353,209 @@ TEST(TraceStore, ConcurrentBurstBuildsOnePrelude) {
                Error);
 }
 
+TEST(TraceStore, LruEvictionFollowsTouchOrderExactly) {
+  // Regression for the O(n^2) min-scan eviction: the intrusive LRU list
+  // must evict in exact recency order under interleaved touches, not just
+  // "something old eventually goes".
+  MetricsRegistry metrics;
+  TraceStore store(3, &metrics);
+  const auto a = store.Ingest(ces::trace::SequentialLoop(0x100, 8, 2));
+  const auto b = store.Ingest(ces::trace::SequentialLoop(0x200, 8, 2));
+  const auto c = store.Ingest(ces::trace::SequentialLoop(0x300, 8, 2));
+  // Recency a < b < c; touching a then b leaves c the coldest.
+  EXPECT_TRUE(store.Find(a.digest).pinned());
+  EXPECT_TRUE(store.Find(b.digest).pinned());
+
+  const auto d = store.Ingest(ces::trace::SequentialLoop(0x400, 8, 2));
+  EXPECT_FALSE(store.Find(c.digest).pinned());  // c was the victim, not a
+  const auto e = store.Ingest(ces::trace::SequentialLoop(0x500, 8, 2));
+  EXPECT_FALSE(store.Find(a.digest).pinned());  // then a, in exact order
+  EXPECT_TRUE(store.Find(b.digest).pinned());
+  EXPECT_TRUE(store.Find(d.digest).pinned());
+  EXPECT_TRUE(store.Find(e.digest).pinned());
+  EXPECT_EQ(store.pinned_traces(), 3u);
+  EXPECT_EQ(metrics.counter("service.store.evicted"), 2u);
+}
+
+// --------------------------------------------------------------------------
+// Streaming uploads
+
+ces::trace::Trace UploadableTrace() {
+  ces::Rng rng(0xc0de);
+  ces::trace::Trace trace = ces::trace::LocalityMix(rng, 64, 1024, 3000);
+  trace.kind = ces::trace::StreamKind::kInstruction;
+  trace.address_bits = 24;
+  trace.name = "streamed";
+  return trace;
+}
+
+TEST(TraceStore, StreamingUploadLandsOnTheCanonicalContentAddress) {
+  MetricsRegistry metrics;
+  const std::string spill = TempPath(".spill");
+  TraceStore store(4, &metrics, spill);
+  const ces::trace::Trace trace = UploadableTrace();
+
+  const std::string token = store.BeginUpload(
+      trace.kind, trace.address_bits, trace.refs.size(), trace.name);
+  EXPECT_EQ(store.open_uploads(), 1u);
+  std::uint64_t seq = 0;
+  std::uint64_t applied = 0;
+  constexpr std::size_t kChunk = 257;  // deliberately not a divisor of N
+  for (std::size_t at = 0; at < trace.refs.size(); at += kChunk, ++seq) {
+    const std::size_t n = std::min(kChunk, trace.refs.size() - at);
+    applied = store.AppendUploadChunk(token, seq, trace.refs.data() + at, n);
+  }
+  EXPECT_EQ(applied, trace.refs.size());
+  const auto pinned = store.FinishUpload(token);
+  EXPECT_EQ(store.open_uploads(), 0u);
+
+  // The incrementally accumulated digest IS the canonical content address:
+  // a streamed upload and an in-memory ingest of the same content are the
+  // same entry to every other client.
+  EXPECT_EQ(pinned.digest, TraceStore::DigestOf(trace));
+  EXPECT_EQ(pinned.trace, nullptr);  // spill-backed, not materialised...
+  ASSERT_NE(pinned.view, nullptr);   // ...pinning an mmap view of the spill
+  EXPECT_EQ(pinned.kind, trace.kind);
+  EXPECT_EQ(pinned.view->name(), "streamed");
+  EXPECT_EQ(pinned.view->size(), trace.refs.size());
+
+  const ces::trace::TraceStats expected = ces::trace::ComputeStats(trace);
+  EXPECT_EQ(pinned.stats.n, expected.n);
+  EXPECT_EQ(pinned.stats.n_unique, expected.n_unique);
+  EXPECT_EQ(pinned.stats.max_misses, expected.max_misses);
+
+  // On disk: the sealed CTRC spill plus its CTRZ archive, and the archive
+  // decodes back to the uploaded content.
+  const std::string hex = pinned.digest.substr(7);
+  EXPECT_TRUE(std::filesystem::exists(spill + "/" + hex + ".ctrc"));
+  EXPECT_TRUE(std::filesystem::exists(spill + "/" + hex + ".ctrz"));
+  EXPECT_EQ(ces::trace::LoadFromFile(spill + "/" + hex + ".ctrz").refs,
+            trace.refs);
+
+  // Exploration over the spill-backed entry matches the offline explorer.
+  ces::analytic::ExplorerOptions options;
+  options.max_index_bits = 6;
+  const auto from_store = store.GetOrBuildExplorer(pinned.digest, options);
+  const ces::analytic::Explorer offline(trace, options);
+  EXPECT_EQ(from_store->stats().max_misses, offline.stats().max_misses);
+  for (const std::uint64_t k : {std::uint64_t{0}, std::uint64_t{25}}) {
+    const auto got = from_store->Solve(k);
+    const auto want = offline.Solve(k);
+    ASSERT_EQ(got.points.size(), want.points.size()) << k;
+    for (std::size_t i = 0; i < want.points.size(); ++i) {
+      EXPECT_EQ(got.points[i].depth, want.points[i].depth);
+      EXPECT_EQ(got.points[i].assoc, want.points[i].assoc);
+      EXPECT_EQ(got.points[i].warm_misses, want.points[i].warm_misses);
+    }
+  }
+  EXPECT_EQ(metrics.counter("service.upload.finished"), 1u);
+}
+
+TEST(TraceStore, UploadSequencingReplayAndFailureRules) {
+  MetricsRegistry metrics;
+  TraceStore store(4, &metrics, TempPath(".spill"));
+  const std::uint32_t refs[4] = {1, 2, 3, 4};
+  const std::string token =
+      store.BeginUpload(ces::trace::StreamKind::kData, 8, 8, "");
+
+  EXPECT_EQ(store.AppendUploadChunk(token, 0, refs, 4), 4u);
+  // A replay of an applied chunk (a client retrying over a fresh
+  // connection) is acknowledged without re-applying...
+  EXPECT_EQ(store.AppendUploadChunk(token, 0, refs, 4), 4u);
+  EXPECT_EQ(metrics.counter("service.upload.replayed"), 1u);
+  // ...but a future seq is a hole, and sealing early a short upload.
+  EXPECT_EQ(CategoryOf([&] { store.AppendUploadChunk(token, 2, refs, 4); }),
+            ErrorCategory::kValidation);
+  EXPECT_EQ(CategoryOf([&] { store.FinishUpload(token); }),
+            ErrorCategory::kValidation);
+
+  // Overrunning the declared count and references wider than the declared
+  // address space are rejected before touching the spill.
+  const std::uint32_t wide[1] = {0x100};  // needs 9 bits, declared 8
+  EXPECT_EQ(CategoryOf([&] { store.AppendUploadChunk(token, 1, wide, 1); }),
+            ErrorCategory::kValidation);
+  const std::uint32_t many[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(CategoryOf([&] { store.AppendUploadChunk(token, 1, many, 8); }),
+            ErrorCategory::kValidation);
+
+  // Unknown tokens (never begun, aborted, or sealed) are validation errors.
+  EXPECT_EQ(CategoryOf([&] { store.AppendUploadChunk("up-99", 0, refs, 4); }),
+            ErrorCategory::kValidation);
+  store.AbortUpload(token);
+  EXPECT_EQ(store.open_uploads(), 0u);
+  EXPECT_EQ(CategoryOf([&] { store.AppendUploadChunk(token, 1, refs, 4); }),
+            ErrorCategory::kValidation);
+  store.AbortUpload(token);  // idempotent, never throws
+
+  // Declaring 2^32+ references is the same kRange the file writers raise.
+  EXPECT_EQ(CategoryOf([&] {
+              store.BeginUpload(ces::trace::StreamKind::kData, 32,
+                                0x100000000ull, "");
+            }),
+            ErrorCategory::kRange);
+}
+
+TEST(TraceStore, UploadDedupesAgainstExistingInMemoryEntry) {
+  MetricsRegistry metrics;
+  const std::string spill = TempPath(".spill");
+  TraceStore store(4, &metrics, spill);
+  const ces::trace::Trace trace = UploadableTrace();
+  const auto ingested = store.Ingest(trace);
+  ASSERT_NE(ingested.trace, nullptr);
+
+  const std::string token = store.BeginUpload(
+      trace.kind, trace.address_bits, trace.refs.size(), trace.name);
+  store.AppendUploadChunk(token, 0, trace.refs.data(), trace.refs.size());
+  const auto uploaded = store.FinishUpload(token);
+
+  // Same content, one entry: the upload resolved to the already-pinned
+  // in-memory trace and its spill was discarded.
+  EXPECT_EQ(uploaded.digest, ingested.digest);
+  EXPECT_EQ(uploaded.trace.get(), ingested.trace.get());
+  EXPECT_EQ(store.pinned_traces(), 1u);
+  EXPECT_GE(metrics.counter("service.store.dedup_hits"), 1u);
+  const std::string hex = ingested.digest.substr(7);
+  EXPECT_FALSE(std::filesystem::exists(spill + "/" + hex + ".ctrc"));
+}
+
+TEST(TraceStore, EvictedUploadUnlinksSpillButKeepsArchiveAndLiveViews) {
+  MetricsRegistry metrics;
+  const std::string spill = TempPath(".spill");
+  TraceStore store(1, &metrics, spill);
+  const ces::trace::Trace trace = UploadableTrace();
+
+  const std::string token = store.BeginUpload(
+      trace.kind, trace.address_bits, trace.refs.size(), trace.name);
+  store.AppendUploadChunk(token, 0, trace.refs.data(), trace.refs.size());
+  const auto uploaded = store.FinishUpload(token);
+  const std::string hex = uploaded.digest.substr(7);
+
+  store.Ingest(ces::trace::PaperExampleTrace());  // capacity 1: evicts it
+  EXPECT_FALSE(store.Find(uploaded.digest).pinned());
+  // The raw spill is unlinked on eviction; the CTRZ archive stays as the
+  // at-rest copy.
+  EXPECT_FALSE(std::filesystem::exists(spill + "/" + hex + ".ctrc"));
+  EXPECT_TRUE(std::filesystem::exists(spill + "/" + hex + ".ctrz"));
+  // POSIX semantics: the handed-out view maps the unlinked inode and stays
+  // fully readable.
+  EXPECT_EQ(ces::trace::MaterializeTrace(*uploaded.view).refs, trace.refs);
+}
+
+TEST(TraceStore, VanishedSpillFileSurfacesAsIoError) {
+  const std::string spill = TempPath(".spill");
+  TraceStore store(4, nullptr, spill);
+  const std::uint32_t refs[2] = {7, 9};
+  const std::string token =
+      store.BeginUpload(ces::trace::StreamKind::kData, 32, 2, "");
+  store.AppendUploadChunk(token, 0, refs, 2);
+  // An operator (or tmp reaper) deletes the spill mid-upload: sealing must
+  // be a structured kIo, and the session must be gone afterwards.
+  std::filesystem::remove(spill + "/" + token + ".ctrc.part");
+  EXPECT_EQ(CategoryOf([&] { store.FinishUpload(token); }),
+            ErrorCategory::kIo);
+  EXPECT_EQ(store.open_uploads(), 0u);
+}
+
 // --------------------------------------------------------------------------
 // Protocol
 
@@ -388,6 +610,126 @@ TEST(Protocol, ErrorResponseCarriesRetryHint) {
   EXPECT_EQ(response.error_code, "overloaded");
   EXPECT_EQ(response.error_message, "queue full");
   EXPECT_EQ(response.retry_after_ms, 250u);
+}
+
+TEST(Protocol, UploadRequestsParseAndValidate) {
+  const auto begin = ces::service::ParseRequest(
+      "{\"id\":\"b\",\"op\":\"trace-begin\",\"count\":1000,"
+      "\"kind\":\"instr\",\"address_bits\":24,\"name\":\"qsort (small)\"}");
+  EXPECT_EQ(begin.op, ces::service::Op::kTraceBegin);
+  EXPECT_TRUE(begin.has_count);
+  EXPECT_EQ(begin.count, 1000u);
+  EXPECT_EQ(begin.kind, "instr");
+  EXPECT_EQ(begin.address_bits, 24u);
+  EXPECT_EQ(begin.name, "qsort (small)");
+
+  const auto chunk = ces::service::ParseRequest(
+      "{\"id\":\"c\",\"op\":\"trace-chunk\",\"upload\":\"up-3\",\"seq\":7,"
+      "\"payload\":\"00010203\",\"encoding\":\"base64\"}");
+  EXPECT_EQ(chunk.op, ces::service::Op::kTraceChunk);
+  EXPECT_EQ(chunk.upload, "up-3");
+  EXPECT_TRUE(chunk.has_seq);
+  EXPECT_EQ(chunk.seq, 7u);
+  EXPECT_EQ(chunk.payload, "00010203");
+  EXPECT_EQ(chunk.encoding, "base64");
+
+  const auto end = ces::service::ParseRequest(
+      "{\"id\":\"e\",\"op\":\"trace-end\",\"upload\":\"up-3\"}");
+  EXPECT_EQ(end.op, ces::service::Op::kTraceEnd);
+  EXPECT_EQ(end.upload, "up-3");
+
+  // Field discipline both ways: upload ops reject exploration fields, and
+  // exploration ops reject upload fields (the fuzz corpus covers more).
+  EXPECT_EQ(CategoryOf([] {
+              ces::service::ParseRequest(
+                  "{\"id\":\"1\",\"op\":\"trace-begin\",\"count\":4,"
+                  "\"engine\":\"fused\"}");
+            }),
+            ErrorCategory::kValidation);
+  EXPECT_EQ(CategoryOf([] {
+              ces::service::ParseRequest(
+                  "{\"id\":\"1\",\"op\":\"trace-chunk\",\"upload\":\"u\","
+                  "\"seq\":0,\"payload\":\"00\",\"name\":\"x\"}");
+            }),
+            ErrorCategory::kValidation);
+  EXPECT_EQ(CategoryOf([] {
+              ces::service::ParseRequest(
+                  "{\"id\":\"1\",\"op\":\"stats\",\"trace\":\"x\","
+                  "\"seq\":0}");
+            }),
+            ErrorCategory::kValidation);
+}
+
+TEST(Protocol, UploadResponsesRoundTrip) {
+  const auto begin = ces::service::ParseResponse(
+      ces::service::protocol::TraceBeginResponse("b", "up-12", 4096));
+  EXPECT_TRUE(begin.ok);
+  EXPECT_EQ(begin.id, "b");
+  EXPECT_EQ(begin.upload, "up-12");
+
+  const auto chunk = ces::service::ParseResponse(
+      ces::service::protocol::TraceChunkResponse("c", "up-12", 3, 1024));
+  EXPECT_TRUE(chunk.ok);
+  EXPECT_EQ(chunk.upload, "up-12");
+  EXPECT_EQ(chunk.seq, 3u);
+  EXPECT_EQ(chunk.received, 1024u);
+
+  ces::trace::TraceStats stats{4096, 128, 120};
+  const auto end = ces::service::ParseResponse(
+      ces::service::protocol::TraceEndResponse(
+          "e", "sha256:" + std::string(64, 'b'), stats));
+  EXPECT_TRUE(end.ok);
+  EXPECT_EQ(end.digest, "sha256:" + std::string(64, 'b'));
+  ASSERT_TRUE(end.has_stats);
+  EXPECT_EQ(end.stats.n, 4096u);
+  EXPECT_EQ(end.stats.max_misses, 120u);
+}
+
+TEST(Protocol, ChunkPayloadCodecRoundTripsAndRejectsDamage) {
+  using ces::service::protocol::DecodeChunkPayload;
+  using ces::service::protocol::EncodeChunkPayload;
+
+  const std::vector<std::uint32_t> refs = {0, 1, 0xdeadbeefu, 0xffffffffu,
+                                           0x00c0ffeeu};
+  // Every prefix length exercises every base64 padding shape (4, 8, 12...
+  // payload bytes -> 0, 2, 1 pad characters in the final quantum).
+  for (const std::string encoding : {std::string("hex"),
+                                     std::string("base64")}) {
+    for (std::size_t n = 1; n <= refs.size(); ++n) {
+      const std::string payload =
+          EncodeChunkPayload(encoding, refs.data(), n);
+      const std::vector<std::uint32_t> back =
+          DecodeChunkPayload(encoding, payload);
+      EXPECT_EQ(back, std::vector<std::uint32_t>(refs.begin(),
+                                                 refs.begin() +
+                                                     static_cast<long>(n)))
+          << encoding << " n=" << n;
+    }
+  }
+  // Hex is case-insensitive on decode.
+  EXPECT_EQ(DecodeChunkPayload("hex", "EFBEADDE"),
+            (std::vector<std::uint32_t>{0xdeadbeefu}));
+
+  struct BadCase {
+    const char* encoding;
+    const char* payload;
+  };
+  const BadCase bad[] = {
+      {"hex", "abc"},        // odd digit count
+      {"hex", "zz00aa00"},   // non-hex character
+      {"hex", "abcd"},       // 2 bytes: not a whole little-endian u32
+      {"base64", "abc"},     // length not a multiple of 4
+      {"base64", "!!!!"},    // invalid alphabet
+      {"base64", "=AAA"},    // padding opens the quantum
+      {"base64", "AA=A"},    // data after padding
+      {"base64", "ABCDEFGH"},  // 6 bytes: not a whole u32
+      {"utf7", "00000000"},  // unknown encoding
+  };
+  for (const auto& c : bad) {
+    EXPECT_EQ(CategoryOf([&] { DecodeChunkPayload(c.encoding, c.payload); }),
+              ErrorCategory::kValidation)
+        << c.encoding << " " << c.payload;
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -700,6 +1042,145 @@ TEST(ServerEndToEnd, PipelinedBatchIsAnsweredInRequestOrder) {
   EXPECT_TRUE(by_digest.ok);
   EXPECT_EQ(by_digest.stats.n, 10u);  // the paper example's N
   std::remove(trace_path.c_str());
+}
+
+std::string ChunkLine(const std::string& token, std::uint64_t seq,
+                      const std::uint32_t* refs, std::size_t n,
+                      const std::string& encoding) {
+  return "{\"id\":\"c" + std::to_string(seq) +
+         "\",\"op\":\"trace-chunk\",\"upload\":\"" + token +
+         "\",\"seq\":" + std::to_string(seq) + ",\"payload\":\"" +
+         ces::service::protocol::EncodeChunkPayload(encoding, refs, n) +
+         "\",\"encoding\":\"" + encoding + "\"}";
+}
+
+TEST(ServerEndToEnd, StreamingUploadThenExploreByDigestMatchesOffline) {
+  MetricsRegistry metrics;
+  ServerFixture fixture(&metrics);
+  ces::service::Client client = fixture.NewClient();
+
+  ces::Rng rng(0xbeef);
+  const ces::trace::Trace trace =
+      ces::trace::RandomWorkingSet(rng, 48, 1200, 4096);
+  const std::string local_digest = TraceStore::DigestOf(trace);
+
+  const auto begin = client.Request(
+      "{\"id\":\"b\",\"op\":\"trace-begin\",\"count\":" +
+      std::to_string(trace.refs.size()) +
+      ",\"kind\":\"data\",\"address_bits\":32,\"name\":\"e2e upload\"}");
+  ASSERT_TRUE(begin.ok) << begin.raw;
+  const std::string token = begin.upload;
+  ASSERT_FALSE(token.empty());
+
+  // The whole chunk sequence pipelined as one batch, alternating payload
+  // encodings — batch order is what carries the strict seq contract.
+  std::vector<std::string> lines;
+  constexpr std::size_t kChunk = 300;
+  std::uint64_t seq = 0;
+  for (std::size_t at = 0; at < trace.refs.size(); at += kChunk, ++seq) {
+    const std::size_t n = std::min(kChunk, trace.refs.size() - at);
+    lines.push_back(ChunkLine(token, seq, trace.refs.data() + at, n,
+                              seq % 2 == 0 ? "hex" : "base64"));
+  }
+  const auto chunked = client.Batch(lines);
+  ASSERT_EQ(chunked.size(), lines.size());
+  for (const auto& response : chunked) {
+    ASSERT_TRUE(response.ok) << response.raw;
+  }
+  EXPECT_EQ(chunked.back().received, trace.refs.size());
+
+  // Sealing returns the canonical digest — the one the client can verify
+  // locally without trusting the server.
+  const auto end = client.Request(
+      "{\"id\":\"e\",\"op\":\"trace-end\",\"upload\":\"" + token + "\"}");
+  ASSERT_TRUE(end.ok) << end.raw;
+  EXPECT_EQ(end.digest, local_digest);
+  ASSERT_TRUE(end.has_stats);
+  const ces::trace::TraceStats expected = ces::trace::ComputeStats(trace);
+  EXPECT_EQ(end.stats.n, expected.n);
+  EXPECT_EQ(end.stats.n_unique, expected.n_unique);
+  EXPECT_EQ(end.stats.max_misses, expected.max_misses);
+
+  // Exploring the uploaded digest replays byte-identical to the offline
+  // explorer over the in-memory trace.
+  const auto explored = client.Request(
+      "{\"id\":\"x\",\"op\":\"explore\",\"digest\":\"" + end.digest +
+      "\",\"k\":5,\"max_index_bits\":5}");
+  ASSERT_TRUE(explored.ok) << explored.raw;
+  ces::analytic::ExplorerOptions options;
+  options.max_index_bits = 5;
+  const ces::analytic::Explorer offline(trace, options);
+  const auto want = offline.Solve(5);
+  ASSERT_EQ(explored.points.size(), want.points.size());
+  for (std::size_t i = 0; i < want.points.size(); ++i) {
+    EXPECT_EQ(explored.points[i].depth, want.points[i].depth);
+    EXPECT_EQ(explored.points[i].assoc, want.points[i].assoc);
+    EXPECT_EQ(explored.points[i].warm_misses, want.points[i].warm_misses);
+  }
+
+  // The token died with the seal: further chunks are structured validation
+  // errors, not crashes or silent acks.
+  const std::uint32_t one = 1;
+  const auto stale = client.Request(ChunkLine(token, 0, &one, 1, "hex"));
+  EXPECT_FALSE(stale.ok);
+  EXPECT_EQ(stale.error_code, "validation");
+  EXPECT_EQ(metrics.counter("service.upload.finished"), 1u);
+}
+
+TEST(ServerEndToEnd, MidUploadDisconnectLeaksNothingIntoTheStore) {
+  MetricsRegistry metrics;
+  ServerFixture fixture(&metrics);
+  const ces::trace::Trace trace = ces::trace::PaperExampleTrace();
+
+  std::string orphan_token;
+  {
+    // A client starts an upload, ships one chunk, and vanishes without
+    // sealing — a crashed uploader or a dropped connection.
+    ces::service::Client doomed = fixture.NewClient();
+    const auto begin = doomed.Request(
+        "{\"id\":\"b\",\"op\":\"trace-begin\",\"count\":" +
+        std::to_string(trace.refs.size()) + ",\"address_bits\":4}");
+    ASSERT_TRUE(begin.ok) << begin.raw;
+    orphan_token = begin.upload;
+    const auto chunk = doomed.Request(
+        ChunkLine(orphan_token, 0, trace.refs.data(), 3, "hex"));
+    ASSERT_TRUE(chunk.ok) << chunk.raw;
+  }
+
+  // Nothing was pinned by the half-upload, the server still answers, and a
+  // fresh client lands the same content on the canonical digest.
+  ces::service::Client client = fixture.NewClient();
+  EXPECT_TRUE(client.Request("{\"id\":\"p\",\"op\":\"ping\"}").ok);
+  EXPECT_EQ(fixture.server->service().store().pinned_traces(), 0u);
+  EXPECT_EQ(fixture.server->service().store().open_uploads(), 1u);
+
+  const auto begin = client.Request(
+      "{\"id\":\"b2\",\"op\":\"trace-begin\",\"count\":" +
+      std::to_string(trace.refs.size()) + ",\"address_bits\":4}");
+  ASSERT_TRUE(begin.ok) << begin.raw;
+  ASSERT_NE(begin.upload, orphan_token);
+  const auto chunk = client.Request(ChunkLine(
+      begin.upload, 0, trace.refs.data(), trace.refs.size(), "hex"));
+  ASSERT_TRUE(chunk.ok) << chunk.raw;
+  const auto end = client.Request(
+      "{\"id\":\"e\",\"op\":\"trace-end\",\"upload\":\"" + begin.upload +
+      "\"}");
+  ASSERT_TRUE(end.ok) << end.raw;
+  EXPECT_EQ(end.digest, TraceStore::DigestOf(trace));
+  EXPECT_EQ(fixture.server->service().store().pinned_traces(), 1u);
+
+  // The orphaned session is still just bookkeeping — resuming its token
+  // works (same connection or not), so slow uploaders are not punished.
+  const auto resumed = client.Request(
+      ChunkLine(orphan_token, 1, trace.refs.data() + 3,
+                trace.refs.size() - 3, "hex"));
+  ASSERT_TRUE(resumed.ok) << resumed.raw;
+  const auto orphan_end = client.Request(
+      "{\"id\":\"oe\",\"op\":\"trace-end\",\"upload\":\"" + orphan_token +
+      "\"}");
+  ASSERT_TRUE(orphan_end.ok) << orphan_end.raw;
+  EXPECT_EQ(orphan_end.digest, end.digest);  // dedupes onto the same entry
+  EXPECT_EQ(fixture.server->service().store().pinned_traces(), 1u);
 }
 
 TEST(ServerEndToEnd, ClientRetriesShedRequestsUntilAnswered) {

@@ -315,6 +315,66 @@ TEST(TraceIo, CompressedRejectsDeltaLeavingAddressSpace) {
             ErrorCategory::kRange);
 }
 
+TEST(TraceIo, RefCountBeyondU32IsRangeNotSilentTruncation) {
+  // Regression: the writers used to cast refs.size() straight into the u32
+  // count field, so a 2^32+5-reference trace would serialise a count of 5
+  // and "round-trip" to a 5-reference trace. The shared guard makes that a
+  // structured kRange error — unit-tested directly, since materialising
+  // 2^32 references is not an option.
+  EXPECT_EQ(internal::CheckedRefCount(0, "t"), 0u);
+  EXPECT_EQ(internal::CheckedRefCount(0xffffffffu, "t"), 0xffffffffu);
+  if constexpr (sizeof(std::size_t) > 4) {
+    const auto wrap = static_cast<std::size_t>(0x100000000ull);
+    EXPECT_EQ(CategoryOf([&] { internal::CheckedRefCount(wrap, "t"); }),
+              ErrorCategory::kRange);
+    EXPECT_EQ(CategoryOf([&] { internal::CheckedRefCount(wrap + 5, "t"); }),
+              ErrorCategory::kRange);
+  }
+}
+
+TEST(TraceIo, CompressedRejectsNonCanonicalAndOverflowingVarints) {
+  // 0x80 0x00 decodes to the same value as a bare 0x00: two byte strings
+  // aliasing one trace. The reader insists on the canonical (shortest)
+  // encoding, so a tampered-but-equal stream cannot share a digest with the
+  // original.
+  std::string overlong = BinaryHeader("CTRZ", 0, 32, 1);
+  overlong.push_back('\x80');
+  overlong.push_back('\x00');
+  std::stringstream overlong_stream(overlong);
+  EXPECT_EQ(CategoryOf([&] { ReadCompressed(overlong_stream); }),
+            ErrorCategory::kFormat);
+
+  // Nine continuation groups put the final group at bit 63; a value of 2
+  // there needs bit 64. Must be kFormat, not a silent wrap into a bogus
+  // delta.
+  std::string overflow = BinaryHeader("CTRZ", 0, 32, 1);
+  for (int i = 0; i < 9; ++i) overflow.push_back('\x80');
+  overflow.push_back('\x02');
+  std::stringstream overflow_stream(overflow);
+  EXPECT_EQ(CategoryOf([&] { ReadCompressed(overflow_stream); }),
+            ErrorCategory::kFormat);
+}
+
+TEST(TraceIo, TextNameHeaderSurvivesHostileNames) {
+  // Regression: ReadText used `header >> name`, which stops at the first
+  // space — "qsort (small run)" silently round-tripped as "qsort".
+  for (const std::string name :
+       {std::string("qsort (small run)"), std::string("tabs\tand  runs"),
+        std::string("trailing # hash")}) {
+    Trace trace = PaperExampleTrace();
+    trace.name = name;
+    std::stringstream stream;
+    WriteText(stream, trace);
+    EXPECT_EQ(ReadText(stream).name, name) << name;
+  }
+  // Edge whitespace trims, interior whitespace survives, and the "-"
+  // placeholder still means "no name".
+  std::stringstream padded("# name   spaced  out  \n0\n");
+  EXPECT_EQ(ReadText(padded).name, "spaced  out");
+  std::stringstream dashed("# name -\n0\n");
+  EXPECT_TRUE(ReadText(dashed).name.empty());
+}
+
 TEST(TraceIo, LoadFromFileMissingIsIoError) {
   EXPECT_EQ(
       CategoryOf([] { LoadFromFile("/nonexistent/trace.ctr"); }),

@@ -71,6 +71,7 @@
 #include "trace/dinero.hpp"
 #include "trace/strip.hpp"
 #include "trace/trace_io.hpp"
+#include "trace/trace_view.hpp"
 #include "workloads/workloads.hpp"
 
 namespace {
@@ -82,12 +83,12 @@ int Usage() {
       " [flags]\n"
       "  explore  --trace=F [--k=N|--fraction=0.05] [--engine=fused|"
       "fused-tree|reference] [--prelude=fused|per-depth] [--line-words=1] "
-      "[--jobs=N]\n"
+      "[--jobs=N] [--trace-io=auto|mmap|memory]\n"
       "  explore-joint --trace=WORKLOAD | --trace-instr=F --trace-data=F\n"
       "           [--space=default|small] [--l1i-depths=A,B ...flags...]\n"
       "           [--prune=true] [--engine=fused|fused-tree] [--jobs=N]\n"
       "           [--format=table|json|csv] [--json=FILE]\n"
-      "  stats    --trace=F\n"
+      "  stats    --trace=F [--trace-io=auto|mmap|memory]\n"
       "  compare  --trace=F[,F2...] [--fraction=0.05[,0.10...]] "
       "[--max-bits=12] [--jobs=N] [--timing=true]\n"
       "  workload --benchmark=NAME [--out=DIR]\n"
@@ -244,6 +245,20 @@ void SaveAnyFormat(const std::string& path, const ces::trace::Trace& trace) {
   ces::trace::SaveToFile(path, trace);
 }
 
+// --trace-io flag: auto (default) mmaps raw CTRC files and materialises
+// everything else; mmap insists on the out-of-core path where possible;
+// memory forces the pre-existing materialised behaviour. Results are
+// byte-identical in every mode — only the resident set differs.
+ces::trace::TraceIoMode TraceIoFlag(const ces::ArgParser& args) {
+  const std::string mode = args.GetString("trace-io", "auto");
+  if (mode == "auto") return ces::trace::TraceIoMode::kAuto;
+  if (mode == "mmap") return ces::trace::TraceIoMode::kMmap;
+  if (mode == "memory") return ces::trace::TraceIoMode::kMemory;
+  throw ces::support::Error(
+      ces::support::ErrorCategory::kUsage, "cachedse",
+      "unknown --trace-io '" + mode + "' (expected auto|mmap|memory)");
+}
+
 // --jobs flag: absent or 0 -> hardware concurrency; 1 -> the serial code
 // path; N -> N workers. Results are identical in every case.
 std::uint32_t JobsFlag(const ces::ArgParser& args) {
@@ -267,8 +282,18 @@ std::vector<std::string> SplitList(const std::string& list) {
 int CmdExplore(const ces::ArgParser& args, MetricsEmitter& metrics) {
   const std::string path = args.GetString("trace", "");
   if (path.empty()) return Usage();
-  const ces::trace::Trace trace =
-      LoadAnyFormat(path, args.GetString("kind", "data"), metrics.get());
+  // Raw CTRC files can stream straight off an mmap view — the explorer
+  // prelude then never materialises the reference vector. Everything else
+  // (text, CTRZ, .din, workload names) loads through the in-memory path.
+  const ces::trace::TraceIoMode io_mode = TraceIoFlag(args);
+  std::unique_ptr<ces::trace::MmapTraceView> view;
+  if (io_mode != ces::trace::TraceIoMode::kMemory) {
+    view = ces::trace::TryOpenMmap(path, metrics.get());
+  }
+  ces::trace::Trace trace;
+  if (view == nullptr) {
+    trace = LoadAnyFormat(path, args.GetString("kind", "data"), metrics.get());
+  }
 
   ces::analytic::ExplorerOptions options;
   const std::string engine = args.GetString("engine", "fused");
@@ -297,7 +322,9 @@ int CmdExplore(const ces::ArgParser& args, MetricsEmitter& metrics) {
   options.metrics = metrics.get();
   ces::support::MetricsRegistry::SetGauge(metrics.get(), "pool.jobs",
                                           options.jobs);
-  const ces::analytic::Explorer explorer(trace, options);
+  const ces::analytic::Explorer explorer =
+      view != nullptr ? ces::analytic::Explorer(*view, options)
+                      : ces::analytic::Explorer(trace, options);
 
   const std::uint64_t k =
       args.Has("k") ? static_cast<std::uint64_t>(args.GetInt("k", 0))
@@ -489,14 +516,28 @@ int CmdExploreJoint(const ces::ArgParser& args, MetricsEmitter& metrics) {
 int CmdStats(const ces::ArgParser& args, MetricsEmitter& metrics) {
   const std::string path = args.GetString("trace", "");
   if (path.empty()) return Usage();
-  const ces::trace::Trace trace =
-      LoadAnyFormat(path, args.GetString("kind", "data"), metrics.get());
-  const auto stats = ces::trace::ComputeStats(trace);
+  ces::trace::TraceStats stats;
+  ces::trace::StreamKind kind;
+  std::unique_ptr<ces::trace::MmapTraceView> view;
+  if (TraceIoFlag(args) != ces::trace::TraceIoMode::kMemory) {
+    view = ces::trace::TryOpenMmap(path, metrics.get());
+  }
+  if (view != nullptr) {
+    // Bounded-memory streaming pass: O(N') state over an mmap view, so
+    // stats on an out-of-core CTRC trace keep the resident set flat.
+    stats = ces::trace::ComputeStats(*view);
+    kind = view->kind();
+  } else {
+    const ces::trace::Trace trace =
+        LoadAnyFormat(path, args.GetString("kind", "data"), metrics.get());
+    stats = ces::trace::ComputeStats(trace);
+    kind = trace.kind;
+  }
   std::printf("%s: N=%llu N'=%llu max-misses=%llu kind=%s\n", path.c_str(),
               static_cast<unsigned long long>(stats.n),
               static_cast<unsigned long long>(stats.n_unique),
               static_cast<unsigned long long>(stats.max_misses),
-              ces::trace::ToString(trace.kind));
+              ces::trace::ToString(kind));
   metrics.Emit();
   return 0;
 }

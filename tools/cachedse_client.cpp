@@ -1,6 +1,6 @@
 // cachedse-client — command-line client for the exploration daemon.
 //
-//   cachedse-client <explore|stats|ingest|metrics|ping|shutdown|batch>
+//   cachedse-client <explore|stats|ingest|upload|metrics|ping|shutdown|batch>
 //                   (--socket=PATH | --port=N [--host=127.0.0.1]) [flags]
 //
 //   explore  --trace=F|--digest=D [--k=N|--fraction=0.05]
@@ -10,6 +10,13 @@
 //            same trace and parameters — the acceptance bar for the service.
 //   stats    --trace=F|--digest=D [--kind=data|instr]
 //   ingest   --trace=F [--kind=data|instr]     (prints the digest)
+//   upload   --trace=F [--kind=data|instr] [--chunk-refs=65536]
+//            [--encoding=hex|base64] [--name=NAME]
+//            Streams the trace to the server in sequenced chunks
+//            (trace-begin / trace-chunk / trace-end), pipelining chunk
+//            windows through the batch transport, then verifies the
+//            server's digest against the locally computed one and prints
+//            it — for traces that exist client-side only.
 //   metrics  (prints the server's MetricsRegistry JSON)
 //   ping / shutdown
 //   batch    (reads NDJSON request lines from stdin, sends them pipelined
@@ -20,6 +27,7 @@
 // 0 = derive from pid and clock). Overloaded sheds and transport failures
 // are retried with jittered exponential backoff, honouring the server's
 // retry_after_ms hint; an exhausted budget exits with the io code (3).
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -27,6 +35,7 @@
 
 #include "service/client.hpp"
 #include "service/protocol.hpp"
+#include "service/trace_store.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
@@ -39,8 +48,8 @@ using ces::service::Response;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: cachedse-client <explore|stats|ingest|metrics|ping|shutdown|"
-      "batch>\n"
+      "usage: cachedse-client <explore|stats|ingest|upload|metrics|ping|"
+      "shutdown|batch>\n"
       "  (--socket=PATH | --port=N [--host=127.0.0.1])\n"
       "  explore --trace=F|--digest=D [--k=N|--fraction=0.05] "
       "[--engine=fused|fused-tree|reference]\n"
@@ -48,6 +57,8 @@ int Usage() {
       "[--deadline-ms=0]\n"
       "  stats   --trace=F|--digest=D [--kind=data|instr]\n"
       "  ingest  --trace=F [--kind=data|instr]\n"
+      "  upload  --trace=F [--kind=data|instr] [--chunk-refs=65536]\n"
+      "          [--encoding=hex|base64] [--name=NAME]\n"
       "  batch   (request lines on stdin)\n"
       "  transport: [--timeout-ms=30000] [--attempts=4] [--backoff-ms=50] "
       "[--backoff-cap-ms=2000] [--seed=0]\n");
@@ -184,6 +195,81 @@ int CmdIngest(const ces::ArgParser& args) {
   return 0;
 }
 
+int CmdUpload(const ces::ArgParser& args) {
+  const std::string path = args.GetString("trace", "");
+  if (path.empty()) return Usage();
+  const std::string kind = args.GetString("kind", "data");
+  const std::string encoding = args.GetString("encoding", "hex");
+  if (encoding != "hex" && encoding != "base64") return Usage();
+  const auto chunk_refs =
+      static_cast<std::size_t>(args.GetInt("chunk-refs", 65'536));
+  if (chunk_refs == 0) return Usage();
+
+  // The trace loads locally (any format the readers understand); the local
+  // digest is the acceptance check against whatever the server assembled.
+  const ces::trace::Trace trace = ces::service::LoadTraceRef(path, kind);
+  const std::string local_digest =
+      ces::service::TraceStore::DigestOf(trace);
+
+  ces::service::Client client(TransportOptions(args));
+  std::string begin = "{\"id\":\"begin\",\"op\":\"trace-begin\",\"count\":" +
+                      std::to_string(trace.refs.size()) +
+                      ",\"kind\":" + ces::support::JsonQuote(kind) +
+                      ",\"address_bits\":" +
+                      std::to_string(trace.address_bits);
+  const std::string name = args.GetString("name", trace.name);
+  if (!name.empty()) {
+    begin += ",\"name\":" + ces::support::JsonQuote(name);
+  }
+  begin += "}";
+  Response response = client.Request(begin);
+  if (!response.ok) return FailResponse(response);
+  const std::string token = response.upload;
+
+  // Chunks go out pipelined in windows; the transport's retry machinery may
+  // resend a window suffix on a fresh connection, which the server's
+  // replay-ack of already-applied sequence numbers absorbs.
+  constexpr std::size_t kWindowChunks = 16;
+  const std::size_t total_chunks =
+      trace.refs.empty() ? 0 : (trace.refs.size() + chunk_refs - 1) / chunk_refs;
+  for (std::size_t base = 0; base < total_chunks; base += kWindowChunks) {
+    std::vector<std::string> lines;
+    const std::size_t stop = std::min(total_chunks, base + kWindowChunks);
+    for (std::size_t seq = base; seq < stop; ++seq) {
+      const std::size_t offset = seq * chunk_refs;
+      const std::size_t n =
+          std::min(chunk_refs, trace.refs.size() - offset);
+      lines.push_back(
+          "{\"id\":\"chunk-" + std::to_string(seq) +
+          "\",\"op\":\"trace-chunk\",\"upload\":" +
+          ces::support::JsonQuote(token) +
+          ",\"seq\":" + std::to_string(seq) +
+          ",\"encoding\":" + ces::support::JsonQuote(encoding) +
+          ",\"payload\":" +
+          ces::support::JsonQuote(ces::service::protocol::EncodeChunkPayload(
+              encoding, trace.refs.data() + offset, n)) +
+          "}");
+    }
+    for (const Response& chunk_response : client.Batch(lines)) {
+      if (!chunk_response.ok) return FailResponse(chunk_response);
+    }
+  }
+
+  response = client.Request("{\"id\":\"end\",\"op\":\"trace-end\",\"upload\":" +
+                            ces::support::JsonQuote(token) + "}");
+  if (!response.ok) return FailResponse(response);
+  if (response.digest != local_digest) {
+    std::fprintf(stderr,
+                 "cachedse-client: digest mismatch: server sealed %s but the "
+                 "local content is %s\n",
+                 response.digest.c_str(), local_digest.c_str());
+    return ces::support::ExitCodeFor(
+        ces::support::ErrorCategory::kValidation);
+  }
+  std::printf("%s\n", response.digest.c_str());
+  return 0;
+}
+
 int CmdSimple(const ces::ArgParser& args, const char* op) {
   ces::service::Client client(TransportOptions(args));
   const Response response = client.Request(
@@ -228,6 +314,7 @@ int main(int argc, char** argv) {
     if (command == "explore") return CmdExplore(args);
     if (command == "stats") return CmdStats(args);
     if (command == "ingest") return CmdIngest(args);
+    if (command == "upload") return CmdUpload(args);
     if (command == "metrics") return CmdSimple(args, "metrics");
     if (command == "ping") return CmdSimple(args, "ping");
     if (command == "shutdown") return CmdSimple(args, "shutdown");

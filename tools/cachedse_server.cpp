@@ -10,6 +10,8 @@
 //                      "overloaded" and a retry_after_ms hint
 //   --retry-after-ms=100  the hint attached to sheds
 //   --max-traces=64    pinned traces before LRU eviction from the store
+//   --spill-dir=DIR    where streaming uploads spill to disk (default: a
+//                      per-process directory under the system temp path)
 //   --metrics=json     print the MetricsRegistry as one JSON line on exit
 //   --trace-out=FILE   write a Chrome trace-event profile on exit
 //
@@ -38,8 +40,8 @@ int Usage() {
       stderr,
       "usage: cachedse-server (--socket=PATH | --port=N) [--jobs=N]\n"
       "  [--cache-mb=64] [--cache-shards=8] [--queue-limit=256]\n"
-      "  [--retry-after-ms=100] [--max-traces=64] [--metrics=json]\n"
-      "  [--trace-out=FILE]\n");
+      "  [--retry-after-ms=100] [--max-traces=64] [--spill-dir=DIR]\n"
+      "  [--metrics=json] [--trace-out=FILE]\n");
   return 2;
 }
 
@@ -82,6 +84,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.GetInt("retry-after-ms", 100));
   options.service.max_traces =
       static_cast<std::size_t>(args.GetInt("max-traces", 64));
+  options.service.spill_dir = args.GetString("spill-dir", "");
   options.service.metrics = &registry;
 
   try {
