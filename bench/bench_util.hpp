@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "support/build_info.hpp"
 #include "support/cli.hpp"
 #include "support/json.hpp"
 #include "trace/trace.hpp"
@@ -52,7 +53,9 @@ inline std::vector<BenchmarkTraces> CollectAllTraces(
 // can archive every harness's numbers without scraping ASCII tables. The
 // schema ("ces-bench-v1", see docs/OBSERVABILITY.md) is stable:
 //
-//   {"schema":"ces-bench-v1","bench":NAME,"results":[
+//   {"schema":"ces-bench-v1","bench":NAME,
+//    "meta":{"git_sha":...,"hostname":...,"jobs":N},  // provenance
+//    "results":[
 //     {"name":...,"params":{...},"reps":N,
 //      "wall_seconds":{"min":...,"median":...},   // omitted when untimed
 //      "counters":{...}}]}                        // omitted when empty
@@ -64,7 +67,9 @@ inline std::vector<BenchmarkTraces> CollectAllTraces(
 class BenchReporter {
  public:
   BenchReporter(std::string bench_name, const ArgParser& args)
-      : bench_(std::move(bench_name)), path_(args.GetString("json", "")) {}
+      : bench_(std::move(bench_name)),
+        path_(args.GetString("json", "")),
+        jobs_(static_cast<std::uint64_t>(args.GetInt("jobs", 0))) {}
 
   bool enabled() const { return !path_.empty(); }
 
@@ -83,7 +88,10 @@ class BenchReporter {
     std::ofstream os(path_);
     if (!os) throw std::runtime_error("cannot open " + path_);
     os << "{\"schema\":\"ces-bench-v1\",\"bench\":"
-       << support::JsonQuote(bench_) << ",\"results\":[";
+       << support::JsonQuote(bench_)
+       << ",\"meta\":{\"git_sha\":" << support::JsonQuote(support::GitSha())
+       << ",\"hostname\":" << support::JsonQuote(support::Hostname())
+       << ",\"jobs\":" << jobs_ << "},\"results\":[";
     bool first_result = true;
     for (const Result& result : results_) {
       if (!first_result) os << ',';
@@ -137,6 +145,7 @@ class BenchReporter {
 
   std::string bench_;
   std::string path_;
+  std::uint64_t jobs_ = 0;  // the bench's --jobs flag, 0 = hardware default
   std::vector<Result> results_;
 };
 

@@ -217,7 +217,7 @@ std::vector<Response> Client::Batch(const std::vector<std::string>& lines) {
         }
         if (slot == lines.size()) continue;  // duplicate or stray id
         responses[slot] = std::move(response);
-        if (responses[slot].ok ||
+        if (!options_.retry_sheds || responses[slot].ok ||
             responses[slot].error_code != protocol::kCodeOverloaded) {
           answered[slot] = true;  // sheds stay unanswered: retried next loop
         } else {
@@ -234,6 +234,21 @@ std::vector<Response> Client::Batch(const std::vector<std::string>& lines) {
       return responses;
     }
   }
+  // Budget exhausted. If every open slot holds a recorded "overloaded"
+  // response, the server answered — repeatedly — and the caller deserves
+  // that answer (its code, message and retry hint) rather than a generic
+  // transport error. Any slot with nothing recorded means a real transport
+  // failure somewhere, which stays a throw.
+  bool all_shed = true;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (answered[i]) continue;
+    if (responses[i].raw.empty() ||
+        responses[i].error_code != protocol::kCodeOverloaded) {
+      all_shed = false;
+      break;
+    }
+  }
+  if (all_shed) return responses;
   throw Error(ErrorCategory::kIo, "client",
               "retry budget exhausted (" +
                   std::to_string(std::max(options_.max_attempts, 1)) +

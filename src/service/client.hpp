@@ -33,6 +33,10 @@ struct ClientOptions {
   int backoff_base_ms = 50;
   int backoff_cap_ms = 2'000;
   std::uint64_t jitter_seed = 0;  // 0 = derive from pid and clock
+  // When false, an "overloaded" shed counts as the answer instead of being
+  // retried — load generators measure shed rate with this; interactive
+  // clients keep the default and ride the backoff schedule.
+  bool retry_sheds = true;
 };
 
 class Client {
@@ -41,9 +45,12 @@ class Client {
 
   // Sends `lines` (no trailing newlines) and returns decoded responses in
   // request order. Requests whose line carries no parseable id are matched
-  // to unattributed error responses in arrival order. Throws support::Error
-  // (kIo) once the retry budget is exhausted with requests still
-  // unanswered or still being shed.
+  // to unattributed error responses in arrival order. When the retry budget
+  // runs out but every still-open request holds a recorded "overloaded"
+  // response, those responses are returned as the answers (the caller maps
+  // the server's error code instead of seeing a generic transport failure);
+  // a transport-level exhaustion (connect refused, hangup, timeout) still
+  // throws support::Error (kIo).
   std::vector<Response> Batch(const std::vector<std::string>& lines);
 
   Response Request(const std::string& line);

@@ -67,9 +67,12 @@ void AppendStats(std::string& out, const trace::TraceStats& stats) {
          ",\"max_misses\":" + U64(stats.max_misses) + "}";
 }
 
-std::string Head(const std::string& id, const char* op) {
-  return "{\"id\":" + support::JsonQuote(id) +
-         ",\"ok\":true,\"op\":" + support::JsonQuote(op);
+std::string Head(const std::string& id, const std::string& rid,
+                 const char* op) {
+  std::string out = "{\"id\":" + support::JsonQuote(id);
+  if (!rid.empty()) out += ",\"rid\":" + support::JsonQuote(rid);
+  out += ",\"ok\":true,\"op\":" + support::JsonQuote(op);
+  return out;
 }
 
 }  // namespace
@@ -96,6 +99,8 @@ const char* ToString(Op op) {
       return "trace-chunk";
     case Op::kTraceEnd:
       return "trace-end";
+    case Op::kHealth:
+      return "health";
   }
   return "?";
 }
@@ -146,6 +151,8 @@ Request ParseRequest(const std::string& line) {
         request.op = Op::kTraceChunk;
       } else if (name == "trace-end") {
         request.op = Op::kTraceEnd;
+      } else if (name == "health") {
+        request.op = Op::kHealth;
       } else {
         throw Error(ErrorCategory::kUnsupported, "request",
                     "unknown op '" + name + "'");
@@ -262,8 +269,15 @@ Request ParseRequest(const std::string& line) {
                            request.op == Op::kIngest;
   if (needs_trace) {
     if (request.trace.empty() == request.digest.empty()) {
-      FailValidation(std::string(ToString(request.op)) +
-                     " requires exactly one of 'trace' or 'digest'");
+      // stats with neither reference is the live server snapshot (answered
+      // inline); everything else still needs exactly one.
+      const bool server_stats = request.op == Op::kStats &&
+                                request.trace.empty() &&
+                                request.digest.empty();
+      if (!server_stats) {
+        FailValidation(std::string(ToString(request.op)) +
+                       " requires exactly one of 'trace' or 'digest'");
+      }
     }
     if (request.op == Op::kIngest && request.trace.empty()) {
       FailValidation("ingest requires 'trace' (a digest proves nothing new)");
@@ -365,13 +379,14 @@ std::string ExtractRequestId(const std::string& line) {
   return "";
 }
 
-std::string PingResponse(const std::string& id) {
-  return Head(id, "ping") + "}";
+std::string PingResponse(const std::string& id, const std::string& rid) {
+  return Head(id, rid, "ping") + "}";
 }
 
 std::string IngestResponse(const std::string& id, const std::string& digest,
-                           const trace::TraceStats& stats) {
-  std::string out = Head(id, "ingest");
+                           const trace::TraceStats& stats,
+                           const std::string& rid) {
+  std::string out = Head(id, rid, "ingest");
   out += ",\"digest\":" + support::JsonQuote(digest) + ",";
   AppendStats(out, stats);
   out += "}";
@@ -380,8 +395,8 @@ std::string IngestResponse(const std::string& id, const std::string& digest,
 
 std::string StatsResponse(const std::string& id, const std::string& digest,
                           const trace::TraceStats& stats,
-                          const std::string& kind) {
-  std::string out = Head(id, "stats");
+                          const std::string& kind, const std::string& rid) {
+  std::string out = Head(id, rid, "stats");
   out += ",\"digest\":" + support::JsonQuote(digest) +
          ",\"kind\":" + support::JsonQuote(kind) + ",";
   AppendStats(out, stats);
@@ -393,8 +408,8 @@ std::string ExploreResponse(const std::string& id, const std::string& digest,
                             const std::string& engine, std::uint64_t k,
                             const trace::TraceStats& stats,
                             const std::vector<analytic::DesignPoint>& points,
-                            bool cached) {
-  std::string out = Head(id, "explore");
+                            bool cached, const std::string& rid) {
+  std::string out = Head(id, rid, "explore");
   out += ",\"digest\":" + support::JsonQuote(digest) +
          ",\"engine\":" + support::JsonQuote(engine) + ",\"k\":" + U64(k) +
          ",\"cached\":" + (cached ? "true" : "false") + ",";
@@ -417,10 +432,11 @@ std::string ExploreJointResponse(const std::string& id,
                                  const std::string& digest_instr,
                                  const std::string& engine,
                                  const std::string& space, bool prune,
-                                 bool cached, const std::string& joint_json) {
+                                 bool cached, const std::string& joint_json,
+                                 const std::string& rid) {
   // joint_json is explore::JointReportJson output — already a JSON object
   // with deterministic key order, embedded verbatim.
-  std::string out = Head(id, "explore-joint");
+  std::string out = Head(id, rid, "explore-joint");
   out += ",\"digest\":" + support::JsonQuote(digest) +
          ",\"digest_instr\":" + support::JsonQuote(digest_instr) +
          ",\"engine\":" + support::JsonQuote(engine) +
@@ -432,46 +448,92 @@ std::string ExploreJointResponse(const std::string& id,
 }
 
 std::string MetricsResponse(const std::string& id,
-                            const std::string& metrics_json) {
+                            const std::string& metrics_json,
+                            const std::string& rid) {
   // metrics_json is MetricsRegistry::ToJson output — already a JSON object.
-  return Head(id, "metrics") + ",\"metrics\":" + metrics_json + "}";
+  return Head(id, rid, "metrics") + ",\"metrics\":" + metrics_json + "}";
+}
+
+namespace {
+
+// The shared "server" object of ServerStatsResponse and HealthResponse.
+// Fixed field order (declaration order of ServerInfo) so operators can diff
+// two snapshots textually.
+std::string ServerInfoJson(const ServerInfo& info) {
+  return "{\"uptime_us\":" + U64(info.uptime_us) +
+         ",\"git_sha\":" + support::JsonQuote(info.git_sha) +
+         ",\"pid\":" + U64(info.pid) + ",\"jobs\":" + U64(info.jobs) +
+         ",\"connections_live\":" + U64(info.connections_live) +
+         ",\"connections_total\":" + U64(info.connections_total) +
+         ",\"queue_depth\":" + U64(info.queue_depth) +
+         ",\"queue_limit\":" + U64(info.queue_limit) +
+         ",\"shed_total\":" + U64(info.shed_total) +
+         ",\"retry_after_ms\":" + U64(info.retry_after_ms) +
+         ",\"draining\":" + (info.draining ? "true" : "false") +
+         ",\"traces_pinned\":" + U64(info.traces_pinned) +
+         ",\"uploads_open\":" + U64(info.uploads_open) +
+         ",\"requests_total\":" + U64(info.requests_total) + "}";
+}
+
+}  // namespace
+
+std::string ServerStatsResponse(const std::string& id, const ServerInfo& info,
+                                const std::string& metrics_json,
+                                const std::string& rid) {
+  // metrics_json is MetricsRegistry::ToJson output — already a JSON object.
+  return Head(id, rid, "stats") + ",\"server\":" + ServerInfoJson(info) +
+         ",\"metrics\":" + metrics_json + "}";
+}
+
+std::string HealthResponse(const std::string& id, const ServerInfo& info,
+                           const std::string& rid) {
+  // A daemon that answers at all is alive; "healthy" is the readiness bit —
+  // false once a drain begins, so load balancers stop routing to it.
+  return Head(id, rid, "health") +
+         std::string(",\"healthy\":") + (info.draining ? "false" : "true") +
+         ",\"server\":" + ServerInfoJson(info) + "}";
 }
 
 std::string TraceBeginResponse(const std::string& id,
-                               const std::string& upload,
-                               std::uint64_t count) {
-  return Head(id, "trace-begin") +
+                               const std::string& upload, std::uint64_t count,
+                               const std::string& rid) {
+  return Head(id, rid, "trace-begin") +
          ",\"upload\":" + support::JsonQuote(upload) +
          ",\"count\":" + U64(count) + "}";
 }
 
 std::string TraceChunkResponse(const std::string& id,
                                const std::string& upload, std::uint64_t seq,
-                               std::uint64_t received) {
-  return Head(id, "trace-chunk") +
+                               std::uint64_t received,
+                               const std::string& rid) {
+  return Head(id, rid, "trace-chunk") +
          ",\"upload\":" + support::JsonQuote(upload) + ",\"seq\":" + U64(seq) +
          ",\"received\":" + U64(received) + "}";
 }
 
 std::string TraceEndResponse(const std::string& id, const std::string& digest,
-                             const trace::TraceStats& stats) {
+                             const trace::TraceStats& stats,
+                             const std::string& rid) {
   // Deliberately the ingest shape plus the op tag: a sealed upload is an
   // ingested trace, and clients reuse their ingest handling for it.
-  std::string out = Head(id, "trace-end");
+  std::string out = Head(id, rid, "trace-end");
   out += ",\"digest\":" + support::JsonQuote(digest) + ",";
   AppendStats(out, stats);
   out += "}";
   return out;
 }
 
-std::string ShutdownResponse(const std::string& id) {
-  return Head(id, "shutdown") + ",\"draining\":true}";
+std::string ShutdownResponse(const std::string& id, const std::string& rid) {
+  return Head(id, rid, "shutdown") + ",\"draining\":true}";
 }
 
 std::string ErrorResponse(const std::string& id, const std::string& code,
                           const std::string& message,
-                          std::uint64_t retry_after_ms) {
-  std::string out = "{\"id\":" + support::JsonQuote(id) + ",\"ok\":false";
+                          std::uint64_t retry_after_ms,
+                          const std::string& rid) {
+  std::string out = "{\"id\":" + support::JsonQuote(id);
+  if (!rid.empty()) out += ",\"rid\":" + support::JsonQuote(rid);
+  out += ",\"ok\":false";
   if (retry_after_ms > 0) {
     out += ",\"retry_after_ms\":" + U64(retry_after_ms);
   }
@@ -480,9 +542,10 @@ std::string ErrorResponse(const std::string& id, const std::string& code,
   return out;
 }
 
-std::string ErrorResponse(const std::string& id,
-                          const support::Error& error) {
-  return ErrorResponse(id, support::ToString(error.category()), error.what());
+std::string ErrorResponse(const std::string& id, const support::Error& error,
+                          const std::string& rid) {
+  return ErrorResponse(id, support::ToString(error.category()), error.what(),
+                       0, rid);
 }
 
 namespace {
@@ -551,6 +614,9 @@ Response ParseResponse(const std::string& line) {
     FailValidation("response 'id' missing or not a string");
   }
   response.id = id->string;
+  if (const JsonValue* rid = root.Find("rid")) {
+    response.rid = RequireString(*rid, "rid");
+  }
   const JsonValue* ok = root.Find("ok");
   if (ok == nullptr || ok->kind != JsonValue::Kind::kBool) {
     FailValidation("response 'ok' missing or not a bool");
@@ -648,6 +714,19 @@ Response ParseResponse(const std::string& line) {
       FailValidation("'joint' must be an object");
     }
     WriteValue(*joint, response.joint_json);
+  }
+  if (const JsonValue* server = root.Find("server")) {
+    if (server->kind != JsonValue::Kind::kObject) {
+      FailValidation("'server' must be an object");
+    }
+    WriteValue(*server, response.server_json);
+  }
+  if (const JsonValue* healthy = root.Find("healthy")) {
+    if (healthy->kind != JsonValue::Kind::kBool) {
+      FailValidation("'healthy' must be a bool");
+    }
+    response.healthy = healthy->boolean;
+    response.has_healthy = true;
   }
   return response;
 }

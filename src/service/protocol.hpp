@@ -54,12 +54,24 @@ enum class Op : std::uint8_t {
   kTraceBegin,
   kTraceChunk,
   kTraceEnd,
+  // Live introspection (answered inline, never queued): `stats` without a
+  // trace reference returns the server snapshot — metrics (counters, gauges,
+  // histograms with exact p50/p90/p99), queue/admission state, store and
+  // connection counts; `health` is the cheap liveness/readiness summary
+  // (uptime, build SHA, draining flag). `stats` WITH a trace reference keeps
+  // its original meaning: trace statistics.
+  kHealth,
 };
 
 const char* ToString(Op op);
 
 struct Request {
   std::string id;          // echoed verbatim; required, <= 128 bytes
+  // Server-assigned request id ("r<N>", monotonic per daemon). Never parsed
+  // from the wire — ParseRequest rejects a client-sent "rid" as an unknown
+  // field — the service stamps it after parsing so logs, responses and the
+  // scheduler's batching all speak the same handle.
+  std::string rid;
   Op op = Op::kPing;
   // Trace reference: a server-side path / built-in workload name ("trace"),
   // or the digest of an already-ingested trace ("digest", "sha256:<hex>").
@@ -116,19 +128,43 @@ inline constexpr char kCodeOverloaded[] = "overloaded";
 inline constexpr char kCodeDeadlineExceeded[] = "deadline_exceeded";
 inline constexpr char kCodeShuttingDown[] = "shutting_down";
 
+// The live-introspection snapshot the `stats` (server form) and `health`
+// responses serialise. The service fills it from its own state plus the
+// MetricsRegistry; protocol only owns the wire shape.
+struct ServerInfo {
+  std::uint64_t uptime_us = 0;
+  std::string git_sha;           // support::GitSha()
+  std::uint64_t pid = 0;
+  std::uint64_t jobs = 0;        // scheduler worker count
+  std::uint64_t connections_live = 0;
+  std::uint64_t connections_total = 0;
+  std::uint64_t queue_depth = 0;   // jobs admitted but not yet dispatched
+  std::uint64_t queue_limit = 0;   // admission bound
+  std::uint64_t shed_total = 0;    // requests refused with "overloaded"
+  std::uint64_t retry_after_ms = 0;  // the hint shed responses carry
+  bool draining = false;
+  std::uint64_t traces_pinned = 0;
+  std::uint64_t uploads_open = 0;
+  std::uint64_t requests_total = 0;  // rids assigned so far
+};
+
 // Response serialisers. None of them append the trailing newline; the
-// transport owns framing.
-std::string PingResponse(const std::string& id);
+// transport owns framing. Every serialiser takes the server-assigned rid as
+// a trailing parameter; when empty (direct protocol tests) the "rid" field
+// is omitted — the daemon always passes one.
+std::string PingResponse(const std::string& id, const std::string& rid = "");
 std::string IngestResponse(const std::string& id, const std::string& digest,
-                           const trace::TraceStats& stats);
+                           const trace::TraceStats& stats,
+                           const std::string& rid = "");
 std::string StatsResponse(const std::string& id, const std::string& digest,
                           const trace::TraceStats& stats,
-                          const std::string& kind);
+                          const std::string& kind,
+                          const std::string& rid = "");
 std::string ExploreResponse(const std::string& id, const std::string& digest,
                             const std::string& engine, std::uint64_t k,
                             const trace::TraceStats& stats,
                             const std::vector<analytic::DesignPoint>& points,
-                            bool cached);
+                            bool cached, const std::string& rid = "");
 // `joint_json` is explore::JointReportJson output (already a JSON object,
 // deterministic ces-joint-v1 key order) embedded verbatim under "joint".
 std::string ExploreJointResponse(const std::string& id,
@@ -136,28 +172,44 @@ std::string ExploreJointResponse(const std::string& id,
                                  const std::string& digest_instr,
                                  const std::string& engine,
                                  const std::string& space, bool prune,
-                                 bool cached, const std::string& joint_json);
+                                 bool cached, const std::string& joint_json,
+                                 const std::string& rid = "");
 std::string MetricsResponse(const std::string& id,
-                            const std::string& metrics_json);
+                            const std::string& metrics_json,
+                            const std::string& rid = "");
+// `metrics_json` is MetricsRegistry::ToJson(include_volatile,
+// include_percentiles) output, embedded verbatim under "server"."metrics".
+std::string ServerStatsResponse(const std::string& id, const ServerInfo& info,
+                                const std::string& metrics_json,
+                                const std::string& rid = "");
+std::string HealthResponse(const std::string& id, const ServerInfo& info,
+                           const std::string& rid = "");
 std::string TraceBeginResponse(const std::string& id,
                                const std::string& upload,
-                               std::uint64_t count);
+                               std::uint64_t count,
+                               const std::string& rid = "");
 std::string TraceChunkResponse(const std::string& id,
                                const std::string& upload, std::uint64_t seq,
-                               std::uint64_t received);
+                               std::uint64_t received,
+                               const std::string& rid = "");
 std::string TraceEndResponse(const std::string& id, const std::string& digest,
-                             const trace::TraceStats& stats);
-std::string ShutdownResponse(const std::string& id);
+                             const trace::TraceStats& stats,
+                             const std::string& rid = "");
+std::string ShutdownResponse(const std::string& id,
+                             const std::string& rid = "");
 std::string ErrorResponse(const std::string& id, const std::string& code,
                           const std::string& message,
-                          std::uint64_t retry_after_ms = 0);
-std::string ErrorResponse(const std::string& id, const support::Error& error);
+                          std::uint64_t retry_after_ms = 0,
+                          const std::string& rid = "");
+std::string ErrorResponse(const std::string& id, const support::Error& error,
+                          const std::string& rid = "");
 
 // Client-side decode of a response line (used by the client library and the
 // tests; the daemon never parses responses). Throws support::Error (kParse /
 // kValidation) on malformed lines.
 struct Response {
   std::string id;
+  std::string rid;  // server-assigned; "" from serialisers called without one
   bool ok = false;
   std::string error_code;     // when !ok
   std::string error_message;  // when !ok
@@ -174,6 +226,9 @@ struct Response {
   std::vector<analytic::DesignPoint> points;
   std::string metrics_json;  // metrics op: the nested object, re-serialised
   std::string joint_json;    // explore-joint: the ces-joint-v1 report object
+  std::string server_json;   // stats(server)/health: the "server" object
+  bool has_healthy = false;
+  bool healthy = false;      // health op
   std::string upload;        // trace-begin/chunk: the upload session token
   std::uint64_t seq = 0;     // trace-chunk: echoed chunk sequence number
   std::uint64_t received = 0;  // trace-chunk: total references applied so far

@@ -66,31 +66,31 @@ void JobScheduler::Submit(protocol::Request request, Responder done) {
   job.request = std::move(request);
   job.done = std::move(done);
 
-  std::string shed;
+  std::string shed_code;
+  std::string shed_message;
+  std::uint64_t shed_retry_ms = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (draining_) {
-      shed = protocol::ErrorResponse(job.request.id,
-                                     protocol::kCodeShuttingDown,
-                                     "server is draining");
+      shed_code = protocol::kCodeShuttingDown;
+      shed_message = "server is draining";
     } else if (queue_.size() >= options_.queue_limit) {
-      shed = protocol::ErrorResponse(
-          job.request.id, protocol::kCodeOverloaded,
-          "admission queue full (" + std::to_string(options_.queue_limit) +
-              " requests)",
-          options_.retry_after_ms);
+      shed_code = protocol::kCodeOverloaded;
+      shed_message = "admission queue full (" +
+                     std::to_string(options_.queue_limit) + " requests)";
+      shed_retry_ms = options_.retry_after_ms;
     } else {
       queue_.push_back(std::move(job));
       support::MetricsRegistry::SetGauge(metrics_, "service.queue.depth",
                                          queue_.size());
     }
   }
-  if (shed.empty()) {
+  if (shed_code.empty()) {
     cv_.notify_one();
     return;
   }
   support::MetricsRegistry::Add(metrics_, "service.queue.shed");
-  Respond(job, shed);
+  FailJob(job, shed_code, shed_message, shed_retry_ms, "shed");
 }
 
 void JobScheduler::Drain() {
@@ -118,6 +118,11 @@ void JobScheduler::Resume() {
 std::size_t JobScheduler::queue_depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
+}
+
+bool JobScheduler::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
 }
 
 void JobScheduler::Loop() {
@@ -154,12 +159,55 @@ void JobScheduler::Respond(Job& job, const std::string& response) {
   const double seconds =
       std::chrono::duration<double>(now - job.enqueued).count();
   support::MetricsRegistry::Observe(metrics_, "service.request", seconds);
-  support::MetricsRegistry::ObserveHistogram(
-      metrics_, "service.request.latency_us",
-      static_cast<std::uint64_t>(seconds * 1e6));
+  const auto total_us = static_cast<std::uint64_t>(seconds * 1e6);
+  // Queue wait vs execute split: a job that never reached the dispatcher
+  // (shed, draining) spent its whole life queued.
+  std::uint64_t queue_us = total_us;
+  std::uint64_t exec_us = 0;
+  if (job.dispatched) {
+    queue_us = static_cast<std::uint64_t>(
+        std::chrono::duration<double>(job.dequeued - job.enqueued).count() *
+        1e6);
+    if (queue_us > total_us) queue_us = total_us;
+    exec_us = total_us - queue_us;
+  }
+  // Latency distributions are wall-clock facts — volatile histograms, so
+  // the deterministic metrics surface stays byte-identical across runs.
+  support::MetricsRegistry::ObserveVolatileHistogram(
+      metrics_, "service.request.latency_us", total_us);
+  support::MetricsRegistry::ObserveVolatileHistogram(
+      metrics_, "service.request.queue_us", queue_us);
+  support::MetricsRegistry::ObserveVolatileHistogram(
+      metrics_, "service.request.exec_us", exec_us);
+  if (options_.request_log != nullptr) {
+    support::RequestLogEntry entry;
+    entry.ts_us = options_.request_log->NowUs();
+    entry.rid = job.request.rid;
+    entry.id = job.request.id;
+    entry.op = protocol::ToString(job.request.op);
+    entry.trace = job.request.trace;
+    entry.digest = job.digest;
+    entry.outcome = job.outcome.empty() ? "computed" : job.outcome;
+    entry.error = job.error_code;
+    entry.queue_us = queue_us;
+    entry.exec_us = exec_us;
+    entry.total_us = total_us;
+    entry.bytes = response.size();
+    options_.request_log->Write(entry);
+  }
   Responder done = std::move(job.done);
   job.done = nullptr;
   done(response);
+}
+
+void JobScheduler::FailJob(Job& job, const std::string& code,
+                           const std::string& message,
+                           std::uint64_t retry_after_ms,
+                           const char* outcome) {
+  job.outcome = outcome;
+  job.error_code = code;
+  Respond(job, protocol::ErrorResponse(job.request.id, code, message,
+                                       retry_after_ms, job.request.rid));
 }
 
 JobScheduler::ResolvedTrace JobScheduler::Resolve(
@@ -219,7 +267,8 @@ void JobScheduler::HandleUpload(Job& job) {
         const std::string token = store_.BeginUpload(
             kind, request.address_bits, request.count, request.name);
         Respond(job, protocol::TraceBeginResponse(request.id, token,
-                                                  request.count));
+                                                  request.count,
+                                                  request.rid));
         break;
       }
       case Op::kTraceChunk: {
@@ -228,23 +277,22 @@ void JobScheduler::HandleUpload(Job& job) {
         const std::uint64_t received = store_.AppendUploadChunk(
             request.upload, request.seq, refs.data(), refs.size());
         Respond(job, protocol::TraceChunkResponse(request.id, request.upload,
-                                                  request.seq, received));
+                                                  request.seq, received,
+                                                  request.rid));
         break;
       }
       default: {
         const PinnedTrace pinned = store_.FinishUpload(request.upload);
+        job.digest = pinned.digest;
         Respond(job, protocol::TraceEndResponse(request.id, pinned.digest,
-                                                pinned.stats));
+                                                pinned.stats, request.rid));
         break;
       }
     }
   } catch (const Error& e) {
-    Respond(job, protocol::ErrorResponse(request.id, e));
+    FailJob(job, support::ToString(e.category()), e.what());
   } catch (const std::exception& e) {
-    Respond(job,
-            protocol::ErrorResponse(request.id,
-                                    support::ToString(ErrorCategory::kInternal),
-                                    e.what()));
+    FailJob(job, support::ToString(ErrorCategory::kInternal), e.what());
   }
 }
 
@@ -278,12 +326,12 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
   std::unordered_map<std::string, std::size_t> joint_group_index;
 
   for (Job& job : batch) {
+    job.dequeued = now;
+    job.dispatched = true;
     if (DeadlineExpired(job, now)) {
       support::MetricsRegistry::Add(metrics_, "service.deadline_exceeded");
-      Respond(job,
-              protocol::ErrorResponse(job.request.id,
-                                      protocol::kCodeDeadlineExceeded,
-                                      "deadline passed while queued"));
+      FailJob(job, protocol::kCodeDeadlineExceeded,
+              "deadline passed while queued", 0, "deadline");
       continue;
     }
     const protocol::Request& request = job.request;
@@ -308,19 +356,20 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
     }
     const ResolvedTrace& trace = it->second;
     if (trace.failed) {
-      Respond(job, protocol::ErrorResponse(request.id, trace.code,
-                                           trace.message));
+      FailJob(job, trace.code, trace.message);
       continue;
     }
+    job.digest = trace.pinned.digest;
     switch (request.op) {
       case Op::kIngest:
         Respond(job, protocol::IngestResponse(request.id, trace.pinned.digest,
-                                              trace.pinned.stats));
+                                              trace.pinned.stats,
+                                              request.rid));
         break;
       case Op::kStats:
         Respond(job, protocol::StatsResponse(
                          request.id, trace.pinned.digest, trace.pinned.stats,
-                         trace::ToString(trace.pinned.kind)));
+                         trace::ToString(trace.pinned.kind), request.rid));
         break;
       case Op::kExplore: {
         const std::string key = trace.pinned.digest + '|' + request.engine +
@@ -361,8 +410,7 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
         }
         const ResolvedTrace& instr_trace = instr_it->second;
         if (instr_trace.failed) {
-          Respond(job, protocol::ErrorResponse(request.id, instr_trace.code,
-                                               instr_trace.message));
+          FailJob(job, instr_trace.code, instr_trace.message);
           break;
         }
         const std::string key = trace.pinned.digest + '|' +
@@ -386,12 +434,11 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
         break;
       }
       default:
-        // ping/metrics/shutdown are routed inline by the service; reaching
-        // the scheduler with one is a programming error upstream.
-        Respond(job, protocol::ErrorResponse(
-                         request.id,
-                         support::ToString(ErrorCategory::kInternal),
-                         "operation cannot be scheduled"));
+        // ping/metrics/shutdown/stats(server)/health are routed inline by
+        // the service; reaching the scheduler with one is a programming
+        // error upstream.
+        FailJob(job, support::ToString(ErrorCategory::kInternal),
+                "operation cannot be scheduled");
         break;
     }
   }
@@ -408,9 +455,11 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
                       group.options.line_words, group.options.max_index_bits,
                       job->request.k};
         if (auto hit = cache_.Lookup(key)) {
+          job->outcome = "cache_hit";
           Respond(*job, protocol::ExploreResponse(
                             job->request.id, group.digest, group.engine_name,
-                            hit->k, hit->stats, hit->points, true));
+                            hit->k, hit->stats, hit->points, true,
+                            job->request.rid));
           continue;
         }
       }
@@ -419,19 +468,18 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
     if (remaining.empty()) continue;
 
     std::shared_ptr<const analytic::Explorer> explorer;
+    bool prelude_reused = false;
     try {
-      explorer = store_.GetOrBuildExplorer(group.digest, group.options);
+      explorer = store_.GetOrBuildExplorer(group.digest, group.options,
+                                           &prelude_reused);
     } catch (const Error& e) {
       for (Job* job : remaining) {
-        Respond(*job, protocol::ErrorResponse(job->request.id, e));
+        FailJob(*job, support::ToString(e.category()), e.what());
       }
       continue;
     } catch (const std::exception& e) {
       for (Job* job : remaining) {
-        Respond(*job, protocol::ErrorResponse(
-                          job->request.id,
-                          support::ToString(ErrorCategory::kInternal),
-                          e.what()));
+        FailJob(*job, support::ToString(ErrorCategory::kInternal), e.what());
       }
       continue;
     }
@@ -445,9 +493,8 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
         if (DeadlineExpired(job, std::chrono::steady_clock::now())) {
           support::MetricsRegistry::Add(metrics_,
                                         "service.deadline_exceeded");
-          Respond(job, protocol::ErrorResponse(
-                           job.request.id, protocol::kCodeDeadlineExceeded,
-                           "deadline passed before solve"));
+          FailJob(job, protocol::kCodeDeadlineExceeded,
+                  "deadline passed before solve", 0, "deadline");
           return;
         }
         const std::uint64_t k = ResolveK(job.request, explorer->stats());
@@ -460,9 +507,11 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
         // skip a second probe for them.
         if (!job.request.has_k) {
           if (auto hit = cache_.Lookup(key)) {
+            job.outcome = "cache_hit";
             Respond(job, protocol::ExploreResponse(
                              job.request.id, group.digest, group.engine_name,
-                             hit->k, hit->stats, hit->points, true));
+                             hit->k, hit->stats, hit->points, true,
+                             job.request.rid));
             return;
           }
         }
@@ -472,16 +521,17 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
         value->k = k;
         value->points = result.points;
         cache_.Insert(key, value);
+        // "prelude_reused" marks the whole group as riding an already-built
+        // prelude — one fused pass amortised over every rid in the group.
+        if (prelude_reused) job.outcome = "prelude_reused";
         Respond(job, protocol::ExploreResponse(
                          job.request.id, group.digest, group.engine_name, k,
-                         value->stats, value->points, false));
+                         value->stats, value->points, false,
+                         job.request.rid));
       } catch (const Error& e) {
-        Respond(job, protocol::ErrorResponse(job.request.id, e));
+        FailJob(job, support::ToString(e.category()), e.what());
       } catch (const std::exception& e) {
-        Respond(job, protocol::ErrorResponse(
-                         job.request.id,
-                         support::ToString(ErrorCategory::kInternal),
-                         e.what()));
+        FailJob(job, support::ToString(ErrorCategory::kInternal), e.what());
       }
     });
   }
@@ -508,10 +558,8 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
         if (DeadlineExpired(*job, std::chrono::steady_clock::now())) {
           support::MetricsRegistry::Add(metrics_,
                                         "service.deadline_exceeded");
-          Respond(*job, protocol::ErrorResponse(
-                            job->request.id,
-                            protocol::kCodeDeadlineExceeded,
-                            "deadline passed before joint exploration"));
+          FailJob(*job, protocol::kCodeDeadlineExceeded,
+                  "deadline passed before joint exploration", 0, "deadline");
           continue;
         }
         remaining.push_back(job);
@@ -536,24 +584,23 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
         cache_.Insert(key, value);
       } catch (const Error& e) {
         for (Job* job : group.jobs) {
-          Respond(*job, protocol::ErrorResponse(job->request.id, e));
+          FailJob(*job, support::ToString(e.category()), e.what());
         }
         continue;
       } catch (const std::exception& e) {
         for (Job* job : group.jobs) {
-          Respond(*job, protocol::ErrorResponse(
-                            job->request.id,
-                            support::ToString(ErrorCategory::kInternal),
-                            e.what()));
+          FailJob(*job, support::ToString(ErrorCategory::kInternal),
+                  e.what());
         }
         continue;
       }
     }
     for (Job* job : group.jobs) {
+      if (cached) job->outcome = "cache_hit";
       Respond(*job, protocol::ExploreJointResponse(
                         job->request.id, group.digest, group.digest_instr,
                         group.engine_name, group.space_name, group.prune,
-                        cached, payload));
+                        cached, payload, job->request.rid));
     }
   }
 }

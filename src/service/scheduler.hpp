@@ -35,6 +35,7 @@
 #include "service/protocol.hpp"
 #include "service/result_cache.hpp"
 #include "service/trace_store.hpp"
+#include "support/log.hpp"
 #include "support/pool.hpp"
 
 namespace ces::service {
@@ -45,6 +46,9 @@ class JobScheduler {
     unsigned jobs = 0;                  // 0 = hardware concurrency
     std::size_t queue_limit = 256;      // admission bound (jobs, not bytes)
     std::uint64_t retry_after_ms = 100; // shed hint for clients
+    // One structured line per finished request (see support/log.hpp);
+    // nullptr disables request logging.
+    support::RequestLog* request_log = nullptr;
   };
   using Responder = std::function<void(std::string)>;
 
@@ -68,14 +72,25 @@ class JobScheduler {
   void Resume();
 
   std::size_t queue_depth() const;
+  bool draining() const;
+  // The pool's worker count (the resolved `jobs` option).
+  unsigned jobs() const { return pool_.jobs(); }
 
  private:
   struct Job {
     protocol::Request request;
     Responder done;
     std::chrono::steady_clock::time_point enqueued;
+    // Set when the dispatcher's gulp picks the job up; sheds never get one,
+    // so their whole latency is queue time.
+    std::chrono::steady_clock::time_point dequeued;
+    bool dispatched = false;
     std::chrono::steady_clock::time_point deadline;  // valid if has_deadline
     bool has_deadline = false;
+    // Request-log attribution, filled in as the job progresses.
+    std::string digest;      // resolved content digest, when known
+    std::string outcome;     // see RequestLogEntry; "" logs as "computed"
+    std::string error_code;  // error/shed code, "" on success
   };
   struct ResolvedTrace {
     PinnedTrace pinned;
@@ -91,6 +106,11 @@ class JobScheduler {
   void HandleUpload(Job& job);
   ResolvedTrace Resolve(const protocol::Request& request, bool force_ingest);
   void Respond(Job& job, const std::string& response);
+  // Marks the job failed (outcome + error code for the log) and responds
+  // with the matching error line. `outcome` defaults to "error"; shed and
+  // deadline paths pass their own.
+  void FailJob(Job& job, const std::string& code, const std::string& message,
+               std::uint64_t retry_after_ms = 0, const char* outcome = "error");
   bool DeadlineExpired(const Job& job, std::chrono::steady_clock::time_point now);
 
   TraceStore& store_;

@@ -1,7 +1,10 @@
 #include "service/service.hpp"
 
+#include <unistd.h>
+
 #include <utility>
 
+#include "support/build_info.hpp"
 #include "support/error.hpp"
 #include "support/metrics.hpp"
 
@@ -18,6 +21,7 @@ ExplorationService::ExplorationService(Options options)
   scheduler_options.jobs = options_.jobs;
   scheduler_options.queue_limit = options_.queue_limit;
   scheduler_options.retry_after_ms = options_.retry_after_ms;
+  scheduler_options.request_log = options_.request_log;
   scheduler_ = std::make_unique<JobScheduler>(store_, cache_,
                                               scheduler_options,
                                               options_.metrics);
@@ -27,8 +31,62 @@ ExplorationService::~ExplorationService() { Drain(); }
 
 void ExplorationService::Drain() { scheduler_->Drain(); }
 
+std::string ExplorationService::NextRid() {
+  return "r" + std::to_string(
+                   rid_counter_.fetch_add(1, std::memory_order_relaxed) + 1);
+}
+
+protocol::ServerInfo ExplorationService::Snapshot() const {
+  protocol::ServerInfo info;
+  info.uptime_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started_)
+          .count());
+  info.git_sha = support::GitSha();
+  info.pid = static_cast<std::uint64_t>(::getpid());
+  info.jobs = scheduler_->jobs();
+  if (options_.metrics != nullptr) {
+    info.connections_live = options_.metrics->gauge("service.connections.live");
+    info.connections_total = options_.metrics->counter("service.connections");
+    info.shed_total = options_.metrics->counter("service.queue.shed");
+  }
+  info.queue_depth = scheduler_->queue_depth();
+  info.queue_limit = options_.queue_limit;
+  info.retry_after_ms = options_.retry_after_ms;
+  info.draining = scheduler_->draining();
+  info.traces_pinned = store_.pinned_traces();
+  info.uploads_open = store_.open_uploads();
+  info.requests_total = rid_counter_.load(std::memory_order_relaxed);
+  return info;
+}
+
+void ExplorationService::LogInline(const std::string& rid,
+                                   const std::string& id, const char* op,
+                                   const char* outcome,
+                                   const std::string& error_code,
+                                   std::uint64_t start_us,
+                                   std::size_t response_bytes) {
+  if (options_.request_log == nullptr) return;
+  support::RequestLogEntry entry;
+  entry.ts_us = options_.request_log->NowUs();
+  entry.rid = rid;
+  entry.id = id;
+  entry.op = op;
+  entry.outcome = outcome;
+  entry.error = error_code;
+  entry.exec_us = entry.ts_us > start_us ? entry.ts_us - start_us : 0;
+  entry.total_us = entry.exec_us;
+  entry.bytes = response_bytes;
+  options_.request_log->Write(entry);
+}
+
 void ExplorationService::Handle(const std::string& line, Responder done) {
   support::MetricsRegistry::Add(options_.metrics, "service.lines");
+  const std::uint64_t start_us =
+      support::RequestLog::NowUs(options_.request_log);
+  // Every line gets a rid, even one that fails to parse — the log line for
+  // a rejected request must still be correlatable with the error response.
+  const std::string rid = NextRid();
   protocol::Request request;
   try {
     request = ParseRequest(line);
@@ -36,41 +94,91 @@ void ExplorationService::Handle(const std::string& line, Responder done) {
     support::MetricsRegistry::Add(options_.metrics, "service.bad_requests");
     // Best-effort id echo: a schema-invalid line often still carries a
     // readable id, and a pipelining client needs it to correlate the error.
-    done(protocol::ErrorResponse(protocol::ExtractRequestId(line), e));
+    const std::string id = protocol::ExtractRequestId(line);
+    const std::string response = protocol::ErrorResponse(id, e, rid);
+    LogInline(rid, id, "?", "error", support::ToString(e.category()),
+              start_us, response.size());
+    done(response);
     return;
   } catch (const std::exception& e) {
     support::MetricsRegistry::Add(options_.metrics, "service.bad_requests");
-    done(protocol::ErrorResponse(protocol::ExtractRequestId(line),
-                                 support::ToString(ErrorCategory::kInternal),
-                                 e.what()));
+    const std::string id = protocol::ExtractRequestId(line);
+    const std::string response = protocol::ErrorResponse(
+        id, support::ToString(ErrorCategory::kInternal), e.what(), 0, rid);
+    LogInline(rid, id, "?", "error",
+              support::ToString(ErrorCategory::kInternal), start_us,
+              response.size());
+    done(response);
     return;
   }
+  request.rid = rid;
 
   switch (request.op) {
-    case Op::kPing:
-      done(protocol::PingResponse(request.id));
+    case Op::kPing: {
+      const std::string response = protocol::PingResponse(request.id, rid);
+      LogInline(rid, request.id, "ping", "inline", "", start_us,
+                response.size());
+      done(response);
       return;
+    }
     case Op::kMetrics: {
       const std::string json = options_.metrics != nullptr
                                    ? options_.metrics->ToJson(true)
                                    : std::string("{}");
-      done(protocol::MetricsResponse(request.id, json));
+      const std::string response =
+          protocol::MetricsResponse(request.id, json, rid);
+      LogInline(rid, request.id, "metrics", "inline", "", start_us,
+                response.size());
+      done(response);
       return;
     }
-    case Op::kShutdown:
+    case Op::kStats: {
+      if (!request.trace.empty() || !request.digest.empty()) {
+        break;  // trace statistics — scheduled like any other trace op
+      }
+      // The server snapshot is answered inline: an introspection probe that
+      // queued behind the backlog it is probing would be useless.
+      const std::string json = options_.metrics != nullptr
+                                   ? options_.metrics->ToJson(true, true)
+                                   : std::string("{}");
+      const std::string response =
+          protocol::ServerStatsResponse(request.id, Snapshot(), json, rid);
+      LogInline(rid, request.id, "stats", "inline", "", start_us,
+                response.size());
+      done(response);
+      return;
+    }
+    case Op::kHealth: {
+      const std::string response =
+          protocol::HealthResponse(request.id, Snapshot(), rid);
+      LogInline(rid, request.id, "health", "inline", "", start_us,
+                response.size());
+      done(response);
+      return;
+    }
+    case Op::kShutdown: {
       if (!options_.on_shutdown_request) {
-        done(protocol::ErrorResponse(
+        const std::string response = protocol::ErrorResponse(
             request.id, support::ToString(ErrorCategory::kUnsupported),
-            "shutdown op disabled on this server"));
+            "shutdown op disabled on this server", 0, rid);
+        LogInline(rid, request.id, "shutdown", "error",
+                  support::ToString(ErrorCategory::kUnsupported), start_us,
+                  response.size());
+        done(response);
         return;
       }
-      done(protocol::ShutdownResponse(request.id));
+      const std::string response =
+          protocol::ShutdownResponse(request.id, rid);
+      LogInline(rid, request.id, "shutdown", "inline", "", start_us,
+                response.size());
+      done(response);
       options_.on_shutdown_request();
       return;
+    }
     default:
-      scheduler_->Submit(std::move(request), std::move(done));
-      return;
+      break;
   }
+  scheduler_->Submit(std::move(request), std::move(done));
 }
 
 }  // namespace ces::service

@@ -15,6 +15,8 @@
 // through the JobScheduler's bounded queue.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -23,6 +25,7 @@
 #include "service/result_cache.hpp"
 #include "service/scheduler.hpp"
 #include "service/trace_store.hpp"
+#include "support/log.hpp"
 
 namespace ces::service {
 
@@ -39,6 +42,9 @@ class ExplorationService {
     // directory under the system temp path.
     std::string spill_dir;
     support::MetricsRegistry* metrics = nullptr;
+    // One structured NDJSON line per finished request (support/log.hpp);
+    // nullptr disables request logging.
+    support::RequestLog* request_log = nullptr;
     // Invoked (after the response is sent) when a client issues the
     // shutdown op. Unset = shutdown op is rejected as unsupported.
     std::function<void()> on_shutdown_request;
@@ -61,11 +67,26 @@ class ExplorationService {
   ResultCache& cache() { return cache_; }
   JobScheduler& scheduler() { return *scheduler_; }
 
+  // The live snapshot behind the `stats` (server form) and `health` ops;
+  // also what the --prometheus dump and ops tooling read.
+  protocol::ServerInfo Snapshot() const;
+
  private:
+  // Stamps the next server-assigned request id ("r1", "r2", ...).
+  std::string NextRid();
+  // Logs an inline-answered (never queued) request or an unparseable line.
+  void LogInline(const std::string& rid, const std::string& id,
+                 const char* op, const char* outcome,
+                 const std::string& error_code, std::uint64_t start_us,
+                 std::size_t response_bytes);
+
   Options options_;
   TraceStore store_;
   ResultCache cache_;
   std::unique_ptr<JobScheduler> scheduler_;
+  std::atomic<std::uint64_t> rid_counter_{0};
+  const std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
 };
 
 }  // namespace ces::service

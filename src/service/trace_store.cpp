@@ -479,7 +479,8 @@ void TraceStore::AbortUpload(const std::string& token) {
 }
 
 std::shared_ptr<const analytic::Explorer> TraceStore::GetOrBuildExplorer(
-    const std::string& digest, const analytic::ExplorerOptions& options) {
+    const std::string& digest, const analytic::ExplorerOptions& options,
+    bool* reused) {
   const PreludeKey key{options.engine, options.prelude, options.line_words,
                        options.max_index_bits};
   std::shared_ptr<const trace::Trace> trace;
@@ -499,7 +500,9 @@ std::shared_ptr<const analytic::Explorer> TraceStore::GetOrBuildExplorer(
     if (prelude != it->second.preludes.end()) {
       future = prelude->second;
       support::MetricsRegistry::Add(metrics_, "service.prelude.reused");
+      if (reused != nullptr) *reused = true;
     } else {
+      if (reused != nullptr) *reused = false;
       future = promise.get_future().share();
       it->second.preludes.emplace(key, future);
       trace = it->second.trace;

@@ -95,8 +95,12 @@ class TraceStore {
   // options.line_words, options.max_index_bits), built on first use.
   // Concurrent callers for the same key share one build. Throws
   // support::Error (kValidation) when the digest is not pinned.
+  // When `reused` is non-null it is set to whether an already-pinned prelude
+  // served this call (true) or this call built it (false) — the scheduler's
+  // request log attributes per-request cost with it.
   std::shared_ptr<const analytic::Explorer> GetOrBuildExplorer(
-      const std::string& digest, const analytic::ExplorerOptions& options);
+      const std::string& digest, const analytic::ExplorerOptions& options,
+      bool* reused = nullptr);
 
   // --- Chunked streaming ingest ------------------------------------------
   //

@@ -1,0 +1,20 @@
+#include "support/build_info.hpp"
+
+#include <unistd.h>
+
+namespace ces::support {
+
+#ifndef CES_GIT_SHA
+#define CES_GIT_SHA "unknown"
+#endif
+
+const char* GitSha() { return CES_GIT_SHA; }
+
+std::string Hostname() {
+  char buf[256];
+  if (gethostname(buf, sizeof(buf)) != 0) return "unknown";
+  buf[sizeof(buf) - 1] = '\0';
+  return buf[0] == '\0' ? std::string("unknown") : std::string(buf);
+}
+
+}  // namespace ces::support

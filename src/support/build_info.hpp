@@ -1,0 +1,20 @@
+// Build provenance baked in at configure time.
+//
+// The git SHA is captured by CMake (`git rev-parse HEAD` in
+// src/support/CMakeLists.txt) and compiled into this one translation unit,
+// so the daemon's `health` op and the ces-bench-v1 `meta` block can state
+// which commit produced them. Builds from a tarball (no .git) report
+// "unknown".
+#pragma once
+
+#include <string>
+
+namespace ces::support {
+
+// The abbreviated (12-hex) commit SHA of the source tree, or "unknown".
+const char* GitSha();
+
+// The machine's hostname, or "unknown" when it cannot be read.
+std::string Hostname();
+
+}  // namespace ces::support

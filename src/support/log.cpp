@@ -1,0 +1,62 @@
+#include "support/log.hpp"
+
+#include "support/json.hpp"
+
+namespace ces::support {
+
+std::string FormatRequestLogLine(const RequestLogEntry& entry) {
+  std::string out;
+  out.reserve(192);
+  out += "{\"ts_us\":" + std::to_string(entry.ts_us);
+  out += ",\"rid\":" + JsonQuote(entry.rid);
+  out += ",\"id\":" + JsonQuote(entry.id);
+  out += ",\"op\":" + JsonQuote(entry.op);
+  out += ",\"trace\":" + JsonQuote(entry.trace);
+  out += ",\"digest\":" + JsonQuote(entry.digest);
+  out += ",\"outcome\":" + JsonQuote(entry.outcome);
+  out += ",\"error\":" + JsonQuote(entry.error);
+  out += ",\"queue_us\":" + std::to_string(entry.queue_us);
+  out += ",\"exec_us\":" + std::to_string(entry.exec_us);
+  out += ",\"total_us\":" + std::to_string(entry.total_us);
+  out += ",\"bytes\":" + std::to_string(entry.bytes);
+  out += '}';
+  return out;
+}
+
+RequestLog::~RequestLog() {
+  if (file_ != nullptr && owns_file_) std::fclose(file_);
+}
+
+bool RequestLog::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr && owns_file_) std::fclose(file_);
+  file_ = nullptr;
+  owns_file_ = false;
+  if (path == "-") {
+    file_ = stdout;
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return false;
+  file_ = f;
+  owns_file_ = true;
+  return true;
+}
+
+std::uint64_t RequestLog::NowUs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void RequestLog::Write(const RequestLogEntry& entry) {
+  const std::string line = FormatRequestLogLine(entry);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+}  // namespace ces::support

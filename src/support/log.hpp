@@ -1,0 +1,85 @@
+// Structured JSON request logging for the exploration service.
+//
+// One NDJSON line per finished request — completed, shed, or failed — so a
+// live daemon can be tailed (`--log=-`) or post-processed without scraping
+// free-form text. Lines keep a fixed field order (see RequestLogEntry) so
+// downstream tools can diff and grep them positionally; every string value
+// goes through support::JsonQuote, which is what keeps hostile trace names
+// (quotes, control bytes, non-UTF8) from corrupting the stream.
+//
+// The sink is deliberately simple: an append-only FILE* ("-" means stdout)
+// guarded by one mutex, flushed per line so `tail -f` and crash post-mortems
+// see every completed request. Request logging sits on the response path,
+// not the compute path, so a single lock is not a throughput concern at the
+// request rates the scheduler admits.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace ces::support {
+
+// Everything the service knows about one finished request. Fields are
+// serialised in declaration order; absent strings are emitted as "" rather
+// than omitted so every line has the same shape.
+struct RequestLogEntry {
+  std::uint64_t ts_us = 0;    // microseconds since the log was opened
+  std::string rid;            // server-assigned request id ("r123")
+  std::string id;             // client-supplied id (best-effort on bad lines)
+  std::string op;             // wire op name, e.g. "explore"
+  std::string trace;          // trace ref/name if the request carried one
+  std::string digest;         // resolved content digest (hex) if known
+  std::string outcome;        // computed|cache_hit|prelude_reused|shed|
+                              // deadline|error|inline
+  std::string error;          // error category name, "" on success
+  std::uint64_t queue_us = 0;  // admission -> dequeue
+  std::uint64_t exec_us = 0;   // dequeue -> response built
+  std::uint64_t total_us = 0;  // admission -> response built
+  std::uint64_t bytes = 0;     // serialised response size
+};
+
+// Renders the fixed-order JSON object for one entry (no trailing newline).
+// Exposed separately from the sink so tests can pin the schema.
+std::string FormatRequestLogLine(const RequestLogEntry& entry);
+
+// Thread-safe NDJSON sink. Open() with a path or "-" for stdout; Write()
+// appends one line and flushes. A default-constructed / failed-open log
+// swallows writes, so callers thread a RequestLog* unconditionally.
+class RequestLog {
+ public:
+  RequestLog() = default;
+  ~RequestLog();
+
+  RequestLog(const RequestLog&) = delete;
+  RequestLog& operator=(const RequestLog&) = delete;
+
+  // Returns false (and stays disabled) when the file cannot be opened.
+  bool Open(const std::string& path);
+  bool enabled() const { return file_ != nullptr; }
+
+  void Write(const RequestLogEntry& entry);
+
+  // Microseconds since this log object was constructed — the ts_us base, so
+  // one log's timestamps are mutually comparable without a wall clock.
+  std::uint64_t NowUs() const;
+
+  // Null-safe helpers mirroring MetricsRegistry's style.
+  static void Write(RequestLog* log, const RequestLogEntry& entry) {
+    if (log != nullptr) log->Write(entry);
+  }
+  static std::uint64_t NowUs(const RequestLog* log) {
+    return log != nullptr ? log->NowUs() : 0;
+  }
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+  std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  bool owns_file_ = false;
+};
+
+}  // namespace ces::support

@@ -58,17 +58,23 @@ std::pair<std::uint64_t, std::uint64_t> MetricsRegistry::HistogramBucketRange(
   return {lo, bucket >= 64 ? ~0ull : (lo << 1) - 1};
 }
 
-void MetricsRegistry::ObserveHistogram(const std::string& name,
-                                       std::uint64_t value,
-                                       std::uint64_t weight) {
-  if (weight == 0) return;
+void MetricsRegistry::ObserveHistogramLocked(
+    std::map<std::string, HistogramSnapshot>& into, const std::string& name,
+    std::uint64_t value, std::uint64_t weight) {
   const std::size_t bucket = HistogramBucket(value);
-  std::lock_guard<std::mutex> lock(mutex_);
-  HistogramSnapshot& hist = histograms_[name];
+  HistogramSnapshot& hist = into[name];
   if (bucket >= hist.buckets.size()) hist.buckets.resize(bucket + 1, 0);
   hist.buckets[bucket] += weight;
   hist.count += weight;
   hist.sum += value * weight;
+}
+
+void MetricsRegistry::ObserveHistogram(const std::string& name,
+                                       std::uint64_t value,
+                                       std::uint64_t weight) {
+  if (weight == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ObserveHistogramLocked(histograms_, name, value, weight);
 }
 
 MetricsRegistry::HistogramSnapshot MetricsRegistry::histogram(
@@ -78,7 +84,76 @@ MetricsRegistry::HistogramSnapshot MetricsRegistry::histogram(
   return it == histograms_.end() ? HistogramSnapshot{} : it->second;
 }
 
-std::string MetricsRegistry::ToJson(bool include_volatile) const {
+void MetricsRegistry::ObserveVolatileHistogram(const std::string& name,
+                                               std::uint64_t value,
+                                               std::uint64_t weight) {
+  if (weight == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ObserveHistogramLocked(volatile_histograms_, name, value, weight);
+}
+
+MetricsRegistry::HistogramSnapshot MetricsRegistry::volatile_histogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = volatile_histograms_.find(name);
+  return it == volatile_histograms_.end() ? HistogramSnapshot{} : it->second;
+}
+
+std::uint64_t MetricsRegistry::HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0;
+  // Rank of the q-quantile observation, 1-based and clamped into [1, count].
+  std::uint64_t rank = 1;
+  if (q >= 1.0) {
+    rank = count;
+  } else if (q > 0.0) {
+    const double scaled = q * static_cast<double>(count);
+    rank = static_cast<std::uint64_t>(scaled);
+    if (static_cast<double>(rank) < scaled) ++rank;  // ceil
+    if (rank == 0) rank = 1;
+    if (rank > count) rank = count;
+  }
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) return HistogramBucketRange(b).second;
+  }
+  return HistogramBucketRange(buckets.empty() ? 0 : buckets.size() - 1).second;
+}
+
+namespace {
+
+void AppendHistogramJson(
+    std::string& out, const char* section,
+    const std::map<std::string, MetricsRegistry::HistogramSnapshot>& hists,
+    bool include_percentiles) {
+  out += ",\"";
+  out += section;
+  out += "\":{";
+  bool first = true;
+  for (const auto& [name, hist] : hists) {
+    if (!first) out += ',';
+    first = false;
+    out += JsonQuote(name) + ":{\"buckets\":[";
+    for (std::size_t b = 0; b < hist.buckets.size(); ++b) {
+      if (b > 0) out += ',';
+      out += std::to_string(hist.buckets[b]);
+    }
+    out += "],\"count\":" + std::to_string(hist.count) +
+           ",\"sum\":" + std::to_string(hist.sum);
+    if (include_percentiles) {
+      out += ",\"p50\":" + std::to_string(hist.Percentile(0.50)) +
+             ",\"p90\":" + std::to_string(hist.Percentile(0.90)) +
+             ",\"p99\":" + std::to_string(hist.Percentile(0.99));
+    }
+    out += '}';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson(bool include_volatile,
+                                    bool include_percentiles) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\"counters\":{";
   bool first = true;
@@ -90,21 +165,9 @@ std::string MetricsRegistry::ToJson(bool include_volatile) const {
   out += '}';
   if (!histograms_.empty()) {
     // Deterministic like the counters: buckets depend only on the observed
-    // values, so this section is part of the byte-stable surface.
-    out += ",\"histograms\":{";
-    first = true;
-    for (const auto& [name, hist] : histograms_) {
-      if (!first) out += ',';
-      first = false;
-      out += JsonQuote(name) + ":{\"buckets\":[";
-      for (std::size_t b = 0; b < hist.buckets.size(); ++b) {
-        if (b > 0) out += ',';
-        out += std::to_string(hist.buckets[b]);
-      }
-      out += "],\"count\":" + std::to_string(hist.count) +
-             ",\"sum\":" + std::to_string(hist.sum) + '}';
-    }
-    out += '}';
+    // values, so this section is part of the byte-stable surface (the
+    // optional percentiles are derived from the buckets and inherit it).
+    AppendHistogramJson(out, "histograms", histograms_, include_percentiles);
   }
   if (include_volatile) {
     out += ",\"gauges\":{";
@@ -126,8 +189,76 @@ std::string MetricsRegistry::ToJson(bool include_volatile) const {
       out += JsonQuote(name) + ':' + buf;
     }
     out += '}';
+    if (!volatile_histograms_.empty()) {
+      AppendHistogramJson(out, "volatile_histograms", volatile_histograms_,
+                          include_percentiles);
+    }
   }
   out += '}';
+  return out;
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; the registry's
+// dotted names map onto that with dots (and any other hostile byte) as
+// underscores, under a "ces_" namespace prefix.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "ces_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void AppendPrometheusHistogram(
+    std::string& out, const std::string& name,
+    const MetricsRegistry::HistogramSnapshot& hist) {
+  const std::string pname = PrometheusName(name);
+  out += "# TYPE " + pname + " histogram\n";
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < hist.buckets.size(); ++b) {
+    cumulative += hist.buckets[b];
+    const std::uint64_t hi = MetricsRegistry::HistogramBucketRange(b).second;
+    out += pname + "_bucket{le=\"" + std::to_string(hi) +
+           "\"} " + std::to_string(cumulative) + '\n';
+  }
+  out += pname + "_bucket{le=\"+Inf\"} " + std::to_string(hist.count) + '\n';
+  out += pname + "_sum " + std::to_string(hist.sum) + '\n';
+  out += pname + "_count " + std::to_string(hist.count) + '\n';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    const std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + ' ' + std::to_string(value) + '\n';
+  }
+  for (const auto& [name, value] : gauges_) {
+    const std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + ' ' + std::to_string(value) + '\n';
+  }
+  for (const auto& [name, span] : spans_) {
+    const std::string pname = PrometheusName(name) + "_seconds";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", span.seconds);
+    out += "# TYPE " + pname + " summary\n";
+    out += pname + "_sum " + buf + '\n';
+    out += pname + "_count " + std::to_string(span.count) + '\n';
+  }
+  for (const auto& [name, hist] : histograms_) {
+    AppendPrometheusHistogram(out, name, hist);
+  }
+  for (const auto& [name, hist] : volatile_histograms_) {
+    AppendPrometheusHistogram(out, name, hist);
+  }
   return out;
 }
 

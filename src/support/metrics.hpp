@@ -59,10 +59,26 @@ class MetricsRegistry {
     std::vector<std::uint64_t> buckets;  // buckets[b]: see HistogramBucket
     std::uint64_t count = 0;             // total observations
     std::uint64_t sum = 0;               // sum of observed values
+
+    // The value at quantile q in (0, 1]: the upper bound of the bucket
+    // holding the ceil(q * count)-th smallest observation. Exact for the
+    // bucketed distribution (every observation in a bucket is counted at
+    // the bucket's upper bound), deterministic because the buckets are.
+    // Returns 0 for an empty histogram; q <= 0 reads the first observation
+    // and q >= 1 the last.
+    std::uint64_t Percentile(double q) const;
   };
   void ObserveHistogram(const std::string& name, std::uint64_t value,
                         std::uint64_t weight = 1);
   HistogramSnapshot histogram(const std::string& name) const;
+
+  // Volatile histograms: same bucketing, but for wall-clock-derived values
+  // (request latencies, queue waits) whose distribution varies run to run.
+  // Excluded from deterministic JSON; emitted with the gauges/spans when
+  // include_volatile is set.
+  void ObserveVolatileHistogram(const std::string& name, std::uint64_t value,
+                                std::uint64_t weight = 1);
+  HistogramSnapshot volatile_histogram(const std::string& name) const;
 
   // The bucket index of `value`: 0 for 0, otherwise floor(log2(value)) + 1.
   static std::size_t HistogramBucket(std::uint64_t value);
@@ -71,9 +87,20 @@ class MetricsRegistry {
       std::size_t bucket);
 
   // Stable JSON rendering: keys sorted; counters always present and
-  // histograms whenever non-empty (both deterministic); gauges and spans
-  // only when include_volatile is true. No trailing newline.
-  std::string ToJson(bool include_volatile = false) const;
+  // histograms whenever non-empty (both deterministic); gauges, spans and
+  // volatile histograms only when include_volatile is true. When
+  // include_percentiles is set every histogram additionally carries exact
+  // "p50"/"p90"/"p99" fields (derived from the buckets, so the section
+  // stays deterministic where the buckets are). No trailing newline.
+  std::string ToJson(bool include_volatile = false,
+                     bool include_percentiles = false) const;
+
+  // Prometheus text exposition (version 0.0.4) of the full snapshot,
+  // volatile series included: counters and gauges as scalar samples,
+  // histograms (deterministic and volatile) as cumulative `_bucket{le=...}`
+  // series with `_sum`/`_count`, spans as `_seconds_sum`/`_seconds_count`.
+  // Metric names are prefixed "ces_" with dots mapped to underscores.
+  std::string ToPrometheus() const;
 
   // Null-safe helpers so instrumented code never branches on its own.
   static void Add(MetricsRegistry* metrics, const std::string& name,
@@ -93,6 +120,14 @@ class MetricsRegistry {
                                std::uint64_t weight = 1) {
     if (metrics != nullptr) metrics->ObserveHistogram(name, value, weight);
   }
+  static void ObserveVolatileHistogram(MetricsRegistry* metrics,
+                                       const std::string& name,
+                                       std::uint64_t value,
+                                       std::uint64_t weight = 1) {
+    if (metrics != nullptr) {
+      metrics->ObserveVolatileHistogram(name, value, weight);
+    }
+  }
 
  private:
   struct Span {
@@ -100,11 +135,16 @@ class MetricsRegistry {
     std::uint64_t count = 0;
   };
 
+  void ObserveHistogramLocked(std::map<std::string, HistogramSnapshot>& into,
+                              const std::string& name, std::uint64_t value,
+                              std::uint64_t weight);
+
   mutable std::mutex mutex_;
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, std::uint64_t> gauges_;
   std::map<std::string, Span> spans_;
   std::map<std::string, HistogramSnapshot> histograms_;
+  std::map<std::string, HistogramSnapshot> volatile_histograms_;
 };
 
 // RAII wall-time span: records the elapsed time into `registry` (if any) on

@@ -29,9 +29,12 @@
 #include <filesystem>
 #include <functional>
 #include <future>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "json_validator.hpp"
 
 #include "analytic/explorer.hpp"
 #include "explore/joint.hpp"
@@ -43,6 +46,8 @@
 #include "service/service.hpp"
 #include "service/trace_store.hpp"
 #include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/rng.hpp"
 #include "trace/strip.hpp"
@@ -1319,6 +1324,229 @@ TEST(ServerEndToEnd, FinishedConnectionsAreReapedWhileRunning) {
   }
   EXPECT_TRUE(reaped);
   EXPECT_GE(metrics.counter("service.connections"), 13u);
+}
+
+// --------------------------------------------------------------------------
+// Telemetry: request ids, the structured request log, stats/health ops
+
+// Splits an NDJSON file into its non-empty lines.
+std::vector<std::string> ReadLogLines(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  EXPECT_NE(f, nullptr) << path;
+  std::string content;
+  if (f != nullptr) {
+    char buffer[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+      content.append(buffer, n);
+    }
+    std::fclose(f);
+  }
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < content.size()) {
+    const std::size_t newline = content.find('\n', start);
+    if (newline == std::string::npos) break;
+    if (newline > start) lines.push_back(content.substr(start, newline - start));
+    start = newline + 1;
+  }
+  return lines;
+}
+
+// The fixed field order every request-log line must carry, verbatim.
+const char* const kLogFields[] = {"ts_us",   "rid",     "id",     "op",
+                                  "trace",   "digest",  "outcome", "error",
+                                  "queue_us", "exec_us", "total_us", "bytes"};
+
+TEST(Telemetry, RequestLogCoversEveryPathWithFixedSchema) {
+  const std::string log_path = TempPath(".ndjson");
+  const std::string hostile = TempPath("evil\"na\\me\n.trc");
+  MetricsRegistry metrics;
+  ces::support::RequestLog log;
+  ASSERT_TRUE(log.Open(log_path));
+  {
+    ces::service::ExplorationService::Options options;
+    options.jobs = 2;
+    options.metrics = &metrics;
+    options.request_log = &log;
+    ces::service::ExplorationService service(options);
+
+    CollectedResponse ping, computed, hit, io_error, server_stats, bad;
+    service.Handle("{\"id\":\"p\",\"op\":\"ping\"}", ping.responder());
+    EXPECT_TRUE(ping.get().ok);
+    service.Handle("{\"id\":\"e1\",\"op\":\"explore\",\"trace\":\"crc\","
+                   "\"k\":4}",
+                   computed.responder());
+    EXPECT_TRUE(computed.get().ok);
+    service.Handle("{\"id\":\"e2\",\"op\":\"explore\",\"trace\":\"crc\","
+                   "\"k\":4}",
+                   hit.responder());
+    EXPECT_TRUE(hit.get().cached);
+    // A hostile trace reference: the error path must keep the log valid.
+    service.Handle("{\"id\":\"x\",\"op\":\"stats\",\"trace\":" +
+                       ces::support::JsonQuote(hostile) + "}",
+                   io_error.responder());
+    EXPECT_EQ(io_error.get().error_code, "io");
+    service.Handle("{\"id\":\"s\",\"op\":\"stats\"}",
+                   server_stats.responder());
+    EXPECT_TRUE(server_stats.get().ok);
+    service.Handle("{nope", bad.responder());
+    EXPECT_EQ(bad.get().error_code, "parse");
+    service.Drain();
+  }
+
+  const std::vector<std::string> lines = ReadLogLines(log_path);
+  ASSERT_EQ(lines.size(), 6u);
+  std::set<std::string> outcomes;
+  for (const std::string& line : lines) {
+    // Every line is standalone-valid JSON with the exact field order: the
+    // next key's quoted name must appear, in sequence, as written.
+    const ces::testjson::JsonValidator validator(line);
+    EXPECT_TRUE(validator.Valid()) << validator.error() << "\n" << line;
+    std::size_t cursor = 0;
+    for (const char* field : kLogFields) {
+      const std::string needle = std::string("\"") + field + "\":";
+      const std::size_t at = line.find(needle, cursor);
+      ASSERT_NE(at, std::string::npos) << field << " missing in " << line;
+      cursor = at + needle.size();
+    }
+    // outcome is the 7th field; extract it for the coverage check below.
+    const std::size_t at = line.find("\"outcome\":\"");
+    ASSERT_NE(at, std::string::npos);
+    const std::size_t begin = at + 11;
+    outcomes.insert(line.substr(begin, line.find('"', begin) - begin));
+  }
+  EXPECT_TRUE(outcomes.count("inline"));     // ping, server stats
+  EXPECT_TRUE(outcomes.count("computed"));   // first explore
+  EXPECT_TRUE(outcomes.count("cache_hit"));  // repeat explore
+  EXPECT_TRUE(outcomes.count("error"));      // hostile trace + bad line
+  // The hostile trace name survived JsonQuote round-trippable (escaped, not
+  // raw): no line may contain a raw newline (NDJSON framing) and the name's
+  // quote must be escaped.
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+  }
+  const auto hostile_line =
+      std::find_if(lines.begin(), lines.end(), [](const std::string& line) {
+        return line.find("\"id\":\"x\"") != std::string::npos;
+      });
+  ASSERT_NE(hostile_line, lines.end());
+  EXPECT_NE(hostile_line->find("evil\\\"na\\\\me\\n.trc"), std::string::npos)
+      << *hostile_line;
+  // Latency accounting: computed explores carry exec time and total >= queue.
+  const auto computed_line =
+      std::find_if(lines.begin(), lines.end(), [](const std::string& line) {
+        return line.find("\"outcome\":\"computed\"") != std::string::npos;
+      });
+  ASSERT_NE(computed_line, lines.end());
+  EXPECT_NE(computed_line->find("\"digest\":\"sha256:"), std::string::npos);
+  std::remove(log_path.c_str());
+}
+
+TEST(Telemetry, RidsAreUniqueAndEchoedThroughBatchedFanout) {
+  MetricsRegistry metrics;
+  ServerFixture fixture(&metrics);
+  ces::service::Client client = fixture.NewClient();
+
+  // A mixed pipelined batch: same-trace explores that the scheduler batches
+  // into one fused pass, plus inline ops — every response must carry its
+  // own server-assigned rid.
+  std::vector<std::string> lines;
+  for (int k = 1; k <= 6; ++k) {
+    lines.push_back("{\"id\":\"e" + std::to_string(k) +
+                    "\",\"op\":\"explore\",\"trace\":\"crc\",\"k\":" +
+                    std::to_string(k) + "}");
+  }
+  lines.push_back("{\"id\":\"p\",\"op\":\"ping\"}");
+  lines.push_back("{\"id\":\"s\",\"op\":\"stats\"}");
+  const auto responses = client.Batch(lines);
+  ASSERT_EQ(responses.size(), lines.size());
+  std::set<std::string> rids;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_TRUE(responses[i].ok) << responses[i].raw;
+    ASSERT_FALSE(responses[i].rid.empty()) << responses[i].raw;
+    EXPECT_EQ(responses[i].rid[0], 'r');
+    rids.insert(responses[i].rid);
+  }
+  EXPECT_EQ(rids.size(), lines.size());  // one rid per request, no reuse
+
+  // Error responses carry a rid too.
+  const auto error = client.Request("{\"id\":\"bad\",\"op\":\"nope\"}");
+  EXPECT_FALSE(error.ok);
+  EXPECT_FALSE(error.rid.empty());
+  EXPECT_EQ(rids.count(error.rid), 0u);
+  fixture.server->RequestShutdown();
+  fixture.server->Wait();
+}
+
+TEST(Telemetry, StatsAndHealthOpsExposeTheSnapshot) {
+  MetricsRegistry metrics;
+  ServerFixture fixture(&metrics);
+  ces::service::Client client = fixture.NewClient();
+
+  EXPECT_TRUE(
+      client.Request("{\"id\":\"w\",\"op\":\"explore\",\"trace\":\"crc\","
+                     "\"k\":3}")
+          .ok);
+  const auto stats = client.Request("{\"id\":\"s\",\"op\":\"stats\"}");
+  ASSERT_TRUE(stats.ok) << stats.raw;
+  EXPECT_FALSE(stats.server_json.empty());
+  EXPECT_NE(stats.server_json.find("\"uptime_us\""), std::string::npos);
+  EXPECT_NE(stats.server_json.find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(stats.server_json.find("\"traces_pinned\":1"), std::string::npos);
+  // The metrics snapshot rides along, with exact percentile fields on the
+  // latency histograms.
+  EXPECT_NE(stats.raw.find("\"metrics\":"), std::string::npos);
+  EXPECT_NE(stats.raw.find("\"service.request.latency_us\""),
+            std::string::npos);
+  EXPECT_NE(stats.raw.find("\"p99\":"), std::string::npos);
+  // `stats` with a trace reference keeps its original meaning.
+  const auto trace_stats =
+      client.Request("{\"id\":\"t\",\"op\":\"stats\",\"trace\":\"crc\"}");
+  ASSERT_TRUE(trace_stats.ok);
+  EXPECT_TRUE(trace_stats.has_stats);
+  EXPECT_TRUE(trace_stats.server_json.empty());
+
+  const auto health = client.Request("{\"id\":\"h\",\"op\":\"health\"}");
+  ASSERT_TRUE(health.ok) << health.raw;
+  EXPECT_TRUE(health.has_healthy);
+  EXPECT_TRUE(health.healthy);
+  EXPECT_NE(health.server_json.find("\"draining\":false"),
+            std::string::npos);
+  fixture.server->RequestShutdown();
+  fixture.server->Wait();
+}
+
+TEST(Telemetry, DeterministicMetricsAreByteIdenticalAcrossJobs) {
+  // The same synchronous request sequence at jobs=1/2/8 must leave the
+  // deterministic metrics surface (counters + histograms — exactly what
+  // ToJson() emits by default) byte-identical; the stats op's volatile
+  // sections are where the run-specific numbers live.
+  std::vector<std::string> snapshots;
+  for (const unsigned jobs : {1u, 2u, 8u}) {
+    MetricsRegistry metrics;
+    {
+      ces::service::ExplorationService::Options options;
+      options.jobs = jobs;
+      options.metrics = &metrics;
+      ces::service::ExplorationService service(options);
+      for (const char* line :
+           {"{\"id\":\"1\",\"op\":\"explore\",\"trace\":\"crc\",\"k\":5}",
+            "{\"id\":\"2\",\"op\":\"explore\",\"trace\":\"crc\",\"k\":5}",
+            "{\"id\":\"3\",\"op\":\"stats\",\"trace\":\"crc\"}",
+            "{\"id\":\"4\",\"op\":\"stats\"}", "{\"id\":\"5\",\"op\":\"health\"}"}) {
+        CollectedResponse collected;
+        service.Handle(line, collected.responder());
+        EXPECT_TRUE(collected.get().ok) << line;
+      }
+      service.Drain();
+    }
+    snapshots.push_back(metrics.ToJson());
+  }
+  EXPECT_EQ(snapshots[0], snapshots[1]);
+  EXPECT_EQ(snapshots[0], snapshots[2]);
+  // The surface is not trivially empty: it counted real service work.
+  EXPECT_NE(snapshots[0].find("\"service.requests\""), std::string::npos);
 }
 
 }  // namespace

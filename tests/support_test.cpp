@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdio>
 #include <set>
 #include <thread>
@@ -12,6 +14,7 @@
 #include "support/error.hpp"
 #include "support/fenwick.hpp"
 #include "support/json.hpp"
+#include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/progress.hpp"
 #include "support/rng.hpp"
@@ -401,6 +404,159 @@ TEST(MetricsHistogram, JsonSectionIsDeterministicAndOmittedWhenEmpty) {
   other.ObserveHistogram("z.h", 4);
   other.Add("c", 1);
   EXPECT_EQ(other.ToJson(), json);
+}
+
+// Brute-force oracle: expand every bucket into `count` copies of its upper
+// bound (the value Percentile reports for anything landing there), sort, and
+// index with the nearest-rank rule rank = clamp(ceil(q*n), 1, n).
+std::uint64_t BruteForcePercentile(
+    const MetricsRegistry::HistogramSnapshot& snapshot, double q) {
+  std::vector<std::uint64_t> values;
+  for (std::size_t b = 0; b < snapshot.buckets.size(); ++b) {
+    for (std::uint64_t i = 0; i < snapshot.buckets[b]; ++i) {
+      values.push_back(MetricsRegistry::HistogramBucketRange(b).second);
+    }
+  }
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  if (rank == 0) rank = 1;
+  if (rank > values.size()) rank = values.size();
+  return values[rank - 1];
+}
+
+TEST(MetricsHistogram, PercentileMatchesBruteForceOracle) {
+  MetricsRegistry metrics;
+  EXPECT_EQ(metrics.histogram("empty").Percentile(0.5), 0u);
+
+  // A deterministic mix: zeros, small values, heavy tail, weighted entries.
+  ces::Rng rng(0xfeedu);
+  metrics.ObserveHistogram("h", 0, 3);
+  metrics.ObserveHistogram("h", 1);
+  metrics.ObserveHistogram("h", 1'000'000, 2);
+  for (int i = 0; i < 500; ++i) {
+    metrics.ObserveHistogram("h", rng.NextBounded(100'000));
+  }
+  const auto snapshot = metrics.histogram("h");
+  for (const double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(snapshot.Percentile(q), BruteForcePercentile(snapshot, q))
+        << "q=" << q;
+  }
+
+  // Single observation: every quantile is that observation's bucket bound.
+  MetricsRegistry one;
+  one.ObserveHistogram("h", 42);
+  for (const double q : {0.0, 0.5, 1.0}) {
+    EXPECT_EQ(one.histogram("h").Percentile(q),
+              MetricsRegistry::HistogramBucketRange(
+                  MetricsRegistry::HistogramBucket(42))
+                  .second);
+  }
+}
+
+TEST(MetricsHistogram, VolatileHistogramsStayOutOfDeterministicJson) {
+  MetricsRegistry metrics;
+  metrics.Add("c", 1);
+  metrics.ObserveVolatileHistogram("latency_us", 123);
+  // Deterministic surface is untouched by volatile observations...
+  EXPECT_EQ(metrics.ToJson(), "{\"counters\":{\"c\":1}}");
+  // ...but the volatile view carries them, with exact percentiles on demand.
+  const std::string full = metrics.ToJson(true, true);
+  EXPECT_NE(full.find("\"volatile_histograms\""), std::string::npos);
+  EXPECT_NE(full.find("\"latency_us\""), std::string::npos);
+  EXPECT_NE(full.find("\"p99\":"), std::string::npos);
+  const ces::testjson::JsonValidator validator(full);
+  EXPECT_TRUE(validator.Valid()) << validator.error();
+  EXPECT_EQ(metrics.volatile_histogram("latency_us").count, 1u);
+  MetricsRegistry::ObserveVolatileHistogram(nullptr, "x", 1);  // null-safe
+}
+
+TEST(MetricsPrometheus, ExpositionCoversEverySeriesFamily) {
+  MetricsRegistry metrics;
+  metrics.Add("service.requests", 3);
+  metrics.SetGauge("pool.jobs", 8);
+  metrics.Observe("solve.time", 0.5);
+  metrics.ObserveHistogram("explore.k", 4, 2);
+  metrics.ObserveHistogram("explore.k", 0);
+  const std::string text = metrics.ToPrometheus();
+
+  // Scalar families: counter and gauge, names sanitised to ces_ + [a-z0-9_].
+  EXPECT_NE(text.find("# TYPE ces_service_requests counter\n"
+                      "ces_service_requests 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ces_pool_jobs gauge\nces_pool_jobs 8\n"),
+            std::string::npos);
+  // Spans surface as a seconds summary.
+  EXPECT_NE(text.find("ces_solve_time_seconds_count 1\n"), std::string::npos);
+  // Histograms are cumulative: bucket 0 (le="0") holds 1, and by the upper
+  // bound of value 4's bucket (le="7") all 3 observations have accumulated.
+  EXPECT_NE(text.find("# TYPE ces_explore_k histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("ces_explore_k_bucket{le=\"0\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ces_explore_k_bucket{le=\"7\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ces_explore_k_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ces_explore_k_sum 8\n"), std::string::npos);
+  EXPECT_NE(text.find("ces_explore_k_count 3\n"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Structured request log
+
+TEST(RequestLog, FormatsFixedFieldOrderAndEscapesHostileStrings) {
+  ces::support::RequestLogEntry entry;
+  entry.ts_us = 12;
+  entry.rid = "r7";
+  entry.id = "a\"b";
+  entry.op = "explore";
+  entry.trace = "evil\"name\n\\x.trc";
+  entry.digest = "sha256:00";
+  entry.outcome = "computed";
+  entry.error = "";
+  entry.queue_us = 3;
+  entry.exec_us = 4;
+  entry.total_us = 7;
+  entry.bytes = 99;
+  const std::string line = ces::support::FormatRequestLogLine(entry);
+  EXPECT_EQ(line,
+            "{\"ts_us\":12,\"rid\":\"r7\",\"id\":\"a\\\"b\","
+            "\"op\":\"explore\",\"trace\":\"evil\\\"name\\n\\\\x.trc\","
+            "\"digest\":\"sha256:00\",\"outcome\":\"computed\","
+            "\"error\":\"\",\"queue_us\":3,\"exec_us\":4,\"total_us\":7,"
+            "\"bytes\":99}");
+  const ces::testjson::JsonValidator validator(line);
+  EXPECT_TRUE(validator.Valid()) << validator.error();
+}
+
+TEST(RequestLog, WritesOneLinePerEntryAndNullStaticsAreNoOps) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "request_log_test.ndjson";
+  std::remove(path.c_str());
+  {
+    ces::support::RequestLog log;
+    ASSERT_TRUE(log.Open(path));
+    ces::support::RequestLogEntry entry;
+    entry.rid = "r1";
+    entry.op = "ping";
+    ces::support::RequestLog::Write(&log, entry);
+    entry.rid = "r2";
+    log.Write(entry);
+    EXPECT_GE(ces::support::RequestLog::NowUs(&log), 0u);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content(4096, '\0');
+  content.resize(std::fread(content.data(), 1, content.size(), f));
+  std::fclose(f);
+  EXPECT_EQ(std::count(content.begin(), content.end(), '\n'), 2);
+  EXPECT_NE(content.find("\"rid\":\"r1\""), std::string::npos);
+  EXPECT_NE(content.find("\"rid\":\"r2\""), std::string::npos);
+  // Null-safe statics: no crash, NowUs reads 0.
+  ces::support::RequestLog::Write(nullptr, ces::support::RequestLogEntry{});
+  EXPECT_EQ(ces::support::RequestLog::NowUs(nullptr), 0u);
+  std::remove(path.c_str());
 }
 
 TEST(TraceSink, EmitsValidNestedChromeTraceJson) {

@@ -24,9 +24,12 @@
 //
 // Transport policy flags (all subcommands): --timeout-ms=30000 per attempt,
 // --attempts=4, --backoff-ms=50, --backoff-cap-ms=2000, --seed=0 (jitter;
-// 0 = derive from pid and clock). Overloaded sheds and transport failures
+// 0 = derive from pid and clock), --verbose (print each response's
+// server-assigned rid to stderr). Overloaded sheds and transport failures
 // are retried with jittered exponential backoff, honouring the server's
-// retry_after_ms hint; an exhausted budget exits with the io code (3).
+// retry_after_ms hint. A budget exhausted on "overloaded" exits with that
+// error's mapped code and echoes the server's retry_after_ms hint to
+// stderr; a transport-level exhaustion exits with the io code (3).
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
@@ -61,8 +64,19 @@ int Usage() {
       "          [--encoding=hex|base64] [--name=NAME]\n"
       "  batch   (request lines on stdin)\n"
       "  transport: [--timeout-ms=30000] [--attempts=4] [--backoff-ms=50] "
-      "[--backoff-cap-ms=2000] [--seed=0]\n");
+      "[--backoff-cap-ms=2000] [--seed=0] [--verbose]\n");
   return 2;
+}
+
+// Set once in main from --verbose; when on, every decoded response's
+// server-assigned request id goes to stderr so a log line in the daemon's
+// --log output can be tied back to the invocation that caused it.
+bool g_verbose = false;
+
+void NoteRid(const Response& response) {
+  if (!g_verbose || response.rid.empty()) return;
+  std::fprintf(stderr, "cachedse-client: rid=%s id=%s\n",
+               response.rid.c_str(), response.id.c_str());
 }
 
 ces::service::ClientOptions TransportOptions(const ces::ArgParser& args) {
@@ -101,6 +115,10 @@ int ExitCodeForResponse(const Response& response) {
 int FailResponse(const Response& response) {
   std::fprintf(stderr, "cachedse-client: %s: %s\n",
                response.error_code.c_str(), response.error_message.c_str());
+  if (response.retry_after_ms > 0) {
+    std::fprintf(stderr, "cachedse-client: server hint: retry after %llu ms\n",
+                 static_cast<unsigned long long>(response.retry_after_ms));
+  }
   return ExitCodeForResponse(response);
 }
 
@@ -149,6 +167,7 @@ int CmdExplore(const ces::ArgParser& args) {
 
   ces::service::Client client(TransportOptions(args));
   const Response response = client.Request(request);
+  NoteRid(response);
   if (!response.ok) return FailResponse(response);
 
   // This rendering mirrors `cachedse explore` line for line — the CI smoke
@@ -175,7 +194,15 @@ int CmdStats(const ces::ArgParser& args) {
   request += "}";
   ces::service::Client client(TransportOptions(args));
   const Response response = client.Request(request);
+  NoteRid(response);
   if (!response.ok) return FailResponse(response);
+  if (!response.server_json.empty()) {
+    // Server form (no trace ref): print the whole introspection snapshot.
+    std::printf("{\"server\":%s,\"metrics\":%s}\n", response.server_json.c_str(),
+                response.metrics_json.empty() ? "{}"
+                                              : response.metrics_json.c_str());
+    return 0;
+  }
   std::printf("%s: N=%llu N'=%llu max-misses=%llu\n",
               response.digest.c_str(),
               static_cast<unsigned long long>(response.stats.n),
@@ -190,6 +217,7 @@ int CmdIngest(const ces::ArgParser& args) {
   request += "}";
   ces::service::Client client(TransportOptions(args));
   const Response response = client.Request(request);
+  NoteRid(response);
   if (!response.ok) return FailResponse(response);
   std::printf("%s\n", response.digest.c_str());
   return 0;
@@ -223,6 +251,7 @@ int CmdUpload(const ces::ArgParser& args) {
   }
   begin += "}";
   Response response = client.Request(begin);
+  NoteRid(response);
   if (!response.ok) return FailResponse(response);
   const std::string token = response.upload;
 
@@ -251,12 +280,14 @@ int CmdUpload(const ces::ArgParser& args) {
           "}");
     }
     for (const Response& chunk_response : client.Batch(lines)) {
+      NoteRid(chunk_response);
       if (!chunk_response.ok) return FailResponse(chunk_response);
     }
   }
 
   response = client.Request("{\"id\":\"end\",\"op\":\"trace-end\",\"upload\":" +
                             ces::support::JsonQuote(token) + "}");
+  NoteRid(response);
   if (!response.ok) return FailResponse(response);
   if (response.digest != local_digest) {
     std::fprintf(stderr,
@@ -274,6 +305,7 @@ int CmdSimple(const ces::ArgParser& args, const char* op) {
   ces::service::Client client(TransportOptions(args));
   const Response response = client.Request(
       std::string("{\"id\":\"1\",\"op\":\"") + op + "\"}");
+  NoteRid(response);
   if (!response.ok) return FailResponse(response);
   if (std::string(op) == "metrics") {
     std::printf("%s\n", response.metrics_json.c_str());
@@ -295,6 +327,7 @@ int CmdBatch(const ces::ArgParser& args) {
   const std::vector<Response> responses = client.Batch(lines);
   bool any_failed = false;
   for (const Response& response : responses) {
+    NoteRid(response);
     std::printf("%s\n", response.raw.c_str());
     any_failed = any_failed || !response.ok;
   }
@@ -310,6 +343,7 @@ int main(int argc, char** argv) {
   if (args.GetString("socket", "").empty() == !args.Has("port")) {
     return Usage();
   }
+  g_verbose = args.GetBool("verbose", false);
   try {
     if (command == "explore") return CmdExplore(args);
     if (command == "stats") return CmdStats(args);

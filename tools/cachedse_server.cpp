@@ -14,6 +14,11 @@
 //                      per-process directory under the system temp path)
 //   --metrics=json     print the MetricsRegistry as one JSON line on exit
 //   --trace-out=FILE   write a Chrome trace-event profile on exit
+//   --log=FILE|-       structured NDJSON request log (one line per finished
+//                      request; '-' = stdout). See docs/OBSERVABILITY.md.
+//   --prometheus=FILE  rewrite FILE with the Prometheus text exposition of
+//                      the metrics snapshot every --prometheus-period-ms
+//                      (default 1000) while serving, and once on exit
 //
 // The daemon prints "listening on <endpoint>" once the socket is bound (for
 // TCP with --port=0 this is how the chosen port is discovered) and serves
@@ -21,14 +26,19 @@
 // gracefully: admission stops, every already-accepted request is answered,
 // connections are hung up, and the exit code is 0. See docs/SERVICE.md.
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "service/server.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
+#include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/signals.hpp"
 #include "support/trace_event.hpp"
@@ -41,9 +51,63 @@ int Usage() {
       "usage: cachedse-server (--socket=PATH | --port=N) [--jobs=N]\n"
       "  [--cache-mb=64] [--cache-shards=8] [--queue-limit=256]\n"
       "  [--retry-after-ms=100] [--max-traces=64] [--spill-dir=DIR]\n"
-      "  [--metrics=json] [--trace-out=FILE]\n");
+      "  [--metrics=json] [--trace-out=FILE] [--log=FILE|-]\n"
+      "  [--prometheus=FILE] [--prometheus-period-ms=1000]\n");
   return 2;
 }
+
+// Atomically replaces `path` with the current text exposition (write to a
+// temp twin, rename) so a scraper never reads a torn file.
+void DumpPrometheus(const ces::support::MetricsRegistry& registry,
+                    const std::string& path) {
+  const std::string text = registry.ToPrometheus();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::rename(tmp.c_str(), path.c_str());
+}
+
+// Periodic Prometheus dump thread: wakes every period, rewrites the file,
+// exits promptly when told to stop (no sleep-long-then-check).
+class PrometheusDumper {
+ public:
+  PrometheusDumper(const ces::support::MetricsRegistry& registry,
+                   std::string path, std::uint64_t period_ms)
+      : registry_(registry), path_(std::move(path)), period_ms_(period_ms) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+  ~PrometheusDumper() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    DumpPrometheus(registry_, path_);  // final snapshot, post-drain
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      lock.unlock();
+      DumpPrometheus(registry_, path_);
+      lock.lock();
+      cv_.wait_for(lock, std::chrono::milliseconds(period_ms_),
+                   [this] { return stop_; });
+    }
+  }
+
+  const ces::support::MetricsRegistry& registry_;
+  const std::string path_;
+  const std::uint64_t period_ms_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
 
 }  // namespace
 
@@ -87,6 +151,22 @@ int main(int argc, char** argv) {
   options.service.spill_dir = args.GetString("spill-dir", "");
   options.service.metrics = &registry;
 
+  ces::support::RequestLog request_log;
+  const std::string log_path = args.GetString("log", "");
+  if (!log_path.empty()) {
+    if (!request_log.Open(log_path)) {
+      std::fprintf(stderr, "cachedse-server: cannot open --log=%s\n",
+                   log_path.c_str());
+      return 3;
+    }
+    options.service.request_log = &request_log;
+  }
+
+  const std::string prometheus_path = args.GetString("prometheus", "");
+  const auto prometheus_period_ms = static_cast<std::uint64_t>(
+      args.GetInt("prometheus-period-ms", 1000));
+  std::unique_ptr<PrometheusDumper> prometheus;
+
   try {
     // The watcher must exist before the Server constructor spawns the
     // scheduler and pool threads — threads inherit the blocked mask, so this
@@ -105,7 +185,13 @@ int main(int argc, char** argv) {
     server.Start();
     std::printf("listening on %s\n", server.endpoint().c_str());
     std::fflush(stdout);
+    if (!prometheus_path.empty()) {
+      prometheus = std::make_unique<PrometheusDumper>(
+          registry, prometheus_path,
+          prometheus_period_ms == 0 ? 1000 : prometheus_period_ms);
+    }
     server.Wait();
+    prometheus.reset();  // final dump after the drain settles the counters
   } catch (const ces::support::Error& e) {
     std::fprintf(stderr, "cachedse-server: %s\n", e.what());
     return ces::support::ExitCodeFor(e.category());
