@@ -1,0 +1,79 @@
+#include "fleet/ring.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace ces::fleet {
+
+namespace {
+
+// FNV-1a over the bytes, from a caller-chosen basis so the seed perturbs
+// every bit of the state before the data arrives.
+std::uint64_t Fnv1a(const std::string& data, std::uint64_t basis) {
+  std::uint64_t h = basis ^ 0xcbf29ce484222325ull;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// SplitMix64 finaliser: full-avalanche mix so the structured FNV states of
+// similar strings ("w0", "w1", ...) spread over the whole 64-bit space.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Ring::Ring(std::vector<std::string> nodes, std::uint64_t seed)
+    : nodes_(std::move(nodes)), seed_(seed) {
+  CES_CHECK(!nodes_.empty());
+  node_hashes_.reserve(nodes_.size());
+  for (const std::string& node : nodes_) {
+    node_hashes_.push_back(Mix(Fnv1a(node, seed_)));
+  }
+}
+
+std::uint64_t Ring::Score(std::size_t node_index, const std::string& key) const {
+  // hash(seed, node, key): the node digest already folds the seed in; the
+  // key digest re-folds it so neither half alone determines the score.
+  return Mix(node_hashes_[node_index] ^ Fnv1a(key, Mix(seed_)));
+}
+
+std::size_t Ring::OwnerIndex(const std::string& key) const {
+  std::size_t best = 0;
+  std::uint64_t best_score = Score(0, key);
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    const std::uint64_t score = Score(i, key);
+    if (score > best_score ||
+        (score == best_score && nodes_[i] < nodes_[best])) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> Ring::Ranked(const std::string& key) const {
+  std::vector<std::pair<std::uint64_t, std::size_t>> scored;
+  scored.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    scored.emplace_back(Score(i, key), i);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [this](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return nodes_[a.second] < nodes_[b.second];
+            });
+  std::vector<std::size_t> ranked;
+  ranked.reserve(scored.size());
+  for (const auto& [score, index] : scored) ranked.push_back(index);
+  return ranked;
+}
+
+}  // namespace ces::fleet

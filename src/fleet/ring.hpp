@@ -1,0 +1,60 @@
+// Seeded rendezvous (highest-random-weight) hashing for the fleet.
+//
+// Placement must satisfy three properties the router and its tests pin:
+//  * deterministic — a pure function of (seed, node names, key), so every
+//    router restart and every replica with the same --workers list computes
+//    the same owner, with no state to persist or gossip;
+//  * uniform — across many keys, each node owns ~1/N of the space;
+//  * minimal movement — adding a node moves onto it only the keys it now
+//    wins, and removing a node moves only the keys it owned. Nothing else
+//    changes hands. Rendezvous hashing gives this for free (each key ranks
+//    all nodes independently; membership changes only affect ranks involving
+//    the changed node), which is why it is used instead of a ring of virtual
+//    points — at fleet sizes of single-digit workers, the O(N) score scan
+//    per key is noise next to a network hop.
+//
+// Ranked() returns the full preference order, which doubles as the failover
+// order: when the owner is marked down, the next-ranked node is the unique
+// deterministic alternate every router agrees on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ces::fleet {
+
+class Ring {
+ public:
+  // Node names must be unique and non-empty; order does not matter for
+  // placement (scores are name-keyed), only for the indices Ranked/Owner
+  // report, which map into this vector.
+  Ring(std::vector<std::string> nodes, std::uint64_t seed = 0);
+
+  // Index (into nodes()) of the highest-scoring node for `key`. Ties break
+  // on the lexicographically smaller node name so equality of scores —
+  // astronomically unlikely but possible — never makes placement depend on
+  // construction order.
+  std::size_t OwnerIndex(const std::string& key) const;
+  const std::string& Owner(const std::string& key) const {
+    return nodes_[OwnerIndex(key)];
+  }
+
+  // All node indices in descending score order for `key`: the owner first,
+  // then the failover sequence.
+  std::vector<std::size_t> Ranked(const std::string& key) const;
+
+  std::size_t size() const { return nodes_.size(); }
+  const std::vector<std::string>& nodes() const { return nodes_; }
+  std::uint64_t seed() const { return seed_; }
+
+  // The raw rendezvous score (exposed for the distribution tests).
+  std::uint64_t Score(std::size_t node_index, const std::string& key) const;
+
+ private:
+  std::vector<std::string> nodes_;
+  std::vector<std::uint64_t> node_hashes_;  // precomputed per-node digests
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace ces::fleet

@@ -1,0 +1,930 @@
+#include "fleet/router.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "support/build_info.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace ces::fleet {
+
+namespace protocol = service::protocol;
+
+namespace {
+
+using service::protocol::Op;
+using support::Error;
+using support::ErrorCategory;
+using support::JsonQuote;
+
+// True when the response line reports ok:true. The raw byte sequence
+// `"ok":` cannot occur inside any serialised string (our serialisers escape
+// the quote character), so the first occurrence is the response's own flag.
+bool ResponseOk(const std::string& line) {
+  const std::size_t pos = line.find("\"ok\":");
+  return pos != std::string::npos && line.compare(pos + 5, 4, "true") == 0;
+}
+
+// Pulls the top-level "digest" field out of a response line. Digests are
+// fixed-format ("sha256:" + hex), so the value never contains escapes and a
+// literal scan is exact; "" when absent or not digest-shaped.
+std::string ExtractDigestField(const std::string& line) {
+  static constexpr char kNeedle[] = "\"digest\":\"";
+  const std::size_t pos = line.find(kNeedle);
+  if (pos == std::string::npos) return "";
+  const std::size_t start = pos + sizeof(kNeedle) - 1;
+  const std::size_t end = line.find('"', start);
+  if (end == std::string::npos) return "";
+  std::string digest = line.substr(start, end - start);
+  if (digest.rfind("sha256:", 0) != 0) return "";
+  return digest;
+}
+
+// The worker's unknown-digest rejection, the trigger for the cross-node
+// peek. Both needles are serialiser-produced (escaped) text, so a literal
+// scan cannot false-positive on client-controlled fields.
+bool IsUnknownDigestError(const std::string& line) {
+  return !ResponseOk(line) &&
+         line.find("\"code\":\"validation\"") != std::string::npos &&
+         line.find("unknown digest ") != std::string::npos;
+}
+
+// Routed upload tokens are "w<idx>.<worker-token>": the prefix self-routes
+// trace-chunk/trace-end with no session table in the router.
+bool ParseWrappedToken(const std::string& token, std::size_t worker_count,
+                       std::size_t* index, std::string* rest) {
+  if (token.size() < 3 || token[0] != 'w') return false;
+  const std::size_t dot = token.find('.');
+  if (dot == std::string::npos || dot == 1 || dot + 1 >= token.size()) {
+    return false;
+  }
+  std::size_t value = 0;
+  for (std::size_t i = 1; i < dot; ++i) {
+    if (token[i] < '0' || token[i] > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(token[i] - '0');
+    if (value >= worker_count) return false;
+  }
+  *index = value;
+  *rest = token.substr(dot + 1);
+  return true;
+}
+
+std::vector<std::string> WorkerNames(const RouterOptions& options) {
+  std::vector<std::string> names;
+  names.reserve(options.workers.size());
+  for (const auto& endpoint : options.workers) {
+    names.push_back(endpoint.Label());
+  }
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      if (names[i] == names[j]) {
+        throw Error(ErrorCategory::kUsage, "router",
+                    "duplicate worker endpoint " + names[i]);
+      }
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WorkerChannel
+
+WorkerChannel::WorkerChannel(service::ClientEndpoint endpoint,
+                             int send_timeout_s)
+    : endpoint_(std::move(endpoint)), send_timeout_s_(send_timeout_s) {
+  reader_ = std::thread([this] { ReaderLoop(); });
+}
+
+WorkerChannel::~WorkerChannel() { Close(); }
+
+std::size_t WorkerChannel::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+bool WorkerChannel::Submit(const std::string& fid, const std::string& line,
+                           Callback done) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_) return false;
+  if (fd_ < 0) {
+    const int fd = service::ConnectEndpoint(endpoint_);
+    if (fd < 0) return false;
+    // A worker that stops reading must not wedge the router in send();
+    // after the timeout the connection is treated as dead.
+    const timeval send_timeout{send_timeout_s_, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof(send_timeout));
+    fd_ = fd;
+    cv_.notify_all();  // hand the new connection to the reader
+  }
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      // A partial line may be on the wire, but without its newline the
+      // worker never parses it. Hang up so the reader fails everything
+      // already pending and the next submit reconnects.
+      ::shutdown(fd_, SHUT_RDWR);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  // Registered only after the full line is out; the reader cannot race us
+  // here because it needs the mutex to deliver.
+  pending_.emplace(fid, std::move(done));
+  return true;
+}
+
+void WorkerChannel::ReaderLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || fd_ >= 0; });
+      if (stopping_) return;
+      fd = fd_;
+    }
+    std::string buffered;
+    char buffer[16384];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      buffered.append(buffer, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (;;) {
+        const std::size_t newline = buffered.find('\n', start);
+        if (newline == std::string::npos) break;
+        const std::string line = buffered.substr(start, newline - start);
+        start = newline + 1;
+        if (line.empty()) continue;
+        // Responses echo the forward id; ExtractRequestId reads any
+        // {"id":"..."} object, which responses are.
+        const std::string fid = service::protocol::ExtractRequestId(line);
+        Callback done;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          auto it = pending_.find(fid);
+          if (it != pending_.end()) {
+            done = std::move(it->second);
+            pending_.erase(it);
+          }
+        }
+        if (done) done(true, line);
+      }
+      buffered.erase(0, start);
+    }
+    // The connection died. Everything still pending on it is unanswerable.
+    std::unordered_map<std::string, Callback> orphans;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (fd_ == fd) {
+        ::close(fd_);
+        fd_ = -1;
+      }
+      orphans.swap(pending_);
+    }
+    for (auto& [fid, done] : orphans) done(false, "");
+  }
+}
+
+void WorkerChannel::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  }
+  cv_.notify_all();
+  if (reader_.joinable()) reader_.join();
+  std::unordered_map<std::string, Callback> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    orphans.swap(pending_);
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  for (auto& [fid, done] : orphans) done(false, "");
+}
+
+// ---------------------------------------------------------------------------
+// Router
+
+Router::Router(RouterOptions options)
+    : options_(std::move(options)),
+      ring_(WorkerNames(options_), options_.ring_seed),
+      dispatcher_(*this,
+                  service::Dispatcher::Options{options_.queue_limit,
+                                               options_.retry_after_ms,
+                                               options_.request_log},
+                  options_.metrics) {
+  workers_.reserve(options_.workers.size());
+  for (const auto& endpoint : options_.workers) {
+    auto worker = std::make_unique<Worker>();
+    worker->endpoint = endpoint;
+    worker->name = endpoint.Label();
+    worker->channel = std::make_unique<WorkerChannel>(endpoint);
+    workers_.push_back(std::move(worker));
+  }
+  SetWorkersUpGauge();
+  if (options_.health_period_ms > 0) {
+    prober_ = std::thread([this] { ProberLoop(); });
+  }
+}
+
+Router::~Router() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(prober_mutex_);
+    prober_stop_ = true;
+  }
+  prober_cv_.notify_all();
+  if (prober_.joinable()) prober_.join();
+  for (auto& worker : workers_) worker->channel->Close();
+}
+
+void Router::Drain() { dispatcher_.Drain(); }
+
+std::string Router::NextRid() {
+  return "r" + std::to_string(
+                   rid_counter_.fetch_add(1, std::memory_order_relaxed) + 1);
+}
+
+std::string Router::NextFid() {
+  return "f" + std::to_string(
+                   fid_counter_.fetch_add(1, std::memory_order_relaxed) + 1);
+}
+
+std::size_t Router::workers_up() const {
+  std::size_t up = 0;
+  for (const auto& worker : workers_) {
+    if (worker->up.load(std::memory_order_relaxed)) ++up;
+  }
+  return up;
+}
+
+bool Router::worker_up(std::size_t index) const {
+  return workers_[index]->up.load(std::memory_order_relaxed);
+}
+
+void Router::SetWorkersUpGauge() {
+  support::MetricsRegistry::SetGauge(options_.metrics, "fleet.workers.up",
+                                     workers_up());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    support::MetricsRegistry::SetGauge(
+        options_.metrics, "fleet.worker." + std::to_string(i) + ".up",
+        workers_[i]->up.load(std::memory_order_relaxed) ? 1 : 0);
+  }
+}
+
+void Router::MarkDown(std::size_t index) {
+  if (workers_[index]->up.exchange(false, std::memory_order_relaxed)) {
+    support::MetricsRegistry::Add(options_.metrics, "fleet.markdowns");
+    SetWorkersUpGauge();
+  }
+}
+
+void Router::MarkUp(std::size_t index) {
+  if (!workers_[index]->up.exchange(true, std::memory_order_relaxed)) {
+    support::MetricsRegistry::Add(options_.metrics, "fleet.markups");
+    SetWorkersUpGauge();
+  }
+}
+
+protocol::ServerInfo Router::Snapshot() const {
+  protocol::ServerInfo info;
+  info.uptime_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started_)
+          .count());
+  info.git_sha = support::GitSha();
+  info.pid = static_cast<std::uint64_t>(::getpid());
+  // For a router, "jobs" is the pool it dispatches into: the live workers.
+  info.jobs = workers_up();
+  if (options_.metrics != nullptr) {
+    info.connections_live = options_.metrics->gauge("service.connections.live");
+    info.connections_total = options_.metrics->counter("service.connections");
+    info.shed_total = options_.metrics->counter("service.queue.shed") +
+                      options_.metrics->counter("fleet.sheds");
+  }
+  info.queue_depth = dispatcher_.queue_depth();
+  info.queue_limit = options_.queue_limit;
+  info.retry_after_ms = options_.retry_after_ms;
+  info.draining = dispatcher_.draining();
+  info.requests_total = rid_counter_.load(std::memory_order_relaxed);
+  return info;
+}
+
+void Router::LogInline(const std::string& rid, const std::string& id,
+                       const char* op, const char* outcome,
+                       const std::string& error_code, std::uint64_t start_us,
+                       std::size_t response_bytes) {
+  if (options_.request_log == nullptr) return;
+  support::RequestLogEntry entry;
+  entry.ts_us = options_.request_log->NowUs();
+  entry.rid = rid;
+  entry.id = id;
+  entry.op = op;
+  entry.outcome = outcome;
+  entry.error = error_code;
+  entry.exec_us = entry.ts_us > start_us ? entry.ts_us - start_us : 0;
+  entry.total_us = entry.exec_us;
+  entry.bytes = response_bytes;
+  options_.request_log->Write(entry);
+}
+
+void Router::Handle(const std::string& line, Responder done) {
+  support::MetricsRegistry::Add(options_.metrics, "service.lines");
+  const std::uint64_t start_us =
+      support::RequestLog::NowUs(options_.request_log);
+  const std::string rid = NextRid();
+  protocol::Request request;
+  try {
+    request = service::ParseRequest(line);
+  } catch (const Error& e) {
+    support::MetricsRegistry::Add(options_.metrics, "service.bad_requests");
+    const std::string id = protocol::ExtractRequestId(line);
+    const std::string response = protocol::ErrorResponse(id, e, rid);
+    LogInline(rid, id, "?", "error", support::ToString(e.category()),
+              start_us, response.size());
+    done(response);
+    return;
+  } catch (const std::exception& e) {
+    support::MetricsRegistry::Add(options_.metrics, "service.bad_requests");
+    const std::string id = protocol::ExtractRequestId(line);
+    const std::string response = protocol::ErrorResponse(
+        id, support::ToString(ErrorCategory::kInternal), e.what(), 0, rid);
+    LogInline(rid, id, "?", "error",
+              support::ToString(ErrorCategory::kInternal), start_us,
+              response.size());
+    done(response);
+    return;
+  }
+  request.rid = rid;
+
+  // Introspection stays local: a fleet probe must answer even when every
+  // worker is down or the forward queue is saturated.
+  switch (request.op) {
+    case Op::kPing: {
+      const std::string response = protocol::PingResponse(request.id, rid);
+      LogInline(rid, request.id, "ping", "inline", "", start_us,
+                response.size());
+      done(response);
+      return;
+    }
+    case Op::kMetrics: {
+      const std::string json = options_.metrics != nullptr
+                                   ? options_.metrics->ToJson(true)
+                                   : std::string("{}");
+      const std::string response =
+          protocol::MetricsResponse(request.id, json, rid);
+      LogInline(rid, request.id, "metrics", "inline", "", start_us,
+                response.size());
+      done(response);
+      return;
+    }
+    case Op::kStats: {
+      if (!request.trace.empty() || !request.digest.empty()) {
+        break;  // trace statistics — forwarded like any other trace op
+      }
+      const std::string json = options_.metrics != nullptr
+                                   ? options_.metrics->ToJson(true, true)
+                                   : std::string("{}");
+      const std::string response =
+          protocol::ServerStatsResponse(request.id, Snapshot(), json, rid);
+      LogInline(rid, request.id, "stats", "inline", "", start_us,
+                response.size());
+      done(response);
+      return;
+    }
+    case Op::kHealth: {
+      const std::string response =
+          protocol::HealthResponse(request.id, Snapshot(), rid);
+      LogInline(rid, request.id, "health", "inline", "", start_us,
+                response.size());
+      done(response);
+      return;
+    }
+    case Op::kShutdown: {
+      if (!options_.on_shutdown_request) {
+        const std::string response = protocol::ErrorResponse(
+            request.id, support::ToString(ErrorCategory::kUnsupported),
+            "shutdown op disabled on this router", 0, rid);
+        LogInline(rid, request.id, "shutdown", "error",
+                  support::ToString(ErrorCategory::kUnsupported), start_us,
+                  response.size());
+        done(response);
+        return;
+      }
+      const std::string response = protocol::ShutdownResponse(request.id, rid);
+      LogInline(rid, request.id, "shutdown", "inline", "", start_us,
+                response.size());
+      done(response);
+      options_.on_shutdown_request();
+      return;
+    }
+    default:
+      break;
+  }
+  dispatcher_.Submit(std::move(request), std::move(done));
+}
+
+void Router::ExecuteBatch(std::deque<service::DispatchJob> batch) {
+  while (!batch.empty()) {
+    auto forward = std::make_shared<Forward>();
+    forward->job = std::move(batch.front());
+    batch.pop_front();
+    forward->tried.assign(workers_.size(), false);
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      ++forwards_inflight_;
+    }
+    ForwardJob(std::move(forward));
+  }
+}
+
+void Router::ForwardJob(ForwardPtr forward) {
+  if (service::Dispatcher::DeadlineExpired(forward->job,
+                                           std::chrono::steady_clock::now())) {
+    AnswerError(forward, protocol::kCodeDeadlineExceeded,
+                "deadline expired before dispatch", 0, "deadline");
+    return;
+  }
+  const protocol::Request& request = forward->job.request;
+  switch (request.op) {
+    case Op::kTraceChunk:
+    case Op::kTraceEnd: {
+      // Self-routing token: the session lives on exactly one worker, so the
+      // up flag is advisory here — a markdown must not strand a session the
+      // worker is still serving.
+      std::size_t worker = 0;
+      std::string rest;
+      if (!ParseWrappedToken(request.upload, workers_.size(), &worker,
+                             &rest)) {
+        AnswerError(forward, support::ToString(ErrorCategory::kValidation),
+                    "unknown upload token " + request.upload +
+                        " (not issued by this router)",
+                    0);
+        return;
+      }
+      forward->wrapped_upload = request.upload;
+      forward->job.request.upload = rest;
+      SendTo(std::move(forward), worker);
+      return;
+    }
+    case Op::kTraceBegin: {
+      std::size_t worker = 0;
+      if (!request.name.empty()) {
+        // Named uploads follow the ring so re-uploads of the same workload
+        // land where its digest already lives.
+        if (!PickByRing(request.name, forward->tried, &worker) &&
+            !PickRoundRobin(&worker)) {
+          AnswerError(forward, protocol::kCodeOverloaded,
+                      "no live worker to accept the upload",
+                      options_.retry_after_ms, "shed");
+          return;
+        }
+      } else if (!PickRoundRobin(&worker)) {
+        AnswerError(forward, protocol::kCodeOverloaded,
+                    "no live worker to accept the upload",
+                    options_.retry_after_ms, "shed");
+        return;
+      }
+      SendTo(std::move(forward), worker);
+      return;
+    }
+    default:
+      break;
+  }
+  if (!request.digest.empty()) {
+    std::size_t worker = 0;
+    if (LookupMemo(request.digest, &worker) &&
+        workers_[worker]->up.load(std::memory_order_relaxed) &&
+        !forward->tried[worker]) {
+      SendTo(std::move(forward), worker);
+      return;
+    }
+    if (PickByRing(request.digest, forward->tried, &worker)) {
+      SendTo(std::move(forward), worker);
+      return;
+    }
+    AnswerError(forward, protocol::kCodeOverloaded,
+                "no live worker for digest " + request.digest,
+                options_.retry_after_ms, "shed");
+    return;
+  }
+  if (!request.trace.empty()) {
+    std::size_t worker = 0;
+    if (PickByRing(request.trace, forward->tried, &worker)) {
+      SendTo(std::move(forward), worker);
+      return;
+    }
+    AnswerError(forward, protocol::kCodeOverloaded, "no live workers",
+                options_.retry_after_ms, "shed");
+    return;
+  }
+  // No routable reference (cannot happen for ops the dispatcher admits,
+  // but keep the executor total): any live worker will do.
+  std::size_t worker = 0;
+  if (PickRoundRobin(&worker)) {
+    SendTo(std::move(forward), worker);
+    return;
+  }
+  AnswerError(forward, protocol::kCodeOverloaded, "no live workers",
+              options_.retry_after_ms, "shed");
+}
+
+bool Router::LookupMemo(const std::string& digest, std::size_t* worker) const {
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  const auto it = placement_.find(digest);
+  if (it == placement_.end()) return false;
+  *worker = it->second;
+  return true;
+}
+
+void Router::Memoise(const std::string& digest, std::size_t worker) {
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  const auto it = placement_.find(digest);
+  if (it != placement_.end()) {
+    it->second = worker;
+    return;
+  }
+  if (placement_.size() >= options_.placement_memo_limit) {
+    // Rare full reset instead of per-entry LRU bookkeeping: the memo is an
+    // optimisation, and the ring plus the peek path re-learn placements.
+    placement_.clear();
+  }
+  placement_.emplace(digest, worker);
+}
+
+bool Router::PickByRing(const std::string& key, const std::vector<bool>& tried,
+                        std::size_t* worker) const {
+  for (const std::size_t index : ring_.Ranked(key)) {
+    if (tried[index]) continue;
+    if (!workers_[index]->up.load(std::memory_order_relaxed)) continue;
+    *worker = index;
+    return true;
+  }
+  return false;
+}
+
+bool Router::PickRoundRobin(std::size_t* worker) {
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const std::size_t index =
+        round_robin_.fetch_add(1, std::memory_order_relaxed) %
+        workers_.size();
+    if (workers_[index]->up.load(std::memory_order_relaxed)) {
+      *worker = index;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Router::SendTo(ForwardPtr forward, std::size_t worker) {
+  forward->worker = worker;
+  forward->tried[worker] = true;
+  Worker& target = *workers_[worker];
+
+  // Per-node backpressure, folded into the shared admission taxonomy: a
+  // worker at its cap sheds exactly like a full router queue would.
+  const std::size_t inflight =
+      target.inflight.fetch_add(1, std::memory_order_relaxed);
+  if (inflight >= options_.worker_inflight_limit) {
+    target.inflight.fetch_sub(1, std::memory_order_relaxed);
+    support::MetricsRegistry::Add(options_.metrics, "fleet.sheds");
+    AnswerError(forward, protocol::kCodeOverloaded,
+                "worker " + target.name + " at its in-flight limit",
+                options_.retry_after_ms, "shed");
+    return;
+  }
+  support::MetricsRegistry::SetGauge(
+      options_.metrics, "fleet.worker." + std::to_string(worker) + ".inflight",
+      inflight + 1);
+
+  forward->fid = NextFid();
+  protocol::Request wire = forward->job.request;
+  wire.id = forward->fid;
+  wire.rid.clear();
+  const std::string line = protocol::SerializeRequest(wire);
+
+  support::MetricsRegistry::Add(options_.metrics, "fleet.forwards");
+  support::MetricsRegistry::Add(
+      options_.metrics, "fleet.worker." + std::to_string(worker) + ".forwards");
+
+  const bool accepted = target.channel->Submit(
+      forward->fid, line,
+      [this, forward, worker](bool transport_ok, std::string response) {
+        Worker& done_target = *workers_[worker];
+        const std::size_t left =
+            done_target.inflight.fetch_sub(1, std::memory_order_relaxed) - 1;
+        support::MetricsRegistry::SetGauge(
+            options_.metrics,
+            "fleet.worker." + std::to_string(worker) + ".inflight", left);
+        OnWorkerResponse(forward, worker, transport_ok, std::move(response));
+      });
+  if (!accepted) {
+    const std::size_t left =
+        target.inflight.fetch_sub(1, std::memory_order_relaxed) - 1;
+    support::MetricsRegistry::SetGauge(
+        options_.metrics,
+        "fleet.worker." + std::to_string(worker) + ".inflight", left);
+    OnTransportFailure(std::move(forward), worker);
+  }
+}
+
+void Router::OnWorkerResponse(ForwardPtr forward, std::size_t worker,
+                              bool transport_ok, std::string line) {
+  if (!transport_ok) {
+    OnTransportFailure(std::move(forward), worker);
+    return;
+  }
+  const protocol::Request& request = forward->job.request;
+  if ((!request.digest.empty() || !request.digest_instr.empty()) &&
+      !forward->peeked && IsUnknownDigestError(line)) {
+    // The routed worker has never seen this digest — maybe another node
+    // ingested it while this one was down (or, for a joint request, the
+    // instruction digest lives elsewhere). Peek before giving up.
+    forward->peeked = true;
+    PeekForDigest(std::move(forward), worker, std::move(line));
+    return;
+  }
+  Answer(std::move(forward), worker, std::move(line));
+}
+
+void Router::OnTransportFailure(ForwardPtr forward, std::size_t worker) {
+  support::MetricsRegistry::Add(options_.metrics, "fleet.forward.errors");
+  if (quiescing_.load(std::memory_order_relaxed)) {
+    // Draining: no re-routes, just an honest shed so Quiesce converges.
+    AnswerError(forward, protocol::kCodeShuttingDown,
+                "router draining; worker connection lost", 0, "shed");
+    return;
+  }
+  MarkDown(worker);
+  const protocol::Request& request = forward->job.request;
+  switch (request.op) {
+    case Op::kTraceChunk:
+    case Op::kTraceEnd:
+      // The session died with the worker; resuming elsewhere would silently
+      // produce a different digest stream. The client restarts the upload.
+      AnswerError(forward, support::ToString(ErrorCategory::kIo),
+                  "worker " + workers_[worker]->name +
+                      " lost mid-upload; restart the upload",
+                  0);
+      return;
+    default:
+      break;
+  }
+  if (!request.digest.empty()) {
+    if (!forward->peeked) {
+      forward->peeked = true;
+      PeekForDigest(std::move(forward), worker, "");
+      return;
+    }
+    AnswerError(forward, protocol::kCodeOverloaded,
+                "worker holding digest " + request.digest + " is unavailable",
+                options_.retry_after_ms, "shed");
+    return;
+  }
+  // By-name work (and trace-begin) is content-free on the failed node:
+  // re-route to the next live worker in ring order.
+  support::MetricsRegistry::Add(options_.metrics, "fleet.reroutes");
+  ForwardJob(std::move(forward));
+}
+
+void Router::PeekForDigest(ForwardPtr forward, std::size_t exclude,
+                           std::string fallback_response) {
+  const protocol::Request& request = forward->job.request;
+  auto digests = std::make_shared<std::vector<std::string>>();
+  if (!request.digest.empty()) digests->push_back(request.digest);
+  if (!request.digest_instr.empty()) digests->push_back(request.digest_instr);
+  auto candidates = std::make_shared<std::deque<std::size_t>>();
+  for (const std::size_t index : ring_.Ranked(digests->front())) {
+    if (index == exclude) continue;
+    if (!workers_[index]->up.load(std::memory_order_relaxed)) continue;
+    candidates->push_back(index);
+  }
+  PeekStep(std::move(forward), std::move(candidates), std::move(digests), 0,
+           std::make_shared<std::string>(std::move(fallback_response)));
+}
+
+void Router::PeekStep(ForwardPtr forward,
+                      std::shared_ptr<std::deque<std::size_t>> candidates,
+                      std::shared_ptr<std::vector<std::string>> digests,
+                      std::size_t digest_index,
+                      std::shared_ptr<std::string> fallback) {
+  if (candidates->empty()) {
+    support::MetricsRegistry::Add(options_.metrics, "fleet.peek.misses");
+    if (!fallback->empty()) {
+      // Every live worker was probed; the owner's own verdict (unknown
+      // digest) is the honest answer.
+      const std::size_t owner = forward->worker;
+      Answer(std::move(forward), owner, std::move(*fallback));
+      return;
+    }
+    const std::string what =
+        digests->size() > 1
+            ? "digests " + (*digests)[0] + " and " + (*digests)[1]
+            : "digest " + (*digests)[0];
+    AnswerError(forward, protocol::kCodeOverloaded,
+                "no live worker holds " + what, options_.retry_after_ms,
+                "shed");
+    return;
+  }
+  const std::size_t worker = candidates->front();
+  support::MetricsRegistry::Add(options_.metrics, "fleet.peek.probes");
+
+  protocol::Request probe;
+  probe.id = NextFid();
+  probe.op = Op::kStats;
+  probe.digest = (*digests)[digest_index];
+  probe.kind = probe.digest == forward->job.request.digest
+                   ? forward->job.request.kind
+                   : "instr";
+
+  // std::function callbacks must be copyable, so the probe chain's state
+  // travels in shared_ptrs.
+  Worker& target = *workers_[worker];
+  target.inflight.fetch_add(1, std::memory_order_relaxed);
+  const bool accepted = target.channel->Submit(
+      probe.id, protocol::SerializeRequest(probe),
+      [this, forward, worker, candidates, digests, digest_index, fallback](
+          bool transport_ok, std::string response) {
+        workers_[worker]->inflight.fetch_sub(1, std::memory_order_relaxed);
+        if (transport_ok && ResponseOk(response)) {
+          if (digest_index + 1 < digests->size()) {
+            // A joint request needs one node holding BOTH digests: keep
+            // probing the same worker for the next digest.
+            PeekStep(forward, candidates, digests, digest_index + 1, fallback);
+            return;
+          }
+          support::MetricsRegistry::Add(options_.metrics, "fleet.peek.hits");
+          for (const std::string& digest : *digests) Memoise(digest, worker);
+          forward->tried.assign(workers_.size(), false);
+          SendTo(forward, worker);
+          return;
+        }
+        if (!transport_ok &&
+            !quiescing_.load(std::memory_order_relaxed)) {
+          MarkDown(worker);
+        }
+        candidates->pop_front();
+        PeekStep(forward, candidates, digests, 0, fallback);
+      });
+  if (!accepted) {
+    target.inflight.fetch_sub(1, std::memory_order_relaxed);
+    if (!quiescing_.load(std::memory_order_relaxed)) MarkDown(worker);
+    candidates->pop_front();
+    PeekStep(std::move(forward), std::move(candidates), std::move(digests), 0,
+             std::move(fallback));
+  }
+}
+
+void Router::Answer(ForwardPtr forward, std::size_t worker, std::string line) {
+  service::DispatchJob& job = forward->job;
+  const protocol::Request& request = job.request;
+
+  // Splice 1: the client's id back in place of the forward id. The head is
+  // serialiser-produced ({"id":"f<N>", ...), so a literal prefix match is
+  // exact; anything else means the worker sent something we do not
+  // understand, and passing it through could mis-correlate — fail loudly.
+  const std::string needle = "{\"id\":" + JsonQuote(forward->fid) + ",";
+  if (line.compare(0, needle.size(), needle) != 0) {
+    AnswerError(forward, support::ToString(ErrorCategory::kInternal),
+                "malformed response from worker " + workers_[worker]->name,
+                0);
+    return;
+  }
+  line = "{\"id\":" + JsonQuote(request.id) + "," + line.substr(needle.size());
+
+  // Splice 2: rid provenance — "<router-rid>/<worker-rid>" so one grep of
+  // either daemon's request log follows the hop. The worker rid never
+  // contains quotes, so inserting after the opening quote is safe.
+  static constexpr char kRidNeedle[] = "\"rid\":\"";
+  const std::size_t rid_pos = line.find(kRidNeedle);
+  std::string combined_rid = request.rid;
+  if (rid_pos != std::string::npos) {
+    const std::size_t value_pos = rid_pos + sizeof(kRidNeedle) - 1;
+    line.insert(value_pos, request.rid + "/");
+    const std::size_t value_end = line.find('"', value_pos);
+    if (value_end != std::string::npos) {
+      combined_rid = line.substr(value_pos, value_end - value_pos);
+    }
+  }
+  job.request.rid = combined_rid;  // the request log shows the provenance
+
+  const bool ok = ResponseOk(line);
+  if (ok) {
+    // Splice 3: upload tokens gain their routing prefix on the way out.
+    if (request.op == Op::kTraceBegin || request.op == Op::kTraceChunk) {
+      static constexpr char kUploadNeedle[] = "\"upload\":\"";
+      const std::size_t upload_pos = line.find(kUploadNeedle);
+      if (upload_pos != std::string::npos) {
+        line.insert(upload_pos + sizeof(kUploadNeedle) - 1,
+                    "w" + std::to_string(worker) + ".");
+      }
+    }
+    // Learn placement from any digest-bearing success (explore, stats,
+    // ingest, trace-end, explore-joint).
+    const std::string digest = ExtractDigestField(line);
+    if (!digest.empty()) {
+      Memoise(digest, worker);
+      job.digest = digest;
+    }
+    job.outcome = "forwarded";
+  } else {
+    job.outcome = "error";
+    // Best-effort code attribution for the log; the response line already
+    // carries the real code to the client.
+    static constexpr char kCodeNeedle[] = "\"code\":\"";
+    const std::size_t code_pos = line.find(kCodeNeedle);
+    if (code_pos != std::string::npos) {
+      const std::size_t value_pos = code_pos + sizeof(kCodeNeedle) - 1;
+      const std::size_t value_end = line.find('"', value_pos);
+      if (value_end != std::string::npos) {
+        job.error_code = line.substr(value_pos, value_end - value_pos);
+      }
+    }
+  }
+
+  dispatcher_.Respond(job, line);
+  FinishForward();
+}
+
+void Router::AnswerError(ForwardPtr forward, const std::string& code,
+                         const std::string& message,
+                         std::uint64_t retry_after_ms, const char* outcome) {
+  dispatcher_.Fail(forward->job, code, message, retry_after_ms, outcome);
+  FinishForward();
+}
+
+void Router::FinishForward() {
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    --forwards_inflight_;
+  }
+  inflight_cv_.notify_all();
+}
+
+void Router::Quiesce() {
+  quiescing_.store(true, std::memory_order_relaxed);
+  {
+    std::unique_lock<std::mutex> lock(inflight_mutex_);
+    inflight_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.worker_timeout_ms),
+        [this] { return forwards_inflight_ == 0; });
+  }
+  // Stragglers (a worker that stopped answering) get failed by closing the
+  // channels; their callbacks shed with "shutting_down".
+  for (auto& worker : workers_) worker->channel->Close();
+  std::unique_lock<std::mutex> lock(inflight_mutex_);
+  inflight_cv_.wait(lock, [this] { return forwards_inflight_ == 0; });
+}
+
+void Router::ProberLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(prober_mutex_);
+      prober_cv_.wait_for(
+          lock, std::chrono::milliseconds(options_.health_period_ms),
+          [this] { return prober_stop_; });
+      if (prober_stop_) return;
+    }
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      {
+        std::lock_guard<std::mutex> lock(prober_mutex_);
+        if (prober_stop_) return;
+      }
+      service::ClientOptions probe_options;
+      probe_options.endpoints = {workers_[i]->endpoint};
+      probe_options.timeout_ms = options_.probe_timeout_ms;
+      probe_options.max_attempts = 1;
+      probe_options.jitter_seed = 1;
+      try {
+        service::Client probe(probe_options);
+        const service::Response response =
+            probe.Request("{\"id\":\"fleet-probe\",\"op\":\"health\"}");
+        if (response.ok) {
+          MarkUp(i);
+        } else {
+          MarkDown(i);
+        }
+      } catch (const std::exception&) {
+        MarkDown(i);
+      }
+    }
+  }
+}
+
+}  // namespace ces::fleet

@@ -1,0 +1,248 @@
+// The fleet router: a digest-sharded forwarder over the worker pool.
+//
+// Router is a LineService (so service::Server gives it the same socket
+// front end as a worker daemon) whose executor forwards every schedulable
+// request to the worker that owns it instead of running an Explorer:
+//
+//   client ──> router ──(rendezvous ring on digest / trace name)──> worker
+//
+// Placement. Digest ops go to the worker the ring assigns the digest —
+// hardened by a bounded placement memo learned from worker responses (a
+// digest uploaded while the ring owner was down lives on the next-ranked
+// node; the memo remembers where it actually landed). Trace-by-name ops go
+// to the ring owner of the name, so repeat requests for the same workload
+// hit the same warm prelude. Chunked uploads are pinned at trace-begin (ring
+// owner of the declared name, round-robin when anonymous) and the session
+// token returned to the client is wrapped as "w<idx>.<worker-token>" so
+// trace-chunk/trace-end self-route with no session table in the router.
+//
+// Peek. When the routed worker answers "unknown digest" — or the memoised
+// owner is marked down — the router probes the other live workers with a
+// cheap stats-digest request (the cross-node result-cache peek) and
+// re-forwards to the node that actually holds the trace, memoising the
+// answer. Only when no live worker knows the digest does the client see the
+// validation error.
+//
+// Failure policy. A static --workers membership list is hardened by a
+// periodic health prober: a probe failure (or any forward-time transport
+// error) marks the worker down, a later successful probe marks it back up.
+// By-name work re-routes to the next-ranked live worker; digest work sheds
+// honestly ("overloaded" + retry_after_ms) when no live worker holds the
+// digest — the router never silently computes a wrong answer. Admission
+// reuses the service Dispatcher (same bounded queue, same shed taxonomy),
+// and a per-worker in-flight cap folds per-node backpressure into the same
+// "overloaded" response.
+//
+// Provenance. Responses pass through byte-identical except for three
+// splices: the client's id replaces the router's forward id, the rid
+// becomes "<router-rid>/<worker-rid>" so one grep of either request log
+// follows a request across the hop, and upload tokens gain their "w<idx>."
+// routing prefix. Payload bytes (points, stats, joint reports) are the
+// worker's own — the router cannot corrupt what it does not reparse.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "fleet/ring.hpp"
+#include "service/client.hpp"
+#include "service/dispatch.hpp"
+#include "service/service.hpp"
+#include "support/log.hpp"
+#include "support/metrics.hpp"
+
+namespace ces::fleet {
+
+// One persistent multiplexed connection to a worker. Submit() registers a
+// callback under the forward id and pipelines the framed line; a single
+// reader thread matches response lines back by id. Every accepted submit is
+// answered exactly once: with (true, line) when the worker responds, with
+// (false, "") when the connection dies first or Close() tears it down.
+// Submit() returning false means nothing was sent (connect or send failed —
+// the worker saw nothing, the caller owns the failover).
+class WorkerChannel {
+ public:
+  using Callback = std::function<void(bool transport_ok, std::string line)>;
+
+  WorkerChannel(service::ClientEndpoint endpoint, int send_timeout_s = 10);
+  ~WorkerChannel();  // implies Close()
+
+  WorkerChannel(const WorkerChannel&) = delete;
+  WorkerChannel& operator=(const WorkerChannel&) = delete;
+
+  bool Submit(const std::string& fid, const std::string& line, Callback done);
+
+  // Fails everything pending, hangs up and joins the reader. Idempotent;
+  // a closed channel refuses further submits.
+  void Close();
+
+  std::size_t pending() const;
+  const service::ClientEndpoint& endpoint() const { return endpoint_; }
+
+ private:
+  void ReaderLoop();
+
+  const service::ClientEndpoint endpoint_;
+  const int send_timeout_s_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  int fd_ = -1;
+  bool stopping_ = false;
+  std::unordered_map<std::string, Callback> pending_;
+  std::thread reader_;
+};
+
+struct RouterOptions {
+  // Static membership: the worker endpoints, in --workers order. Ring
+  // placement keys on the endpoint labels, so the same list (in any order)
+  // yields the same placement on every router.
+  std::vector<service::ClientEndpoint> workers;
+  std::uint64_t ring_seed = 0;
+  std::size_t queue_limit = 256;        // router admission bound
+  std::uint64_t retry_after_ms = 100;   // shed hint
+  std::size_t worker_inflight_limit = 128;  // per-worker backpressure cap
+  std::uint64_t health_period_ms = 1000;    // 0 disables the prober
+  int probe_timeout_ms = 2000;          // per health probe
+  int worker_timeout_ms = 30'000;       // drain bound on in-flight forwards
+  std::size_t placement_memo_limit = 65536;  // digest->worker entries
+  support::MetricsRegistry* metrics = nullptr;
+  support::RequestLog* request_log = nullptr;
+  // Invoked (after the response is sent) on the protocol shutdown op.
+  // Unset = the op is rejected, same as a worker daemon.
+  std::function<void()> on_shutdown_request;
+};
+
+class Router : public service::LineService, private service::BatchExecutor {
+ public:
+  explicit Router(RouterOptions options);
+  ~Router() override;  // implies Drain()
+
+  void Handle(const std::string& line, Responder done) override;
+  void Drain() override;
+
+  // Live worker count / per-worker up flags (ops + tests).
+  std::size_t workers_up() const;
+  bool worker_up(std::size_t index) const;
+  // Test hook: force a membership transition without waiting for the
+  // prober to notice.
+  void MarkDown(std::size_t index);
+  void MarkUp(std::size_t index);
+
+  const Ring& ring() const { return ring_; }
+  service::protocol::ServerInfo Snapshot() const;
+
+ private:
+  struct Worker {
+    service::ClientEndpoint endpoint;
+    std::string name;  // endpoint label; the ring node key
+    std::unique_ptr<WorkerChannel> channel;
+    std::atomic<bool> up{true};
+    std::atomic<std::size_t> inflight{0};
+  };
+
+  // One forwarded request in flight, shared with the channel callbacks.
+  struct Forward {
+    service::DispatchJob job;
+    std::vector<bool> tried;     // workers already attempted
+    std::size_t worker = 0;      // current target
+    std::string fid;             // router-side correlation id
+    std::string wrapped_upload;  // original wrapped token (chunk/end)
+    bool peeked = false;         // a peek round already ran
+  };
+  using ForwardPtr = std::shared_ptr<Forward>;
+
+  // BatchExecutor:
+  void ExecuteBatch(std::deque<service::DispatchJob> batch) override;
+  void Quiesce() override;
+
+  std::string NextRid();
+  std::string NextFid();
+  void LogInline(const std::string& rid, const std::string& id,
+                 const char* op, const char* outcome,
+                 const std::string& error_code, std::uint64_t start_us,
+                 std::size_t response_bytes);
+
+  // Routing: picks the worker, enforces the in-flight cap, sends. Every
+  // path answers the job exactly once (possibly asynchronously).
+  void ForwardJob(ForwardPtr forward);
+  void SendTo(ForwardPtr forward, std::size_t worker);
+  void OnWorkerResponse(ForwardPtr forward, std::size_t worker,
+                        bool transport_ok, std::string line);
+  void OnTransportFailure(ForwardPtr forward, std::size_t worker);
+  // The cross-node peek: probes live workers (excluding `exclude`) for
+  // every digest the request references (one for explore/stats/ingest, up
+  // to two for explore-joint — which needs a node holding BOTH) with cheap
+  // stats requests; re-forwards on a full hit, else answers with `fallback`
+  // (the owner's error response, spliced) or an honest shed.
+  void PeekForDigest(ForwardPtr forward, std::size_t exclude,
+                     std::string fallback_response);
+  // Probes candidates->front() for (*digests)[digest_index]; a hit advances
+  // the digest index on the same worker, a miss pops the candidate and
+  // restarts at digest 0 on the next.
+  void PeekStep(ForwardPtr forward,
+                std::shared_ptr<std::deque<std::size_t>> candidates,
+                std::shared_ptr<std::vector<std::string>> digests,
+                std::size_t digest_index,
+                std::shared_ptr<std::string> fallback);
+
+  // Terminal paths: answer via the dispatcher, then release the in-flight
+  // slot Quiesce() waits on.
+  void Answer(ForwardPtr forward, std::size_t worker, std::string line);
+  void AnswerError(ForwardPtr forward, const std::string& code,
+                   const std::string& message, std::uint64_t retry_after_ms,
+                   const char* outcome = "error");
+  void FinishForward();
+
+  // Placement helpers.
+  bool LookupMemo(const std::string& digest, std::size_t* worker) const;
+  void Memoise(const std::string& digest, std::size_t worker);
+  // First live worker in ring order for `key`, skipping already-tried
+  // entries; false when none is left.
+  bool PickByRing(const std::string& key, const std::vector<bool>& tried,
+                  std::size_t* worker) const;
+  // Round-robin over live workers (anonymous trace-begin).
+  bool PickRoundRobin(std::size_t* worker);
+  void SetWorkersUpGauge();
+
+  void ProberLoop();
+
+  RouterOptions options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  Ring ring_;
+
+  std::atomic<std::uint64_t> rid_counter_{0};
+  std::atomic<std::uint64_t> fid_counter_{0};
+  std::atomic<std::uint64_t> round_robin_{0};
+  const std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
+
+  mutable std::mutex memo_mutex_;
+  std::unordered_map<std::string, std::size_t> placement_;
+
+  std::mutex inflight_mutex_;
+  std::condition_variable inflight_cv_;
+  std::size_t forwards_inflight_ = 0;
+  std::atomic<bool> quiescing_{false};
+
+  std::mutex prober_mutex_;
+  std::condition_variable prober_cv_;
+  bool prober_stop_ = false;
+  std::thread prober_;
+
+  // Declared last: its thread calls back into ExecuteBatch, so everything
+  // above must already be constructed (and must stay alive until Drain).
+  service::Dispatcher dispatcher_;
+};
+
+}  // namespace ces::fleet

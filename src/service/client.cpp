@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <thread>
 
@@ -18,12 +19,103 @@
 
 namespace ces::service {
 
-namespace {
-
 using support::Error;
 using support::ErrorCategory;
 
-}  // namespace
+int ConnectEndpoint(const ClientEndpoint& endpoint) {
+  int fd = -1;
+  if (!endpoint.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint.unix_path.size() >= sizeof(addr.sun_path)) {
+      throw Error(ErrorCategory::kUsage, "client",
+                  "unix socket path too long: " + endpoint.unix_path);
+    }
+    std::strncpy(addr.sun_path, endpoint.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd >= 0 && ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                             sizeof(addr)) != 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      fd = -1;
+    }
+  } else {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(endpoint.tcp_port));
+    if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+      throw Error(ErrorCategory::kUsage, "client",
+                  "not an IPv4 address: " + endpoint.host);
+    }
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd >= 0 && ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                             sizeof(addr)) != 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      fd = -1;
+    }
+  }
+  return fd;
+}
+
+std::string ClientEndpoint::Label() const {
+  if (!unix_path.empty()) return "unix:" + unix_path;
+  return host + ":" + std::to_string(tcp_port);
+}
+
+ClientEndpoint ParseEndpoint(const std::string& spec) {
+  ClientEndpoint endpoint;
+  if (spec.rfind("unix:", 0) == 0) {
+    endpoint.unix_path = spec.substr(5);
+    if (endpoint.unix_path.empty()) {
+      throw Error(ErrorCategory::kUsage, "client",
+                  "empty unix socket path in endpoint '" + spec + "'");
+    }
+    return endpoint;
+  }
+  std::string rest = spec;
+  if (rest.rfind("tcp:", 0) == 0) rest = rest.substr(4);
+  const std::size_t colon = rest.rfind(':');
+  std::string host = "127.0.0.1";
+  std::string port_text = rest;
+  if (colon != std::string::npos) {
+    if (colon > 0) host = rest.substr(0, colon);
+    port_text = rest.substr(colon + 1);
+  }
+  if (port_text.empty() ||
+      port_text.find_first_not_of("0123456789") != std::string::npos) {
+    throw Error(ErrorCategory::kUsage, "client",
+                "endpoint '" + spec +
+                    "' is not unix:<path>, <host>:<port> or <port>");
+  }
+  const long port = std::strtol(port_text.c_str(), nullptr, 10);
+  if (port <= 0 || port > 65535) {
+    throw Error(ErrorCategory::kUsage, "client",
+                "endpoint '" + spec + "' has an out-of-range port");
+  }
+  endpoint.host = host;
+  endpoint.tcp_port = static_cast<int>(port);
+  return endpoint;
+}
+
+std::vector<ClientEndpoint> ParseEndpointList(const std::string& specs) {
+  std::vector<ClientEndpoint> endpoints;
+  std::size_t start = 0;
+  while (start <= specs.size()) {
+    std::size_t comma = specs.find(',', start);
+    if (comma == std::string::npos) comma = specs.size();
+    const std::string spec = specs.substr(start, comma - start);
+    if (!spec.empty()) endpoints.push_back(ParseEndpoint(spec));
+    start = comma + 1;
+  }
+  if (endpoints.empty()) {
+    throw Error(ErrorCategory::kUsage, "client", "empty endpoint list");
+  }
+  return endpoints;
+}
 
 Client::Client(ClientOptions options)
     : options_(std::move(options)),
@@ -33,54 +125,57 @@ Client::Client(ClientOptions options)
                         static_cast<std::uint64_t>(
                             std::chrono::steady_clock::now()
                                 .time_since_epoch()
-                                .count())) {}
+                                .count())) {
+  if (!options_.endpoints.empty()) {
+    endpoints_ = options_.endpoints;
+  } else {
+    const bool use_unix = !options_.unix_path.empty();
+    if (use_unix != (options_.tcp_port >= 0)) {
+      ClientEndpoint endpoint;
+      if (use_unix) {
+        endpoint.unix_path = options_.unix_path;
+      } else {
+        endpoint.host = options_.host;
+        endpoint.tcp_port = options_.tcp_port;
+      }
+      endpoints_.push_back(std::move(endpoint));
+    }
+    // Both or neither set: endpoints_ stays empty and Connect() reports the
+    // usage error, matching the pre-failover behaviour.
+  }
+}
+
+void Client::Note(const std::string& message) const {
+  if (!options_.verbose) return;
+  std::fprintf(stderr, "client: %s\n", message.c_str());
+}
 
 int Client::Connect() {
-  const bool use_unix = !options_.unix_path.empty();
-  if (use_unix == (options_.tcp_port >= 0)) {
+  if (endpoints_.empty()) {
     throw Error(ErrorCategory::kUsage, "client",
                 "select exactly one of unix_path and tcp_port");
   }
-  int fd = -1;
-  if (use_unix) {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (options_.unix_path.size() >= sizeof(addr.sun_path)) {
-      throw Error(ErrorCategory::kUsage, "client",
-                  "unix socket path too long: " + options_.unix_path);
+  std::string last_error;
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    const std::size_t index = (preferred_ + i) % endpoints_.size();
+    const ClientEndpoint& endpoint = endpoints_[index];
+    const int fd = ConnectEndpoint(endpoint);
+    if (fd >= 0) {
+      if (index != preferred_) {
+        Note("failing over to " + endpoint.Label());
+        preferred_ = index;
+      }
+      return fd;
     }
-    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd >= 0 && ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
-                             sizeof(addr)) != 0) {
-      ::close(fd);
-      fd = -1;
-    }
-  } else {
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(static_cast<std::uint16_t>(options_.tcp_port));
-    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-      throw Error(ErrorCategory::kUsage, "client",
-                  "not an IPv4 address: " + options_.host);
-    }
-    fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd >= 0 && ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
-                             sizeof(addr)) != 0) {
-      ::close(fd);
-      fd = -1;
-    }
+    last_error = "cannot connect to " + endpoint.Label() + ": " +
+                 std::strerror(errno);
+    Note(last_error);
   }
-  if (fd < 0) {
-    throw Error(ErrorCategory::kIo, "client",
-                "cannot connect to " +
-                    (use_unix ? "unix:" + options_.unix_path
-                              : options_.host + ":" +
-                                    std::to_string(options_.tcp_port)) +
-                    ": " + std::strerror(errno));
-  }
-  return fd;
+  throw Error(ErrorCategory::kIo, "client",
+              endpoints_.size() == 1
+                  ? last_error
+                  : "all " + std::to_string(endpoints_.size()) +
+                        " endpoints refused; last: " + last_error);
 }
 
 std::uint64_t Client::BackoffMs(int attempt, std::uint64_t server_hint_ms) {
@@ -103,8 +198,13 @@ std::vector<Response> Client::Batch(const std::vector<std::string>& lines) {
   // The server recovers ids with the same extractor, so request and
   // response agree on "" exactly when the line's id is unreadable.
   std::vector<std::string> ids(lines.size());
+  // Idempotency classification, for the mid-stream-disconnect policy. A
+  // connect that never succeeded sent nothing, so everything stays safe.
+  std::vector<bool> resend_safe(lines.size(), true);
   for (std::size_t i = 0; i < lines.size(); ++i) {
     ids[i] = protocol::ExtractRequestId(lines[i]);
+    resend_safe[i] = protocol::IsIdempotentOp(
+        protocol::ExtractRequestOp(lines[i]));
   }
 
   std::string last_failure = "no attempt made";
@@ -124,9 +224,13 @@ std::vector<Response> Client::Batch(const std::vector<std::string>& lines) {
     try {
       fd = Connect();
     } catch (const Error& e) {
+      if (e.category() == ErrorCategory::kUsage) throw;
+      // Connect-refused: the server saw nothing, every request is safe to
+      // resend on the next attempt.
       last_failure = e.what();
       continue;
     }
+    const std::string endpoint_label = endpoints_[preferred_].Label();
 
     // Send every still-unanswered request, pipelined.
     std::string out;
@@ -137,6 +241,9 @@ std::vector<Response> Client::Batch(const std::vector<std::string>& lines) {
       out.push_back('\n');
       ++outstanding;
     }
+    // Once any byte is on the wire the attempt can fail "mid-stream": the
+    // server may or may not have executed the in-flight requests.
+    bool mid_stream_failure = false;
     bool transport_ok = true;
     std::size_t sent = 0;
     while (sent < out.size()) {
@@ -146,6 +253,7 @@ std::vector<Response> Client::Batch(const std::vector<std::string>& lines) {
         if (n < 0 && errno == EINTR) continue;
         last_failure = std::string("send: ") + std::strerror(errno);
         transport_ok = false;
+        mid_stream_failure = true;
         break;
       }
       sent += static_cast<std::size_t>(n);
@@ -161,6 +269,7 @@ std::vector<Response> Client::Batch(const std::vector<std::string>& lines) {
                                      std::chrono::steady_clock::now());
       if (remaining.count() <= 0) {
         last_failure = "timed out waiting for responses";
+        mid_stream_failure = true;
         break;
       }
       pollfd poll_fd{fd, POLLIN, 0};
@@ -169,10 +278,12 @@ std::vector<Response> Client::Batch(const std::vector<std::string>& lines) {
       if (ready < 0) {
         if (errno == EINTR) continue;
         last_failure = std::string("poll: ") + std::strerror(errno);
+        mid_stream_failure = true;
         break;
       }
       if (ready == 0) {
         last_failure = "timed out waiting for responses";
+        mid_stream_failure = true;
         break;
       }
       const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
@@ -180,6 +291,7 @@ std::vector<Response> Client::Batch(const std::vector<std::string>& lines) {
       if (n <= 0) {
         last_failure = n == 0 ? "server hung up"
                               : std::string("recv: ") + std::strerror(errno);
+        mid_stream_failure = true;
         break;
       }
       pending.append(buffer, static_cast<std::size_t>(n));
@@ -232,6 +344,27 @@ std::vector<Response> Client::Batch(const std::vector<std::string>& lines) {
     if (std::all_of(answered.begin(), answered.end(),
                     [](bool a) { return a; })) {
       return responses;
+    }
+    if (mid_stream_failure) {
+      // The connection died with requests in flight. Idempotent ops are
+      // safe to resend; an unanswered trace-begin/trace-end may already
+      // have executed server-side, so resending risks a duplicate or
+      // orphaned upload session — abort instead and let the caller rerun.
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (answered[i] || resend_safe[i]) continue;
+        throw Error(
+            ErrorCategory::kIo, "client",
+            "mid-stream disconnect from " + endpoint_label + " (" +
+                last_failure + ") with non-idempotent '" +
+                protocol::ExtractRequestOp(lines[i]) +
+                "' in flight; not resent");
+      }
+      Note("mid-stream disconnect from " + endpoint_label + " (" +
+           last_failure + "); resending idempotent requests");
+      // Treat the endpoint as suspect: the next attempt starts one over.
+      if (endpoints_.size() > 1) {
+        preferred_ = (preferred_ + 1) % endpoints_.size();
+      }
     }
   }
   // Budget exhausted. If every open slot holds a recorded "overloaded"

@@ -1,0 +1,177 @@
+#include "service/dispatch.hpp"
+
+#include <utility>
+
+#include "support/trace_event.hpp"
+
+namespace ces::service {
+
+Dispatcher::Dispatcher(BatchExecutor& executor, Options options,
+                       support::MetricsRegistry* metrics)
+    : executor_(executor), options_(options), metrics_(metrics) {
+  dispatcher_ = std::thread([this] { Loop(); });
+}
+
+Dispatcher::~Dispatcher() { Drain(); }
+
+void Dispatcher::Submit(protocol::Request request, Responder done) {
+  support::MetricsRegistry::Add(metrics_, "service.requests");
+  DispatchJob job;
+  job.enqueued = std::chrono::steady_clock::now();
+  if (request.deadline_ms > 0) {
+    job.deadline =
+        job.enqueued + std::chrono::milliseconds(request.deadline_ms);
+    job.has_deadline = true;
+  }
+  job.request = std::move(request);
+  job.done = std::move(done);
+
+  std::string shed_code;
+  std::string shed_message;
+  std::uint64_t shed_retry_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      shed_code = protocol::kCodeShuttingDown;
+      shed_message = "server is draining";
+    } else if (queue_.size() >= options_.queue_limit) {
+      shed_code = protocol::kCodeOverloaded;
+      shed_message = "admission queue full (" +
+                     std::to_string(options_.queue_limit) + " requests)";
+      shed_retry_ms = options_.retry_after_ms;
+    } else {
+      queue_.push_back(std::move(job));
+      support::MetricsRegistry::SetGauge(metrics_, "service.queue.depth",
+                                         queue_.size());
+    }
+  }
+  if (shed_code.empty()) {
+    cv_.notify_one();
+    return;
+  }
+  support::MetricsRegistry::Add(metrics_, "service.queue.shed");
+  Fail(job, shed_code, shed_message, shed_retry_ms, "shed");
+}
+
+void Dispatcher::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) {
+    dispatcher_.join();
+    // Asynchronous executors (the fleet router) still hold jobs the loop
+    // handed over; Drain must not return until they are answered too.
+    executor_.Quiesce();
+  }
+}
+
+void Dispatcher::Pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void Dispatcher::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Dispatcher::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+bool Dispatcher::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+void Dispatcher::Loop() {
+  support::TraceSink* sink = support::TraceSink::Global();
+  if (sink != nullptr) sink->NameThisThread("service dispatcher");
+  for (;;) {
+    std::deque<DispatchJob> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] {
+        return draining_ || (!paused_ && !queue_.empty());
+      });
+      if (queue_.empty()) {
+        if (draining_) return;
+        continue;
+      }
+      batch.swap(queue_);
+      support::MetricsRegistry::SetGauge(metrics_, "service.queue.depth", 0);
+    }
+    support::MetricsRegistry::ObserveHistogram(
+        metrics_, "service.batch.requests", batch.size());
+    const auto now = std::chrono::steady_clock::now();
+    for (DispatchJob& job : batch) {
+      job.dequeued = now;
+      job.dispatched = true;
+    }
+    executor_.ExecuteBatch(std::move(batch));
+  }
+}
+
+void Dispatcher::Respond(DispatchJob& job, const std::string& response) {
+  if (!job.done) return;
+  const auto now = std::chrono::steady_clock::now();
+  const double seconds =
+      std::chrono::duration<double>(now - job.enqueued).count();
+  support::MetricsRegistry::Observe(metrics_, "service.request", seconds);
+  const auto total_us = static_cast<std::uint64_t>(seconds * 1e6);
+  // Queue wait vs execute split: a job that never reached the dispatcher
+  // (shed, draining) spent its whole life queued.
+  std::uint64_t queue_us = total_us;
+  std::uint64_t exec_us = 0;
+  if (job.dispatched) {
+    queue_us = static_cast<std::uint64_t>(
+        std::chrono::duration<double>(job.dequeued - job.enqueued).count() *
+        1e6);
+    if (queue_us > total_us) queue_us = total_us;
+    exec_us = total_us - queue_us;
+  }
+  // Latency distributions are wall-clock facts — volatile histograms, so
+  // the deterministic metrics surface stays byte-identical across runs.
+  support::MetricsRegistry::ObserveVolatileHistogram(
+      metrics_, "service.request.latency_us", total_us);
+  support::MetricsRegistry::ObserveVolatileHistogram(
+      metrics_, "service.request.queue_us", queue_us);
+  support::MetricsRegistry::ObserveVolatileHistogram(
+      metrics_, "service.request.exec_us", exec_us);
+  if (options_.request_log != nullptr) {
+    support::RequestLogEntry entry;
+    entry.ts_us = options_.request_log->NowUs();
+    entry.rid = job.request.rid;
+    entry.id = job.request.id;
+    entry.op = protocol::ToString(job.request.op);
+    entry.trace = job.request.trace;
+    entry.digest = job.digest;
+    entry.outcome = job.outcome.empty() ? "computed" : job.outcome;
+    entry.error = job.error_code;
+    entry.queue_us = queue_us;
+    entry.exec_us = exec_us;
+    entry.total_us = total_us;
+    entry.bytes = response.size();
+    options_.request_log->Write(entry);
+  }
+  Responder done = std::move(job.done);
+  job.done = nullptr;
+  done(response);
+}
+
+void Dispatcher::Fail(DispatchJob& job, const std::string& code,
+                      const std::string& message,
+                      std::uint64_t retry_after_ms, const char* outcome) {
+  job.outcome = outcome;
+  job.error_code = code;
+  Respond(job, protocol::ErrorResponse(job.request.id, code, message,
+                                       retry_after_ms, job.request.rid));
+}
+
+}  // namespace ces::service

@@ -1,0 +1,138 @@
+// Admission and dispatch, separated from execution.
+//
+// Dispatcher owns the bounded admission queue, the overload/lifecycle
+// policy and the dispatcher thread; what happens to a dequeued batch is the
+// BatchExecutor's business. The in-process JobScheduler (scheduler.hpp)
+// plugs in an executor that resolves traces and runs the Explorer; the
+// fleet router (fleet/router.hpp) plugs in one that forwards every job to
+// the worker that owns its digest — same admission queue, same shed
+// taxonomy, no Explorer anywhere near it.
+//
+// Policy, in the order a request meets it (identical to the pre-split
+// JobScheduler, which tests pin):
+//  * bounded admission — a full queue sheds immediately with "overloaded"
+//    and a retry_after_ms hint instead of growing the backlog;
+//  * graceful drain — Drain() stops admission ("shutting_down") but every
+//    already-admitted request is still answered before Drain returns;
+//  * per-request deadlines are enforced by the executor via
+//    DeadlineExpired(), because only the executor knows when work starts.
+//
+// Every job is answered exactly once through Respond()/Fail(), which also
+// own the latency metrics and the request-log line; executors may call them
+// from any thread (asynchronous executors answer after ExecuteBatch
+// returns — Drain() then blocks in the executor's Quiesce()).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "service/protocol.hpp"
+#include "support/log.hpp"
+#include "support/metrics.hpp"
+
+namespace ces::service {
+
+// One admitted request plus the bookkeeping Respond()/Fail() turn into
+// metrics and a request-log line.
+struct DispatchJob {
+  protocol::Request request;
+  std::function<void(std::string)> done;
+  std::chrono::steady_clock::time_point enqueued;
+  // Set when the dispatcher's gulp picks the job up; sheds never get one,
+  // so their whole latency is queue time.
+  std::chrono::steady_clock::time_point dequeued;
+  bool dispatched = false;
+  std::chrono::steady_clock::time_point deadline;  // valid if has_deadline
+  bool has_deadline = false;
+  // Request-log attribution, filled in as the job progresses.
+  std::string digest;      // resolved content digest, when known
+  std::string outcome;     // see RequestLogEntry; "" logs as "computed"
+  std::string error_code;  // error/shed code, "" on success
+};
+
+// What a Dispatcher drives. ExecuteBatch must arrange for every job to be
+// answered exactly once (inline or later, from any thread); Quiesce blocks
+// until every job handed to ExecuteBatch so far has been answered — the
+// drain path calls it after the dispatcher thread exits, so a purely
+// synchronous executor can keep the default no-op.
+class BatchExecutor {
+ public:
+  virtual ~BatchExecutor() = default;
+  virtual void ExecuteBatch(std::deque<DispatchJob> batch) = 0;
+  virtual void Quiesce() {}
+};
+
+class Dispatcher {
+ public:
+  struct Options {
+    std::size_t queue_limit = 256;       // admission bound (jobs, not bytes)
+    std::uint64_t retry_after_ms = 100;  // shed hint for clients
+    // One structured line per finished request (see support/log.hpp);
+    // nullptr disables request logging.
+    support::RequestLog* request_log = nullptr;
+  };
+  using Responder = std::function<void(std::string)>;
+
+  // The executor must outlive the Dispatcher (declare it first, or Drain()
+  // before destroying it).
+  Dispatcher(BatchExecutor& executor, Options options,
+             support::MetricsRegistry* metrics = nullptr);
+  ~Dispatcher();  // implies Drain()
+
+  // Admits one request. Responds exactly once — inline on the calling
+  // thread when shed or draining, via the executor otherwise.
+  void Submit(protocol::Request request, Responder done);
+
+  // Stops admission, answers everything already queued (including the
+  // executor's in-flight asynchronous work, via Quiesce) and joins the
+  // dispatcher thread. Idempotent.
+  void Drain();
+
+  // Test/ops hook: a paused dispatcher admits but does not process, which
+  // makes queue-full shedding and deadline expiry deterministic to observe.
+  void Pause();
+  void Resume();
+
+  std::size_t queue_depth() const;
+  bool draining() const;
+  std::uint64_t retry_after_ms() const { return options_.retry_after_ms; }
+
+  // Answers the job exactly once: latency metrics, the request-log line,
+  // then the responder. Safe from any thread; a job without a responder
+  // (already answered) is a no-op.
+  void Respond(DispatchJob& job, const std::string& response);
+  // Marks the job failed (outcome + error code for the log) and responds
+  // with the matching error line. `outcome` defaults to "error"; shed and
+  // deadline paths pass their own.
+  void Fail(DispatchJob& job, const std::string& code,
+            const std::string& message, std::uint64_t retry_after_ms = 0,
+            const char* outcome = "error");
+
+  static bool DeadlineExpired(const DispatchJob& job,
+                              std::chrono::steady_clock::time_point now) {
+    return job.has_deadline && now > job.deadline;
+  }
+
+ private:
+  void Loop();
+
+  BatchExecutor& executor_;
+  const Options options_;
+  support::MetricsRegistry* metrics_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<DispatchJob> queue_;
+  bool draining_ = false;
+  bool paused_ = false;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace ces::service

@@ -123,6 +123,28 @@ Request ParseRequest(const std::string& line);
 // throws.
 std::string ExtractRequestId(const std::string& line);
 
+// Best-effort op-name recovery ("explore", "trace-begin", ...) without full
+// validation; "" when the line is not a JSON object with a string "op".
+// Never throws. The client's retry machinery uses it to classify lines it
+// is about to resend.
+std::string ExtractRequestOp(const std::string& line);
+
+// Whether resending a request with this op after a mid-stream disconnect is
+// safe. explore/stats/ingest are pure reads of content-addressed state;
+// trace-chunk is strictly sequenced with replay-acks, so a duplicate is a
+// no-op. trace-begin opens a fresh session per call and trace-end consumes
+// the session, so resending either can double or orphan server state.
+// Unknown/unparseable ops are treated as idempotent: the server answers
+// them with a deterministic structured error.
+bool IsIdempotentOp(const std::string& op);
+
+// Re-serialises a parsed request into a line ParseRequest accepts with
+// identical semantics (per-op field rules respected, so e.g. a joint
+// request never re-grows a 'kind' field). The router uses it to forward a
+// request under its own correlation id. The server-assigned `rid` is never
+// emitted — it is not a request wire field.
+std::string SerializeRequest(const Request& request);
+
 // Error codes beyond support::ErrorCategory that the protocol defines.
 inline constexpr char kCodeOverloaded[] = "overloaded";
 inline constexpr char kCodeDeadlineExceeded[] = "deadline_exceeded";

@@ -46,169 +46,31 @@ JobScheduler::JobScheduler(TraceStore& store, ResultCache& cache,
                            Options options, support::MetricsRegistry* metrics)
     : store_(store),
       cache_(cache),
-      options_(options),
       metrics_(metrics),
-      pool_(options.jobs, metrics) {
-  dispatcher_ = std::thread([this] { Loop(); });
-}
+      pool_(options.jobs, metrics),
+      dispatcher_(*this,
+                  Dispatcher::Options{options.queue_limit,
+                                      options.retry_after_ms,
+                                      options.request_log},
+                  metrics) {}
 
 JobScheduler::~JobScheduler() { Drain(); }
 
 void JobScheduler::Submit(protocol::Request request, Responder done) {
-  support::MetricsRegistry::Add(metrics_, "service.requests");
-  Job job;
-  job.enqueued = std::chrono::steady_clock::now();
-  if (request.deadline_ms > 0) {
-    job.deadline =
-        job.enqueued + std::chrono::milliseconds(request.deadline_ms);
-    job.has_deadline = true;
-  }
-  job.request = std::move(request);
-  job.done = std::move(done);
-
-  std::string shed_code;
-  std::string shed_message;
-  std::uint64_t shed_retry_ms = 0;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (draining_) {
-      shed_code = protocol::kCodeShuttingDown;
-      shed_message = "server is draining";
-    } else if (queue_.size() >= options_.queue_limit) {
-      shed_code = protocol::kCodeOverloaded;
-      shed_message = "admission queue full (" +
-                     std::to_string(options_.queue_limit) + " requests)";
-      shed_retry_ms = options_.retry_after_ms;
-    } else {
-      queue_.push_back(std::move(job));
-      support::MetricsRegistry::SetGauge(metrics_, "service.queue.depth",
-                                         queue_.size());
-    }
-  }
-  if (shed_code.empty()) {
-    cv_.notify_one();
-    return;
-  }
-  support::MetricsRegistry::Add(metrics_, "service.queue.shed");
-  FailJob(job, shed_code, shed_message, shed_retry_ms, "shed");
+  dispatcher_.Submit(std::move(request), std::move(done));
 }
 
-void JobScheduler::Drain() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    draining_ = true;
-  }
-  cv_.notify_all();
-  if (dispatcher_.joinable()) dispatcher_.join();
-}
+void JobScheduler::Drain() { dispatcher_.Drain(); }
 
-void JobScheduler::Pause() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  paused_ = true;
-}
+void JobScheduler::Pause() { dispatcher_.Pause(); }
 
-void JobScheduler::Resume() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    paused_ = false;
-  }
-  cv_.notify_all();
-}
+void JobScheduler::Resume() { dispatcher_.Resume(); }
 
 std::size_t JobScheduler::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  return dispatcher_.queue_depth();
 }
 
-bool JobScheduler::draining() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return draining_;
-}
-
-void JobScheduler::Loop() {
-  support::TraceSink* sink = support::TraceSink::Global();
-  if (sink != nullptr) sink->NameThisThread("service dispatcher");
-  for (;;) {
-    std::deque<Job> batch;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] {
-        return draining_ || (!paused_ && !queue_.empty());
-      });
-      if (queue_.empty()) {
-        if (draining_) return;
-        continue;
-      }
-      batch.swap(queue_);
-      support::MetricsRegistry::SetGauge(metrics_, "service.queue.depth", 0);
-    }
-    support::MetricsRegistry::ObserveHistogram(
-        metrics_, "service.batch.requests", batch.size());
-    RunBatch(std::move(batch));
-  }
-}
-
-bool JobScheduler::DeadlineExpired(
-    const Job& job, std::chrono::steady_clock::time_point now) {
-  return job.has_deadline && now > job.deadline;
-}
-
-void JobScheduler::Respond(Job& job, const std::string& response) {
-  if (!job.done) return;
-  const auto now = std::chrono::steady_clock::now();
-  const double seconds =
-      std::chrono::duration<double>(now - job.enqueued).count();
-  support::MetricsRegistry::Observe(metrics_, "service.request", seconds);
-  const auto total_us = static_cast<std::uint64_t>(seconds * 1e6);
-  // Queue wait vs execute split: a job that never reached the dispatcher
-  // (shed, draining) spent its whole life queued.
-  std::uint64_t queue_us = total_us;
-  std::uint64_t exec_us = 0;
-  if (job.dispatched) {
-    queue_us = static_cast<std::uint64_t>(
-        std::chrono::duration<double>(job.dequeued - job.enqueued).count() *
-        1e6);
-    if (queue_us > total_us) queue_us = total_us;
-    exec_us = total_us - queue_us;
-  }
-  // Latency distributions are wall-clock facts — volatile histograms, so
-  // the deterministic metrics surface stays byte-identical across runs.
-  support::MetricsRegistry::ObserveVolatileHistogram(
-      metrics_, "service.request.latency_us", total_us);
-  support::MetricsRegistry::ObserveVolatileHistogram(
-      metrics_, "service.request.queue_us", queue_us);
-  support::MetricsRegistry::ObserveVolatileHistogram(
-      metrics_, "service.request.exec_us", exec_us);
-  if (options_.request_log != nullptr) {
-    support::RequestLogEntry entry;
-    entry.ts_us = options_.request_log->NowUs();
-    entry.rid = job.request.rid;
-    entry.id = job.request.id;
-    entry.op = protocol::ToString(job.request.op);
-    entry.trace = job.request.trace;
-    entry.digest = job.digest;
-    entry.outcome = job.outcome.empty() ? "computed" : job.outcome;
-    entry.error = job.error_code;
-    entry.queue_us = queue_us;
-    entry.exec_us = exec_us;
-    entry.total_us = total_us;
-    entry.bytes = response.size();
-    options_.request_log->Write(entry);
-  }
-  Responder done = std::move(job.done);
-  job.done = nullptr;
-  done(response);
-}
-
-void JobScheduler::FailJob(Job& job, const std::string& code,
-                           const std::string& message,
-                           std::uint64_t retry_after_ms,
-                           const char* outcome) {
-  job.outcome = outcome;
-  job.error_code = code;
-  Respond(job, protocol::ErrorResponse(job.request.id, code, message,
-                                       retry_after_ms, job.request.rid));
-}
+bool JobScheduler::draining() const { return dispatcher_.draining(); }
 
 JobScheduler::ResolvedTrace JobScheduler::Resolve(
     const protocol::Request& request, bool force_ingest) {
@@ -256,7 +118,7 @@ JobScheduler::ResolvedTrace JobScheduler::Resolve(
   return resolved;
 }
 
-void JobScheduler::HandleUpload(Job& job) {
+void JobScheduler::HandleUpload(DispatchJob& job) {
   const protocol::Request& request = job.request;
   try {
     switch (request.op) {
@@ -266,9 +128,9 @@ void JobScheduler::HandleUpload(Job& job) {
                                            : trace::StreamKind::kData;
         const std::string token = store_.BeginUpload(
             kind, request.address_bits, request.count, request.name);
-        Respond(job, protocol::TraceBeginResponse(request.id, token,
-                                                  request.count,
-                                                  request.rid));
+        dispatcher_.Respond(job, protocol::TraceBeginResponse(
+                                     request.id, token, request.count,
+                                     request.rid));
         break;
       }
       case Op::kTraceChunk: {
@@ -276,27 +138,29 @@ void JobScheduler::HandleUpload(Job& job) {
             protocol::DecodeChunkPayload(request.encoding, request.payload);
         const std::uint64_t received = store_.AppendUploadChunk(
             request.upload, request.seq, refs.data(), refs.size());
-        Respond(job, protocol::TraceChunkResponse(request.id, request.upload,
-                                                  request.seq, received,
-                                                  request.rid));
+        dispatcher_.Respond(job, protocol::TraceChunkResponse(
+                                     request.id, request.upload, request.seq,
+                                     received, request.rid));
         break;
       }
       default: {
         const PinnedTrace pinned = store_.FinishUpload(request.upload);
         job.digest = pinned.digest;
-        Respond(job, protocol::TraceEndResponse(request.id, pinned.digest,
-                                                pinned.stats, request.rid));
+        dispatcher_.Respond(job, protocol::TraceEndResponse(
+                                     request.id, pinned.digest, pinned.stats,
+                                     request.rid));
         break;
       }
     }
   } catch (const Error& e) {
-    FailJob(job, support::ToString(e.category()), e.what());
+    dispatcher_.Fail(job, support::ToString(e.category()), e.what());
   } catch (const std::exception& e) {
-    FailJob(job, support::ToString(ErrorCategory::kInternal), e.what());
+    dispatcher_.Fail(job, support::ToString(ErrorCategory::kInternal),
+                     e.what());
   }
 }
 
-void JobScheduler::RunBatch(std::deque<Job> batch) {
+void JobScheduler::ExecuteBatch(std::deque<DispatchJob> batch) {
   support::ScopedTraceSpan batch_span("service.batch");
   const auto now = std::chrono::steady_clock::now();
 
@@ -306,7 +170,7 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
     std::string digest;
     analytic::ExplorerOptions options;
     std::string engine_name;
-    std::vector<Job*> jobs;
+    std::vector<DispatchJob*> jobs;
   };
   std::vector<Group> groups;
   std::unordered_map<std::string, std::size_t> group_index;
@@ -320,18 +184,16 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
     std::string engine_name;
     std::string space_name;
     bool prune = true;
-    std::vector<Job*> jobs;
+    std::vector<DispatchJob*> jobs;
   };
   std::vector<JointGroup> joint_groups;
   std::unordered_map<std::string, std::size_t> joint_group_index;
 
-  for (Job& job : batch) {
-    job.dequeued = now;
-    job.dispatched = true;
-    if (DeadlineExpired(job, now)) {
+  for (DispatchJob& job : batch) {
+    if (Dispatcher::DeadlineExpired(job, now)) {
       support::MetricsRegistry::Add(metrics_, "service.deadline_exceeded");
-      FailJob(job, protocol::kCodeDeadlineExceeded,
-              "deadline passed while queued", 0, "deadline");
+      dispatcher_.Fail(job, protocol::kCodeDeadlineExceeded,
+                       "deadline passed while queued", 0, "deadline");
       continue;
     }
     const protocol::Request& request = job.request;
@@ -356,20 +218,22 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
     }
     const ResolvedTrace& trace = it->second;
     if (trace.failed) {
-      FailJob(job, trace.code, trace.message);
+      dispatcher_.Fail(job, trace.code, trace.message);
       continue;
     }
     job.digest = trace.pinned.digest;
     switch (request.op) {
       case Op::kIngest:
-        Respond(job, protocol::IngestResponse(request.id, trace.pinned.digest,
-                                              trace.pinned.stats,
-                                              request.rid));
+        dispatcher_.Respond(job, protocol::IngestResponse(
+                                     request.id, trace.pinned.digest,
+                                     trace.pinned.stats, request.rid));
         break;
       case Op::kStats:
-        Respond(job, protocol::StatsResponse(
-                         request.id, trace.pinned.digest, trace.pinned.stats,
-                         trace::ToString(trace.pinned.kind), request.rid));
+        dispatcher_.Respond(job, protocol::StatsResponse(
+                                     request.id, trace.pinned.digest,
+                                     trace.pinned.stats,
+                                     trace::ToString(trace.pinned.kind),
+                                     request.rid));
         break;
       case Op::kExplore: {
         const std::string key = trace.pinned.digest + '|' + request.engine +
@@ -410,7 +274,7 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
         }
         const ResolvedTrace& instr_trace = instr_it->second;
         if (instr_trace.failed) {
-          FailJob(job, instr_trace.code, instr_trace.message);
+          dispatcher_.Fail(job, instr_trace.code, instr_trace.message);
           break;
         }
         const std::string key = trace.pinned.digest + '|' +
@@ -437,8 +301,8 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
         // ping/metrics/shutdown/stats(server)/health are routed inline by
         // the service; reaching the scheduler with one is a programming
         // error upstream.
-        FailJob(job, support::ToString(ErrorCategory::kInternal),
-                "operation cannot be scheduled");
+        dispatcher_.Fail(job, support::ToString(ErrorCategory::kInternal),
+                         "operation cannot be scheduled");
         break;
     }
   }
@@ -446,9 +310,9 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
   for (Group& group : groups) {
     // Explicit-K requests that are already cached never need the prelude —
     // answer them first and only build for what remains.
-    std::vector<Job*> remaining;
+    std::vector<DispatchJob*> remaining;
     remaining.reserve(group.jobs.size());
-    for (Job* job : group.jobs) {
+    for (DispatchJob* job : group.jobs) {
       if (job->request.has_k) {
         ResultKey key{group.digest,
                       static_cast<std::uint8_t>(group.options.engine),
@@ -456,10 +320,11 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
                       job->request.k};
         if (auto hit = cache_.Lookup(key)) {
           job->outcome = "cache_hit";
-          Respond(*job, protocol::ExploreResponse(
-                            job->request.id, group.digest, group.engine_name,
-                            hit->k, hit->stats, hit->points, true,
-                            job->request.rid));
+          dispatcher_.Respond(
+              *job, protocol::ExploreResponse(
+                        job->request.id, group.digest, group.engine_name,
+                        hit->k, hit->stats, hit->points, true,
+                        job->request.rid));
           continue;
         }
       }
@@ -473,13 +338,14 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
       explorer = store_.GetOrBuildExplorer(group.digest, group.options,
                                            &prelude_reused);
     } catch (const Error& e) {
-      for (Job* job : remaining) {
-        FailJob(*job, support::ToString(e.category()), e.what());
+      for (DispatchJob* job : remaining) {
+        dispatcher_.Fail(*job, support::ToString(e.category()), e.what());
       }
       continue;
     } catch (const std::exception& e) {
-      for (Job* job : remaining) {
-        FailJob(*job, support::ToString(ErrorCategory::kInternal), e.what());
+      for (DispatchJob* job : remaining) {
+        dispatcher_.Fail(*job, support::ToString(ErrorCategory::kInternal),
+                         e.what());
       }
       continue;
     }
@@ -487,14 +353,15 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
     // Per-request fan-out: every remaining request is one cheap histogram
     // query against the shared prelude.
     pool_.ParallelFor(remaining.size(), [&](std::size_t i) {
-      Job& job = *remaining[i];
+      DispatchJob& job = *remaining[i];
       try {
         support::ScopedTraceSpan solve_span("service.solve");
-        if (DeadlineExpired(job, std::chrono::steady_clock::now())) {
+        if (Dispatcher::DeadlineExpired(job,
+                                        std::chrono::steady_clock::now())) {
           support::MetricsRegistry::Add(metrics_,
                                         "service.deadline_exceeded");
-          FailJob(job, protocol::kCodeDeadlineExceeded,
-                  "deadline passed before solve", 0, "deadline");
+          dispatcher_.Fail(job, protocol::kCodeDeadlineExceeded,
+                           "deadline passed before solve", 0, "deadline");
           return;
         }
         const std::uint64_t k = ResolveK(job.request, explorer->stats());
@@ -508,10 +375,11 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
         if (!job.request.has_k) {
           if (auto hit = cache_.Lookup(key)) {
             job.outcome = "cache_hit";
-            Respond(job, protocol::ExploreResponse(
-                             job.request.id, group.digest, group.engine_name,
-                             hit->k, hit->stats, hit->points, true,
-                             job.request.rid));
+            dispatcher_.Respond(
+                job, protocol::ExploreResponse(
+                         job.request.id, group.digest, group.engine_name,
+                         hit->k, hit->stats, hit->points, true,
+                         job.request.rid));
             return;
           }
         }
@@ -524,14 +392,15 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
         // "prelude_reused" marks the whole group as riding an already-built
         // prelude — one fused pass amortised over every rid in the group.
         if (prelude_reused) job.outcome = "prelude_reused";
-        Respond(job, protocol::ExploreResponse(
-                         job.request.id, group.digest, group.engine_name, k,
-                         value->stats, value->points, false,
-                         job.request.rid));
+        dispatcher_.Respond(job, protocol::ExploreResponse(
+                                     job.request.id, group.digest,
+                                     group.engine_name, k, value->stats,
+                                     value->points, false, job.request.rid));
       } catch (const Error& e) {
-        FailJob(job, support::ToString(e.category()), e.what());
+        dispatcher_.Fail(job, support::ToString(e.category()), e.what());
       } catch (const std::exception& e) {
-        FailJob(job, support::ToString(ErrorCategory::kInternal), e.what());
+        dispatcher_.Fail(job, support::ToString(ErrorCategory::kInternal),
+                         e.what());
       }
     });
   }
@@ -552,14 +421,16 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
     } else {
       // Everything already past its deadline is answered without paying for
       // the joint run; if nothing is left, skip the run entirely.
-      std::vector<Job*> remaining;
+      std::vector<DispatchJob*> remaining;
       remaining.reserve(group.jobs.size());
-      for (Job* job : group.jobs) {
-        if (DeadlineExpired(*job, std::chrono::steady_clock::now())) {
+      for (DispatchJob* job : group.jobs) {
+        if (Dispatcher::DeadlineExpired(*job,
+                                        std::chrono::steady_clock::now())) {
           support::MetricsRegistry::Add(metrics_,
                                         "service.deadline_exceeded");
-          FailJob(*job, protocol::kCodeDeadlineExceeded,
-                  "deadline passed before joint exploration", 0, "deadline");
+          dispatcher_.Fail(*job, protocol::kCodeDeadlineExceeded,
+                           "deadline passed before joint exploration", 0,
+                           "deadline");
           continue;
         }
         remaining.push_back(job);
@@ -583,24 +454,25 @@ void JobScheduler::RunBatch(std::deque<Job> batch) {
         value->payload = payload;
         cache_.Insert(key, value);
       } catch (const Error& e) {
-        for (Job* job : group.jobs) {
-          FailJob(*job, support::ToString(e.category()), e.what());
+        for (DispatchJob* job : group.jobs) {
+          dispatcher_.Fail(*job, support::ToString(e.category()), e.what());
         }
         continue;
       } catch (const std::exception& e) {
-        for (Job* job : group.jobs) {
-          FailJob(*job, support::ToString(ErrorCategory::kInternal),
-                  e.what());
+        for (DispatchJob* job : group.jobs) {
+          dispatcher_.Fail(*job, support::ToString(ErrorCategory::kInternal),
+                           e.what());
         }
         continue;
       }
     }
-    for (Job* job : group.jobs) {
+    for (DispatchJob* job : group.jobs) {
       if (cached) job->outcome = "cache_hit";
-      Respond(*job, protocol::ExploreJointResponse(
-                        job->request.id, group.digest, group.digest_instr,
-                        group.engine_name, group.space_name, group.prune,
-                        cached, payload, job->request.rid));
+      dispatcher_.Respond(*job, protocol::ExploreJointResponse(
+                                    job->request.id, group.digest,
+                                    group.digest_instr, group.engine_name,
+                                    group.space_name, group.prune, cached,
+                                    payload, job->request.rid));
     }
   }
 }

@@ -1,37 +1,33 @@
 // Batching job scheduler for the exploration daemon.
 //
-// Requests are admitted into one bounded queue; a dispatcher thread drains
-// the queue in gulps and turns each gulp into the minimum amount of heavy
-// work: all requests naming the same (trace, engine, line size, depth
-// range) share one trace resolution and one pinned prelude (built once via
-// TraceStore, so a burst of a thousand same-trace queries costs one fused
-// explorer pass), then fan out per-request across the thread pool where
-// each request is answered from the ResultCache or by one cheap Solve.
+// JobScheduler = Dispatcher (admission/dispatch, service/dispatch.hpp) + the
+// in-process execution engine. Requests are admitted into one bounded queue;
+// the dispatcher thread drains the queue in gulps and this class turns each
+// gulp into the minimum amount of heavy work: all requests naming the same
+// (trace, engine, line size, depth range) share one trace resolution and one
+// pinned prelude (built once via TraceStore, so a burst of a thousand
+// same-trace queries costs one fused explorer pass), then fan out
+// per-request across the thread pool where each request is answered from the
+// ResultCache or by one cheap Solve.
 //
-// Overload and lifecycle policy, in the order a request meets it:
-//  * bounded admission — a full queue sheds immediately with "overloaded"
-//    and a retry_after_ms hint instead of growing the backlog;
-//  * per-request deadlines — a request whose deadline passed while queued
-//    is answered "deadline_exceeded" without computing anything;
-//  * graceful drain — Drain() (SIGTERM path) stops admission ("shutting_
-//    down") but every already-admitted request is still answered before
-//    Drain returns.
+// The overload/lifecycle policy (bounded admission -> "overloaded" sheds,
+// per-request deadlines, graceful drain) lives in the Dispatcher; the fleet
+// router reuses that same admission layer with a forwarding executor instead
+// of this one, which is why the split exists.
 //
 // Every request is answered exactly once via its responder, from the
 // dispatcher or a pool worker (sheds respond on the submitting thread), so
 // the transport must tolerate concurrent responders.
 #pragma once
 
-#include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <unordered_map>
 
+#include "service/dispatch.hpp"
 #include "service/protocol.hpp"
 #include "service/result_cache.hpp"
 #include "service/trace_store.hpp"
@@ -40,7 +36,7 @@
 
 namespace ces::service {
 
-class JobScheduler {
+class JobScheduler : private BatchExecutor {
  public:
   struct Options {
     unsigned jobs = 0;                  // 0 = hardware concurrency
@@ -50,7 +46,7 @@ class JobScheduler {
     // nullptr disables request logging.
     support::RequestLog* request_log = nullptr;
   };
-  using Responder = std::function<void(std::string)>;
+  using Responder = Dispatcher::Responder;
 
   JobScheduler(TraceStore& store, ResultCache& cache, Options options,
                support::MetricsRegistry* metrics = nullptr);
@@ -77,21 +73,6 @@ class JobScheduler {
   unsigned jobs() const { return pool_.jobs(); }
 
  private:
-  struct Job {
-    protocol::Request request;
-    Responder done;
-    std::chrono::steady_clock::time_point enqueued;
-    // Set when the dispatcher's gulp picks the job up; sheds never get one,
-    // so their whole latency is queue time.
-    std::chrono::steady_clock::time_point dequeued;
-    bool dispatched = false;
-    std::chrono::steady_clock::time_point deadline;  // valid if has_deadline
-    bool has_deadline = false;
-    // Request-log attribution, filled in as the job progresses.
-    std::string digest;      // resolved content digest, when known
-    std::string outcome;     // see RequestLogEntry; "" logs as "computed"
-    std::string error_code;  // error/shed code, "" on success
-  };
   struct ResolvedTrace {
     PinnedTrace pinned;
     bool failed = false;
@@ -99,38 +80,27 @@ class JobScheduler {
     std::string message;
   };
 
-  void Loop();
-  void RunBatch(std::deque<Job> batch);
+  // BatchExecutor: the dequeued gulp, grouped and fanned out. Synchronous —
+  // every job is answered before it returns, so Quiesce stays the no-op.
+  void ExecuteBatch(std::deque<DispatchJob> batch) override;
   // trace-begin/chunk/end: pure TraceStore calls, answered inline in batch
   // order (chunk sequencing relies on it).
-  void HandleUpload(Job& job);
+  void HandleUpload(DispatchJob& job);
   ResolvedTrace Resolve(const protocol::Request& request, bool force_ingest);
-  void Respond(Job& job, const std::string& response);
-  // Marks the job failed (outcome + error code for the log) and responds
-  // with the matching error line. `outcome` defaults to "error"; shed and
-  // deadline paths pass their own.
-  void FailJob(Job& job, const std::string& code, const std::string& message,
-               std::uint64_t retry_after_ms = 0, const char* outcome = "error");
-  bool DeadlineExpired(const Job& job, std::chrono::steady_clock::time_point now);
 
   TraceStore& store_;
   ResultCache& cache_;
-  const Options options_;
   support::MetricsRegistry* metrics_;
   support::ThreadPool pool_;
-
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Job> queue_;
-  bool draining_ = false;
-  bool paused_ = false;
 
   std::mutex memo_mutex_;
   // (trace ref + '\0' + kind) -> digest; lets repeat by-path requests skip
   // re-reading the file. An explicit ingest op refreshes the mapping.
   std::unordered_map<std::string, std::string> path_digest_;
 
-  std::thread dispatcher_;
+  // Last: its thread calls back into ExecuteBatch, so everything above must
+  // already be constructed (and must outlive the drain).
+  Dispatcher dispatcher_;
 };
 
 }  // namespace ces::service

@@ -34,7 +34,11 @@ Server::Server(ServerOptions options) : options_(std::move(options)) {
   ExplorationService::Options service_options = options_.service;
   service_options.on_shutdown_request = [this] { RequestShutdown(); };
   service_ = std::make_unique<ExplorationService>(service_options);
+  handler_ = service_.get();
 }
+
+Server::Server(ServerOptions options, LineService& handler)
+    : options_(std::move(options)), handler_(&handler) {}
 
 Server::~Server() {
   // Destruction without Wait() still tears everything down.
@@ -251,7 +255,7 @@ void Server::ReadLoop(std::shared_ptr<Connection> connection) {
       start = newline + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      service_->Handle(line, [this, connection](const std::string& response) {
+      handler_->Handle(line, [this, connection](const std::string& response) {
         SendLine(connection, response);
       });
     }
@@ -295,7 +299,7 @@ void Server::Wait() {
   // 2. Answer everything already admitted. Connections are still writable,
   // so in-flight clients get their results; anything submitted from here on
   // is shed with "shutting_down".
-  service_->Drain();
+  handler_->Drain();
 
   // 3. Hang up. shutdown() unblocks the reader threads' recv.
   std::vector<std::pair<std::shared_ptr<Connection>, std::thread>> connections;

@@ -29,7 +29,25 @@
 
 namespace ces::service {
 
-class ExplorationService {
+// What the socket front end (service/server.hpp) drives: a transport-free
+// line-in/line-out request sink. ExplorationService (a worker) and
+// fleet::Router (the digest-sharded forwarder) both implement it, so the
+// same Server machinery — accept loop, framing, drain order — serves both
+// daemons.
+class LineService {
+ public:
+  using Responder = std::function<void(std::string)>;
+
+  virtual ~LineService() = default;
+  // Routes one NDJSON request line. Must not throw; `done` is invoked
+  // exactly once (inline or from another thread) with the response line,
+  // no trailing newline.
+  virtual void Handle(const std::string& line, Responder done) = 0;
+  // Stops admission and answers everything already admitted.
+  virtual void Drain() = 0;
+};
+
+class ExplorationService : public LineService {
  public:
   struct Options {
     unsigned jobs = 0;                   // 0 = hardware concurrency
@@ -50,18 +68,18 @@ class ExplorationService {
     std::function<void()> on_shutdown_request;
   };
 
-  using Responder = JobScheduler::Responder;
+  using Responder = LineService::Responder;
 
   explicit ExplorationService(Options options);
-  ~ExplorationService();  // implies Drain()
+  ~ExplorationService() override;  // implies Drain()
 
   // Routes one NDJSON request line. Never throws; `done` is invoked exactly
   // once (inline or from a scheduler thread) with the response line, no
   // trailing newline.
-  void Handle(const std::string& line, Responder done);
+  void Handle(const std::string& line, Responder done) override;
 
   // Stops admission and answers everything already queued.
-  void Drain();
+  void Drain() override;
 
   TraceStore& store() { return store_; }
   ResultCache& cache() { return cache_; }

@@ -1,0 +1,410 @@
+// The exploration fleet: rendezvous ring placement and the digest-sharded
+// router, driven end to end against in-process worker servers.
+//
+// The load-bearing guarantees pinned here:
+//  * ring placement — deterministic across node order and restarts, seeded,
+//    roughly uniform over many digests, and minimal-movement under both
+//    join and leave (only keys the membership change forces move);
+//  * answer fidelity — a response through the router is byte-identical to
+//    the worker's own answer except for the documented splices (the
+//    "<router>/<worker>" rid, the wrapped upload token, and the result
+//    cache's `cached` flag when the comparison itself warms the cache);
+//  * shard pinning — an upload through the router lands on exactly the
+//    worker the ring names, and only that worker holds the digest;
+//  * joint co-location — an explore-joint by digest pair is re-routed to a
+//    node holding BOTH digests when one exists, and is an honest
+//    validation error (never a wrong answer) when the pair is split;
+//  * failure policy — killing a worker re-routes by-name work to the
+//    survivors and sheds unreachable-digest work with a retry hint.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fleet/ring.hpp"
+#include "fleet/router.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/trace_store.hpp"
+#include "support/metrics.hpp"
+#include "support/rng.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+using ces::fleet::Ring;
+using ces::support::MetricsRegistry;
+
+std::string TempPath(const char* suffix) {
+  static std::atomic<int> counter{0};
+  return testing::TempDir() + "ces_fleet_" + std::to_string(::getpid()) +
+         "_" + std::to_string(counter.fetch_add(1)) + suffix;
+}
+
+// --------------------------------------------------------------------------
+// Rendezvous ring
+
+std::vector<std::string> SyntheticDigests(std::size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  ces::Rng rng(0xd16e57);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back("sha256:" + std::to_string(rng.Next()) +
+                   std::to_string(i));
+  }
+  return keys;
+}
+
+TEST(Ring, DistributionIsRoughlyUniform) {
+  const Ring ring({"node-a", "node-b", "node-c", "node-d"});
+  std::map<std::string, std::size_t> owned;
+  for (const std::string& key : SyntheticDigests(1000)) {
+    ++owned[ring.Owner(key)];
+  }
+  ASSERT_EQ(owned.size(), 4u);
+  for (const auto& [node, count] : owned) {
+    // 250 expected; [180, 320] is over five binomial standard deviations.
+    EXPECT_GE(count, 180u) << node;
+    EXPECT_LE(count, 320u) << node;
+  }
+}
+
+TEST(Ring, PlacementIsDeterministicAcrossNodeOrderAndRestarts) {
+  const Ring ring({"node-a", "node-b", "node-c"});
+  const Ring restarted({"node-a", "node-b", "node-c"});
+  const Ring shuffled({"node-c", "node-a", "node-b"});
+  const Ring reseeded({"node-a", "node-b", "node-c"}, 42);
+  std::size_t moved_by_seed = 0;
+  for (const std::string& key : SyntheticDigests(1000)) {
+    const std::string& owner = ring.Owner(key);
+    EXPECT_EQ(restarted.Owner(key), owner);
+    EXPECT_EQ(shuffled.Owner(key), owner);  // order never changes placement
+    if (reseeded.Owner(key) != owner) ++moved_by_seed;
+  }
+  // A different seed is a different ring: ~2/3 of keys should move.
+  EXPECT_GT(moved_by_seed, 400u);
+}
+
+TEST(Ring, JoinMovesOnlyKeysOwnedByTheNewNode) {
+  const Ring before({"node-a", "node-b", "node-c"});
+  const Ring after({"node-a", "node-b", "node-c", "node-d"});
+  std::size_t moved = 0;
+  for (const std::string& key : SyntheticDigests(1000)) {
+    if (after.Owner(key) != before.Owner(key)) {
+      // Rendezvous hashing: a join only captures keys, never reshuffles
+      // them between the survivors.
+      EXPECT_EQ(after.Owner(key), "node-d");
+      ++moved;
+    }
+  }
+  // ~1/4 of the keys should land on the new node.
+  EXPECT_GE(moved, 150u);
+  EXPECT_LE(moved, 350u);
+}
+
+TEST(Ring, LeaveMovesOnlyTheRemovedNodesKeys) {
+  const Ring before({"node-a", "node-b", "node-c"});
+  const Ring after({"node-a", "node-b"});
+  for (const std::string& key : SyntheticDigests(1000)) {
+    if (before.Owner(key) == "node-c") continue;  // must move somewhere
+    EXPECT_EQ(after.Owner(key), before.Owner(key));
+  }
+}
+
+TEST(Ring, RankedIsAPermutationHeadedByTheOwner) {
+  const Ring ring({"node-a", "node-b", "node-c", "node-d"});
+  for (const std::string& key : SyntheticDigests(50)) {
+    const std::vector<std::size_t> ranked = ring.Ranked(key);
+    ASSERT_EQ(ranked.size(), ring.size());
+    EXPECT_EQ(ranked.front(), ring.OwnerIndex(key));
+    std::set<std::size_t> seen(ranked.begin(), ranked.end());
+    EXPECT_EQ(seen.size(), ring.size());
+    // The failover order is as deterministic as the owner.
+    EXPECT_EQ(ring.Ranked(key), ranked);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Router end to end: a real router in front of three real worker servers.
+
+// Blanks the volatile response fields so two lines can be compared byte for
+// byte: the rid (provenance differs by construction) and, when asked, the
+// result cache's `cached` flag (comparing against a worker directly warms
+// its cache). Everything else — points, stats, joint report — must match
+// exactly.
+std::string Normalized(std::string line, bool blank_cached = false) {
+  static const std::regex rid("\"rid\":\"[^\"]*\"");
+  line = std::regex_replace(line, rid, "\"rid\":\"#\"");
+  if (blank_cached) {
+    static const std::regex cached("\"cached\":(true|false)");
+    line = std::regex_replace(line, cached, "\"cached\":#");
+  }
+  return line;
+}
+
+struct FleetFixture {
+  explicit FleetFixture(MetricsRegistry* router_metrics = nullptr,
+                        std::size_t n_workers = 3) {
+    for (std::size_t i = 0; i < n_workers; ++i) {
+      ces::service::ServerOptions options;
+      options.unix_path = TempPath(".sock");
+      options.service.jobs = 2;
+      worker_paths.push_back(options.unix_path);
+      workers.push_back(
+          std::make_unique<ces::service::Server>(std::move(options)));
+      workers.back()->Start();
+    }
+    ces::fleet::RouterOptions options;
+    for (const std::string& path : worker_paths) {
+      ces::service::ClientEndpoint endpoint;
+      endpoint.unix_path = path;
+      options.workers.push_back(endpoint);
+    }
+    options.health_period_ms = 0;  // deterministic: no background prober
+    options.metrics = router_metrics;
+    router = std::make_unique<ces::fleet::Router>(std::move(options));
+    ces::service::ServerOptions front;
+    front.unix_path = TempPath(".sock");
+    router_server =
+        std::make_unique<ces::service::Server>(std::move(front), *router);
+    router_server->Start();
+  }
+
+  ~FleetFixture() {
+    router_server.reset();  // drains the router before the workers go away
+    router.reset();
+    workers.clear();
+  }
+
+  ces::service::Client ClientFor(const std::string& path,
+                                 bool retry_sheds = true) {
+    ces::service::ClientOptions options;
+    options.unix_path = path;
+    options.timeout_ms = 30'000;
+    options.max_attempts = 4;
+    options.backoff_base_ms = 1;
+    options.backoff_cap_ms = 20;
+    options.jitter_seed = 0x5eed;
+    options.retry_sheds = retry_sheds;
+    return ces::service::Client(std::move(options));
+  }
+  ces::service::Client RouterClient(bool retry_sheds = true) {
+    return ClientFor(router_server->endpoint().substr(5), retry_sheds);
+  }
+  ces::service::Client WorkerClient(std::size_t i) {
+    return ClientFor(worker_paths[i]);
+  }
+
+  // The same ring the router builds: worker endpoint labels, seed 0. Tests
+  // use it to PREDICT placement and then assert the fleet agrees.
+  Ring PlacementRing() const {
+    std::vector<std::string> labels;
+    for (const std::string& path : worker_paths) {
+      ces::service::ClientEndpoint endpoint;
+      endpoint.unix_path = path;
+      labels.push_back(endpoint.Label());
+    }
+    return Ring(labels, 0);
+  }
+
+  std::vector<std::string> worker_paths;
+  std::vector<std::unique_ptr<ces::service::Server>> workers;
+  std::unique_ptr<ces::fleet::Router> router;
+  std::unique_ptr<ces::service::Server> router_server;
+};
+
+const std::regex kFleetRid("^r[0-9]+/r[0-9]+$");
+
+TEST(FleetEndToEnd, ExploreByNameIsByteIdenticalToAWorkersOwnAnswer) {
+  FleetFixture fixture;
+  ces::service::Client via_router = fixture.RouterClient();
+
+  const std::string line =
+      "{\"id\":\"x1\",\"op\":\"explore\",\"trace\":\"crc\",\"k\":4}";
+  const auto routed = via_router.Request(line);
+  ASSERT_TRUE(routed.ok) << routed.raw;
+  EXPECT_TRUE(std::regex_match(routed.rid, kFleetRid)) << routed.rid;
+
+  // Compare against a worker the ring did NOT route to, so both sides are
+  // fresh computes and the whole line must match bar the rid splice.
+  const std::size_t routed_to = fixture.PlacementRing().OwnerIndex("crc");
+  const std::size_t other = (routed_to + 1) % fixture.workers.size();
+  ces::service::Client direct = fixture.WorkerClient(other);
+  const auto offline = direct.Request(line);
+  ASSERT_TRUE(offline.ok) << offline.raw;
+  EXPECT_EQ(Normalized(routed.raw), Normalized(offline.raw));
+}
+
+TEST(FleetEndToEnd, UploadPinsOneShardAndExploreByDigestMatches) {
+  FleetFixture fixture;
+  ces::service::Client via_router = fixture.RouterClient();
+
+  ces::Rng rng(0xbeef);
+  const ces::trace::Trace trace =
+      ces::trace::RandomWorkingSet(rng, 48, 1200, 4096);
+  const std::string local_digest =
+      ces::service::TraceStore::DigestOf(trace);
+
+  const auto begin = via_router.Request(
+      "{\"id\":\"b\",\"op\":\"trace-begin\",\"count\":" +
+      std::to_string(trace.refs.size()) +
+      ",\"kind\":\"data\",\"address_bits\":32,\"name\":\"fleet-upload\"}");
+  ASSERT_TRUE(begin.ok) << begin.raw;
+  // The router wraps the worker's token with its routing prefix.
+  ASSERT_FALSE(begin.upload.empty());
+  EXPECT_EQ(begin.upload[0], 'w') << begin.upload;
+  EXPECT_NE(begin.upload.find('.'), std::string::npos) << begin.upload;
+
+  std::vector<std::string> lines;
+  constexpr std::size_t kChunk = 300;
+  std::uint64_t seq = 0;
+  for (std::size_t at = 0; at < trace.refs.size(); at += kChunk, ++seq) {
+    const std::size_t n = std::min(kChunk, trace.refs.size() - at);
+    lines.push_back(
+        "{\"id\":\"c" + std::to_string(seq) +
+        "\",\"op\":\"trace-chunk\",\"upload\":\"" + begin.upload +
+        "\",\"seq\":" + std::to_string(seq) + ",\"payload\":\"" +
+        ces::service::protocol::EncodeChunkPayload("hex",
+                                                   trace.refs.data() + at,
+                                                   n) +
+        "\",\"encoding\":\"hex\"}");
+  }
+  for (const auto& response : via_router.Batch(lines)) {
+    ASSERT_TRUE(response.ok) << response.raw;
+  }
+  const auto end = via_router.Request(
+      "{\"id\":\"e\",\"op\":\"trace-end\",\"upload\":\"" + begin.upload +
+      "\"}");
+  ASSERT_TRUE(end.ok) << end.raw;
+  EXPECT_EQ(end.digest, local_digest);
+
+  // Shard pinning: the named upload went to the ring owner of the name,
+  // and ONLY that worker holds the digest.
+  const std::size_t predicted =
+      fixture.PlacementRing().OwnerIndex("fleet-upload");
+  for (std::size_t i = 0; i < fixture.workers.size(); ++i) {
+    ces::service::Client probe = fixture.WorkerClient(i);
+    const auto stats = probe.Request(
+        "{\"id\":\"p\",\"op\":\"stats\",\"digest\":\"" + end.digest +
+        "\"}");
+    EXPECT_EQ(stats.ok, i == predicted) << "worker " << i << ": "
+                                        << stats.raw;
+  }
+
+  // Explore by digest through the router answers with the holder's bytes
+  // (the direct request warms the holder's cache, hence blank_cached).
+  const std::string explore_line =
+      "{\"id\":\"x\",\"op\":\"explore\",\"digest\":\"" + end.digest +
+      "\",\"k\":5,\"max_index_bits\":5}";
+  const auto routed = via_router.Request(explore_line);
+  ASSERT_TRUE(routed.ok) << routed.raw;
+  ces::service::Client holder = fixture.WorkerClient(predicted);
+  const auto direct = holder.Request(explore_line);
+  ASSERT_TRUE(direct.ok) << direct.raw;
+  EXPECT_EQ(Normalized(routed.raw, /*blank_cached=*/true),
+            Normalized(direct.raw, /*blank_cached=*/true));
+
+  // A token the router never issued is a structured error, not a crash.
+  const auto bogus = via_router.Request(
+      "{\"id\":\"z\",\"op\":\"trace-end\",\"upload\":\"up-999\"}");
+  EXPECT_FALSE(bogus.ok);
+  EXPECT_EQ(bogus.error_code, "validation");
+}
+
+TEST(FleetEndToEnd, JointDigestPairFindsTheCoLocatedNode) {
+  MetricsRegistry metrics;
+  FleetFixture fixture(&metrics);
+
+  // Both streams ingested directly on one worker — the router has no memo
+  // of either digest, so only the peek can find the co-located node.
+  const std::size_t colocated = 1;
+  ces::service::Client seeder = fixture.WorkerClient(colocated);
+  const auto data =
+      seeder.Request("{\"id\":\"i1\",\"op\":\"ingest\",\"trace\":\"fir\"}");
+  const auto instr = seeder.Request(
+      "{\"id\":\"i2\",\"op\":\"ingest\",\"trace\":\"crc\","
+      "\"kind\":\"instr\"}");
+  ASSERT_TRUE(data.ok) << data.raw;
+  ASSERT_TRUE(instr.ok) << instr.raw;
+
+  const std::string line =
+      "{\"id\":\"j\",\"op\":\"explore-joint\",\"digest\":\"" + data.digest +
+      "\",\"digest_instr\":\"" + instr.digest + "\"}";
+  ces::service::Client via_router = fixture.RouterClient();
+  const auto routed = via_router.Request(line);
+  ASSERT_TRUE(routed.ok) << routed.raw;
+  EXPECT_TRUE(std::regex_match(routed.rid, kFleetRid)) << routed.rid;
+
+  // The payload is the co-located worker's own joint report, byte for byte.
+  const auto direct = seeder.Request(line);
+  ASSERT_TRUE(direct.ok) << direct.raw;
+  EXPECT_EQ(routed.joint_json, direct.joint_json);
+  EXPECT_FALSE(routed.joint_json.empty());
+}
+
+TEST(FleetEndToEnd, JointSplitAcrossNodesIsAnHonestValidationError) {
+  FleetFixture fixture;
+
+  // The pair is split: no single worker holds both digests, so there is no
+  // node that COULD answer — the router must say so, not guess.
+  ces::service::Client w0 = fixture.WorkerClient(0);
+  ces::service::Client w1 = fixture.WorkerClient(1);
+  const auto data =
+      w0.Request("{\"id\":\"i1\",\"op\":\"ingest\",\"trace\":\"fir\"}");
+  const auto instr = w1.Request(
+      "{\"id\":\"i2\",\"op\":\"ingest\",\"trace\":\"crc\","
+      "\"kind\":\"instr\"}");
+  ASSERT_TRUE(data.ok) << data.raw;
+  ASSERT_TRUE(instr.ok) << instr.raw;
+
+  ces::service::Client via_router = fixture.RouterClient();
+  const auto routed = via_router.Request(
+      "{\"id\":\"j\",\"op\":\"explore-joint\",\"digest\":\"" + data.digest +
+      "\",\"digest_instr\":\"" + instr.digest + "\"}");
+  EXPECT_FALSE(routed.ok);
+  EXPECT_EQ(routed.error_code, "validation") << routed.raw;
+  EXPECT_NE(routed.error_message.find("unknown digest"), std::string::npos)
+      << routed.raw;
+}
+
+TEST(FleetEndToEnd, KillingAWorkerReRoutesNamesAndShedsItsDigests) {
+  MetricsRegistry metrics;
+  FleetFixture fixture(&metrics);
+  ces::service::Client via_router = fixture.RouterClient();
+
+  // Pin a digest to one worker through the router, then kill that worker.
+  const auto ingest = via_router.Request(
+      "{\"id\":\"i\",\"op\":\"ingest\",\"trace\":\"fir\"}");
+  ASSERT_TRUE(ingest.ok) << ingest.raw;
+  const std::size_t holder = fixture.PlacementRing().OwnerIndex("fir");
+  fixture.workers[holder].reset();
+
+  // The digest now lives nowhere reachable: an honest shed with a retry
+  // hint, never a silently recomputed or wrong answer.
+  ces::service::Client no_retry = fixture.RouterClient(/*retry_sheds=*/false);
+  const auto dead = no_retry.Request(
+      "{\"id\":\"d\",\"op\":\"explore\",\"digest\":\"" + ingest.digest +
+      "\",\"k\":4}");
+  EXPECT_FALSE(dead.ok);
+  EXPECT_EQ(dead.error_code, "overloaded") << dead.raw;
+  EXPECT_GT(dead.retry_after_ms, 0u);
+  EXPECT_GE(metrics.counter("fleet.markdowns"), 1u);
+
+  // By-name work is content-free on the dead node: the survivors answer.
+  const auto rerouted = via_router.Request(
+      "{\"id\":\"r\",\"op\":\"explore\",\"trace\":\"fir\",\"k\":4}");
+  ASSERT_TRUE(rerouted.ok) << rerouted.raw;
+  EXPECT_TRUE(std::regex_match(rerouted.rid, kFleetRid)) << rerouted.rid;
+  EXPECT_EQ(fixture.router->workers_up(), fixture.workers.size() - 1);
+  EXPECT_FALSE(fixture.router->worker_up(holder));
+}
+
+}  // namespace

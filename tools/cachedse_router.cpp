@@ -1,0 +1,205 @@
+// cachedse-router — the fleet front end: digest-sharded request forwarding.
+//
+//   cachedse-router (--socket=PATH | --port=N) --workers=EP1,EP2,... [flags]
+//
+// Worker endpoints use the client grammar: "unix:<path>", "<host>:<port>",
+// ":<port>" or "<port>" (loopback). Placement is a seeded rendezvous hash of
+// each request's digest (or trace name) over the worker labels, so every
+// router with the same --workers list and --ring-seed computes the same
+// owner. See docs/SERVICE.md ("Fleet topology") for the runbook.
+//
+//   --workers=A,B,C       static worker membership (required)
+//   --ring-seed=0         rendezvous-hash seed; must match across routers
+//   --queue-limit=256     admission bound (sheds with "overloaded" beyond it)
+//   --retry-after-ms=100  the hint attached to sheds
+//   --worker-inflight=128 per-worker in-flight cap (per-node backpressure)
+//   --health-period-ms=1000  worker health-probe period (0 disables)
+//   --probe-timeout-ms=2000  per-probe timeout before a mark-down
+//   --metrics=json        print the MetricsRegistry as one JSON line on exit
+//   --log=FILE|-          structured NDJSON request log ('-' = stdout);
+//                         forwarded requests log rid "<router>/<worker>"
+//   --prometheus=FILE     rewrite FILE with the Prometheus text exposition
+//                         every --prometheus-period-ms (default 1000)
+//
+// Prints "listening on <endpoint>" once bound, serves until SIGINT/SIGTERM
+// or a client shutdown op, then drains: admission stops, every admitted
+// forward is answered (or shed "shutting_down" if its worker vanished),
+// connections are hung up, exit code 0.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "fleet/router.hpp"
+#include "service/server.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/metrics.hpp"
+#include "support/signals.hpp"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: cachedse-router (--socket=PATH | --port=N) --workers=EP1,EP2\n"
+      "  [--ring-seed=0] [--queue-limit=256] [--retry-after-ms=100]\n"
+      "  [--worker-inflight=128] [--health-period-ms=1000]\n"
+      "  [--probe-timeout-ms=2000] [--metrics=json] [--log=FILE|-]\n"
+      "  [--prometheus=FILE] [--prometheus-period-ms=1000]\n");
+  return 2;
+}
+
+void DumpPrometheus(const ces::support::MetricsRegistry& registry,
+                    const std::string& path) {
+  const std::string text = registry.ToPrometheus();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::rename(tmp.c_str(), path.c_str());
+}
+
+class PrometheusDumper {
+ public:
+  PrometheusDumper(const ces::support::MetricsRegistry& registry,
+                   std::string path, std::uint64_t period_ms)
+      : registry_(registry), path_(std::move(path)), period_ms_(period_ms) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+  ~PrometheusDumper() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    DumpPrometheus(registry_, path_);
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      lock.unlock();
+      DumpPrometheus(registry_, path_);
+      lock.lock();
+      cv_.wait_for(lock, std::chrono::milliseconds(period_ms_),
+                   [this] { return stop_; });
+    }
+  }
+
+  const ces::support::MetricsRegistry& registry_;
+  const std::string path_;
+  const std::uint64_t period_ms_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ces::ArgParser args(argc, argv);
+  const std::string socket_path = args.GetString("socket", "");
+  const bool has_port = args.Has("port");
+  const std::string workers = args.GetString("workers", "");
+  if (socket_path.empty() == !has_port || workers.empty()) return Usage();
+
+  ces::support::MetricsRegistry registry;
+  const std::string metrics_format = args.GetString("metrics", "");
+  const bool emit_metrics = metrics_format == "json";
+  if (!metrics_format.empty() && !emit_metrics) {
+    std::fprintf(stderr, "cachedse-router: unknown --metrics format '%s'\n",
+                 metrics_format.c_str());
+    return 2;
+  }
+
+  ces::fleet::RouterOptions router_options;
+  router_options.ring_seed =
+      static_cast<std::uint64_t>(args.GetInt("ring-seed", 0));
+  router_options.queue_limit =
+      static_cast<std::size_t>(args.GetInt("queue-limit", 256));
+  router_options.retry_after_ms =
+      static_cast<std::uint64_t>(args.GetInt("retry-after-ms", 100));
+  router_options.worker_inflight_limit =
+      static_cast<std::size_t>(args.GetInt("worker-inflight", 128));
+  router_options.health_period_ms =
+      static_cast<std::uint64_t>(args.GetInt("health-period-ms", 1000));
+  router_options.probe_timeout_ms =
+      static_cast<int>(args.GetInt("probe-timeout-ms", 2000));
+  router_options.metrics = &registry;
+
+  ces::support::RequestLog request_log;
+  const std::string log_path = args.GetString("log", "");
+  if (!log_path.empty()) {
+    if (!request_log.Open(log_path)) {
+      std::fprintf(stderr, "cachedse-router: cannot open --log=%s\n",
+                   log_path.c_str());
+      return 3;
+    }
+    router_options.request_log = &request_log;
+  }
+
+  ces::service::ServerOptions server_options;
+  server_options.unix_path = socket_path;
+  server_options.tcp_port =
+      has_port ? static_cast<int>(args.GetInt("port", 0)) : -1;
+  server_options.service.metrics = &registry;  // connection accounting
+
+  const std::string prometheus_path = args.GetString("prometheus", "");
+  const auto prometheus_period_ms = static_cast<std::uint64_t>(
+      args.GetInt("prometheus-period-ms", 1000));
+  std::unique_ptr<PrometheusDumper> prometheus;
+
+  try {
+    router_options.workers = ces::service::ParseEndpointList(workers);
+
+    // Watcher before any Router/Server threads so signals land only on it.
+    std::atomic<ces::service::Server*> server_ptr{nullptr};
+    ces::support::SignalWatcher watcher([&server_ptr](int signo) {
+      if (ces::service::Server* server = server_ptr.load()) {
+        server->RequestShutdown();
+      } else {
+        std::_Exit(128 + signo);
+      }
+    });
+    router_options.on_shutdown_request = [&server_ptr] {
+      if (ces::service::Server* server = server_ptr.load()) {
+        server->RequestShutdown();
+      }
+    };
+    ces::fleet::Router router(std::move(router_options));
+    ces::service::Server server(std::move(server_options), router);
+    server_ptr.store(&server);
+    server.Start();
+    std::printf("listening on %s\n", server.endpoint().c_str());
+    std::fflush(stdout);
+    if (!prometheus_path.empty()) {
+      prometheus = std::make_unique<PrometheusDumper>(
+          registry, prometheus_path,
+          prometheus_period_ms == 0 ? 1000 : prometheus_period_ms);
+    }
+    server.Wait();
+    prometheus.reset();  // final dump after the drain settles the counters
+  } catch (const ces::support::Error& e) {
+    std::fprintf(stderr, "cachedse-router: %s\n", e.what());
+    return ces::support::ExitCodeFor(e.category());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cachedse-router: %s\n", e.what());
+    return 1;
+  }
+
+  if (emit_metrics) {
+    std::printf("%s\n", registry.ToJson(true).c_str());
+  }
+  return 0;
+}
