@@ -11,8 +11,19 @@
 //     global operator new below counts them, armed via the after_setup
 //     hook, mirroring tests/fused_alloc_test.cpp).
 //
+// The bench also owns the SIMD dispatch scoreboard (docs/SIMD.md): every
+// row reports the kernel level it ran (the Kernel column) and its scan
+// throughput (refs/sec, also the `refs_per_sec` counter in the JSON report
+// — what tools/bench_diff gates on in CI), and a dispatch section re-runs
+// the serial fused traversals under every level the host supports so one
+// invocation prints the scalar-vs-avx2 comparison directly.
+//
 // Flags: --refs=1200000  --max-bits=14  --jobs=0 (0 = hardware concurrency)
 //        --repeats=3  --json=PATH (ces-bench-v1, docs/OBSERVABILITY.md)
+//        --simd=scalar|avx2 (force a dispatch level, beats CES_SIMD)
+//        --per-depth=false (skip the per-depth baseline rows)
+//        --simd-probe (print "detected=L active=L" and exit — CI uses this
+//                      to decide whether an avx2 run is possible)
 //
 // Note on wall clock: the parallel-vs-serial fused comparison needs real
 // hardware concurrency; on a single-core host the speedup is ~1.0x by
@@ -34,6 +45,7 @@
 #include "support/metrics.hpp"
 #include "support/pool.hpp"
 #include "support/rng.hpp"
+#include "support/simd.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
 #include "trace/strip.hpp"
@@ -137,7 +149,24 @@ Measurement RunPerDepth(const ces::trace::StrippedTrace& stripped,
 }  // namespace
 
 int main(int argc, char** argv) {
+  namespace simd = ces::support::simd;
   const ces::ArgParser args(argc, argv);
+  if (args.Has("simd-probe")) {
+    std::printf("detected=%s active=%s\n",
+                simd::LevelName(simd::DetectedLevel()),
+                simd::LevelName(simd::ActiveLevel()));
+    return 0;
+  }
+  if (args.Has("simd")) {
+    simd::Level forced;
+    const std::string name = args.GetString("simd", "");
+    if (!simd::ParseLevel(name.c_str(), &forced)) {
+      std::fprintf(stderr, "invalid --simd=%s (want scalar|avx2)\n",
+                   name.c_str());
+      return 2;
+    }
+    simd::ForceLevel(forced);
+  }
   const auto refs = static_cast<std::uint32_t>(args.GetInt("refs", 1200000));
   const auto max_bits =
       static_cast<std::uint32_t>(args.GetInt("max-bits", 14));
@@ -145,6 +174,7 @@ int main(int argc, char** argv) {
   const std::uint32_t jobs =
       jobs_flag == 0 ? ces::support::HardwareConcurrency() : jobs_flag;
   const int repeats = static_cast<int>(args.GetInt("repeats", 3));
+  const bool run_per_depth = args.GetBool("per-depth", true);
   ces::bench::BenchReporter reporter("micro_prelude", args);
 
   // A large embedded-style trace: a hot region with sequential runs plus a
@@ -156,33 +186,48 @@ int main(int argc, char** argv) {
   ces::Rng rng(20260806);
   const auto stripped = ces::trace::Strip(
       ces::trace::LocalityMix(rng, 256, 2048, refs, /*hot_fraction=*/0.85));
-  std::fprintf(stderr, "[setup] trace: N=%zu N'=%llu max-bits=%u jobs=%u\n",
+  std::fprintf(stderr,
+               "[setup] trace: N=%zu N'=%llu max-bits=%u jobs=%u "
+               "simd: detected=%s active=%s\n",
                stripped.size(),
                static_cast<unsigned long long>(stripped.unique_count()),
-               max_bits, jobs);
+               max_bits, jobs, simd::LevelName(simd::DetectedLevel()),
+               simd::LevelName(simd::ActiveLevel()));
 
   ces::support::ThreadPool pool(jobs);
-  ces::AsciiTable table(
-      {"Variant", "Jobs", "Wall (best)", "Refs scanned", "Allocs post-setup"});
+  ces::AsciiTable table({"Variant", "Jobs", "Kernel", "Wall (best)",
+                         "Refs scanned", "Refs/sec", "Allocs post-setup"});
   std::map<std::string, double> best;
   std::map<std::string, std::uint64_t> refs_scanned;
 
+  // Rows are keyed "<variant>/<jobs>" in the JSON report so every result
+  // name is unique — tools/bench_diff matches rows by name across runs.
   const auto report = [&](const std::string& name, std::uint32_t j,
                           const Measurement& m) {
-    std::map<std::string, std::string> params = {
-        {"refs", std::to_string(refs)},
-        {"max_bits", std::to_string(max_bits)},
-        {"jobs", std::to_string(j)}};
-    reporter.Add(name, std::move(params), repeats, m.wall_seconds, m.counters);
+    const std::string kernel = simd::ActiveKernels().name;
     const auto scanned = m.counters.count("refs_scanned")
                              ? m.counters.at("refs_scanned")
                              : 0;
+    Measurement with_rate = m;
+    with_rate.counters["refs_per_sec"] = static_cast<std::uint64_t>(
+        m.best() > 0 ? static_cast<double>(scanned) / m.best() : 0.0);
+    std::map<std::string, std::string> params = {
+        {"refs", std::to_string(refs)},
+        {"max_bits", std::to_string(max_bits)},
+        {"jobs", std::to_string(j)},
+        {"simd", kernel}};
+    reporter.Add(name + "/" + std::to_string(j), std::move(params), repeats,
+                 with_rate.wall_seconds, with_rate.counters);
     const auto allocs =
         m.counters.count("allocations_after_setup")
             ? std::to_string(m.counters.at("allocations_after_setup"))
             : std::string("-");
-    table.AddRow({name, std::to_string(j), ces::FormatSeconds(m.best()),
-                  ces::FormatWithThousands(scanned), allocs});
+    table.AddRow({name, std::to_string(j), kernel,
+                  ces::FormatSeconds(m.best()),
+                  ces::FormatWithThousands(scanned),
+                  ces::FormatWithThousands(
+                      with_rate.counters.at("refs_per_sec")),
+                  allocs});
     best[name + "/" + std::to_string(j)] = m.best();
     refs_scanned[name] = scanned;
   };
@@ -191,9 +236,57 @@ int main(int argc, char** argv) {
     const std::string variant = use_tree ? "fused_tree" : "fused";
     report(variant, 1, RunFused(stripped, max_bits, use_tree, nullptr, repeats));
     report(variant, jobs, RunFused(stripped, max_bits, use_tree, &pool, repeats));
-    const std::string baseline = use_tree ? "per_depth_tree" : "per_depth";
-    report(baseline, jobs,
-           RunPerDepth(stripped, max_bits, use_tree, &pool, repeats));
+    if (run_per_depth) {
+      const std::string baseline = use_tree ? "per_depth_tree" : "per_depth";
+      report(baseline, jobs,
+             RunPerDepth(stripped, max_bits, use_tree, &pool, repeats));
+    }
+  }
+
+  // Dispatch scoreboard: the serial fused traversals re-run under every
+  // level the host supports (ForceLevel beats CES_SIMD, so this works even
+  // inside a forced run); the rows land in the JSON as dispatch/<variant>/
+  // <level> and the summary line prints the scalar->avx2 ratio.
+  struct DispatchRate {
+    std::string variant;
+    std::string level;
+    double refs_per_sec;
+  };
+  std::vector<DispatchRate> dispatch_rates;
+  {
+    simd::Level saved;
+    const bool had_forced = simd::ForcedLevel(&saved);
+    std::vector<simd::Level> levels = {simd::Level::kScalar};
+    if (simd::DetectedLevel() == simd::Level::kAvx2) {
+      levels.push_back(simd::Level::kAvx2);
+    }
+    for (const bool use_tree : {false, true}) {
+      const std::string variant = use_tree ? "fused_tree" : "fused";
+      for (const simd::Level level : levels) {
+        simd::ForceLevel(level);
+        const Measurement m =
+            RunFused(stripped, max_bits, use_tree, nullptr, repeats);
+        const auto scanned = m.counters.at("refs_scanned");
+        const double rate =
+            m.best() > 0 ? static_cast<double>(scanned) / m.best() : 0.0;
+        dispatch_rates.push_back(
+            {variant, simd::LevelName(level), rate});
+        reporter.Add(
+            "dispatch/" + variant + "/" + simd::LevelName(level),
+            {{"refs", std::to_string(refs)},
+             {"max_bits", std::to_string(max_bits)},
+             {"jobs", "1"},
+             {"simd", simd::LevelName(level)}},
+            repeats, m.wall_seconds,
+            {{"refs_scanned", scanned},
+             {"refs_per_sec", static_cast<std::uint64_t>(rate)}});
+      }
+    }
+    if (had_forced) {
+      simd::ForceLevel(saved);
+    } else {
+      simd::ClearForcedLevel();
+    }
   }
 
   std::printf("== micro_prelude: fused traversal vs per-depth baseline "
@@ -205,12 +298,31 @@ int main(int argc, char** argv) {
     const std::string baseline = use_tree ? "per_depth_tree" : "per_depth";
     const double serial = best[variant + "/1"];
     const double parallel = best[variant + "/" + std::to_string(jobs)];
-    std::printf(
-        "%s: parallel speedup %.2fx over serial; refs scanned %.1f%% of "
-        "per-depth baseline\n",
-        variant.c_str(), serial / parallel,
-        100.0 * static_cast<double>(refs_scanned[variant]) /
-            static_cast<double>(refs_scanned[baseline]));
+    std::printf("%s: parallel speedup %.2fx over serial", variant.c_str(),
+                serial / parallel);
+    if (run_per_depth) {
+      std::printf("; refs scanned %.1f%% of per-depth baseline",
+                  100.0 * static_cast<double>(refs_scanned[variant]) /
+                      static_cast<double>(refs_scanned[baseline]));
+    }
+    std::printf("\n");
+  }
+  if (simd::DetectedLevel() == simd::Level::kAvx2) {
+    for (const bool use_tree : {false, true}) {
+      const std::string variant = use_tree ? "fused_tree" : "fused";
+      double scalar_rate = 0, avx2_rate = 0;
+      for (const DispatchRate& r : dispatch_rates) {
+        if (r.variant != variant) continue;
+        (r.level == "avx2" ? avx2_rate : scalar_rate) = r.refs_per_sec;
+      }
+      std::printf(
+          "dispatch %s: scalar %.3gM refs/s -> avx2 %.3gM refs/s (%.2fx)\n",
+          variant.c_str(), scalar_rate / 1e6, avx2_rate / 1e6,
+          scalar_rate > 0 ? avx2_rate / scalar_rate : 0.0);
+    }
+  } else {
+    std::printf("dispatch: avx2 unavailable on this host (detected=%s)\n",
+                simd::LevelName(simd::DetectedLevel()));
   }
   reporter.Write();
   return 0;

@@ -8,6 +8,7 @@
 #include "support/fenwick.hpp"
 #include "support/metrics.hpp"
 #include "support/pool.hpp"
+#include "support/simd.hpp"
 
 namespace ces::analytic {
 namespace {
@@ -52,7 +53,8 @@ class FusedTraversal {
         unique_(stripped.unique),
         max_bits_(max_index_bits),
         use_tree_(use_tree),
-        options_(options) {}
+        options_(options),
+        kernels_(support::simd::ActiveKernels()) {}
 
   std::vector<cache::StackProfile> Run() {
     std::vector<cache::StackProfile> profiles(max_bits_ + 1);
@@ -132,6 +134,12 @@ class FusedTraversal {
       // volatile gauges — never in the deterministic counter surface CI
       // diffs.
       options_.metrics->SetGauge("explore.cut_level", cut_);
+      // Which kernel table ran (support::simd::Level). Host- and
+      // environment-dependent, hence a gauge too; the results it produces
+      // are byte-identical either way.
+      options_.metrics->SetGauge(
+          "explore.simd_kernel",
+          static_cast<std::uint64_t>(kernels_.level));
     }
     return profiles;
   }
@@ -168,6 +176,23 @@ class FusedTraversal {
     caps_ = MaxDistinctPerLevel();
     bufs_[0] = stripped_.ids;
     bufs_[1].assign(n, 0);
+    // SoA address lanes mirroring the id buffers: addr_bufs_[b][i] ==
+    // unique_[bufs_[b][i]] holds at every point of the traversal because the
+    // partition permutes both lanes identically. The split-bit count and the
+    // partition read this lane sequentially instead of gathering
+    // unique_[id] per element, so their reads and writes stream.
+    addr_bufs_[0].resize(n);
+    addr_bufs_[1].assign(n, 0);
+    if (stripped_.unique_count() < (std::uint64_t{1} << 31)) {
+      kernels_.gather(bufs_[0].data(), n, unique_.data(),
+                      addr_bufs_[0].data());
+    } else {
+      // vpgatherdd indices are signed, so an id >= 2^31 would wrap; fill
+      // the lane scalar for such traces instead of corrupting it.
+      for (std::size_t i = 0; i < n; ++i) {
+        addr_bufs_[0][i] = unique_[bufs_[0][i]];
+      }
+    }
 
     main_.base = 0;
     main_.hist.resize(max_bits_ + 1);
@@ -219,8 +244,11 @@ class FusedTraversal {
   }
 
   // Scans one node, tallying distances >= 1 into `tallies`, and counts the
-  // bit-B_level zeros so the caller can partition without a second pass.
-  // Returns {distinct references in the node, size of the left child}.
+  // bit-B_level zeros so the caller can partition without re-deriving the
+  // split. The zero count is a dedicated vectorizable pass over the SoA
+  // address lane (dispatched through support::simd), which strips the
+  // per-element branch out of the stack-distance loop below. Returns
+  // {distinct references in the node, size of the left child}.
   std::pair<std::size_t, std::size_t> ScanNode(const Frame& node,
                                                LaneScratch& lane,
                                                LevelTallies& tallies) {
@@ -232,29 +260,41 @@ class FusedTraversal {
     // At the deepest level the split bit is never used; keep the shift in
     // range regardless of address width.
     const std::uint32_t shift = node.level < max_bits_ ? node.level : 0;
-    std::size_t n_left = 0;
+    const std::size_t len = node.end - node.begin;
+    const std::size_t n_left = kernels_.count_zero_bits(
+        addr_bufs_[node.level & 1].data() + node.begin, len, shift);
     std::size_t distinct = 0;
 
     if (!use_tree_) {
       // Move-to-front scan: stack position == number of distinct references
-      // of this row touched since the previous occurrence.
+      // of this row touched since the previous occurrence. One backward
+      // shift both searches for the id and slides the displaced prefix, so
+      // each element is loaded and stored exactly once (the former
+      // std::find + std::rotate pair traversed the prefix twice).
       std::vector<std::uint32_t>& stack = lane.mtf;
       stack.clear();
       for (std::size_t i = node.begin; i < node.end; ++i) {
         const std::uint32_t id = src[i];
-        n_left += ((unique_[id] >> shift) & 1u) == 0;
-        const auto it = std::find(stack.begin(), stack.end(), id);
-        if (it == stack.end()) {
-          stack.insert(stack.begin(), id);  // cold occurrence
+        std::uint32_t carry = id;
+        std::size_t distance = stack.size();
+        for (std::size_t d = 0; d < stack.size(); ++d) {
+          const std::uint32_t displaced = stack[d];
+          stack[d] = carry;
+          if (displaced == id) {
+            distance = d;
+            break;
+          }
+          carry = displaced;
+        }
+        if (distance == stack.size()) {
+          stack.push_back(carry);  // cold occurrence; capacity reserved
           continue;
         }
-        const auto distance = static_cast<std::size_t>(it - stack.begin());
         if (distance >= 1) {
           CES_DCHECK(distance < hist.size());
           ++hist[distance];
           ++counted;
         }
-        std::rotate(stack.begin(), it, it + 1);
       }
       distinct = stack.size();
     } else {
@@ -262,13 +302,29 @@ class FusedTraversal {
       // over the node positions; the distance is a range sum. Node-local
       // "seen" state uses epoch stamping so nothing needs clearing between
       // nodes; lanes share the per-id arrays because their subtrees hold
-      // disjoint ids.
+      // disjoint ids. The per-id mark lanes (epoch, last position, and the
+      // Fenwick slot the previous occurrence touches) are random-access —
+      // software prefetch hides their latency a few references ahead.
+      constexpr std::size_t kIdAhead = 8;    // per-id lanes: two cache loads
+      constexpr std::size_t kMarkAhead = 4;  // Fenwick slot: needs last_pos_
       ++lane.epoch;
-      const std::size_t len = node.end - node.begin;
       FenwickView marks(lane.fenwick.data(), len);
       for (std::size_t pos = 0; pos < len; ++pos) {
+        if (pos + kIdAhead < len) {
+          const std::uint32_t ahead = src[node.begin + pos + kIdAhead];
+          support::simd::PrefetchRead(&epoch_of_[ahead]);
+          support::simd::PrefetchRead(&last_pos_[ahead]);
+        }
+        if (pos + kMarkAhead < len) {
+          // last_pos_ may be stale for this id (another node set it), but a
+          // stale slot is still inside the lane's Fenwick buffer, so the
+          // prefetch is at worst useless, never wrong.
+          const std::uint32_t ahead = src[node.begin + pos + kMarkAhead];
+          if (epoch_of_[ahead] == lane.epoch) {
+            support::simd::PrefetchRead(&lane.fenwick[last_pos_[ahead] + 1]);
+          }
+        }
         const std::uint32_t id = src[node.begin + pos];
-        n_left += ((unique_[id] >> shift) & 1u) == 0;
         if (epoch_of_[id] == lane.epoch) {
           const std::size_t p = last_pos_[id];
           const auto distance = static_cast<std::size_t>(
@@ -295,22 +351,20 @@ class FusedTraversal {
   // buffer: the left child (bit B_level == 0) lands at [begin, begin+n_left),
   // the right child at [begin+n_left, end). Children read the twin buffer —
   // the parity rule "level L lives in bufs_[L & 1]" holds globally because
-  // every node only ever writes inside its own segment.
+  // every node only ever writes inside its own segment (the dispatched
+  // kernels guarantee the same containment: masked stores never touch a
+  // byte outside the two runs). The id and address lanes are permuted
+  // identically, which is what preserves the SoA mirror invariant.
   void Partition(const Frame& node, std::size_t n_left) {
-    const std::vector<std::uint32_t>& src = bufs_[node.level & 1];
-    std::vector<std::uint32_t>& dst = bufs_[(node.level + 1) & 1];
-    std::size_t left = node.begin;
-    std::size_t right = node.begin + n_left;
-    for (std::size_t i = node.begin; i < node.end; ++i) {
-      const std::uint32_t id = src[i];
-      if ((unique_[id] >> node.level) & 1u) {
-        dst[right++] = id;
-      } else {
-        dst[left++] = id;
-      }
-    }
-    CES_DCHECK(left == node.begin + n_left);
-    CES_DCHECK(right == node.end);
+    const std::size_t parity = node.level & 1;
+    const std::size_t twin = parity ^ 1;
+    const std::size_t mid = node.begin + n_left;
+    kernels_.partition_pair(
+        bufs_[parity].data() + node.begin,
+        addr_bufs_[parity].data() + node.begin, node.end - node.begin,
+        node.level, bufs_[twin].data() + node.begin,
+        addr_bufs_[twin].data() + node.begin, bufs_[twin].data() + mid,
+        addr_bufs_[twin].data() + mid);
   }
 
   // Iterative DFS from `root`. Frames reaching `collect_level` are appended
@@ -382,10 +436,12 @@ class FusedTraversal {
   const bool use_tree_;
   const FusedPreludeOptions& options_;
 
+  const support::simd::Kernels& kernels_;
   std::uint32_t cut_ = 0;
   std::size_t pool_jobs_ = 1;
   std::vector<std::size_t> caps_;
   std::vector<std::uint32_t> bufs_[2];
+  std::vector<std::uint32_t> addr_bufs_[2];  // SoA twin: unique_[id] per slot
   std::vector<std::uint32_t> epoch_of_;  // per id: epoch of last sighting
   std::vector<std::size_t> last_pos_;    // per id: position within the node
   LevelTallies main_;

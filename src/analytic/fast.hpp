@@ -24,6 +24,15 @@
 // merged in subtree order, so profiles are byte-identical to the serial
 // traversal for every jobs value (docs/PARALLEL.md has the argument).
 //
+// The per-element hot loops — the split-bit count, the stable radix
+// partition, and the SoA address-lane fill that lets both stream instead of
+// gathering — run through the runtime-dispatched kernels of
+// support/simd.hpp (scalar or AVX2, CES_SIMD/--simd override, docs/SIMD.md).
+// Kernel selection never changes a byte of the output: the forced-path
+// differential sweep in tests/simd_dispatch_test.cpp pins scalar-vs-AVX2
+// identity of profiles and deterministic metrics across 100 traces at
+// jobs 1/2/8 for both scan variants.
+//
 // The result is the same vector of per-depth miss histograms the reference
 // engine produces, from which the optimal (D, A) set for ANY miss budget K
 // follows in O(levels * max distance) — an "all K" capability the explicit
@@ -53,9 +62,10 @@ struct FusedPreludeOptions {
   // "explore.fused_nodes" (BCAT nodes scanned) and "explore.fused_refs"
   // (references scanned across all node subsequences — the fused engine's
   // honest total, <= (levels+1) * N and strictly less whenever subtrees
-  // prune), plus the volatile gauge "explore.cut_level" (the chosen cut
-  // depends on the pool size, so it is excluded from the deterministic
-  // metrics surface).
+  // prune), plus the volatile gauges "explore.cut_level" (the chosen cut
+  // depends on the pool size) and "explore.simd_kernel" (the
+  // support::simd::Level that ran — host-dependent); both are excluded from
+  // the deterministic metrics surface.
   support::MetricsRegistry* metrics = nullptr;
   // Target number of subtrees per worker at the cut level. Larger values
   // partition more of the tree serially but balance skewed subtree sizes

@@ -552,7 +552,8 @@ std::string ServerInfoJson(const ServerInfo& info) {
          ",\"draining\":" + (info.draining ? "true" : "false") +
          ",\"traces_pinned\":" + U64(info.traces_pinned) +
          ",\"uploads_open\":" + U64(info.uploads_open) +
-         ",\"requests_total\":" + U64(info.requests_total) + "}";
+         ",\"requests_total\":" + U64(info.requests_total) +
+         ",\"simd_kernel\":" + support::JsonQuote(info.simd_kernel) + "}";
 }
 
 }  // namespace

@@ -168,6 +168,7 @@ struct ServerInfo {
   std::uint64_t traces_pinned = 0;
   std::uint64_t uploads_open = 0;
   std::uint64_t requests_total = 0;  // rids assigned so far
+  std::string simd_kernel;  // support::simd::LevelName of the active level
 };
 
 // Response serialisers. None of them append the trailing newline; the

@@ -7,6 +7,7 @@
 #include "support/build_info.hpp"
 #include "support/error.hpp"
 #include "support/metrics.hpp"
+#include "support/simd.hpp"
 
 namespace ces::service {
 
@@ -57,6 +58,8 @@ protocol::ServerInfo ExplorationService::Snapshot() const {
   info.traces_pinned = store_.pinned_traces();
   info.uploads_open = store_.open_uploads();
   info.requests_total = rid_counter_.load(std::memory_order_relaxed);
+  info.simd_kernel =
+      support::simd::LevelName(support::simd::ActiveLevel());
   return info;
 }
 

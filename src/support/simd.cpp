@@ -1,0 +1,184 @@
+#include "support/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define CES_SIMD_X86 1
+#else
+#define CES_SIMD_X86 0
+#endif
+
+namespace ces::support::simd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar kernels. These are the semantic reference: every other level must
+// reproduce their output bit for bit (tests/simd_dispatch_test.cpp diffs
+// them against the AVX2 table on random inputs, including ragged tails).
+
+std::size_t CountZeroBitsScalar(const std::uint32_t* addrs, std::size_t n,
+                                std::uint32_t shift) {
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    zeros += ((addrs[i] >> shift) & 1u) == 0;
+  }
+  return zeros;
+}
+
+void PartitionPairScalar(const std::uint32_t* ids, const std::uint32_t* addrs,
+                         std::size_t n, std::uint32_t shift,
+                         std::uint32_t* ids_left, std::uint32_t* addrs_left,
+                         std::uint32_t* ids_right, std::uint32_t* addrs_right) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((addrs[i] >> shift) & 1u) {
+      *ids_right++ = ids[i];
+      *addrs_right++ = addrs[i];
+    } else {
+      *ids_left++ = ids[i];
+      *addrs_left++ = addrs[i];
+    }
+  }
+}
+
+void GatherScalar(const std::uint32_t* ids, std::size_t n,
+                  const std::uint32_t* table, std::uint32_t* addrs) {
+  for (std::size_t i = 0; i < n; ++i) addrs[i] = table[ids[i]];
+}
+
+constexpr Kernels kScalarKernels = {
+    Level::kScalar,      "scalar",      &CountZeroBitsScalar,
+    &PartitionPairScalar, &GatherScalar,
+};
+
+// ---------------------------------------------------------------------------
+// Detection. The AVX2 probe needs three things to all hold: the OS saves
+// YMM state (OSXSAVE set and XCR0 bits 1|2), the core advertises AVX, and
+// CPUID.(7,0):EBX advertises AVX2.
+
+CpuFeatures ProbeCpuUncached() {
+  CpuFeatures features;
+#if CES_SIMD_X86
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return features;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool avx = (ecx & (1u << 28)) != 0;
+  if (osxsave && avx) {
+    // xgetbv(0): bit 1 = SSE state, bit 2 = YMM state. Both must be
+    // OS-enabled or executing a VEX-256 instruction faults.
+    std::uint32_t xcr0_lo = 0, xcr0_hi = 0;
+    __asm__ volatile(".byte 0x0f, 0x01, 0xd0"  // xgetbv, spelled for old as
+                     : "=a"(xcr0_lo), "=d"(xcr0_hi)
+                     : "c"(0));
+    features.os_avx = (xcr0_lo & 0x6u) == 0x6u;
+  }
+  if (features.os_avx) {
+    eax = ebx = ecx = edx = 0;
+    if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) {
+      features.avx2 = (ebx & (1u << 5)) != 0;
+    }
+  }
+#endif
+  return features;
+}
+
+Level DetectUncached() {
+#if CES_SIMD_X86 && defined(CES_HAVE_AVX2_TU)
+  if (ProbeCpu().avx2) return Level::kAvx2;
+#endif
+  return Level::kScalar;
+}
+
+// --simd override. Encoded as level+1 so 0 means "not forced"; a plain
+// atomic keeps ForceLevel safe to call from tests running alongside pool
+// threads that read ActiveLevel().
+std::atomic<std::uint32_t> g_forced{0};
+
+}  // namespace
+
+#if defined(CES_HAVE_AVX2_TU)
+// Defined in simd_avx2.cpp (compiled with -mavx2 on x86 hosts only).
+const Kernels& Avx2Kernels();
+#endif
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+bool ParseLevel(const char* name, Level* out) {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "scalar") == 0) {
+    *out = Level::kScalar;
+    return true;
+  }
+  if (std::strcmp(name, "avx2") == 0) {
+    *out = Level::kAvx2;
+    return true;
+  }
+  return false;
+}
+
+CpuFeatures ProbeCpu() {
+  static const CpuFeatures features = ProbeCpuUncached();
+  return features;
+}
+
+Level DetectedLevel() {
+  static const Level level = DetectUncached();
+  return level;
+}
+
+Level Resolve(Level detected, const char* env_value, const Level* forced) {
+  Level chosen = detected;
+  Level parsed;
+  if (ParseLevel(env_value, &parsed)) chosen = parsed;
+  if (forced != nullptr) chosen = *forced;
+  // Graceful fallback: never select a level the host cannot execute.
+  if (static_cast<std::uint32_t>(chosen) > static_cast<std::uint32_t>(detected))
+    chosen = detected;
+  return chosen;
+}
+
+void ForceLevel(Level level) {
+  g_forced.store(static_cast<std::uint32_t>(level) + 1,
+                 std::memory_order_relaxed);
+}
+
+void ClearForcedLevel() { g_forced.store(0, std::memory_order_relaxed); }
+
+bool ForcedLevel(Level* out) {
+  const std::uint32_t raw = g_forced.load(std::memory_order_relaxed);
+  if (raw == 0) return false;
+  *out = static_cast<Level>(raw - 1);
+  return true;
+}
+
+Level ActiveLevel() {
+  Level forced;
+  const bool has_forced = ForcedLevel(&forced);
+  return Resolve(DetectedLevel(), std::getenv("CES_SIMD"),
+                 has_forced ? &forced : nullptr);
+}
+
+const Kernels& KernelsFor(Level level) {
+#if defined(CES_HAVE_AVX2_TU)
+  if (level == Level::kAvx2 && DetectedLevel() == Level::kAvx2) {
+    return Avx2Kernels();
+  }
+#else
+  (void)level;
+#endif
+  return kScalarKernels;
+}
+
+const Kernels& ActiveKernels() { return KernelsFor(ActiveLevel()); }
+
+}  // namespace ces::support::simd

@@ -1,0 +1,125 @@
+// Runtime-dispatched SIMD kernels for the fused-prelude hot loops.
+//
+// The fused BCAT traversal (src/analytic/fast.cpp) spends its time in three
+// per-reference operations: counting the zero split-bits of a node's segment
+// (which sizes the left child), stably partitioning the segment into the
+// ping-pong twin buffers, and filling the SoA address lane that lets both of
+// those stream instead of gathering unique_[id] per element. This header
+// exposes exactly those operations as a kernel table with one scalar and one
+// AVX2 implementation, selected once per traversal:
+//
+//   * detection — a cpuid/xgetbv probe (x86 only; everywhere else the
+//     scalar table is the only one compiled) establishes the highest level
+//     the host can run;
+//   * override — the CES_SIMD environment variable and the --simd flag
+//     (ForceLevel) both name a level, flag beating env beating detection;
+//     a request above what the host supports falls back gracefully to the
+//     best supported level, never crashes;
+//   * identity — every kernel is bit-exact against its scalar twin (the
+//     AVX2 partition is a stable mask/compress with masked stores, so the
+//     output permutation is identical), which is what keeps profiles,
+//     --metrics=json and joint fronts byte-identical across levels; the
+//     forced-path differential sweep in tests/simd_dispatch_test.cpp pins
+//     this over 100 traces at jobs 1/2/8.
+//
+// The AVX2 bodies live in simd_avx2.cpp, compiled as a separate translation
+// unit with -mavx2 so the rest of the build stays portable to the baseline
+// ISA; CMake only adds that TU (and defines CES_HAVE_AVX2_TU) on x86.
+// docs/SIMD.md is the operator-facing guide.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ces::support::simd {
+
+// Dispatch levels, ordered: a numerically higher level strictly extends the
+// ISA of the lower ones. The numeric value is what the volatile gauge
+// "explore.simd_kernel" reports.
+enum class Level : std::uint32_t {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+// Stable lower-case level name: "scalar", "avx2". Used by CES_SIMD/--simd
+// parsing, the stats service op and the micro_prelude dispatch column.
+const char* LevelName(Level level);
+
+// Parses a level name ("scalar" or "avx2", exact match). Returns false and
+// leaves *out untouched on anything else.
+bool ParseLevel(const char* name, Level* out);
+
+// Raw cpuid probe results. On non-x86 builds every field is false.
+struct CpuFeatures {
+  bool os_avx = false;  // CPUID.1:ECX OSXSAVE+AVX and XCR0 enables YMM state
+  bool avx2 = false;    // os_avx and CPUID.(7,0):EBX.AVX2
+};
+CpuFeatures ProbeCpu();
+
+// Highest level this host can execute (cached after the first call).
+Level DetectedLevel();
+
+// The pure precedence rule behind ActiveLevel, exposed for tests: `forced`
+// (the --simd flag) beats `env_value` (the CES_SIMD variable, may be null or
+// unparseable — then ignored) beats plain detection, and whatever wins is
+// clamped down to `detected` so an unsupported request degrades to the best
+// level the host has instead of failing.
+Level Resolve(Level detected, const char* env_value, const Level* forced);
+
+// Process-wide --simd override; wins over CES_SIMD. ClearForcedLevel returns
+// to env/detection order (tests use it to restore state).
+void ForceLevel(Level level);
+void ClearForcedLevel();
+// True (and *out filled) when a ForceLevel override is in effect.
+bool ForcedLevel(Level* out);
+
+// Resolve(DetectedLevel(), getenv("CES_SIMD"), forced-or-null): the level
+// every dispatch site uses. Cheap enough to call per traversal.
+Level ActiveLevel();
+
+// The kernel table. All pointers are non-null in every table; the scalar
+// table is always available.
+struct Kernels {
+  Level level;       // the level these kernels require
+  const char* name;  // == LevelName(level)
+
+  // Number of elements of addrs[0..n) whose bit `shift` (0-based) is zero.
+  std::size_t (*count_zero_bits)(const std::uint32_t* addrs, std::size_t n,
+                                 std::uint32_t shift);
+
+  // Stable partition of the parallel (ids, addrs) lanes by bit `shift` of
+  // the address: elements whose bit is zero stream to ids_left/addrs_left,
+  // the rest to ids_right/addrs_right, both sides preserving input order.
+  // The left run must hold exactly count_zero_bits(addrs, n, shift)
+  // elements; no kernel writes outside the two runs (the twin-buffer
+  // segments of sibling subtrees may be scanned concurrently).
+  void (*partition_pair)(const std::uint32_t* ids, const std::uint32_t* addrs,
+                         std::size_t n, std::uint32_t shift,
+                         std::uint32_t* ids_left, std::uint32_t* addrs_left,
+                         std::uint32_t* ids_right,
+                         std::uint32_t* addrs_right);
+
+  // addrs[i] = table[ids[i]] for i in [0, n): the SoA address-lane fill.
+  void (*gather)(const std::uint32_t* ids, std::size_t n,
+                 const std::uint32_t* table, std::uint32_t* addrs);
+};
+
+// The table for `level`, degraded to the best supported level when `level`
+// exceeds DetectedLevel() (or when the AVX2 TU is not compiled in).
+const Kernels& KernelsFor(Level level);
+
+// KernelsFor(ActiveLevel()) — what the fused traversal binds per run.
+const Kernels& ActiveKernels();
+
+// Best-effort read prefetch into cache; compiles to nothing where the
+// builtin is unavailable. Used by the Fenwick-tree scan to hide the latency
+// of the per-id mark lanes (epoch/last-position/tree slots).
+inline void PrefetchRead(const void* address) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(address, /*rw=*/0, /*locality=*/3);
+#else
+  (void)address;
+#endif
+}
+
+}  // namespace ces::support::simd

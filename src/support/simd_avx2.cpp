@@ -1,0 +1,152 @@
+// AVX2 bodies of the simd.hpp kernel table. This translation unit is the
+// only one in the repository compiled with -mavx2 (see
+// src/support/CMakeLists.txt): everything here is reached strictly behind
+// the cpuid probe in simd.cpp, so the rest of the build keeps the baseline
+// ISA and the binary still runs on AVX2-less hosts.
+//
+// Identity argument (what keeps every level byte-identical):
+//   * count_zero_bits — per 8 lanes the split bit is moved to the sign
+//     position, movemask'd and popcounted; addition is exact, the ragged
+//     tail is the scalar loop.
+//   * partition_pair — a stable two-pass mask/compress: pass one computes
+//     the 8-bit side mask, pass two permutes the surviving lanes of both
+//     SoA lanes into packed order (vpermd through an 8 KiB compaction
+//     table) and appends them with a masked store. Lanes keep their input
+//     order on both sides and the store mask covers exactly the packed
+//     lanes, so the output permutation — and every byte either side's
+//     cursor passes — matches the scalar partition exactly, and nothing
+//     outside the two runs is written (sibling subtree segments may be
+//     scanned concurrently by other pool lanes).
+//   * gather — vpgatherdd with the same table reads, scalar tail.
+#include <immintrin.h>
+
+#include <array>
+#include <cstdint>
+
+#include "support/simd.hpp"
+
+namespace ces::support::simd {
+namespace {
+
+// kCompress[m][j]: the lane index of the j-th set bit of mask m, in
+// ascending lane order (stability); unused entries stay 0 and are masked
+// off at store time. The left side of a partition indexes with ~m.
+constexpr std::array<std::array<std::uint32_t, 8>, 256> MakeCompressTable() {
+  std::array<std::array<std::uint32_t, 8>, 256> table{};
+  for (int mask = 0; mask < 256; ++mask) {
+    int out = 0;
+    for (int lane = 0; lane < 8; ++lane) {
+      if (mask & (1 << lane)) {
+        table[static_cast<std::size_t>(mask)][static_cast<std::size_t>(out++)] =
+            static_cast<std::uint32_t>(lane);
+      }
+    }
+  }
+  return table;
+}
+constexpr auto kCompress = MakeCompressTable();
+
+// kTailMask[k]: the first k lanes enabled (sign bit set) — the store masks
+// for vpmaskmovd, one per possible packed-lane count.
+constexpr std::array<std::array<std::int32_t, 8>, 9> MakeTailMasks() {
+  std::array<std::array<std::int32_t, 8>, 9> table{};
+  for (int k = 0; k <= 8; ++k) {
+    for (int lane = 0; lane < 8; ++lane) {
+      table[static_cast<std::size_t>(k)][static_cast<std::size_t>(lane)] =
+          lane < k ? -1 : 0;
+    }
+  }
+  return table;
+}
+constexpr auto kTailMask = MakeTailMasks();
+
+inline __m256i LoadU(const std::uint32_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+std::size_t CountZeroBitsAvx2(const std::uint32_t* addrs, std::size_t n,
+                              std::uint32_t shift) {
+  std::size_t ones = 0;
+  std::size_t i = 0;
+  // Move bit `shift` into the sign position; movemask then reads it per
+  // lane and popcount folds 8 references into one add.
+  const __m128i to_sign = _mm_cvtsi32_si128(static_cast<int>(31 - shift));
+  for (; i + 8 <= n; i += 8) {
+    const __m256i sign = _mm256_sll_epi32(LoadU(addrs + i), to_sign);
+    const int mask = _mm256_movemask_ps(_mm256_castsi256_ps(sign));
+    ones += static_cast<unsigned>(__builtin_popcount(mask));
+  }
+  for (; i < n; ++i) ones += (addrs[i] >> shift) & 1u;
+  return n - ones;
+}
+
+void PartitionPairAvx2(const std::uint32_t* ids, const std::uint32_t* addrs,
+                       std::size_t n, std::uint32_t shift,
+                       std::uint32_t* ids_left, std::uint32_t* addrs_left,
+                       std::uint32_t* ids_right, std::uint32_t* addrs_right) {
+  std::size_t i = 0;
+  const __m128i to_sign = _mm_cvtsi32_si128(static_cast<int>(31 - shift));
+  for (; i + 8 <= n; i += 8) {
+    const __m256i addr8 = LoadU(addrs + i);
+    const __m256i id8 = LoadU(ids + i);
+    const __m256i sign = _mm256_sll_epi32(addr8, to_sign);
+    const int right_mask = _mm256_movemask_ps(_mm256_castsi256_ps(sign));
+    const int left_mask = ~right_mask & 0xff;
+    const int n_right = __builtin_popcount(static_cast<unsigned>(right_mask));
+    const int n_left = 8 - n_right;
+
+    const __m256i perm_left = LoadU(kCompress[left_mask].data());
+    const __m256i perm_right = LoadU(kCompress[right_mask].data());
+    const __m256i store_left = LoadU(
+        reinterpret_cast<const std::uint32_t*>(kTailMask[n_left].data()));
+    const __m256i store_right = LoadU(
+        reinterpret_cast<const std::uint32_t*>(kTailMask[n_right].data()));
+
+    _mm256_maskstore_epi32(reinterpret_cast<int*>(ids_left), store_left,
+                           _mm256_permutevar8x32_epi32(id8, perm_left));
+    _mm256_maskstore_epi32(reinterpret_cast<int*>(addrs_left), store_left,
+                           _mm256_permutevar8x32_epi32(addr8, perm_left));
+    _mm256_maskstore_epi32(reinterpret_cast<int*>(ids_right), store_right,
+                           _mm256_permutevar8x32_epi32(id8, perm_right));
+    _mm256_maskstore_epi32(reinterpret_cast<int*>(addrs_right), store_right,
+                           _mm256_permutevar8x32_epi32(addr8, perm_right));
+    ids_left += n_left;
+    addrs_left += n_left;
+    ids_right += n_right;
+    addrs_right += n_right;
+  }
+  for (; i < n; ++i) {
+    if ((addrs[i] >> shift) & 1u) {
+      *ids_right++ = ids[i];
+      *addrs_right++ = addrs[i];
+    } else {
+      *ids_left++ = ids[i];
+      *addrs_left++ = addrs[i];
+    }
+  }
+}
+
+void GatherAvx2(const std::uint32_t* ids, std::size_t n,
+                const std::uint32_t* table, std::uint32_t* addrs) {
+  // vpgatherdd treats indices as signed; callers guarantee ids < 2^31
+  // (fast.cpp falls back to the scalar fill past that — a >2G-line trace).
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i idx = LoadU(ids + i);
+    const __m256i got = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(table), idx, /*scale=*/4);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(addrs + i), got);
+  }
+  for (; i < n; ++i) addrs[i] = table[ids[i]];
+}
+
+constexpr Kernels kAvx2Kernels = {
+    Level::kAvx2,      "avx2",      &CountZeroBitsAvx2,
+    &PartitionPairAvx2, &GatherAvx2,
+};
+
+}  // namespace
+
+const Kernels& Avx2Kernels() { return kAvx2Kernels; }
+
+}  // namespace ces::support::simd

@@ -50,6 +50,7 @@
 #include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/rng.hpp"
+#include "support/simd.hpp"
 #include "trace/strip.hpp"
 #include "trace/synthetic.hpp"
 #include "trace/trace_io.hpp"
@@ -1494,6 +1495,13 @@ TEST(Telemetry, StatsAndHealthOpsExposeTheSnapshot) {
   EXPECT_NE(stats.server_json.find("\"uptime_us\""), std::string::npos);
   EXPECT_NE(stats.server_json.find("\"git_sha\""), std::string::npos);
   EXPECT_NE(stats.server_json.find("\"traces_pinned\":1"), std::string::npos);
+  // The active prelude kernel rides in the snapshot so an operator can tell
+  // which dispatch level a deployed daemon resolved (docs/SIMD.md).
+  const std::string expect_kernel =
+      std::string("\"simd_kernel\":\"") +
+      ces::support::simd::LevelName(ces::support::simd::ActiveLevel()) + "\"";
+  EXPECT_NE(stats.server_json.find(expect_kernel), std::string::npos)
+      << stats.server_json;
   // The metrics snapshot rides along, with exact percentile fields on the
   // latency histograms.
   EXPECT_NE(stats.raw.find("\"metrics\":"), std::string::npos);

@@ -1,0 +1,246 @@
+// bench_diff: compare a named metric between two ces-bench-v1 JSON files
+// and exit nonzero when the candidate regresses (or fails to improve)
+// beyond a threshold. This replaces the ad-hoc grep pipelines perf gates in
+// CI used to be — the gate is one auditable command:
+//
+//   bench_diff --baseline=BENCH_scalar.json --candidate=BENCH_avx2.json
+//     ... --metric=refs_per_sec --result=fused/1 --min-improve=2%
+//
+//   bench_diff old.json new.json --metric=refs_per_sec --max-regress=5%
+//
+// Flags:
+//   --baseline=F --candidate=F   the two reports (or two positional paths,
+//                                baseline first)
+//   --metric=NAME                counter to compare; the special names
+//                                wall_min / wall_median read the
+//                                wall_seconds summary instead
+//   --result=NAME                only compare this result (repeatable via
+//                                comma list); default: every result name
+//                                present in both files that carries the
+//                                metric
+//   --max-regress=P%             fail when candidate < baseline * (1 - P)
+//                                (direction flips under --lower-is-better)
+//   --min-improve=P%             fail when candidate < baseline * (1 + P)
+//   --lower-is-better            the metric improves downward (latencies)
+//
+// Exit codes: 0 gate passed; 1 gate failed (regression, or a requested
+// result/metric is missing); 2 usage error; 3 cannot read/parse a file.
+// docs/SIMD.md and docs/OBSERVABILITY.md describe the CI wiring.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/json.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+struct ResultRow {
+  std::map<std::string, double> values;  // counters + wall_min/wall_median
+};
+
+using Report = std::map<std::string, ResultRow>;  // keyed by result name
+
+// Loads a ces-bench-v1 file into name -> flat metric map. Duplicate result
+// names keep the first occurrence (micro benches emit unique names).
+Report LoadReport(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", path.c_str());
+    std::exit(3);
+  }
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  ces::service::JsonValue root;
+  try {
+    root = ces::service::ParseJson(buffer.str());
+  } catch (const ces::support::Error& error) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", path.c_str(), error.what());
+    std::exit(3);
+  }
+  const ces::service::JsonValue* schema = root.Find("schema");
+  if (schema == nullptr ||
+      schema->kind != ces::service::JsonValue::Kind::kString ||
+      schema->string != "ces-bench-v1") {
+    std::fprintf(stderr, "bench_diff: %s is not a ces-bench-v1 report\n",
+                 path.c_str());
+    std::exit(3);
+  }
+  Report report;
+  const ces::service::JsonValue* results = root.Find("results");
+  if (results == nullptr ||
+      results->kind != ces::service::JsonValue::Kind::kArray) {
+    return report;
+  }
+  for (const ces::service::JsonValue& entry : results->array) {
+    if (entry.kind != ces::service::JsonValue::Kind::kObject) continue;
+    const ces::service::JsonValue* name = entry.Find("name");
+    if (name == nullptr ||
+        name->kind != ces::service::JsonValue::Kind::kString) {
+      continue;
+    }
+    if (report.count(name->string) != 0) continue;
+    ResultRow row;
+    if (const ces::service::JsonValue* counters = entry.Find("counters");
+        counters != nullptr &&
+        counters->kind == ces::service::JsonValue::Kind::kObject) {
+      for (const auto& [key, value] : counters->object) {
+        if (value.kind == ces::service::JsonValue::Kind::kNumber) {
+          row.values[key] = value.number;
+        }
+      }
+    }
+    if (const ces::service::JsonValue* wall = entry.Find("wall_seconds");
+        wall != nullptr &&
+        wall->kind == ces::service::JsonValue::Kind::kObject) {
+      if (const ces::service::JsonValue* v = wall->Find("min");
+          v != nullptr && v->kind == ces::service::JsonValue::Kind::kNumber) {
+        row.values["wall_min"] = v->number;
+      }
+      if (const ces::service::JsonValue* v = wall->Find("median");
+          v != nullptr && v->kind == ces::service::JsonValue::Kind::kNumber) {
+        row.values["wall_median"] = v->number;
+      }
+    }
+    report.emplace(name->string, std::move(row));
+  }
+  return report;
+}
+
+// "5%", "5", "2.5%" -> 5.0 / 5.0 / 2.5; nullopt on anything else.
+std::optional<double> ParsePercent(std::string text) {
+  if (text.empty()) return std::nullopt;
+  if (text.back() == '%') text.pop_back();
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || value < 0) return std::nullopt;
+  return value;
+}
+
+std::vector<std::string> SplitCommas(const std::string& list) {
+  std::vector<std::string> out;
+  std::string item;
+  std::stringstream ss(list);
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_diff --baseline=A.json --candidate=B.json "
+      "--metric=NAME\n"
+      "                  [--result=NAME[,NAME...]] [--max-regress=P%%]\n"
+      "                  [--min-improve=P%%] [--lower-is-better]\n"
+      "       (the two paths may also be given positionally, baseline "
+      "first)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ces::ArgParser args(argc, argv);
+  std::string baseline_path = args.GetString("baseline", "");
+  std::string candidate_path = args.GetString("candidate", "");
+  const auto& positional = args.positional();
+  std::size_t next_positional = 0;
+  if (baseline_path.empty() && next_positional < positional.size()) {
+    baseline_path = positional[next_positional++];
+  }
+  if (candidate_path.empty() && next_positional < positional.size()) {
+    candidate_path = positional[next_positional++];
+  }
+  const std::string metric = args.GetString("metric", "");
+  if (baseline_path.empty() || candidate_path.empty() || metric.empty()) {
+    return Usage();
+  }
+  std::optional<double> max_regress;
+  std::optional<double> min_improve;
+  if (args.Has("max-regress")) {
+    max_regress = ParsePercent(args.GetString("max-regress", ""));
+    if (!max_regress) return Usage();
+  }
+  if (args.Has("min-improve")) {
+    min_improve = ParsePercent(args.GetString("min-improve", ""));
+    if (!min_improve) return Usage();
+  }
+  if (!max_regress && !min_improve) {
+    std::fprintf(stderr,
+                 "bench_diff: need --max-regress and/or --min-improve\n");
+    return Usage();
+  }
+  const bool lower_is_better = args.GetBool("lower-is-better", false);
+  const std::vector<std::string> only = SplitCommas(args.GetString("result", ""));
+
+  const Report baseline = LoadReport(baseline_path);
+  const Report candidate = LoadReport(candidate_path);
+
+  std::vector<std::string> names;
+  if (!only.empty()) {
+    names = only;
+  } else {
+    for (const auto& [name, row] : baseline) {
+      if (row.values.count(metric) != 0) names.push_back(name);
+    }
+  }
+
+  bool failed = false;
+  std::size_t compared = 0;
+  for (const std::string& name : names) {
+    const auto base_it = baseline.find(name);
+    const auto cand_it = candidate.find(name);
+    const double* base =
+        base_it != baseline.end() && base_it->second.values.count(metric)
+            ? &base_it->second.values.at(metric)
+            : nullptr;
+    const double* cand =
+        cand_it != candidate.end() && cand_it->second.values.count(metric)
+            ? &cand_it->second.values.at(metric)
+            : nullptr;
+    if (base == nullptr || cand == nullptr) {
+      std::fprintf(stderr,
+                   "bench_diff: FAIL %s: metric '%s' missing from %s\n",
+                   name.c_str(), metric.c_str(),
+                   base == nullptr ? baseline_path.c_str()
+                                   : candidate_path.c_str());
+      failed = true;
+      continue;
+    }
+    ++compared;
+    // Improvement in percent, positive = better. A zero baseline cannot be
+    // expressed as a ratio; treat any candidate >= baseline as +0%.
+    double improve_pct = 0.0;
+    if (*base != 0.0) {
+      improve_pct = (*cand - *base) / *base * 100.0;
+      if (lower_is_better) improve_pct = -improve_pct;
+    } else if ((lower_is_better && *cand > 0.0) ||
+               (!lower_is_better && *cand < 0.0)) {
+      improve_pct = -100.0;
+    }
+    bool row_ok = true;
+    if (max_regress && improve_pct < -*max_regress) row_ok = false;
+    if (min_improve && improve_pct < *min_improve) row_ok = false;
+    std::printf("[bench_diff] %s %s baseline=%.6g candidate=%.6g "
+                "improve=%+.2f%% %s\n",
+                name.c_str(), metric.c_str(), *base, *cand, improve_pct,
+                row_ok ? "OK" : "FAIL");
+    failed = failed || !row_ok;
+  }
+  if (compared == 0 && !failed) {
+    std::fprintf(stderr,
+                 "bench_diff: no result carries metric '%s' in %s\n",
+                 metric.c_str(), baseline_path.c_str());
+    return 1;
+  }
+  return failed ? 1 : 0;
+}

@@ -66,6 +66,7 @@
 #include "support/pool.hpp"
 #include "support/progress.hpp"
 #include "support/signals.hpp"
+#include "support/simd.hpp"
 #include "support/table.hpp"
 #include "support/trace_event.hpp"
 #include "trace/dinero.hpp"
@@ -96,8 +97,10 @@ int Usage() {
       "explore/stats/compare/convert also accept --metrics=json "
       "[--metrics-timings]\n"
       "every command accepts --trace-out=FILE (Chrome trace-event JSON "
-      "profile)\n"
-      "  and --progress (rate-limited progress lines on stderr)\n"
+      "profile),\n"
+      "  --progress (rate-limited progress lines on stderr), and\n"
+      "  --simd=scalar|avx2 (force the prelude kernel level; beats the\n"
+      "  CES_SIMD env var, results are byte-identical — docs/SIMD.md)\n"
       "exit codes: 0 ok, 1 runtime, 2 usage, 3 io, 4 format, 5 parse,\n"
       "  6 range, 7 truncated, 8 unsupported, 9 validation, 10 internal\n");
   return 2;
@@ -767,6 +770,16 @@ int RunCommand(const std::string& command, const ces::ArgParser& args,
 int main(int argc, char** argv) {
   const ces::ArgParser args(argc, argv);
   if (args.positional().empty()) return Usage();
+  if (args.Has("simd")) {
+    ces::support::simd::Level level;
+    const std::string name = args.GetString("simd", "");
+    if (!ces::support::simd::ParseLevel(name.c_str(), &level)) {
+      std::fprintf(stderr, "cachedse: invalid --simd=%s (want scalar|avx2)\n",
+                   name.c_str());
+      return 2;
+    }
+    ces::support::simd::ForceLevel(level);
+  }
   const std::string command = args.positional()[0];
   TraceEmitter trace_out(args);
   ProgressGuard progress(args);

@@ -41,6 +41,7 @@
 #include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/signals.hpp"
+#include "support/simd.hpp"
 #include "support/trace_event.hpp"
 
 namespace {
@@ -52,7 +53,9 @@ int Usage() {
       "  [--cache-mb=64] [--cache-shards=8] [--queue-limit=256]\n"
       "  [--retry-after-ms=100] [--max-traces=64] [--spill-dir=DIR]\n"
       "  [--metrics=json] [--trace-out=FILE] [--log=FILE|-]\n"
-      "  [--prometheus=FILE] [--prometheus-period-ms=1000]\n");
+      "  [--prometheus=FILE] [--prometheus-period-ms=1000]\n"
+      "  [--simd=scalar|avx2]  force the prelude kernel level (beats the\n"
+      "                        CES_SIMD env var; docs/SIMD.md)\n");
   return 2;
 }
 
@@ -116,6 +119,17 @@ int main(int argc, char** argv) {
   const std::string socket_path = args.GetString("socket", "");
   const bool has_port = args.Has("port");
   if (socket_path.empty() == !has_port) return Usage();
+  if (args.Has("simd")) {
+    ces::support::simd::Level level;
+    const std::string name = args.GetString("simd", "");
+    if (!ces::support::simd::ParseLevel(name.c_str(), &level)) {
+      std::fprintf(stderr,
+                   "cachedse-server: invalid --simd=%s (want scalar|avx2)\n",
+                   name.c_str());
+      return 2;
+    }
+    ces::support::simd::ForceLevel(level);
+  }
 
   ces::support::MetricsRegistry registry;
   const std::string metrics_format = args.GetString("metrics", "");
